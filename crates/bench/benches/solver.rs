@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the condition solver (the Z3 substitute).
+//!
+//! These track the unit costs behind Table 4's solver column:
+//! satisfiability of typical reachability conditions, entailment
+//! checks used by the verifiers, and condition simplification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faure_ctable::{CVarId, CVarRegistry, CmpOp, Condition, Domain, LinExpr, Term};
+use faure_solver::{implies, satisfiable, simplify};
+
+/// Registry with `n` Bool01 link variables.
+fn links(n: usize) -> (CVarRegistry, Vec<CVarId>) {
+    let mut reg = CVarRegistry::new();
+    let vars = (0..n)
+        .map(|i| reg.fresh(format!("l{i}"), Domain::Bool01))
+        .collect();
+    (reg, vars)
+}
+
+/// A typical reachability condition: disjunction over paths, each a
+/// conjunction of link-up atoms.
+fn path_condition(vars: &[CVarId], paths: usize, hops: usize) -> Condition {
+    Condition::any((0..paths).map(|p| {
+        Condition::all((0..hops).map(|h| {
+            let v = vars[(p * hops + h) % vars.len()];
+            Condition::eq(Term::Var(v), Term::int(1))
+        }))
+    }))
+}
+
+fn bench_satisfiability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_sat");
+    for nvars in [4usize, 8, 12] {
+        let (reg, vars) = links(nvars);
+        let cond = path_condition(&vars, 4, 3).and(Condition::cmp(
+            LinExpr::sum(vars.iter().copied().take(3)),
+            CmpOp::Eq,
+            LinExpr::constant(1),
+        ));
+        group.bench_with_input(BenchmarkId::new("paths_plus_linear", nvars), &cond, |b, cond| {
+            b.iter(|| satisfiable(&reg, cond).expect("supported"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_unsat_detection(c: &mut Criterion) {
+    let (reg, vars) = links(6);
+    // Contradiction: all links up AND sum < number of links.
+    let cond = Condition::all(
+        vars.iter()
+            .map(|&v| Condition::eq(Term::Var(v), Term::int(1))),
+    )
+    .and(Condition::cmp(
+        LinExpr::sum(vars.iter().copied()),
+        CmpOp::Lt,
+        LinExpr::constant(6),
+    ));
+    c.bench_function("solver_unsat_contradiction", |b| {
+        b.iter(|| satisfiable(&reg, &cond).expect("supported"))
+    });
+}
+
+fn bench_implication(c: &mut Criterion) {
+    let (reg, vars) = links(6);
+    let premise = Condition::cmp(
+        LinExpr::sum(vars.iter().copied().take(3)),
+        CmpOp::Eq,
+        LinExpr::constant(3),
+    );
+    let conclusion = Condition::eq(Term::Var(vars[0]), Term::int(1));
+    c.bench_function("solver_implies_linear_to_atom", |b| {
+        b.iter(|| implies(&reg, &premise, &conclusion).expect("supported"))
+    });
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    let (_, vars) = links(8);
+    let cond = path_condition(&vars, 6, 4);
+    let messy = cond.clone().and(cond.clone()).and(Condition::True).or(Condition::False);
+    c.bench_function("solver_structural_simplify", |b| {
+        b.iter(|| simplify(&messy))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_satisfiability,
+    bench_unsat_detection,
+    bench_implication,
+    bench_simplify
+);
+criterion_main!(benches);

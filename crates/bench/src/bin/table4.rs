@@ -1,0 +1,77 @@
+//! Regenerates the paper's Table 4 on the synthetic RIB workload.
+//!
+//! ```text
+//! cargo run -p faure-bench --release --bin table4 [-- --sizes 1000,10000] \
+//!     [--seed N] [--json out.json] [--prune eager|stratum|never]
+//! ```
+//!
+//! Defaults to the sizes 1 000 and 10 000 (the paper also runs 100 000
+//! and 922 067; pass them explicitly if you have the minutes — the
+//! shape, not the wall-clock, is the reproduction target).
+
+use faure_bench::{print_table, run_table4_row, HarnessOptions, Table4Row};
+use faure_core::PrunePolicy;
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![1000, 10_000];
+    let mut opts = HarnessOptions::default();
+    let mut json_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                i += 1;
+                sizes = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes takes a,b,c"))
+                    .collect();
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
+            "--prune" => {
+                i += 1;
+                opts.eval.prune = match args[i].as_str() {
+                    "eager" => PrunePolicy::Eager,
+                    "stratum" => PrunePolicy::EndOfStratum,
+                    "never" => PrunePolicy::Never,
+                    other => panic!("unknown prune policy {other}"),
+                };
+            }
+            other => panic!("unknown argument {other} (try --sizes/--seed/--json/--prune)"),
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "running Listing 2 (q4-q8) on the synthetic RIB workload, sizes {sizes:?}, seed {}",
+        opts.seed
+    );
+    let mut rows: Vec<Table4Row> = Vec::new();
+    for &n in &sizes {
+        eprintln!("  generating + evaluating {n} prefixes ...");
+        let row = run_table4_row(n, &opts).expect("evaluation succeeds");
+        eprintln!(
+            "    done in {:.1}s ({} F-tuples, {} R-tuples)",
+            row.total, row.f_tuples, row.q45.tuples
+        );
+        rows.push(row);
+    }
+
+    println!("\nTable 4 (reproduced): running time of reachability analysis");
+    println!("(times in seconds; Nm = milliseconds, Nu = microseconds)\n");
+    print_table(&rows);
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&rows).expect("serializable");
+        std::fs::write(&path, json).expect("writable path");
+        eprintln!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,239 @@
+//! # faure-bench — benchmark harness for the paper's Table 4
+//!
+//! Table 4 of the paper reports, per input size (1 000 / 10 000 /
+//! 100 000 / 922 067 prefixes) and per query (q4–q5 recursion, q6, q7,
+//! q8), the SQL-phase time, the Z3 time, and the number of tuples
+//! produced. This crate regenerates that table on the synthetic RIB
+//! workload:
+//!
+//! * [`run_table4_row`] evaluates the whole Listing 2 pipeline for one
+//!   prefix count and collects the per-query [`QueryStats`];
+//! * the `table4` binary sweeps the sizes and prints the table (plus a
+//!   machine-readable JSON dump for EXPERIMENTS.md);
+//! * the Criterion benches (`benches/`) track per-query latency at
+//!   fixed sizes, solver micro-costs, and the design ablations
+//!   (semi-naive vs naive fixpoint, solver pruning policies).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use faure_core::{evaluate_with, EvalError, EvalOptions, PrunePolicy};
+use faure_net::{queries, rib};
+use serde::Serialize;
+use std::time::Duration;
+
+/// Timing + size numbers for one query (one cell group of Table 4).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct QueryStats {
+    /// Relational-phase time ("sql" column), seconds.
+    pub sql: f64,
+    /// Solver-phase time ("Z3" column), seconds.
+    pub solver: f64,
+    /// Number of tuples produced ("#tuples" column).
+    pub tuples: usize,
+}
+
+impl QueryStats {
+    fn from_phase(stats: &faure_storage::PhaseStats) -> Self {
+        QueryStats {
+            sql: stats.relational.as_secs_f64(),
+            solver: stats.solver.as_secs_f64(),
+            tuples: stats.tuples,
+        }
+    }
+}
+
+/// One row of Table 4.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table4Row {
+    /// Input size (number of prefixes).
+    pub prefixes: usize,
+    /// RNG seed used for the workload.
+    pub seed: u64,
+    /// Size of the generated forwarding c-table.
+    pub f_tuples: usize,
+    /// q4–q5: all-pairs reachability (recursive).
+    pub q45: QueryStats,
+    /// q6: reachability under 2-link failure.
+    pub q6: QueryStats,
+    /// q7: point-to-point reachability under ȳ-failure.
+    pub q7: QueryStats,
+    /// q8: reachability with ≥ 1 of ȳ/z̄ failed.
+    pub q8: QueryStats,
+    /// Total wall-clock for the row, seconds.
+    pub total: f64,
+}
+
+/// Harness options.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOptions {
+    /// Workload seed.
+    pub seed: u64,
+    /// Evaluation options (prune policy, fixpoint strategy).
+    pub eval: EvalOptions,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            seed: rib::RibParams::default().seed,
+            eval: EvalOptions {
+                prune: PrunePolicy::EndOfStratum,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Builds the workload for `prefixes` prefixes (paper parameters: 5
+/// paths per prefix).
+pub fn workload(prefixes: usize, seed: u64) -> rib::RibWorkload {
+    rib::generate(&rib::RibParams {
+        prefixes,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Runs the full Listing 2 pipeline for one input size and returns the
+/// Table 4 row.
+pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Row, EvalError> {
+    let started = std::time::Instant::now();
+    let w = workload(prefixes, opts.seed);
+    let f_tuples = w.db.relation("F").map(|r| r.len()).unwrap_or(0);
+    let pair = rib::frequent_pair(&w).unwrap_or((0, 1));
+
+    // q4–q5: recursion over the whole workload. The stage order and
+    // explicit drops below keep at most two R-sized databases alive at
+    // once — the 100 000-prefix row otherwise exhausts a 16 GB machine.
+    let mut out_r = evaluate_with(&queries::reachability_program(), &w.db, &opts.eval)?;
+    drop(w);
+    let q45 = QueryStats::from_phase(&out_r.stats);
+
+    // The downstream queries read only R: strip F and move R into a
+    // slim database.
+    let mut r_db = faure_ctable::Database::new();
+    r_db.cvars = out_r.database.cvars.clone();
+    r_db.set_relation(
+        out_r
+            .database
+            .remove_relation("R")
+            .expect("q4-q5 derived R"),
+    );
+    drop(out_r);
+
+    // q8 reads R (run before q6 so only one derived stage is alive).
+    let out8 = evaluate_with(&queries::q8_reach_with_failure(pair.0), &r_db, &opts.eval)?;
+    let q8 = QueryStats::from_phase(&out8.stats);
+    drop(out8);
+
+    // q6 reads R.
+    let mut out6 = evaluate_with(&queries::q6_two_link_failure(), &r_db, &opts.eval)?;
+    let q6 = QueryStats::from_phase(&out6.stats);
+    drop(r_db);
+
+    // q7 reads T1 (nested query): strip everything else.
+    let mut t1_db = faure_ctable::Database::new();
+    t1_db.cvars = out6.database.cvars.clone();
+    t1_db.set_relation(
+        out6.database.remove_relation("T1").expect("q6 derived T1"),
+    );
+    drop(out6);
+    let out7 = evaluate_with(
+        &queries::q7_pair_under_y_failure(pair.0, pair.1),
+        &t1_db,
+        &opts.eval,
+    )?;
+    let q7 = QueryStats::from_phase(&out7.stats);
+
+    Ok(Table4Row {
+        prefixes,
+        seed: opts.seed,
+        f_tuples,
+        q45,
+        q6,
+        q7,
+        q8,
+        total: started.elapsed().as_secs_f64(),
+    })
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}")
+    } else if s >= 1e-3 {
+        format!("{:.2}m", s * 1e3)
+    } else {
+        format!("{:.0}u", s * 1e6)
+    }
+}
+
+/// Prints rows in the paper's Table 4 layout.
+pub fn print_table(rows: &[Table4Row]) {
+    println!(
+        "{:>9} | {:>8} | {:>8} {:>8} {:>9} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>8}",
+        "", "q4-q5", "q6", "", "", "q7", "", "", "q8", "", ""
+    );
+    println!(
+        "{:>9} | {:>8} | {:>8} {:>8} {:>9} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>8}",
+        "#prefix", "sql+slv", "sql", "solver", "#tuples", "sql", "solver", "#tuples", "sql",
+        "solver", "#tuples"
+    );
+    for r in rows {
+        println!(
+            "{:>9} | {:>8} | {:>8} {:>8} {:>9} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>8}",
+            r.prefixes,
+            fmt_secs(r.q45.sql + r.q45.solver),
+            fmt_secs(r.q6.sql),
+            fmt_secs(r.q6.solver),
+            r.q6.tuples,
+            fmt_secs(r.q7.sql),
+            fmt_secs(r.q7.solver),
+            r.q7.tuples,
+            fmt_secs(r.q8.sql),
+            fmt_secs(r.q8.solver),
+            r.q8.tuples,
+        );
+    }
+}
+
+/// Duration helper for the benches.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_small_row_runs() {
+        let row = run_table4_row(
+            25,
+            &HarnessOptions {
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(row.prefixes, 25);
+        assert!(row.f_tuples > 0);
+        assert!(row.q45.tuples >= row.f_tuples);
+        assert!(row.total > 0.0);
+        // q6 filters R: never more tuples than R.
+        assert!(row.q6.tuples <= row.q45.tuples);
+    }
+
+    #[test]
+    fn rows_serialize_to_json() {
+        let row = run_table4_row(10, &HarnessOptions::default()).unwrap();
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("\"prefixes\":10"));
+        assert!(json.contains("\"q6\""));
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        let row = run_table4_row(10, &HarnessOptions::default()).unwrap();
+        print_table(&[row]);
+    }
+}

@@ -1,0 +1,96 @@
+//! The `faure` binary — see the crate docs for the file formats.
+
+use faure_cli::{
+    cmd_check, cmd_eval, cmd_scenarios, cmd_sql, cmd_subsume, cmd_worlds, load_database,
+    parse_prune, CliError,
+};
+use faure_core::PrunePolicy;
+
+const USAGE: &str = "\
+faure — partial network analysis (HotNets '21 reproduction)
+
+USAGE:
+  faure eval <db.fdb> <program.fl> [--prune never|stratum|iteration|eager] [--relation R]
+  faure check <db.fdb> <constraint.fl>
+  faure scenarios <db.fdb> <constraint.fl> [--limit N]
+  faure subsume <target.fl> <known.fl>... [--domains db.fdb]
+  faure sql <db.fdb> \"SELECT ...\"
+  faure worlds <db.fdb> [--limit N]
+  faure help
+
+Database files (.fdb) hold `@cvar name in {..}` / `@cvar name open` /
+`@schema Name(attr, ...)` directives plus conditional facts like
+`F(1, 2) :- $x = 1.`; program files (.fl) hold fauré-log rules.
+";
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn run() -> Result<String, CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut prune = PrunePolicy::EndOfStratum;
+    let mut relation: Option<String> = None;
+    let mut limit = 64usize;
+    let mut domains: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--prune" => {
+                i += 1;
+                prune = parse_prune(args.get(i).map(String::as_str).unwrap_or(""))?;
+            }
+            "--relation" => {
+                i += 1;
+                relation = args.get(i).cloned();
+            }
+            "--limit" => {
+                i += 1;
+                limit = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| CliError("--limit takes an integer".into()))?;
+            }
+            "--domains" => {
+                i += 1;
+                domains = args.get(i).cloned();
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+
+    match positional.as_slice() {
+        ["eval", db, program] => cmd_eval(&read(db)?, &read(program)?, prune, relation.as_deref()),
+        ["check", db, constraint] => cmd_check(&read(db)?, &read(constraint)?),
+        ["scenarios", db, constraint] => cmd_scenarios(&read(db)?, &read(constraint)?, limit),
+        ["subsume", target, known @ ..] if !known.is_empty() => {
+            let reg = match &domains {
+                Some(path) => load_database(&read(path)?)?.cvars,
+                None => faure_ctable::CVarRegistry::new(),
+            };
+            let known_texts: Vec<String> = known
+                .iter()
+                .map(|k| read(k))
+                .collect::<Result<_, _>>()?;
+            cmd_subsume(&read(target)?, &known_texts, &reg)
+        }
+        ["sql", db, query] => cmd_sql(&read(db)?, query),
+        ["worlds", db] => cmd_worlds(&read(db)?, limit),
+        ["help"] | [] => Ok(USAGE.to_owned()),
+        other => Err(CliError(format!(
+            "unrecognised invocation {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

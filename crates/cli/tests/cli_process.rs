@@ -1,0 +1,129 @@
+//! End-to-end tests driving the built `faure` binary as a subprocess.
+
+use std::io::Write;
+use std::process::Command;
+
+fn faure() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_faure"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("faure-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const FIG1: &str = "\
+@cvar x in {0, 1}
+@cvar y in {0, 1}
+@cvar z in {0, 1}
+@schema F(f, n1, n2)
+F(1, 1, 2) :- $x = 1.
+F(1, 1, 3) :- $x = 0.
+F(1, 2, 3) :- $y = 1.
+F(1, 2, 4) :- $y = 0.
+F(1, 3, 5) :- $z = 1.
+F(1, 3, 4) :- $z = 0.
+F(1, 4, 5).
+";
+
+const REACH: &str = "\
+R(f, a, b) :- F(f, a, b).
+R(f, a, b) :- F(f, a, c), R(f, c, b).
+";
+
+#[test]
+fn help_prints_usage() {
+    let out = faure().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("faure eval"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = faure().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn eval_pipeline() {
+    let db = write_temp("fig1.fdb", FIG1);
+    let program = write_temp("reach.fl", REACH);
+    let out = faure()
+        .args(["eval", db.to_str().unwrap(), program.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("(1, 1, 5)"), "{text}");
+    assert!(text.contains("tuples"), "{text}");
+}
+
+#[test]
+fn check_reports_verdicts() {
+    let db = write_temp("fig1b.fdb", FIG1);
+    let holds = write_temp(
+        "holds.fl",
+        &format!("{REACH}panic :- F(f, a, b), !R(1, 1, 5).\n"),
+    );
+    let out = faure()
+        .args(["check", db.to_str().unwrap(), holds.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("HOLDS"));
+
+    let violated = write_temp(
+        "violated.fl",
+        &format!("{REACH}panic :- F(f, a, b), !R(1, 1, 4).\n"),
+    );
+    let out = faure()
+        .args([
+            "scenarios",
+            db.to_str().unwrap(),
+            violated.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 3, "{text}");
+}
+
+#[test]
+fn sql_subcommand() {
+    let db = write_temp("fig1c.fdb", FIG1);
+    let out = faure()
+        .args(["sql", db.to_str().unwrap(), "SELECT * FROM F WHERE n1 = 4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(1, 4, 5)"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let db = write_temp("bad.fdb", "@cvar broken\n");
+    let program = write_temp("p.fl", "R(a) :- F(a).\n");
+    let out = faure()
+        .args(["eval", db.to_str().unwrap(), program.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = faure()
+        .args(["eval", "/nonexistent.fdb", "/nonexistent.fl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,265 @@
+//! Static analysis of fauré-log programs: safety (range restriction)
+//! and stratification.
+//!
+//! *Safety* ensures evaluation terminates with finite answers: every
+//! rule variable in the head, in a negated atom, or in a comparison
+//! must be bound by a positive body atom.
+//!
+//! *Stratification* orders predicates so that a negated atom's relation
+//! is fully computed before the negation is evaluated — the usual
+//! stratified-datalog semantics the paper adopts for recursion plus
+//! "not derivable" negation (§3, §6: "recursive fauré-log is
+//! implemented by stratification").
+
+use crate::ast::{Literal, Program, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Static-analysis errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A rule variable is not bound by any positive body atom.
+    UnsafeVariable {
+        /// The offending rule (rendered).
+        rule: String,
+        /// The unbound variable.
+        variable: String,
+    },
+    /// The program has negation through recursion (no stratification).
+    NotStratifiable {
+        /// A predicate on the offending negative cycle.
+        predicate: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnsafeVariable { rule, variable } => {
+                write!(f, "unsafe variable `{variable}` in rule `{rule}`")
+            }
+            AnalysisError::NotStratifiable { predicate } => write!(
+                f,
+                "program is not stratifiable: predicate `{predicate}` is on a cycle through negation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Checks range restriction for one rule.
+pub fn check_rule_safety(rule: &Rule) -> Result<(), AnalysisError> {
+    let bound: BTreeSet<&str> = rule
+        .body
+        .iter()
+        .filter(|l| !l.is_negative())
+        .flat_map(|l| l.atom().variables())
+        .collect();
+    let mut need: Vec<&str> = rule.head.variables().collect();
+    for lit in rule.body.iter().filter(|l| l.is_negative()) {
+        need.extend(lit.atom().variables());
+    }
+    for cmp in &rule.comparisons {
+        need.extend(cmp.variables());
+    }
+    for v in need {
+        if !bound.contains(v) {
+            return Err(AnalysisError::UnsafeVariable {
+                rule: rule.to_string(),
+                variable: v.to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks safety of every rule in the program.
+pub fn check_safety(program: &Program) -> Result<(), AnalysisError> {
+    for r in &program.rules {
+        check_rule_safety(r)?;
+    }
+    Ok(())
+}
+
+/// A stratification: rule indices grouped by stratum, lowest first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stratification {
+    /// Stratum number per predicate.
+    pub pred_stratum: BTreeMap<String, usize>,
+    /// Rule indices per stratum.
+    pub strata: Vec<Vec<usize>>,
+}
+
+/// Computes a stratification of the program, or reports a negative
+/// cycle.
+///
+/// Uses the textbook iterative algorithm: `stratum(p) ≥ stratum(q)`
+/// when `p` depends positively on IDB predicate `q`, and
+/// `stratum(p) > stratum(q)` when the dependency is through negation.
+/// If a stratum value exceeds the number of IDB predicates the program
+/// contains a cycle through negation.
+pub fn stratify(program: &Program) -> Result<Stratification, AnalysisError> {
+    let idb: BTreeSet<&str> = program.idb_predicates();
+    let mut stratum: BTreeMap<&str, usize> = idb.iter().map(|&p| (p, 0)).collect();
+    let n = idb.len().max(1);
+
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed {
+        changed = false;
+        rounds += 1;
+        if rounds > n * n + 1 {
+            // Should be caught by the bound check below, but guard anyway.
+            break;
+        }
+        for rule in &program.rules {
+            let head = rule.head.pred.as_str();
+            let mut min_head = stratum[head];
+            for lit in &rule.body {
+                let p = lit.atom().pred.as_str();
+                if !idb.contains(p) {
+                    continue; // EDB predicates live in stratum 0
+                }
+                let required = match lit {
+                    Literal::Pos(_) => stratum[p],
+                    Literal::Neg(_) => stratum[p] + 1,
+                };
+                min_head = min_head.max(required);
+            }
+            if min_head > stratum[head] {
+                if min_head > n {
+                    return Err(AnalysisError::NotStratifiable {
+                        predicate: head.to_owned(),
+                    });
+                }
+                stratum.insert(head, min_head);
+                changed = true;
+            }
+        }
+    }
+
+    let max_stratum = stratum.values().copied().max().unwrap_or(0);
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); max_stratum + 1];
+    for (idx, rule) in program.rules.iter().enumerate() {
+        strata[stratum[rule.head.pred.as_str()]].push(idx);
+    }
+    Ok(Stratification {
+        pred_stratum: stratum
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+        strata,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_rule};
+
+    #[test]
+    fn safe_rule_passes() {
+        let r = parse_rule("R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).").unwrap();
+        assert!(check_rule_safety(&r).is_ok());
+    }
+
+    #[test]
+    fn unbound_head_variable_rejected() {
+        let r = parse_rule("R(a, b) :- F(a).").unwrap();
+        assert!(matches!(
+            check_rule_safety(&r),
+            Err(AnalysisError::UnsafeVariable { variable, .. }) if variable == "b"
+        ));
+    }
+
+    #[test]
+    fn negated_only_variable_rejected() {
+        let r = parse_rule("R(a) :- F(a), !G(b).").unwrap();
+        assert!(check_rule_safety(&r).is_err());
+    }
+
+    #[test]
+    fn comparison_only_variable_rejected() {
+        let r = parse_rule("R(a) :- F(a), b < 3.").unwrap();
+        assert!(check_rule_safety(&r).is_err());
+    }
+
+    #[test]
+    fn cvars_do_not_need_binding() {
+        // C-variables are c-domain symbols, not rule variables; they
+        // may appear anywhere (e.g. Listing 3's variable-free rules).
+        let r = parse_rule("Vt($x, CS, $p) :- R($x, CS, $p), $x != Mkt.").unwrap();
+        assert!(check_rule_safety(&r).is_ok());
+    }
+
+    #[test]
+    fn facts_are_safe() {
+        let r = parse_rule("Lb(Mkt, CS).").unwrap();
+        assert!(check_rule_safety(&r).is_ok());
+    }
+
+    #[test]
+    fn stratifies_negation_free_program_into_one_stratum() {
+        let p = parse_program(
+            "R(a, b) :- F(a, b).\n\
+             R(a, b) :- F(a, c), R(c, b).\n",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.strata.len(), 1);
+        assert_eq!(s.strata[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn negation_creates_second_stratum() {
+        let p = parse_program(
+            "R(a, b) :- F(a, b).\n\
+             Bad(a) :- N(a), !R(a, a).\n",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.pred_stratum["R"], 0);
+        assert_eq!(s.pred_stratum["Bad"], 1);
+        assert_eq!(s.strata.len(), 2);
+    }
+
+    #[test]
+    fn negative_cycle_rejected() {
+        let p = parse_program(
+            "P(a) :- N(a), !Q(a).\n\
+             Q(a) :- N(a), !P(a).\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            stratify(&p),
+            Err(AnalysisError::NotStratifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn positive_cycle_fine() {
+        let p = parse_program(
+            "P(a) :- Q(a).\n\
+             Q(a) :- P(a).\n\
+             Q(a) :- N(a).\n",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.strata.len(), 1);
+    }
+
+    #[test]
+    fn multi_level_strata() {
+        let p = parse_program(
+            "A(x) :- E(x).\n\
+             B(x) :- E(x), !A(x).\n\
+             C(x) :- E(x), !B(x).\n",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.pred_stratum["A"], 0);
+        assert_eq!(s.pred_stratum["B"], 1);
+        assert_eq!(s.pred_stratum["C"], 2);
+    }
+}

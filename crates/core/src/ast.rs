@@ -1,0 +1,439 @@
+//! Abstract syntax of fauré-log programs.
+//!
+//! A fauré-log rule (paper equation 3) has the form
+//!
+//! ```text
+//! H(u)[⋀φᵢ ∧ ⋀Cᵢ] :- B₁(u₁)[φ₁], …, Bₙ(uₙ)[φₙ], C₁, …, Cₘ.
+//! ```
+//!
+//! where the `uᵢ` are free tuples over rule **variables** plus symbols
+//! of the c-domain (constants *and c-variables*), and the `Cᵢ` are
+//! explicit comparisons. The condition manipulation (`[φ]` brackets) is
+//! implicit in the engine: body-row conditions and match conditions are
+//! conjoined automatically, so the AST carries only the data the
+//! programmer writes — atoms and comparisons.
+//!
+//! Negated body atoms mean *not derivable from the c-table* (§3); they
+//! are restricted to stratified use.
+
+use faure_ctable::{CmpOp, Const};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An argument position in an atom: rule variable, c-variable (by
+/// name), or constant.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ArgTerm {
+    /// A rule (datalog) variable, e.g. `f`, `n1`.
+    Var(String),
+    /// A c-variable reference, e.g. `$x` (the paper's `x̄`).
+    CVar(String),
+    /// A constant.
+    Cst(Const),
+}
+
+impl ArgTerm {
+    /// The variable name if this is a rule variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            ArgTerm::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ArgTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgTerm::Var(v) => write!(f, "{v}"),
+            ArgTerm::CVar(c) => write!(f, "${c}"),
+            ArgTerm::Cst(c) => match c {
+                Const::Sym(s) => {
+                    let text = s.as_str();
+                    let simple = text
+                        .chars()
+                        .next()
+                        .map(|ch| ch.is_ascii_uppercase())
+                        .unwrap_or(false)
+                        && text
+                            .chars()
+                            .all(|ch| ch.is_ascii_alphanumeric() || ch == '_');
+                    if simple {
+                        write!(f, "{text}")
+                    } else {
+                        write!(f, "{text:?}")
+                    }
+                }
+                other => write!(f, "{other}"),
+            },
+        }
+    }
+}
+
+/// A predicate atom `Pred(arg, …)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RuleAtom {
+    /// Predicate (relation) name.
+    pub pred: String,
+    /// Arguments; empty for 0-ary predicates like `panic`.
+    pub args: Vec<ArgTerm>,
+}
+
+impl RuleAtom {
+    /// Builds an atom.
+    pub fn new(pred: impl Into<String>, args: Vec<ArgTerm>) -> Self {
+        RuleAtom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// The rule variables occurring in the atom.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.args.iter().filter_map(ArgTerm::as_var)
+    }
+}
+
+impl fmt::Display for RuleAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.args.is_empty() {
+            return write!(f, "{}", self.pred);
+        }
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A body literal: positive or negated atom.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Literal {
+    /// Ordinary atom.
+    Pos(RuleAtom),
+    /// Negated atom — *not derivable from the c-table*.
+    Neg(RuleAtom),
+}
+
+impl Literal {
+    /// The underlying atom.
+    pub fn atom(&self) -> &RuleAtom {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a,
+        }
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_negative(&self) -> bool {
+        matches!(self, Literal::Neg(_))
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "!{a}"),
+        }
+    }
+}
+
+/// One side of an explicit comparison.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CompExpr {
+    /// A single argument term (variable, c-variable, or constant).
+    Arg(ArgTerm),
+    /// An integer linear expression over **c-variables**:
+    /// `Σ coefᵢ·$vᵢ + constant` (e.g. `$x + $y + $z`).
+    Lin {
+        /// Coefficient / c-variable-name pairs.
+        terms: Vec<(i64, String)>,
+        /// Additive constant.
+        constant: i64,
+    },
+}
+
+impl fmt::Display for CompExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompExpr::Arg(a) => write!(f, "{a}"),
+            CompExpr::Lin { terms, constant } => {
+                let mut first = true;
+                for (coef, name) in terms {
+                    if !first {
+                        f.write_str(" + ")?;
+                    }
+                    if *coef == 1 {
+                        write!(f, "${name}")?;
+                    } else {
+                        write!(f, "{coef}*${name}")?;
+                    }
+                    first = false;
+                }
+                if *constant != 0 || first {
+                    if !first {
+                        f.write_str(" + ")?;
+                    }
+                    write!(f, "{constant}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An explicit comparison `lhs op rhs` in a rule body.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Comparison {
+    /// Left side.
+    pub lhs: CompExpr,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right side.
+    pub rhs: CompExpr,
+}
+
+impl Comparison {
+    /// Rule variables referenced by the comparison.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for side in [&self.lhs, &self.rhs] {
+            if let CompExpr::Arg(ArgTerm::Var(v)) = side {
+                out.insert(v.as_str());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A fauré-log rule. Facts are rules with an empty body and no
+/// comparisons (the head must then be ground up to c-variables).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Head atom.
+    pub head: RuleAtom,
+    /// Body literals.
+    pub body: Vec<Literal>,
+    /// Explicit comparisons.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl Rule {
+    /// A fact (empty body).
+    pub fn fact(head: RuleAtom) -> Self {
+        Rule {
+            head,
+            body: Vec::new(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// Whether this rule is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.comparisons.is_empty()
+    }
+
+    /// All rule variables of the rule (head + body + comparisons).
+    pub fn variables(&self) -> BTreeSet<&str> {
+        let mut out: BTreeSet<&str> = self.head.variables().collect();
+        for lit in &self.body {
+            out.extend(lit.atom().variables());
+        }
+        for c in &self.comparisons {
+            out.extend(c.variables());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() || !self.comparisons.is_empty() {
+            f.write_str(" :- ")?;
+            let mut first = true;
+            for lit in &self.body {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{lit}")?;
+                first = false;
+            }
+            for c in &self.comparisons {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{c}")?;
+                first = false;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+/// A fauré-log program: an ordered collection of rules.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Predicates defined by some rule head (the IDB).
+    pub fn idb_predicates(&self) -> BTreeSet<&str> {
+        self.rules.iter().map(|r| r.head.pred.as_str()).collect()
+    }
+
+    /// Predicates referenced in bodies but never defined (the EDB).
+    pub fn edb_predicates(&self) -> BTreeSet<&str> {
+        let idb = self.idb_predicates();
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            for lit in &r.body {
+                let p = lit.atom().pred.as_str();
+                if !idb.contains(p) {
+                    out.insert(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// All c-variable names mentioned anywhere in the program.
+    pub fn cvar_names(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            for atom in std::iter::once(&r.head).chain(r.body.iter().map(Literal::atom)) {
+                for a in &atom.args {
+                    if let ArgTerm::CVar(name) = a {
+                        out.insert(name.as_str());
+                    }
+                }
+            }
+            for c in &r.comparisons {
+                for side in [&c.lhs, &c.rhs] {
+                    match side {
+                        CompExpr::Arg(ArgTerm::CVar(name)) => {
+                            out.insert(name.as_str());
+                        }
+                        CompExpr::Lin { terms, .. } => {
+                            out.extend(terms.iter().map(|(_, n)| n.as_str()));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Appends all rules of `other`.
+    pub fn extend(&mut self, other: Program) {
+        self.rules.extend(other.rules);
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(pred: &str, args: Vec<ArgTerm>) -> RuleAtom {
+        RuleAtom::new(pred, args)
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let r = Rule {
+            head: atom(
+                "R",
+                vec![
+                    ArgTerm::Var("f".into()),
+                    ArgTerm::Var("n1".into()),
+                    ArgTerm::Var("n2".into()),
+                ],
+            ),
+            body: vec![
+                Literal::Pos(atom(
+                    "F",
+                    vec![
+                        ArgTerm::Var("f".into()),
+                        ArgTerm::Var("n1".into()),
+                        ArgTerm::Var("n3".into()),
+                    ],
+                )),
+                Literal::Pos(atom(
+                    "R",
+                    vec![
+                        ArgTerm::Var("f".into()),
+                        ArgTerm::Var("n3".into()),
+                        ArgTerm::Var("n2".into()),
+                    ],
+                )),
+            ],
+            comparisons: vec![],
+        };
+        assert_eq!(r.to_string(), "R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).");
+    }
+
+    #[test]
+    fn program_edb_idb_split() {
+        let mut p = Program::new();
+        p.rules.push(Rule {
+            head: atom("R", vec![ArgTerm::Var("a".into())]),
+            body: vec![Literal::Pos(atom("F", vec![ArgTerm::Var("a".into())]))],
+            comparisons: vec![],
+        });
+        assert_eq!(p.idb_predicates().into_iter().collect::<Vec<_>>(), vec!["R"]);
+        assert_eq!(p.edb_predicates().into_iter().collect::<Vec<_>>(), vec!["F"]);
+    }
+
+    #[test]
+    fn cvar_names_found_everywhere() {
+        let mut p = Program::new();
+        p.rules.push(Rule {
+            head: atom("T", vec![ArgTerm::CVar("h".into())]),
+            body: vec![Literal::Pos(atom("R", vec![ArgTerm::CVar("b".into())]))],
+            comparisons: vec![Comparison {
+                lhs: CompExpr::Lin {
+                    terms: vec![(1, "x".into()), (1, "y".into())],
+                    constant: 0,
+                },
+                op: CmpOp::Eq,
+                rhs: CompExpr::Arg(ArgTerm::Cst(Const::Int(1))),
+            }],
+        });
+        let names: Vec<&str> = p.cvar_names().into_iter().collect();
+        assert_eq!(names, vec!["b", "h", "x", "y"]);
+    }
+
+    #[test]
+    fn fact_detection() {
+        let f = Rule::fact(atom("Lb", vec![ArgTerm::Cst(Const::sym("R&D"))]));
+        assert!(f.is_fact());
+        assert_eq!(f.to_string(), "Lb(\"R&D\").");
+    }
+}

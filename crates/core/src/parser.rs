@@ -1,0 +1,588 @@
+//! Textual syntax for fauré-log.
+//!
+//! The paper writes rules with overbars for c-variables; this parser
+//! uses an ASCII rendering:
+//!
+//! ```text
+//! % reachability as recursive query (Listing 2, q4–q5)
+//! R(f, n1, n2) :- F(f, n1, n2).
+//! R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).
+//!
+//! % failure patterns: comparisons over c-variables
+//! T1(f, n1, n2) :- R(f, n1, n2), $x + $y + $z = 1.
+//! T2(f, 2, 5)   :- T1(f, 2, 5), $y = 0.
+//!
+//! % constraints as 0-ary panic queries (Listing 3, q9)
+//! panic :- R(Mkt, CS, $p), !Fw(Mkt, CS).
+//! ```
+//!
+//! Lexical rules:
+//!
+//! * **rule variables** are identifiers starting with a lowercase
+//!   letter (`f`, `n1`);
+//! * **c-variables** are `$name` (the paper's `x̄` is written `$x`);
+//! * **constants** are: identifiers starting with an uppercase letter
+//!   (`Mkt`, `CS`), integers (`7000`), quoted strings (`"1.2.3.4"`,
+//!   `"R&D"`), and bracketed lists (`[A, B, C]`);
+//! * negation is `!` (or the keyword `not`) before an atom;
+//! * comparisons use `=`, `!=`, `<`, `<=`, `>`, `>=`; sides may be
+//!   linear sums of c-variables with integer coefficients
+//!   (`2*$x + $y + 1`);
+//! * `%` starts a line comment; rules end with `.`.
+
+use crate::ast::{ArgTerm, CompExpr, Comparison, Literal, Program, Rule, RuleAtom};
+use faure_ctable::{CmpOp, Const};
+use std::fmt;
+
+/// Parse errors with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the source.
+    pub pos: usize,
+    /// Line number (1-based).
+    pub line: usize,
+    /// Problem description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a fauré-log program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(src);
+    let mut program = Program::new();
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+        program.rules.push(p.rule()?);
+    }
+    Ok(program)
+}
+
+/// Parses a single rule (must consume the whole input).
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(src);
+    let r = p.rule()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after rule"));
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let line = self.src[..self.pos].bytes().filter(|&b| b == b'\n').count() + 1;
+        ParseError {
+            pos: self.pos,
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'%') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{token}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => {
+                self.pos += 1;
+            }
+            _ => return Err(self.err("expected identifier")),
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(&self.src[start..self.pos])
+    }
+
+    fn integer(&mut self) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == digits_start {
+            self.pos = start;
+            return Err(self.err("expected integer"));
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|e| self.err(format!("bad integer: {e}")))
+    }
+
+    fn quoted_string(&mut self) -> Result<String, ParseError> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other as char);
+                    }
+                    None => return Err(self.err("unterminated string")),
+                },
+                Some(b) => out.push(b as char),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    /// A constant: uppercase identifier, integer, string, or list.
+    fn constant(&mut self) -> Result<Const, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Const::sym(&self.quoted_string()?)),
+            Some(b'[') => {
+                self.expect("[")?;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() != Some(b']') {
+                    loop {
+                        items.push(self.constant()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect("]")?;
+                Ok(Const::list(items))
+            }
+            Some(b) if b.is_ascii_digit() || b == b'-' => Ok(Const::Int(self.integer()?)),
+            Some(b) if b.is_ascii_uppercase() => Ok(Const::sym(self.ident()?)),
+            _ => Err(self.err("expected constant")),
+        }
+    }
+
+    /// An atom argument.
+    fn arg(&mut self) -> Result<ArgTerm, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'$') => {
+                self.pos += 1;
+                Ok(ArgTerm::CVar(self.ident()?.to_owned()))
+            }
+            Some(b) if b.is_ascii_lowercase() || b == b'_' => {
+                Ok(ArgTerm::Var(self.ident()?.to_owned()))
+            }
+            _ => Ok(ArgTerm::Cst(self.constant()?)),
+        }
+    }
+
+    fn atom_with_name(&mut self, pred: String) -> Result<RuleAtom, ParseError> {
+        let mut args = Vec::new();
+        if self.eat("(") {
+            self.skip_ws();
+            if self.peek() != Some(b')') {
+                loop {
+                    args.push(self.arg()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect(")")?;
+        }
+        Ok(RuleAtom { pred, args })
+    }
+
+    /// One addend of a linear expression: `int`, `$cvar`, or `int*$cvar`.
+    fn lin_addend(&mut self) -> Result<(i64, Option<String>), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b'$') {
+            self.pos += 1;
+            return Ok((1, Some(self.ident()?.to_owned())));
+        }
+        let coef = self.integer()?;
+        if self.eat("*") {
+            self.skip_ws();
+            if self.peek() == Some(b'$') {
+                self.pos += 1;
+                return Ok((coef, Some(self.ident()?.to_owned())));
+            }
+            return Err(self.err("expected `$cvar` after `*`"));
+        }
+        Ok((coef, None))
+    }
+
+    /// One side of a comparison. Returns a `CompExpr`.
+    fn comp_expr(&mut self) -> Result<CompExpr, ParseError> {
+        self.skip_ws();
+        // Linear expression: starts with $cvar or integer, possibly
+        // followed by `+` chains or `*`.
+        let looks_linear = {
+            match self.peek() {
+                Some(b'$') => true,
+                Some(b) if b.is_ascii_digit() || b == b'-' => true,
+                _ => false,
+            }
+        };
+        if looks_linear {
+            let save = self.pos;
+            let (coef, var) = self.lin_addend()?;
+            let mut terms = Vec::new();
+            let mut constant = 0i64;
+            match var {
+                Some(v) => terms.push((coef, v)),
+                None => constant += coef,
+            }
+            let mut saw_plus = false;
+            while self.eat("+") {
+                saw_plus = true;
+                let (c, v) = self.lin_addend()?;
+                match v {
+                    Some(v) => terms.push((c, v)),
+                    None => constant += c,
+                }
+            }
+            if terms.is_empty() && !saw_plus {
+                // A bare integer: plain constant argument.
+                self.pos = save;
+                return Ok(CompExpr::Arg(ArgTerm::Cst(self.constant()?)));
+            }
+            if terms.len() == 1 && constant == 0 && terms[0].0 == 1 && !saw_plus {
+                // A bare `$x`: keep it a term so symbolic comparison works.
+                return Ok(CompExpr::Arg(ArgTerm::CVar(terms.pop_for_name())));
+            }
+            return Ok(CompExpr::Lin { terms, constant });
+        }
+        Ok(CompExpr::Arg(self.arg()?))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        self.skip_ws();
+        for (tok, op) in [
+            ("!=", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(tok) {
+                return Ok(op);
+            }
+        }
+        Err(self.err("expected comparison operator"))
+    }
+
+    /// Does a comparison operator come next (after optional whitespace)?
+    fn peeks_cmp_op(&self) -> bool {
+        let rest = self.src[self.pos..].trim_start();
+        rest.starts_with("!=")
+            || rest.starts_with("<")
+            || rest.starts_with(">")
+            || (rest.starts_with("=") && !rest.starts_with("=="))
+    }
+
+    /// A body item: negated atom, atom, or comparison.
+    fn body_item(&mut self) -> Result<BodyItem, ParseError> {
+        self.skip_ws();
+        // Negation: `!Atom` (but not `!=`) or `not Atom`.
+        if self.peek() == Some(b'!') && self.bytes.get(self.pos + 1) != Some(&b'=') {
+            self.pos += 1;
+            let name = self.ident()?.to_owned();
+            return Ok(BodyItem::Lit(Literal::Neg(self.atom_with_name(name)?)));
+        }
+        let save = self.pos;
+        // `not Atom` keyword form.
+        if let Ok(id) = self.ident() {
+            if id == "not" {
+                let name = self.ident()?.to_owned();
+                return Ok(BodyItem::Lit(Literal::Neg(self.atom_with_name(name)?)));
+            }
+            // An identifier: atom if followed by `(`; if followed by a
+            // comparison operator it is a variable/constant comparison;
+            // otherwise a 0-ary atom.
+            self.skip_ws();
+            if self.peek() == Some(b'(') {
+                return Ok(BodyItem::Lit(Literal::Pos(
+                    self.atom_with_name(id.to_owned())?,
+                )));
+            }
+            if self.peeks_cmp_op() {
+                let lhs = if id
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_lowercase() || c == '_')
+                    .unwrap_or(false)
+                {
+                    CompExpr::Arg(ArgTerm::Var(id.to_owned()))
+                } else {
+                    CompExpr::Arg(ArgTerm::Cst(Const::sym(id)))
+                };
+                let op = self.cmp_op()?;
+                let rhs = self.comp_expr()?;
+                return Ok(BodyItem::Cmp(Comparison { lhs, op, rhs }));
+            }
+            return Ok(BodyItem::Lit(Literal::Pos(RuleAtom {
+                pred: id.to_owned(),
+                args: Vec::new(),
+            })));
+        }
+        self.pos = save;
+        // Otherwise: comparison starting with a non-identifier
+        // ($cvar, integer, string, list).
+        let lhs = self.comp_expr()?;
+        let op = self.cmp_op()?;
+        let rhs = self.comp_expr()?;
+        Ok(BodyItem::Cmp(Comparison { lhs, op, rhs }))
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let name = self.ident()?.to_owned();
+        let head = self.atom_with_name(name)?;
+        let mut body = Vec::new();
+        let mut comparisons = Vec::new();
+        if self.eat(":-") {
+            loop {
+                match self.body_item()? {
+                    BodyItem::Lit(l) => body.push(l),
+                    BodyItem::Cmp(c) => comparisons.push(c),
+                }
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect(".")?;
+        Ok(Rule {
+            head,
+            body,
+            comparisons,
+        })
+    }
+}
+
+enum BodyItem {
+    Lit(Literal),
+    Cmp(Comparison),
+}
+
+/// Tiny helper: pops the single `(coef, name)` and returns the name.
+trait PopForName {
+    fn pop_for_name(&mut self) -> String;
+}
+
+impl PopForName for Vec<(i64, String)> {
+    fn pop_for_name(&mut self) -> String {
+        self.pop().expect("exactly one term").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_ctable::CmpOp;
+
+    #[test]
+    fn parses_listing2_q4_q5() {
+        let p = parse_program(
+            "% reachability\n\
+             R(f, n1, n2) :- F(f, n1, n2).\n\
+             R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[1].body.len(), 2);
+        assert_eq!(
+            p.rules[1].to_string(),
+            "R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2)."
+        );
+    }
+
+    #[test]
+    fn parses_failure_pattern_q6() {
+        let p = parse_rule("T1(f, n1, n2) :- R(f, n1, n2), $x + $y + $z = 1.").unwrap();
+        assert_eq!(p.comparisons.len(), 1);
+        match &p.comparisons[0].lhs {
+            CompExpr::Lin { terms, constant } => {
+                assert_eq!(terms.len(), 3);
+                assert_eq!(*constant, 0);
+            }
+            other => panic!("expected Lin, got {other:?}"),
+        }
+        assert_eq!(p.comparisons[0].op, CmpOp::Eq);
+    }
+
+    #[test]
+    fn parses_negation_and_panic() {
+        let p = parse_rule("panic :- R(Mkt, CS, $p), !Fw(Mkt, CS).").unwrap();
+        assert_eq!(p.head.pred, "panic");
+        assert!(p.head.args.is_empty());
+        assert_eq!(p.body.len(), 2);
+        assert!(p.body[1].is_negative());
+        assert_eq!(p.body[0].atom().args[2], ArgTerm::CVar("p".into()));
+        assert_eq!(p.body[0].atom().args[0], ArgTerm::Cst(Const::sym("Mkt")));
+    }
+
+    #[test]
+    fn parses_not_keyword() {
+        let p = parse_rule("panic :- R(a, b), not Lb(a, b).").unwrap();
+        assert!(p.body[1].is_negative());
+    }
+
+    #[test]
+    fn parses_quoted_and_list_constants() {
+        let p = parse_rule(r#"P("1.2.3.4", [A, B, C]) :- Q("R&D")."#).unwrap();
+        assert_eq!(p.head.args[0], ArgTerm::Cst(Const::sym("1.2.3.4")));
+        assert_eq!(p.head.args[1], ArgTerm::Cst(Const::path(&["A", "B", "C"])));
+        assert_eq!(p.body[0].atom().args[0], ArgTerm::Cst(Const::sym("R&D")));
+    }
+
+    #[test]
+    fn parses_facts() {
+        let p = parse_program("Lb(\"R&D\", GS).\nF(1, 2).\n").unwrap();
+        assert!(p.rules.iter().all(Rule::is_fact));
+        assert_eq!(p.rules[1].head.args[0], ArgTerm::Cst(Const::Int(1)));
+    }
+
+    #[test]
+    fn parses_cvar_comparisons() {
+        let p = parse_rule("T2(f) :- T1(f), $y = 0.").unwrap();
+        assert_eq!(p.comparisons.len(), 1);
+        assert_eq!(
+            p.comparisons[0].lhs,
+            CompExpr::Arg(ArgTerm::CVar("y".into()))
+        );
+        let q = parse_rule("V($x) :- R($x), $x != Mkt, $x != 7000.").unwrap();
+        assert_eq!(q.comparisons.len(), 2);
+        assert_eq!(q.comparisons[1].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn parses_var_comparison() {
+        let p = parse_rule("S(x) :- R(x, y), y != 3.").unwrap();
+        assert_eq!(p.comparisons.len(), 1);
+        assert_eq!(p.comparisons[0].lhs, CompExpr::Arg(ArgTerm::Var("y".into())));
+    }
+
+    #[test]
+    fn parses_coefficients() {
+        let p = parse_rule("T(f) :- R(f), 2*$x + $y + 1 < 4.").unwrap();
+        match &p.comparisons[0].lhs {
+            CompExpr::Lin { terms, constant } => {
+                assert_eq!(terms, &vec![(2, "x".to_string()), (1, "y".to_string())]);
+                assert_eq!(*constant, 1);
+            }
+            other => panic!("expected Lin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_rhs_integer() {
+        let p = parse_rule("T(f) :- R(f), $y + $z < 2.").unwrap();
+        assert_eq!(
+            p.comparisons[0].rhs,
+            CompExpr::Arg(ArgTerm::Cst(Const::Int(2)))
+        );
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_program("R(a) :- F(a).\nbad rule here\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn error_on_missing_period() {
+        assert!(parse_rule("R(a) :- F(a)").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let src = "T1(f, n1, n2) :- R(f, n1, n2), !Fw(n1, n2), $x + $y = 1, n1 != 3.";
+        let r = parse_rule(src).unwrap();
+        let printed = r.to_string();
+        let r2 = parse_rule(&printed).unwrap();
+        assert_eq!(r, r2);
+    }
+}

@@ -1,0 +1,366 @@
+//! Reference evaluator: pure datalog over one possible world.
+//!
+//! Loss-less modeling (§4) is the claim that fauré-log on a c-table is
+//! equivalent to *iterating pure datalog over every possible world*.
+//! This module provides the right-hand side of that equivalence: a
+//! deliberately simple, naive-fixpoint, ground evaluator. It shares no
+//! code with the c-table engine, so agreement between the two is
+//! meaningful evidence (see the `faure-tests` crate's property suites).
+//!
+//! A program's c-variables are resolved through the world's
+//! [`Assignment`] — in a concrete world the "unknowns" have values, so
+//! `$x` in a rule simply denotes that value.
+
+use crate::analysis::{check_safety, stratify, AnalysisError};
+use crate::ast::{ArgTerm, CompExpr, Comparison, Literal, Program, Rule};
+use faure_ctable::{Assignment, CVarRegistry, Const, GroundDatabase, GroundTuple};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Errors from the reference evaluator.
+#[derive(Debug)]
+pub enum RefError {
+    /// Static analysis rejected the program.
+    Analysis(AnalysisError),
+    /// A c-variable in the program has no value in the world's
+    /// assignment.
+    UnboundCVar(String),
+    /// A linear expression met a non-integer value.
+    NonNumeric(String),
+}
+
+impl fmt::Display for RefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefError::Analysis(e) => write!(f, "{e}"),
+            RefError::UnboundCVar(n) => {
+                write!(f, "c-variable ${n} has no value in the world assignment")
+            }
+            RefError::NonNumeric(n) => {
+                write!(f, "non-integer value for ${n} in linear expression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefError {}
+
+impl From<AnalysisError> for RefError {
+    fn from(e: AnalysisError) -> Self {
+        RefError::Analysis(e)
+    }
+}
+
+/// Evaluates `program` on a single ground world, resolving `$cvar`
+/// references through `reg` + the world's assignment. Returns the
+/// derived relations (IDB only).
+pub fn evaluate_ground(
+    program: &Program,
+    reg: &CVarRegistry,
+    world: &GroundDatabase,
+) -> Result<BTreeMap<String, BTreeSet<GroundTuple>>, RefError> {
+    check_safety(program)?;
+    let strat = stratify(program)?;
+
+    // Resolve every program c-variable to a constant up front.
+    let mut cvals: HashMap<&str, Const> = HashMap::new();
+    for name in program.cvar_names() {
+        let id = reg
+            .by_name(name)
+            .ok_or_else(|| RefError::UnboundCVar(name.to_owned()))?;
+        let val = world
+            .assignment
+            .get(id)
+            .ok_or_else(|| RefError::UnboundCVar(name.to_owned()))?;
+        cvals.insert(name, val.clone());
+    }
+
+    let mut rels: BTreeMap<String, BTreeSet<GroundTuple>> = BTreeMap::new();
+    // Seed with the world's EDB contents.
+    for (name, rel) in &world.relations {
+        rels.insert(name.clone(), rel.tuples.clone());
+    }
+    // Ensure every mentioned predicate exists.
+    for rule in &program.rules {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(Literal::atom)) {
+            rels.entry(atom.pred.clone()).or_default();
+        }
+    }
+
+    for stratum in &strat.strata {
+        let rules: Vec<&Rule> = stratum.iter().map(|&i| &program.rules[i]).collect();
+        loop {
+            let mut changed = false;
+            for rule in &rules {
+                let derived = eval_rule_ground(rule, &cvals, &rels)?;
+                let target = rels.entry(rule.head.pred.clone()).or_default();
+                for t in derived {
+                    if target.insert(t) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // Return only the IDB.
+    let idb: BTreeSet<&str> = program.idb_predicates();
+    Ok(rels
+        .into_iter()
+        .filter(|(k, _)| idb.contains(k.as_str()))
+        .collect())
+}
+
+type Theta<'r> = HashMap<&'r str, Const>;
+
+fn eval_rule_ground(
+    rule: &Rule,
+    cvals: &HashMap<&str, Const>,
+    rels: &BTreeMap<String, BTreeSet<GroundTuple>>,
+) -> Result<Vec<GroundTuple>, RefError> {
+    let mut out = Vec::new();
+    let positives: Vec<&crate::ast::RuleAtom> = rule
+        .body
+        .iter()
+        .filter(|l| !l.is_negative())
+        .map(Literal::atom)
+        .collect();
+    let mut theta: Theta = HashMap::new();
+    join_ground(rule, &positives, 0, cvals, rels, &mut theta, &mut out)?;
+    Ok(out)
+}
+
+fn resolve_arg<'r>(
+    arg: &'r ArgTerm,
+    cvals: &HashMap<&str, Const>,
+    theta: &Theta<'r>,
+) -> Option<Const> {
+    match arg {
+        ArgTerm::Cst(c) => Some(c.clone()),
+        ArgTerm::CVar(n) => cvals.get(n.as_str()).cloned(),
+        ArgTerm::Var(v) => theta.get(v.as_str()).cloned(),
+    }
+}
+
+fn join_ground<'r>(
+    rule: &'r Rule,
+    positives: &[&'r crate::ast::RuleAtom],
+    depth: usize,
+    cvals: &HashMap<&str, Const>,
+    rels: &BTreeMap<String, BTreeSet<GroundTuple>>,
+    theta: &mut Theta<'r>,
+    out: &mut Vec<GroundTuple>,
+) -> Result<(), RefError> {
+    if depth == positives.len() {
+        return finish_ground(rule, cvals, rels, theta, out);
+    }
+    let atom = positives[depth];
+    let Some(rel) = rels.get(&atom.pred) else {
+        return Ok(());
+    };
+    'rows: for row in rel {
+        if row.len() != atom.args.len() {
+            continue;
+        }
+        let mut bound_here: Vec<&'r str> = Vec::new();
+        for (arg, cell) in atom.args.iter().zip(row) {
+            match arg {
+                ArgTerm::Var(v) => match theta.get(v.as_str()) {
+                    Some(prev) => {
+                        if prev != cell {
+                            for b in bound_here.drain(..) {
+                                theta.remove(b);
+                            }
+                            continue 'rows;
+                        }
+                    }
+                    None => {
+                        theta.insert(v.as_str(), cell.clone());
+                        bound_here.push(v.as_str());
+                    }
+                },
+                other => {
+                    let want = resolve_arg(other, cvals, theta)
+                        .expect("constants and c-values always resolve");
+                    if want != *cell {
+                        for b in bound_here.drain(..) {
+                            theta.remove(b);
+                        }
+                        continue 'rows;
+                    }
+                }
+            }
+        }
+        join_ground(rule, positives, depth + 1, cvals, rels, theta, out)?;
+        for b in bound_here {
+            theta.remove(b);
+        }
+    }
+    Ok(())
+}
+
+fn finish_ground<'r>(
+    rule: &'r Rule,
+    cvals: &HashMap<&str, Const>,
+    rels: &BTreeMap<String, BTreeSet<GroundTuple>>,
+    theta: &Theta<'r>,
+    out: &mut Vec<GroundTuple>,
+) -> Result<(), RefError> {
+    // Negated atoms: tuple must be absent.
+    for lit in rule.body.iter().filter(|l| l.is_negative()) {
+        let atom = lit.atom();
+        let tuple: Vec<Const> = atom
+            .args
+            .iter()
+            .map(|a| resolve_arg(a, cvals, theta).expect("safety guarantees binding"))
+            .collect();
+        if rels.get(&atom.pred).is_some_and(|r| r.contains(&tuple)) {
+            return Ok(());
+        }
+    }
+    // Comparisons.
+    for cmp in &rule.comparisons {
+        if !eval_comparison(cmp, cvals, theta)? {
+            return Ok(());
+        }
+    }
+    out.push(
+        rule.head
+            .args
+            .iter()
+            .map(|a| resolve_arg(a, cvals, theta).expect("safety guarantees binding"))
+            .collect(),
+    );
+    Ok(())
+}
+
+fn eval_comparison(
+    cmp: &Comparison,
+    cvals: &HashMap<&str, Const>,
+    theta: &Theta<'_>,
+) -> Result<bool, RefError> {
+    let side = |e: &CompExpr| -> Result<Const, RefError> {
+        match e {
+            CompExpr::Arg(a) => Ok(resolve_arg(a, cvals, theta)
+                .expect("safety guarantees binding")),
+            CompExpr::Lin { terms, constant } => {
+                let mut acc = *constant;
+                for (coef, name) in terms {
+                    let v = cvals
+                        .get(name.as_str())
+                        .ok_or_else(|| RefError::UnboundCVar(name.clone()))?;
+                    let i = v
+                        .as_int()
+                        .ok_or_else(|| RefError::NonNumeric(name.clone()))?;
+                    acc += coef * i;
+                }
+                Ok(Const::Int(acc))
+            }
+        }
+    };
+    let l = side(&cmp.lhs)?;
+    let r = side(&cmp.rhs)?;
+    Ok(cmp.op.eval(l.cmp(&r)))
+}
+
+/// Derived relations, as the reference evaluator reports them.
+pub type GroundResult = BTreeMap<String, BTreeSet<GroundTuple>>;
+
+/// Convenience: evaluates the program in **every** world of `db` and
+/// returns, per world, the derived relations. Used by the
+/// loss-lessness test suites.
+pub fn evaluate_all_worlds(
+    program: &Program,
+    db: &faure_ctable::Database,
+) -> Result<Vec<(Assignment, GroundResult)>, Box<dyn std::error::Error>> {
+    let mut out = Vec::new();
+    for world in faure_ctable::worlds::WorldIter::new(db, None)? {
+        let res = evaluate_ground(program, &db.cvars, &world)?;
+        out.push((world.assignment, res));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use faure_ctable::{
+        examples::table2_path_db, worlds::WorldIter, CTuple, Database, Domain, Schema, Term,
+    };
+
+    #[test]
+    fn ground_transitive_closure() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for (a, b) in [(1, 2), (2, 3)] {
+            db.insert("E", CTuple::new([Term::int(a), Term::int(b)]))
+                .unwrap();
+        }
+        let program = parse_program(
+            "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n",
+        )
+        .unwrap();
+        let world = WorldIter::new(&db, None).unwrap().next().unwrap();
+        let res = evaluate_ground(&program, &db.cvars, &world).unwrap();
+        assert_eq!(res["R"].len(), 3);
+    }
+
+    #[test]
+    fn cvar_comparisons_resolve_through_assignment() {
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Bool01);
+        db.create_relation(Schema::new("N", &["a"])).unwrap();
+        db.insert("N", CTuple::new([Term::int(7)])).unwrap();
+        // Make x̄ relevant so worlds enumerate it.
+        db.insert(
+            "N",
+            CTuple::with_cond(
+                [Term::int(8)],
+                faure_ctable::Condition::eq(Term::Var(x), Term::int(1)),
+            ),
+        )
+        .unwrap();
+        let program = parse_program("T(a) :- N(a), $x = 1.\n").unwrap();
+        for world in WorldIter::new(&db, None).unwrap() {
+            let res = evaluate_ground(&program, &db.cvars, &world).unwrap();
+            let x_is_1 = world.assignment.get(x) == Some(&faure_ctable::Const::Int(1));
+            if x_is_1 {
+                assert_eq!(res["T"].len(), 2);
+            } else {
+                assert!(res["T"].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn negation_in_ground_worlds() {
+        let (db, _) = table2_path_db();
+        let program = parse_program(
+            r#"Unpriced(d) :- P(d, p), !C(p, 3)."#,
+        )
+        .unwrap();
+        // Just check it runs in every world without error; semantics are
+        // cross-checked against the c-table engine in faure-tests.
+        for world in WorldIter::new(&db, None).unwrap() {
+            let _ = evaluate_ground(&program, &db.cvars, &world).unwrap();
+        }
+    }
+
+    #[test]
+    fn unbound_cvar_reported() {
+        let db = Database::new();
+        let program = parse_program("T(a) :- N(a), $ghost = 1.\n").unwrap();
+        let world = GroundDatabase {
+            assignment: Assignment::new(),
+            relations: BTreeMap::new(),
+        };
+        assert!(matches!(
+            evaluate_ground(&program, &db.cvars, &world),
+            Err(RefError::UnboundCVar(_))
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! Databases: named collections of c-tables sharing one c-variable
+//! registry.
+
+use crate::cvar::{CVarId, CVarRegistry, Domain};
+use crate::error::CtableError;
+use crate::relation::{CTuple, Relation, Schema};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fauré database: a c-variable registry plus named c-tables.
+///
+/// All relations of a database share the registry, so a c-variable may
+/// appear in several tables (e.g. the same link-state variable in both
+/// `F` and the derived `R` of Table 3).
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    /// Registry of all c-variables.
+    pub cvars: CVarRegistry,
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a fresh c-variable.
+    pub fn fresh_cvar(&mut self, name: impl Into<String>, domain: Domain) -> CVarId {
+        self.cvars.fresh(name, domain)
+    }
+
+    /// Creates an empty relation; errors if the name is taken.
+    pub fn create_relation(&mut self, schema: Schema) -> Result<(), CtableError> {
+        if self.relations.contains_key(&schema.name) {
+            return Err(CtableError::DuplicateRelation(schema.name));
+        }
+        self.relations
+            .insert(schema.name.clone(), Relation::empty(schema));
+        Ok(())
+    }
+
+    /// Inserts (or replaces) a relation wholesale.
+    pub fn set_relation(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.schema.name.clone(), relation);
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Looks up a relation mutably.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Removes a relation, returning it if present.
+    pub fn remove_relation(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Appends a tuple to the named relation.
+    pub fn insert(&mut self, name: &str, tuple: CTuple) -> Result<(), CtableError> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| CtableError::UnknownRelation(name.to_owned()))?
+            .push(tuple)
+    }
+
+    /// Names of all relations (sorted).
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Iterator over all relations (sorted by name).
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in self.relations.values() {
+            writeln!(f, "{}({}):", rel.schema.name, rel.schema.attrs.join(", "))?;
+            for t in rel.iter() {
+                writeln!(f, "  {}", t.display(&self.cvars))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn create_and_insert() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("F", &["a", "b"])).unwrap();
+        db.insert("F", CTuple::new([Term::int(1), Term::int(2)]))
+            .unwrap();
+        assert_eq!(db.relation("F").unwrap().len(), 1);
+        assert_eq!(db.total_tuples(), 1);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("F", &["a"])).unwrap();
+        assert_eq!(
+            db.create_relation(Schema::new("F", &["a"])),
+            Err(CtableError::DuplicateRelation("F".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.insert("X", CTuple::new([Term::int(1)])),
+            Err(CtableError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("P", &["dest", "path"]))
+            .unwrap();
+        db.insert(
+            "P",
+            CTuple::new([Term::sym("1.2.3.4"), Term::sym("[ABC]")]),
+        )
+        .unwrap();
+        let shown = db.to_string();
+        assert!(shown.contains("P(dest, path):"));
+        assert!(shown.contains("(1.2.3.4, [ABC])"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the c-table layer.
+
+use std::fmt;
+
+/// Errors raised while building or manipulating c-tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtableError {
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Schema arity.
+        expected: usize,
+        /// Tuple arity.
+        got: usize,
+    },
+    /// A relation name was not found in the database.
+    UnknownRelation(String),
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// Possible-world enumeration would exceed the configured limit.
+    WorldLimitExceeded {
+        /// Number of worlds that enumeration would visit.
+        worlds: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// Possible-world enumeration requires finite domains, but a
+    /// c-variable has an open domain.
+    OpenDomain(String),
+}
+
+impl fmt::Display for CtableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtableError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch in relation {relation}: schema has {expected} attributes, tuple has {got}"
+            ),
+            CtableError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            CtableError::DuplicateRelation(name) => {
+                write!(f, "relation {name} already exists")
+            }
+            CtableError::WorldLimitExceeded { worlds, limit } => write!(
+                f,
+                "possible-world enumeration needs {worlds} worlds, above the limit of {limit}"
+            ),
+            CtableError::OpenDomain(name) => write!(
+                f,
+                "c-variable {name}' has an open domain; possible worlds cannot be enumerated"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CtableError {}

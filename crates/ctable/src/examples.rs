@@ -1,0 +1,116 @@
+//! Ready-made example databases from the paper, used across the test
+//! suites, documentation, and the quickstart example.
+
+use crate::condition::Condition;
+use crate::cvar::{CVarId, Domain};
+use crate::database::Database;
+use crate::relation::{CTuple, Schema};
+use crate::term::Term;
+use crate::value::Const;
+
+/// Handles to the c-variables of the Table 2 database.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2Vars {
+    /// `x̄` — the unknown path of destination `1.2.3.4`.
+    pub x: CVarId,
+    /// `ȳ` — the unknown destination using path `[ABE]`.
+    pub y: CVarId,
+}
+
+/// Builds the paper's Table 2 database **PATH′ = {Pⁱ, C}**.
+///
+/// * `Pⁱ(dest, path)` is a c-table:
+///   * `(1.2.3.4, x̄)` with `x̄ = [ABC] ∨ x̄ = [ADEC]`,
+///   * `(ȳ, [ABE])` with `ȳ ≠ 1.2.3.4`,
+///   * `(1.2.3.6, [ADEC])` with the empty condition.
+/// * `C(path, cost)` is a regular table mapping `[ABC]↦3`,
+///   `[ADEC]↦4`, `[ABE]↦3`.
+///
+/// Domains: `x̄ ∈ {[ABC], [ADEC]}`, `ȳ ∈ {1.2.3.4, 1.2.3.5, 1.2.3.6}` —
+/// finite so possible worlds can be enumerated in tests.
+pub fn table2_path_db() -> (Database, Table2Vars) {
+    let abc = Const::path(&["A", "B", "C"]);
+    let adec = Const::path(&["A", "D", "E", "C"]);
+    let abe = Const::path(&["A", "B", "E"]);
+
+    let mut db = Database::new();
+    let x = db.fresh_cvar("x", Domain::Consts(vec![abc.clone(), adec.clone()]));
+    let y = db.fresh_cvar(
+        "y",
+        Domain::Consts(vec![
+            Const::sym("1.2.3.4"),
+            Const::sym("1.2.3.5"),
+            Const::sym("1.2.3.6"),
+        ]),
+    );
+
+    db.create_relation(Schema::new("P", &["dest", "path"]))
+        .expect("fresh database");
+    db.insert(
+        "P",
+        CTuple::with_cond(
+            [Term::sym("1.2.3.4"), Term::Var(x)],
+            Condition::eq(Term::Var(x), Term::Const(abc.clone()))
+                .or(Condition::eq(Term::Var(x), Term::Const(adec.clone()))),
+        ),
+    )
+    .expect("arity 2");
+    db.insert(
+        "P",
+        CTuple::with_cond(
+            [Term::Var(y), Term::Const(abe.clone())],
+            Condition::ne(Term::Var(y), Term::sym("1.2.3.4")),
+        ),
+    )
+    .expect("arity 2");
+    db.insert(
+        "P",
+        CTuple::new([Term::sym("1.2.3.6"), Term::Const(adec.clone())]),
+    )
+    .expect("arity 2");
+
+    db.create_relation(Schema::new("C", &["path", "cost"]))
+        .expect("fresh database");
+    for (path, cost) in [(abc, 3), (adec, 4), (abe, 3)] {
+        db.insert("C", CTuple::new([Term::Const(path), Term::int(cost)]))
+            .expect("arity 2");
+    }
+
+    (db, Table2Vars { x, y })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::all_worlds;
+
+    #[test]
+    fn table2_shape() {
+        let (db, _) = table2_path_db();
+        assert_eq!(db.relation("P").unwrap().len(), 3);
+        assert_eq!(db.relation("C").unwrap().len(), 3);
+        assert!(db.relation("P").unwrap().is_conditional());
+        assert!(!db.relation("C").unwrap().is_conditional());
+    }
+
+    #[test]
+    fn table2_worlds() {
+        let (db, _) = table2_path_db();
+        // |dom(x̄)| * |dom(ȳ)| = 2 * 3 = 6 worlds.
+        let worlds = all_worlds(&db).unwrap();
+        assert_eq!(worlds.len(), 6);
+        for w in &worlds {
+            let p = w.relation("P").unwrap();
+            // Row 2 drops out exactly when ȳ = 1.2.3.4.
+            let has_abe_row = p
+                .tuples
+                .iter()
+                .any(|t| t[1] == Const::path(&["A", "B", "E"]));
+            let y_is_1234 = w
+                .assignment
+                .iter()
+                .any(|(_, c)| *c == Const::sym("1.2.3.4"));
+            assert_eq!(has_abe_row, !y_is_1234);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! C-tuples, schemas, and relations (c-tables).
+
+use crate::condition::Condition;
+use crate::cvar::CVarRegistry;
+use crate::error::CtableError;
+use crate::term::Term;
+use std::fmt;
+
+/// One row of a c-table: a vector of terms plus a condition.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CTuple {
+    /// Cell values (one per schema attribute).
+    pub terms: Vec<Term>,
+    /// Row condition; [`Condition::True`] is the empty condition.
+    pub cond: Condition,
+}
+
+impl CTuple {
+    /// A tuple with the empty (always-true) condition.
+    pub fn new<I: IntoIterator<Item = Term>>(terms: I) -> Self {
+        CTuple {
+            terms: terms.into_iter().collect(),
+            cond: Condition::True,
+        }
+    }
+
+    /// A tuple with an explicit condition.
+    pub fn with_cond<I: IntoIterator<Item = Term>>(terms: I, cond: Condition) -> Self {
+        CTuple {
+            terms: terms.into_iter().collect(),
+            cond,
+        }
+    }
+
+    /// Arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether every cell is a constant (the condition may still
+    /// mention c-variables).
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(Term::is_const)
+    }
+
+    /// Renders with c-variable names from `reg`.
+    pub fn display<'a>(&'a self, reg: &'a CVarRegistry) -> CTupleDisplay<'a> {
+        CTupleDisplay { tuple: self, reg }
+    }
+}
+
+/// Helper returned by [`CTuple::display`].
+pub struct CTupleDisplay<'a> {
+    tuple: &'a CTuple,
+    reg: &'a CVarRegistry,
+}
+
+impl fmt::Display for CTupleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, t) in self.tuple.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}", t.display(self.reg))?;
+        }
+        f.write_str(")")?;
+        if self.tuple.cond != Condition::True {
+            write!(f, " [{}]", self.tuple.cond.display(self.reg))?;
+        }
+        Ok(())
+    }
+}
+
+/// Relation schema: a name plus attribute names.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    /// Relation (predicate) name, e.g. `"F"` or `"R"`.
+    pub name: String,
+    /// Attribute names, e.g. `["source", "dest"]`.
+    pub attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema.
+    pub fn new(name: impl Into<String>, attrs: &[&str]) -> Self {
+        Schema {
+            name: name.into(),
+            attrs: attrs.iter().map(|a| (*a).to_owned()).collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of attribute `attr`, if present.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+}
+
+/// A c-table: a schema plus a set of c-tuples.
+///
+/// Tuples are stored in insertion order; duplicate rows (same terms and
+/// condition) are permitted at this layer — the storage engine
+/// deduplicates and merges conditions.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Relation {
+    /// Relation schema.
+    pub schema: Schema,
+    /// The rows.
+    pub tuples: Vec<CTuple>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a row, checking its arity against the schema.
+    pub fn push(&mut self, tuple: CTuple) -> Result<(), CtableError> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(CtableError::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Appends a row of constants with the empty condition.
+    pub fn push_facts<I>(&mut self, rows: I) -> Result<(), CtableError>
+    where
+        I: IntoIterator<Item = Vec<Term>>,
+    {
+        for row in rows {
+            self.push(CTuple::new(row))?;
+        }
+        Ok(())
+    }
+
+    /// Iterator over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, CTuple> {
+        self.tuples.iter()
+    }
+
+    /// Whether any cell of any row contains a c-variable or any row has
+    /// a non-trivial condition — i.e. whether this is a *proper*
+    /// c-table rather than an ordinary relation.
+    pub fn is_conditional(&self) -> bool {
+        self.tuples
+            .iter()
+            .any(|t| !t.is_ground() || t.cond != Condition::True)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::cvar::{CVarRegistry, Domain};
+    use crate::term::Term;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new("R", &["subnet", "server", "port"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_index("server"), Some(1));
+        assert_eq!(s.attr_index("nope"), None);
+    }
+
+    #[test]
+    fn push_checks_arity() {
+        let mut r = Relation::empty(Schema::new("F", &["a", "b"]));
+        assert!(r.push(CTuple::new([Term::int(1), Term::int(2)])).is_ok());
+        let err = r.push(CTuple::new([Term::int(1)])).unwrap_err();
+        assert!(err.to_string().contains("arity"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn conditional_detection() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let mut r = Relation::empty(Schema::new("F", &["a", "b"]));
+        r.push(CTuple::new([Term::int(1), Term::int(2)])).unwrap();
+        assert!(!r.is_conditional());
+        r.push(CTuple::with_cond(
+            [Term::int(1), Term::int(3)],
+            Condition::eq(Term::Var(x), Term::int(0)),
+        ))
+        .unwrap();
+        assert!(r.is_conditional());
+    }
+
+    #[test]
+    fn tuple_display() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let t = CTuple::with_cond(
+            [Term::int(1), Term::Var(x)],
+            Condition::eq(Term::Var(x), Term::int(1)),
+        );
+        assert_eq!(t.display(&reg).to_string(), "(1, x') [x' = 1]");
+    }
+}

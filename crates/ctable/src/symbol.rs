@@ -1,0 +1,143 @@
+//! Global string interner.
+//!
+//! Symbolic constants (node names, subnet names, AS numbers rendered as
+//! strings, …) occur millions of times in large forwarding states, so
+//! they are interned once and afterwards represented by a `u32` index.
+//! Interning is global (process-wide) so symbols from different
+//! databases compare directly; the table only ever grows, which is the
+//! standard leak-free-enough trade-off for interners in analysis tools.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string. Cheap to copy, hash, and compare.
+///
+/// Ordering of two `Symbol`s follows the *string* contents (not the
+/// creation order), so sorted output is stable regardless of interning
+/// order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    lookup: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            lookup: HashMap::new(),
+        })
+    })
+}
+
+/// Interns `name`, returning its [`Symbol`].
+///
+/// Repeated calls with equal strings return equal symbols.
+pub fn intern(name: &str) -> Symbol {
+    let lock = interner();
+    if let Some(&id) = lock.read().expect("interner poisoned").lookup.get(name) {
+        return Symbol(id);
+    }
+    let mut w = lock.write().expect("interner poisoned");
+    if let Some(&id) = w.lookup.get(name) {
+        return Symbol(id);
+    }
+    let id = u32::try_from(w.names.len()).expect("interner overflow");
+    // Leaking keeps `resolve` allocation-free; the set of distinct
+    // symbols in an analysis run is bounded and reused heavily.
+    let owned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    w.names.push(owned);
+    w.lookup.insert(owned, id);
+    Symbol(id)
+}
+
+/// Returns the string a [`Symbol`] was interned from.
+pub fn resolve(sym: Symbol) -> &'static str {
+    interner().read().expect("interner poisoned").names[sym.0 as usize]
+}
+
+impl Symbol {
+    /// The string this symbol denotes.
+    pub fn as_str(self) -> &'static str {
+        resolve(self)
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("Mkt");
+        let b = intern("Mkt");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "Mkt");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(intern("CS"), intern("GS"));
+    }
+
+    #[test]
+    fn ordering_follows_string_order() {
+        // Intern in reverse lexicographic order on purpose.
+        let z = intern("zzz-order-test");
+        let a = intern("aaa-order-test");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let s = intern("1.2.3.4");
+        assert_eq!(resolve(s), "1.2.3.4");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| intern("concurrent-symbol")))
+            .collect();
+        let syms: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+}

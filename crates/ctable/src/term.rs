@@ -1,0 +1,153 @@
+//! Terms — elements of the c-domain `dom^C`.
+
+use crate::cvar::{CVarId, CVarRegistry};
+use crate::value::Const;
+use std::fmt;
+
+/// A cell value in a c-table: either a constant or a c-variable.
+///
+/// The paper extends the usual attribute domain `dom` with the
+/// c-variables, forming the **c-domain** `dom^C`; a `Term` is exactly
+/// one element of `dom^C`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A known constant.
+    Const(Const),
+    /// An unknown value named by a c-variable.
+    Var(CVarId),
+}
+
+impl Term {
+    /// Convenience constructor for symbolic constants.
+    pub fn sym(name: &str) -> Self {
+        Term::Const(Const::sym(name))
+    }
+
+    /// Convenience constructor for integer constants.
+    pub fn int(v: i64) -> Self {
+        Term::Const(Const::int(v))
+    }
+
+    /// Whether this term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// The constant payload, if any.
+    pub fn as_const(&self) -> Option<&Const> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// The c-variable payload, if any.
+    pub fn as_var(&self) -> Option<CVarId> {
+        match self {
+            Term::Const(_) => None,
+            Term::Var(v) => Some(*v),
+        }
+    }
+
+    /// Instantiates the term under a (total) assignment lookup.
+    ///
+    /// `lookup` must return the constant assigned to every c-variable
+    /// that can occur; it is usually backed by a possible-world
+    /// [`Assignment`](crate::worlds::Assignment).
+    pub fn instantiate(&self, lookup: &impl Fn(CVarId) -> Const) -> Const {
+        match self {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => lookup(*v),
+        }
+    }
+
+    /// Renders the term using c-variable names from `reg` (c-variables
+    /// are shown with a trailing `'`, mimicking the paper's overbar).
+    pub fn display<'a>(&'a self, reg: &'a CVarRegistry) -> TermDisplay<'a> {
+        TermDisplay { term: self, reg }
+    }
+}
+
+/// Helper returned by [`Term::display`].
+pub struct TermDisplay<'a> {
+    term: &'a Term,
+    reg: &'a CVarRegistry,
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.term {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "{}'", self.reg.name(*v)),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Self {
+        Term::Const(c)
+    }
+}
+
+impl From<CVarId> for Term {
+    fn from(v: CVarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(v: i64) -> Self {
+        Term::int(v)
+    }
+}
+
+impl From<&str> for Term {
+    fn from(s: &str) -> Self {
+        Term::sym(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cvar::Domain;
+
+    #[test]
+    fn accessors() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let t = Term::Var(x);
+        assert!(!t.is_const());
+        assert_eq!(t.as_var(), Some(x));
+        assert_eq!(Term::int(3).as_const(), Some(&Const::Int(3)));
+    }
+
+    #[test]
+    fn instantiate_substitutes_vars() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let lookup = |v: CVarId| {
+            assert_eq!(v, x);
+            Const::Int(1)
+        };
+        assert_eq!(Term::Var(x).instantiate(&lookup), Const::Int(1));
+        assert_eq!(Term::sym("A").instantiate(&lookup), Const::sym("A"));
+    }
+
+    #[test]
+    fn display_uses_registry_names() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        assert_eq!(Term::Var(x).display(&reg).to_string(), "x'");
+        assert_eq!(Term::sym("Mkt").display(&reg).to_string(), "Mkt");
+    }
+}

@@ -1,0 +1,150 @@
+//! Constants of the attribute domain (`dom` in the paper).
+
+use crate::symbol::{intern, Symbol};
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant value that may appear in a table cell.
+///
+/// The paper's examples use destinations (`1.2.3.4`), node identifiers
+/// (`1`..`5`), symbolic names (`Mkt`, `CS`), ports (`80`, `7000`), and
+/// paths (`[A,B,C]`). These map to:
+///
+/// * [`Const::Int`] — integers (ports, node ids, link states 0/1);
+/// * [`Const::Sym`] — interned strings (names, prefixes);
+/// * [`Const::List`] — sequences of constants (AS paths, router paths).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    /// An integer constant.
+    Int(i64),
+    /// An interned symbolic constant.
+    Sym(Symbol),
+    /// A list constant, e.g. an AS path `[ABC]`.
+    List(Arc<[Const]>),
+}
+
+impl Const {
+    /// Convenience constructor for symbolic constants.
+    pub fn sym(name: &str) -> Self {
+        Const::Sym(intern(name))
+    }
+
+    /// Convenience constructor for integer constants.
+    pub fn int(v: i64) -> Self {
+        Const::Int(v)
+    }
+
+    /// Convenience constructor for list (path) constants.
+    pub fn list<I: IntoIterator<Item = Const>>(items: I) -> Self {
+        Const::List(items.into_iter().collect::<Vec<_>>().into())
+    }
+
+    /// Builds a path constant out of node names, e.g. `path(&["A","B","C"])`.
+    pub fn path(names: &[&str]) -> Self {
+        Const::list(names.iter().map(|n| Const::sym(n)))
+    }
+
+    /// Returns the integer payload if this is an [`Const::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Const::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbol payload if this is a [`Const::Sym`].
+    pub fn as_sym(&self) -> Option<Symbol> {
+        match self {
+            Const::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Number of elements if this is a list constant.
+    pub fn list_len(&self) -> Option<usize> {
+        match self {
+            Const::List(items) => Some(items.len()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(v) => write!(f, "{v}"),
+            Const::Sym(s) => write!(f, "{s}"),
+            Const::List(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(v: i64) -> Self {
+        Const::Int(v)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(s: &str) -> Self {
+        Const::sym(s)
+    }
+}
+
+impl From<Symbol> for Const {
+    fn from(s: Symbol) -> Self {
+        Const::Sym(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Const::int(7000).to_string(), "7000");
+        assert_eq!(Const::sym("Mkt").to_string(), "Mkt");
+        assert_eq!(Const::path(&["A", "B", "C"]).to_string(), "[A,B,C]");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Const::path(&["A", "B"]), Const::path(&["A", "B"]));
+        assert_ne!(Const::path(&["A", "B"]), Const::path(&["B", "A"]));
+        assert_ne!(Const::int(1), Const::sym("1"));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Const::int(3).as_int(), Some(3));
+        assert_eq!(Const::sym("x").as_int(), None);
+        assert_eq!(Const::path(&["A", "B", "C"]).list_len(), Some(3));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Const::sym("b"), Const::int(2), Const::sym("a"), Const::int(1)];
+        v.sort();
+        // Ints sort before syms (enum order), and within a variant by value.
+        assert_eq!(
+            v,
+            vec![Const::int(1), Const::int(2), Const::sym("a"), Const::sym("b")]
+        );
+    }
+}

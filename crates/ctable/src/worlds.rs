@@ -1,0 +1,431 @@
+//! Possible-world enumeration.
+//!
+//! A c-table database denotes a set of ordinary databases, one per
+//! assignment of its c-variables. This module enumerates those worlds
+//! exhaustively (for finite domains), producing [`GroundDatabase`]s.
+//!
+//! Enumeration is exponential by nature and exists as the **ground
+//! truth** for loss-less modeling: a fauré-log query answered on the
+//! c-table must agree with running the corresponding pure-datalog query
+//! in every world. The test suites rely on this module heavily; it is
+//! not meant for production-sized states (the enumeration refuses to
+//! start above a world-count limit).
+
+use crate::cvar::CVarId;
+use crate::database::Database;
+use crate::error::CtableError;
+use crate::relation::Schema;
+use crate::value::Const;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A total assignment of constants to (the relevant) c-variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    map: BTreeMap<CVarId, Const>,
+}
+
+impl Assignment {
+    /// An empty assignment.
+    pub fn new() -> Self {
+        Assignment {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Builds from pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (CVarId, Const)>>(pairs: I) -> Self {
+        Assignment {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Binds `var` to `value`.
+    pub fn set(&mut self, var: CVarId, value: Const) {
+        self.map.insert(var, value);
+    }
+
+    /// The value bound to `var`, if any.
+    pub fn get(&self, var: CVarId) -> Option<&Const> {
+        self.map.get(&var)
+    }
+
+    /// Lookup closure suitable for [`Condition::eval`](crate::Condition::eval); panics on
+    /// unbound variables (enumeration always binds every relevant one).
+    pub fn lookup(&self) -> impl Fn(CVarId) -> Const + '_ {
+        move |v| {
+            self.map
+                .get(&v)
+                .unwrap_or_else(|| panic!("unbound c-variable {v:?} in world assignment"))
+                .clone()
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CVarId, &Const)> {
+        self.map.iter()
+    }
+}
+
+impl Default for Assignment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fully ground tuple.
+pub type GroundTuple = Vec<Const>;
+
+/// An ordinary (variable-free) relation: a set of ground tuples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroundRelation {
+    /// Schema (shared with the source c-table).
+    pub schema: Schema,
+    /// Rows, as a set (ordinary relations have set semantics).
+    pub tuples: BTreeSet<GroundTuple>,
+}
+
+/// An ordinary database: one possible world of a c-table database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroundDatabase {
+    /// The assignment that produced this world.
+    pub assignment: Assignment,
+    /// Ground relations by name.
+    pub relations: BTreeMap<String, GroundRelation>,
+}
+
+impl GroundDatabase {
+    /// Looks up a ground relation.
+    pub fn relation(&self, name: &str) -> Option<&GroundRelation> {
+        self.relations.get(name)
+    }
+
+    /// Total number of tuples.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.tuples.len()).sum()
+    }
+}
+
+/// Instantiates `db` under `assignment`: substitutes c-variables,
+/// evaluates row conditions, and keeps exactly the satisfied rows.
+///
+/// Rows whose condition cannot be evaluated (a linear atom over a
+/// non-integer value — a modelling error) are treated as absent.
+pub fn instantiate(db: &Database, assignment: &Assignment) -> GroundDatabase {
+    let lookup = assignment.lookup();
+    let mut relations = BTreeMap::new();
+    for rel in db.relations() {
+        let mut tuples = BTreeSet::new();
+        for t in rel.iter() {
+            if t.cond.eval(&lookup) == Some(true) {
+                tuples.insert(
+                    t.terms
+                        .iter()
+                        .map(|term| term.instantiate(&lookup))
+                        .collect::<Vec<_>>(),
+                );
+            }
+        }
+        relations.insert(
+            rel.schema.name.clone(),
+            GroundRelation {
+                schema: rel.schema.clone(),
+                tuples,
+            },
+        );
+    }
+    GroundDatabase {
+        assignment: assignment.clone(),
+        relations,
+    }
+}
+
+/// Returns the c-variables that actually occur in `db` (in cells or
+/// conditions), sorted.
+pub fn relevant_cvars(db: &Database) -> Vec<CVarId> {
+    let mut set = BTreeSet::new();
+    for rel in db.relations() {
+        for t in rel.iter() {
+            for term in &t.terms {
+                if let Some(v) = term.as_var() {
+                    set.insert(v);
+                }
+            }
+            t.cond.collect_cvars(&mut set);
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Iterator over all possible worlds of a database.
+///
+/// Construct with [`WorldIter::new`]; iteration yields
+/// [`GroundDatabase`]s in lexicographic assignment order.
+pub struct WorldIter<'a> {
+    db: &'a Database,
+    vars: Vec<CVarId>,
+    domains: Vec<Vec<Const>>,
+    /// Current index per variable; `None` when exhausted.
+    indices: Option<Vec<usize>>,
+}
+
+impl<'a> WorldIter<'a> {
+    /// Default cap on the number of worlds enumeration will agree to visit.
+    pub const DEFAULT_LIMIT: u128 = 1 << 22;
+
+    /// Creates an enumerator over every assignment of the c-variables
+    /// *used* in `db`. Fails if any used c-variable has an open domain
+    /// or if the world count exceeds `limit` (default
+    /// [`Self::DEFAULT_LIMIT`]).
+    pub fn new(db: &'a Database, limit: Option<u128>) -> Result<Self, CtableError> {
+        let vars = relevant_cvars(db);
+        let mut domains = Vec::with_capacity(vars.len());
+        let mut count: u128 = 1;
+        for &v in &vars {
+            let members = db
+                .cvars
+                .domain(v)
+                .members()
+                .ok_or_else(|| CtableError::OpenDomain(db.cvars.name(v).to_owned()))?;
+            count = count.saturating_mul(members.len().max(1) as u128);
+            domains.push(members);
+        }
+        let limit = limit.unwrap_or(Self::DEFAULT_LIMIT);
+        if count > limit {
+            return Err(CtableError::WorldLimitExceeded {
+                worlds: count,
+                limit,
+            });
+        }
+        // An empty domain for a used variable means zero worlds.
+        let indices = if domains.iter().any(|d| d.is_empty()) {
+            None
+        } else {
+            Some(vec![0; vars.len()])
+        };
+        Ok(WorldIter {
+            db,
+            vars,
+            domains,
+            indices,
+        })
+    }
+
+    /// The number of worlds this iterator will yield.
+    pub fn world_count(&self) -> u128 {
+        if self.domains.iter().any(|d| d.is_empty()) {
+            return 0;
+        }
+        self.domains
+            .iter()
+            .fold(1u128, |acc, d| acc.saturating_mul(d.len() as u128))
+    }
+
+    /// The c-variables being enumerated (sorted).
+    pub fn variables(&self) -> &[CVarId] {
+        &self.vars
+    }
+
+    fn current_assignment(&self) -> Option<Assignment> {
+        let idx = self.indices.as_ref()?;
+        let mut a = Assignment::new();
+        for (i, &v) in self.vars.iter().enumerate() {
+            a.set(v, self.domains[i][idx[i]].clone());
+        }
+        Some(a)
+    }
+
+    fn advance(&mut self) {
+        let Some(idx) = self.indices.as_mut() else {
+            return;
+        };
+        // Odometer increment from the last position.
+        for i in (0..idx.len()).rev() {
+            idx[i] += 1;
+            if idx[i] < self.domains[i].len() {
+                return;
+            }
+            idx[i] = 0;
+        }
+        // Wrapped all the way: exhausted. (Zero variables => single world,
+        // handled by the empty loop falling through here after one yield.)
+        self.indices = None;
+    }
+}
+
+impl Iterator for WorldIter<'_> {
+    type Item = GroundDatabase;
+
+    fn next(&mut self) -> Option<GroundDatabase> {
+        let assignment = self.current_assignment()?;
+        let world = instantiate(self.db, &assignment);
+        self.advance();
+        Some(world)
+    }
+}
+
+/// Convenience: collects all worlds of `db` (respecting the default
+/// world limit).
+pub fn all_worlds(db: &Database) -> Result<Vec<GroundDatabase>, CtableError> {
+    Ok(WorldIter::new(db, None)?.collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::cvar::Domain;
+    use crate::relation::{CTuple, Schema};
+    use crate::term::Term;
+
+    /// Table 2's P^i: a three-row c-table over (dest, path).
+    fn table2_like() -> Database {
+        let mut db = Database::new();
+        let x = db.fresh_cvar(
+            "x",
+            Domain::Consts(vec![Const::path(&["A", "B", "C"]), Const::path(&["A", "D", "E", "C"])]),
+        );
+        let y = db.fresh_cvar(
+            "y",
+            Domain::Consts(vec![Const::sym("1.2.3.4"), Const::sym("1.2.3.5")]),
+        );
+        db.create_relation(Schema::new("P", &["dest", "path"])).unwrap();
+        // (1.2.3.4, x̄) [x̄=[ABC] ∨ x̄=[ADEC]]
+        db.insert(
+            "P",
+            CTuple::with_cond(
+                [Term::sym("1.2.3.4"), Term::Var(x)],
+                Condition::eq(Term::Var(x), Term::Const(Const::path(&["A", "B", "C"]))).or(
+                    Condition::eq(
+                        Term::Var(x),
+                        Term::Const(Const::path(&["A", "D", "E", "C"])),
+                    ),
+                ),
+            ),
+        )
+        .unwrap();
+        // (ȳ, [ABE]) [ȳ ≠ 1.2.3.4]
+        db.insert(
+            "P",
+            CTuple::with_cond(
+                [Term::Var(y), Term::Const(Const::path(&["A", "B", "E"]))],
+                Condition::ne(Term::Var(y), Term::sym("1.2.3.4")),
+            ),
+        )
+        .unwrap();
+        // (1.2.3.6, [ADEC]) — empty condition
+        db.insert(
+            "P",
+            CTuple::new([
+                Term::sym("1.2.3.6"),
+                Term::Const(Const::path(&["A", "D", "E", "C"])),
+            ]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn world_count_is_domain_product() {
+        let db = table2_like();
+        let it = WorldIter::new(&db, None).unwrap();
+        assert_eq!(it.world_count(), 4);
+        assert_eq!(it.count(), 4);
+    }
+
+    #[test]
+    fn conditions_filter_rows_per_world() {
+        let db = table2_like();
+        for world in WorldIter::new(&db, None).unwrap() {
+            let p = world.relation("P").unwrap();
+            let x_val = world.assignment.iter().next().unwrap().1.clone();
+            // Row 1 always present (its condition covers both x̄ values).
+            assert!(p
+                .tuples
+                .iter()
+                .any(|t| t[0] == Const::sym("1.2.3.4") && t[1] == x_val));
+            // Row 3 (unconditional) always present.
+            assert!(p.tuples.contains(&vec![
+                Const::sym("1.2.3.6"),
+                Const::path(&["A", "D", "E", "C"])
+            ]));
+            // Row 2 present iff ȳ ≠ 1.2.3.4.
+            let y_val = world.assignment.iter().nth(1).unwrap().1.clone();
+            let row2 = vec![y_val.clone(), Const::path(&["A", "B", "E"])];
+            assert_eq!(p.tuples.contains(&row2), y_val != Const::sym("1.2.3.4"));
+        }
+    }
+
+    #[test]
+    fn no_cvars_means_single_world() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("T", &["a"])).unwrap();
+        db.insert("T", CTuple::new([Term::int(1)])).unwrap();
+        let worlds = all_worlds(&db).unwrap();
+        assert_eq!(worlds.len(), 1);
+        assert_eq!(worlds[0].total_tuples(), 1);
+    }
+
+    #[test]
+    fn open_domain_rejected() {
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Open);
+        db.create_relation(Schema::new("T", &["a"])).unwrap();
+        db.insert("T", CTuple::new([Term::Var(x)])).unwrap();
+        assert!(matches!(
+            WorldIter::new(&db, None),
+            Err(CtableError::OpenDomain(_))
+        ));
+    }
+
+    #[test]
+    fn unused_open_cvars_are_ignored() {
+        let mut db = Database::new();
+        let _unused = db.fresh_cvar("ghost", Domain::Open);
+        db.create_relation(Schema::new("T", &["a"])).unwrap();
+        db.insert("T", CTuple::new([Term::int(7)])).unwrap();
+        assert_eq!(all_worlds(&db).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("T", &["a"])).unwrap();
+        let mut terms = Vec::new();
+        for i in 0..8 {
+            let v = db.fresh_cvar(format!("v{i}"), Domain::Bool01);
+            terms.push(v);
+        }
+        for v in terms {
+            db.insert("T", CTuple::new([Term::Var(v)])).unwrap();
+        }
+        // 2^8 = 256 worlds; limit of 100 must fail.
+        assert!(matches!(
+            WorldIter::new(&db, Some(100)),
+            Err(CtableError::WorldLimitExceeded { worlds: 256, .. })
+        ));
+        assert_eq!(WorldIter::new(&db, Some(256)).unwrap().count(), 256);
+    }
+
+    #[test]
+    fn ground_relations_are_sets() {
+        // Two c-rows that instantiate to the same ground row collapse.
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Ints(vec![5]));
+        db.create_relation(Schema::new("T", &["a"])).unwrap();
+        db.insert("T", CTuple::new([Term::int(5)])).unwrap();
+        db.insert("T", CTuple::new([Term::Var(x)])).unwrap();
+        let worlds = all_worlds(&db).unwrap();
+        assert_eq!(worlds.len(), 1);
+        assert_eq!(worlds[0].relation("T").unwrap().tuples.len(), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! The §5 enterprise model: a network managed by multiple teams.
+//!
+//! Two frontend subnets (market management `Mkt`, research `R&D`), two
+//! backend servers (critical `CS`, general `GS`). A security team owns
+//! the firewalls (`Fw`), a traffic-engineering team owns the load
+//! balancers (`Lb`), and reachability on specific ports lives in
+//! `R(subnet, server, port)`. All three are c-tables over the c-domain
+//! `{Mkt, R&D, x̄} × {CS, GS, ȳ} × {80, 344, 7000, p̄}`.
+//!
+//! Constraints (as 0-ary `panic` programs, Listing 3):
+//!
+//! * `T1` — Mkt traffic to CS must pass a firewall (q9);
+//! * `T2` — R&D traffic to any server on port 7000 must pass a load
+//!   balancer (q10);
+//! * `C_lb` — the TE team's own policy (q11–q15): only frontend
+//!   subnets reach CS, on port 7000, through a load balancer;
+//! * `C_s` — the security team's policy (q16–q18): all server traffic
+//!   uses one of the three ports and passes a firewall.
+//!
+//! The Listing 4 update: remove load balancing between Mkt and CS, add
+//! it for R&D and GS.
+
+use faure_core::{parse_program, DeletePattern, Program, Update};
+use faure_ctable::{CTuple, CVarId, CVarRegistry, Condition, Const, Database, Domain, Schema, Term};
+
+/// Handles to the enterprise model's c-variables.
+#[derive(Clone, Copy, Debug)]
+pub struct EnterpriseVars {
+    /// Unknown subnet `x̄ ∈ {Mkt, R&D}`.
+    pub x: CVarId,
+    /// Unknown server `ȳ ∈ {CS, GS}`.
+    pub y: CVarId,
+    /// Unknown port `p̄ ∈ {80, 344, 7000}`.
+    pub p: CVarId,
+}
+
+/// Creates the `Net = {R, Lb, Fw}` schema with the §5 c-variable
+/// domains, and no tuples yet.
+pub fn empty_net() -> (Database, EnterpriseVars) {
+    let mut db = Database::new();
+    let x = db.fresh_cvar(
+        "x",
+        Domain::Consts(vec![Const::sym("Mkt"), Const::sym("R&D")]),
+    );
+    let y = db.fresh_cvar(
+        "y",
+        Domain::Consts(vec![Const::sym("CS"), Const::sym("GS")]),
+    );
+    let p = db.fresh_cvar("p", Domain::Ints(vec![80, 344, 7000]));
+    db.create_relation(Schema::new("R", &["subnet", "server", "port"]))
+        .expect("fresh database");
+    db.create_relation(Schema::new("Lb", &["subnet", "server"]))
+        .expect("fresh database");
+    db.create_relation(Schema::new("Fw", &["subnet", "server"]))
+        .expect("fresh database");
+    (db, EnterpriseVars { x, y, p })
+}
+
+/// A compliant network state:
+///
+/// * Mkt → CS on an unknown port `p̄`, firewalled and load-balanced;
+/// * R&D → GS on port 7000, load-balanced (and firewalled);
+/// * both teams' policies (`C_lb`, `C_s`) and both targets (`T1`,
+///   `T2`) hold.
+pub fn compliant_net() -> (Database, EnterpriseVars) {
+    let (mut db, vars) = empty_net();
+    db.insert(
+        "R",
+        CTuple::new([Term::sym("Mkt"), Term::sym("CS"), Term::Var(vars.p)]),
+    )
+    .expect("arity 3");
+    db.insert(
+        "R",
+        CTuple::new([Term::sym("R&D"), Term::sym("GS"), Term::int(7000)]),
+    )
+    .expect("arity 3");
+    for (a, b) in [("Mkt", "CS"), ("R&D", "GS"), ("R&D", "CS"), ("Mkt", "GS")] {
+        db.insert("Fw", CTuple::new([Term::sym(a), Term::sym(b)]))
+            .expect("arity 2");
+    }
+    for (a, b) in [("Mkt", "CS"), ("R&D", "GS"), ("R&D", "CS")] {
+        db.insert("Lb", CTuple::new([Term::sym(a), Term::sym(b)]))
+            .expect("arity 2");
+    }
+    // C_lb also demands CS traffic use port 7000: constrain p̄ via the
+    // R row's condition.
+    let r = db.relation_mut("R").expect("created above");
+    r.tuples[0].cond = Condition::eq(Term::Var(vars.p), Term::int(7000));
+    (db, vars)
+}
+
+/// A state violating `T2`: R&D sends port-7000 traffic to GS with no
+/// load balancer deployed for that pair.
+pub fn t2_violating_net() -> (Database, EnterpriseVars) {
+    let (mut db, vars) = empty_net();
+    db.insert(
+        "R",
+        CTuple::new([Term::sym("R&D"), Term::sym("GS"), Term::int(7000)]),
+    )
+    .expect("arity 3");
+    db.insert("Fw", CTuple::new([Term::sym("R&D"), Term::sym("GS")]))
+        .expect("arity 2");
+    db.insert("Lb", CTuple::new([Term::sym("Mkt"), Term::sym("CS")]))
+        .expect("arity 2");
+    (db, vars)
+}
+
+/// `T1` (q9): Mkt→CS traffic must pass a firewall.
+pub fn t1() -> Program {
+    parse_program("panic :- R(Mkt, CS, p), !Fw(Mkt, CS).\n").expect("static text")
+}
+
+/// `T2` (q10): R&D port-7000 traffic must pass a load balancer.
+pub fn t2() -> Program {
+    parse_program("panic :- R(\"R&D\", y, 7000), !Lb(\"R&D\", y).\n").expect("static text")
+}
+
+/// `C_lb` (q11, q13–q15): the TE team's policy on critical-server
+/// traffic.
+pub fn c_lb() -> Program {
+    parse_program(
+        "panic :- Vt(x, y, p).\n\
+         Vt(x, CS, p) :- R(x, CS, p), x != Mkt, x != \"R&D\".\n\
+         Vt(x, CS, p) :- R(x, CS, p), !Lb(x, CS).\n\
+         Vt(x, CS, p) :- R(x, CS, p), p != 7000.\n",
+    )
+    .expect("static text")
+}
+
+/// `C_s` (q16–q18): the security team's policy on all server traffic.
+pub fn c_s() -> Program {
+    parse_program(
+        "panic :- Vs(x, y, p).\n\
+         Vs(x, y, p) :- R(x, y, p), !Fw(x, y).\n\
+         Vs(x, y, p) :- R(x, y, p), p != 80, p != 344, p != 7000.\n",
+    )
+    .expect("static text")
+}
+
+/// Both team policies combined (the candidate set of §5).
+pub fn team_policies() -> Program {
+    let mut p = c_lb();
+    p.extend(c_s());
+    p
+}
+
+/// The Listing 4 update: add load balancing for (R&D, GS), remove it
+/// for (Mkt, CS).
+pub fn listing4_update() -> Update {
+    Update::new("Lb")
+        .insert([Const::sym("R&D"), Const::sym("GS")])
+        .delete(DeletePattern::exact([Const::sym("Mkt"), Const::sym("CS")]))
+}
+
+/// A registry carrying the §5 attribute domains under the names the
+/// constraint programs use — handed to the subsumption checker.
+pub fn constraint_registry() -> CVarRegistry {
+    let (db, _) = empty_net();
+    db.cvars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_core::{evaluate, subsumes, Subsumption};
+
+    #[test]
+    fn compliant_net_satisfies_everything() {
+        let (db, _) = compliant_net();
+        for program in [t1(), t2(), c_lb(), c_s()] {
+            let out = evaluate(&program, &db).unwrap();
+            assert!(!out.derived("panic"), "expected no panic:\n{program}");
+        }
+    }
+
+    #[test]
+    fn violating_net_trips_t2_only() {
+        let (db, _) = t2_violating_net();
+        assert!(evaluate(&t2(), &db).unwrap().derived("panic"));
+        assert!(!evaluate(&t1(), &db).unwrap().derived("panic"));
+    }
+
+    /// The §5 headline: {C_lb, C_s} subsume T1 but not T2.
+    #[test]
+    fn category_i_results_match_paper() {
+        let reg = constraint_registry();
+        assert_eq!(
+            subsumes(&team_policies(), &t1(), &reg).unwrap(),
+            Subsumption::Subsumed
+        );
+        assert!(matches!(
+            subsumes(&team_policies(), &t2(), &reg).unwrap(),
+            Subsumption::NotShown { .. }
+        ));
+    }
+
+    #[test]
+    fn firewall_missing_breaks_cs() {
+        let (mut db, _) = compliant_net();
+        // Drop all firewalls: C_s and T1 both violated.
+        db.relation_mut("Fw").unwrap().tuples.clear();
+        assert!(evaluate(&c_s(), &db).unwrap().derived("panic"));
+        assert!(evaluate(&t1(), &db).unwrap().derived("panic"));
+    }
+
+    #[test]
+    fn unknown_port_violation_is_conditional() {
+        // Mkt→CS on unknown port p̄ with no port restriction: C_lb's
+        // q15 (p != 7000) panics conditionally on p̄.
+        let (mut db, vars) = empty_net();
+        db.insert(
+            "R",
+            CTuple::new([Term::sym("Mkt"), Term::sym("CS"), Term::Var(vars.p)]),
+        )
+        .unwrap();
+        db.insert("Lb", CTuple::new([Term::sym("Mkt"), Term::sym("CS")]))
+            .unwrap();
+        let out = evaluate(&c_lb(), &db).unwrap();
+        let panic_rel = out.relation("panic").unwrap();
+        assert_eq!(panic_rel.len(), 1);
+        // Not unconditional: only when p̄ ≠ 7000.
+        assert_ne!(panic_rel.tuples[0].cond, Condition::True);
+        assert!(faure_solver::equivalent(
+            &out.database.cvars,
+            &panic_rel.tuples[0].cond,
+            &Condition::ne(Term::Var(vars.p), Term::int(7000)),
+        )
+        .unwrap());
+    }
+}

@@ -1,0 +1,326 @@
+//! Inter-domain analysis under limited visibility.
+//!
+//! The paper's second motivation (§1): "the inability to obtain the
+//! BGP configuration inputs from external domains leaves most attempts
+//! to verify the global routing behavior futile … even when some
+//! aspects of the network are unknown, it is desirable to implement
+//! some (perhaps weaker) verification than stop working entirely."
+//!
+//! This module models exactly that situation with c-tables:
+//!
+//! * the operator's **own domain** exports concrete routing edges;
+//! * each **external domain** is opaque — all that is known is *which
+//!   neighbour it might forward through*, modelled as a c-variable
+//!   `nh̄_d` (the domain's chosen next hop) ranging over its
+//!   neighbours, plus optional **policy facts** that exclude choices
+//!   (e.g. "domain 3 never routes through its provider 4": `nh̄_3 ≠ 4`);
+//! * the forwarding c-table `E(from, to)` then contains, per external
+//!   domain, one row per candidate neighbour guarded by `nh̄_d = n`.
+//!
+//! Reachability questions get *partial* answers in the paper's sense:
+//! definite (`true` condition — reachable no matter what the external
+//! domains do), conditional (reachable exactly under some choices), or
+//! definitely not (no satisfiable condition). This is loss-less: no
+//! commitment to any particular external behaviour is baked in.
+
+use faure_ctable::{CTuple, CVarId, Condition, Const, Database, Domain, Schema, Term};
+use std::collections::BTreeMap;
+
+/// A domain (AS) identifier.
+pub type DomainId = i64;
+
+/// How much is known about one domain.
+#[derive(Clone, Debug)]
+pub enum Visibility {
+    /// Fully known: exact forwarding edges to the given neighbours.
+    Known(Vec<DomainId>),
+    /// Opaque: forwards to exactly one of the candidate neighbours,
+    /// which one is unknown.
+    Opaque {
+        /// Candidate next hops.
+        candidates: Vec<DomainId>,
+    },
+}
+
+/// Builder for an inter-domain scenario.
+#[derive(Clone, Debug, Default)]
+pub struct Internet {
+    domains: BTreeMap<DomainId, Visibility>,
+    /// Exclusions: `(domain, forbidden next hop)` policy knowledge.
+    exclusions: Vec<(DomainId, DomainId)>,
+}
+
+/// The compiled scenario.
+pub struct Scenario {
+    /// Database with the `E(from, to)` forwarding c-table.
+    pub db: Database,
+    /// The next-hop c-variable of each opaque domain.
+    pub choice_vars: BTreeMap<DomainId, CVarId>,
+}
+
+impl Internet {
+    /// An empty scenario.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a fully known domain with its forwarding neighbours.
+    pub fn known(mut self, d: DomainId, neighbours: &[DomainId]) -> Self {
+        self.domains
+            .insert(d, Visibility::Known(neighbours.to_vec()));
+        self
+    }
+
+    /// Declares an opaque domain: it forwards to exactly one of
+    /// `candidates`, unknown which.
+    pub fn opaque(mut self, d: DomainId, candidates: &[DomainId]) -> Self {
+        self.domains.insert(
+            d,
+            Visibility::Opaque {
+                candidates: candidates.to_vec(),
+            },
+        );
+        self
+    }
+
+    /// Adds policy knowledge: `d` never forwards through `banned`.
+    pub fn exclude(mut self, d: DomainId, banned: DomainId) -> Self {
+        self.exclusions.push((d, banned));
+        self
+    }
+
+    /// Compiles the scenario into a c-table database.
+    ///
+    /// Exclusions *shrink the domain* of the choice variable: knowing
+    /// "domain `d` never forwards through `n`" removes `n` from the
+    /// worlds under consideration (this is what sharpens conditional
+    /// answers into definite ones). A domain whose every candidate is
+    /// excluded contributes no edges at all.
+    pub fn build(self) -> Scenario {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["from", "to"]))
+            .expect("fresh database");
+        let mut choice_vars = BTreeMap::new();
+
+        for (&d, vis) in &self.domains {
+            match vis {
+                Visibility::Known(neighbours) => {
+                    for &n in neighbours {
+                        db.insert("E", CTuple::new([Term::int(d), Term::int(n)]))
+                            .expect("arity 2");
+                    }
+                }
+                Visibility::Opaque { candidates } => {
+                    let allowed: Vec<DomainId> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&n| {
+                            !self
+                                .exclusions
+                                .iter()
+                                .any(|&(xd, banned)| xd == d && banned == n)
+                        })
+                        .collect();
+                    if allowed.is_empty() {
+                        continue;
+                    }
+                    let var = db.fresh_cvar(format!("nh{d}"), Domain::Ints(allowed.clone()));
+                    choice_vars.insert(d, var);
+                    for &n in allowed.iter() {
+                        db.insert(
+                            "E",
+                            CTuple::with_cond(
+                                [Term::int(d), Term::int(n)],
+                                Condition::eq(Term::Var(var), Term::int(n)),
+                            ),
+                        )
+                        .expect("arity 2");
+                    }
+                }
+            }
+        }
+        Scenario { db, choice_vars }
+    }
+}
+
+/// The reachability program over the inter-domain edge table.
+pub fn reach_program() -> faure_core::Program {
+    faure_core::parse_program(
+        "Reach(a, b) :- E(a, b).\n\
+         Reach(a, b) :- E(a, c), Reach(c, b).\n",
+    )
+    .expect("static program text")
+}
+
+/// Classification of a reachability question under partial knowledge.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Answer {
+    /// Reachable no matter what the opaque domains do.
+    Definite,
+    /// Reachable exactly under the returned condition on the opaque
+    /// domains' choices.
+    Conditional(Condition),
+    /// Not reachable under any choice.
+    No,
+}
+
+/// Asks whether `from` can reach `to` in the scenario.
+pub fn can_reach(
+    scenario: &Scenario,
+    from: DomainId,
+    to: DomainId,
+) -> Result<Answer, Box<dyn std::error::Error>> {
+    let out = faure_core::evaluate(&reach_program(), &scenario.db)?;
+    let Some(rel) = out.relation("Reach") else {
+        return Ok(Answer::No);
+    };
+    let row = rel
+        .iter()
+        .find(|t| t.terms == vec![Term::int(from), Term::int(to)]);
+    match row {
+        None => Ok(Answer::No),
+        Some(t) if t.cond == Condition::True => Ok(Answer::Definite),
+        Some(t) => Ok(Answer::Conditional(t.cond.clone())),
+    }
+}
+
+/// Convenience: the constant domain value (used in conditions shown to
+/// users).
+pub fn domain_const(d: DomainId) -> Const {
+    Const::Int(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Our domain 1 peers with 2 and 3; opaque transit 2 forwards to 4
+    /// or 5; opaque transit 3 forwards to 4; 4 and 5 both reach the
+    /// destination 9.
+    fn scenario() -> Scenario {
+        Internet::new()
+            .known(1, &[2, 3])
+            .opaque(2, &[4, 5])
+            .known(3, &[4])
+            .known(4, &[9])
+            .known(5, &[9])
+            .build()
+    }
+
+    #[test]
+    fn definite_despite_opacity() {
+        // 1 → 9 succeeds whichever way domain 2 forwards: via 3→4 it is
+        // even independent of 2.
+        let s = scenario();
+        assert_eq!(can_reach(&s, 1, 9).unwrap(), Answer::Definite);
+    }
+
+    #[test]
+    fn conditional_through_opaque_transit() {
+        // 2 → 5 only happens if domain 2 picks 5.
+        let s = scenario();
+        match can_reach(&s, 2, 5).unwrap() {
+            Answer::Conditional(c) => {
+                let var = s.choice_vars[&2];
+                assert!(faure_solver::equivalent(
+                    &s.db.cvars,
+                    &c,
+                    &Condition::eq(Term::Var(var), Term::int(5)),
+                )
+                .unwrap());
+            }
+            other => panic!("expected conditional, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_is_no() {
+        let s = scenario();
+        assert_eq!(can_reach(&s, 9, 1).unwrap(), Answer::No);
+    }
+
+    #[test]
+    fn policy_knowledge_sharpens_answers() {
+        // Without policy: 2 → 4 is conditional (2 might pick 5).
+        let loose = Internet::new()
+            .opaque(2, &[4, 5])
+            .known(4, &[9])
+            .known(5, &[8])
+            .build();
+        assert!(matches!(
+            can_reach(&loose, 2, 9).unwrap(),
+            Answer::Conditional(_)
+        ));
+        // Knowing "2 never forwards through 5" makes 2 → 9 definite.
+        let tight = Internet::new()
+            .opaque(2, &[4, 5])
+            .exclude(2, 5)
+            .known(4, &[9])
+            .known(5, &[8])
+            .build();
+        assert_eq!(can_reach(&tight, 2, 9).unwrap(), Answer::Definite);
+    }
+
+    #[test]
+    fn chained_opacity_composes_conditions() {
+        // 1 → 2? → 3? → 9: both hops opaque with detours.
+        let s = Internet::new()
+            .known(1, &[2])
+            .opaque(2, &[3, 8])
+            .opaque(3, &[9, 8])
+            .build();
+        match can_reach(&s, 1, 9).unwrap() {
+            Answer::Conditional(c) => {
+                let expected = Condition::eq(Term::Var(s.choice_vars[&2]), Term::int(3))
+                    .and(Condition::eq(Term::Var(s.choice_vars[&3]), Term::int(9)));
+                assert!(faure_solver::equivalent(&s.db.cvars, &c, &expected).unwrap());
+            }
+            other => panic!("expected conditional, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossless_against_world_enumeration() {
+        // The partial answer must agree with enumerating every
+        // combination of external choices.
+        let s = scenario();
+        let out = faure_core::evaluate(&reach_program(), &s.db).unwrap();
+        let rel = out.relation("Reach").unwrap();
+        for world in faure_ctable::worlds::WorldIter::new(&s.db, None).unwrap() {
+            // Ground closure in this world.
+            let e = world.relation("E").unwrap();
+            let mut reach: std::collections::BTreeSet<(i64, i64)> = e
+                .tuples
+                .iter()
+                .map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap()))
+                .collect();
+            loop {
+                let snapshot: Vec<_> = reach.iter().copied().collect();
+                let before = reach.len();
+                for &(a, b) in &snapshot {
+                    for &(c, d) in &snapshot {
+                        if b == c {
+                            reach.insert((a, d));
+                        }
+                    }
+                }
+                if reach.len() == before {
+                    break;
+                }
+            }
+            let lookup = world.assignment.lookup();
+            for t in rel.iter() {
+                let pair = (
+                    t.terms[0].as_const().unwrap().as_int().unwrap(),
+                    t.terms[1].as_const().unwrap().as_int().unwrap(),
+                );
+                assert_eq!(
+                    t.cond.eval(&lookup) == Some(true),
+                    reach.contains(&pair),
+                    "pair {pair:?} world {:?}",
+                    world.assignment
+                );
+            }
+        }
+    }
+}

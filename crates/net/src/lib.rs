@@ -1,0 +1,29 @@
+//! # faure-net — network substrates for Fauré
+//!
+//! Everything the paper's examples and evaluation run *on*:
+//!
+//! * [`topology`] — a small graph substrate (preferential-attachment
+//!   topologies, random simple paths) used by the workload generators;
+//! * [`frr`] — the fast-reroute configuration of Figure 1 / Table 3:
+//!   protected links encoded by `{0,1}` c-variables, all possible
+//!   forwarding behaviours in a single c-table `F`;
+//! * [`queries`] — Listing 2 as ready-made fauré-log programs
+//!   (all-pairs reachability q4–q5 and the failure patterns q6–q8);
+//! * [`rib`] — the §6 evaluation workload: a seeded synthetic
+//!   stand-in for the route-views BGP RIB, generating per-prefix
+//!   forwarding entries with one primary and four preference-ordered
+//!   backup paths;
+//! * [`enterprise`] — the §5 multi-team enterprise model: the
+//!   `Net = {R, Lb, Fw}` database, the constraints `T1, T2, C_lb, C_s`,
+//!   and the Listing 4 update.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enterprise;
+pub mod frr;
+pub mod interdomain;
+pub mod queries;
+pub mod rib;
+pub mod ribtext;
+pub mod topology;

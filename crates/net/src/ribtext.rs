@@ -1,0 +1,445 @@
+//! Textual BGP RIB import.
+//!
+//! The paper derives its forwarding configuration "from BGP RIB
+//! (route-views2.oregon-ix.net)". Route-views publishes its table in
+//! the classic `show ip bgp` layout; this module parses that layout
+//! (the fields fauré needs: network and AS path) so real dumps can be
+//! fed to the engine, and converts the parsed entries into the same
+//! primary/backup c-table encoding as the synthetic generator
+//! ([`crate::rib`]):
+//!
+//! ```text
+//!    Network          Next Hop            Metric LocPrf Weight Path
+//! *> 1.0.0.0/24       203.0.113.1              0             0 701 38040 9737 i
+//! *  1.0.0.0/24       198.51.100.7                           0 3356 9737 i
+//! *                   192.0.2.9                              0 2914 9737 i
+//! ```
+//!
+//! Parsing rules (matching route-views quirks):
+//!
+//! * only lines whose status column contains `*` (valid routes) count;
+//! * a blank network column continues the previous prefix;
+//! * the AS path is the run of integers before the origin code
+//!   (`i`/`e`/`?`); `{...}` AS-sets are skipped;
+//! * the best path (`>`) becomes the primary; remaining paths become
+//!   preference-ordered backups (file order), capped at
+//!   [`MAX_PATHS_PER_PREFIX`].
+
+use crate::rib::RibWorkload;
+use faure_ctable::{CTuple, CVarId, Condition, Database, Domain, Schema, Term};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Paths kept per prefix (1 primary + 4 backups, as in the paper).
+pub const MAX_PATHS_PER_PREFIX: usize = 5;
+
+/// One parsed RIB route.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RibRoute {
+    /// Destination prefix, e.g. `1.0.0.0/24`.
+    pub prefix: String,
+    /// AS path (left = nearest).
+    pub as_path: Vec<u32>,
+    /// Whether the route carries the best-path marker `>`.
+    pub best: bool,
+}
+
+/// Parse errors (line-numbered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub msg: String,
+}
+
+impl fmt::Display for RibParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RIB parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for RibParseError {}
+
+/// Parses a `show ip bgp`-style table into routes. Header lines and
+/// non-route lines are skipped; malformed *route* lines are errors.
+///
+/// Column disambiguation: the `Metric`/`LocPrf`/`Weight` columns are
+/// numeric, just like AS numbers, so token scanning alone cannot tell
+/// where the path starts. When the table header (the line naming the
+/// `Path` column) is present — it always is in real dumps — its byte
+/// offset anchors the path column; otherwise a heuristic strips the
+/// leading `0`/`32768` weight-like tokens.
+pub fn parse_rib(text: &str) -> Result<Vec<RibRoute>, RibParseError> {
+    let mut routes = Vec::new();
+    let mut current_prefix: Option<String> = None;
+    let mut path_col: Option<usize> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.contains("Network") && trimmed.contains("Path") {
+            path_col = trimmed.find("Path");
+            continue;
+        }
+        // Route lines start with a status field containing '*'.
+        let Some(rest) = status_field(trimmed) else {
+            continue;
+        };
+        let best = trimmed[..trimmed.len() - rest.trim_start().len()].contains('>')
+            || rest_starts_best(trimmed);
+        let rest = rest.trim_start();
+
+        // Network column: a prefix token, or blank (continuation).
+        let (prefix, after_net) = if looks_like_prefix(rest) {
+            let (tok, after) = split_token(rest);
+            (tok.to_owned(), after)
+        } else {
+            match &current_prefix {
+                Some(p) => (p.clone(), rest),
+                None => {
+                    return Err(RibParseError {
+                        line: lineno,
+                        msg: "continuation line before any prefix".into(),
+                    })
+                }
+            }
+        };
+        current_prefix = Some(prefix.clone());
+
+        // Prefer the header-anchored path column.
+        let path_text = path_col
+            .and_then(|col| trimmed.get(col..))
+            .filter(|s| !s.trim().is_empty())
+            .unwrap_or(after_net);
+        let as_path = parse_as_path(path_text, path_col.is_some()).ok_or_else(|| {
+            RibParseError {
+                line: lineno,
+                msg: "no AS path / origin code found".into(),
+            }
+        })?;
+        routes.push(RibRoute {
+            prefix,
+            as_path,
+            best,
+        });
+    }
+    Ok(routes)
+}
+
+/// Returns the text after the status columns if this is a route line.
+fn status_field(line: &str) -> Option<&str> {
+    let bytes = line.as_bytes();
+    if bytes.first() != Some(&b'*') {
+        return None;
+    }
+    // Status characters: * > d h r s S = i (then whitespace).
+    let mut end = 0;
+    for (i, b) in bytes.iter().enumerate() {
+        if b" \t".contains(b) {
+            end = i;
+            break;
+        }
+        if !b"*>dhrsS=i".contains(b) {
+            end = i;
+            break;
+        }
+        end = i + 1;
+    }
+    Some(&line[end..])
+}
+
+fn rest_starts_best(line: &str) -> bool {
+    line.starts_with("*>")
+}
+
+fn looks_like_prefix(s: &str) -> bool {
+    // A network prefix carries a mask (`1.0.0.0/24`); a bare address in
+    // this position is the next-hop of a continuation line.
+    let (tok, _) = split_token(s);
+    !tok.is_empty()
+        && tok.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && tok.contains('/')
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '/' || c == ':')
+}
+
+fn split_token(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+/// Extracts the AS path: the run of integer tokens immediately before
+/// the origin code at end of line. `{...}` aggregates are skipped.
+///
+/// With `anchored` (text starts at the header's `Path` column) every
+/// integer token belongs to the path. Without an anchor, the leading
+/// weight-like tokens (`0`, `32768`) are stripped — AS 0 is reserved
+/// and never appears in real paths.
+fn parse_as_path(rest: &str, anchored: bool) -> Option<Vec<u32>> {
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    let (&origin, body) = tokens.split_last()?;
+    if !matches!(origin, "i" | "e" | "?") {
+        return None;
+    }
+    let mut path = Vec::new();
+    for t in body.iter().rev() {
+        if t.starts_with('{') {
+            continue; // AS-set aggregate: ignore
+        }
+        match t.parse::<u32>() {
+            Ok(asn) => path.push(asn),
+            // Stop at the first non-integer (that's the next-hop /
+            // metric boundary).
+            Err(_) => break,
+        }
+    }
+    path.reverse();
+    // AS 0 is reserved (RFC 7607) and never appears in real paths:
+    // leading zeros are the weight/metric columns leaking in (their
+    // exact column drifts with field widths even in real dumps).
+    while path.len() > 1 && path[0] == 0 {
+        path.remove(0);
+    }
+    if !anchored {
+        // Unanchored parsing can also swallow the default local weight.
+        while path.len() > 1 && path[0] == 32768 {
+            path.remove(0);
+        }
+    }
+    if path.is_empty() {
+        return None;
+    }
+    path.truncate(16);
+    Some(path)
+}
+
+/// Groups routes per prefix: best path first, then file order, capped
+/// at [`MAX_PATHS_PER_PREFIX`].
+pub fn group_routes(routes: &[RibRoute]) -> BTreeMap<String, Vec<Vec<u32>>> {
+    let mut grouped: BTreeMap<String, Vec<(bool, Vec<u32>)>> = BTreeMap::new();
+    for r in routes {
+        grouped
+            .entry(r.prefix.clone())
+            .or_default()
+            .push((r.best, r.as_path.clone()));
+    }
+    grouped
+        .into_iter()
+        .map(|(prefix, mut paths)| {
+            // Stable: best first, others keep order.
+            paths.sort_by_key(|(best, _)| !*best);
+            let picked: Vec<Vec<u32>> = paths
+                .into_iter()
+                .map(|(_, p)| p)
+                .take(MAX_PATHS_PER_PREFIX)
+                .collect();
+            (prefix, picked)
+        })
+        .collect()
+}
+
+/// Converts parsed routes into the paper's forwarding c-table, using
+/// the same condition scheme as the synthetic generator: the primary
+/// path is guarded by one of the three monitored link variables
+/// (chosen round-robin per prefix), each backup by per-prefix
+/// availability variables.
+pub fn workload_from_routes(routes: &[RibRoute]) -> RibWorkload {
+    let grouped = group_routes(routes);
+    let mut db = Database::new();
+    db.create_relation(Schema::new("F", &["f", "n1", "n2"]))
+        .expect("fresh database");
+    let x = db.fresh_cvar("x", Domain::Bool01);
+    let y = db.fresh_cvar("y", Domain::Bool01);
+    let z = db.fresh_cvar("z", Domain::Bool01);
+    let monitored = [x, y, z];
+    let mut primary_choice = Vec::new();
+
+    for (pidx, (_prefix, paths)) in grouped.iter().enumerate() {
+        let choice = (pidx % 3) as u8;
+        primary_choice.push(choice);
+        let g = monitored[choice as usize];
+        let backups: Vec<CVarId> = (1..paths.len())
+            .map(|i| db.fresh_cvar(format!("b{pidx}_{i}"), Domain::Bool01))
+            .collect();
+        for (i, path) in paths.iter().enumerate() {
+            let cond = if i == 0 {
+                Condition::eq(Term::Var(g), Term::int(1))
+            } else {
+                let mut c = Condition::eq(Term::Var(g), Term::int(0));
+                for b in backups.iter().take(i - 1) {
+                    c = c.and(Condition::eq(Term::Var(*b), Term::int(0)));
+                }
+                c.and(Condition::eq(Term::Var(backups[i - 1]), Term::int(1)))
+            };
+            for hop in path.windows(2) {
+                db.insert(
+                    "F",
+                    CTuple::with_cond(
+                        [
+                            Term::int(pidx as i64),
+                            Term::int(hop[0] as i64),
+                            Term::int(hop[1] as i64),
+                        ],
+                        cond.clone(),
+                    ),
+                )
+                .expect("arity 3");
+            }
+        }
+    }
+
+    RibWorkload {
+        db,
+        monitored,
+        primary_choice,
+    }
+}
+
+/// Renders a workload-shaped route list back into `show ip bgp` text —
+/// useful for generating importable fixtures and for round-trip tests.
+pub fn render_rib(routes: &[RibRoute]) -> String {
+    let header = "   Network          Next Hop            Metric LocPrf Weight Path";
+    let path_col = header.find("Path").expect("static header");
+    let mut out = String::from(header);
+    out.push('\n');
+    let mut last_prefix = String::new();
+    for r in routes {
+        let status = if r.best { "*>" } else { "* " };
+        let net = if r.prefix == last_prefix {
+            " ".repeat(17)
+        } else {
+            format!("{:<17}", r.prefix)
+        };
+        last_prefix.clone_from(&r.prefix);
+        let mut line = format!("{status} {net}192.0.2.1");
+        // Weight column content, then the path anchored at `path_col`.
+        let weight = "0 ";
+        while line.len() + weight.len() < path_col {
+            line.push(' ');
+        }
+        line.push_str(weight);
+        let path = r
+            .as_path
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        line.push_str(&path);
+        line.push_str(" i\n");
+        out.push_str(&line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+BGP table version is 1000, local router ID is 198.32.162.100
+Status codes: s suppressed, d damped, h history, * valid, > best, i - internal
+   Network          Next Hop            Metric LocPrf Weight Path
+*> 1.0.0.0/24       203.0.113.1              0             0 701 38040 9737 i
+*  1.0.0.0/24       198.51.100.7                           0 3356 9737 i
+*                   192.0.2.9                              0 2914 4826 9737 i
+*> 1.0.4.0/22       203.0.113.1                            0 701 6939 4826 i
+";
+
+    #[test]
+    fn parses_routes_and_continuations() {
+        let routes = parse_rib(SAMPLE).unwrap();
+        assert_eq!(routes.len(), 4);
+        assert_eq!(routes[0].prefix, "1.0.0.0/24");
+        assert_eq!(routes[0].as_path, vec![701, 38040, 9737]);
+        assert!(routes[0].best);
+        assert!(!routes[1].best);
+        // Continuation line inherits the prefix.
+        assert_eq!(routes[2].prefix, "1.0.0.0/24");
+        assert_eq!(routes[2].as_path, vec![2914, 4826, 9737]);
+        assert_eq!(routes[3].prefix, "1.0.4.0/22");
+    }
+
+    #[test]
+    fn grouping_puts_best_first() {
+        let routes = parse_rib(SAMPLE).unwrap();
+        let grouped = group_routes(&routes);
+        assert_eq!(grouped.len(), 2);
+        let p = &grouped["1.0.0.0/24"];
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], vec![701, 38040, 9737]); // the best path
+    }
+
+    #[test]
+    fn skips_headers_and_noise() {
+        let routes = parse_rib("garbage\n\nNetwork Next Hop\n").unwrap();
+        assert!(routes.is_empty());
+    }
+
+    #[test]
+    fn continuation_without_prefix_is_error() {
+        let err = parse_rib("*                 192.0.2.9   0 701 i\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn as_sets_are_skipped() {
+        let routes =
+            parse_rib("*> 9.0.0.0/8       192.0.2.1    0 701 {7046,1239} i\n").unwrap();
+        assert_eq!(routes[0].as_path, vec![701]);
+    }
+
+    #[test]
+    fn workload_from_text_runs_queries() {
+        let routes = parse_rib(SAMPLE).unwrap();
+        let w = workload_from_routes(&routes);
+        let f = w.db.relation("F").unwrap();
+        assert!(f.len() >= 5);
+        // Reachability works end to end on imported data.
+        let out = faure_core::evaluate(&crate::queries::reachability_program(), &w.db).unwrap();
+        assert!(out.relation("R").unwrap().len() >= f.len());
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let routes = parse_rib(SAMPLE).unwrap();
+        let text = render_rib(&routes);
+        let reparsed = parse_rib(&text).unwrap();
+        assert_eq!(routes.len(), reparsed.len());
+        for (a, b) in routes.iter().zip(&reparsed) {
+            assert_eq!(a.prefix, b.prefix);
+            assert_eq!(a.as_path, b.as_path);
+            assert_eq!(a.best, b.best);
+        }
+    }
+
+    #[test]
+    fn path_conditions_are_exclusive_on_imported_data() {
+        let routes = parse_rib(SAMPLE).unwrap();
+        let w = workload_from_routes(&routes);
+        // For prefix 0 (1.0.0.0/24), collect the distinct conditions.
+        let f = w.db.relation("F").unwrap();
+        let mut conds = Vec::new();
+        for t in f.iter() {
+            if t.terms[0] == Term::int(0) && !conds.contains(&t.cond) {
+                conds.push(t.cond.clone());
+            }
+        }
+        assert_eq!(conds.len(), 3); // 3 paths for 1.0.0.0/24
+        for (i, a) in conds.iter().enumerate() {
+            for b in conds.iter().skip(i + 1) {
+                assert!(!faure_solver::satisfiable(
+                    &w.db.cvars,
+                    &a.clone().and(b.clone())
+                )
+                .unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Solver errors.
+
+use std::fmt;
+
+/// Errors raised by the decision procedure.
+///
+/// The solver never silently approximates: inputs outside the supported
+/// fragment produce an error rather than a possibly-wrong verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// A c-variable with an open (infinite) domain occurs in an order
+    /// comparison or a linear-arithmetic atom. The finite-domain theory
+    /// cannot decide this; give the variable a finite domain.
+    OpenDomainArith {
+        /// Name of the offending c-variable.
+        cvar: String,
+    },
+    /// A linear expression references a c-variable whose domain
+    /// contains non-integer constants.
+    NonNumericLinear {
+        /// Name of the offending c-variable.
+        cvar: String,
+    },
+    /// The search exceeded the configured node budget (pathological
+    /// boolean structure). Raising the budget is always sound.
+    BudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::OpenDomainArith { cvar } => write!(
+                f,
+                "c-variable {cvar}' has an open domain but occurs in an order/linear atom"
+            ),
+            SolverError::NonNumericLinear { cvar } => write!(
+                f,
+                "c-variable {cvar}' has a non-numeric domain but occurs in a linear expression"
+            ),
+            SolverError::BudgetExceeded { budget } => {
+                write!(f, "solver search budget of {budget} nodes exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}

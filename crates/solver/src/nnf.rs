@@ -1,0 +1,112 @@
+//! Negation normal form.
+//!
+//! Negations are pushed down to the atoms (where they flip the
+//! comparison operator), leaving a tree of `And` / `Or` over positive
+//! atoms. This is the input shape for the DPLL-style search.
+
+use faure_ctable::{Atom, Condition};
+
+/// A condition in negation normal form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Nnf {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A (positive) atom; negation has been folded into the operator.
+    Atom(Atom),
+    /// Conjunction.
+    And(Vec<Nnf>),
+    /// Disjunction.
+    Or(Vec<Nnf>),
+}
+
+impl Nnf {
+    /// Number of atoms in the formula.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Nnf::True | Nnf::False => 0,
+            Nnf::Atom(_) => 1,
+            Nnf::And(cs) | Nnf::Or(cs) => cs.iter().map(Nnf::atom_count).sum(),
+        }
+    }
+}
+
+/// Converts `cond` to negation normal form.
+pub fn to_nnf(cond: &Condition) -> Nnf {
+    convert(cond, false)
+}
+
+fn convert(cond: &Condition, negate: bool) -> Nnf {
+    match (cond, negate) {
+        (Condition::True, false) | (Condition::False, true) => Nnf::True,
+        (Condition::True, true) | (Condition::False, false) => Nnf::False,
+        (Condition::Atom(a), false) => Nnf::Atom(a.clone()),
+        (Condition::Atom(a), true) => Nnf::Atom(Atom {
+            lhs: a.lhs.clone(),
+            op: a.op.negated(),
+            rhs: a.rhs.clone(),
+        }),
+        (Condition::Not(inner), n) => convert(inner, !n),
+        (Condition::And(cs), false) | (Condition::Or(cs), true) => {
+            Nnf::And(cs.iter().map(|c| convert(c, negate)).collect())
+        }
+        (Condition::Or(cs), false) | (Condition::And(cs), true) => {
+            Nnf::Or(cs.iter().map(|c| convert(c, negate)).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_ctable::{CVarRegistry, CmpOp, Condition, Domain, Term};
+
+    fn atom(x: faure_ctable::CVarId, op: CmpOp, v: i64) -> Condition {
+        Condition::cmp(Term::Var(x), op, Term::int(v))
+    }
+
+    #[test]
+    fn pushes_negation_through_and() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let y = reg.fresh("y", Domain::Bool01);
+        // ¬(x=1 ∧ y=1) → x≠1 ∨ y≠1
+        let c = atom(x, CmpOp::Eq, 1).and(atom(y, CmpOp::Eq, 1)).negate();
+        let nnf = to_nnf(&c);
+        match nnf {
+            Nnf::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(&parts[0], Nnf::Atom(a) if a.op == CmpOp::Ne));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let c = Condition::Not(Box::new(Condition::Not(Box::new(atom(x, CmpOp::Lt, 1)))));
+        assert_eq!(to_nnf(&c), Nnf::Atom(faure_ctable::Atom::new(Term::Var(x), CmpOp::Lt, Term::int(1))));
+    }
+
+    #[test]
+    fn constants_flip() {
+        assert_eq!(to_nnf(&Condition::True.negate()), Nnf::False);
+        assert_eq!(
+            to_nnf(&Condition::Not(Box::new(Condition::Or(vec![])))),
+            Nnf::And(vec![])
+        );
+    }
+
+    #[test]
+    fn atom_count_counts_leaves() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let c = atom(x, CmpOp::Eq, 1)
+            .and(atom(x, CmpOp::Ne, 0))
+            .or(atom(x, CmpOp::Eq, 0));
+        assert_eq!(to_nnf(&c).atom_count(), 3);
+    }
+}

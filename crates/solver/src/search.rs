@@ -1,0 +1,316 @@
+//! DPLL-style search over the boolean structure of a condition.
+//!
+//! The NNF formula is explored depth-first: conjunctions extend the
+//! current branch, disjunctions fork it. At each complete branch the
+//! collected atom conjunction is handed to the theory solver
+//! ([`crate::theory`]). Ground atoms are evaluated on the spot so
+//! contradictory branches are cut before reaching the theory.
+//!
+//! This is lazy DNF enumeration with theory pruning — exponential in
+//! the worst case (it is deciding SAT, after all) but linear on the
+//! conjunctive conditions that dominate fauré workloads. A node budget
+//! guards against pathological inputs.
+
+use crate::error::SolverError;
+use crate::nnf::{to_nnf, Nnf};
+use crate::theory::check_conjunction;
+use faure_ctable::{Assignment, Atom, CVarRegistry, Condition};
+use std::collections::BTreeSet;
+
+/// Default search budget (number of DFS nodes).
+pub const DEFAULT_BUDGET: u64 = 50_000_000;
+
+/// Is `cond` satisfiable for *some* assignment of its c-variables?
+pub fn satisfiable(reg: &CVarRegistry, cond: &Condition) -> Result<bool, SolverError> {
+    Ok(find_model(reg, cond)?.is_some())
+}
+
+/// Finds a satisfying assignment of the c-variables mentioned in
+/// `cond`, or `None` if the condition is unsatisfiable.
+pub fn find_model(
+    reg: &CVarRegistry,
+    cond: &Condition,
+) -> Result<Option<Assignment>, SolverError> {
+    find_model_budgeted(reg, cond, DEFAULT_BUDGET)
+}
+
+/// [`find_model`] with an explicit node budget.
+pub fn find_model_budgeted(
+    reg: &CVarRegistry,
+    cond: &Condition,
+    budget: u64,
+) -> Result<Option<Assignment>, SolverError> {
+    let nnf = to_nnf(cond);
+    let mut stack: Vec<&Nnf> = vec![&nnf];
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut nodes = Budget {
+        remaining: budget,
+        budget,
+    };
+    dfs(reg, &mut stack, &mut atoms, &mut nodes)
+}
+
+/// Enumerates up to `limit` distinct **total** models of `cond` over
+/// the c-variables it mentions, in lexicographic domain order.
+///
+/// Every mentioned variable must have a *finite* domain (open-domain
+/// conditions have infinitely many models); otherwise
+/// [`SolverError::OpenDomainArith`] is returned. The enumeration walks
+/// the assignment space directly — intended for the paper's typical
+/// question "under exactly which failure combinations does this
+/// condition hold?", where the variables are a handful of `{0,1}` link
+/// states. The walk aborts with [`SolverError::BudgetExceeded`] if the
+/// assignment space exceeds `2^24`.
+pub fn all_models(
+    reg: &CVarRegistry,
+    cond: &Condition,
+    limit: usize,
+) -> Result<Vec<Assignment>, SolverError> {
+    let vars: Vec<_> = cond.cvars().into_iter().collect();
+    let mut domains = Vec::with_capacity(vars.len());
+    let mut space: u128 = 1;
+    for &v in &vars {
+        let members = reg.domain(v).members().ok_or_else(|| {
+            SolverError::OpenDomainArith {
+                cvar: reg.name(v).to_owned(),
+            }
+        })?;
+        space = space.saturating_mul(members.len().max(1) as u128);
+        domains.push(members);
+    }
+    const SPACE_CAP: u128 = 1 << 24;
+    if space > SPACE_CAP {
+        return Err(SolverError::BudgetExceeded {
+            budget: SPACE_CAP as u64,
+        });
+    }
+    if domains.iter().any(|d| d.is_empty()) {
+        return Ok(Vec::new());
+    }
+
+    let mut models = Vec::new();
+    let mut idx = vec![0usize; vars.len()];
+    loop {
+        let assignment = Assignment::from_pairs(
+            (0..vars.len()).map(|i| (vars[i], domains[i][idx[i]].clone())),
+        );
+        if cond.eval(&assignment.lookup()) == Some(true) {
+            models.push(assignment);
+            if models.len() >= limit {
+                break;
+            }
+        }
+        // Odometer.
+        let mut carry = true;
+        for i in (0..idx.len()).rev() {
+            if !carry {
+                break;
+            }
+            idx[i] += 1;
+            if idx[i] < domains[i].len() {
+                carry = false;
+            } else {
+                idx[i] = 0;
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    Ok(models)
+}
+
+struct Budget {
+    remaining: u64,
+    budget: u64,
+}
+
+impl Budget {
+    fn tick(&mut self) -> Result<(), SolverError> {
+        if self.remaining == 0 {
+            return Err(SolverError::BudgetExceeded {
+                budget: self.budget,
+            });
+        }
+        self.remaining -= 1;
+        Ok(())
+    }
+}
+
+/// Invariant: `dfs` restores `stack` and `atoms` to their entry state
+/// before returning, so `Or` branches explore independent extensions.
+fn dfs(
+    reg: &CVarRegistry,
+    stack: &mut Vec<&Nnf>,
+    atoms: &mut Vec<Atom>,
+    nodes: &mut Budget,
+) -> Result<Option<Assignment>, SolverError> {
+    nodes.tick()?;
+    let Some(node) = stack.pop() else {
+        return check_conjunction(reg, atoms);
+    };
+    let out = match node {
+        Nnf::True => dfs(reg, stack, atoms, nodes),
+        Nnf::False => Ok(None),
+        Nnf::Atom(a) => {
+            let mut vars = BTreeSet::new();
+            a.cvars(&mut vars);
+            if vars.is_empty() {
+                // Ground atom: decide immediately.
+                match a.eval(&|_| unreachable!("ground atom")) {
+                    Some(true) => dfs(reg, stack, atoms, nodes),
+                    Some(false) | None => Ok(None),
+                }
+            } else {
+                atoms.push(a.clone());
+                let r = dfs(reg, stack, atoms, nodes);
+                atoms.pop();
+                r
+            }
+        }
+        Nnf::And(cs) => {
+            for c in cs {
+                stack.push(c);
+            }
+            let r = dfs(reg, stack, atoms, nodes);
+            stack.truncate(stack.len() - cs.len());
+            r
+        }
+        Nnf::Or(cs) => {
+            let mut found = Ok(None);
+            for c in cs {
+                stack.push(c);
+                let r = dfs(reg, stack, atoms, nodes);
+                stack.pop();
+                match r {
+                    Ok(None) => {}
+                    other => {
+                        found = other;
+                        break;
+                    }
+                }
+            }
+            found
+        }
+    };
+    stack.push(node);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_ctable::{CmpOp, Condition, Domain, LinExpr, Term};
+
+    #[test]
+    fn true_and_false() {
+        let reg = CVarRegistry::new();
+        assert!(satisfiable(&reg, &Condition::True).unwrap());
+        assert!(!satisfiable(&reg, &Condition::False).unwrap());
+    }
+
+    #[test]
+    fn table2_row1_condition() {
+        // x̄ = [ABC] ∨ x̄ = [ADEC] with dom(x̄) = both paths: satisfiable.
+        let mut reg = CVarRegistry::new();
+        let abc = faure_ctable::Const::path(&["A", "B", "C"]);
+        let adec = faure_ctable::Const::path(&["A", "D", "E", "C"]);
+        let x = reg.fresh("x", Domain::Consts(vec![abc.clone(), adec.clone()]));
+        let cond = Condition::eq(Term::Var(x), Term::Const(abc))
+            .or(Condition::eq(Term::Var(x), Term::Const(adec)));
+        assert!(satisfiable(&reg, &cond).unwrap());
+        // Conjoined with x̄ = [ABE] (not in the domain): unsat.
+        let abe = faure_ctable::Const::path(&["A", "B", "E"]);
+        let bad = cond.and(Condition::eq(Term::Var(x), Term::Const(abe)));
+        assert!(!satisfiable(&reg, &bad).unwrap());
+    }
+
+    #[test]
+    fn ground_atoms_short_circuit() {
+        let reg = CVarRegistry::new();
+        let c = Condition::eq(Term::int(1), Term::int(1))
+            .and(Condition::ne(Term::sym("a"), Term::sym("b")));
+        assert!(satisfiable(&reg, &c).unwrap());
+        let c2 = Condition::eq(Term::int(1), Term::int(2));
+        assert!(!satisfiable(&reg, &c2).unwrap());
+    }
+
+    #[test]
+    fn disjunction_of_contradictions() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let contradiction = Condition::eq(Term::Var(x), Term::int(0))
+            .and(Condition::eq(Term::Var(x), Term::int(1)));
+        let both = contradiction.clone().or(contradiction);
+        assert!(!satisfiable(&reg, &both).unwrap());
+    }
+
+    #[test]
+    fn negation_of_linear() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let y = reg.fresh("y", Domain::Bool01);
+        // ¬(x̄ + ȳ ≥ 1) ⇒ x̄ + ȳ < 1 ⇒ both zero.
+        let c = Condition::cmp(LinExpr::sum([x, y]), CmpOp::Ge, LinExpr::constant(1)).negate();
+        let m = find_model(&reg, &c).unwrap().unwrap();
+        assert_eq!(m.get(x).unwrap().as_int(), Some(0));
+        assert_eq!(m.get(y).unwrap().as_int(), Some(0));
+    }
+
+    #[test]
+    fn model_satisfies_condition() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let y = reg.fresh("y", Domain::Bool01);
+        let z = reg.fresh("z", Domain::Bool01);
+        let c = Condition::cmp(LinExpr::sum([x, y, z]), CmpOp::Eq, LinExpr::constant(1))
+            .and(Condition::eq(Term::Var(y), Term::int(0)))
+            .or(Condition::eq(Term::Var(z), Term::int(1)).negate());
+        let m = find_model(&reg, &c).unwrap().unwrap();
+        // Evaluating the condition under the returned model must hold.
+        assert_eq!(c.eval(&m.lookup()), Some(true));
+    }
+
+    #[test]
+    fn all_models_enumerates_failure_scenarios() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let y = reg.fresh("y", Domain::Bool01);
+        let z = reg.fresh("z", Domain::Bool01);
+        // Exactly one link up: 3 scenarios.
+        let c = Condition::cmp(LinExpr::sum([x, y, z]), CmpOp::Eq, LinExpr::constant(1));
+        let models = all_models(&reg, &c, 100).unwrap();
+        assert_eq!(models.len(), 3);
+        for m in &models {
+            assert_eq!(c.eval(&m.lookup()), Some(true));
+        }
+        // Limit respected.
+        assert_eq!(all_models(&reg, &c, 2).unwrap().len(), 2);
+        // Unsat → empty.
+        let unsat = Condition::cmp(LinExpr::sum([x]), CmpOp::Eq, LinExpr::constant(5));
+        assert!(all_models(&reg, &unsat, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn all_models_rejects_open_domains() {
+        let mut reg = CVarRegistry::new();
+        let o = reg.fresh("o", Domain::Open);
+        let c = Condition::ne(Term::Var(o), Term::int(1));
+        assert!(matches!(
+            all_models(&reg, &c, 10),
+            Err(SolverError::OpenDomainArith { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_exceeded_reported() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let c = Condition::eq(Term::Var(x), Term::int(0))
+            .or(Condition::eq(Term::Var(x), Term::int(1)));
+        assert!(matches!(
+            find_model_budgeted(&reg, &c, 1),
+            Err(SolverError::BudgetExceeded { .. })
+        ));
+    }
+}

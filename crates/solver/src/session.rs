@@ -1,0 +1,141 @@
+//! Stats-collecting solver session.
+//!
+//! The Table 4 reproduction reports the time spent in the solver phase
+//! separately from the relational ("SQL") phase, mirroring the paper's
+//! `sql` / `Z3` columns. [`Session`] wraps the solver entry points and
+//! accumulates call counts and wall-clock time.
+
+use crate::error::SolverError;
+use crate::search;
+use crate::simplify;
+use faure_ctable::{Assignment, CVarRegistry, Condition};
+use std::time::{Duration, Instant};
+
+/// Accumulated solver statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of satisfiability queries issued.
+    pub sat_calls: u64,
+    /// How many of them came back satisfiable.
+    pub sat_true: u64,
+    /// Number of `simplify_pruned` invocations.
+    pub simplify_calls: u64,
+    /// Total wall-clock time inside the solver.
+    pub time: Duration,
+}
+
+/// A solver session: entry points plus accumulated statistics.
+///
+/// Sessions are cheap; the evaluation pipeline creates one per query
+/// run and folds its stats into the run report.
+#[derive(Debug, Default)]
+pub struct Session {
+    stats: SolverStats,
+}
+
+impl Session {
+    /// A fresh session with zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Resets statistics to zero.
+    pub fn reset(&mut self) {
+        self.stats = SolverStats::default();
+    }
+
+    /// Satisfiability with stats accounting.
+    pub fn satisfiable(
+        &mut self,
+        reg: &CVarRegistry,
+        cond: &Condition,
+    ) -> Result<bool, SolverError> {
+        let start = Instant::now();
+        let out = search::satisfiable(reg, cond);
+        self.stats.time += start.elapsed();
+        self.stats.sat_calls += 1;
+        if let Ok(true) = out {
+            self.stats.sat_true += 1;
+        }
+        out
+    }
+
+    /// Model search with stats accounting.
+    pub fn find_model(
+        &mut self,
+        reg: &CVarRegistry,
+        cond: &Condition,
+    ) -> Result<Option<Assignment>, SolverError> {
+        let start = Instant::now();
+        let out = search::find_model(reg, cond);
+        self.stats.time += start.elapsed();
+        self.stats.sat_calls += 1;
+        if let Ok(Some(_)) = out {
+            self.stats.sat_true += 1;
+        }
+        out
+    }
+
+    /// Solver-backed simplification with stats accounting.
+    pub fn simplify_pruned(
+        &mut self,
+        reg: &CVarRegistry,
+        cond: &Condition,
+    ) -> Result<Condition, SolverError> {
+        let start = Instant::now();
+        let out = simplify::simplify_pruned(reg, cond);
+        self.stats.time += start.elapsed();
+        self.stats.simplify_calls += 1;
+        out
+    }
+
+    /// Merges another session's stats into this one.
+    pub fn absorb(&mut self, other: &Session) {
+        self.stats.sat_calls += other.stats.sat_calls;
+        self.stats.sat_true += other.stats.sat_true;
+        self.stats.simplify_calls += other.stats.simplify_calls;
+        self.stats.time += other.stats.time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_ctable::{Domain, Term};
+
+    #[test]
+    fn stats_accumulate() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let mut s = Session::new();
+        let sat = Condition::eq(Term::Var(x), Term::int(1));
+        let unsat = sat
+            .clone()
+            .and(Condition::eq(Term::Var(x), Term::int(0)));
+        assert!(s.satisfiable(&reg, &sat).unwrap());
+        assert!(!s.satisfiable(&reg, &unsat).unwrap());
+        let st = s.stats();
+        assert_eq!(st.sat_calls, 2);
+        assert_eq!(st.sat_true, 1);
+        s.reset();
+        assert_eq!(s.stats(), SolverStats::default());
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let mut a = Session::new();
+        let mut b = Session::new();
+        let c = Condition::eq(Term::Var(x), Term::int(1));
+        a.satisfiable(&reg, &c).unwrap();
+        b.satisfiable(&reg, &c).unwrap();
+        a.absorb(&b);
+        assert_eq!(a.stats().sat_calls, 2);
+    }
+}

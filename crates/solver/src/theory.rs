@@ -1,0 +1,405 @@
+//! Theory solver: decides conjunctions of atoms.
+//!
+//! Given a conjunction of comparison atoms, this module decides whether
+//! an assignment of the mentioned c-variables satisfies all of them,
+//! and produces one if so. It is a small, exact CSP solver:
+//!
+//! * variables with finite domains are enumerated with backtracking and
+//!   eager atom evaluation (an atom is checked as soon as all its
+//!   variables are assigned);
+//! * variables with *open* domains participate only in equality /
+//!   disequality atoms (anything else is [`SolverError::OpenDomainArith`]);
+//!   for them the classic infinite-domain argument applies — it
+//!   suffices to consider the constants mentioned in the conjunction
+//!   plus one fresh value per variable, which makes the enumeration
+//!   complete;
+//! * variables inside linear expressions must have numeric domains
+//!   ([`SolverError::NonNumericLinear`] otherwise).
+//!
+//! The conjunctions fauré generates are small (a handful of variables
+//! with domains like `{0,1}`), so exhaustive search with eager checking
+//! is both exact and fast; see `faure-bench`'s solver benchmarks.
+
+use crate::error::SolverError;
+use faure_ctable::{
+    intern, Assignment, Atom, CVarId, CVarRegistry, CmpOp, Const, Domain, Expr, Term,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Decides a conjunction of atoms. Returns a satisfying assignment of
+/// every mentioned c-variable, or `None` if the conjunction is
+/// unsatisfiable.
+pub fn check_conjunction(
+    reg: &CVarRegistry,
+    atoms: &[Atom],
+) -> Result<Option<Assignment>, SolverError> {
+    // Fast path: evaluate ground atoms immediately and drop them.
+    let mut pending: Vec<&Atom> = Vec::with_capacity(atoms.len());
+    for a in atoms {
+        let mut vars = BTreeSet::new();
+        a.cvars(&mut vars);
+        if vars.is_empty() {
+            match a.eval(&|_| unreachable!("ground atom")) {
+                Some(true) => {}
+                // `None` can only arise from a non-integer constant in a
+                // linear expression, which cannot be satisfied.
+                Some(false) | None => return Ok(None),
+            }
+        } else {
+            pending.push(a);
+        }
+    }
+    if pending.is_empty() {
+        return Ok(Some(Assignment::new()));
+    }
+
+    let csp = Csp::build(reg, &pending)?;
+    Ok(csp.solve())
+}
+
+/// One variable of the CSP with its concrete candidate values.
+struct CspVar {
+    id: CVarId,
+    candidates: Vec<Const>,
+}
+
+struct Csp<'a> {
+    vars: Vec<CspVar>,
+    /// For each atom, the indices (into `vars`) of the variables it
+    /// mentions; the atom is evaluated when the last of them is assigned.
+    atoms: Vec<(&'a Atom, Vec<usize>)>,
+    /// atoms_by_last[i] = atoms whose highest-indexed variable is i.
+    atoms_by_last: Vec<Vec<usize>>,
+}
+
+impl<'a> Csp<'a> {
+    fn build(reg: &CVarRegistry, pending: &[&'a Atom]) -> Result<Self, SolverError> {
+        // Classify how each variable is used.
+        let mut arith_vars = BTreeSet::new(); // order atoms or linear exprs
+        let mut lin_vars = BTreeSet::new(); // inside linear expressions
+        let mut all_vars = BTreeSet::new();
+        let mut mentioned_consts: BTreeSet<Const> = BTreeSet::new();
+
+        for a in pending {
+            let mut vars = BTreeSet::new();
+            a.cvars(&mut vars);
+            all_vars.extend(vars.iter().copied());
+            let is_order = !matches!(a.op, CmpOp::Eq | CmpOp::Ne);
+            for side in [&a.lhs, &a.rhs] {
+                match side {
+                    Expr::Term(Term::Var(v)) => {
+                        if is_order {
+                            arith_vars.insert(*v);
+                        }
+                    }
+                    Expr::Term(Term::Const(c)) => {
+                        mentioned_consts.insert(c.clone());
+                    }
+                    Expr::Lin(l) => {
+                        for &(_, v) in &l.terms {
+                            arith_vars.insert(v);
+                            lin_vars.insert(v);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Open-domain candidates must cover every constant an open
+        // variable could be forced to equal: constants mentioned in the
+        // atoms AND the domain members of participating finite-domain
+        // variables (e.g. `h̄ = ȳ` with `ȳ ∈ {CS, GS}` needs `GS` as a
+        // candidate for the open `h̄`).
+        for &v in &all_vars {
+            if let Some(members) = reg.domain(v).members() {
+                mentioned_consts.extend(members);
+            }
+        }
+
+        // Shared fresh pool for open-domain variables: with k open
+        // variables, k fresh values (distinct from every mentioned
+        // constant and from each other) suffice to realise every
+        // equality/disequality pattern among them — each variable's
+        // candidate set is the mentioned constants plus the whole pool.
+        // (A *per-variable* fresh value would wrongly make `ō₁ = ō₂`
+        // unsatisfiable.)
+        let open_count = all_vars
+            .iter()
+            .filter(|v| reg.domain(**v).members().is_none())
+            .count();
+        let fresh_pool: Vec<Const> = (0..open_count)
+            .map(|i| Const::Sym(intern(&format!("\u{27e8}fresh:{i}\u{27e9}"))))
+            .collect();
+
+        // Validate the fragment and compute candidate values per variable.
+        let mut vars = Vec::new();
+        for &v in &all_vars {
+            let domain = reg.domain(v);
+            if lin_vars.contains(&v) && !domain.is_numeric() && *domain != Domain::Open {
+                return Err(SolverError::NonNumericLinear {
+                    cvar: reg.name(v).to_owned(),
+                });
+            }
+            let candidates = match domain.members() {
+                Some(members) => members,
+                None => {
+                    if arith_vars.contains(&v) {
+                        return Err(SolverError::OpenDomainArith {
+                            cvar: reg.name(v).to_owned(),
+                        });
+                    }
+                    // Open domain in Eq/Ne atoms only.
+                    let mut cands: Vec<Const> = mentioned_consts.iter().cloned().collect();
+                    cands.extend(fresh_pool.iter().cloned());
+                    cands
+                }
+            };
+            vars.push(CspVar { id: v, candidates });
+        }
+
+        // Order variables by candidate count (fail-first heuristic).
+        vars.sort_by_key(|v| v.candidates.len());
+        let position: BTreeMap<CVarId, usize> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.id, i))
+            .collect();
+
+        let mut atoms = Vec::with_capacity(pending.len());
+        let mut atoms_by_last = vec![Vec::new(); vars.len()];
+        for (ai, a) in pending.iter().enumerate() {
+            let mut vs = BTreeSet::new();
+            a.cvars(&mut vs);
+            let idxs: Vec<usize> = vs.iter().map(|v| position[v]).collect();
+            let last = *idxs.iter().max().expect("non-ground atom");
+            atoms.push((*a, idxs));
+            atoms_by_last[last].push(ai);
+        }
+
+        Ok(Csp {
+            vars,
+            atoms,
+            atoms_by_last,
+        })
+    }
+
+    fn solve(&self) -> Option<Assignment> {
+        let mut values: Vec<Option<Const>> = vec![None; self.vars.len()];
+        if self.assign(0, &mut values) {
+            Some(Assignment::from_pairs(
+                self.vars
+                    .iter()
+                    .zip(values)
+                    .map(|(v, c)| (v.id, c.expect("complete assignment"))),
+            ))
+        } else {
+            None
+        }
+    }
+
+    fn assign(&self, depth: usize, values: &mut Vec<Option<Const>>) -> bool {
+        if depth == self.vars.len() {
+            return true;
+        }
+        // Clone out the candidate list to appease the borrow checker;
+        // candidate lists are tiny.
+        for cand in &self.vars[depth].candidates {
+            values[depth] = Some(cand.clone());
+            if self.consistent_at(depth, values) && self.assign(depth + 1, values) {
+                return true;
+            }
+        }
+        values[depth] = None;
+        false
+    }
+
+    /// Checks every atom whose variables are now all assigned (i.e.
+    /// whose highest variable index is `depth`).
+    fn consistent_at(&self, depth: usize, values: &[Option<Const>]) -> bool {
+        let id_of = |pos: usize| self.vars[pos].id;
+        for &ai in &self.atoms_by_last[depth] {
+            let (atom, idxs) = &self.atoms[ai];
+            debug_assert!(idxs.iter().all(|&i| values[i].is_some()));
+            let lookup = |v: CVarId| -> Const {
+                let pos = self
+                    .vars
+                    .iter()
+                    .position(|cv| cv.id == v)
+                    .expect("atom variable registered");
+                debug_assert_eq!(id_of(pos), v);
+                values[pos].clone().expect("assigned")
+            };
+            match atom.eval(&lookup) {
+                Some(true) => {}
+                // `None` = non-integer value in a linear expression: this
+                // candidate cannot satisfy the atom.
+                Some(false) | None => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_ctable::LinExpr;
+
+    fn atom(lhs: impl Into<Expr>, op: CmpOp, rhs: impl Into<Expr>) -> Atom {
+        Atom::new(lhs, op, rhs)
+    }
+
+    #[test]
+    fn empty_conjunction_is_sat() {
+        let reg = CVarRegistry::new();
+        assert!(check_conjunction(&reg, &[]).unwrap().is_some());
+    }
+
+    #[test]
+    fn ground_contradiction() {
+        let reg = CVarRegistry::new();
+        let a = atom(Term::int(1), CmpOp::Eq, Term::int(2));
+        assert!(check_conjunction(&reg, &[a]).unwrap().is_none());
+    }
+
+    #[test]
+    fn finite_domain_eq_chain() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let y = reg.fresh("y", Domain::Bool01);
+        // x = y ∧ x ≠ 0  ⇒  x = y = 1
+        let atoms = [
+            atom(Term::Var(x), CmpOp::Eq, Term::Var(y)),
+            atom(Term::Var(x), CmpOp::Ne, Term::int(0)),
+        ];
+        let m = check_conjunction(&reg, &atoms).unwrap().unwrap();
+        assert_eq!(m.get(x), Some(&Const::Int(1)));
+        assert_eq!(m.get(y), Some(&Const::Int(1)));
+    }
+
+    #[test]
+    fn finite_domain_unsat() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let atoms = [
+            atom(Term::Var(x), CmpOp::Ne, Term::int(0)),
+            atom(Term::Var(x), CmpOp::Ne, Term::int(1)),
+        ];
+        assert!(check_conjunction(&reg, &atoms).unwrap().is_none());
+    }
+
+    #[test]
+    fn linear_sum_constraint() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let y = reg.fresh("y", Domain::Bool01);
+        let z = reg.fresh("z", Domain::Bool01);
+        // x+y+z = 1 ∧ y = 0 ∧ z = 0 ⇒ x = 1
+        let atoms = [
+            atom(LinExpr::sum([x, y, z]), CmpOp::Eq, LinExpr::constant(1)),
+            atom(Term::Var(y), CmpOp::Eq, Term::int(0)),
+            atom(Term::Var(z), CmpOp::Eq, Term::int(0)),
+        ];
+        let m = check_conjunction(&reg, &atoms).unwrap().unwrap();
+        assert_eq!(m.get(x), Some(&Const::Int(1)));
+        // x+y+z = 4 over {0,1} is unsat.
+        let unsat = [atom(LinExpr::sum([x, y, z]), CmpOp::Eq, LinExpr::constant(4))];
+        assert!(check_conjunction(&reg, &unsat).unwrap().is_none());
+    }
+
+    #[test]
+    fn linear_inequalities() {
+        let mut reg = CVarRegistry::new();
+        let y = reg.fresh("y", Domain::Bool01);
+        let z = reg.fresh("z", Domain::Bool01);
+        // y+z < 2 ∧ y+z > 0 ⇒ exactly one of y,z is 1
+        let atoms = [
+            atom(LinExpr::sum([y, z]), CmpOp::Lt, LinExpr::constant(2)),
+            atom(LinExpr::sum([y, z]), CmpOp::Gt, LinExpr::constant(0)),
+        ];
+        let m = check_conjunction(&reg, &atoms).unwrap().unwrap();
+        let sum = m.get(y).unwrap().as_int().unwrap() + m.get(z).unwrap().as_int().unwrap();
+        assert_eq!(sum, 1);
+    }
+
+    #[test]
+    fn open_domain_equalities_complete() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Open);
+        let y = reg.fresh("y", Domain::Open);
+        // x ≠ Mkt ∧ x ≠ R&D is satisfiable (fresh value exists).
+        let atoms = [
+            atom(Term::Var(x), CmpOp::Ne, Term::sym("Mkt")),
+            atom(Term::Var(x), CmpOp::Ne, Term::sym("R&D")),
+        ];
+        assert!(check_conjunction(&reg, &atoms).unwrap().is_some());
+        // x = y ∧ x = Mkt ∧ y ≠ Mkt is unsat.
+        let atoms = [
+            atom(Term::Var(x), CmpOp::Eq, Term::Var(y)),
+            atom(Term::Var(x), CmpOp::Eq, Term::sym("Mkt")),
+            atom(Term::Var(y), CmpOp::Ne, Term::sym("Mkt")),
+        ];
+        assert!(check_conjunction(&reg, &atoms).unwrap().is_none());
+    }
+
+    #[test]
+    fn open_domain_order_rejected() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Open);
+        let atoms = [atom(Term::Var(x), CmpOp::Lt, Term::int(5))];
+        assert_eq!(
+            check_conjunction(&reg, &atoms),
+            Err(SolverError::OpenDomainArith { cvar: "x".into() })
+        );
+    }
+
+    #[test]
+    fn non_numeric_linear_rejected() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Consts(vec![Const::sym("a")]));
+        let atoms = [atom(LinExpr::var(x), CmpOp::Eq, LinExpr::constant(1))];
+        assert_eq!(
+            check_conjunction(&reg, &atoms),
+            Err(SolverError::NonNumericLinear { cvar: "x".into() })
+        );
+    }
+
+    #[test]
+    fn order_over_finite_symbolic_domain_allowed() {
+        // Ordering two finite-domain symbolic values falls back to the
+        // structural order on Const; exactness is preserved because the
+        // domain is enumerated.
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh(
+            "x",
+            Domain::Consts(vec![Const::sym("a"), Const::sym("b")]),
+        );
+        let atoms = [atom(Term::Var(x), CmpOp::Gt, Term::sym("a"))];
+        let m = check_conjunction(&reg, &atoms).unwrap().unwrap();
+        assert_eq!(m.get(x), Some(&Const::sym("b")));
+    }
+
+    #[test]
+    fn mixed_ports_example() {
+        // The paper's C_s: p̄ ≠ 80 ∧ p̄ ≠ 344 ∧ p̄ ≠ 7000 over the port
+        // domain {80, 344, 7000, 8080}.
+        let mut reg = CVarRegistry::new();
+        let p = reg.fresh("p", Domain::Ints(vec![80, 344, 7000, 8080]));
+        let atoms = [
+            atom(Term::Var(p), CmpOp::Ne, Term::int(80)),
+            atom(Term::Var(p), CmpOp::Ne, Term::int(344)),
+            atom(Term::Var(p), CmpOp::Ne, Term::int(7000)),
+        ];
+        let m = check_conjunction(&reg, &atoms).unwrap().unwrap();
+        assert_eq!(m.get(p), Some(&Const::Int(8080)));
+        // Restrict the domain to the three ports: unsat.
+        let mut reg2 = CVarRegistry::new();
+        let p2 = reg2.fresh("p", Domain::Ints(vec![80, 344, 7000]));
+        let atoms2 = [
+            atom(Term::Var(p2), CmpOp::Ne, Term::int(80)),
+            atom(Term::Var(p2), CmpOp::Ne, Term::int(344)),
+            atom(Term::Var(p2), CmpOp::Ne, Term::int(7000)),
+        ];
+        assert!(check_conjunction(&reg2, &atoms2).unwrap().is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests: the solver must agree with brute-force enumeration
+//! on every condition over finite domains.
+
+use faure_ctable::{Assignment, CVarId, CVarRegistry, CmpOp, Condition, Const, Domain, LinExpr, Term};
+use faure_solver::{equivalent, find_model, satisfiable, simplify};
+use proptest::prelude::*;
+
+const NVARS: u32 = 4;
+
+/// Registry with 4 c-variables: two over {0,1}, one over {0,1,2}, one
+/// over a symbolic domain.
+fn registry() -> CVarRegistry {
+    let mut reg = CVarRegistry::new();
+    reg.fresh("a", Domain::Bool01);
+    reg.fresh("b", Domain::Bool01);
+    reg.fresh("c", Domain::Ints(vec![0, 1, 2]));
+    reg.fresh(
+        "s",
+        Domain::Consts(vec![Const::sym("Mkt"), Const::sym("R&D"), Const::sym("CS")]),
+    );
+    reg
+}
+
+fn arb_numeric_var() -> impl Strategy<Value = CVarId> {
+    (0u32..3).prop_map(CVarId)
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        // term comparison: numeric var vs small int
+        (arb_numeric_var(), arb_op(), -1i64..4).prop_map(|(v, op, k)| {
+            Condition::cmp(Term::Var(v), op, Term::int(k))
+        }),
+        // term comparison: numeric var vs numeric var
+        (arb_numeric_var(), arb_op(), arb_numeric_var()).prop_map(|(v, op, w)| {
+            Condition::cmp(Term::Var(v), op, Term::Var(w))
+        }),
+        // symbolic var (id 3) vs symbolic constant, Eq/Ne only
+        (prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Ne)], 0usize..3).prop_map(|(op, i)| {
+            let syms = ["Mkt", "R&D", "CS"];
+            Condition::cmp(Term::Var(CVarId(3)), op, Term::sym(syms[i]))
+        }),
+        // linear: sum of two numeric vars vs constant
+        (arb_numeric_var(), arb_numeric_var(), arb_op(), 0i64..4).prop_map(|(v, w, op, k)| {
+            Condition::cmp(
+                LinExpr::var(v).plus_var(1, w),
+                op,
+                LinExpr::constant(k),
+            )
+        }),
+    ]
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    let leaf = prop_oneof![
+        Just(Condition::True),
+        Just(Condition::False),
+        arb_atom(),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Condition::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Condition::Or),
+            inner.prop_map(|c| c.negate()),
+        ]
+    })
+}
+
+/// Brute-force: enumerate every assignment of all 4 variables and check
+/// whether any satisfies the condition.
+fn brute_force_sat(reg: &CVarRegistry, cond: &Condition) -> bool {
+    let domains: Vec<Vec<Const>> = (0..NVARS)
+        .map(|i| reg.domain(CVarId(i)).members().expect("finite"))
+        .collect();
+    let mut idx = vec![0usize; NVARS as usize];
+    loop {
+        let assignment = Assignment::from_pairs(
+            (0..NVARS).map(|i| (CVarId(i), domains[i as usize][idx[i as usize]].clone())),
+        );
+        if cond.eval(&assignment.lookup()) == Some(true) {
+            return true;
+        }
+        // odometer
+        let mut carry = true;
+        for i in (0..NVARS as usize).rev() {
+            if !carry {
+                break;
+            }
+            idx[i] += 1;
+            if idx[i] < domains[i].len() {
+                carry = false;
+            } else {
+                idx[i] = 0;
+            }
+        }
+        if carry {
+            return false;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(cond in arb_condition()) {
+        let reg = registry();
+        let solver_says = satisfiable(&reg, &cond).expect("supported fragment");
+        let brute_says = brute_force_sat(&reg, &cond);
+        prop_assert_eq!(solver_says, brute_says);
+    }
+
+    #[test]
+    fn models_actually_satisfy(cond in arb_condition()) {
+        let reg = registry();
+        if let Some(model) = find_model(&reg, &cond).expect("supported fragment") {
+            // The model binds exactly the mentioned variables; extend it
+            // arbitrarily for evaluation.
+            let mut full = model.clone();
+            for i in 0..NVARS {
+                if full.get(CVarId(i)).is_none() {
+                    let dom = reg.domain(CVarId(i)).members().expect("finite");
+                    full.set(CVarId(i), dom[0].clone());
+                }
+            }
+            prop_assert_eq!(cond.eval(&full.lookup()), Some(true));
+        }
+    }
+
+    #[test]
+    fn simplify_is_equivalence_preserving(cond in arb_condition()) {
+        let reg = registry();
+        let s = simplify(&cond);
+        prop_assert!(equivalent(&reg, &cond, &s).expect("supported fragment"));
+    }
+
+    #[test]
+    fn negation_flips_satisfiability_of_valid_and_unsat(cond in arb_condition()) {
+        let reg = registry();
+        let sat = satisfiable(&reg, &cond).unwrap();
+        let neg_sat = satisfiable(&reg, &cond.clone().negate()).unwrap();
+        // At least one of cond, ¬cond is satisfiable.
+        prop_assert!(sat || neg_sat);
+    }
+}

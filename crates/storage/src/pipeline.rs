@@ -1,0 +1,80 @@
+//! Per-phase timing, mirroring the paper's evaluation pipeline.
+//!
+//! Table 4 of the paper reports, for each query, the time spent in the
+//! SQL phases (data generation + condition updates) and the time spent
+//! in Z3 (pruning contradictory rows) separately. [`PhaseStats`] is the
+//! accumulator threaded through evaluation so the bench harness can
+//! print the same columns.
+
+use faure_solver::session::SolverStats;
+use std::time::Duration;
+
+/// Accumulated per-phase statistics for one query evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseStats {
+    /// Time in the relational phases: pattern matching, joins, and
+    /// condition construction (the paper's "sql" column).
+    pub relational: Duration,
+    /// Time in the solver phase: satisfiability pruning and
+    /// simplification (the paper's "Z3" column).
+    pub solver: Duration,
+    /// Number of tuples produced (the paper's "#tuples" column).
+    pub tuples: usize,
+    /// Number of tuples removed by the solver phase.
+    pub pruned: usize,
+    /// Fine-grained solver counters.
+    pub solver_stats: SolverStats,
+}
+
+impl PhaseStats {
+    /// Zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds another stats record into this one.
+    pub fn absorb(&mut self, other: &PhaseStats) {
+        self.relational += other.relational;
+        self.solver += other.solver;
+        self.tuples += other.tuples;
+        self.pruned += other.pruned;
+        self.solver_stats.sat_calls += other.solver_stats.sat_calls;
+        self.solver_stats.sat_true += other.solver_stats.sat_true;
+        self.solver_stats.simplify_calls += other.solver_stats.simplify_calls;
+        self.solver_stats.time += other.solver_stats.time;
+    }
+
+    /// Total wall-clock time (relational + solver).
+    pub fn total(&self) -> Duration {
+        self.relational + self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = PhaseStats {
+            relational: Duration::from_millis(10),
+            solver: Duration::from_millis(5),
+            tuples: 3,
+            pruned: 1,
+            solver_stats: SolverStats::default(),
+        };
+        let b = PhaseStats {
+            relational: Duration::from_millis(20),
+            solver: Duration::from_millis(15),
+            tuples: 7,
+            pruned: 2,
+            solver_stats: SolverStats::default(),
+        };
+        a.absorb(&b);
+        assert_eq!(a.relational, Duration::from_millis(30));
+        assert_eq!(a.solver, Duration::from_millis(20));
+        assert_eq!(a.tuples, 10);
+        assert_eq!(a.pruned, 3);
+        assert_eq!(a.total(), Duration::from_millis(50));
+    }
+}

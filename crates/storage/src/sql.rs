@@ -1,0 +1,636 @@
+//! A small SQL dialect over c-tables.
+//!
+//! §3 of the paper recalls that "the c-tables can be queried by a
+//! straightforward extension of SQL": the join of two c-tables
+//! concatenates tuples and conjoins their conditions with the equality
+//! of the join attributes; selections against c-variable cells attach
+//! conditions instead of filtering. The paper's implementation (§6)
+//! runs fauré-log by *rewriting* onto SQL; this module provides the
+//! reverse convenience — an ad-hoc SQL query surface over the same
+//! storage engine, mirroring what a PostgreSQL user of fauré would
+//! type:
+//!
+//! ```text
+//! SELECT dest, path FROM P WHERE dest = '1.2.3.4'
+//! SELECT P.dest, C.cost FROM P, C WHERE P.path = C.path
+//! SELECT * FROM R WHERE port != 80 AND server = 'CS'
+//! ```
+//!
+//! Supported: `SELECT` column lists (qualified or bare) or `*`;
+//! comma-joins with equality predicates; `WHERE` as an `AND`-chain of
+//! comparisons (`=`, `!=`, `<`, `<=`, `>`, `>=`) between columns,
+//! integers, and `'quoted'` strings. Deliberately *not* supported
+//! (this is an illustration of the c-table algebra, not a database):
+//! `OR`, grouping, aggregation, subqueries — use fauré-log for
+//! anything deductive.
+
+use crate::ops;
+use crate::table::{Pattern, Table};
+use faure_ctable::{Atom, CTuple, CVarRegistry, CmpOp, Condition, Const, Database, Schema, Term};
+use std::fmt;
+
+/// SQL layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lex/parse problem with position.
+    Parse {
+        /// Byte offset.
+        pos: usize,
+        /// Message.
+        msg: String,
+    },
+    /// Unknown table in FROM.
+    UnknownTable(String),
+    /// Unknown or ambiguous column reference.
+    UnknownColumn(String),
+    /// A column reference is ambiguous across FROM tables.
+    AmbiguousColumn(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { pos, msg } => write!(f, "SQL parse error at byte {pos}: {msg}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            SqlError::AmbiguousColumn(c) => {
+                write!(f, "ambiguous column {c}: qualify it as table.column")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// A parsed column reference (`table.column` or bare `column`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Optional table qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// One side of a WHERE comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlValue {
+    /// Column reference.
+    Col(ColRef),
+    /// Constant (integer or quoted string).
+    Lit(Const),
+}
+
+/// One WHERE predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlPred {
+    /// Left side.
+    pub lhs: SqlValue,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right side.
+    pub rhs: SqlValue,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Select {
+    /// Projected columns; empty means `*`.
+    pub columns: Vec<ColRef>,
+    /// FROM tables, in order.
+    pub tables: Vec<String>,
+    /// AND-chain of predicates.
+    pub predicates: Vec<SqlPred>,
+}
+
+// ---------------------------------------------------------------------------
+// parser
+// ---------------------------------------------------------------------------
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, msg: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(char::is_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            // Keyword boundary: next char must not be identifier-ish.
+            let after = rest[kw.len()..].chars().next();
+            if after.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(sym) {
+            self.pos += sym.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.src[self.pos..].chars() {
+            if c.is_alphanumeric() || c == '_' || c == '&' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+
+    fn value(&mut self) -> Result<SqlValue, SqlError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('\'') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.src[self.pos..].chars().next() {
+                    if c == '\'' {
+                        let text = &self.src[start..self.pos];
+                        self.pos += 1;
+                        return Ok(SqlValue::Lit(Const::sym(text)));
+                    }
+                    self.pos += c.len_utf8();
+                }
+                Err(self.err("unterminated string literal"))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                if c == '-' {
+                    self.pos += 1;
+                }
+                while self.src[self.pos..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+                let n: i64 = self.src[start..self.pos]
+                    .parse()
+                    .map_err(|e| self.err(format!("bad integer: {e}")))?;
+                Ok(SqlValue::Lit(Const::Int(n)))
+            }
+            _ => {
+                let first = self.ident()?;
+                if self.eat_sym(".") {
+                    let col = self.ident()?;
+                    Ok(SqlValue::Col(ColRef {
+                        table: Some(first),
+                        column: col,
+                    }))
+                } else {
+                    Ok(SqlValue::Col(ColRef {
+                        table: None,
+                        column: first,
+                    }))
+                }
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, SqlError> {
+        for (sym, op) in [
+            ("!=", CmpOp::Ne),
+            ("<>", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat_sym(sym) {
+                return Ok(op);
+            }
+        }
+        Err(self.err("expected comparison operator"))
+    }
+}
+
+/// Parses a single SELECT statement.
+pub fn parse_select(src: &str) -> Result<Select, SqlError> {
+    let mut lx = Lexer { src, pos: 0 };
+    if !lx.eat_kw("SELECT") {
+        return Err(lx.err("expected SELECT"));
+    }
+    let mut columns = Vec::new();
+    if !lx.eat_sym("*") {
+        loop {
+            match lx.value()? {
+                SqlValue::Col(c) => columns.push(c),
+                SqlValue::Lit(_) => return Err(lx.err("literals cannot be projected")),
+            }
+            if !lx.eat_sym(",") {
+                break;
+            }
+        }
+    }
+    if !lx.eat_kw("FROM") {
+        return Err(lx.err("expected FROM"));
+    }
+    let mut tables = Vec::new();
+    loop {
+        tables.push(lx.ident()?);
+        if !lx.eat_sym(",") {
+            break;
+        }
+    }
+    let mut predicates = Vec::new();
+    if lx.eat_kw("WHERE") {
+        loop {
+            let lhs = lx.value()?;
+            let op = lx.cmp_op()?;
+            let rhs = lx.value()?;
+            predicates.push(SqlPred { lhs, op, rhs });
+            if !lx.eat_kw("AND") {
+                break;
+            }
+        }
+    }
+    lx.skip_ws();
+    let _ = lx.eat_sym(";");
+    lx.skip_ws();
+    if lx.pos != src.len() {
+        return Err(lx.err("trailing input"));
+    }
+    Ok(Select {
+        columns,
+        tables,
+        predicates,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// executor
+// ---------------------------------------------------------------------------
+
+/// Column catalogue of the intermediate (joined) table.
+struct Catalogue {
+    /// (table name, column name) per position.
+    cols: Vec<(String, String)>,
+}
+
+impl Catalogue {
+    fn resolve(&self, r: &ColRef) -> Result<usize, SqlError> {
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, c))| {
+                c == &r.column && r.table.as_ref().is_none_or(|q| q == t)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            0 => Err(SqlError::UnknownColumn(format!(
+                "{}{}",
+                r.table.as_deref().map(|t| format!("{t}.")).unwrap_or_default(),
+                r.column
+            ))),
+            1 => Ok(matches[0]),
+            _ => Err(SqlError::AmbiguousColumn(r.column.clone())),
+        }
+    }
+}
+
+/// Executes a SELECT against a database of c-tables, returning a
+/// result c-table (name `result`). Conditions follow the c-table
+/// semantics: comparisons against c-variable cells annotate rows
+/// instead of dropping them.
+pub fn execute(db: &Database, stmt: &Select) -> Result<Table, SqlError> {
+    let reg = &db.cvars;
+
+    // FROM: fold tables left to right, joining on applicable equality
+    // predicates (index-assisted), cartesian otherwise.
+    let mut acc: Option<(Table, Catalogue)> = None;
+    for tname in &stmt.tables {
+        let rel = db
+            .relation(tname)
+            .ok_or_else(|| SqlError::UnknownTable(tname.clone()))?;
+        let t = Table::from_relation(rel);
+        let cat_new: Vec<(String, String)> = rel
+            .schema
+            .attrs
+            .iter()
+            .map(|a| (tname.clone(), a.clone()))
+            .collect();
+        acc = Some(match acc {
+            None => (
+                t,
+                Catalogue {
+                    cols: cat_new,
+                },
+            ),
+            Some((left, mut cat)) => {
+                // Equality predicates between an existing column and a
+                // column of the incoming table drive the join.
+                let incoming = Catalogue { cols: cat_new };
+                let mut on = Vec::new();
+                for p in &stmt.predicates {
+                    if p.op != CmpOp::Eq {
+                        continue;
+                    }
+                    if let (SqlValue::Col(a), SqlValue::Col(b)) = (&p.lhs, &p.rhs) {
+                        let pairs = [(a, b), (b, a)];
+                        for (l, r) in pairs {
+                            if let (Ok(li), Ok(ri)) = (cat.resolve(l), incoming.resolve(r)) {
+                                on.push((li, ri));
+                                break;
+                            }
+                        }
+                    }
+                }
+                let joined = ops::join(reg, &left, &t, &on, "join");
+                cat.cols.extend(incoming.cols);
+                (joined, cat)
+            }
+        });
+    }
+    let (mut table, cat) = acc.ok_or_else(|| SqlError::Parse {
+        pos: 0,
+        msg: "FROM clause is empty".into(),
+    })?;
+
+    // WHERE: apply remaining predicates (the equality ones already used
+    // for joining are harmless to re-apply; they evaluate to ground
+    // truths or duplicate conditions that simplification removes).
+    for p in &stmt.predicates {
+        table = apply_predicate(reg, &table, &cat, p)?;
+    }
+
+    // SELECT list.
+    let out = if stmt.columns.is_empty() {
+        let mut renamed = table;
+        renamed.schema = Schema {
+            name: "result".into(),
+            attrs: cat
+                .cols
+                .iter()
+                .map(|(t, c)| format!("{t}.{c}"))
+                .collect(),
+        };
+        renamed
+    } else {
+        let idx: Vec<usize> = stmt
+            .columns
+            .iter()
+            .map(|c| cat.resolve(c))
+            .collect::<Result<_, _>>()?;
+        let mut projected = ops::project(&table, &idx, "result");
+        projected.schema.attrs = stmt.columns.iter().map(|c| c.column.clone()).collect();
+        projected
+    };
+    Ok(out)
+}
+
+fn apply_predicate(
+    reg: &CVarRegistry,
+    table: &Table,
+    cat: &Catalogue,
+    pred: &SqlPred,
+) -> Result<Table, SqlError> {
+    // Fast path: `col = literal` exploits the index.
+    if pred.op == CmpOp::Eq {
+        if let Some((col, lit)) = eq_col_lit(cat, pred)? {
+            let mut pats = vec![Pattern::Any; table.schema.arity()];
+            pats[col] = Pattern::Exact(Term::Const(lit));
+            return Ok(ops::select(reg, table, &pats));
+        }
+    }
+    // General path: per-row condition atom between the resolved cells.
+    let side = |v: &SqlValue, row: &CTuple| -> Result<Term, SqlError> {
+        match v {
+            SqlValue::Lit(c) => Ok(Term::Const(c.clone())),
+            SqlValue::Col(r) => {
+                let i = cat.resolve(r)?;
+                Ok(row.terms[i].clone())
+            }
+        }
+    };
+    let mut out = Table::new(table.schema.clone());
+    for row in table.iter() {
+        let l = side(&pred.lhs, row)?;
+        let r = side(&pred.rhs, row)?;
+        let cond = Condition::Atom(Atom::new(l, pred.op, r));
+        let combined = row.cond.clone().and(cond);
+        out.insert(CTuple {
+            terms: row.terms.clone(),
+            cond: combined,
+        });
+    }
+    Ok(out)
+}
+
+fn eq_col_lit(cat: &Catalogue, pred: &SqlPred) -> Result<Option<(usize, Const)>, SqlError> {
+    match (&pred.lhs, &pred.rhs) {
+        (SqlValue::Col(c), SqlValue::Lit(l)) | (SqlValue::Lit(l), SqlValue::Col(c)) => {
+            Ok(Some((cat.resolve(c)?, l.clone())))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Parses and executes in one call.
+pub fn query(db: &Database, sql: &str) -> Result<Table, SqlError> {
+    execute(db, &parse_select(sql)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_ctable::examples::table2_path_db;
+
+    #[test]
+    fn parse_shapes() {
+        let s = parse_select("SELECT dest, path FROM P WHERE dest = '1.2.3.4'").unwrap();
+        assert_eq!(s.columns.len(), 2);
+        assert_eq!(s.tables, vec!["P"]);
+        assert_eq!(s.predicates.len(), 1);
+
+        let s2 = parse_select(
+            "SELECT P.dest, C.cost FROM P, C WHERE P.path = C.path AND C.cost < 4;",
+        )
+        .unwrap();
+        assert_eq!(s2.tables, vec!["P", "C"]);
+        assert_eq!(s2.predicates.len(), 2);
+
+        let star = parse_select("SELECT * FROM R").unwrap();
+        assert!(star.columns.is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_select("SELEC a FROM t").is_err());
+        assert!(parse_select("SELECT a FROM").is_err());
+        assert!(parse_select("SELECT a FROM t WHERE a =").is_err());
+        assert!(parse_select("SELECT 'lit' FROM t").is_err());
+        assert!(parse_select("SELECT a FROM t extra").is_err());
+    }
+
+    #[test]
+    fn select_constant_against_cvar_annotates() {
+        let (db, vars) = table2_path_db();
+        // dest = '1.2.3.5' matches row (ȳ, [ABE]) conditionally.
+        let t = query(&db, "SELECT dest, path FROM P WHERE dest = '1.2.3.5'").unwrap();
+        assert_eq!(t.len(), 1);
+        let cond = &t.row(0).cond;
+        assert!(faure_solver::satisfiable(&db.cvars, cond).unwrap());
+        assert!(cond.cvars().contains(&vars.y));
+    }
+
+    #[test]
+    fn join_on_ctable_matches_paper_semantics() {
+        let (db, _) = table2_path_db();
+        // The q2 query, in SQL.
+        let t = query(
+            &db,
+            "SELECT C.cost FROM P, C WHERE P.path = C.path AND P.dest = '1.2.3.4'",
+        )
+        .unwrap();
+        // 3 [x̄=[ABC]] and 4 [x̄=[ADEC]]: two conditional answers.
+        assert_eq!(t.len(), 2);
+        let mut costs: Vec<i64> = t
+            .iter()
+            .map(|r| r.terms[0].as_const().unwrap().as_int().unwrap())
+            .collect();
+        costs.sort_unstable();
+        assert_eq!(costs, vec![3, 4]);
+        for row in t.iter() {
+            assert_ne!(row.cond, Condition::True);
+        }
+    }
+
+    #[test]
+    fn star_qualifies_columns() {
+        let (db, _) = table2_path_db();
+        let t = query(&db, "SELECT * FROM C WHERE cost >= 4").unwrap();
+        assert_eq!(t.schema.attrs, vec!["C.path", "C.cost"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn order_comparisons_on_ints() {
+        let (db, _) = table2_path_db();
+        let t = query(&db, "SELECT cost FROM C WHERE cost < 4").unwrap();
+        // cost 3 appears twice in C but projection merges duplicates.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row(0).terms, vec![Term::int(3)]);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let (db, _) = table2_path_db();
+        assert_eq!(
+            query(&db, "SELECT a FROM Nope").unwrap_err(),
+            SqlError::UnknownTable("Nope".into())
+        );
+        assert!(matches!(
+            query(&db, "SELECT nope FROM P"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_detected() {
+        let (db, _) = table2_path_db();
+        // Both P and C have a `path` column.
+        assert!(matches!(
+            query(&db, "SELECT path FROM P, C"),
+            Err(SqlError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn cartesian_when_no_join_predicate() {
+        let (db, _) = table2_path_db();
+        let t = query(&db, "SELECT P.dest, C.cost FROM P, C").unwrap();
+        // 3 P rows × 3 C rows, projected to (dest, cost) with merging:
+        // at most 9 rows.
+        assert!(t.len() <= 9 && t.len() >= 4);
+    }
+
+    /// SQL and fauré-log must agree — the same query written both ways.
+    #[test]
+    fn sql_agrees_with_faurelog() {
+        let (db, _) = table2_path_db();
+        let via_sql = query(
+            &db,
+            "SELECT C.cost FROM P, C WHERE P.path = C.path AND P.dest = '1.2.3.4'",
+        )
+        .unwrap();
+        let via_log = faure_core_equivalent(&db);
+        let mut a: Vec<Vec<Term>> = via_sql.iter().map(|r| r.terms.clone()).collect();
+        a.sort();
+        assert_eq!(a, via_log);
+    }
+
+    /// Tiny helper: the same query through the deductive engine. Kept
+    /// out-of-line so the storage crate does not depend on faure-core —
+    /// we replicate the expected answer by hand instead.
+    fn faure_core_equivalent(db: &Database) -> Vec<Vec<Term>> {
+        // Manual join: P('1.2.3.4', p) ⋈ C(p, c) → c.
+        let p = Table::from_relation(db.relation("P").unwrap());
+        let c = Table::from_relation(db.relation("C").unwrap());
+        let mut out = Vec::new();
+        for (pi, mu) in p.find_matches(
+            &db.cvars,
+            &[Pattern::Exact(Term::sym("1.2.3.4")), Pattern::Any],
+        ) {
+            let prow = p.row(pi);
+            for (ci, mu2) in c.find_matches(
+                &db.cvars,
+                &[Pattern::Exact(prow.terms[1].clone()), Pattern::Any],
+            ) {
+                let crow = c.row(ci);
+                let cond = prow
+                    .cond
+                    .clone()
+                    .and(crow.cond.clone())
+                    .and(mu.clone())
+                    .and(mu2);
+                if faure_solver::satisfiable(&db.cvars, &cond).unwrap() {
+                    out.push(vec![crow.terms[1].clone()]);
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}

@@ -1,0 +1,688 @@
+//! Indexed c-table storage.
+
+use faure_ctable::{CTuple, CVarRegistry, Condition, Const, Relation, Schema, Term};
+use faure_solver::{Session, SolverError};
+use std::collections::HashMap;
+
+/// A per-column pattern used for indexed matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// Matches any cell, unconditionally.
+    Any,
+    /// Matches a specific c-domain term.
+    ///
+    /// * constant vs equal constant — matches with no condition;
+    /// * constant vs different constant — no match;
+    /// * constant `c` vs c-variable cell `v̄` — matches with condition
+    ///   `v̄ = c` (skipped outright if `c` is outside `v̄`'s domain);
+    /// * c-variable `ū` vs constant cell `d` — matches with `ū = d`;
+    /// * c-variable `ū` vs c-variable cell `v̄` — matches with `ū = v̄`
+    ///   (no condition when they are the same variable).
+    Exact(Term),
+}
+
+/// Result of inserting a tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// No row with these terms existed; a new row was added.
+    New,
+    /// A row with these terms existed and its condition gained a new
+    /// disjunct.
+    Merged,
+    /// A row with these terms and this exact condition disjunct already
+    /// existed; nothing changed.
+    Unchanged,
+}
+
+impl InsertOutcome {
+    /// Whether the insert changed the table contents.
+    pub fn changed(self) -> bool {
+        !matches!(self, InsertOutcome::Unchanged)
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct ColIndex {
+    /// Rows whose cell in this column is the given constant.
+    by_const: HashMap<Const, Vec<u32>>,
+    /// Rows whose cell in this column is a c-variable (they
+    /// conditionally match any constant).
+    var_rows: Vec<u32>,
+}
+
+/// Per-row condition bookkeeping.
+#[derive(Clone, Debug)]
+enum CondRepr {
+    /// Minimal antichain of atom-sets (see [`crate::dnf`]): disjuncts
+    /// subsumed by smaller disjuncts are dropped on insert, which keeps
+    /// fixpoints over cyclic graphs polynomial instead of enumerating
+    /// every walk.
+    Sets(Vec<crate::dnf::AtomSet>),
+    /// Fallback for conditions too large to normalise: structural
+    /// disjunct list with equality-based deduplication.
+    Opaque(Vec<Condition>),
+}
+
+/// An indexed c-table.
+///
+/// Rows are deduplicated **by their terms**: deriving the same tuple
+/// again under a different condition extends the existing row's
+/// condition with a disjunct (`φ₁ ∨ φ₂ ∨ …`). Disjuncts are kept
+/// *minimal* (an antichain under implication-by-inclusion) whenever the
+/// condition normalises to small DNF, which both keeps conditions
+/// readable and guarantees fast fixpoint convergence; otherwise
+/// structural deduplication applies. Either way the disjunct space over
+/// a finite atom vocabulary is finite, so fixpoints terminate.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// The schema.
+    pub schema: Schema,
+    rows: Vec<CTuple>,
+    /// Condition bookkeeping per row.
+    reprs: Vec<CondRepr>,
+    /// Dedup index keyed by the *hash* of the term vector; buckets hold
+    /// row indices and are verified against the actual rows (collision
+    /// safe without duplicating every row's terms as map keys).
+    by_terms: HashMap<u64, Vec<u32>>,
+    cols: Vec<ColIndex>,
+}
+
+fn terms_hash(terms: &[Term]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    terms.hash(&mut h);
+    h.finish()
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(schema: Schema) -> Self {
+        let cols = (0..schema.arity()).map(|_| ColIndex::default()).collect();
+        Table {
+            schema,
+            rows: Vec::new(),
+            reprs: Vec::new(),
+            by_terms: HashMap::new(),
+            cols,
+        }
+    }
+
+    /// Builds a table from a plain relation (deduplicating rows).
+    pub fn from_relation(rel: &Relation) -> Self {
+        let mut t = Table::new(rel.schema.clone());
+        for row in rel.iter() {
+            t.insert(row.clone());
+        }
+        t
+    }
+
+    /// Converts back to a plain relation.
+    pub fn to_relation(&self) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self.rows.clone(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Read-only access to a row.
+    pub fn row(&self, idx: usize) -> &CTuple {
+        &self.rows[idx]
+    }
+
+    /// Iterates over all rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, CTuple> {
+        self.rows.iter()
+    }
+
+    /// Inserts a tuple, deduplicating by terms and merging conditions.
+    ///
+    /// The tuple's condition should be structurally simplified by the
+    /// caller (the evaluation engine does); `Condition::False` rows are
+    /// rejected outright, as are rows whose condition normalises to the
+    /// empty DNF.
+    pub fn insert(&mut self, tuple: CTuple) -> InsertOutcome {
+        assert_eq!(
+            tuple.arity(),
+            self.schema.arity(),
+            "tuple arity must match schema {}",
+            self.schema.name
+        );
+        if tuple.cond == Condition::False {
+            return InsertOutcome::Unchanged;
+        }
+        let incoming = crate::dnf::to_min_dnf(&tuple.cond, crate::dnf::DEFAULT_SET_BUDGET);
+        if let Some(sets) = &incoming {
+            if sets.is_empty() {
+                // Condition normalised to false.
+                return InsertOutcome::Unchanged;
+            }
+        }
+        let hash = terms_hash(&tuple.terms);
+        let existing_idx = self
+            .by_terms
+            .get(&hash)
+            .and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|&&i| self.rows[i as usize].terms == tuple.terms)
+                    .copied()
+            });
+        match existing_idx {
+            Some(idx) => {
+                let idx = idx as usize;
+                Self::merge_into_row(
+                    &mut self.rows[idx],
+                    &mut self.reprs[idx],
+                    tuple.cond,
+                    incoming,
+                )
+            }
+            None => {
+                let idx = u32::try_from(self.rows.len()).expect("row count overflow");
+                self.by_terms.entry(hash).or_default().push(idx);
+                for (col, term) in tuple.terms.iter().enumerate() {
+                    match term {
+                        Term::Const(c) => self.cols[col]
+                            .by_const
+                            .entry(c.clone())
+                            .or_default()
+                            .push(idx),
+                        Term::Var(_) => self.cols[col].var_rows.push(idx),
+                    }
+                }
+                let (repr, cond) = match incoming {
+                    Some(sets) => {
+                        let cond = crate::dnf::condition_of(&sets);
+                        (CondRepr::Sets(sets), cond)
+                    }
+                    None => (CondRepr::Opaque(vec![tuple.cond.clone()]), tuple.cond.clone()),
+                };
+                self.reprs.push(repr);
+                self.rows.push(CTuple {
+                    terms: tuple.terms,
+                    cond,
+                });
+                InsertOutcome::New
+            }
+        }
+    }
+
+    fn merge_into_row(
+        row: &mut CTuple,
+        repr: &mut CondRepr,
+        incoming_cond: Condition,
+        incoming_sets: Option<Vec<crate::dnf::AtomSet>>,
+    ) -> InsertOutcome {
+        if row.cond == Condition::True {
+            return InsertOutcome::Unchanged;
+        }
+        match (&mut *repr, incoming_sets) {
+            (CondRepr::Sets(existing), Some(new_sets)) => {
+                let mut changed = false;
+                for set in new_sets {
+                    if crate::dnf::antichain_insert(existing, set) {
+                        changed = true;
+                    }
+                }
+                if changed {
+                    row.cond = crate::dnf::condition_of(existing);
+                    InsertOutcome::Merged
+                } else {
+                    InsertOutcome::Unchanged
+                }
+            }
+            (CondRepr::Sets(existing), None) => {
+                // Degrade to the opaque representation.
+                let mut disjuncts: Vec<Condition> = existing
+                    .iter()
+                    .map(|s| crate::dnf::condition_of(std::slice::from_ref(s)))
+                    .collect();
+                if disjuncts.contains(&incoming_cond) {
+                    *repr = CondRepr::Opaque(disjuncts);
+                    return InsertOutcome::Unchanged;
+                }
+                disjuncts.push(incoming_cond);
+                row.cond = Condition::any(disjuncts.iter().cloned());
+                *repr = CondRepr::Opaque(disjuncts);
+                InsertOutcome::Merged
+            }
+            (CondRepr::Opaque(disjuncts), maybe_sets) => {
+                let incoming = match maybe_sets {
+                    Some(sets) => crate::dnf::condition_of(&sets),
+                    None => incoming_cond,
+                };
+                if incoming == Condition::True {
+                    row.cond = Condition::True;
+                    *disjuncts = vec![Condition::True];
+                    return InsertOutcome::Merged;
+                }
+                if disjuncts.contains(&incoming) {
+                    return InsertOutcome::Unchanged;
+                }
+                disjuncts.push(incoming.clone());
+                let prev = std::mem::replace(&mut row.cond, Condition::True);
+                row.cond = prev.or(incoming);
+                InsertOutcome::Merged
+            }
+        }
+    }
+
+    /// Candidate row indices for a pattern on one column (index probe).
+    fn candidates_for(&self, col: usize, pat: &Pattern) -> Option<Vec<u32>> {
+        match pat {
+            Pattern::Any | Pattern::Exact(Term::Var(_)) => None,
+            Pattern::Exact(Term::Const(c)) => {
+                let ci = &self.cols[col];
+                let mut v: Vec<u32> = ci.by_const.get(c).cloned().unwrap_or_default();
+                v.extend_from_slice(&ci.var_rows);
+                Some(v)
+            }
+        }
+    }
+
+    /// Matches a row against per-column patterns, producing the match
+    /// condition `μ`, or `None` if the row cannot match.
+    ///
+    /// The row's own condition is **not** included; callers conjoin it.
+    pub fn match_row(
+        reg: &CVarRegistry,
+        row: &CTuple,
+        pats: &[Pattern],
+    ) -> Option<Condition> {
+        debug_assert_eq!(row.arity(), pats.len());
+        let mut cond = Condition::True;
+        for (term, pat) in row.terms.iter().zip(pats) {
+            match pat {
+                Pattern::Any => {}
+                Pattern::Exact(p) => match (p, term) {
+                    (Term::Const(a), Term::Const(b)) => {
+                        if a != b {
+                            return None;
+                        }
+                    }
+                    (Term::Const(c), Term::Var(v)) => {
+                        if !reg.domain(*v).contains(c) {
+                            return None;
+                        }
+                        cond = cond.and(Condition::eq(Term::Var(*v), Term::Const(c.clone())));
+                    }
+                    (Term::Var(u), Term::Const(d)) => {
+                        if !reg.domain(*u).contains(d) {
+                            return None;
+                        }
+                        cond = cond.and(Condition::eq(Term::Var(*u), Term::Const(d.clone())));
+                    }
+                    (Term::Var(u), Term::Var(v)) => {
+                        if u != v {
+                            cond = cond.and(Condition::eq(Term::Var(*u), Term::Var(*v)));
+                        }
+                    }
+                },
+            }
+        }
+        Some(cond)
+    }
+
+    /// Finds all rows matching the per-column patterns. Returns
+    /// `(row index, match condition μ)` pairs. Uses the most selective
+    /// constant column as the index probe.
+    pub fn find_matches(
+        &self,
+        reg: &CVarRegistry,
+        pats: &[Pattern],
+    ) -> Vec<(usize, Condition)> {
+        assert_eq!(pats.len(), self.schema.arity(), "pattern arity mismatch");
+        // Pick the constant column with the fewest candidates.
+        let mut best: Option<Vec<u32>> = None;
+        for (col, pat) in pats.iter().enumerate() {
+            if let Some(cands) = self.candidates_for(col, pat) {
+                if best.as_ref().is_none_or(|b| cands.len() < b.len()) {
+                    best = Some(cands);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        match best {
+            Some(cands) => {
+                for idx in cands {
+                    let row = &self.rows[idx as usize];
+                    if let Some(mu) = Self::match_row(reg, row, pats) {
+                        out.push((idx as usize, mu));
+                    }
+                }
+            }
+            None => {
+                for (idx, row) in self.rows.iter().enumerate() {
+                    if let Some(mu) = Self::match_row(reg, row, pats) {
+                        out.push((idx, mu));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The c-table negation condition for a candidate tuple `terms`:
+    ///
+    /// ```text
+    /// ⋀ over matching rows r:  ¬(ψ_r ∧ μ(terms, r))
+    /// ```
+    ///
+    /// i.e. the condition under which `terms` is **not** derivable from
+    /// this table. This is the "not derivable from the c-table"
+    /// semantics the paper adopts for negation.
+    pub fn negation_condition(&self, reg: &CVarRegistry, terms: &[Term]) -> Condition {
+        let pats: Vec<Pattern> = terms.iter().map(|t| Pattern::Exact(t.clone())).collect();
+        let mut cond = Condition::True;
+        for (idx, mu) in self.find_matches(reg, &pats) {
+            let psi = self.rows[idx].cond.clone();
+            cond = cond.and(psi.and(mu).negate());
+            if cond == Condition::False {
+                break;
+            }
+        }
+        cond
+    }
+
+    /// Solver phase: removes rows with unsatisfiable conditions and
+    /// simplifies the remaining ones. Returns the number of rows
+    /// removed. Indexes are rebuilt if any row is dropped.
+    ///
+    /// Rows in the antichain representation are pruned **per disjunct**
+    /// (each disjunct is a plain conjunction — a single theory query);
+    /// opaque rows go through the budget-guarded whole-condition
+    /// simplification.
+    pub fn prune(
+        &mut self,
+        reg: &CVarRegistry,
+        session: &mut Session,
+    ) -> Result<usize, SolverError> {
+        let mut kept_rows = Vec::with_capacity(self.rows.len());
+        let mut removed = 0usize;
+        for (row, repr) in self.rows.drain(..).zip(self.reprs.drain(..)) {
+            let simplified = match repr {
+                CondRepr::Sets(sets) => {
+                    let mut live = Vec::with_capacity(sets.len());
+                    for set in sets {
+                        let conj = crate::dnf::condition_of(std::slice::from_ref(&set));
+                        if session.satisfiable(reg, &conj)? {
+                            live.push(set);
+                        }
+                    }
+                    let cond = crate::dnf::condition_of(&live);
+                    if cond == Condition::False {
+                        Condition::False
+                    } else if cond.size() <= 128 {
+                        // Small survivor: also detect validity (e.g.
+                        // {x̄=0} ∨ {x̄=1} over {0,1} → empty condition).
+                        session.simplify_pruned(reg, &cond)?
+                    } else {
+                        cond
+                    }
+                }
+                CondRepr::Opaque(_) => session.simplify_pruned(reg, &row.cond)?,
+            };
+            if simplified == Condition::False {
+                removed += 1;
+            } else {
+                kept_rows.push(CTuple {
+                    terms: row.terms,
+                    cond: simplified,
+                });
+            }
+        }
+        self.rebuild_from(kept_rows);
+        Ok(removed)
+    }
+
+    fn rebuild_from(&mut self, rows: Vec<CTuple>) {
+        self.rows.clear();
+        self.reprs.clear();
+        self.by_terms.clear();
+        for c in &mut self.cols {
+            c.by_const.clear();
+            c.var_rows.clear();
+        }
+        for row in rows {
+            self.insert(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_ctable::{Database, Domain};
+
+    fn db_with_xy() -> (CVarRegistry, faure_ctable::CVarId, faure_ctable::CVarId) {
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Bool01);
+        let y = db.fresh_cvar(
+            "y",
+            Domain::Consts(vec![Const::sym("1.2.3.4"), Const::sym("1.2.3.5")]),
+        );
+        (db.cvars, x, y)
+    }
+
+    #[test]
+    fn insert_dedups_terms_and_merges_conditions() {
+        let (reg, x, _) = db_with_xy();
+        let _ = reg;
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        let c0 = Condition::eq(Term::Var(x), Term::int(0));
+        let c1 = Condition::eq(Term::Var(x), Term::int(1));
+        assert_eq!(t.insert(CTuple::with_cond([Term::int(7)], c0.clone())), InsertOutcome::New);
+        assert_eq!(
+            t.insert(CTuple::with_cond([Term::int(7)], c0.clone())),
+            InsertOutcome::Unchanged
+        );
+        assert_eq!(
+            t.insert(CTuple::with_cond([Term::int(7)], c1.clone())),
+            InsertOutcome::Merged
+        );
+        assert_eq!(t.len(), 1);
+        assert!(faure_solver::equivalent(&reg, &t.row(0).cond, &c0.or(c1)).unwrap());
+    }
+
+    #[test]
+    fn unconditional_row_absorbs() {
+        let (_, x, _) = db_with_xy();
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        t.insert(CTuple::new([Term::int(7)]));
+        assert_eq!(
+            t.insert(CTuple::with_cond(
+                [Term::int(7)],
+                Condition::eq(Term::Var(x), Term::int(0))
+            )),
+            InsertOutcome::Unchanged
+        );
+        assert_eq!(t.row(0).cond, Condition::True);
+    }
+
+    #[test]
+    fn false_condition_rejected() {
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        assert_eq!(
+            t.insert(CTuple::with_cond([Term::int(7)], Condition::False)),
+            InsertOutcome::Unchanged
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn constant_pattern_matches_var_cell_conditionally() {
+        let (reg, _, y) = db_with_xy();
+        let mut t = Table::new(Schema::new("P", &["dest", "path"]));
+        t.insert(CTuple::with_cond(
+            [Term::Var(y), Term::sym("[ABE]")],
+            Condition::ne(Term::Var(y), Term::sym("1.2.3.4")),
+        ));
+        // Pattern P(1.2.3.5, Any) — the paper's q3 example.
+        let pats = [Pattern::Exact(Term::sym("1.2.3.5")), Pattern::Any];
+        let matches = t.find_matches(&reg, &pats);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(
+            matches[0].1,
+            Condition::eq(Term::Var(y), Term::sym("1.2.3.5"))
+        );
+    }
+
+    #[test]
+    fn constant_outside_domain_does_not_match() {
+        let (reg, _, y) = db_with_xy();
+        let mut t = Table::new(Schema::new("P", &["dest"]));
+        t.insert(CTuple::new([Term::Var(y)]));
+        // 9.9.9.9 is outside dom(ȳ) = {1.2.3.4, 1.2.3.5}.
+        let matches = t.find_matches(&reg, &[Pattern::Exact(Term::sym("9.9.9.9"))]);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn index_probe_equals_full_scan() {
+        let (reg, x, _) = db_with_xy();
+        let mut t = Table::new(Schema::new("F", &["a", "b"]));
+        for i in 0..100 {
+            t.insert(CTuple::new([Term::int(i % 10), Term::int(i)]));
+        }
+        t.insert(CTuple::with_cond(
+            [Term::Var(x), Term::int(1000)],
+            Condition::True,
+        ));
+        let pats = [Pattern::Exact(Term::int(3)), Pattern::Any];
+        let mut via_index: Vec<usize> =
+            t.find_matches(&reg, &pats).into_iter().map(|(i, _)| i).collect();
+        via_index.sort_unstable();
+        let mut via_scan: Vec<usize> = t
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| Table::match_row(&reg, row, &pats).map(|_| i))
+            .collect();
+        via_scan.sort_unstable();
+        assert_eq!(via_index, via_scan);
+        // 10 constant matches plus the var row (3 ∈ {0,1}? no — x̄ is
+        // Bool01, and 3 ∉ {0,1}, so the var row does NOT match).
+        assert_eq!(via_index.len(), 10);
+    }
+
+    #[test]
+    fn negation_condition_empty_table_is_true() {
+        let reg = CVarRegistry::new();
+        let t = Table::new(Schema::new("Fw", &["a", "b"]));
+        assert_eq!(
+            t.negation_condition(&reg, &[Term::sym("Mkt"), Term::sym("CS")]),
+            Condition::True
+        );
+    }
+
+    #[test]
+    fn negation_condition_unconditional_match_is_false() {
+        let reg = CVarRegistry::new();
+        let mut t = Table::new(Schema::new("Fw", &["a", "b"]));
+        t.insert(CTuple::new([Term::sym("Mkt"), Term::sym("CS")]));
+        assert_eq!(
+            t.negation_condition(&reg, &[Term::sym("Mkt"), Term::sym("CS")]),
+            Condition::False
+        );
+    }
+
+    #[test]
+    fn negation_condition_conditional_match_negates() {
+        let (reg, x, _) = db_with_xy();
+        let mut t = Table::new(Schema::new("Lb", &["a"]));
+        t.insert(CTuple::with_cond(
+            [Term::sym("R&D")],
+            Condition::eq(Term::Var(x), Term::int(1)),
+        ));
+        let c = t.negation_condition(&reg, &[Term::sym("R&D")]);
+        // ¬(x̄ = 1) folded to x̄ ≠ 1 by `negate`.
+        assert!(
+            faure_solver::equivalent(&reg, &c, &Condition::ne(Term::Var(x), Term::int(1)))
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn locally_visible_contradictions_rejected_at_insert() {
+        let (_, x, _) = db_with_xy();
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        // x̄ = 0 ∧ x̄ = 1 is caught by the DNF local filter: no row.
+        assert_eq!(
+            t.insert(CTuple::with_cond(
+                [Term::int(1)],
+                Condition::eq(Term::Var(x), Term::int(0))
+                    .and(Condition::eq(Term::Var(x), Term::int(1))),
+            )),
+            InsertOutcome::Unchanged
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn prune_removes_contradictions() {
+        use faure_ctable::{CmpOp, LinExpr};
+        let (reg, x, _) = db_with_xy();
+        let mut db2 = Database::new();
+        let y = db2.fresh_cvar("y", Domain::Bool01);
+        let _ = reg;
+        let reg = db2.cvars.clone();
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        let _ = x;
+        // ȳ + ȳ = 3 over {0,1}: unsatisfiable, but not a var=const
+        // contradiction, so only the solver phase can remove it.
+        t.insert(CTuple::with_cond(
+            [Term::int(1)],
+            Condition::cmp(
+                LinExpr::var(y).plus_var(1, y),
+                CmpOp::Eq,
+                LinExpr::constant(3),
+            ),
+        ));
+        t.insert(CTuple::with_cond(
+            [Term::int(2)],
+            Condition::eq(Term::Var(y), Term::int(0)),
+        ));
+        assert_eq!(t.len(), 2);
+        let mut session = Session::new();
+        let removed = t.prune(&reg, &mut session).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row(0).terms, vec![Term::int(2)]);
+        assert!(session.stats().sat_calls + session.stats().simplify_calls >= 2);
+    }
+
+    #[test]
+    fn prune_turns_valid_conditions_into_true() {
+        let (reg, x, _) = db_with_xy();
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        t.insert(CTuple::with_cond(
+            [Term::int(1)],
+            Condition::eq(Term::Var(x), Term::int(0))
+                .or(Condition::eq(Term::Var(x), Term::int(1))),
+        ));
+        let mut session = Session::new();
+        t.prune(&reg, &mut session).unwrap();
+        assert_eq!(t.row(0).cond, Condition::True);
+    }
+
+    #[test]
+    fn round_trip_relation() {
+        let mut rel = Relation::empty(Schema::new("T", &["a", "b"]));
+        rel.push(CTuple::new([Term::int(1), Term::int(2)])).unwrap();
+        rel.push(CTuple::new([Term::int(1), Term::int(2)])).unwrap(); // dup
+        rel.push(CTuple::new([Term::int(3), Term::int(4)])).unwrap();
+        let t = Table::from_relation(&rel);
+        assert_eq!(t.len(), 2); // dedup
+        let back = t.to_relation();
+        assert_eq!(back.len(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Named constraints.
+
+use faure_core::{parse_program, ParseError, Program, GOAL};
+use std::fmt;
+
+/// A named network constraint: a fauré-log program whose goal is the
+/// 0-ary `panic` predicate. The constraint *holds* on a state iff the
+/// program derives no (satisfiable) `panic` there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    /// Human-readable name (`T1`, `C_s`, …).
+    pub name: String,
+    /// The panic program.
+    pub program: Program,
+}
+
+/// Constraint construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// The program text failed to parse.
+    Parse(ParseError),
+    /// The program has no `panic` rule.
+    NoGoal,
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::Parse(e) => write!(f, "{e}"),
+            ConstraintError::NoGoal => write!(f, "constraint has no `panic` rule"),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+impl Constraint {
+    /// Wraps an already-parsed program.
+    pub fn new(name: impl Into<String>, program: Program) -> Result<Self, ConstraintError> {
+        if !program.rules.iter().any(|r| r.head.pred == GOAL) {
+            return Err(ConstraintError::NoGoal);
+        }
+        Ok(Constraint {
+            name: name.into(),
+            program,
+        })
+    }
+
+    /// Parses a constraint from fauré-log source text.
+    pub fn parse(name: impl Into<String>, src: &str) -> Result<Self, ConstraintError> {
+        let program = parse_program(src).map_err(ConstraintError::Parse)?;
+        Constraint::new(name, program)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "% constraint {}", self.name)?;
+        write!(f, "{}", self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_valid_constraint() {
+        let c = Constraint::parse("T1", "panic :- R(Mkt, CS, p), !Fw(Mkt, CS).\n").unwrap();
+        assert_eq!(c.name, "T1");
+        assert_eq!(c.program.rules.len(), 1);
+    }
+
+    #[test]
+    fn reject_goalless_program() {
+        assert_eq!(
+            Constraint::parse("bad", "V(x) :- R(x).\n").unwrap_err(),
+            ConstraintError::NoGoal
+        );
+    }
+
+    #[test]
+    fn reject_unparseable() {
+        assert!(matches!(
+            Constraint::parse("bad", "not a program"),
+            Err(ConstraintError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn display_includes_name() {
+        let c = Constraint::parse("T1", "panic :- R(Mkt, CS, p), !Fw(Mkt, CS).\n").unwrap();
+        let s = c.to_string();
+        assert!(s.contains("% constraint T1"));
+        assert!(s.contains("panic :-"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # faure-verify — relative-complete verification
+//!
+//! The second component of Fauré (§2, §5): instead of one conclusive
+//! verifier, a ladder of tests, each **complete relative to the
+//! information it is given** — a test answers decisively whenever its
+//! information level permits, and says *unknown* exactly when more
+//! information is genuinely needed.
+//!
+//! | level | information | test |
+//! |-------|-------------|------|
+//! | category (i)  | constraint definitions only | subsumption by constraints known to hold ([`category_i`]) |
+//! | category (ii) | definitions + the update    | rewrite the target through the update, then subsumption ([`category_ii`]) |
+//! | direct        | full network state          | evaluate the panic query ([`check_direct`]) |
+//!
+//! [`verify`] runs the ladder in order and reports which level decided.
+//!
+//! Constraints are 0-ary `panic` fauré-log programs ([`Constraint`]);
+//! the subsumption machinery lives in `faure-core::containment`, the
+//! update rewrite in `faure-core::update` — this crate packages them
+//! into the workflow of the paper's running example: a network managed
+//! by a TE team and a security team, each maintaining its own policies,
+//! with a separate team verifying network-wide targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod verdict;
+pub mod verifier;
+
+pub use constraint::Constraint;
+pub use verdict::{DirectVerdict, Level, RelativeVerdict, Report, Violation};
+pub use verifier::{category_i, category_ii, check_direct, verify, violation_scenarios, VerifyError};

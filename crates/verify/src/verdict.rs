@@ -1,0 +1,184 @@
+//! Verdict types.
+
+use faure_ctable::{Assignment, CVarRegistry, Condition};
+use std::fmt;
+
+/// One witnessed violation: the condition under which `panic` fires
+/// and one concrete assignment of the c-variables realising it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The (satisfiable) panic condition.
+    pub condition: Condition,
+    /// A model of the condition — a concrete "possible world" in which
+    /// the constraint is violated. Empty for unconditional violations.
+    pub witness: Assignment,
+}
+
+impl Violation {
+    /// Renders the violation using names from `reg`.
+    pub fn display<'a>(&'a self, reg: &'a CVarRegistry) -> ViolationDisplay<'a> {
+        ViolationDisplay { v: self, reg }
+    }
+}
+
+/// Helper returned by [`Violation::display`].
+pub struct ViolationDisplay<'a> {
+    v: &'a Violation,
+    reg: &'a CVarRegistry,
+}
+
+impl fmt::Display for ViolationDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.v.condition == Condition::True {
+            write!(f, "violated unconditionally")
+        } else {
+            write!(f, "violated when {}", self.v.condition.display(self.reg))?;
+            if !self.v.witness.is_empty() {
+                write!(f, " (e.g.")?;
+                for (var, val) in self.v.witness.iter() {
+                    write!(f, " {}'={}", self.reg.name(*var), val)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Result of a full-information (direct) check.
+#[derive(Clone, Debug)]
+pub enum DirectVerdict {
+    /// No satisfiable `panic` derivation: the constraint holds in every
+    /// possible world of the state.
+    Holds,
+    /// At least one satisfiable violation.
+    Violated(Vec<Violation>),
+}
+
+impl DirectVerdict {
+    /// Whether the constraint holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, DirectVerdict::Holds)
+    }
+}
+
+/// Result of a relative test (category (i)/(ii)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelativeVerdict {
+    /// The available information proves the constraint continues to
+    /// hold.
+    Proven,
+    /// "I don't know" — more information is needed. The payload names
+    /// the first uncovered violation pattern.
+    Unknown {
+        /// Index of the uncovered (unfolded) rule of the target.
+        uncovered_rule: usize,
+    },
+}
+
+impl RelativeVerdict {
+    /// Whether the test succeeded.
+    pub fn proven(&self) -> bool {
+        matches!(self, RelativeVerdict::Proven)
+    }
+}
+
+/// Which rung of the ladder decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Category (i): constraint definitions only.
+    CategoryI,
+    /// Category (ii): definitions + update.
+    CategoryII,
+    /// Direct evaluation on the full state.
+    Direct,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::CategoryI => "category (i): constraints only",
+            Level::CategoryII => "category (ii): constraints + update",
+            Level::Direct => "direct: full state",
+        })
+    }
+}
+
+/// Outcome of the escalation ladder ([`crate::verify`]).
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Name of the verified constraint.
+    pub constraint: String,
+    /// Per-level outcomes in the order attempted (level, proven?).
+    pub attempts: Vec<(Level, bool)>,
+    /// Final answer: `Some(true)` = holds, `Some(false)` = violated
+    /// (only the direct level can answer `false`), `None` = unknown at
+    /// every available level.
+    pub outcome: Option<bool>,
+    /// Violations, when the direct level found any.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// The level that decided, if any.
+    pub fn decided_by(&self) -> Option<Level> {
+        self.outcome?;
+        self.attempts.last().map(|(l, _)| *l)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.constraint)?;
+        match self.outcome {
+            Some(true) => write!(f, "HOLDS")?,
+            Some(false) => write!(f, "VIOLATED")?,
+            None => write!(f, "UNKNOWN (more information needed)")?,
+        }
+        if let Some(level) = self.decided_by() {
+            write!(f, " — decided by {level}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_display() {
+        let r = Report {
+            constraint: "T1".into(),
+            attempts: vec![(Level::CategoryI, true)],
+            outcome: Some(true),
+            violations: vec![],
+        };
+        let s = r.to_string();
+        assert!(s.contains("[T1] HOLDS"));
+        assert!(s.contains("category (i)"));
+        assert_eq!(r.decided_by(), Some(Level::CategoryI));
+    }
+
+    #[test]
+    fn unknown_report() {
+        let r = Report {
+            constraint: "T2".into(),
+            attempts: vec![(Level::CategoryI, false)],
+            outcome: None,
+            violations: vec![],
+        };
+        assert!(r.to_string().contains("UNKNOWN"));
+        assert_eq!(r.decided_by(), None);
+    }
+
+    #[test]
+    fn violation_display_unconditional() {
+        let reg = CVarRegistry::new();
+        let v = Violation {
+            condition: Condition::True,
+            witness: Assignment::new(),
+        };
+        assert_eq!(v.display(&reg).to_string(), "violated unconditionally");
+    }
+}

@@ -1,0 +1,80 @@
+//! Relative-complete verification in a multi-team enterprise (paper §5).
+//!
+//! A network is managed by a traffic-engineering team (load balancers,
+//! policy `C_lb`) and a security team (firewalls, policy `C_s`). A
+//! separate verification team must assure two network-wide targets
+//! after a configuration change:
+//!
+//! * `T1` — Mkt traffic to the critical server passes a firewall;
+//! * `T2` — R&D port-7000 traffic passes a load balancer.
+//!
+//! The verifier climbs the information ladder:
+//!
+//! 1. **category (i)** — knowing only the constraint definitions,
+//!    prove subsumption by the team policies: works for `T1`, returns
+//!    *unknown* for `T2`;
+//! 2. **category (ii)** — additionally knowing the update (Listing 4:
+//!    add load balancing for R&D→GS, drop it for Mkt→CS), rewrite `T2`
+//!    through the update and retry: `T2` is now proven;
+//! 3. **direct** — with the full state, evaluate the panic query and
+//!    extract concrete violation witnesses.
+//!
+//! Run with: `cargo run -p faure-examples --bin multi_team`
+
+use faure_core::apply_to_database;
+use faure_net::enterprise;
+use faure_verify::{verify, Constraint};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let known = vec![
+        Constraint::new("C_lb", enterprise::c_lb())?,
+        Constraint::new("C_s", enterprise::c_s())?,
+    ];
+    let t1 = Constraint::new("T1", enterprise::t1())?;
+    let t2 = Constraint::new("T2", enterprise::t2())?;
+    let reg = enterprise::constraint_registry();
+    let update = enterprise::listing4_update();
+
+    println!("team policies known to hold:");
+    for c in &known {
+        print!("{c}");
+    }
+    println!("\ntargets to verify:\n{t1}{t2}");
+
+    // --- category (i): constraints only --------------------------------
+    println!("--- level 1: constraint definitions only ---");
+    for target in [&t1, &t2] {
+        let report = verify(&known, target, None, None, &reg)?;
+        println!("{report}");
+    }
+
+    // --- category (ii): the update becomes known ------------------------
+    println!("\n--- level 2: the update is also known ---");
+    println!(
+        "update: insert Lb(R&D, GS); delete Lb(Mkt, CS)   (Listing 4)"
+    );
+    for target in [&t1, &t2] {
+        let report = verify(&known, target, Some(&update), None, &reg)?;
+        println!("{report}");
+    }
+
+    // --- direct: full state available ------------------------------------
+    println!("\n--- level 3: full post-update state available ---");
+    let (mut db, _) = enterprise::compliant_net();
+    apply_to_database(&update, &mut db)?;
+    for target in [&t1, &t2] {
+        let report = verify(&known, target, Some(&update), Some(&db), &reg)?;
+        println!("{report}");
+    }
+
+    // And a state where direct checking *finds* a violation.
+    println!("\n--- direct check on a broken state ---");
+    let (bad, _) = enterprise::t2_violating_net();
+    let report = verify(&known, &t2, None, Some(&bad), &reg)?;
+    println!("{report}");
+    for v in &report.violations {
+        println!("  {}", v.display(&reg));
+    }
+
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Inter-domain analysis with limited visibility (paper §1's second
+//! motivation).
+//!
+//! "In the global Internet, the inability to obtain the BGP
+//! configuration inputs from external domains leaves most attempts to
+//! verify the global routing behavior futile … it is desirable to
+//! implement some (perhaps weaker) verification than stop working
+//! entirely."
+//!
+//! Our domain (AS 1) is fully known; the transit providers AS 2 and
+//! AS 3 are opaque — each forwards to exactly one of its neighbours,
+//! but which one is their private policy. Fauré answers reachability
+//! questions anyway: *definitely*, *conditionally* (with the exact
+//! condition on the opaque choices), or *definitely not* — and
+//! sharpens the answers as policy knowledge arrives.
+//!
+//! Run with: `cargo run -p faure-examples --bin partial_visibility`
+
+use faure_net::interdomain::{can_reach, Answer, Internet};
+
+fn describe(answer: &Answer, reg: &faure_ctable::CVarRegistry) -> String {
+    match answer {
+        Answer::Definite => "YES, whatever the opaque domains decide".to_owned(),
+        Answer::Conditional(c) => format!("only if {}", c.display(reg)),
+        Answer::No => "NO, under every possible behaviour".to_owned(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // AS 1 (ours) multihomes through transits 2 and 3. Transit 2
+    // forwards to 4 or 5 (unknown which); transit 3 is known to
+    // forward to 4. ASes 4 and 5 reach the destination 9; AS 8 is a
+    // dead end.
+    println!("scenario A: no policy knowledge about the transits");
+    let a = Internet::new()
+        .known(1, &[2, 3])
+        .opaque(2, &[4, 5])
+        .opaque(3, &[4, 8])
+        .known(4, &[9])
+        .known(5, &[9])
+        .build();
+    for (src, dst) in [(1, 9), (3, 9), (1, 8), (9, 1)] {
+        let ans = can_reach(&a, src, dst)?;
+        println!("  can AS{src} reach AS{dst}?  {}", describe(&ans, &a.db.cvars));
+    }
+
+    // Policy knowledge arrives: AS 3 never routes through AS 8 (it is
+    // a stub customer, say). The conditional answer sharpens.
+    println!("\nscenario B: we learn that AS3 never forwards via AS8");
+    let b = Internet::new()
+        .known(1, &[2, 3])
+        .opaque(2, &[4, 5])
+        .opaque(3, &[4, 8])
+        .exclude(3, 8)
+        .known(4, &[9])
+        .known(5, &[9])
+        .build();
+    for (src, dst) in [(3, 9), (1, 9)] {
+        let ans = can_reach(&b, src, dst)?;
+        println!("  can AS{src} reach AS{dst}?  {}", describe(&ans, &b.db.cvars));
+    }
+
+    println!(
+        "\nThis is loss-less modeling at work: the c-table commits to \
+         nothing the operator does not know, yet every query above is \
+         answered as precisely as the available knowledge permits."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Import a `show ip bgp`-style RIB dump and analyse it (paper §6's
+//! data path, for real dumps).
+//!
+//! Run with:
+//! `cargo run -p faure-examples --bin rib_import [dump.txt]`
+//!
+//! Without an argument, a small bundled sample is used.
+
+use faure_core::evaluate;
+use faure_net::{queries, ribtext};
+
+const SAMPLE: &str = "\
+   Network          Next Hop            Metric LocPrf Weight Path
+*> 1.0.0.0/24       203.0.113.1              0             0 701 38040 9737 i
+*  1.0.0.0/24       198.51.100.7                           0 3356 9737 i
+*                   192.0.2.9                              0 2914 4826 9737 i
+*> 1.0.4.0/22       203.0.113.1                            0 701 6939 4826 i
+*  1.0.4.0/22       198.51.100.7                           0 3356 4826 i
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => SAMPLE.to_owned(),
+    };
+    let routes = ribtext::parse_rib(&text)?;
+    println!("parsed {} routes over {} prefixes",
+        routes.len(),
+        ribtext::group_routes(&routes).len());
+
+    let w = ribtext::workload_from_routes(&routes);
+    println!("forwarding c-table: {} rows\n", w.db.relation("F").expect("built").len());
+
+    let out = evaluate(&queries::reachability_program(), &w.db)?;
+    let r = out.relation("R").expect("derived");
+    println!("reachability (per prefix-index, with failure conditions):");
+    for row in r.iter().take(20) {
+        println!("  R{}", row.display(&out.database.cvars));
+    }
+    if r.len() > 20 {
+        println!("  ... ({} rows total)", r.len());
+    }
+    Ok(())
+}

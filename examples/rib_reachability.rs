@@ -1,0 +1,77 @@
+//! Reachability analysis on a RIB-scale workload (paper §6).
+//!
+//! Generates a synthetic stand-in for the paper's route-views-derived
+//! forwarding state (per prefix: one primary and four preference-
+//! ordered backup AS paths, guarded by failure c-variables), then runs
+//! Listing 2's queries and prints a Table 4-style row: per-query
+//! relational ("sql") time, solver ("Z3") time, and tuple counts.
+//!
+//! Run with: `cargo run -p faure-examples --release --bin rib_reachability [prefixes]`
+
+use faure_core::{evaluate_with, EvalOptions, PrunePolicy};
+use faure_net::{queries, rib};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prefixes: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(200);
+
+    let params = rib::RibParams {
+        prefixes,
+        ..Default::default()
+    };
+    println!(
+        "generating workload: {} prefixes x {} paths (seed {})",
+        params.prefixes, params.paths_per_prefix, params.seed
+    );
+    let workload = rib::generate(&params);
+    let f = workload.db.relation("F").expect("generated");
+    println!("forwarding c-table F: {} rows\n", f.len());
+
+    // q4–q5: all-pairs reachability (recursive). Solver pruning at end
+    // of stratum, as in the paper's batch Z3 step.
+    let opts = EvalOptions {
+        prune: PrunePolicy::EndOfStratum,
+        ..Default::default()
+    };
+
+    println!("{:<8} {:>12} {:>12} {:>10}", "query", "sql", "solver", "#tuples");
+    let mut db = workload.db.clone();
+
+    // Reachability first; its output R feeds q6/q7/q8.
+    let out = evaluate_with(&queries::reachability_program(), &db, &opts)?;
+    println!(
+        "{:<8} {:>12?} {:>12?} {:>10}",
+        "q4-q5", out.stats.relational, out.stats.solver, out.stats.tuples
+    );
+    db = out.database;
+
+    let out6 = evaluate_with(&queries::q6_two_link_failure(), &db, &opts)?;
+    println!(
+        "{:<8} {:>12?} {:>12?} {:>10}",
+        "q6", out6.stats.relational, out6.stats.solver, out6.stats.tuples
+    );
+
+    // q7 reads T1 (nested query): evaluate against the q6 output. Pick
+    // the workload's busiest forwarding hop so the pair is exercised.
+    let (src, dst) = rib::frequent_pair(&workload).unwrap_or((0, 1));
+    let out7 = evaluate_with(&queries::q7_pair_under_y_failure(src, dst), &out6.database, &opts)?;
+    println!(
+        "{:<8} {:>12?} {:>12?} {:>10}",
+        "q7", out7.stats.relational, out7.stats.solver, out7.stats.tuples
+    );
+
+    let out8 = evaluate_with(&queries::q8_reach_with_failure(1), &db, &opts)?;
+    println!(
+        "{:<8} {:>12?} {:>12?} {:>10}",
+        "q8", out8.stats.relational, out8.stats.solver, out8.stats.tuples
+    );
+
+    println!(
+        "\n(the paper's Table 4 reports the same columns on 1k-922k \
+         prefixes; regenerate with `cargo run -p faure-bench --release --bin table4`)"
+    );
+    Ok(())
+}

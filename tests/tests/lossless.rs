@@ -1,0 +1,179 @@
+//! Loss-less modeling — the paper's central semantic claim (§4),
+//! tested exhaustively and property-based.
+//!
+//! "Fauré-log query on a single partial network is guaranteed to be
+//! equivalent to iteratively querying all possible networks." Every
+//! test here enumerates *all* possible worlds of a c-table database,
+//! runs an independent pure-datalog evaluator in each world, and
+//! compares with the instantiated fauré-log answer.
+
+use faure_core::parse_program;
+use faure_ctable::{
+    CTuple, Condition, Const, Database, Domain, Schema, Term,
+};
+use faure_net::frr;
+use faure_tests::assert_lossless;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// systematic cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lossless_on_table2_join() {
+    let (db, _) = faure_ctable::examples::table2_path_db();
+    let program = parse_program(
+        r#"Cost(c) :- P("1.2.3.4", p), C(p, c).
+           Q3(c) :- P("1.2.3.5", p), C(p, c)."#,
+    )
+    .unwrap();
+    assert_eq!(assert_lossless(&program, &db), 6);
+}
+
+#[test]
+fn lossless_on_figure1_recursive_reachability() {
+    let (db, _) = frr::figure1_database();
+    let program = parse_program(
+        "R(f, n1, n2) :- F(f, n1, n2).\n\
+         R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).\n",
+    )
+    .unwrap();
+    // 3 link variables → 8 worlds.
+    assert_eq!(assert_lossless(&program, &db), 8);
+}
+
+#[test]
+fn lossless_on_figure1_failure_patterns() {
+    let (db, _) = frr::figure1_database();
+    let program = parse_program(
+        "R(f, n1, n2) :- F(f, n1, n2).\n\
+         R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).\n\
+         T1(f, n1, n2) :- R(f, n1, n2), $x + $y + $z = 1.\n\
+         T2(f, 2, 5) :- T1(f, 2, 5), $y = 0.\n\
+         T3(f, 1, n2) :- R(f, 1, n2), $y + $z < 2.\n",
+    )
+    .unwrap();
+    assert_eq!(assert_lossless(&program, &db), 8);
+}
+
+#[test]
+fn lossless_with_negation() {
+    let (db, _) = frr::figure1_database();
+    // Unreachable pairs: nodes that forward somewhere but cannot reach n2.
+    let program = parse_program(
+        "R(f, n1, n2) :- F(f, n1, n2).\n\
+         R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).\n\
+         Node(n) :- F(f, n, m).\n\
+         Node(m) :- F(f, n, m).\n\
+         Cut(n1, n2) :- Node(n1), Node(n2), !R(1, n1, n2).\n",
+    )
+    .unwrap();
+    assert_eq!(assert_lossless(&program, &db), 8);
+}
+
+#[test]
+fn lossless_enterprise_constraints() {
+    use faure_net::enterprise;
+    let (db, _) = enterprise::compliant_net();
+    // C_lb as a plain program (panic + aux Vt).
+    assert!(assert_lossless(&enterprise::c_lb(), &db) > 0);
+    assert!(assert_lossless(&enterprise::c_s(), &db) > 0);
+    let (bad, _) = enterprise::t2_violating_net();
+    assert!(assert_lossless(&enterprise::t2(), &bad) > 0);
+}
+
+#[test]
+fn lossless_small_rib_workload() {
+    // A tiny RIB workload still has ~2^k worlds; keep k small: 2
+    // prefixes × (1 shared monitored var choice + 4 backups) ≈ 2^11 max.
+    let w = faure_net::rib::generate(&faure_net::rib::RibParams {
+        prefixes: 2,
+        as_count: 32,
+        ..Default::default()
+    });
+    // Only the reachability queries: the q6 pattern references all of
+    // $x,$y,$z, but with 2 prefixes at most two monitored links occur
+    // in the database, and loss-lessness is checked world-by-world over
+    // the *used* variables.
+    let program = parse_program(
+        "R(f, n1, n2) :- F(f, n1, n2).\n\
+         R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).\n",
+    )
+    .unwrap();
+    assert!(assert_lossless(&program, &w.db) >= 2);
+}
+
+// ---------------------------------------------------------------------------
+// property-based cases: random c-tables, random conjunctive programs
+// ---------------------------------------------------------------------------
+
+/// A small random database over E(a,b) with two Bool01 c-variables and
+/// a 3-constant attribute domain.
+fn arb_db() -> impl Strategy<Value = Database> {
+    // Rows: (a, b, cond-code) where cells ∈ {0,1,2, var0, var1} and
+    // cond ∈ {true, v0=1, v0=0, v1=1, v0=1&v1=0}.
+    let cell = 0usize..5;
+    let cond = 0usize..5;
+    prop::collection::vec((cell.clone(), cell, cond), 1..6).prop_map(|rows| {
+        let mut db = Database::new();
+        let v0 = db.fresh_cvar("v0", Domain::Ints(vec![0, 1, 2]));
+        let v1 = db.fresh_cvar("v1", Domain::Ints(vec![0, 1, 2]));
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        let mk_cell = |code: usize| match code {
+            0..=2 => Term::Const(Const::Int(code as i64)),
+            3 => Term::Var(v0),
+            _ => Term::Var(v1),
+        };
+        let mk_cond = |code: usize| match code {
+            0 => Condition::True,
+            1 => Condition::eq(Term::Var(v0), Term::int(1)),
+            2 => Condition::ne(Term::Var(v0), Term::int(0)),
+            3 => Condition::eq(Term::Var(v1), Term::int(1)),
+            _ => Condition::eq(Term::Var(v0), Term::int(1))
+                .and(Condition::ne(Term::Var(v1), Term::int(0))),
+        };
+        for (a, b, c) in rows {
+            db.insert(
+                "E",
+                CTuple::with_cond([mk_cell(a), mk_cell(b)], mk_cond(c)),
+            )
+            .unwrap();
+        }
+        // Always use both c-variables somewhere so world enumeration
+        // covers them (programs may reference $v0/$v1 in comparisons).
+        db.insert("E", CTuple::new([Term::Var(v0), Term::Var(v1)]))
+            .unwrap();
+        db
+    })
+}
+
+/// A small random program over E: joins, projections, constants,
+/// comparisons, optional recursion and negation (stratified by
+/// construction).
+fn arb_program() -> impl Strategy<Value = faure_core::Program> {
+    let variant = 0usize..6;
+    let k = 0i64..3;
+    (variant, k).prop_map(|(v, k)| {
+        let src = match v {
+            0 => format!("Q(a) :- E(a, b), b = {k}.\n"),
+            1 => "Q(a, c) :- E(a, b), E(b, c).\n".to_string(),
+            2 => format!("Q(a) :- E(a, a), a != {k}.\n"),
+            3 => "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n".to_string(),
+            4 => format!("Q(a) :- E(a, b), !E(b, a), b = {k}.\n"),
+            _ => format!(
+                "Q(a) :- E(a, b), $v0 + $v1 < {}.\n",
+                k + 2
+            ),
+        };
+        parse_program(&src).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lossless_on_random_databases(db in arb_db(), program in arb_program()) {
+        assert_lossless(&program, &db);
+    }
+}

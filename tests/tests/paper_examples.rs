@@ -1,0 +1,315 @@
+//! End-to-end reproduction of every worked example in the paper,
+//! spanning all crates.
+
+use faure_core::{evaluate, parse_program, run};
+use faure_ctable::{examples::table2_path_db, Condition, Term};
+use faure_net::{enterprise, frr, queries, rib};
+use faure_verify::{category_i, category_ii, check_direct, verify, Constraint, Level};
+
+// ---------------------------------------------------------------------------
+// §3 — Table 2 and queries q1–q3
+// ---------------------------------------------------------------------------
+
+/// q1 on the *regular* database PATH: the answer is exactly {⟨3⟩}.
+#[test]
+fn q1_on_regular_path_database() {
+    use faure_ctable::{CTuple, Const, Database, Schema};
+    let mut db = Database::new();
+    db.create_relation(Schema::new("P", &["dest", "path"])).unwrap();
+    for (d, path) in [
+        ("1.2.3.4", vec!["A", "B", "C"]),
+        ("1.2.3.5", vec!["A", "B", "E"]),
+        ("1.2.3.6", vec!["A", "D", "E", "C"]),
+    ] {
+        db.insert(
+            "P",
+            CTuple::new([Term::sym(d), Term::Const(Const::path(&path))]),
+        )
+        .unwrap();
+    }
+    db.create_relation(Schema::new("C", &["path", "cost"])).unwrap();
+    for (path, cost) in [
+        (vec!["A", "B", "C"], 3),
+        (vec!["A", "D", "E", "C"], 4),
+        (vec!["A", "B", "E"], 3),
+    ] {
+        db.insert(
+            "C",
+            CTuple::new([Term::Const(Const::path(&path)), Term::int(cost)]),
+        )
+        .unwrap();
+    }
+    let out = run(r#"Q1(c) :- P("1.2.3.4", p), C(p, c)."#, &db).unwrap();
+    let rel = out.relation("Q1").unwrap();
+    assert_eq!(rel.len(), 1);
+    assert_eq!(rel.tuples[0].terms, vec![Term::int(3)]);
+    assert_eq!(rel.tuples[0].cond, Condition::True);
+}
+
+/// q2 on PATH': {⟨3 [x̄=[ABC]]⟩, ⟨4 [x̄=[ADEC]]⟩}.
+#[test]
+fn q2_on_ctable_path_database() {
+    let (db, vars) = table2_path_db();
+    let out = run(r#"Q2(c) :- P("1.2.3.4", p), C(p, c)."#, &db).unwrap();
+    let rel = out.relation("Q2").unwrap();
+    assert_eq!(rel.len(), 2);
+    use faure_ctable::Const;
+    let abc = Condition::eq(Term::Var(vars.x), Term::Const(Const::path(&["A", "B", "C"])));
+    let adec = Condition::eq(
+        Term::Var(vars.x),
+        Term::Const(Const::path(&["A", "D", "E", "C"])),
+    );
+    for row in rel.iter() {
+        let cost = row.terms[0].as_const().unwrap().as_int().unwrap();
+        let expected = if cost == 3 { &abc } else { &adec };
+        assert!(
+            faure_solver::equivalent(&out.database.cvars, &row.cond, expected).unwrap(),
+            "cost {cost} condition {:?}",
+            row.cond
+        );
+    }
+}
+
+/// q3 on PATH': {⟨3⟩} via implicit pattern matching against ȳ.
+#[test]
+fn q3_implicit_pattern_matching() {
+    let (db, vars) = table2_path_db();
+    let out = run(r#"Q3(c) :- P("1.2.3.5", p), C(p, c)."#, &db).unwrap();
+    let rel = out.relation("Q3").unwrap();
+    assert_eq!(rel.len(), 1);
+    assert_eq!(rel.tuples[0].terms, vec![Term::int(3)]);
+    // Condition: ȳ ≠ 1.2.3.4 ∧ ȳ = 1.2.3.5 ≡ ȳ = 1.2.3.5.
+    assert!(faure_solver::equivalent(
+        &out.database.cvars,
+        &rel.tuples[0].cond,
+        &Condition::eq(Term::Var(vars.y), Term::sym("1.2.3.5")),
+    )
+    .unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// §4 — Figure 1 / Table 3 / Listing 2
+// ---------------------------------------------------------------------------
+
+/// Table 3's R fragment: the reachability rows the paper prints, with
+/// logically equivalent conditions.
+#[test]
+fn table3_reachability_fragment() {
+    let (db, vars) = frr::figure1_database();
+    let out = evaluate(&queries::reachability_program(), &db).unwrap();
+    let reg = &out.database.cvars;
+    let r = out.relation("R").unwrap();
+    let find = |a: i64, b: i64| {
+        r.iter()
+            .find(|t| t.terms == vec![Term::int(1), Term::int(a), Term::int(b)])
+            .unwrap_or_else(|| panic!("R(1,{a},{b}) missing"))
+    };
+    // R(1,2) [x̄ = 1]
+    assert!(faure_solver::equivalent(
+        reg,
+        &find(1, 2).cond,
+        &Condition::eq(Term::Var(vars.x), Term::int(1))
+    )
+    .unwrap());
+    // R(2,3) [ȳ = 1]
+    assert!(faure_solver::equivalent(
+        reg,
+        &find(2, 3).cond,
+        &Condition::eq(Term::Var(vars.y), Term::int(1))
+    )
+    .unwrap());
+    // R(1,5): true under EVERY failure combination (the four
+    // conditions of Table 3 plus the fifth the fragment omits).
+    assert_eq!(find(1, 5).cond, Condition::True);
+}
+
+/// Listing 2's q7: between 2 and 5 under a 2-link failure, one of them
+/// being (2,3).
+#[test]
+fn listing2_q7_semantics() {
+    let (db, vars) = frr::figure1_database();
+    let out = evaluate(&queries::listing2_program(2, 5, 1), &db).unwrap();
+    let t2 = out.relation("T2").unwrap();
+    assert_eq!(t2.len(), 1);
+    // Exactly one world satisfies the condition: ȳ=0 ∧ (x̄+ȳ+z̄=1) with
+    // 2→5 reachable. With ȳ=0 the detour is 2→4→5, which is always up,
+    // so the condition is x̄+z̄=1 ∧ ȳ=0: two worlds (x̄=1,z̄=0), (x̄=0,z̄=1).
+    use faure_ctable::{CmpOp, LinExpr};
+    let expected = Condition::cmp(
+        LinExpr::sum([vars.x, vars.y, vars.z]),
+        CmpOp::Eq,
+        LinExpr::constant(1),
+    )
+    .and(Condition::eq(Term::Var(vars.y), Term::int(0)));
+    assert!(
+        faure_solver::equivalent(&out.database.cvars, &t2.tuples[0].cond, &expected).unwrap()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// §5 — the full multi-team narrative
+// ---------------------------------------------------------------------------
+
+#[test]
+fn section5_full_narrative() {
+    let known = vec![
+        Constraint::new("C_lb", enterprise::c_lb()).unwrap(),
+        Constraint::new("C_s", enterprise::c_s()).unwrap(),
+    ];
+    let t1 = Constraint::new("T1", enterprise::t1()).unwrap();
+    let t2 = Constraint::new("T2", enterprise::t2()).unwrap();
+    let reg = enterprise::constraint_registry();
+    let update = enterprise::listing4_update();
+
+    // Category (i): T1 subsumed, T2 not.
+    assert!(category_i(&known, &t1, &reg).unwrap().proven());
+    assert!(!category_i(&known, &t2, &reg).unwrap().proven());
+
+    // Category (ii): with the Listing 4 update, T2 is proven.
+    assert!(category_ii(&known, &t2, &update, &reg).unwrap().proven());
+
+    // The ladder reports the right deciding levels.
+    let r1 = verify(&known, &t1, Some(&update), None, &reg).unwrap();
+    assert_eq!(r1.decided_by(), Some(Level::CategoryI));
+    let r2 = verify(&known, &t2, Some(&update), None, &reg).unwrap();
+    assert_eq!(r2.decided_by(), Some(Level::CategoryII));
+
+    // Ground truth: on the compliant state, after actually applying the
+    // update, T2 indeed still holds.
+    let (mut db, _) = enterprise::compliant_net();
+    faure_core::apply_to_database(&update, &mut db).unwrap();
+    assert!(check_direct(&t2, &db).unwrap().holds());
+}
+
+/// Subsumption must be consistent with direct checking wherever both
+/// apply: if {C_lb, C_s} subsume T, then on any state where the
+/// policies hold, T holds.
+#[test]
+fn subsumption_sound_against_direct() {
+    let known = vec![
+        Constraint::new("C_lb", enterprise::c_lb()).unwrap(),
+        Constraint::new("C_s", enterprise::c_s()).unwrap(),
+    ];
+    let t1 = Constraint::new("T1", enterprise::t1()).unwrap();
+    let reg = enterprise::constraint_registry();
+    assert!(category_i(&known, &t1, &reg).unwrap().proven());
+
+    // Exhaustively try tiny states: subsets of R/Lb/Fw rows.
+    use faure_ctable::{CTuple, Database, Schema};
+    let subnets = ["Mkt", "R&D"];
+    let servers = ["CS", "GS"];
+    let ports = [80, 7000];
+    let mut states_where_policies_hold = 0;
+    for r_mask in 0..8u32 {
+        // Up to 3 R rows chosen from a fixed pool.
+        let pool = [
+            ("Mkt", "CS", 7000),
+            ("R&D", "CS", 7000),
+            ("Mkt", "GS", 80),
+        ];
+        for lb_mask in 0..4u32 {
+            for fw_mask in 0..4u32 {
+                let mut db = Database::new();
+                db.create_relation(Schema::new("R", &["s", "d", "p"])).unwrap();
+                db.create_relation(Schema::new("Lb", &["s", "d"])).unwrap();
+                db.create_relation(Schema::new("Fw", &["s", "d"])).unwrap();
+                for (i, (s, d, p)) in pool.iter().enumerate() {
+                    if r_mask & (1 << i) != 0 {
+                        db.insert(
+                            "R",
+                            CTuple::new([Term::sym(s), Term::sym(d), Term::int(*p)]),
+                        )
+                        .unwrap();
+                    }
+                }
+                for (i, s) in subnets.iter().enumerate() {
+                    if lb_mask & (1 << i) != 0 {
+                        db.insert("Lb", CTuple::new([Term::sym(s), Term::sym("CS")]))
+                            .unwrap();
+                    }
+                    if fw_mask & (1 << i) != 0 {
+                        for d in servers {
+                            db.insert("Fw", CTuple::new([Term::sym(s), Term::sym(d)]))
+                                .unwrap();
+                        }
+                    }
+                }
+                let _ = ports;
+                let clb_holds = check_direct(&known[0], &db).unwrap().holds();
+                let cs_holds = check_direct(&known[1], &db).unwrap().holds();
+                if clb_holds && cs_holds {
+                    states_where_policies_hold += 1;
+                    assert!(
+                        check_direct(&t1, &db).unwrap().holds(),
+                        "subsumption promised T1 holds whenever policies hold"
+                    );
+                }
+            }
+        }
+    }
+    assert!(states_where_policies_hold > 0, "vacuous test");
+}
+
+// ---------------------------------------------------------------------------
+// §6 — pipeline smoke test on the synthetic RIB
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rib_pipeline_produces_phase_stats() {
+    let w = rib::generate(&rib::RibParams {
+        prefixes: 30,
+        as_count: 128,
+        ..Default::default()
+    });
+    let out = evaluate(&queries::reachability_program(), &w.db).unwrap();
+    assert!(out.stats.tuples > 0);
+    assert!(out.stats.relational > std::time::Duration::ZERO);
+    // The solver phase ran (EndOfStratum pruning).
+    assert!(out.stats.solver_stats.simplify_calls > 0);
+
+    // Nested queries run downstream of R.
+    let out6 = evaluate(&queries::q6_two_link_failure(), &out.database).unwrap();
+    assert!(out6.relation("T1").is_some());
+    // Every T1 tuple's condition is satisfiable post-pruning.
+    for t in out6.relation("T1").unwrap().iter().take(5) {
+        assert!(faure_solver::satisfiable(&out6.database.cvars, &t.cond).unwrap());
+    }
+}
+
+/// Table-shape sanity: more prefixes, more tuples (the scaling that
+/// Table 4's #tuples column tracks).
+#[test]
+fn rib_tuple_counts_scale() {
+    let sizes = [10, 20, 40];
+    let mut counts = Vec::new();
+    for &n in &sizes {
+        let w = rib::generate(&rib::RibParams {
+            prefixes: n,
+            as_count: 128,
+            ..Default::default()
+        });
+        let out = faure_core::evaluate_with(
+            &queries::reachability_program(),
+            &w.db,
+            &faure_core::EvalOptions {
+                prune: faure_core::PrunePolicy::Never,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        counts.push(out.stats.tuples);
+    }
+    assert!(counts[0] < counts[1] && counts[1] < counts[2], "{counts:?}");
+}
+
+#[test]
+fn parse_rejects_malformed_inputs() {
+    for bad in [
+        "R(a, b :- F(a, b).",
+        "R(a,b) :- F(a,b)",
+        ":- F(a).",
+        "R(a) :- F(a), a <.",
+    ] {
+        assert!(parse_program(bad).is_err(), "should reject: {bad}");
+    }
+}

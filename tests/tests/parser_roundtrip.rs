@@ -1,0 +1,149 @@
+//! Parser robustness: display→parse round-trips on generated rules,
+//! plus a grab-bag of syntax edge cases.
+
+use faure_core::{parse_program, parse_rule, ArgTerm, CompExpr, Comparison, Literal, Rule, RuleAtom};
+use faure_ctable::{CmpOp, Const};
+use proptest::prelude::*;
+
+fn arb_const() -> impl Strategy<Value = Const> {
+    prop_oneof![
+        (-5i64..10000).prop_map(Const::Int),
+        prop_oneof![
+            Just("Mkt"), Just("CS"), Just("GS"), Just("R&D"),
+            Just("1.2.3.4"), Just("node_1"), Just("A")
+        ]
+        .prop_map(Const::sym),
+        prop::collection::vec(
+            prop_oneof![Just("A"), Just("B"), Just("C")].prop_map(Const::sym),
+            1..4
+        )
+        .prop_map(Const::list),
+    ]
+}
+
+fn arb_arg() -> impl Strategy<Value = ArgTerm> {
+    prop_oneof![
+        prop_oneof![Just("x"), Just("y"), Just("n1"), Just("f")]
+            .prop_map(|s| ArgTerm::Var(s.to_owned())),
+        prop_oneof![Just("a"), Just("b"), Just("p")]
+            .prop_map(|s| ArgTerm::CVar(s.to_owned())),
+        arb_const().prop_map(ArgTerm::Cst),
+    ]
+}
+
+fn arb_atom(preds: &'static [&'static str]) -> impl Strategy<Value = RuleAtom> {
+    (
+        prop::sample::select(preds),
+        prop::collection::vec(arb_arg(), 0..4),
+    )
+        .prop_map(|(p, args)| RuleAtom::new(p, args))
+}
+
+fn arb_cmp() -> impl Strategy<Value = Comparison> {
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    let side = prop_oneof![
+        arb_arg().prop_map(CompExpr::Arg),
+        (
+            prop::collection::vec((1i64..4, prop_oneof![Just("a"), Just("b")]), 1..3),
+            0i64..5
+        )
+            .prop_filter_map(
+                "a bare 1*$x+0 displays as $x (parser canonicalises it to a term)",
+                |(terms, constant)| {
+                    if terms.len() == 1 && terms[0].0 == 1 && constant == 0 {
+                        return None;
+                    }
+                    Some(CompExpr::Lin {
+                        terms: terms
+                            .into_iter()
+                            .map(|(c, n)| (c, n.to_owned()))
+                            .collect(),
+                        constant,
+                    })
+                }
+            ),
+    ];
+    (side.clone(), op, side).prop_map(|(lhs, op, rhs)| Comparison { lhs, op, rhs })
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    (
+        arb_atom(&["H", "R", "T1"]),
+        prop::collection::vec(
+            (arb_atom(&["F", "R", "Lb"]), any::<bool>()),
+            0..3,
+        ),
+        prop::collection::vec(arb_cmp(), 0..2),
+    )
+        .prop_map(|(head, body, comparisons)| Rule {
+            head,
+            body: body
+                .into_iter()
+                .map(|(a, neg)| if neg { Literal::Neg(a) } else { Literal::Pos(a) })
+                .collect(),
+            comparisons,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any rule the AST can express must survive display → parse.
+    #[test]
+    fn display_parse_round_trip(rule in arb_rule()) {
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text)
+            .unwrap_or_else(|e| panic!("could not reparse `{text}`: {e}"));
+        prop_assert_eq!(rule, reparsed);
+    }
+}
+
+#[test]
+fn whitespace_and_comments_are_flexible() {
+    let p = parse_program(
+        "% leading comment\n\
+         R(a,b):-F(a,b).\n\
+         \n\
+         R( a , b ) :- F( a , c ) , R( c , b ) . % trailing\n",
+    )
+    .unwrap();
+    assert_eq!(p.rules.len(), 2);
+}
+
+#[test]
+fn zero_ary_heads_and_bodies() {
+    let p = parse_program("panic :- alarm, R(x).\nalarm :- F(1).\n").unwrap();
+    assert!(p.rules[0].body[0].atom().args.is_empty());
+}
+
+#[test]
+fn negative_numbers_and_lists() {
+    let r = parse_rule("T(x) :- F(x, -3, [A, [B, C]]).").unwrap();
+    assert_eq!(r.body[0].atom().args[1], ArgTerm::Cst(Const::Int(-3)));
+    match &r.body[0].atom().args[2] {
+        ArgTerm::Cst(Const::List(items)) => assert_eq!(items.len(), 2),
+        other => panic!("expected list, got {other:?}"),
+    }
+}
+
+#[test]
+fn escaped_strings() {
+    let r = parse_rule(r#"T("a\"b") :- F(x)."#).unwrap();
+    assert_eq!(r.head.args[0], ArgTerm::Cst(Const::sym("a\"b")));
+}
+
+#[test]
+fn deeply_nested_failure_patterns_parse() {
+    let r = parse_rule(
+        "T(f) :- R(f), 2*$a + 3*$b + 1 <= 2*$a + $b, $a != $b, $a = 1.",
+    )
+    .unwrap();
+    assert_eq!(r.comparisons.len(), 3);
+}
