@@ -1,0 +1,513 @@
+//! # faure-analyze — diagnostics and lints for fauré-log programs
+//!
+//! A span-aware, non-fail-fast front end over the analysis passes in
+//! [`faure_core::analysis`]. Where evaluation stops at the first
+//! problem, `faure check` collects **every** problem in one run, tags
+//! each with a stable error code, and renders them rustc-style with a
+//! source snippet and carets:
+//!
+//! ```text
+//! error[F0001]: unsafe variable `b`: not bound by any positive body atom
+//!  --> prog.fl:1:6
+//!   |
+//! 1 | R(a, b) :- F(a).
+//!   |      ^
+//! ```
+//!
+//! ## Error codes
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | F0000 | error    | syntax error |
+//! | F0001 | error    | unsafe (unbound) rule variable |
+//! | F0002 | error    | negation through recursion (not stratifiable) |
+//! | F0003 | error    | conflicting predicate arity |
+//! | F0004 | warning  | rule head shadows an input relation |
+//! | F0005 | warning  | dead rule (provably empty body predicate) |
+//! | F0006 | warning  | undefined relation |
+//! | F0007 | warning  | singleton (likely misspelled) variable |
+//! | F0008 | warning  | statically unsatisfiable rule condition |
+//!
+//! The entry points are [`check_source`] (program text only) and
+//! [`check_source_with_db`] (adds database-aware passes: schema arity,
+//! shadowing, undefined relations, empty-input dead rules).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use faure_core::analysis::{analyze, Finding};
+use faure_core::parser::{parse_program_spanned, RuleSpans, Span, SpannedProgram};
+use faure_ctable::Database;
+use std::fmt;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program is rejected by evaluation.
+    Error,
+    /// The program evaluates, but something is probably wrong.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// One diagnostic: a coded, spanned message about the source program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable error code (`F0001`, …).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Byte span of the offending source text.
+    pub span: Span,
+    /// Index of the rule the diagnostic concerns (`usize::MAX` for
+    /// syntax errors, which have no rule).
+    pub rule: usize,
+}
+
+/// The result of checking a program: all diagnostics, in source order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Diagnostics sorted by span start, then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether the program is clean.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders every diagnostic rustc-style against `src`, labelling
+    /// locations as `filename:line:col`.
+    pub fn render(&self, src: &str, filename: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&render_diagnostic(d, src, filename));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Checks program text with the text-only passes.
+pub fn check_source(src: &str) -> Report {
+    check(src, None)
+}
+
+/// Checks program text including the database-aware passes (schema
+/// arity, shadowed inputs, undefined relations, empty input relations).
+pub fn check_source_with_db(src: &str, db: &Database) -> Report {
+    check(src, Some(db))
+}
+
+fn check(src: &str, db: Option<&Database>) -> Report {
+    let spanned = match parse_program_spanned(src) {
+        Ok(sp) => sp,
+        Err(e) => {
+            // A syntax error preempts analysis: one diagnostic at the
+            // failing byte.
+            let at = e.pos.min(src.len());
+            return Report {
+                diagnostics: vec![Diagnostic {
+                    code: "F0000",
+                    severity: Severity::Error,
+                    message: format!("syntax error: {}", e.msg),
+                    span: Span::new(at, (at + 1).min(src.len()).max(at)),
+                    rule: usize::MAX,
+                }],
+            };
+        }
+    };
+    let findings = analyze(&spanned.program, db);
+    let mut diagnostics: Vec<Diagnostic> = findings
+        .iter()
+        .map(|f| to_diagnostic(f, &spanned, src))
+        .collect();
+    diagnostics.sort_by(|a, b| (a.span.start, a.code).cmp(&(b.span.start, b.code)));
+    Report { diagnostics }
+}
+
+/// Maps a structural finding to a coded, spanned diagnostic.
+fn to_diagnostic(f: &Finding, spanned: &SpannedProgram, src: &str) -> Diagnostic {
+    let spans = &spanned.spans[f.rule()];
+    let (code, severity, span) = match f {
+        Finding::UnsafeVariable { variable, .. } => (
+            "F0001",
+            Severity::Error,
+            var_span(spans, src, variable).unwrap_or(spans.rule),
+        ),
+        Finding::NegativeCycle { .. } => ("F0002", Severity::Error, spans.head.atom),
+        Finding::ArityConflict { literal, .. } => (
+            "F0003",
+            Severity::Error,
+            match literal {
+                Some(li) => spans.body[*li].atom,
+                None => spans.head.atom,
+            },
+        ),
+        Finding::ShadowedInput { .. } => ("F0004", Severity::Warning, spans.head.atom),
+        Finding::DeadRule { .. } => ("F0005", Severity::Warning, spans.rule),
+        Finding::UndefinedPredicate { literal, .. } => {
+            ("F0006", Severity::Warning, spans.body[*literal].atom)
+        }
+        Finding::SingletonVariable { variable, .. } => (
+            "F0007",
+            Severity::Warning,
+            var_span(spans, src, variable).unwrap_or(spans.rule),
+        ),
+        Finding::UnsatisfiableRule { .. } => (
+            "F0008",
+            Severity::Warning,
+            comparisons_span(spans).unwrap_or(spans.rule),
+        ),
+    };
+    Diagnostic {
+        code,
+        severity,
+        message: f.to_string(),
+        span,
+        rule: f.rule(),
+    }
+}
+
+/// The span of the first occurrence of rule variable `name` in the
+/// rule: argument positions first (head, then body), then comparisons.
+fn var_span(spans: &RuleSpans, src: &str, name: &str) -> Option<Span> {
+    std::iter::once(&spans.head)
+        .chain(spans.body.iter())
+        .flat_map(|a| a.args.iter())
+        .find(|s| src.get(s.start..s.end) == Some(name))
+        .or_else(|| {
+            // Fall back to the whole comparison mentioning the
+            // variable as a word.
+            spans.comparisons.iter().find(|s| {
+                src.get(s.start..s.end)
+                    .is_some_and(|text| mentions_word(text, name))
+            })
+        })
+        .copied()
+}
+
+/// Whether `text` contains `name` as a standalone identifier.
+fn mentions_word(text: &str, name: &str) -> bool {
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(i) = text[from..].find(name) {
+        let at = from + i;
+        let before_ok = !text[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| is_ident(c) || c == '$');
+        let after_ok = !text[at + name.len()..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + name.len();
+    }
+    false
+}
+
+/// The span covering all comparisons of a rule.
+fn comparisons_span(spans: &RuleSpans) -> Option<Span> {
+    let first = spans.comparisons.first()?;
+    let last = spans.comparisons.last()?;
+    Some(Span::new(first.start, last.end))
+}
+
+// ---------------------------------------------------------------------------
+// rendering
+// ---------------------------------------------------------------------------
+
+/// Renders one diagnostic with a source snippet and caret underline.
+fn render_diagnostic(d: &Diagnostic, src: &str, filename: &str) -> String {
+    let (line_no, col) = line_col(src, d.span.start);
+    let line_start = src[..d.span.start.min(src.len())]
+        .rfind('\n')
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(src.len());
+    let line_text = &src[line_start..line_end];
+
+    // Caret run: from the span start to its end, clipped to this line,
+    // at least one caret wide.
+    let caret_start = col - 1;
+    let caret_len = d.span.end.min(line_end).saturating_sub(d.span.start).max(1);
+
+    let gutter = line_no.to_string();
+    let pad = " ".repeat(gutter.len());
+    format!(
+        "{severity}[{code}]: {message}\n\
+         {pad}--> {filename}:{line_no}:{col}\n\
+         {pad} |\n\
+         {gutter} | {line_text}\n\
+         {pad} | {indent}{carets}\n",
+        severity = d.severity,
+        code = d.code,
+        message = d.message,
+        indent = " ".repeat(caret_start),
+        carets = "^".repeat(caret_len),
+    )
+}
+
+/// 1-based line and byte column of a byte offset.
+fn line_col(src: &str, pos: usize) -> (usize, usize) {
+    let pos = pos.min(src.len());
+    let line = src[..pos].matches('\n').count() + 1;
+    let col = pos - src[..pos].rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    fn span_text<'s>(src: &'s str, d: &Diagnostic) -> &'s str {
+        &src[d.span.start..d.span.end]
+    }
+
+    // --- F0001: unsafe variables ---------------------------------------
+
+    #[test]
+    fn f0001_unsafe_variable_with_span() {
+        let src = "R(a, b) :- F(a).\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0001"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(span_text(src, d), "b");
+        assert!(d.message.contains("unsafe variable `b`"));
+    }
+
+    #[test]
+    fn f0001_clean() {
+        assert!(check_source("R(a, b) :- F(a, b).\n").is_empty());
+    }
+
+    // --- F0002: negation through recursion ------------------------------
+
+    #[test]
+    fn f0002_negative_cycle_flags_both_predicates() {
+        let src = "P(a) :- N(a), !Q(a).\nQ(a) :- N(a), !P(a).\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0002", "F0002"]);
+        assert_eq!(span_text(src, &report.diagnostics[0]), "P(a)");
+        assert_eq!(span_text(src, &report.diagnostics[1]), "Q(a)");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn f0002_clean_stratified_negation() {
+        let src = "R(a) :- N(a).\nBad(a) :- N(a), !R(a).\n";
+        assert!(check_source(src).is_empty());
+    }
+
+    // --- F0003: arity conflicts -----------------------------------------
+
+    #[test]
+    fn f0003_arity_conflict_points_at_conflicting_use() {
+        let src = "R(a, b) :- F(a, b).\nS(a) :- R(a).\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0003"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(span_text(src, d), "R(a)");
+        assert!(d.message.contains("arity is 2"));
+    }
+
+    #[test]
+    fn f0003_clean_consistent_arity() {
+        assert!(check_source("R(a, b) :- F(a, b).\nS(a) :- R(a, a).\n").is_empty());
+    }
+
+    // --- F0004: shadowed input relations --------------------------------
+
+    #[test]
+    fn f0004_head_shadowing_edb_relation() {
+        let mut db = Database::new();
+        db.create_relation(faure_ctable::Schema::new("F", &["a"]))
+            .unwrap();
+        db.insert("F", faure_ctable::CTuple::new([faure_ctable::Term::int(1)]))
+            .unwrap();
+        let src = "F(a) :- G(a).\nG(1).\n";
+        let report = check_source_with_db(src, &db);
+        assert!(codes(&report).contains(&"F0004"));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "F0004")
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(span_text(src, d), "F(a)");
+    }
+
+    #[test]
+    fn f0004_clean_without_collision() {
+        let mut db = Database::new();
+        db.create_relation(faure_ctable::Schema::new("F", &["a"]))
+            .unwrap();
+        db.insert("F", faure_ctable::CTuple::new([faure_ctable::Term::int(1)]))
+            .unwrap();
+        assert!(check_source_with_db("R(a) :- F(a).\n", &db).is_empty());
+    }
+
+    // --- F0005: dead rules ----------------------------------------------
+
+    #[test]
+    fn f0005_self_recursive_predicate_without_base_case() {
+        let src = "P(a) :- P(a).\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0005"]);
+        assert_eq!(span_text(src, &report.diagnostics[0]), "P(a) :- P(a).");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn f0005_clean_with_base_case() {
+        assert!(check_source("P(a) :- E(a).\nP(a) :- P(a).\n").is_empty());
+    }
+
+    // --- F0006: undefined relations -------------------------------------
+
+    #[test]
+    fn f0006_undefined_relation_with_db() {
+        let db = Database::new();
+        let src = "R(a) :- Missing(a).\n";
+        let report = check_source_with_db(src, &db);
+        assert!(codes(&report).contains(&"F0006"));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "F0006")
+            .unwrap();
+        assert_eq!(span_text(src, d), "Missing(a)");
+    }
+
+    #[test]
+    fn f0006_clean_when_relation_exists() {
+        let mut db = Database::new();
+        db.create_relation(faure_ctable::Schema::new("F", &["a"]))
+            .unwrap();
+        db.insert("F", faure_ctable::CTuple::new([faure_ctable::Term::int(1)]))
+            .unwrap();
+        assert!(check_source_with_db("R(a) :- F(a).\n", &db).is_empty());
+    }
+
+    // --- F0007: singleton variables -------------------------------------
+
+    #[test]
+    fn f0007_singleton_variable_span() {
+        let src = "R(a) :- F(a, b).\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0007"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(span_text(src, d), "b");
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn f0007_clean_when_variable_shared() {
+        assert!(check_source("R(a, b) :- F(a, b).\n").is_empty());
+    }
+
+    // --- F0008: unsatisfiable conditions --------------------------------
+
+    #[test]
+    fn f0008_contradictory_interval() {
+        let src = "R(a) :- F(a), a < 2, a > 5.\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0008"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(span_text(src, d), "a < 2, a > 5");
+        assert!(d.message.contains("a < 2"));
+        assert!(d.message.contains("a > 5"));
+    }
+
+    #[test]
+    fn f0008_clean_satisfiable_bounds() {
+        assert!(check_source("R(a) :- F(a), a > 2, a < 5.\n").is_empty());
+    }
+
+    // --- F0000: syntax errors -------------------------------------------
+
+    #[test]
+    fn f0000_syntax_error() {
+        let report = check_source("R(a :- F(a).\n");
+        assert_eq!(codes(&report), vec!["F0000"]);
+        assert!(report.has_errors());
+    }
+
+    // --- collection and rendering ---------------------------------------
+
+    #[test]
+    fn multiple_diagnostics_in_one_run() {
+        // Unsafe variable, singleton, and unsatisfiable condition all
+        // reported together: the analyzer is not fail-fast.
+        let src = "R(a, z) :- F(a, b).\nS(a) :- F(a, a), 1 > 2.\n";
+        let report = check_source(src);
+        let got = codes(&report);
+        assert!(got.contains(&"F0001"), "{got:?}");
+        assert!(got.contains(&"F0007"), "{got:?}");
+        assert!(got.contains(&"F0008"), "{got:?}");
+    }
+
+    #[test]
+    fn diagnostics_sorted_by_source_position() {
+        let src = "S(a) :- F(a), 1 > 2.\nR(a, z) :- F(a).\n";
+        let report = check_source(src);
+        let starts: Vec<usize> = report.diagnostics.iter().map(|d| d.span.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn renderer_points_carets_at_the_span() {
+        let src = "R(a, b) :- F(a).\n";
+        let report = check_source(src);
+        let rendered = report.render(src, "prog.fl");
+        assert!(rendered.contains("error[F0001]"), "{rendered}");
+        assert!(rendered.contains("--> prog.fl:1:6"), "{rendered}");
+        assert!(rendered.contains("1 | R(a, b) :- F(a)."), "{rendered}");
+        // The caret sits under column 6.
+        let caret_line = rendered
+            .lines()
+            .find(|l| l.contains('^'))
+            .expect("caret line");
+        assert_eq!(caret_line.find('^'), Some("  | ".len() + 5), "{rendered}");
+    }
+
+    #[test]
+    fn renderer_reports_line_numbers_past_one() {
+        let src = "Ok(a) :- F(a).\nR(a, b) :- F(a).\n";
+        let rendered = check_source(src).render(src, "x.fl");
+        assert!(rendered.contains("--> x.fl:2:6"), "{rendered}");
+    }
+}

@@ -37,9 +37,11 @@ fn bench_satisfiability(c: &mut Criterion) {
             CmpOp::Eq,
             LinExpr::constant(1),
         ));
-        group.bench_with_input(BenchmarkId::new("paths_plus_linear", nvars), &cond, |b, cond| {
-            b.iter(|| satisfiable(&reg, cond).expect("supported"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("paths_plus_linear", nvars),
+            &cond,
+            |b, cond| b.iter(|| satisfiable(&reg, cond).expect("supported")),
+        );
     }
     group.finish();
 }
@@ -77,7 +79,11 @@ fn bench_implication(c: &mut Criterion) {
 fn bench_simplify(c: &mut Criterion) {
     let (_, vars) = links(8);
     let cond = path_condition(&vars, 6, 4);
-    let messy = cond.clone().and(cond.clone()).and(Condition::True).or(Condition::False);
+    let messy = cond
+        .clone()
+        .and(cond.clone())
+        .and(Condition::True)
+        .or(Condition::False);
     c.bench_function("solver_structural_simplify", |b| {
         b.iter(|| simplify(&messy))
     });

@@ -15,20 +15,16 @@ fn bench_reachability(c: &mut Criterion) {
     group.sample_size(10);
     for prefixes in [50usize, 100, 200] {
         let w = workload(prefixes, 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(prefixes),
-            &w,
-            |b, w| {
-                b.iter(|| {
-                    evaluate_with(
-                        &queries::reachability_program(),
-                        &w.db,
-                        &EvalOptions::default(),
-                    )
-                    .expect("evaluation succeeds")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(prefixes), &w, |b, w| {
+            b.iter(|| {
+                evaluate_with(
+                    &queries::reachability_program(),
+                    &w.db,
+                    &EvalOptions::default(),
+                )
+                .expect("evaluation succeeds")
+            })
+        });
     }
     group.finish();
 }

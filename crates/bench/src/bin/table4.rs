@@ -9,7 +9,7 @@
 //! and 922 067; pass them explicitly if you have the minutes — the
 //! shape, not the wall-clock, is the reproduction target).
 
-use faure_bench::{print_table, run_table4_row, HarnessOptions, Table4Row};
+use faure_bench::{print_table, rows_to_json, run_table4_row, HarnessOptions, Table4Row};
 use faure_core::PrunePolicy;
 
 fn main() {
@@ -70,8 +70,7 @@ fn main() {
     print_table(&rows);
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&rows).expect("serializable");
-        std::fs::write(&path, json).expect("writable path");
+        std::fs::write(&path, rows_to_json(&rows)).expect("writable path");
         eprintln!("\nwrote {path}");
     }
 }

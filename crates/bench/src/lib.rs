@@ -19,11 +19,10 @@
 
 use faure_core::{evaluate_with, EvalError, EvalOptions, PrunePolicy};
 use faure_net::{queries, rib};
-use serde::Serialize;
 use std::time::Duration;
 
 /// Timing + size numbers for one query (one cell group of Table 4).
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct QueryStats {
     /// Relational-phase time ("sql" column), seconds.
     pub sql: f64,
@@ -41,10 +40,19 @@ impl QueryStats {
             tuples: stats.tuples,
         }
     }
+
+    /// JSON object for this cell group (no external serializer in the
+    /// offline build, so the encoding is by hand).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sql\":{},\"solver\":{},\"tuples\":{}}}",
+            self.sql, self.solver, self.tuples
+        )
+    }
 }
 
 /// One row of Table 4.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table4Row {
     /// Input size (number of prefixes).
     pub prefixes: usize,
@@ -62,6 +70,30 @@ pub struct Table4Row {
     pub q8: QueryStats,
     /// Total wall-clock for the row, seconds.
     pub total: f64,
+}
+
+impl Table4Row {
+    /// JSON object for this row.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"prefixes\":{},\"seed\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{}}}",
+            self.prefixes,
+            self.seed,
+            self.f_tuples,
+            self.q45.to_json(),
+            self.q6.to_json(),
+            self.q7.to_json(),
+            self.q8.to_json(),
+            self.total
+        )
+    }
+}
+
+/// JSON array over rows, one row per line (the `--json` dump format of
+/// the `table4` binary).
+pub fn rows_to_json(rows: &[Table4Row]) -> String {
+    let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.to_json())).collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
 }
 
 /// Harness options.
@@ -135,9 +167,7 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
     // q7 reads T1 (nested query): strip everything else.
     let mut t1_db = faure_ctable::Database::new();
     t1_db.cvars = out6.database.cvars.clone();
-    t1_db.set_relation(
-        out6.database.remove_relation("T1").expect("q6 derived T1"),
-    );
+    t1_db.set_relation(out6.database.remove_relation("T1").expect("q6 derived T1"));
     drop(out6);
     let out7 = evaluate_with(
         &queries::q7_pair_under_y_failure(pair.0, pair.1),
@@ -176,8 +206,17 @@ pub fn print_table(rows: &[Table4Row]) {
     );
     println!(
         "{:>9} | {:>8} | {:>8} {:>8} {:>9} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>8}",
-        "#prefix", "sql+slv", "sql", "solver", "#tuples", "sql", "solver", "#tuples", "sql",
-        "solver", "#tuples"
+        "#prefix",
+        "sql+slv",
+        "sql",
+        "solver",
+        "#tuples",
+        "sql",
+        "solver",
+        "#tuples",
+        "sql",
+        "solver",
+        "#tuples"
     );
     for r in rows {
         println!(
@@ -226,9 +265,10 @@ mod tests {
     #[test]
     fn rows_serialize_to_json() {
         let row = run_table4_row(10, &HarnessOptions::default()).unwrap();
-        let json = serde_json::to_string(&row).unwrap();
+        let json = rows_to_json(&[row]);
         assert!(json.contains("\"prefixes\":10"));
         assert!(json.contains("\"q6\""));
+        assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!
 //! * `eval <db> <program> [--prune P] [--relation R]` — evaluate a
 //!   fauré-log program and print derived relations with conditions;
+//! * `check <program>` — span-aware static analysis: all diagnostics
+//!   (`F0001`…) with source snippets; `--domains <db>` adds the
+//!   database-aware passes;
 //! * `check <db> <constraint>` — direct verification of a `panic`
 //!   constraint, with violation witnesses;
 //! * `scenarios <db> <constraint>` — enumerate the concrete worlds
@@ -87,8 +90,7 @@ pub fn load_database(text: &str) -> Result<Database, CliError> {
             program_lines.push('\n');
         }
     }
-    let program =
-        parse_program(&program_lines).map_err(|e| err(format!("database facts: {e}")))?;
+    let program = parse_program(&program_lines).map_err(|e| err(format!("database facts: {e}")))?;
     for rule in &program.rules {
         if !rule.body.is_empty() {
             return Err(err(format!(
@@ -154,9 +156,7 @@ fn parse_schema_directive(rest: &str, db: &mut Database) -> Result<(), String> {
         .split_once('(')
         .ok_or("expected `@schema Name(attr, ...)`")?;
     let name = name.trim();
-    let args = args
-        .strip_suffix(')')
-        .ok_or("expected closing `)`")?;
+    let args = args.strip_suffix(')').ok_or("expected closing `)`")?;
     let attrs: Vec<&str> = args
         .split(',')
         .map(str::trim)
@@ -237,24 +237,60 @@ pub fn cmd_eval(
 pub fn cmd_check(db_text: &str, constraint_text: &str) -> Result<String, CliError> {
     let db = load_database(db_text)?;
     let program = parse_program(constraint_text).map_err(|e| err(e.to_string()))?;
-    let constraint =
-        Constraint::new("constraint", program).map_err(|e| err(e.to_string()))?;
+    let constraint = Constraint::new("constraint", program).map_err(|e| err(e.to_string()))?;
     let verdict = check_direct(&constraint, &db).map_err(|e| err(e.to_string()))?;
     let mut s = String::new();
     use fmt::Write;
     match verdict {
         DirectVerdict::Holds => writeln!(&mut s, "HOLDS in every possible world"),
-        DirectVerdict::Violated(vs) => {
-            writeln!(&mut s, "VIOLATED:").and_then(|()| {
-                for v in &vs {
-                    writeln!(&mut s, "  {}", v.display(&db.cvars))?;
-                }
-                Ok(())
-            })
-        }
+        DirectVerdict::Violated(vs) => writeln!(&mut s, "VIOLATED:").and_then(|()| {
+            for v in &vs {
+                writeln!(&mut s, "  {}", v.display(&db.cvars))?;
+            }
+            Ok(())
+        }),
     }
     .map_err(|e| err(e.to_string()))?;
     Ok(s)
+}
+
+/// Result of `faure check <program.fl>` (the lint form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintOutcome {
+    /// Rendered diagnostics plus a one-line summary.
+    pub rendered: String,
+    /// Number of error-severity diagnostics.
+    pub errors: usize,
+    /// Number of warning-severity diagnostics.
+    pub warnings: usize,
+}
+
+/// `faure check <program.fl>` implementation: runs the span-aware
+/// analyzer and renders all diagnostics rustc-style. With `db`, the
+/// database-aware passes (schema arity, shadowing, undefined
+/// relations) run too.
+pub fn cmd_lint(source: &str, filename: &str, db: Option<&Database>) -> LintOutcome {
+    use faure_analyze::Severity;
+    let report = match db {
+        Some(db) => faure_analyze::check_source_with_db(source, db),
+        None => faure_analyze::check_source(source),
+    };
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = report.len() - errors;
+    let mut rendered = report.render(source, filename);
+    match (errors, warnings) {
+        (0, 0) => rendered.push_str(&format!("{filename}: no problems found\n")),
+        (e, w) => rendered.push_str(&format!("{filename}: {e} error(s), {w} warning(s)\n")),
+    }
+    LintOutcome {
+        rendered,
+        errors,
+        warnings,
+    }
 }
 
 /// `faure scenarios` implementation.
@@ -265,10 +301,8 @@ pub fn cmd_scenarios(
 ) -> Result<String, CliError> {
     let db = load_database(db_text)?;
     let program = parse_program(constraint_text).map_err(|e| err(e.to_string()))?;
-    let constraint =
-        Constraint::new("constraint", program).map_err(|e| err(e.to_string()))?;
-    let scenarios =
-        violation_scenarios(&constraint, &db, limit).map_err(|e| err(e.to_string()))?;
+    let constraint = Constraint::new("constraint", program).map_err(|e| err(e.to_string()))?;
+    let scenarios = violation_scenarios(&constraint, &db, limit).map_err(|e| err(e.to_string()))?;
     let mut s = String::new();
     use fmt::Write;
     if scenarios.is_empty() {
@@ -302,7 +336,9 @@ pub fn cmd_subsume(
         known.extend(parse_program(k).map_err(|e| err(e.to_string()))?);
     }
     match faure_core::subsumes(&known, &target, reg).map_err(|e| err(e.to_string()))? {
-        faure_core::Subsumption::Subsumed => Ok("SUBSUMED: the known constraints prove the target\n".into()),
+        faure_core::Subsumption::Subsumed => {
+            Ok("SUBSUMED: the known constraints prove the target\n".into())
+        }
         faure_core::Subsumption::NotShown { uncovered_rule } => Ok(format!(
             "UNKNOWN: violation pattern #{uncovered_rule} of the target is not covered\n"
         )),
@@ -330,8 +366,8 @@ pub fn cmd_worlds(db_text: &str, limit: usize) -> Result<String, CliError> {
     let mut s = String::new();
     use fmt::Write;
     let mut n = 0usize;
-    for world in faure_ctable::worlds::WorldIter::new(&db, Some(1 << 16))
-        .map_err(|e| err(e.to_string()))?
+    for world in
+        faure_ctable::worlds::WorldIter::new(&db, Some(1 << 16)).map_err(|e| err(e.to_string()))?
     {
         n += 1;
         if n > limit {
@@ -389,12 +425,14 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
 
     #[test]
     fn directive_variants() {
-        let db = load_database(
-            "@cvar a in {0, 1}\n@cvar s in {Mkt, \"R&D\"}\n@cvar o open\nT(1).\n",
-        )
-        .unwrap();
+        let db =
+            load_database("@cvar a in {0, 1}\n@cvar s in {Mkt, \"R&D\"}\n@cvar o open\nT(1).\n")
+                .unwrap();
         assert_eq!(db.cvars.len(), 3);
-        assert_eq!(db.cvars.domain(db.cvars.by_name("o").unwrap()), &Domain::Open);
+        assert_eq!(
+            db.cvars.domain(db.cvars.by_name("o").unwrap()),
+            &Domain::Open
+        );
     }
 
     #[test]
@@ -415,7 +453,10 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
         let out = cmd_eval(FIG1, REACH, PrunePolicy::EndOfStratum, Some("R")).unwrap();
         assert!(out.contains("R("), "{out}");
         // The FRR guarantee visible from the CLI: R(1,1,5) unconditional.
-        assert!(out.contains("(1, 1, 5)\n") || out.contains("(1, 1, 5) "), "{out}");
+        assert!(
+            out.contains("(1, 1, 5)\n") || out.contains("(1, 1, 5) "),
+            "{out}"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The `faure` binary — see the crate docs for the file formats.
 
 use faure_cli::{
-    cmd_check, cmd_eval, cmd_scenarios, cmd_sql, cmd_subsume, cmd_worlds, load_database,
+    cmd_check, cmd_eval, cmd_lint, cmd_scenarios, cmd_sql, cmd_subsume, cmd_worlds, load_database,
     parse_prune, CliError,
 };
 use faure_core::PrunePolicy;
@@ -11,6 +11,7 @@ faure — partial network analysis (HotNets '21 reproduction)
 
 USAGE:
   faure eval <db.fdb> <program.fl> [--prune never|stratum|iteration|eager] [--relation R]
+  faure check <program.fl> [--domains db.fdb]
   faure check <db.fdb> <constraint.fl>
   faure scenarios <db.fdb> <constraint.fl> [--limit N]
   faure subsume <target.fl> <known.fl>... [--domains db.fdb]
@@ -21,6 +22,10 @@ USAGE:
 Database files (.fdb) hold `@cvar name in {..}` / `@cvar name open` /
 `@schema Name(attr, ...)` directives plus conditional facts like
 `F(1, 2) :- $x = 1.`; program files (.fl) hold fauré-log rules.
+
+The one-argument `check` form is the static analyzer: it reports every
+diagnostic (stable codes F0001…) with source snippets, and exits 1
+only when an error-severity diagnostic is present.
 ";
 
 fn read(path: &str) -> Result<String, CliError> {
@@ -63,6 +68,18 @@ fn run() -> Result<String, CliError> {
 
     match positional.as_slice() {
         ["eval", db, program] => cmd_eval(&read(db)?, &read(program)?, prune, relation.as_deref()),
+        ["check", program] => {
+            let db = match &domains {
+                Some(path) => Some(load_database(&read(path)?)?),
+                None => None,
+            };
+            let outcome = cmd_lint(&read(program)?, program, db.as_ref());
+            if outcome.errors > 0 {
+                eprint!("{}", outcome.rendered);
+                std::process::exit(1);
+            }
+            Ok(outcome.rendered)
+        }
         ["check", db, constraint] => cmd_check(&read(db)?, &read(constraint)?),
         ["scenarios", db, constraint] => cmd_scenarios(&read(db)?, &read(constraint)?, limit),
         ["subsume", target, known @ ..] if !known.is_empty() => {
@@ -70,10 +87,8 @@ fn run() -> Result<String, CliError> {
                 Some(path) => load_database(&read(path)?)?.cvars,
                 None => faure_ctable::CVarRegistry::new(),
             };
-            let known_texts: Vec<String> = known
-                .iter()
-                .map(|k| read(k))
-                .collect::<Result<_, _>>()?;
+            let known_texts: Vec<String> =
+                known.iter().map(|k| read(k)).collect::<Result<_, _>>()?;
             cmd_subsume(&read(target)?, &known_texts, &reg)
         }
         ["sql", db, query] => cmd_sql(&read(db)?, query),

@@ -59,7 +59,11 @@ fn eval_pipeline() {
         .args(["eval", db.to_str().unwrap(), program.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("(1, 1, 5)"), "{text}");
     assert!(text.contains("tuples"), "{text}");

@@ -1,5 +1,5 @@
-//! Static analysis of fauré-log programs: safety (range restriction)
-//! and stratification.
+//! Static analysis of fauré-log programs: safety (range restriction),
+//! stratification, and the diagnostic passes behind `faure check`.
 //!
 //! *Safety* ensures evaluation terminates with finite answers: every
 //! rule variable in the head, in a negated atom, or in a comparison
@@ -10,8 +10,32 @@
 //! stratified-datalog semantics the paper adopts for recursion plus
 //! "not derivable" negation (§3, §6: "recursive fauré-log is
 //! implemented by stratification").
+//!
+//! The fail-fast [`check_safety`] / [`stratify`] pair is what
+//! evaluation uses as hard gates. On top of them, [`analyze`] runs a
+//! **non-fail-fast** battery of passes and collects *every* problem it
+//! can find as a [`Finding`]:
+//!
+//! 1. safety violations (all of them, not just the first);
+//! 2. negative recursion (every predicate on a cycle through negation);
+//! 3. arity consistency across all uses of a predicate (and against
+//!    database schemas when a database is supplied);
+//! 4. head predicates shadowing an input (EDB) relation;
+//! 5. dead rules — rules whose positive body depends on a provably
+//!    empty predicate — and references to undefined relations;
+//! 6. singleton (likely misspelled) rule variables;
+//! 7. statically unsatisfiable comparison conjunctions (via the
+//!    solver's structural simplification plus interval reasoning,
+//!    e.g. `x < 2, x > 5`).
+//!
+//! The `faure-analyze` crate maps findings to stable `F000x` error
+//! codes, attaches source spans, and renders them.
 
-use crate::ast::{Literal, Program, Rule};
+use crate::ast::{ArgTerm, CompExpr, Comparison, Literal, Program, Rule};
+use faure_ctable::{
+    Atom, CVarId, CVarRegistry, CmpOp, Condition, Const, Database, Domain, Expr, LinExpr, Term,
+};
+use faure_solver::simplify;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -153,6 +177,614 @@ pub fn stratify(program: &Program) -> Result<Stratification, AnalysisError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// multi-pass, non-fail-fast analysis
+// ---------------------------------------------------------------------------
+
+/// One problem discovered by [`analyze`].
+///
+/// Every variant carries the index of the rule it concerns (into
+/// `program.rules`), plus whatever finer-grained structural indices the
+/// renderer needs to attach a precise source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// A rule variable in the head, a negated atom, or a comparison is
+    /// not bound by any positive body atom (range restriction).
+    UnsafeVariable {
+        /// Rule index.
+        rule: usize,
+        /// The unbound variable.
+        variable: String,
+    },
+    /// A predicate sits on a dependency cycle through negation, so the
+    /// program has no stratification.
+    NegativeCycle {
+        /// First rule index defining the predicate.
+        rule: usize,
+        /// The predicate on the negative cycle.
+        predicate: String,
+    },
+    /// A predicate is used with two different arities.
+    ArityConflict {
+        /// Rule index of the conflicting use.
+        rule: usize,
+        /// Body literal index of the conflicting use; `None` when the
+        /// conflict is in the rule head.
+        literal: Option<usize>,
+        /// The predicate.
+        predicate: String,
+        /// Arity established by the first use (or database schema).
+        expected: usize,
+        /// Arity of this use.
+        found: usize,
+    },
+    /// A rule head (re)defines a relation that already exists in the
+    /// input database, so derived and stored tuples are merged.
+    ShadowedInput {
+        /// First rule index defining the predicate.
+        rule: usize,
+        /// The shadowed relation name.
+        predicate: String,
+    },
+    /// A rule can never fire: a positive body atom ranges over a
+    /// predicate that is provably empty (an empty input relation, or an
+    /// IDB predicate only derivable from itself).
+    DeadRule {
+        /// Rule index.
+        rule: usize,
+        /// The provably empty predicate the body depends on.
+        empty_predicate: String,
+    },
+    /// A body atom references a relation that is neither defined by any
+    /// rule nor present in the input database.
+    UndefinedPredicate {
+        /// Rule index.
+        rule: usize,
+        /// Body literal index of the reference.
+        literal: usize,
+        /// The undefined relation name.
+        predicate: String,
+    },
+    /// A rule variable occurs exactly once (in a positive body atom):
+    /// it constrains nothing and is likely a typo.
+    SingletonVariable {
+        /// Rule index.
+        rule: usize,
+        /// The singleton variable.
+        variable: String,
+    },
+    /// The rule's comparisons are statically contradictory, so the rule
+    /// can never derive a tuple.
+    UnsatisfiableRule {
+        /// Rule index.
+        rule: usize,
+        /// Human-readable reason (e.g. the conflicting bounds).
+        detail: String,
+    },
+}
+
+impl Finding {
+    /// Whether the finding is a hard error (evaluation rejects the
+    /// program) rather than a lint warning.
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            Finding::UnsafeVariable { .. }
+                | Finding::NegativeCycle { .. }
+                | Finding::ArityConflict { .. }
+        )
+    }
+
+    /// The index of the rule the finding concerns.
+    pub fn rule(&self) -> usize {
+        match self {
+            Finding::UnsafeVariable { rule, .. }
+            | Finding::NegativeCycle { rule, .. }
+            | Finding::ArityConflict { rule, .. }
+            | Finding::ShadowedInput { rule, .. }
+            | Finding::DeadRule { rule, .. }
+            | Finding::UndefinedPredicate { rule, .. }
+            | Finding::SingletonVariable { rule, .. }
+            | Finding::UnsatisfiableRule { rule, .. } => *rule,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::UnsafeVariable { variable, .. } => write!(
+                f,
+                "unsafe variable `{variable}`: not bound by any positive body atom"
+            ),
+            Finding::NegativeCycle { predicate, .. } => write!(
+                f,
+                "predicate `{predicate}` is on a cycle through negation; the program is not stratifiable"
+            ),
+            Finding::ArityConflict {
+                predicate,
+                expected,
+                found,
+                ..
+            } => write!(
+                f,
+                "predicate `{predicate}` used with {found} argument(s), but its arity is {expected}"
+            ),
+            Finding::ShadowedInput { predicate, .. } => write!(
+                f,
+                "rule head redefines input relation `{predicate}`; derived tuples will be merged with stored ones"
+            ),
+            Finding::DeadRule { empty_predicate, .. } => write!(
+                f,
+                "rule can never fire: predicate `{empty_predicate}` is provably empty"
+            ),
+            Finding::UndefinedPredicate { predicate, .. } => write!(
+                f,
+                "relation `{predicate}` is neither defined by a rule nor present in the database"
+            ),
+            Finding::SingletonVariable { variable, .. } => write!(
+                f,
+                "variable `{variable}` occurs only once; use a distinct name per position or check for a typo"
+            ),
+            Finding::UnsatisfiableRule { detail, .. } => {
+                write!(f, "rule condition is statically unsatisfiable: {detail}")
+            }
+        }
+    }
+}
+
+/// Runs every analysis pass over `program`, collecting **all**
+/// findings instead of stopping at the first.
+///
+/// When `db` is supplied the database-aware passes run too: arity
+/// checks against relation schemas, shadowed-input detection,
+/// undefined-relation detection, and emptiness of input relations for
+/// dead-rule analysis. Findings are ordered by pass, then by rule.
+pub fn analyze(program: &Program, db: Option<&Database>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    safety_findings(program, &mut out);
+    stratification_findings(program, &mut out);
+    arity_findings(program, db, &mut out);
+    shadow_findings(program, db, &mut out);
+    reachability_findings(program, db, &mut out);
+    singleton_findings(program, &mut out);
+    unsat_findings(program, &mut out);
+    out
+}
+
+/// Pass 1: every range-restriction violation (not just the first).
+fn safety_findings(program: &Program, out: &mut Vec<Finding>) {
+    for (idx, rule) in program.rules.iter().enumerate() {
+        let bound: BTreeSet<&str> = rule
+            .body
+            .iter()
+            .filter(|l| !l.is_negative())
+            .flat_map(|l| l.atom().variables())
+            .collect();
+        let mut need: Vec<&str> = rule.head.variables().collect();
+        for lit in rule.body.iter().filter(|l| l.is_negative()) {
+            need.extend(lit.atom().variables());
+        }
+        for cmp in &rule.comparisons {
+            need.extend(cmp.variables());
+        }
+        let mut reported: BTreeSet<&str> = BTreeSet::new();
+        for v in need {
+            if !bound.contains(v) && reported.insert(v) {
+                out.push(Finding::UnsafeVariable {
+                    rule: idx,
+                    variable: v.to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Pass 2: every predicate on a cycle through negation.
+///
+/// Builds the predicate dependency graph, computes its transitive
+/// closure, and flags the strongly connected component of every
+/// negative edge whose endpoints are mutually reachable.
+fn stratification_findings(program: &Program, out: &mut Vec<Finding>) {
+    let idb: Vec<&str> = program.idb_predicates().into_iter().collect();
+    let index: BTreeMap<&str, usize> = idb.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let n = idb.len();
+
+    let mut reach = vec![vec![false; n]; n];
+    let mut neg_edges: Vec<(usize, usize)> = Vec::new();
+    for rule in &program.rules {
+        let h = index[rule.head.pred.as_str()];
+        for lit in &rule.body {
+            if let Some(&b) = index.get(lit.atom().pred.as_str()) {
+                reach[h][b] = true;
+                if lit.is_negative() {
+                    neg_edges.push((h, b));
+                }
+            }
+        }
+    }
+    // Warshall transitive closure; programs are small.
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                let via: Vec<usize> = (0..n).filter(|&j| reach[k][j]).collect();
+                for j in via {
+                    reach[i][j] = true;
+                }
+            }
+        }
+    }
+
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for (h, b) in neg_edges {
+        // The negative edge h -> b lies on a cycle iff b reaches back
+        // to h; flag every member of their common component.
+        if reach[b][h] {
+            flagged.extend((0..n).filter(|&c| {
+                (c == h || (reach[h][c] && reach[c][h])) && (c == b || (reach[b][c] && reach[c][b]))
+            }));
+        }
+    }
+    for c in flagged {
+        let pred = idb[c];
+        let rule = program
+            .rules
+            .iter()
+            .position(|r| r.head.pred == pred)
+            .expect("IDB predicate has a defining rule");
+        out.push(Finding::NegativeCycle {
+            rule,
+            predicate: pred.to_owned(),
+        });
+    }
+}
+
+/// Pass 3: conflicting arities across all uses of each predicate.
+///
+/// The first use (or the database schema, when available) establishes
+/// the expected arity; every later use with a different arity is
+/// reported.
+fn arity_findings(program: &Program, db: Option<&Database>, out: &mut Vec<Finding>) {
+    let mut expected: BTreeMap<&str, usize> = BTreeMap::new();
+    if let Some(db) = db {
+        for rel in db.relations() {
+            expected.insert(&rel.schema.name, rel.schema.attrs.len());
+        }
+    }
+    for (idx, rule) in program.rules.iter().enumerate() {
+        let head = (rule.head.pred.as_str(), rule.head.args.len(), None);
+        let body = rule
+            .body
+            .iter()
+            .enumerate()
+            .map(|(li, lit)| (lit.atom().pred.as_str(), lit.atom().args.len(), Some(li)));
+        for (pred, found, literal) in std::iter::once(head).chain(body) {
+            match expected.get(pred) {
+                Some(&want) if want != found => out.push(Finding::ArityConflict {
+                    rule: idx,
+                    literal,
+                    predicate: pred.to_owned(),
+                    expected: want,
+                    found,
+                }),
+                Some(_) => {}
+                None => {
+                    expected.insert(pred, found);
+                }
+            }
+        }
+    }
+}
+
+/// Pass 4 (database-aware): rule heads shadowing input relations.
+fn shadow_findings(program: &Program, db: Option<&Database>, out: &mut Vec<Finding>) {
+    let Some(db) = db else { return };
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for (idx, rule) in program.rules.iter().enumerate() {
+        let pred = rule.head.pred.as_str();
+        if db.relation(pred).is_some() && seen.insert(pred) {
+            out.push(Finding::ShadowedInput {
+                rule: idx,
+                predicate: pred.to_owned(),
+            });
+        }
+    }
+}
+
+/// Pass 5: dead rules and undefined relations.
+///
+/// A predicate is *possibly nonempty* if it is an input relation with
+/// tuples (assumed nonempty when no database is given), or an IDB
+/// predicate with at least one rule whose positive body atoms all range
+/// over possibly-nonempty predicates. A rule depending positively on a
+/// predicate that is not possibly nonempty can never fire.
+fn reachability_findings(program: &Program, db: Option<&Database>, out: &mut Vec<Finding>) {
+    let idb = program.idb_predicates();
+    // Undefined relations first (database-aware), so dead-rule
+    // reporting can skip the causes already explained.
+    let mut undefined: BTreeSet<&str> = BTreeSet::new();
+    if let Some(db) = db {
+        for (idx, rule) in program.rules.iter().enumerate() {
+            for (li, lit) in rule.body.iter().enumerate() {
+                let pred = lit.atom().pred.as_str();
+                if !idb.contains(pred) && db.relation(pred).is_none() {
+                    undefined.insert(pred);
+                    out.push(Finding::UndefinedPredicate {
+                        rule: idx,
+                        literal: li,
+                        predicate: pred.to_owned(),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut nonempty: BTreeMap<&str, bool> = BTreeMap::new();
+    for rule in &program.rules {
+        for lit in &rule.body {
+            let pred = lit.atom().pred.as_str();
+            if !idb.contains(pred) {
+                let base = match db {
+                    Some(db) => db.relation(pred).is_some_and(|r| !r.is_empty()),
+                    None => true,
+                };
+                nonempty.insert(pred, base);
+            }
+        }
+    }
+    for &pred in &idb {
+        nonempty.insert(pred, false);
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in &program.rules {
+            if nonempty[rule.head.pred.as_str()] {
+                continue;
+            }
+            let fires = rule
+                .body
+                .iter()
+                .filter(|l| !l.is_negative())
+                .all(|l| nonempty[l.atom().pred.as_str()]);
+            if fires {
+                nonempty.insert(&rule.head.pred, true);
+                changed = true;
+            }
+        }
+    }
+    for (idx, rule) in program.rules.iter().enumerate() {
+        let empty = rule
+            .body
+            .iter()
+            .filter(|l| !l.is_negative())
+            .map(|l| l.atom().pred.as_str())
+            .find(|p| !nonempty[p] && !undefined.contains(p));
+        if let Some(p) = empty {
+            out.push(Finding::DeadRule {
+                rule: idx,
+                empty_predicate: p.to_owned(),
+            });
+        }
+    }
+}
+
+/// Pass 6: singleton rule variables.
+///
+/// A variable whose only occurrence sits in a positive body atom binds
+/// nothing and joins nothing — usually a typo for another variable.
+/// Singletons elsewhere (head, negation, comparisons) are already
+/// safety errors, so they are not re-reported here. Names starting
+/// with `_` are treated as intentionally unused.
+fn singleton_findings(program: &Program, out: &mut Vec<Finding>) {
+    for (idx, rule) in program.rules.iter().enumerate() {
+        // Count every textual occurrence, position by position.
+        let mut count: BTreeMap<&str, usize> = BTreeMap::new();
+        let atoms = std::iter::once(&rule.head).chain(rule.body.iter().map(Literal::atom));
+        for atom in atoms {
+            for v in atom.args.iter().filter_map(ArgTerm::as_var) {
+                *count.entry(v).or_insert(0) += 1;
+            }
+        }
+        for cmp in &rule.comparisons {
+            for side in [&cmp.lhs, &cmp.rhs] {
+                if let CompExpr::Arg(ArgTerm::Var(v)) = side {
+                    *count.entry(v.as_str()).or_insert(0) += 1;
+                }
+            }
+        }
+        let positive: BTreeSet<&str> = rule
+            .body
+            .iter()
+            .filter(|l| !l.is_negative())
+            .flat_map(|l| l.atom().variables())
+            .collect();
+        for (v, n) in count {
+            if n == 1 && positive.contains(v) && !v.starts_with('_') {
+                out.push(Finding::SingletonVariable {
+                    rule: idx,
+                    variable: v.to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Pass 7: statically unsatisfiable comparison conjunctions.
+///
+/// Two layers, mirroring the solver's own phase split:
+///
+/// 1. the comparisons are translated to a solver [`Condition`] over a
+///    scratch c-variable registry and structurally simplified — this
+///    folds ground comparisons (`1 > 2`) and trivial contradictions;
+/// 2. interval reasoning over `var op constant` comparisons catches
+///    open-domain contradictions the structural pass cannot see, such
+///    as `x < 2, x > 5` or `$x = 1, $x != 1`.
+fn unsat_findings(program: &Program, out: &mut Vec<Finding>) {
+    for (idx, rule) in program.rules.iter().enumerate() {
+        if rule.comparisons.is_empty() {
+            continue;
+        }
+        if let Some(detail) = rule_unsat_reason(rule) {
+            out.push(Finding::UnsatisfiableRule { rule: idx, detail });
+        }
+    }
+}
+
+/// Explains why a rule's comparisons are contradictory, if they are.
+fn rule_unsat_reason(rule: &Rule) -> Option<String> {
+    // Layer 1: translate to a solver condition and simplify.
+    let mut reg = CVarRegistry::default();
+    let mut ids: BTreeMap<String, CVarId> = BTreeMap::new();
+    let mut id_for = |key: String, reg: &mut CVarRegistry| {
+        *ids.entry(key.clone())
+            .or_insert_with(|| reg.fresh(key, Domain::Open))
+    };
+    let side = |e: &CompExpr,
+                reg: &mut CVarRegistry,
+                id_for: &mut dyn FnMut(String, &mut CVarRegistry) -> CVarId| {
+        match e {
+            CompExpr::Arg(ArgTerm::Cst(c)) => Expr::Term(Term::Const(c.clone())),
+            CompExpr::Arg(ArgTerm::Var(v)) => Expr::Term(Term::Var(id_for(v.clone(), reg))),
+            CompExpr::Arg(ArgTerm::CVar(c)) => Expr::Term(Term::Var(id_for(format!("${c}"), reg))),
+            CompExpr::Lin { terms, constant } => {
+                let mut lin = LinExpr::constant(*constant);
+                for (coef, name) in terms {
+                    lin = lin.plus_var(*coef, id_for(format!("${name}"), reg));
+                }
+                Expr::Lin(lin)
+            }
+        }
+    };
+    let atoms: Vec<Condition> = rule
+        .comparisons
+        .iter()
+        .map(|c| {
+            Condition::Atom(Atom {
+                lhs: side(&c.lhs, &mut reg, &mut id_for),
+                op: c.op,
+                rhs: side(&c.rhs, &mut reg, &mut id_for),
+            })
+        })
+        .collect();
+    if simplify(&Condition::And(atoms)) == Condition::False {
+        return Some("the comparisons simplify to false".to_owned());
+    }
+
+    // Layer 2: interval reasoning over `var op constant` comparisons.
+    // Rule variables and c-variables are keyed by their display form.
+    #[derive(Default)]
+    struct Ranges {
+        /// Tightest lower bound and the comparison that set it.
+        lo: Option<(i64, Comparison)>,
+        /// Tightest upper bound and the comparison that set it.
+        hi: Option<(i64, Comparison)>,
+        /// Required symbolic value, from an `=` with a non-integer.
+        eq_sym: Option<(Const, Comparison)>,
+        /// Excluded values.
+        ne: Vec<(Const, Comparison)>,
+    }
+    fn tighten_lo(r: &mut Ranges, k: i64, by: &Comparison) {
+        if r.lo.as_ref().is_none_or(|(cur, _)| k > *cur) {
+            r.lo = Some((k, by.clone()));
+        }
+    }
+    fn tighten_hi(r: &mut Ranges, k: i64, by: &Comparison) {
+        if r.hi.as_ref().is_none_or(|(cur, _)| k < *cur) {
+            r.hi = Some((k, by.clone()));
+        }
+    }
+    let mut ranges: BTreeMap<String, Ranges> = BTreeMap::new();
+    let var_key = |e: &CompExpr| -> Option<String> {
+        match e {
+            CompExpr::Arg(ArgTerm::Var(v)) => Some(v.clone()),
+            CompExpr::Arg(ArgTerm::CVar(c)) => Some(format!("${c}")),
+            _ => None,
+        }
+    };
+    let cst = |e: &CompExpr| -> Option<Const> {
+        match e {
+            CompExpr::Arg(ArgTerm::Cst(c)) => Some(c.clone()),
+            _ => None,
+        }
+    };
+    for cmp in &rule.comparisons {
+        // `x op x` is decided outright.
+        if let (Some(a), Some(b)) = (var_key(&cmp.lhs), var_key(&cmp.rhs)) {
+            if a == b && matches!(cmp.op, CmpOp::Ne | CmpOp::Lt | CmpOp::Gt) {
+                return Some(format!("`{cmp}` compares a variable against itself"));
+            }
+            continue;
+        }
+        // Normalise to `var op constant`.
+        let (key, op, value) = if let (Some(k), Some(c)) = (var_key(&cmp.lhs), cst(&cmp.rhs)) {
+            (k, cmp.op, c)
+        } else if let (Some(c), Some(k)) = (cst(&cmp.lhs), var_key(&cmp.rhs)) {
+            (k, flip(cmp.op), c)
+        } else {
+            continue;
+        };
+        let r = ranges.entry(key).or_default();
+        match (op, value.as_int()) {
+            (CmpOp::Eq, Some(k)) => {
+                // Equality is both bounds at once.
+                tighten_lo(r, k, cmp);
+                tighten_hi(r, k, cmp);
+            }
+            (CmpOp::Eq, None) => {
+                if let Some((prev, by)) = &r.eq_sym {
+                    if *prev != value {
+                        return Some(format!("`{by}` conflicts with `{cmp}`"));
+                    }
+                } else {
+                    r.eq_sym = Some((value, cmp.clone()));
+                }
+            }
+            (CmpOp::Ne, _) => r.ne.push((value, cmp.clone())),
+            (CmpOp::Lt, Some(k)) => tighten_hi(r, k - 1, cmp),
+            (CmpOp::Le, Some(k)) => tighten_hi(r, k, cmp),
+            (CmpOp::Gt, Some(k)) => tighten_lo(r, k + 1, cmp),
+            (CmpOp::Ge, Some(k)) => tighten_lo(r, k, cmp),
+            // Ordering against a non-integer can never hold.
+            (_, None) => return Some(format!("`{cmp}` orders against a non-integer")),
+        }
+    }
+    for r in ranges.values() {
+        if let (Some((lo, by_lo)), Some((hi, by_hi))) = (&r.lo, &r.hi) {
+            if lo > hi {
+                return Some(format!("`{by_lo}` conflicts with `{by_hi}`"));
+            }
+            // A one-point integer range may still be excluded.
+            if lo == hi {
+                if let Some((_, by_ne)) = r.ne.iter().find(|(c, _)| c.as_int() == Some(*lo)) {
+                    return Some(format!("`{by_lo}` conflicts with `{by_ne}`"));
+                }
+            }
+        }
+        if let Some((sym, by_eq)) = &r.eq_sym {
+            if let Some((_, by)) = r.lo.as_ref().or(r.hi.as_ref()) {
+                return Some(format!("`{by_eq}` conflicts with `{by}`"));
+            }
+            if let Some((_, by_ne)) = r.ne.iter().find(|(c, _)| c == sym) {
+                return Some(format!("`{by_eq}` conflicts with `{by_ne}`"));
+            }
+        }
+    }
+    None
+}
+
+/// Mirrors a comparison operator (for `const op var` normalisation).
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +879,178 @@ mod tests {
         .unwrap();
         let s = stratify(&p).unwrap();
         assert_eq!(s.strata.len(), 1);
+    }
+
+    #[test]
+    fn analyze_collects_every_unsafe_variable() {
+        let p = parse_program("R(a, b, c) :- F(a).\nS(x) :- G(x), y < 3.\n").unwrap();
+        let findings = analyze(&p, None);
+        let unsafe_vars: Vec<(usize, &str)> = findings
+            .iter()
+            .filter_map(|f| match f {
+                Finding::UnsafeVariable { rule, variable } => Some((*rule, variable.as_str())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(unsafe_vars, vec![(0, "b"), (0, "c"), (1, "y")]);
+    }
+
+    #[test]
+    fn analyze_flags_every_predicate_on_negative_cycle() {
+        let p = parse_program(
+            "P(a) :- N(a), !Q(a).\n\
+             Q(a) :- N(a), !P(a).\n\
+             Ok(a) :- N(a).\n",
+        )
+        .unwrap();
+        let findings = analyze(&p, None);
+        let preds: Vec<&str> = findings
+            .iter()
+            .filter_map(|f| match f {
+                Finding::NegativeCycle { predicate, .. } => Some(predicate.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(preds, vec!["P", "Q"]);
+    }
+
+    #[test]
+    fn analyze_reports_arity_conflicts() {
+        let p = parse_program("R(a, b) :- F(a, b).\nS(a) :- F(a), R(a).\n").unwrap();
+        let findings = analyze(&p, None);
+        let conflicts: Vec<_> = findings
+            .iter()
+            .filter(|f| matches!(f, Finding::ArityConflict { .. }))
+            .collect();
+        assert_eq!(conflicts.len(), 2, "{findings:?}");
+        assert!(matches!(
+            conflicts[0],
+            Finding::ArityConflict {
+                rule: 1,
+                literal: Some(0),
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            conflicts[1],
+            Finding::ArityConflict {
+                rule: 1,
+                literal: Some(1),
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn analyze_flags_shadowed_input_relations() {
+        let mut db = faure_ctable::Database::new();
+        db.create_relation(faure_ctable::Schema::new("R", &["a"]))
+            .unwrap();
+        let p = parse_program("R(a) :- F(a).\n").unwrap();
+        let findings = analyze(&p, Some(&db));
+        assert!(findings.iter().any(
+            |f| matches!(f, Finding::ShadowedInput { rule: 0, predicate } if predicate == "R")
+        ));
+    }
+
+    #[test]
+    fn analyze_detects_dead_rules_and_undefined_predicates() {
+        // Self-recursive P has no base case: dead without any database.
+        let p = parse_program("P(a) :- P(a).\n").unwrap();
+        assert!(analyze(&p, None)
+            .iter()
+            .any(|f| matches!(f, Finding::DeadRule { rule: 0, .. })));
+
+        // With a database: G is undefined, F is present but empty.
+        let mut db = faure_ctable::Database::new();
+        db.create_relation(faure_ctable::Schema::new("F", &["a"]))
+            .unwrap();
+        let p = parse_program("R(a) :- G(a).\nS(a) :- F(a).\n").unwrap();
+        let findings = analyze(&p, Some(&db));
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            Finding::UndefinedPredicate { rule: 0, literal: 0, predicate } if predicate == "G"
+        )));
+        // Rule 0's dead-ness is explained by the undefined predicate, so
+        // only rule 1 (empty F) gets a dead-rule finding.
+        let dead: Vec<usize> = findings
+            .iter()
+            .filter_map(|f| match f {
+                Finding::DeadRule { rule, .. } => Some(*rule),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dead, vec![1]);
+    }
+
+    #[test]
+    fn analyze_flags_singleton_variables() {
+        let p = parse_program("R(a) :- F(a, b).\nS(a) :- G(a, _ignore).\n").unwrap();
+        let findings = analyze(&p, None);
+        assert!(findings.iter().any(
+            |f| matches!(f, Finding::SingletonVariable { rule: 0, variable } if variable == "b")
+        ));
+        // `_`-prefixed names are intentionally unused; shared variables
+        // are not singletons.
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| matches!(f, Finding::SingletonVariable { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn analyze_detects_unsatisfiable_intervals() {
+        let p = parse_program("R(a) :- F(a), a < 2, a > 5.\n").unwrap();
+        let findings = analyze(&p, None);
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, Finding::UnsatisfiableRule { rule: 0, .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn analyze_detects_eq_ne_contradiction_on_cvars() {
+        let p = parse_program("R($x) :- F($x), $x = 1, $x != 1.\n").unwrap();
+        assert!(analyze(&p, None)
+            .iter()
+            .any(|f| matches!(f, Finding::UnsatisfiableRule { .. })));
+    }
+
+    #[test]
+    fn analyze_detects_ground_false_comparison() {
+        let p = parse_program("R(a) :- F(a), 1 > 2.\n").unwrap();
+        let findings = analyze(&p, None);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            Finding::UnsatisfiableRule { detail, .. } if detail.contains("simplify")
+        )));
+    }
+
+    #[test]
+    fn analyze_accepts_satisfiable_conditions() {
+        let p = parse_program("R(a) :- F(a), a >= 2, a <= 2, a != 3.\n").unwrap();
+        assert!(analyze(&p, None)
+            .iter()
+            .all(|f| !matches!(f, Finding::UnsatisfiableRule { .. })));
+    }
+
+    #[test]
+    fn analyze_clean_program_has_no_findings() {
+        let p = parse_program(
+            "R(f, n1, n2) :- F(f, n1, n2).\n\
+             R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).\n",
+        )
+        .unwrap();
+        assert_eq!(analyze(&p, None), Vec::new());
     }
 
     #[test]

@@ -407,8 +407,14 @@ mod tests {
             body: vec![Literal::Pos(atom("F", vec![ArgTerm::Var("a".into())]))],
             comparisons: vec![],
         });
-        assert_eq!(p.idb_predicates().into_iter().collect::<Vec<_>>(), vec!["R"]);
-        assert_eq!(p.edb_predicates().into_iter().collect::<Vec<_>>(), vec!["F"]);
+        assert_eq!(
+            p.idb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["R"]
+        );
+        assert_eq!(
+            p.edb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["F"]
+        );
     }
 
     #[test]

@@ -274,11 +274,7 @@ fn rule_covered(
     )?)
 }
 
-fn freeze_arg(
-    arg: &ArgTerm,
-    reg: &CVarRegistry,
-    var_map: &HashMap<&str, Term>,
-) -> Term {
+fn freeze_arg(arg: &ArgTerm, reg: &CVarRegistry, var_map: &HashMap<&str, Term>) -> Term {
     match arg {
         ArgTerm::Cst(c) => Term::Const(c.clone()),
         ArgTerm::CVar(name) => Term::Var(reg.by_name(name).expect("registered above")),
@@ -549,7 +545,11 @@ mod tests {
         let mut reg = CVarRegistry::new();
         reg.fresh(
             "x",
-            Domain::Consts(vec![Const::sym("Mkt"), Const::sym("R&D"), Const::sym("Other")]),
+            Domain::Consts(vec![
+                Const::sym("Mkt"),
+                Const::sym("R&D"),
+                Const::sym("Other"),
+            ]),
         );
         reg.fresh(
             "y",
@@ -593,7 +593,10 @@ mod tests {
         for r in &rules {
             assert_eq!(r.head.pred, GOAL);
             for lit in &r.body {
-                assert_eq!(lit.atom().pred.chars().next().unwrap(), lit.atom().pred.chars().next().unwrap());
+                assert_eq!(
+                    lit.atom().pred.chars().next().unwrap(),
+                    lit.atom().pred.chars().next().unwrap()
+                );
                 assert!(["R", "Fw"].contains(&lit.atom().pred.as_str()));
             }
         }

@@ -33,7 +33,7 @@ use faure_ctable::{
     Atom, CTuple, CVarId, Condition, Database, Domain, Expr, LinExpr, Relation, Schema, Term,
 };
 use faure_solver::{Session, SolverError};
-use faure_storage::{PhaseStats, Pattern, Table};
+use faure_storage::{Pattern, PhaseStats, Table};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -113,7 +113,10 @@ impl fmt::Display for EvalError {
                 pred,
                 expected,
                 got,
-            } => write!(f, "predicate {pred} used with arity {got}, expected {expected}"),
+            } => write!(
+                f,
+                "predicate {pred} used with arity {got}, expected {expected}"
+            ),
             EvalError::IterationLimit { limit } => {
                 write!(f, "fixpoint did not converge within {limit} iterations")
             }
@@ -144,6 +147,10 @@ pub struct EvalOutput {
     /// Per-phase statistics (the paper's `sql` / `Z3` / `#tuples`
     /// columns).
     pub stats: PhaseStats,
+    /// Lint warnings from the pre-evaluation analysis pass (dead
+    /// rules, shadowed inputs, singleton variables, …). Warnings never
+    /// change evaluation results; callers may surface or ignore them.
+    pub warnings: Vec<crate::analysis::Finding>,
 }
 
 impl EvalOutput {
@@ -174,6 +181,13 @@ pub fn evaluate_with(
 ) -> Result<EvalOutput, EvalError> {
     check_safety(program)?;
     let strat = stratify(program)?;
+    // Diagnostic pre-pass: collect lint warnings without affecting
+    // evaluation (the hard errors above gate first, so only
+    // warning-class findings remain relevant here).
+    let warnings: Vec<crate::analysis::Finding> = crate::analysis::analyze(program, Some(db))
+        .into_iter()
+        .filter(|f| !f.is_error())
+        .collect();
 
     let mut database = db.clone();
     let cvmap = resolve_cvars(program, &mut database);
@@ -201,8 +215,7 @@ pub fn evaluate_with(
                 }
                 Some(_) => {}
                 None => {
-                    let attrs: Vec<String> =
-                        (0..arity).map(|i| format!("c{i}")).collect();
+                    let attrs: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
                     let schema = Schema {
                         name: atom.pred.clone(),
                         attrs,
@@ -223,8 +236,7 @@ pub fn evaluate_with(
     // --- evaluate stratum by stratum ------------------------------------
     for stratum_rules in &strat.strata {
         let rules: Vec<&Rule> = stratum_rules.iter().map(|&i| &program.rules[i]).collect();
-        let stratum_preds: BTreeSet<&str> =
-            rules.iter().map(|r| r.head.pred.as_str()).collect();
+        let stratum_preds: BTreeSet<&str> = rules.iter().map(|r| r.head.pred.as_str()).collect();
 
         if opts.semi_naive {
             eval_stratum_semi_naive(
@@ -236,7 +248,14 @@ pub fn evaluate_with(
                 opts,
             )?;
         } else {
-            eval_stratum_naive(&ctx, &rules, &stratum_preds, &mut tables, &mut session, opts)?;
+            eval_stratum_naive(
+                &ctx,
+                &rules,
+                &stratum_preds,
+                &mut tables,
+                &mut session,
+                opts,
+            )?;
         }
 
         if matches!(
@@ -276,7 +295,11 @@ pub fn evaluate_with(
     stats.tuples = derived_tuples;
     stats.solver_stats = session.stats();
 
-    Ok(EvalOutput { database, stats })
+    Ok(EvalOutput {
+        database,
+        stats,
+        warnings,
+    })
 }
 
 /// Resolves c-variable names to ids, auto-registering unknown names
@@ -500,7 +523,9 @@ fn join_positives<'r>(
         return Ok(());
     }
     if depth == positives.len() {
-        return finish_rule(ctx, rule, negatives, tables, theta, cond, session, opts, out);
+        return finish_rule(
+            ctx, rule, negatives, tables, theta, cond, session, opts, out,
+        );
     }
     let (lit_pos, atom) = positives[depth];
     let table: &Table = match delta_override {
@@ -546,10 +571,8 @@ fn join_positives<'r>(
                                 }
                                 (a, b) => {
                                     if a != b {
-                                        new_cond = new_cond.and(Condition::eq(
-                                            a.clone(),
-                                            b.clone(),
-                                        ));
+                                        new_cond =
+                                            new_cond.and(Condition::eq(a.clone(), b.clone()));
                                     }
                                 }
                             }
@@ -726,10 +749,7 @@ mod tests {
     #[test]
     fn table2_cost_query() {
         let (db, vars) = table2_path_db();
-        let program = parse_program(
-            r#"Cost(c) :- P("1.2.3.4", p), C(p, c)."#,
-        )
-        .unwrap();
+        let program = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c)."#).unwrap();
         let out = evaluate(&program, &db).unwrap();
         let rel = out.relation("Cost").unwrap();
         // Depending on x̄, the cost is 3 ([ABC]) or 4 ([ADEC]).
@@ -751,10 +771,7 @@ mod tests {
     #[test]
     fn table2_q3_pattern_match() {
         let (db, _) = table2_path_db();
-        let program = parse_program(
-            r#"Q3(c) :- P("1.2.3.5", p), C(p, c)."#,
-        )
-        .unwrap();
+        let program = parse_program(r#"Q3(c) :- P("1.2.3.5", p), C(p, c)."#).unwrap();
         let out = evaluate(&program, &db).unwrap();
         let rel = out.relation("Q3").unwrap();
         // The answer 3 is conditional on ȳ = 1.2.3.5 (consistent with
@@ -762,6 +779,32 @@ mod tests {
         assert_eq!(rel.len(), 1);
         assert_eq!(rel.tuples[0].terms[0], Term::int(3));
         assert_ne!(rel.tuples[0].cond, Condition::True);
+    }
+
+    /// The diagnostic pre-pass surfaces lints without changing results.
+    #[test]
+    fn warnings_surface_without_changing_results() {
+        let (db, _) = table2_path_db();
+        // `u` is a singleton (likely-typo) variable; the query result
+        // must be identical to the clean formulation.
+        let program = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c), D(u)."#).unwrap();
+        let mut db2 = db.clone();
+        db2.create_relation(faure_ctable::Schema::new("D", &["a"]))
+            .unwrap();
+        db2.insert("D", faure_ctable::CTuple::new([Term::int(0)]))
+            .unwrap();
+        let out = evaluate(&program, &db2).unwrap();
+        assert_eq!(out.relation("Cost").unwrap().len(), 2);
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| matches!(w, crate::analysis::Finding::SingletonVariable { variable, .. } if variable == "u")));
+        assert!(out.warnings.iter().all(|w| !w.is_error()));
+
+        // A clean program yields no warnings.
+        let clean = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c)."#).unwrap();
+        let out = evaluate(&clean, &db).unwrap();
+        assert_eq!(out.warnings, Vec::new());
     }
 
     #[test]
@@ -890,10 +933,7 @@ mod tests {
         let out = evaluate(&program, &db).unwrap();
         let open = out.relation("Open").unwrap();
         assert_eq!(open.len(), 2);
-        let o1 = open
-            .iter()
-            .find(|t| t.terms == vec![Term::int(1)])
-            .unwrap();
+        let o1 = open.iter().find(|t| t.terms == vec![Term::int(1)]).unwrap();
         // Open(1) iff NOT (x̄ = 1), i.e. x̄ ≠ 1.
         assert!(faure_solver::equivalent(
             &out.database.cvars,
@@ -901,10 +941,7 @@ mod tests {
             &Condition::ne(Term::Var(x), Term::int(1))
         )
         .unwrap());
-        let o2 = open
-            .iter()
-            .find(|t| t.terms == vec![Term::int(2)])
-            .unwrap();
+        let o2 = open.iter().find(|t| t.terms == vec![Term::int(2)]).unwrap();
         assert_eq!(o2.cond, Condition::True);
     }
 
@@ -914,16 +951,10 @@ mod tests {
         let p = db.fresh_cvar("p", Domain::Ints(vec![80, 344, 7000]));
         db.create_relation(Schema::new("R", &["subnet", "port"]))
             .unwrap();
-        db.insert(
-            "R",
-            CTuple::new([Term::sym("Mkt"), Term::Var(p)]),
-        )
-        .unwrap();
-        db.insert(
-            "R",
-            CTuple::new([Term::sym("R&D"), Term::int(80)]),
-        )
-        .unwrap();
+        db.insert("R", CTuple::new([Term::sym("Mkt"), Term::Var(p)]))
+            .unwrap();
+        db.insert("R", CTuple::new([Term::sym("R&D"), Term::int(80)]))
+            .unwrap();
         let program = parse_program("V(s) :- R(s, q), q != 80.\n").unwrap();
         let out = evaluate(&program, &db).unwrap();
         let v = out.relation("V").unwrap();
@@ -998,10 +1029,7 @@ mod tests {
         let diag = out.relation("Diag").unwrap();
         // E(1,1) → Diag(1) unconditionally; E(2, x̄) → Diag(2) iff x̄ = 2.
         assert_eq!(diag.len(), 2);
-        let d2 = diag
-            .iter()
-            .find(|t| t.terms == vec![Term::int(2)])
-            .unwrap();
+        let d2 = diag.iter().find(|t| t.terms == vec![Term::int(2)]).unwrap();
         assert!(faure_solver::equivalent(
             &out.database.cvars,
             &d2.cond,

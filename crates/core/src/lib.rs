@@ -49,11 +49,14 @@ pub mod parser;
 pub mod reference;
 pub mod update;
 
-pub use analysis::{check_safety, stratify, AnalysisError, Stratification};
+pub use analysis::{analyze, check_safety, stratify, AnalysisError, Finding, Stratification};
 pub use ast::{ArgTerm, CompExpr, Comparison, Literal, Program, Rule, RuleAtom};
 pub use containment::{subsumes, ContainmentError, Subsumption, GOAL};
 pub use eval::{evaluate, evaluate_with, EvalError, EvalOptions, EvalOutput, PrunePolicy};
-pub use parser::{parse_program, parse_rule, ParseError};
+pub use parser::{
+    parse_program, parse_program_spanned, parse_rule, AtomSpans, ParseError, RuleSpans, Span,
+    SpannedProgram,
+};
 pub use update::{
     apply_to_database, expand_constraint, rewrite_constraint, DeletePattern, Update, UpdateError,
 };

@@ -41,36 +41,114 @@ pub struct ParseError {
     pub pos: usize,
     /// Line number (1-based).
     pub line: usize,
+    /// Column number (1-based, in bytes from the start of the line).
+    pub col: usize,
     /// Problem description.
     pub msg: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.col, self.msg
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
 
+/// A half-open byte range `[start, end)` into the parsed source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Source spans for one atom: the whole atom plus each argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomSpans {
+    /// The atom (for a negated literal: including the `!`/`not`).
+    pub atom: Span,
+    /// One span per argument, in argument order.
+    pub args: Vec<Span>,
+}
+
+/// Source spans for one rule, parallel to the [`Rule`] AST: the span
+/// vectors index-match `Rule::body` and `Rule::comparisons`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSpans {
+    /// The whole rule, including the final `.`.
+    pub rule: Span,
+    /// The head atom.
+    pub head: AtomSpans,
+    /// One entry per body literal.
+    pub body: Vec<AtomSpans>,
+    /// One entry per comparison.
+    pub comparisons: Vec<Span>,
+}
+
+/// A parsed program together with the source spans of its rules
+/// (`spans[i]` describes `program.rules[i]`).
+///
+/// Spans live in a side table rather than in the AST so that rules
+/// keep structural equality regardless of where they were parsed from
+/// (display → parse round-trips, programs built in code, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedProgram {
+    /// The program.
+    pub program: Program,
+    /// Per-rule spans, index-matching `program.rules`.
+    pub spans: Vec<RuleSpans>,
+}
+
 /// Parses a fauré-log program.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Ok(parse_program_spanned(src)?.program)
+}
+
+/// Parses a fauré-log program, keeping the source span of every rule,
+/// atom, and argument for diagnostics.
+pub fn parse_program_spanned(src: &str) -> Result<SpannedProgram, ParseError> {
     let mut p = Parser::new(src);
     let mut program = Program::new();
+    let mut spans = Vec::new();
     loop {
         p.skip_ws();
         if p.at_end() {
             break;
         }
-        program.rules.push(p.rule()?);
+        let (rule, rule_spans) = p.rule()?;
+        program.rules.push(rule);
+        spans.push(rule_spans);
     }
-    Ok(program)
+    Ok(SpannedProgram { program, spans })
 }
 
 /// Parses a single rule (must consume the whole input).
 pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
     let mut p = Parser::new(src);
-    let r = p.rule()?;
+    let (r, _) = p.rule()?;
     p.skip_ws();
     if !p.at_end() {
         return Err(p.err("trailing input after rule"));
@@ -94,10 +172,13 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        let line = self.src[..self.pos].bytes().filter(|&b| b == b'\n').count() + 1;
+        let before = &self.src[..self.pos];
+        let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = self.pos - before.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
         ParseError {
             pos: self.pos,
             line,
+            col,
             msg: msg.into(),
         }
     }
@@ -257,13 +338,23 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn atom_with_name(&mut self, pred: String) -> Result<RuleAtom, ParseError> {
+    /// Parses the argument list of an atom whose name (starting at
+    /// byte `start`) has already been consumed.
+    fn atom_with_name(
+        &mut self,
+        pred: String,
+        start: usize,
+    ) -> Result<(RuleAtom, AtomSpans), ParseError> {
         let mut args = Vec::new();
+        let mut arg_spans = Vec::new();
         if self.eat("(") {
             self.skip_ws();
             if self.peek() != Some(b')') {
                 loop {
+                    self.skip_ws();
+                    let arg_start = self.pos;
                     args.push(self.arg()?);
+                    arg_spans.push(Span::new(arg_start, self.pos));
                     if !self.eat(",") {
                         break;
                     }
@@ -271,7 +362,11 @@ impl<'a> Parser<'a> {
             }
             self.expect(")")?;
         }
-        Ok(RuleAtom { pred, args })
+        let spans = AtomSpans {
+            atom: Span::new(start, self.pos),
+            args: arg_spans,
+        };
+        Ok((RuleAtom { pred, args }, spans))
     }
 
     /// One addend of a linear expression: `int`, `$cvar`, or `int*$cvar`.
@@ -366,27 +461,29 @@ impl<'a> Parser<'a> {
     /// A body item: negated atom, atom, or comparison.
     fn body_item(&mut self) -> Result<BodyItem, ParseError> {
         self.skip_ws();
+        let start = self.pos;
         // Negation: `!Atom` (but not `!=`) or `not Atom`.
         if self.peek() == Some(b'!') && self.bytes.get(self.pos + 1) != Some(&b'=') {
             self.pos += 1;
             let name = self.ident()?.to_owned();
-            return Ok(BodyItem::Lit(Literal::Neg(self.atom_with_name(name)?)));
+            let (atom, spans) = self.atom_with_name(name, start)?;
+            return Ok(BodyItem::Lit(Literal::Neg(atom), spans));
         }
         let save = self.pos;
         // `not Atom` keyword form.
         if let Ok(id) = self.ident() {
             if id == "not" {
                 let name = self.ident()?.to_owned();
-                return Ok(BodyItem::Lit(Literal::Neg(self.atom_with_name(name)?)));
+                let (atom, spans) = self.atom_with_name(name, start)?;
+                return Ok(BodyItem::Lit(Literal::Neg(atom), spans));
             }
             // An identifier: atom if followed by `(`; if followed by a
             // comparison operator it is a variable/constant comparison;
             // otherwise a 0-ary atom.
             self.skip_ws();
             if self.peek() == Some(b'(') {
-                return Ok(BodyItem::Lit(Literal::Pos(
-                    self.atom_with_name(id.to_owned())?,
-                )));
+                let (atom, spans) = self.atom_with_name(id.to_owned(), start)?;
+                return Ok(BodyItem::Lit(Literal::Pos(atom), spans));
             }
             if self.peeks_cmp_op() {
                 let lhs = if id
@@ -401,12 +498,20 @@ impl<'a> Parser<'a> {
                 };
                 let op = self.cmp_op()?;
                 let rhs = self.comp_expr()?;
-                return Ok(BodyItem::Cmp(Comparison { lhs, op, rhs }));
+                let span = Span::new(start, self.pos);
+                return Ok(BodyItem::Cmp(Comparison { lhs, op, rhs }, span));
             }
-            return Ok(BodyItem::Lit(Literal::Pos(RuleAtom {
-                pred: id.to_owned(),
+            let spans = AtomSpans {
+                atom: Span::new(start, self.pos),
                 args: Vec::new(),
-            })));
+            };
+            return Ok(BodyItem::Lit(
+                Literal::Pos(RuleAtom {
+                    pred: id.to_owned(),
+                    args: Vec::new(),
+                }),
+                spans,
+            ));
         }
         self.pos = save;
         // Otherwise: comparison starting with a non-identifier
@@ -414,19 +519,30 @@ impl<'a> Parser<'a> {
         let lhs = self.comp_expr()?;
         let op = self.cmp_op()?;
         let rhs = self.comp_expr()?;
-        Ok(BodyItem::Cmp(Comparison { lhs, op, rhs }))
+        let span = Span::new(start, self.pos);
+        Ok(BodyItem::Cmp(Comparison { lhs, op, rhs }, span))
     }
 
-    fn rule(&mut self) -> Result<Rule, ParseError> {
+    fn rule(&mut self) -> Result<(Rule, RuleSpans), ParseError> {
+        self.skip_ws();
+        let rule_start = self.pos;
         let name = self.ident()?.to_owned();
-        let head = self.atom_with_name(name)?;
+        let (head, head_spans) = self.atom_with_name(name, rule_start)?;
         let mut body = Vec::new();
+        let mut body_spans = Vec::new();
         let mut comparisons = Vec::new();
+        let mut comparison_spans = Vec::new();
         if self.eat(":-") {
             loop {
                 match self.body_item()? {
-                    BodyItem::Lit(l) => body.push(l),
-                    BodyItem::Cmp(c) => comparisons.push(c),
+                    BodyItem::Lit(l, s) => {
+                        body.push(l);
+                        body_spans.push(s);
+                    }
+                    BodyItem::Cmp(c, s) => {
+                        comparisons.push(c);
+                        comparison_spans.push(s);
+                    }
                 }
                 if !self.eat(",") {
                     break;
@@ -434,17 +550,26 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect(".")?;
-        Ok(Rule {
-            head,
-            body,
-            comparisons,
-        })
+        let spans = RuleSpans {
+            rule: Span::new(rule_start, self.pos),
+            head: head_spans,
+            body: body_spans,
+            comparisons: comparison_spans,
+        };
+        Ok((
+            Rule {
+                head,
+                body,
+                comparisons,
+            },
+            spans,
+        ))
     }
 }
 
 enum BodyItem {
-    Lit(Literal),
-    Cmp(Comparison),
+    Lit(Literal, AtomSpans),
+    Cmp(Comparison, Span),
 }
 
 /// Tiny helper: pops the single `(coef, name)` and returns the name.
@@ -542,7 +667,10 @@ mod tests {
     fn parses_var_comparison() {
         let p = parse_rule("S(x) :- R(x, y), y != 3.").unwrap();
         assert_eq!(p.comparisons.len(), 1);
-        assert_eq!(p.comparisons[0].lhs, CompExpr::Arg(ArgTerm::Var("y".into())));
+        assert_eq!(
+            p.comparisons[0].lhs,
+            CompExpr::Arg(ArgTerm::Var("y".into()))
+        );
     }
 
     #[test]
@@ -570,6 +698,58 @@ mod tests {
     fn error_reports_line() {
         let err = parse_program("R(a) :- F(a).\nbad rule here\n").unwrap_err();
         assert_eq!(err.line, 2);
+        // `bad rule here` parses as `bad`, then `rule` with a missing
+        // `.` before it: the error points at column 5 of line 2.
+        assert_eq!(err.col, 5);
+        assert!(err.to_string().contains("line 2, column 5"));
+    }
+
+    #[test]
+    fn error_reports_column_on_first_line() {
+        let err = parse_program("R(a) :- F(a)?").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 13);
+    }
+
+    #[test]
+    fn spanned_parse_tracks_rules_atoms_and_args() {
+        let src = "% comment\nR(a, b) :- F(a, b), !Lb(a), $x = 1.\n";
+        let sp = parse_program_spanned(src).unwrap();
+        assert_eq!(sp.program.rules.len(), 1);
+        assert_eq!(sp.spans.len(), 1);
+        let rs = &sp.spans[0];
+        // The rule span covers the full rule text including the dot.
+        assert_eq!(
+            &src[rs.rule.start..rs.rule.end],
+            "R(a, b) :- F(a, b), !Lb(a), $x = 1."
+        );
+        // Head and argument spans point at the exact tokens.
+        assert_eq!(&src[rs.head.atom.start..rs.head.atom.end], "R(a, b)");
+        assert_eq!(&src[rs.head.args[0].start..rs.head.args[0].end], "a");
+        assert_eq!(&src[rs.head.args[1].start..rs.head.args[1].end], "b");
+        // Body literal spans index-match `Rule::body`, including the
+        // negation marker.
+        assert_eq!(rs.body.len(), 2);
+        assert_eq!(&src[rs.body[0].atom.start..rs.body[0].atom.end], "F(a, b)");
+        assert_eq!(&src[rs.body[1].atom.start..rs.body[1].atom.end], "!Lb(a)");
+        // Comparison spans index-match `Rule::comparisons`.
+        assert_eq!(rs.comparisons.len(), 1);
+        assert_eq!(
+            &src[rs.comparisons[0].start..rs.comparisons[0].end],
+            "$x = 1"
+        );
+    }
+
+    #[test]
+    fn spanned_parse_covers_multiple_rules() {
+        let src = "A(x) :- B(x).\nB(1).\n";
+        let sp = parse_program_spanned(src).unwrap();
+        assert_eq!(sp.spans.len(), 2);
+        assert_eq!(
+            &src[sp.spans[0].rule.start..sp.spans[0].rule.end],
+            "A(x) :- B(x)."
+        );
+        assert_eq!(&src[sp.spans[1].rule.start..sp.spans[1].rule.end], "B(1).");
     }
 
     #[test]

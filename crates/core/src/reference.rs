@@ -244,8 +244,9 @@ fn eval_comparison(
 ) -> Result<bool, RefError> {
     let side = |e: &CompExpr| -> Result<Const, RefError> {
         match e {
-            CompExpr::Arg(a) => Ok(resolve_arg(a, cvals, theta)
-                .expect("safety guarantees binding")),
+            CompExpr::Arg(a) => {
+                Ok(resolve_arg(a, cvals, theta).expect("safety guarantees binding"))
+            }
             CompExpr::Lin { terms, constant } => {
                 let mut acc = *constant;
                 for (coef, name) in terms {
@@ -300,10 +301,7 @@ mod tests {
             db.insert("E", CTuple::new([Term::int(a), Term::int(b)]))
                 .unwrap();
         }
-        let program = parse_program(
-            "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n",
-        )
-        .unwrap();
+        let program = parse_program("R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n").unwrap();
         let world = WorldIter::new(&db, None).unwrap().next().unwrap();
         let res = evaluate_ground(&program, &db.cvars, &world).unwrap();
         assert_eq!(res["R"].len(), 3);
@@ -339,10 +337,7 @@ mod tests {
     #[test]
     fn negation_in_ground_worlds() {
         let (db, _) = table2_path_db();
-        let program = parse_program(
-            r#"Unpriced(d) :- P(d, p), !C(p, 3)."#,
-        )
-        .unwrap();
+        let program = parse_program(r#"Unpriced(d) :- P(d, p), !C(p, 3)."#).unwrap();
         // Just check it runs in every world without error; semantics are
         // cross-checked against the c-table engine in faure-tests.
         for world in WorldIter::new(&db, None).unwrap() {

@@ -141,9 +141,7 @@ pub fn staging_rules(update: &Update, arity: usize) -> Result<(Vec<Rule>, String
         }
     }
 
-    let vars: Vec<ArgTerm> = (0..arity)
-        .map(|i| ArgTerm::Var(format!("v{i}")))
-        .collect();
+    let vars: Vec<ArgTerm> = (0..arity).map(|i| ArgTerm::Var(format!("v{i}"))).collect();
     let mut rules = Vec::new();
 
     // Stage 0: old contents plus insertions (q19–q20).
@@ -187,16 +185,18 @@ pub fn staging_rules(update: &Update, arity: usize) -> Result<(Vec<Rule>, String
 /// and the staging rules are appended. The result is the paper's `C'`
 /// (e.g. `T2'`, q24): checking it on the **pre-update** state is
 /// equivalent to checking `constraint` on the **post-update** state.
-pub fn rewrite_constraint(
-    constraint: &Program,
-    update: &Update,
-) -> Result<Program, UpdateError> {
+pub fn rewrite_constraint(constraint: &Program, update: &Update) -> Result<Program, UpdateError> {
     // Find the relation's arity from its uses; if unused, the rewrite
     // is the identity.
     let arity = constraint
         .rules
         .iter()
-        .flat_map(|r| r.body.iter().map(Literal::atom).chain(std::iter::once(&r.head)))
+        .flat_map(|r| {
+            r.body
+                .iter()
+                .map(Literal::atom)
+                .chain(std::iter::once(&r.head))
+        })
         .find(|a| a.pred == update.relation)
         .map(|a| a.args.len());
     let Some(arity) = arity else {
@@ -245,10 +245,7 @@ pub fn rewrite_constraint(
 /// auxiliaries), which is what the category-(ii) verifier feeds to the
 /// containment-as-evaluation test: `expand_constraint(C, U) ⊆ known`
 /// is the paper's `C' ⊆ {C_lb, C_s}` check.
-pub fn expand_constraint(
-    constraint: &Program,
-    update: &Update,
-) -> Result<Program, UpdateError> {
+pub fn expand_constraint(constraint: &Program, update: &Update) -> Result<Program, UpdateError> {
     for d in &update.deletions {
         if d.cols.iter().all(Option::is_none) {
             return Err(UpdateError::UnconstrainedDeletion);
@@ -280,11 +277,7 @@ fn expansion_sentinel(relation: &str) -> String {
     format!("{relation}\u{1}orig")
 }
 
-fn expand_rule(
-    rule: &Rule,
-    update: &Update,
-    out: &mut Vec<Rule>,
-) -> Result<(), UpdateError> {
+fn expand_rule(rule: &Rule, update: &Update, out: &mut Vec<Rule>) -> Result<(), UpdateError> {
     // Find the first literal on the updated relation; expand it and
     // recurse (a rule may mention the relation several times).
     let Some(pos) = rule
@@ -365,10 +358,13 @@ fn expand_rule(
             }
             for s in &survival_sets {
                 // Old contents that survive.
-                let r = without(Some(Literal::Pos(RuleAtom {
-                    pred: expansion_sentinel(&update.relation),
-                    args: args.clone(),
-                })), s.clone());
+                let r = without(
+                    Some(Literal::Pos(RuleAtom {
+                        pred: expansion_sentinel(&update.relation),
+                        args: args.clone(),
+                    })),
+                    s.clone(),
+                );
                 expand_rule(&r, update, out)?;
                 // Each inserted row that survives.
                 for ins in &update.insertions {
@@ -489,7 +485,9 @@ pub fn apply_to_database(update: &Update, db: &mut Database) -> Result<(), Updat
     }
     for row in &update.insertions {
         rel.tuples.push(CTuple::new(
-            row.iter().map(|c| Term::Const(c.clone())).collect::<Vec<_>>(),
+            row.iter()
+                .map(|c| Term::Const(c.clone()))
+                .collect::<Vec<_>>(),
         ));
     }
     Ok(())
@@ -547,7 +545,9 @@ mod tests {
 
     #[test]
     fn unconstrained_deletion_rejected() {
-        let u = Update::new("Lb").delete(DeletePattern { cols: vec![None, None] });
+        let u = Update::new("Lb").delete(DeletePattern {
+            cols: vec![None, None],
+        });
         assert_eq!(
             staging_rules(&u, 2),
             Err(UpdateError::UnconstrainedDeletion)
@@ -570,11 +570,8 @@ mod tests {
         let mut db = Database::new();
         db.create_relation(Schema::new("Lb", &["subnet", "server"]))
             .unwrap();
-        db.insert(
-            "Lb",
-            CTuple::new([Term::sym("Mkt"), Term::sym("CS")]),
-        )
-        .unwrap();
+        db.insert("Lb", CTuple::new([Term::sym("Mkt"), Term::sym("CS")]))
+            .unwrap();
         db.create_relation(Schema::new("R", &["subnet", "server", "port"]))
             .unwrap();
         db.insert(
@@ -620,8 +617,8 @@ mod tests {
 
         let t2 = parse_program("panic :- R(\"R&D\", y, 7000), !Lb(\"R&D\", y).\n").unwrap();
         // Update only deletes (Mkt, CS).
-        let update = Update::new("Lb")
-            .delete(DeletePattern::exact([Const::sym("Mkt"), Const::sym("CS")]));
+        let update =
+            Update::new("Lb").delete(DeletePattern::exact([Const::sym("Mkt"), Const::sym("CS")]));
 
         let t2p = rewrite_constraint(&t2, &update).unwrap();
         let via_rewrite = evaluate(&t2p, &db).unwrap().derived("panic");
@@ -735,8 +732,8 @@ mod tests {
             .unwrap();
         db.insert("Lb", CTuple::new([Term::Var(x), Term::sym("CS")]))
             .unwrap();
-        let update = Update::new("Lb")
-            .delete(DeletePattern::exact([Const::sym("Mkt"), Const::sym("CS")]));
+        let update =
+            Update::new("Lb").delete(DeletePattern::exact([Const::sym("Mkt"), Const::sym("CS")]));
         apply_to_database(&update, &mut db).unwrap();
         let lb = db.relation("Lb").unwrap();
         assert_eq!(lb.len(), 1);

@@ -125,10 +125,7 @@ fn every_iteration_prune_matches_default() {
         ),
     )
     .unwrap();
-    let program = parse_program(
-        "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n",
-    )
-    .unwrap();
+    let program = parse_program("R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n").unwrap();
     let a = evaluate(&program, &db).unwrap();
     let b = evaluate_with(
         &program,
@@ -209,11 +206,7 @@ fn comparison_between_two_bound_vars() {
 #[test]
 fn stats_are_plausible() {
     let db = edge_db();
-    let out = run(
-        "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n",
-        &db,
-    )
-    .unwrap();
+    let out = run("R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n", &db).unwrap();
     assert!(out.stats.tuples >= 4);
     assert_eq!(out.stats.tuples, out.relation("R").unwrap().len());
     // Solver ran (end-of-stratum prune on ground conditions is cheap
@@ -242,11 +235,7 @@ fn deep_recursion_terminates() {
         db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
             .unwrap();
     }
-    let out = run(
-        "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n",
-        &db,
-    )
-    .unwrap();
+    let out = run("R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n", &db).unwrap();
     assert_eq!(out.relation("R").unwrap().len(), 61 * 60 / 2);
 }
 
@@ -258,10 +247,7 @@ fn iteration_limit_reported() {
         db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
             .unwrap();
     }
-    let program = parse_program(
-        "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n",
-    )
-    .unwrap();
+    let program = parse_program("R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n").unwrap();
     let err = match evaluate_with(
         &program,
         &db,

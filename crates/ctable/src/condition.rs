@@ -172,12 +172,12 @@ impl LinExpr {
         self.terms.is_empty()
     }
 
-    /// Evaluates the expression under a total assignment. Returns
-    /// `None` if some c-variable maps to a non-integer constant.
-    pub fn eval(&self, lookup: &impl Fn(CVarId) -> Const) -> Option<i64> {
+    /// Evaluates the expression under an assignment. Returns `None` if
+    /// some c-variable is unbound or maps to a non-integer constant.
+    pub fn eval(&self, lookup: &impl Fn(CVarId) -> Option<Const>) -> Option<i64> {
         let mut acc = self.constant;
         for &(coef, v) in &self.terms {
-            acc += coef * lookup(v).as_int()?;
+            acc += coef * lookup(v)?.as_int()?;
         }
         Some(acc)
     }
@@ -209,13 +209,14 @@ impl Expr {
         }
     }
 
-    /// Evaluates under a total assignment; yields a constant.
+    /// Evaluates under an assignment; yields a constant.
     ///
-    /// Linear expressions evaluate to `Const::Int`; returns `None` if a
-    /// linear expression references a non-integer-valued c-variable.
-    pub fn eval(&self, lookup: &impl Fn(CVarId) -> Const) -> Option<Const> {
+    /// Linear expressions evaluate to `Const::Int`; returns `None` if
+    /// a referenced c-variable is unbound or a linear expression
+    /// references a non-integer-valued c-variable.
+    pub fn eval(&self, lookup: &impl Fn(CVarId) -> Option<Const>) -> Option<Const> {
         match self {
-            Expr::Term(t) => Some(t.instantiate(lookup)),
+            Expr::Term(t) => t.instantiate(lookup),
             Expr::Lin(l) => l.eval(lookup).map(Const::Int),
         }
     }
@@ -260,13 +261,14 @@ impl Atom {
         }
     }
 
-    /// Evaluates the atom under a total assignment.
+    /// Evaluates the atom under an assignment.
     ///
     /// Ordering comparisons (`<`, `<=`, `>`, `>=`) between non-integer
     /// constants use the total structural order on [`Const`]; equality
-    /// comparisons are structural. Returns `None` only when a linear
-    /// side references a non-integer constant (a modelling error).
-    pub fn eval(&self, lookup: &impl Fn(CVarId) -> Const) -> Option<bool> {
+    /// comparisons are structural. Returns `None` when a referenced
+    /// c-variable is unbound or a linear side references a non-integer
+    /// constant (a modelling error).
+    pub fn eval(&self, lookup: &impl Fn(CVarId) -> Option<Const>) -> Option<bool> {
         let l = self.lhs.eval(lookup)?;
         let r = self.rhs.eval(lookup)?;
         Some(self.op.eval(l.cmp(&r)))
@@ -404,22 +406,18 @@ impl Condition {
 
     /// Conjunction of an iterator of conditions.
     pub fn all<I: IntoIterator<Item = Condition>>(conds: I) -> Condition {
-        conds
-            .into_iter()
-            .fold(Condition::True, |acc, c| acc.and(c))
+        conds.into_iter().fold(Condition::True, |acc, c| acc.and(c))
     }
 
     /// Disjunction of an iterator of conditions.
     pub fn any<I: IntoIterator<Item = Condition>>(conds: I) -> Condition {
-        conds
-            .into_iter()
-            .fold(Condition::False, |acc, c| acc.or(c))
+        conds.into_iter().fold(Condition::False, |acc, c| acc.or(c))
     }
 
-    /// Evaluates the condition under a total assignment of all
-    /// c-variables it mentions. Returns `None` only when a linear atom
-    /// references a non-integer constant.
-    pub fn eval(&self, lookup: &impl Fn(CVarId) -> Const) -> Option<bool> {
+    /// Evaluates the condition under an assignment of the c-variables
+    /// it mentions. Returns `None` when a referenced c-variable is
+    /// unbound or a linear atom references a non-integer constant.
+    pub fn eval(&self, lookup: &impl Fn(CVarId) -> Option<Const>) -> Option<bool> {
         match self {
             Condition::True => Some(true),
             Condition::False => Some(false),
@@ -597,16 +595,16 @@ mod tests {
     fn linexpr_eval() {
         let (_, x, y, z) = reg3();
         let e = LinExpr::sum([x, y, z]);
-        let lookup = |v: CVarId| Const::Int(if v == x { 0 } else { 1 });
+        let lookup = |v: CVarId| Some(Const::Int(if v == x { 0 } else { 1 }));
         assert_eq!(e.eval(&lookup), Some(2));
-        let bad = |_: CVarId| Const::sym("oops");
+        let bad = |_: CVarId| Some(Const::sym("oops"));
         assert_eq!(e.eval(&bad), None);
     }
 
     #[test]
     fn atom_eval_orders_and_equalities() {
         let (_, x, _, _) = reg3();
-        let lookup = |_: CVarId| Const::Int(1);
+        let lookup = |_: CVarId| Some(Const::Int(1));
         // x̄ = 1 under x̄ := 1
         assert_eq!(
             Atom::new(Term::Var(x), CmpOp::Eq, Term::int(1)).eval(&lookup),
@@ -618,7 +616,7 @@ mod tests {
             Some(false)
         );
         // symbolic comparison
-        let sym_lookup = |_: CVarId| Const::sym("ADEC");
+        let sym_lookup = |_: CVarId| Some(Const::sym("ADEC"));
         assert_eq!(
             Atom::new(Term::Var(x), CmpOp::Ne, Term::sym("ABC")).eval(&sym_lookup),
             Some(true)
@@ -658,8 +656,8 @@ mod tests {
     #[test]
     fn double_negation_cancels() {
         let (_, x, y, _) = reg3();
-        let inner = Condition::eq(Term::Var(x), Term::int(0))
-            .or(Condition::eq(Term::Var(y), Term::int(0)));
+        let inner =
+            Condition::eq(Term::Var(x), Term::int(0)).or(Condition::eq(Term::Var(y), Term::int(0)));
         assert_eq!(inner.clone().negate().negate(), inner);
     }
 
@@ -669,9 +667,9 @@ mod tests {
         // (x̄+ȳ+z̄ = 1) ∧ ȳ = 0, under x̄=1, ȳ=0, z̄=0
         let c = Condition::cmp(LinExpr::sum([x, y, z]), CmpOp::Eq, LinExpr::constant(1))
             .and(Condition::eq(Term::Var(y), Term::int(0)));
-        let lookup = |v: CVarId| Const::Int(if v == x { 1 } else { 0 });
+        let lookup = |v: CVarId| Some(Const::Int(if v == x { 1 } else { 0 }));
         assert_eq!(c.eval(&lookup), Some(true));
-        let lookup2 = |_: CVarId| Const::Int(1);
+        let lookup2 = |_: CVarId| Some(Const::Int(1));
         assert_eq!(c.eval(&lookup2), Some(false));
     }
 

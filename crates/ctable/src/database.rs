@@ -136,11 +136,8 @@ mod tests {
         let mut db = Database::new();
         db.create_relation(Schema::new("P", &["dest", "path"]))
             .unwrap();
-        db.insert(
-            "P",
-            CTuple::new([Term::sym("1.2.3.4"), Term::sym("[ABC]")]),
-        )
-        .unwrap();
+        db.insert("P", CTuple::new([Term::sym("1.2.3.4"), Term::sym("[ABC]")]))
+            .unwrap();
         let shown = db.to_string();
         assert!(shown.contains("P(dest, path):"));
         assert!(shown.contains("(1.2.3.4, [ABC])"));

@@ -28,6 +28,9 @@ pub enum CtableError {
     /// Possible-world enumeration requires finite domains, but a
     /// c-variable has an open domain.
     OpenDomain(String),
+    /// Instantiation found a c-variable with no binding in the
+    /// world assignment.
+    UnboundCVar(String),
 }
 
 impl fmt::Display for CtableError {
@@ -52,6 +55,10 @@ impl fmt::Display for CtableError {
             CtableError::OpenDomain(name) => write!(
                 f,
                 "c-variable {name}' has an open domain; possible worlds cannot be enumerated"
+            ),
+            CtableError::UnboundCVar(name) => write!(
+                f,
+                "c-variable {name}' is not bound by the world assignment"
             ),
         }
     }

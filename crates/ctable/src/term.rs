@@ -49,14 +49,15 @@ impl Term {
         }
     }
 
-    /// Instantiates the term under a (total) assignment lookup.
+    /// Instantiates the term under an assignment lookup.
     ///
-    /// `lookup` must return the constant assigned to every c-variable
-    /// that can occur; it is usually backed by a possible-world
-    /// [`Assignment`](crate::worlds::Assignment).
-    pub fn instantiate(&self, lookup: &impl Fn(CVarId) -> Const) -> Const {
+    /// `lookup` returns the constant assigned to a c-variable, or
+    /// `None` if the variable is unbound; it is usually backed by a
+    /// possible-world [`Assignment`](crate::worlds::Assignment).
+    /// Returns `None` exactly when the term is an unbound c-variable.
+    pub fn instantiate(&self, lookup: &impl Fn(CVarId) -> Option<Const>) -> Option<Const> {
         match self {
-            Term::Const(c) => c.clone(),
+            Term::Const(c) => Some(c.clone()),
             Term::Var(v) => lookup(*v),
         }
     }
@@ -137,10 +138,13 @@ mod tests {
         let x = reg.fresh("x", Domain::Bool01);
         let lookup = |v: CVarId| {
             assert_eq!(v, x);
-            Const::Int(1)
+            Some(Const::Int(1))
         };
-        assert_eq!(Term::Var(x).instantiate(&lookup), Const::Int(1));
-        assert_eq!(Term::sym("A").instantiate(&lookup), Const::sym("A"));
+        assert_eq!(Term::Var(x).instantiate(&lookup), Some(Const::Int(1)));
+        assert_eq!(Term::sym("A").instantiate(&lookup), Some(Const::sym("A")));
+        let unbound = |_: CVarId| None;
+        assert_eq!(Term::Var(x).instantiate(&unbound), None);
+        assert_eq!(Term::sym("A").instantiate(&unbound), Some(Const::sym("A")));
     }
 
     #[test]

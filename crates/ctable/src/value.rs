@@ -139,12 +139,22 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![Const::sym("b"), Const::int(2), Const::sym("a"), Const::int(1)];
+        let mut v = vec![
+            Const::sym("b"),
+            Const::int(2),
+            Const::sym("a"),
+            Const::int(1),
+        ];
         v.sort();
         // Ints sort before syms (enum order), and within a variant by value.
         assert_eq!(
             v,
-            vec![Const::int(1), Const::int(2), Const::sym("a"), Const::sym("b")]
+            vec![
+                Const::int(1),
+                Const::int(2),
+                Const::sym("a"),
+                Const::sym("b")
+            ]
         );
     }
 }

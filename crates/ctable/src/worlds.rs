@@ -49,15 +49,12 @@ impl Assignment {
         self.map.get(&var)
     }
 
-    /// Lookup closure suitable for [`Condition::eval`](crate::Condition::eval); panics on
-    /// unbound variables (enumeration always binds every relevant one).
-    pub fn lookup(&self) -> impl Fn(CVarId) -> Const + '_ {
-        move |v| {
-            self.map
-                .get(&v)
-                .unwrap_or_else(|| panic!("unbound c-variable {v:?} in world assignment"))
-                .clone()
-        }
+    /// Lookup closure suitable for
+    /// [`Condition::eval`](crate::Condition::eval); yields `None` for
+    /// unbound variables (which evaluation then surfaces as an
+    /// indeterminate `None` result rather than a panic).
+    pub fn lookup(&self) -> impl Fn(CVarId) -> Option<Const> + '_ {
+        move |v| self.map.get(&v).cloned()
     }
 
     /// Number of bound variables.
@@ -118,21 +115,38 @@ impl GroundDatabase {
 /// Instantiates `db` under `assignment`: substitutes c-variables,
 /// evaluates row conditions, and keeps exactly the satisfied rows.
 ///
-/// Rows whose condition cannot be evaluated (a linear atom over a
-/// non-integer value — a modelling error) are treated as absent.
-pub fn instantiate(db: &Database, assignment: &Assignment) -> GroundDatabase {
+/// Fails with [`CtableError::UnboundCVar`] if a c-variable occurring
+/// in `db` has no binding in `assignment`. Rows whose condition cannot
+/// be evaluated for other reasons (a linear atom over a non-integer
+/// value — a modelling error) are treated as absent.
+pub fn instantiate(db: &Database, assignment: &Assignment) -> Result<GroundDatabase, CtableError> {
+    for v in relevant_cvars(db) {
+        if assignment.get(v).is_none() {
+            return Err(CtableError::UnboundCVar(db.cvars.name(v).to_owned()));
+        }
+    }
     let lookup = assignment.lookup();
     let mut relations = BTreeMap::new();
     for rel in db.relations() {
         let mut tuples = BTreeSet::new();
         for t in rel.iter() {
             if t.cond.eval(&lookup) == Some(true) {
-                tuples.insert(
-                    t.terms
-                        .iter()
-                        .map(|term| term.instantiate(&lookup))
-                        .collect::<Vec<_>>(),
-                );
+                let mut row = Vec::with_capacity(t.terms.len());
+                for term in &t.terms {
+                    // The check above bound every variable in `db`, so
+                    // this can only be `Some`; stay panic-free anyway.
+                    match term.instantiate(&lookup) {
+                        Some(c) => row.push(c),
+                        None => {
+                            let name = term
+                                .as_var()
+                                .map(|v| db.cvars.name(v).to_owned())
+                                .unwrap_or_default();
+                            return Err(CtableError::UnboundCVar(name));
+                        }
+                    }
+                }
+                tuples.insert(row);
             }
         }
         relations.insert(
@@ -143,10 +157,10 @@ pub fn instantiate(db: &Database, assignment: &Assignment) -> GroundDatabase {
             },
         );
     }
-    GroundDatabase {
+    Ok(GroundDatabase {
         assignment: assignment.clone(),
         relations,
-    }
+    })
 }
 
 /// Returns the c-variables that actually occur in `db` (in cells or
@@ -267,7 +281,8 @@ impl Iterator for WorldIter<'_> {
 
     fn next(&mut self) -> Option<GroundDatabase> {
         let assignment = self.current_assignment()?;
-        let world = instantiate(self.db, &assignment);
+        let world = instantiate(self.db, &assignment)
+            .expect("WorldIter assignments bind every c-variable used in the database");
         self.advance();
         Some(world)
     }
@@ -292,13 +307,17 @@ mod tests {
         let mut db = Database::new();
         let x = db.fresh_cvar(
             "x",
-            Domain::Consts(vec![Const::path(&["A", "B", "C"]), Const::path(&["A", "D", "E", "C"])]),
+            Domain::Consts(vec![
+                Const::path(&["A", "B", "C"]),
+                Const::path(&["A", "D", "E", "C"]),
+            ]),
         );
         let y = db.fresh_cvar(
             "y",
             Domain::Consts(vec![Const::sym("1.2.3.4"), Const::sym("1.2.3.5")]),
         );
-        db.create_relation(Schema::new("P", &["dest", "path"])).unwrap();
+        db.create_relation(Schema::new("P", &["dest", "path"]))
+            .unwrap();
         // (1.2.3.4, x̄) [x̄=[ABC] ∨ x̄=[ADEC]]
         db.insert(
             "P",
@@ -414,6 +433,24 @@ mod tests {
             Err(CtableError::WorldLimitExceeded { worlds: 256, .. })
         ));
         assert_eq!(WorldIter::new(&db, Some(256)).unwrap().count(), 256);
+    }
+
+    #[test]
+    fn instantiate_reports_unbound_cvars() {
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Bool01);
+        db.create_relation(Schema::new("T", &["a"])).unwrap();
+        db.insert("T", CTuple::new([Term::Var(x)])).unwrap();
+        // Empty assignment: x̄ is used but unbound — a Result, not a panic.
+        assert_eq!(
+            instantiate(&db, &Assignment::new()),
+            Err(CtableError::UnboundCVar("x".to_owned()))
+        );
+        // A total assignment works.
+        let mut a = Assignment::new();
+        a.set(x, Const::Int(1));
+        let world = instantiate(&db, &a).unwrap();
+        assert_eq!(world.total_tuples(), 1);
     }
 
     #[test]

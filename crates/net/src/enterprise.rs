@@ -21,7 +21,9 @@
 //! it for R&D and GS.
 
 use faure_core::{parse_program, DeletePattern, Program, Update};
-use faure_ctable::{CTuple, CVarId, CVarRegistry, Condition, Const, Database, Domain, Schema, Term};
+use faure_ctable::{
+    CTuple, CVarId, CVarRegistry, Condition, Const, Database, Domain, Schema, Term,
+};
 
 /// Handles to the enterprise model's c-variables.
 #[derive(Clone, Copy, Debug)]

@@ -177,8 +177,8 @@ pub fn figure1_database() -> (Database, FrrVars) {
 mod tests {
     use super::*;
     use crate::queries;
-    use faure_ctable::worlds::WorldIter;
     use faure_core::evaluate;
+    use faure_ctable::worlds::WorldIter;
 
     #[test]
     fn figure1_f_table_shape() {

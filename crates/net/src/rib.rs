@@ -154,8 +154,7 @@ pub fn generate(params: &RibParams) -> RibWorkload {
 /// the interesting pairs depend on the seed).
 pub fn frequent_pair(workload: &RibWorkload) -> Option<(i64, i64)> {
     let f = workload.db.relation("F")?;
-    let mut counts: std::collections::HashMap<(i64, i64), usize> =
-        std::collections::HashMap::new();
+    let mut counts: std::collections::HashMap<(i64, i64), usize> = std::collections::HashMap::new();
     for t in f.iter() {
         let (Some(a), Some(b)) = (
             t.terms[1].as_const().and_then(|c| c.as_int()),
@@ -188,7 +187,10 @@ mod tests {
     fn generation_is_deterministic() {
         let a = generate(&small());
         let b = generate(&small());
-        assert_eq!(a.db.relation("F").unwrap().len(), b.db.relation("F").unwrap().len());
+        assert_eq!(
+            a.db.relation("F").unwrap().len(),
+            b.db.relation("F").unwrap().len()
+        );
         assert_eq!(a.primary_choice, b.primary_choice);
     }
 

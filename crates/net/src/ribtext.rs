@@ -114,12 +114,11 @@ pub fn parse_rib(text: &str) -> Result<Vec<RibRoute>, RibParseError> {
             .and_then(|col| trimmed.get(col..))
             .filter(|s| !s.trim().is_empty())
             .unwrap_or(after_net);
-        let as_path = parse_as_path(path_text, path_col.is_some()).ok_or_else(|| {
-            RibParseError {
+        let as_path =
+            parse_as_path(path_text, path_col.is_some()).ok_or_else(|| RibParseError {
                 line: lineno,
                 msg: "no AS path / origin code found".into(),
-            }
-        })?;
+            })?;
         routes.push(RibRoute {
             prefix,
             as_path,
@@ -390,8 +389,7 @@ Status codes: s suppressed, d damped, h history, * valid, > best, i - internal
 
     #[test]
     fn as_sets_are_skipped() {
-        let routes =
-            parse_rib("*> 9.0.0.0/8       192.0.2.1    0 701 {7046,1239} i\n").unwrap();
+        let routes = parse_rib("*> 9.0.0.0/8       192.0.2.1    0 701 {7046,1239} i\n").unwrap();
         assert_eq!(routes[0].as_path, vec![701]);
     }
 
@@ -434,11 +432,9 @@ Status codes: s suppressed, d damped, h history, * valid, > best, i - internal
         assert_eq!(conds.len(), 3); // 3 paths for 1.0.0.0/24
         for (i, a) in conds.iter().enumerate() {
             for b in conds.iter().skip(i + 1) {
-                assert!(!faure_solver::satisfiable(
-                    &w.db.cvars,
-                    &a.clone().and(b.clone())
-                )
-                .unwrap());
+                assert!(
+                    !faure_solver::satisfiable(&w.db.cvars, &a.clone().and(b.clone())).unwrap()
+                );
             }
         }
     }

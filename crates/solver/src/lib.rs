@@ -71,11 +71,7 @@ pub fn implies(
 }
 
 /// Are the two conditions equivalent (mutual implication)?
-pub fn equivalent(
-    reg: &CVarRegistry,
-    a: &Condition,
-    b: &Condition,
-) -> Result<bool, SolverError> {
+pub fn equivalent(reg: &CVarRegistry, a: &Condition, b: &Condition) -> Result<bool, SolverError> {
     Ok(implies(reg, a, b)? && implies(reg, b, a)?)
 }
 

@@ -88,7 +88,14 @@ mod tests {
         let mut reg = CVarRegistry::new();
         let x = reg.fresh("x", Domain::Bool01);
         let c = Condition::Not(Box::new(Condition::Not(Box::new(atom(x, CmpOp::Lt, 1)))));
-        assert_eq!(to_nnf(&c), Nnf::Atom(faure_ctable::Atom::new(Term::Var(x), CmpOp::Lt, Term::int(1))));
+        assert_eq!(
+            to_nnf(&c),
+            Nnf::Atom(faure_ctable::Atom::new(
+                Term::Var(x),
+                CmpOp::Lt,
+                Term::int(1)
+            ))
+        );
     }
 
     #[test]

@@ -27,10 +27,7 @@ pub fn satisfiable(reg: &CVarRegistry, cond: &Condition) -> Result<bool, SolverE
 
 /// Finds a satisfying assignment of the c-variables mentioned in
 /// `cond`, or `None` if the condition is unsatisfiable.
-pub fn find_model(
-    reg: &CVarRegistry,
-    cond: &Condition,
-) -> Result<Option<Assignment>, SolverError> {
+pub fn find_model(reg: &CVarRegistry, cond: &Condition) -> Result<Option<Assignment>, SolverError> {
     find_model_budgeted(reg, cond, DEFAULT_BUDGET)
 }
 
@@ -70,11 +67,12 @@ pub fn all_models(
     let mut domains = Vec::with_capacity(vars.len());
     let mut space: u128 = 1;
     for &v in &vars {
-        let members = reg.domain(v).members().ok_or_else(|| {
-            SolverError::OpenDomainArith {
+        let members = reg
+            .domain(v)
+            .members()
+            .ok_or_else(|| SolverError::OpenDomainArith {
                 cvar: reg.name(v).to_owned(),
-            }
-        })?;
+            })?;
         space = space.saturating_mul(members.len().max(1) as u128);
         domains.push(members);
     }
@@ -91,9 +89,8 @@ pub fn all_models(
     let mut models = Vec::new();
     let mut idx = vec![0usize; vars.len()];
     loop {
-        let assignment = Assignment::from_pairs(
-            (0..vars.len()).map(|i| (vars[i], domains[i][idx[i]].clone())),
-        );
+        let assignment =
+            Assignment::from_pairs((0..vars.len()).map(|i| (vars[i], domains[i][idx[i]].clone())));
         if cond.eval(&assignment.lookup()) == Some(true) {
             models.push(assignment);
             if models.len() >= limit {
@@ -306,8 +303,8 @@ mod tests {
     fn budget_exceeded_reported() {
         let mut reg = CVarRegistry::new();
         let x = reg.fresh("x", Domain::Bool01);
-        let c = Condition::eq(Term::Var(x), Term::int(0))
-            .or(Condition::eq(Term::Var(x), Term::int(1)));
+        let c =
+            Condition::eq(Term::Var(x), Term::int(0)).or(Condition::eq(Term::Var(x), Term::int(1)));
         assert!(matches!(
             find_model_budgeted(&reg, &c, 1),
             Err(SolverError::BudgetExceeded { .. })

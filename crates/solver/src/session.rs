@@ -114,9 +114,7 @@ mod tests {
         let x = reg.fresh("x", Domain::Bool01);
         let mut s = Session::new();
         let sat = Condition::eq(Term::Var(x), Term::int(1));
-        let unsat = sat
-            .clone()
-            .and(Condition::eq(Term::Var(x), Term::int(0)));
+        let unsat = sat.clone().and(Condition::eq(Term::Var(x), Term::int(0)));
         assert!(s.satisfiable(&reg, &sat).unwrap());
         assert!(!s.satisfiable(&reg, &unsat).unwrap());
         let st = s.stats();

@@ -113,10 +113,7 @@ pub const VALIDITY_SIZE_LIMIT: usize = 128;
 /// and a search-budget overrun on any check degrades to returning the
 /// structurally simplified condition — always sound, since keeping a
 /// row with an unverified condition never loses answers.
-pub fn simplify_pruned(
-    reg: &CVarRegistry,
-    cond: &Condition,
-) -> Result<Condition, SolverError> {
+pub fn simplify_pruned(reg: &CVarRegistry, cond: &Condition) -> Result<Condition, SolverError> {
     let s = simplify(cond);
     match &s {
         Condition::True | Condition::False => return Ok(s),
@@ -206,8 +203,8 @@ mod tests {
         let mut reg = CVarRegistry::new();
         let x = reg.fresh("x", Domain::Bool01);
         // x̄ = 0 ∨ x̄ = 1 over {0,1} is valid.
-        let c = Condition::eq(Term::Var(x), Term::int(0))
-            .or(Condition::eq(Term::Var(x), Term::int(1)));
+        let c =
+            Condition::eq(Term::Var(x), Term::int(0)).or(Condition::eq(Term::Var(x), Term::int(1)));
         assert_eq!(simplify_pruned(&reg, &c).unwrap(), Condition::True);
     }
 

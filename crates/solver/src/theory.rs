@@ -159,11 +159,8 @@ impl<'a> Csp<'a> {
 
         // Order variables by candidate count (fail-first heuristic).
         vars.sort_by_key(|v| v.candidates.len());
-        let position: BTreeMap<CVarId, usize> = vars
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.id, i))
-            .collect();
+        let position: BTreeMap<CVarId, usize> =
+            vars.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
 
         let mut atoms = Vec::with_capacity(pending.len());
         let mut atoms_by_last = vec![Vec::new(); vars.len()];
@@ -220,19 +217,21 @@ impl<'a> Csp<'a> {
         for &ai in &self.atoms_by_last[depth] {
             let (atom, idxs) = &self.atoms[ai];
             debug_assert!(idxs.iter().all(|&i| values[i].is_some()));
-            let lookup = |v: CVarId| -> Const {
+            let lookup = |v: CVarId| -> Option<Const> {
                 let pos = self
                     .vars
                     .iter()
                     .position(|cv| cv.id == v)
                     .expect("atom variable registered");
                 debug_assert_eq!(id_of(pos), v);
-                values[pos].clone().expect("assigned")
+                values[pos].clone()
             };
             match atom.eval(&lookup) {
                 Some(true) => {}
-                // `None` = non-integer value in a linear expression: this
-                // candidate cannot satisfy the atom.
+                // `None` = unassigned variable (excluded by the
+                // `atoms_by_last` grouping) or a non-integer value in a
+                // linear expression: this candidate cannot satisfy the
+                // atom.
                 Some(false) | None => return false,
             }
         }
@@ -303,7 +302,11 @@ mod tests {
         let m = check_conjunction(&reg, &atoms).unwrap().unwrap();
         assert_eq!(m.get(x), Some(&Const::Int(1)));
         // x+y+z = 4 over {0,1} is unsat.
-        let unsat = [atom(LinExpr::sum([x, y, z]), CmpOp::Eq, LinExpr::constant(4))];
+        let unsat = [atom(
+            LinExpr::sum([x, y, z]),
+            CmpOp::Eq,
+            LinExpr::constant(4),
+        )];
         assert!(check_conjunction(&reg, &unsat).unwrap().is_none());
     }
 
@@ -370,10 +373,7 @@ mod tests {
         // structural order on Const; exactness is preserved because the
         // domain is enumerated.
         let mut reg = CVarRegistry::new();
-        let x = reg.fresh(
-            "x",
-            Domain::Consts(vec![Const::sym("a"), Const::sym("b")]),
-        );
+        let x = reg.fresh("x", Domain::Consts(vec![Const::sym("a"), Const::sym("b")]));
         let atoms = [atom(Term::Var(x), CmpOp::Gt, Term::sym("a"))];
         let m = check_conjunction(&reg, &atoms).unwrap().unwrap();
         assert_eq!(m.get(x), Some(&Const::sym("b")));

@@ -1,7 +1,9 @@
 //! Property tests: the solver must agree with brute-force enumeration
 //! on every condition over finite domains.
 
-use faure_ctable::{Assignment, CVarId, CVarRegistry, CmpOp, Condition, Const, Domain, LinExpr, Term};
+use faure_ctable::{
+    Assignment, CVarId, CVarRegistry, CmpOp, Condition, Const, Domain, LinExpr, Term,
+};
 use faure_solver::{equivalent, find_model, satisfiable, simplify};
 use proptest::prelude::*;
 
@@ -39,13 +41,11 @@ fn arb_op() -> impl Strategy<Value = CmpOp> {
 fn arb_atom() -> impl Strategy<Value = Condition> {
     prop_oneof![
         // term comparison: numeric var vs small int
-        (arb_numeric_var(), arb_op(), -1i64..4).prop_map(|(v, op, k)| {
-            Condition::cmp(Term::Var(v), op, Term::int(k))
-        }),
+        (arb_numeric_var(), arb_op(), -1i64..4)
+            .prop_map(|(v, op, k)| { Condition::cmp(Term::Var(v), op, Term::int(k)) }),
         // term comparison: numeric var vs numeric var
-        (arb_numeric_var(), arb_op(), arb_numeric_var()).prop_map(|(v, op, w)| {
-            Condition::cmp(Term::Var(v), op, Term::Var(w))
-        }),
+        (arb_numeric_var(), arb_op(), arb_numeric_var())
+            .prop_map(|(v, op, w)| { Condition::cmp(Term::Var(v), op, Term::Var(w)) }),
         // symbolic var (id 3) vs symbolic constant, Eq/Ne only
         (prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Ne)], 0usize..3).prop_map(|(op, i)| {
             let syms = ["Mkt", "R&D", "CS"];
@@ -53,21 +53,13 @@ fn arb_atom() -> impl Strategy<Value = Condition> {
         }),
         // linear: sum of two numeric vars vs constant
         (arb_numeric_var(), arb_numeric_var(), arb_op(), 0i64..4).prop_map(|(v, w, op, k)| {
-            Condition::cmp(
-                LinExpr::var(v).plus_var(1, w),
-                op,
-                LinExpr::constant(k),
-            )
+            Condition::cmp(LinExpr::var(v).plus_var(1, w), op, LinExpr::constant(k))
         }),
     ]
 }
 
 fn arb_condition() -> impl Strategy<Value = Condition> {
-    let leaf = prop_oneof![
-        Just(Condition::True),
-        Just(Condition::False),
-        arb_atom(),
-    ];
+    let leaf = prop_oneof![Just(Condition::True), Just(Condition::False), arb_atom(),];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(Condition::And),

@@ -85,14 +85,12 @@ fn set_contradictory(set: &AtomSet) -> bool {
             continue;
         };
         match a.op {
-            CmpOp::Eq
-                if bound.iter().any(|&(bv, bc)| bv == v && bc != c) => {
-                    return true;
-                }
-            CmpOp::Ne
-                if bound.iter().any(|&(bv, bc)| bv == v && bc == c) => {
-                    return true;
-                }
+            CmpOp::Eq if bound.iter().any(|&(bv, bc)| bv == v && bc != c) => {
+                return true;
+            }
+            CmpOp::Ne if bound.iter().any(|&(bv, bc)| bv == v && bc == c) => {
+                return true;
+            }
             _ => {}
         }
     }
@@ -103,10 +101,7 @@ fn set_contradictory(set: &AtomSet) -> bool {
 /// set is a subset of `new` (subsumes it); existing supersets of `new`
 /// are removed. Returns whether the antichain changed.
 pub fn antichain_insert(sets: &mut Vec<AtomSet>, new: AtomSet) -> bool {
-    if sets
-        .iter()
-        .any(|existing| existing.is_subset(&new))
-    {
+    if sets.iter().any(|existing| existing.is_subset(&new)) {
         return false;
     }
     sets.retain(|existing| !new.is_subset(existing));
@@ -256,10 +251,9 @@ mod tests {
     fn local_contradictions_removed() {
         let (_, x, y) = vars();
         // (x=1 ∧ x=0) ∨ (y=1 ∧ y≠1) is false.
-        let c = eq(x, 1).and(eq(x, 0)).or(eq(y, 1).and(Condition::ne(
-            Term::Var(y),
-            Term::int(1),
-        )));
+        let c = eq(x, 1)
+            .and(eq(x, 0))
+            .or(eq(y, 1).and(Condition::ne(Term::Var(y), Term::int(1))));
         assert_eq!(to_min_dnf(&c, 8), Some(vec![]));
     }
 

@@ -90,11 +90,7 @@ pub fn union(a: &Table, b: &Table, new_name: &str) -> Table {
         name: new_name.to_owned(),
         attrs: a.schema.attrs.clone(),
     };
-    assert_eq!(
-        a.schema.arity(),
-        b.schema.arity(),
-        "union arity mismatch"
-    );
+    assert_eq!(a.schema.arity(), b.schema.arity(), "union arity mismatch");
     let mut out = Table::new(schema);
     for row in a.iter().chain(b.iter()) {
         out.insert(row.clone());

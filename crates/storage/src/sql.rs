@@ -312,15 +312,16 @@ impl Catalogue {
             .cols
             .iter()
             .enumerate()
-            .filter(|(_, (t, c))| {
-                c == &r.column && r.table.as_ref().is_none_or(|q| q == t)
-            })
+            .filter(|(_, (t, c))| c == &r.column && r.table.as_ref().is_none_or(|q| q == t))
             .map(|(i, _)| i)
             .collect();
         match matches.len() {
             0 => Err(SqlError::UnknownColumn(format!(
                 "{}{}",
-                r.table.as_deref().map(|t| format!("{t}.")).unwrap_or_default(),
+                r.table
+                    .as_deref()
+                    .map(|t| format!("{t}."))
+                    .unwrap_or_default(),
                 r.column
             ))),
             1 => Ok(matches[0]),
@@ -351,12 +352,7 @@ pub fn execute(db: &Database, stmt: &Select) -> Result<Table, SqlError> {
             .map(|a| (tname.clone(), a.clone()))
             .collect();
         acc = Some(match acc {
-            None => (
-                t,
-                Catalogue {
-                    cols: cat_new,
-                },
-            ),
+            None => (t, Catalogue { cols: cat_new }),
             Some((left, mut cat)) => {
                 // Equality predicates between an existing column and a
                 // column of the incoming table drive the join.
@@ -399,11 +395,7 @@ pub fn execute(db: &Database, stmt: &Select) -> Result<Table, SqlError> {
         let mut renamed = table;
         renamed.schema = Schema {
             name: "result".into(),
-            attrs: cat
-                .cols
-                .iter()
-                .map(|(t, c)| format!("{t}.{c}"))
-                .collect(),
+            attrs: cat.cols.iter().map(|(t, c)| format!("{t}.{c}")).collect(),
         };
         renamed
     } else {
@@ -483,10 +475,9 @@ mod tests {
         assert_eq!(s.tables, vec!["P"]);
         assert_eq!(s.predicates.len(), 1);
 
-        let s2 = parse_select(
-            "SELECT P.dest, C.cost FROM P, C WHERE P.path = C.path AND C.cost < 4;",
-        )
-        .unwrap();
+        let s2 =
+            parse_select("SELECT P.dest, C.cost FROM P, C WHERE P.path = C.path AND C.cost < 4;")
+                .unwrap();
         assert_eq!(s2.tables, vec!["P", "C"]);
         assert_eq!(s2.predicates.len(), 2);
 

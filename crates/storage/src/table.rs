@@ -168,15 +168,12 @@ impl Table {
             }
         }
         let hash = terms_hash(&tuple.terms);
-        let existing_idx = self
-            .by_terms
-            .get(&hash)
-            .and_then(|bucket| {
-                bucket
-                    .iter()
-                    .find(|&&i| self.rows[i as usize].terms == tuple.terms)
-                    .copied()
-            });
+        let existing_idx = self.by_terms.get(&hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|&&i| self.rows[i as usize].terms == tuple.terms)
+                .copied()
+        });
         match existing_idx {
             Some(idx) => {
                 let idx = idx as usize;
@@ -205,7 +202,10 @@ impl Table {
                         let cond = crate::dnf::condition_of(&sets);
                         (CondRepr::Sets(sets), cond)
                     }
-                    None => (CondRepr::Opaque(vec![tuple.cond.clone()]), tuple.cond.clone()),
+                    None => (
+                        CondRepr::Opaque(vec![tuple.cond.clone()]),
+                        tuple.cond.clone(),
+                    ),
                 };
                 self.reprs.push(repr);
                 self.rows.push(CTuple {
@@ -294,11 +294,7 @@ impl Table {
     /// condition `μ`, or `None` if the row cannot match.
     ///
     /// The row's own condition is **not** included; callers conjoin it.
-    pub fn match_row(
-        reg: &CVarRegistry,
-        row: &CTuple,
-        pats: &[Pattern],
-    ) -> Option<Condition> {
+    pub fn match_row(reg: &CVarRegistry, row: &CTuple, pats: &[Pattern]) -> Option<Condition> {
         debug_assert_eq!(row.arity(), pats.len());
         let mut cond = Condition::True;
         for (term, pat) in row.terms.iter().zip(pats) {
@@ -336,11 +332,7 @@ impl Table {
     /// Finds all rows matching the per-column patterns. Returns
     /// `(row index, match condition μ)` pairs. Uses the most selective
     /// constant column as the index probe.
-    pub fn find_matches(
-        &self,
-        reg: &CVarRegistry,
-        pats: &[Pattern],
-    ) -> Vec<(usize, Condition)> {
+    pub fn find_matches(&self, reg: &CVarRegistry, pats: &[Pattern]) -> Vec<(usize, Condition)> {
         assert_eq!(pats.len(), self.schema.arity(), "pattern arity mismatch");
         // Pick the constant column with the fewest candidates.
         let mut best: Option<Vec<u32>> = None;
@@ -481,7 +473,10 @@ mod tests {
         let mut t = Table::new(Schema::new("T", &["a"]));
         let c0 = Condition::eq(Term::Var(x), Term::int(0));
         let c1 = Condition::eq(Term::Var(x), Term::int(1));
-        assert_eq!(t.insert(CTuple::with_cond([Term::int(7)], c0.clone())), InsertOutcome::New);
+        assert_eq!(
+            t.insert(CTuple::with_cond([Term::int(7)], c0.clone())),
+            InsertOutcome::New
+        );
         assert_eq!(
             t.insert(CTuple::with_cond([Term::int(7)], c0.clone())),
             InsertOutcome::Unchanged
@@ -559,8 +554,11 @@ mod tests {
             Condition::True,
         ));
         let pats = [Pattern::Exact(Term::int(3)), Pattern::Any];
-        let mut via_index: Vec<usize> =
-            t.find_matches(&reg, &pats).into_iter().map(|(i, _)| i).collect();
+        let mut via_index: Vec<usize> = t
+            .find_matches(&reg, &pats)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         via_index.sort_unstable();
         let mut via_scan: Vec<usize> = t
             .iter()
@@ -606,8 +604,7 @@ mod tests {
         let c = t.negation_condition(&reg, &[Term::sym("R&D")]);
         // ¬(x̄ = 1) folded to x̄ ≠ 1 by `negate`.
         assert!(
-            faure_solver::equivalent(&reg, &c, &Condition::ne(Term::Var(x), Term::int(1)))
-                .unwrap()
+            faure_solver::equivalent(&reg, &c, &Condition::ne(Term::Var(x), Term::int(1))).unwrap()
         );
     }
 
@@ -666,8 +663,7 @@ mod tests {
         let mut t = Table::new(Schema::new("T", &["a"]));
         t.insert(CTuple::with_cond(
             [Term::int(1)],
-            Condition::eq(Term::Var(x), Term::int(0))
-                .or(Condition::eq(Term::Var(x), Term::int(1))),
+            Condition::eq(Term::Var(x), Term::int(0)).or(Condition::eq(Term::Var(x), Term::int(1))),
         ));
         let mut session = Session::new();
         t.prune(&reg, &mut session).unwrap();

@@ -10,9 +10,7 @@
 //!   never shrinks across inserts (conditions only widen);
 //! * prune is semantically invisible.
 
-use faure_ctable::{
-    CTuple, CVarId, CVarRegistry, Condition, Const, Domain, Schema, Term,
-};
+use faure_ctable::{CTuple, CVarId, CVarRegistry, Condition, Const, Domain, Schema, Term};
 use faure_storage::{Pattern, Table};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -71,10 +69,7 @@ fn arb_cond() -> impl Strategy<Value = Condition> {
 }
 
 fn arb_tuple() -> impl Strategy<Value = CTuple> {
-    (
-        prop::collection::vec(arb_term(), 2),
-        arb_cond(),
-    )
+    (prop::collection::vec(arb_term(), 2), arb_cond())
         .prop_map(|(terms, cond)| CTuple::with_cond(terms, cond))
 }
 
@@ -96,7 +91,7 @@ proptest! {
                 let lookup = a.lookup();
                 if t.cond.eval(&lookup) == Some(true) {
                     presence[w].insert(
-                        t.terms.iter().map(|x| x.instantiate(&lookup)).collect(),
+                        t.terms.iter().map(|x| x.instantiate(&lookup).expect("bound")).collect(),
                     );
                 }
             }
@@ -114,7 +109,7 @@ proptest! {
                 let got: BTreeSet<Vec<Const>> = table
                     .iter()
                     .filter(|row| row.cond.eval(&lookup) == Some(true))
-                    .map(|row| row.terms.iter().map(|x| x.instantiate(&lookup)).collect())
+                    .map(|row| row.terms.iter().map(|x| x.instantiate(&lookup).expect("bound")).collect())
                     .collect();
                 prop_assert_eq!(&got, &presence[w], "world {}", w);
             }
@@ -148,7 +143,7 @@ proptest! {
             let got: BTreeSet<Vec<Const>> = pruned
                 .iter()
                 .filter(|row| row.cond.eval(&lookup) == Some(true))
-                .map(|row| row.terms.iter().map(|x| x.instantiate(&lookup)).collect())
+                .map(|row| row.terms.iter().map(|x| x.instantiate(&lookup).expect("bound")).collect())
                 .collect();
             prop_assert_eq!(&got, &presence[w], "world {} after prune", w);
         }

@@ -30,4 +30,6 @@ pub mod verifier;
 
 pub use constraint::Constraint;
 pub use verdict::{DirectVerdict, Level, RelativeVerdict, Report, Violation};
-pub use verifier::{category_i, category_ii, check_direct, verify, violation_scenarios, VerifyError};
+pub use verifier::{
+    category_i, category_ii, check_direct, verify, violation_scenarios, VerifyError,
+};

@@ -76,9 +76,7 @@ pub fn category_i(
     let candidates = combined_program(known);
     match subsumes(&candidates, &target.program, reg)? {
         Subsumption::Subsumed => Ok(RelativeVerdict::Proven),
-        Subsumption::NotShown { uncovered_rule } => {
-            Ok(RelativeVerdict::Unknown { uncovered_rule })
-        }
+        Subsumption::NotShown { uncovered_rule } => Ok(RelativeVerdict::Unknown { uncovered_rule }),
     }
 }
 
@@ -96,18 +94,13 @@ pub fn category_ii(
     let candidates = combined_program(known);
     match subsumes(&candidates, &rewritten, reg)? {
         Subsumption::Subsumed => Ok(RelativeVerdict::Proven),
-        Subsumption::NotShown { uncovered_rule } => {
-            Ok(RelativeVerdict::Unknown { uncovered_rule })
-        }
+        Subsumption::NotShown { uncovered_rule } => Ok(RelativeVerdict::Unknown { uncovered_rule }),
     }
 }
 
 /// **Direct check**: full state available — evaluate the panic query.
 /// Violations come with their conditions and a concrete witness world.
-pub fn check_direct(
-    target: &Constraint,
-    db: &Database,
-) -> Result<DirectVerdict, VerifyError> {
+pub fn check_direct(target: &Constraint, db: &Database) -> Result<DirectVerdict, VerifyError> {
     let out = evaluate(&target.program, db)?;
     let Some(panic_rel) = out.relation(GOAL) else {
         return Ok(DirectVerdict::Holds);
@@ -143,8 +136,7 @@ pub fn violation_scenarios(
     let Some(panic_rel) = out.relation(GOAL) else {
         return Ok(Vec::new());
     };
-    let combined =
-        faure_ctable::Condition::any(panic_rel.iter().map(|t| t.cond.clone()));
+    let combined = faure_ctable::Condition::any(panic_rel.iter().map(|t| t.cond.clone()));
     Ok(faure_solver::all_models(
         &out.database.cvars,
         &combined,
@@ -326,8 +318,7 @@ mod tests {
         // that CAN fail instead: node 3 reaches node 2? Never (no
         // edges back) → violated in all 8 worlds.
         let out = faure_core::evaluate(&queries::reachability_program(), &db).unwrap();
-        let cons =
-            Constraint::parse("conn", "panic :- Node(n), !R(1, 3, 2).\nNode(1).\n").unwrap();
+        let cons = Constraint::parse("conn", "panic :- Node(n), !R(1, 3, 2).\nNode(1).\n").unwrap();
         let scenarios = violation_scenarios(&cons, &out.database, 100).unwrap();
         // The violation is unconditional (no edge ever leads back to
         // 2 from 3): one scenario binding no variables = "always".
@@ -338,25 +329,24 @@ mod tests {
         // 1→4 exists via 1→2→4 (x̄=1,ȳ=0), 1→2→3→4 (x̄=1,ȳ=1,z̄=0), or
         // 1→3→4 (x̄=0,z̄=0); it FAILS exactly when the in-use branch
         // ends at 5 instead: {x̄=1,ȳ=1,z̄=1}, {x̄=0,z̄=1}.
-        let cond = Constraint::parse("to4", "panic :- Node(n), !R(1, 1, 4).\nNode(1).\n")
-            .unwrap();
+        let cond = Constraint::parse("to4", "panic :- Node(n), !R(1, 1, 4).\nNode(1).\n").unwrap();
         let scenarios = violation_scenarios(&cond, &out.database, 100).unwrap();
         // Over the mentioned variables: x̄=1,ȳ=1,z̄=1 plus x̄=0,z̄=1 with
         // ȳ free = 3 total assignments of {x̄,ȳ,z̄}.
         assert_eq!(scenarios.len(), 3);
         for s in &scenarios {
             // Every returned scenario has z̄ = 1 (the 3→5 link up).
-            let z = *s.iter().find(|(v, _)| {
-                out.database.cvars.name(**v) == "z"
-            })
-            .expect("z̄ bound")
-            .1 == faure_ctable::Const::Int(1);
+            let z = *s
+                .iter()
+                .find(|(v, _)| out.database.cvars.name(**v) == "z")
+                .expect("z̄ bound")
+                .1
+                == faure_ctable::Const::Int(1);
             assert!(z, "all violating scenarios keep the 3→5 link up");
         }
 
         // And a constraint that never fires yields no scenarios.
-        let fine = Constraint::parse("fine", "panic :- Node(n), !R(1, 1, 5).\nNode(1).\n")
-            .unwrap();
+        let fine = Constraint::parse("fine", "panic :- Node(n), !R(1, 1, 5).\nNode(1).\n").unwrap();
         assert!(violation_scenarios(&fine, &out.database, 100)
             .unwrap()
             .is_empty());

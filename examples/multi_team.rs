@@ -50,9 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- category (ii): the update becomes known ------------------------
     println!("\n--- level 2: the update is also known ---");
-    println!(
-        "update: insert Lb(R&D, GS); delete Lb(Mkt, CS)   (Listing 4)"
-    );
+    println!("update: insert Lb(R&D, GS); delete Lb(Mkt, CS)   (Listing 4)");
     for target in [&t1, &t2] {
         let report = verify(&known, target, Some(&update), None, &reg)?;
         println!("{report}");

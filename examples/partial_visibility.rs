@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     for (src, dst) in [(1, 9), (3, 9), (1, 8), (9, 1)] {
         let ans = can_reach(&a, src, dst)?;
-        println!("  can AS{src} reach AS{dst}?  {}", describe(&ans, &a.db.cvars));
+        println!(
+            "  can AS{src} reach AS{dst}?  {}",
+            describe(&ans, &a.db.cvars)
+        );
     }
 
     // Policy knowledge arrives: AS 3 never routes through AS 8 (it is
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     for (src, dst) in [(3, 9), (1, 9)] {
         let ans = can_reach(&b, src, dst)?;
-        println!("  can AS{src} reach AS{dst}?  {}", describe(&ans, &b.db.cvars));
+        println!(
+            "  can AS{src} reach AS{dst}?  {}",
+            describe(&ans, &b.db.cvars)
+        );
     }
 
     println!(

@@ -61,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut got: Vec<Const> = Vec::new();
         for row in answers.iter() {
             if row.cond.eval(&lookup) == Some(true) {
-                let v = row.terms[0].instantiate(&lookup);
+                let v = row.terms[0]
+                    .instantiate(&lookup)
+                    .expect("world assignment binds every c-variable");
                 if !got.contains(&v) {
                     got.push(v);
                 }

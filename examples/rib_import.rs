@@ -24,12 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => SAMPLE.to_owned(),
     };
     let routes = ribtext::parse_rib(&text)?;
-    println!("parsed {} routes over {} prefixes",
+    println!(
+        "parsed {} routes over {} prefixes",
         routes.len(),
-        ribtext::group_routes(&routes).len());
+        ribtext::group_routes(&routes).len()
+    );
 
     let w = ribtext::workload_from_routes(&routes);
-    println!("forwarding c-table: {} rows\n", w.db.relation("F").expect("built").len());
+    println!(
+        "forwarding c-table: {} rows\n",
+        w.db.relation("F").expect("built").len()
+    );
 
     let out = evaluate(&queries::reachability_program(), &w.db)?;
     let r = out.relation("R").expect("derived");

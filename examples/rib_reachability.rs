@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
 
-    println!("{:<8} {:>12} {:>12} {:>10}", "query", "sql", "solver", "#tuples");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "query", "sql", "solver", "#tuples"
+    );
     let mut db = workload.db.clone();
 
     // Reachability first; its output R feeds q6/q7/q8.
@@ -57,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // q7 reads T1 (nested query): evaluate against the q6 output. Pick
     // the workload's busiest forwarding hop so the pair is exercised.
     let (src, dst) = rib::frequent_pair(&workload).unwrap_or((0, 1));
-    let out7 = evaluate_with(&queries::q7_pair_under_y_failure(src, dst), &out6.database, &opts)?;
+    let out7 = evaluate_with(
+        &queries::q7_pair_under_y_failure(src, dst),
+        &out6.database,
+        &opts,
+    )?;
     println!(
         "{:<8} {:>12?} {:>12?} {:>10}",
         "q7", out7.stats.relational, out7.stats.solver, out7.stats.tuples

@@ -30,7 +30,10 @@ pub fn instantiate_derived(
                 set.insert(
                     row.terms
                         .iter()
-                        .map(|t| t.instantiate(&lookup))
+                        .map(|t| {
+                            t.instantiate(&lookup)
+                                .expect("world assignment binds every c-variable")
+                        })
                         .collect::<Vec<Const>>(),
                 );
             }
@@ -50,8 +53,8 @@ pub fn assert_lossless(program: &Program, db: &Database) -> usize {
     let out = evaluate(program, db).expect("fauré-log evaluation succeeds");
     let mut checked = 0;
     for world in WorldIter::new(db, None).expect("finite domains") {
-        let expected = evaluate_ground(program, &db.cvars, &world)
-            .expect("reference evaluation succeeds");
+        let expected =
+            evaluate_ground(program, &db.cvars, &world).expect("reference evaluation succeeds");
         let got = instantiate_derived(&out, program, &world.assignment);
         assert_eq!(
             expected, got,

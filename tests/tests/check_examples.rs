@@ -1,0 +1,64 @@
+//! `faure check` over every shipped example program: the examples must
+//! stay diagnostic-clean (no errors, no warnings), and the analyzer
+//! must exercise at least five distinct diagnostic classes on a
+//! deliberately broken program.
+
+use faure_analyze::{check_source, Severity};
+use std::path::PathBuf;
+
+fn programs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../examples/programs")
+}
+
+#[test]
+fn every_example_program_checks_clean() {
+    let dir = programs_dir();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/programs exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("fl") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let report = check_source(&src);
+        assert!(
+            report.is_empty(),
+            "{} has diagnostics:\n{}",
+            path.display(),
+            report.render(&src, path.to_str().unwrap())
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected at least 5 example programs");
+}
+
+#[test]
+fn broken_program_yields_many_distinct_diagnostic_classes() {
+    // One program tripping six diagnostic classes in a single run.
+    let src = "\
+R(a, b) :- F(a).\n\
+S(x) :- F(x, x), x < 2, x > 5.\n\
+P(q) :- N(q), !Q(q).\n\
+Q(q) :- N(q), !P(q).\n\
+Dead(a) :- Dead(a).\n\
+T(a) :- F(a, b, c).\n";
+    let report = check_source(src);
+    let mut codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert!(
+        codes.len() >= 5,
+        "expected >= 5 distinct classes, got {codes:?}\n{}",
+        report.render(src, "broken.fl")
+    );
+    assert!(report.has_errors());
+    // Errors and warnings coexist in one report (not fail-fast).
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Warning));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Error));
+}

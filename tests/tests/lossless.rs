@@ -8,9 +8,7 @@
 //! compares with the instantiated fauré-log answer.
 
 use faure_core::parse_program;
-use faure_ctable::{
-    CTuple, Condition, Const, Database, Domain, Schema, Term,
-};
+use faure_ctable::{CTuple, Condition, Const, Database, Domain, Schema, Term};
 use faure_net::frr;
 use faure_tests::assert_lossless;
 use proptest::prelude::*;
@@ -133,11 +131,8 @@ fn arb_db() -> impl Strategy<Value = Database> {
                 .and(Condition::ne(Term::Var(v1), Term::int(0))),
         };
         for (a, b, c) in rows {
-            db.insert(
-                "E",
-                CTuple::with_cond([mk_cell(a), mk_cell(b)], mk_cond(c)),
-            )
-            .unwrap();
+            db.insert("E", CTuple::with_cond([mk_cell(a), mk_cell(b)], mk_cond(c)))
+                .unwrap();
         }
         // Always use both c-variables somewhere so world enumeration
         // covers them (programs may reference $v0/$v1 in comparisons).
@@ -160,10 +155,7 @@ fn arb_program() -> impl Strategy<Value = faure_core::Program> {
             2 => format!("Q(a) :- E(a, a), a != {k}.\n"),
             3 => "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n".to_string(),
             4 => format!("Q(a) :- E(a, b), !E(b, a), b = {k}.\n"),
-            _ => format!(
-                "Q(a) :- E(a, b), $v0 + $v1 < {}.\n",
-                k + 2
-            ),
+            _ => format!("Q(a) :- E(a, b), $v0 + $v1 < {}.\n", k + 2),
         };
         parse_program(&src).unwrap()
     })

@@ -13,11 +13,16 @@ use std::collections::BTreeSet;
 type GroundRows = BTreeSet<Vec<Const>>;
 
 /// Instantiates a c-table in one world.
-fn ground(table: &Table, lookup: &impl Fn(faure_ctable::CVarId) -> Const) -> GroundRows {
+fn ground(table: &Table, lookup: &impl Fn(faure_ctable::CVarId) -> Option<Const>) -> GroundRows {
     let mut out = BTreeSet::new();
     for row in table.iter() {
         if row.cond.eval(lookup) == Some(true) {
-            out.insert(row.terms.iter().map(|t| t.instantiate(lookup)).collect());
+            out.insert(
+                row.terms
+                    .iter()
+                    .map(|t| t.instantiate(lookup).expect("world binds every c-variable"))
+                    .collect(),
+            );
         }
     }
     out

@@ -15,7 +15,8 @@ use faure_verify::{category_i, category_ii, check_direct, verify, Constraint, Le
 fn q1_on_regular_path_database() {
     use faure_ctable::{CTuple, Const, Database, Schema};
     let mut db = Database::new();
-    db.create_relation(Schema::new("P", &["dest", "path"])).unwrap();
+    db.create_relation(Schema::new("P", &["dest", "path"]))
+        .unwrap();
     for (d, path) in [
         ("1.2.3.4", vec!["A", "B", "C"]),
         ("1.2.3.5", vec!["A", "B", "E"]),
@@ -27,7 +28,8 @@ fn q1_on_regular_path_database() {
         )
         .unwrap();
     }
-    db.create_relation(Schema::new("C", &["path", "cost"])).unwrap();
+    db.create_relation(Schema::new("C", &["path", "cost"]))
+        .unwrap();
     for (path, cost) in [
         (vec!["A", "B", "C"], 3),
         (vec!["A", "D", "E", "C"], 4),
@@ -54,7 +56,10 @@ fn q2_on_ctable_path_database() {
     let rel = out.relation("Q2").unwrap();
     assert_eq!(rel.len(), 2);
     use faure_ctable::Const;
-    let abc = Condition::eq(Term::Var(vars.x), Term::Const(Const::path(&["A", "B", "C"])));
+    let abc = Condition::eq(
+        Term::Var(vars.x),
+        Term::Const(Const::path(&["A", "B", "C"])),
+    );
     let adec = Condition::eq(
         Term::Var(vars.x),
         Term::Const(Const::path(&["A", "D", "E", "C"])),
@@ -141,9 +146,7 @@ fn listing2_q7_semantics() {
         LinExpr::constant(1),
     )
     .and(Condition::eq(Term::Var(vars.y), Term::int(0)));
-    assert!(
-        faure_solver::equivalent(&out.database.cvars, &t2.tuples[0].cond, &expected).unwrap()
-    );
+    assert!(faure_solver::equivalent(&out.database.cvars, &t2.tuples[0].cond, &expected).unwrap());
 }
 
 // ---------------------------------------------------------------------------
@@ -202,15 +205,12 @@ fn subsumption_sound_against_direct() {
     let mut states_where_policies_hold = 0;
     for r_mask in 0..8u32 {
         // Up to 3 R rows chosen from a fixed pool.
-        let pool = [
-            ("Mkt", "CS", 7000),
-            ("R&D", "CS", 7000),
-            ("Mkt", "GS", 80),
-        ];
+        let pool = [("Mkt", "CS", 7000), ("R&D", "CS", 7000), ("Mkt", "GS", 80)];
         for lb_mask in 0..4u32 {
             for fw_mask in 0..4u32 {
                 let mut db = Database::new();
-                db.create_relation(Schema::new("R", &["s", "d", "p"])).unwrap();
+                db.create_relation(Schema::new("R", &["s", "d", "p"]))
+                    .unwrap();
                 db.create_relation(Schema::new("Lb", &["s", "d"])).unwrap();
                 db.create_relation(Schema::new("Fw", &["s", "d"])).unwrap();
                 for (i, (s, d, p)) in pool.iter().enumerate() {

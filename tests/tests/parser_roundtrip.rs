@@ -1,7 +1,9 @@
 //! Parser robustness: display→parse round-trips on generated rules,
 //! plus a grab-bag of syntax edge cases.
 
-use faure_core::{parse_program, parse_rule, ArgTerm, CompExpr, Comparison, Literal, Rule, RuleAtom};
+use faure_core::{
+    parse_program, parse_rule, ArgTerm, CompExpr, Comparison, Literal, Rule, RuleAtom,
+};
 use faure_ctable::{CmpOp, Const};
 use proptest::prelude::*;
 
@@ -9,8 +11,13 @@ fn arb_const() -> impl Strategy<Value = Const> {
     prop_oneof![
         (-5i64..10000).prop_map(Const::Int),
         prop_oneof![
-            Just("Mkt"), Just("CS"), Just("GS"), Just("R&D"),
-            Just("1.2.3.4"), Just("node_1"), Just("A")
+            Just("Mkt"),
+            Just("CS"),
+            Just("GS"),
+            Just("R&D"),
+            Just("1.2.3.4"),
+            Just("node_1"),
+            Just("A")
         ]
         .prop_map(Const::sym),
         prop::collection::vec(
@@ -25,8 +32,7 @@ fn arb_arg() -> impl Strategy<Value = ArgTerm> {
     prop_oneof![
         prop_oneof![Just("x"), Just("y"), Just("n1"), Just("f")]
             .prop_map(|s| ArgTerm::Var(s.to_owned())),
-        prop_oneof![Just("a"), Just("b"), Just("p")]
-            .prop_map(|s| ArgTerm::CVar(s.to_owned())),
+        prop_oneof![Just("a"), Just("b"), Just("p")].prop_map(|s| ArgTerm::CVar(s.to_owned())),
         arb_const().prop_map(ArgTerm::Cst),
     ]
 }
@@ -61,10 +67,7 @@ fn arb_cmp() -> impl Strategy<Value = Comparison> {
                         return None;
                     }
                     Some(CompExpr::Lin {
-                        terms: terms
-                            .into_iter()
-                            .map(|(c, n)| (c, n.to_owned()))
-                            .collect(),
+                        terms: terms.into_iter().map(|(c, n)| (c, n.to_owned())).collect(),
                         constant,
                     })
                 }
@@ -76,17 +79,20 @@ fn arb_cmp() -> impl Strategy<Value = Comparison> {
 fn arb_rule() -> impl Strategy<Value = Rule> {
     (
         arb_atom(&["H", "R", "T1"]),
-        prop::collection::vec(
-            (arb_atom(&["F", "R", "Lb"]), any::<bool>()),
-            0..3,
-        ),
+        prop::collection::vec((arb_atom(&["F", "R", "Lb"]), any::<bool>()), 0..3),
         prop::collection::vec(arb_cmp(), 0..2),
     )
         .prop_map(|(head, body, comparisons)| Rule {
             head,
             body: body
                 .into_iter()
-                .map(|(a, neg)| if neg { Literal::Neg(a) } else { Literal::Pos(a) })
+                .map(|(a, neg)| {
+                    if neg {
+                        Literal::Neg(a)
+                    } else {
+                        Literal::Pos(a)
+                    }
+                })
                 .collect(),
             comparisons,
         })
@@ -141,9 +147,6 @@ fn escaped_strings() {
 
 #[test]
 fn deeply_nested_failure_patterns_parse() {
-    let r = parse_rule(
-        "T(f) :- R(f), 2*$a + 3*$b + 1 <= 2*$a + $b, $a != $b, $a = 1.",
-    )
-    .unwrap();
+    let r = parse_rule("T(f) :- R(f), 2*$a + 3*$b + 1 <= 2*$a + $b, $a != $b, $a = 1.").unwrap();
     assert_eq!(r.comparisons.len(), 3);
 }
