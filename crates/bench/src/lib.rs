@@ -22,7 +22,7 @@ use faure_net::{queries, rib};
 use std::time::Duration;
 
 /// Timing + size numbers for one query (one cell group of Table 4).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct QueryStats {
     /// Relational-phase time ("sql" column), seconds.
     pub sql: f64,
@@ -30,6 +30,12 @@ pub struct QueryStats {
     pub solver: f64,
     /// Number of tuples produced ("#tuples" column).
     pub tuples: usize,
+    /// Solver memo hit rate over the evaluation (0.0 when the solver
+    /// was never consulted).
+    pub memo_hit_rate: f64,
+    /// Delta rows after each semi-naive iteration (across strata, in
+    /// evaluation order) — the convergence profile of the fixpoint.
+    pub delta_sizes: Vec<usize>,
 }
 
 impl QueryStats {
@@ -38,15 +44,22 @@ impl QueryStats {
             sql: stats.relational.as_secs_f64(),
             solver: stats.solver.as_secs_f64(),
             tuples: stats.tuples,
+            memo_hit_rate: stats.solver_stats.memo_hit_rate(),
+            delta_sizes: stats.delta_sizes.clone(),
         }
     }
 
     /// JSON object for this cell group (no external serializer in the
     /// offline build, so the encoding is by hand).
     pub fn to_json(&self) -> String {
+        let deltas: Vec<String> = self.delta_sizes.iter().map(|d| d.to_string()).collect();
         format!(
-            "{{\"sql\":{},\"solver\":{},\"tuples\":{}}}",
-            self.sql, self.solver, self.tuples
+            "{{\"sql\":{},\"solver\":{},\"tuples\":{},\"memo_hit_rate\":{:.4},\"delta_sizes\":[{}]}}",
+            self.sql,
+            self.solver,
+            self.tuples,
+            self.memo_hit_rate,
+            deltas.join(",")
         )
     }
 }
@@ -260,6 +273,10 @@ mod tests {
         assert!(row.total > 0.0);
         // q6 filters R: never more tuples than R.
         assert!(row.q6.tuples <= row.q45.tuples);
+        // The recursive q4-q5 stage iterates: its convergence profile
+        // must be present and strictly decreasing after the seed pass.
+        assert!(row.q45.delta_sizes.len() >= 2, "{:?}", row.q45.delta_sizes);
+        assert!((0.0..=1.0).contains(&row.q45.memo_hit_rate));
     }
 
     #[test]
@@ -268,6 +285,8 @@ mod tests {
         let json = rows_to_json(&[row]);
         assert!(json.contains("\"prefixes\":10"));
         assert!(json.contains("\"q6\""));
+        assert!(json.contains("\"memo_hit_rate\""));
+        assert!(json.contains("\"delta_sizes\":["));
         assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
     }
 

@@ -293,6 +293,38 @@ pub fn cmd_lint(source: &str, filename: &str, db: Option<&Database>) -> LintOutc
     }
 }
 
+/// `faure check <program.fl> --format json` implementation: same
+/// analysis as [`cmd_lint`], rendered as a JSON array of diagnostics
+/// (code, severity, message, file, line, col, span) for editor and CI
+/// integration.
+pub fn cmd_lint_json(source: &str, filename: &str, db: Option<&Database>) -> LintOutcome {
+    use faure_analyze::Severity;
+    let report = match db {
+        Some(db) => faure_analyze::check_source_with_db(source, db),
+        None => faure_analyze::check_source(source),
+    };
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = report.len() - errors;
+    LintOutcome {
+        rendered: report.to_json(source, filename),
+        errors,
+        warnings,
+    }
+}
+
+/// `faure explain <program.fl>` implementation: prints the compiled
+/// rule plans (join order by bound-column selectivity, semi-naive
+/// delta slots, pushed-down comparisons, trailing negations) for every
+/// stratum — the plans the evaluation engine caches and executes.
+pub fn cmd_explain(program_text: &str) -> Result<String, CliError> {
+    let program = parse_program(program_text).map_err(|e| CliError(e.to_string()))?;
+    faure_core::explain_program(&program).map_err(|e| CliError(e.to_string()))
+}
+
 /// `faure scenarios` implementation.
 pub fn cmd_scenarios(
     db_text: &str,
@@ -413,6 +445,42 @@ F(1, 4, 5).
 R(f, a, b) :- F(f, a, b).
 R(f, a, b) :- F(f, a, c), R(f, c, b).
 ";
+
+    #[test]
+    fn explain_prints_reordered_plans() {
+        let text = cmd_explain(REACH).unwrap();
+        // The recursive rule gets a delta-pass plan whose remaining
+        // literal is probed on the bound join column.
+        assert!(text.contains("plan [full]"), "{text}");
+        assert!(text.contains("plan [Δ R @ body 2]"), "{text}");
+        assert!(text.contains("scan Δ R(f, c, b)"), "{text}");
+        assert!(text.contains("probe F(f, a, c)"), "{text}");
+        assert!(text.contains("emit R(f, a, b)"), "{text}");
+    }
+
+    #[test]
+    fn explain_rejects_unsafe_programs() {
+        assert!(cmd_explain("R(a, b) :- F(a).\n").is_err());
+    }
+
+    #[test]
+    fn lint_json_reports_diagnostics() {
+        let out = cmd_lint_json("R(a, b) :- F(a).\n", "bad.fl", None);
+        assert_eq!(out.errors, 1);
+        assert!(
+            out.rendered.contains("\"code\":\"F0001\""),
+            "{}",
+            out.rendered
+        );
+        assert!(
+            out.rendered.contains("\"file\":\"bad.fl\""),
+            "{}",
+            out.rendered
+        );
+        let clean = cmd_lint_json("R(a) :- F(a).\n", "ok.fl", None);
+        assert_eq!(clean.errors + clean.warnings, 0);
+        assert_eq!(clean.rendered, "[]\n");
+    }
 
     #[test]
     fn load_database_with_conditional_facts() {

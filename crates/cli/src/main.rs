@@ -1,8 +1,8 @@
 //! The `faure` binary — see the crate docs for the file formats.
 
 use faure_cli::{
-    cmd_check, cmd_eval, cmd_lint, cmd_scenarios, cmd_sql, cmd_subsume, cmd_worlds, load_database,
-    parse_prune, CliError,
+    cmd_check, cmd_eval, cmd_explain, cmd_lint, cmd_lint_json, cmd_scenarios, cmd_sql, cmd_subsume,
+    cmd_worlds, load_database, parse_prune, CliError,
 };
 use faure_core::PrunePolicy;
 
@@ -11,7 +11,8 @@ faure — partial network analysis (HotNets '21 reproduction)
 
 USAGE:
   faure eval <db.fdb> <program.fl> [--prune never|stratum|iteration|eager] [--relation R]
-  faure check <program.fl> [--domains db.fdb]
+  faure explain <program.fl>
+  faure check <program.fl> [--domains db.fdb] [--format text|json]
   faure check <db.fdb> <constraint.fl>
   faure scenarios <db.fdb> <constraint.fl> [--limit N]
   faure subsume <target.fl> <known.fl>... [--domains db.fdb]
@@ -23,13 +24,25 @@ Database files (.fdb) hold `@cvar name in {..}` / `@cvar name open` /
 `@schema Name(attr, ...)` directives plus conditional facts like
 `F(1, 2) :- $x = 1.`; program files (.fl) hold fauré-log rules.
 
+`explain` prints the compiled rule plans: the join order chosen by
+bound-column selectivity, semi-naive delta slots, pushed-down
+comparisons, and trailing negations — per stratum, exactly the plans
+the evaluator caches and executes.
+
 The one-argument `check` form is the static analyzer: it reports every
 diagnostic (stable codes F0001…) with source snippets, and exits 1
-only when an error-severity diagnostic is present.
+only when an error-severity diagnostic is present. `--format json`
+emits the diagnostics as a JSON array instead.
 ";
 
 fn read(path: &str) -> Result<String, CliError> {
     std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Text,
+    Json,
 }
 
 fn run() -> Result<String, CliError> {
@@ -39,6 +52,7 @@ fn run() -> Result<String, CliError> {
     let mut relation: Option<String> = None;
     let mut limit = 64usize;
     let mut domains: Option<String> = None;
+    let mut format = LintFormat::Text;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,6 +75,18 @@ fn run() -> Result<String, CliError> {
                 i += 1;
                 domains = args.get(i).cloned();
             }
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => LintFormat::Text,
+                    Some("json") => LintFormat::Json,
+                    other => {
+                        return Err(CliError(format!(
+                            "--format takes `text` or `json`, got {other:?}"
+                        )))
+                    }
+                };
+            }
             other => positional.push(other),
         }
         i += 1;
@@ -68,12 +94,17 @@ fn run() -> Result<String, CliError> {
 
     match positional.as_slice() {
         ["eval", db, program] => cmd_eval(&read(db)?, &read(program)?, prune, relation.as_deref()),
+        ["explain", program] => cmd_explain(&read(program)?),
         ["check", program] => {
             let db = match &domains {
                 Some(path) => Some(load_database(&read(path)?)?),
                 None => None,
             };
-            let outcome = cmd_lint(&read(program)?, program, db.as_ref());
+            let source = read(program)?;
+            let outcome = match format {
+                LintFormat::Text => cmd_lint(&source, program, db.as_ref()),
+                LintFormat::Json => cmd_lint_json(&source, program, db.as_ref()),
+            };
             if outcome.errors > 0 {
                 eprint!("{}", outcome.rendered);
                 std::process::exit(1);

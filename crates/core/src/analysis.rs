@@ -667,7 +667,7 @@ fn rule_unsat_reason(rule: &Rule) -> Option<String> {
             })
         })
         .collect();
-    if simplify(&Condition::And(atoms)) == Condition::False {
+    if simplify(&Condition::conj(atoms)) == Condition::False {
         return Some("the comparisons simplify to false".to_owned());
     }
 

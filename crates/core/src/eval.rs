@@ -29,15 +29,14 @@
 
 use crate::analysis::{check_safety, stratify, AnalysisError};
 use crate::ast::{ArgTerm, CompExpr, Comparison, Literal, Program, Rule};
+use crate::plan::{PlanCache, RulePlan};
 use faure_ctable::{
     Atom, CTuple, CVarId, Condition, Database, Domain, Expr, LinExpr, Relation, Schema, Term,
 };
 use faure_solver::{Session, SolverError};
-use faure_storage::{Pattern, PhaseStats, Table};
-use std::collections::hash_map::DefaultHasher;
+use faure_storage::{exec, CondAcc, OpStats, Pattern, PhaseStats, Table};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 /// When the solver phase (the paper's "Z3 step") runs.
@@ -232,11 +231,16 @@ pub fn evaluate_with(
     };
 
     let mut stats = PhaseStats::new();
+    let mut plans = PlanCache::new();
 
     // --- evaluate stratum by stratum ------------------------------------
     for stratum_rules in &strat.strata {
-        let rules: Vec<&Rule> = stratum_rules.iter().map(|&i| &program.rules[i]).collect();
-        let stratum_preds: BTreeSet<&str> = rules.iter().map(|r| r.head.pred.as_str()).collect();
+        let rules: Vec<(usize, &Rule)> = stratum_rules
+            .iter()
+            .map(|&i| (i, &program.rules[i]))
+            .collect();
+        let stratum_preds: BTreeSet<&str> =
+            rules.iter().map(|(_, r)| r.head.pred.as_str()).collect();
 
         if opts.semi_naive {
             eval_stratum_semi_naive(
@@ -244,8 +248,10 @@ pub fn evaluate_with(
                 &rules,
                 &stratum_preds,
                 &mut tables,
+                &mut plans,
                 &mut session,
                 opts,
+                &mut stats,
             )?;
         } else {
             eval_stratum_naive(
@@ -253,8 +259,10 @@ pub fn evaluate_with(
                 &rules,
                 &stratum_preds,
                 &mut tables,
+                &mut plans,
                 &mut session,
                 opts,
+                &mut stats,
             )?;
         }
 
@@ -294,6 +302,8 @@ pub fn evaluate_with(
     stats.solver = solver_time;
     stats.tuples = derived_tuples;
     stats.solver_stats = session.stats();
+    stats.plan_cache_hits = plans.hits;
+    stats.plan_cache_misses = plans.misses;
 
     Ok(EvalOutput {
         database,
@@ -327,21 +337,26 @@ struct Ctx<'a> {
 // fixpoint drivers
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn eval_stratum_semi_naive(
     ctx: &Ctx<'_>,
-    rules: &[&Rule],
+    rules: &[(usize, &Rule)],
     stratum_preds: &BTreeSet<&str>,
     tables: &mut HashMap<String, Table>,
+    plans: &mut PlanCache,
     session: &mut Session,
     opts: &EvalOptions,
+    stats: &mut PhaseStats,
 ) -> Result<(), EvalError> {
     // Iteration 0: every rule against the full tables (recursive rules
     // see the — possibly empty — current contents of stratum IDBs).
     let mut delta: HashMap<String, Table> = HashMap::new();
-    for rule in rules {
-        let derived = eval_rule(ctx, rule, tables, None, session, opts)?;
+    for &(ri, rule) in rules {
+        let plan = plans.get_or_compile(ri, rule, None);
+        let derived = eval_rule(ctx, rule, plan, tables, None, session, opts, &mut stats.ops)?;
         merge_derived(rule.head.pred.as_str(), derived, tables, &mut delta);
     }
+    record_delta_size(&delta, stats);
 
     let mut iterations = 0usize;
     while !delta.is_empty() {
@@ -361,9 +376,11 @@ fn eval_stratum_semi_naive(
             }
         }
         let mut next_delta: HashMap<String, Table> = HashMap::new();
-        for rule in rules {
+        for &(ri, rule) in rules {
             // One pass per positive body literal whose predicate is in
-            // this stratum and has a pending delta.
+            // this stratum and has a pending delta. The plan for each
+            // (rule, delta slot) is compiled once — later iterations
+            // are cache hits that only execute.
             for (pos, lit) in rule.body.iter().enumerate() {
                 if lit.is_negative() {
                     continue;
@@ -376,22 +393,45 @@ fn eval_stratum_semi_naive(
                 if d.is_empty() {
                     continue;
                 }
-                let derived = eval_rule(ctx, rule, tables, Some((pos, d)), session, opts)?;
+                let plan = plans.get_or_compile(ri, rule, Some(pos));
+                let derived = eval_rule(
+                    ctx,
+                    rule,
+                    plan,
+                    tables,
+                    Some(d),
+                    session,
+                    opts,
+                    &mut stats.ops,
+                )?;
                 merge_derived(rule.head.pred.as_str(), derived, tables, &mut next_delta);
             }
         }
         delta = next_delta;
+        record_delta_size(&delta, stats);
     }
     Ok(())
 }
 
+/// Records the total delta size of a just-finished fixpoint iteration
+/// (the empty delta that terminates the loop is not recorded).
+fn record_delta_size(delta: &HashMap<String, Table>, stats: &mut PhaseStats) {
+    let total: usize = delta.values().map(Table::len).sum();
+    if total > 0 {
+        stats.delta_sizes.push(total);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn eval_stratum_naive(
     ctx: &Ctx<'_>,
-    rules: &[&Rule],
+    rules: &[(usize, &Rule)],
     stratum_preds: &BTreeSet<&str>,
     tables: &mut HashMap<String, Table>,
+    plans: &mut PlanCache,
     session: &mut Session,
     opts: &EvalOptions,
+    stats: &mut PhaseStats,
 ) -> Result<(), EvalError> {
     let _ = stratum_preds;
     let mut iterations = 0usize;
@@ -403,8 +443,9 @@ fn eval_stratum_naive(
             });
         }
         let mut changed = false;
-        for rule in rules {
-            let derived = eval_rule(ctx, rule, tables, None, session, opts)?;
+        for &(ri, rule) in rules {
+            let plan = plans.get_or_compile(ri, rule, None);
+            let derived = eval_rule(ctx, rule, plan, tables, None, session, opts, &mut stats.ops)?;
             let table = tables
                 .get_mut(rule.head.pred.as_str())
                 .expect("table created in setup");
@@ -448,89 +489,106 @@ fn merge_derived(
 }
 
 // ---------------------------------------------------------------------------
-// single-rule evaluation (the c-valuation)
+// single-rule plan execution (the c-valuation)
 // ---------------------------------------------------------------------------
 
-/// Evaluates one rule against the current tables, optionally forcing
-/// one positive body literal to read from a delta table. Returns the
-/// derived head rows (conditions structurally simplified, `False`
-/// filtered out).
+/// Outcome of evaluating one comparison under a substitution: either
+/// the branch dies (ground-false), or a condition fragment (possibly
+/// `True`) joins the accumulator.
+fn apply_comparison(
+    ctx: &Ctx<'_>,
+    cmp: &Comparison,
+    theta: &HashMap<&str, Term>,
+    acc: &mut CondAcc,
+    ops: &mut OpStats,
+) -> Result<bool, EvalError> {
+    let atom = comparison_atom(ctx, cmp, theta)?;
+    let mut vars = BTreeSet::new();
+    atom.cvars(&mut vars);
+    if vars.is_empty() {
+        // Ground: decide now. A false (or undefined) comparison cuts
+        // the branch before any further literal is joined.
+        match atom.eval(&|_| unreachable!("ground atom")) {
+            Some(true) => Ok(true),
+            Some(false) | None => {
+                ops.cmp_pruned += 1;
+                Ok(false)
+            }
+        }
+    } else if acc.push(Condition::Atom(atom), ops) {
+        Ok(true)
+    } else {
+        ops.cmp_pruned += 1;
+        Ok(false)
+    }
+}
+
+/// Executes a compiled [`RulePlan`] against the current tables. When
+/// the plan has a delta slot, `delta_table` supplies the iteration
+/// delta it reads. Returns the derived head rows (conditions
+/// structurally simplified, `False` filtered out).
+#[allow(clippy::too_many_arguments)]
 fn eval_rule(
     ctx: &Ctx<'_>,
     rule: &Rule,
+    plan: &RulePlan,
     tables: &HashMap<String, Table>,
-    delta_override: Option<(usize, &Table)>,
+    delta_table: Option<&Table>,
     session: &mut Session,
     opts: &EvalOptions,
+    ops: &mut OpStats,
 ) -> Result<Vec<CTuple>, EvalError> {
-    let mut positives: Vec<(usize, &crate::ast::RuleAtom)> = rule
-        .body
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !l.is_negative())
-        .map(|(i, l)| (i, l.atom()))
-        .collect();
-    // Semi-naive join order: scan the (small) delta literal first so
-    // the remaining literals are probed with bound columns through the
-    // indexes, instead of re-scanning full tables every iteration.
-    if let Some((dpos, _)) = delta_override {
-        if let Some(i) = positives.iter().position(|&(p, _)| p == dpos) {
-            positives.swap(0, i);
-        }
-    }
-    let negatives: Vec<&crate::ast::RuleAtom> = rule
-        .body
-        .iter()
-        .filter(|l| l.is_negative())
-        .map(|l| l.atom())
-        .collect();
-
+    debug_assert_eq!(plan.delta_pos.is_some(), delta_table.is_some());
     let mut out = Vec::new();
     let mut theta: HashMap<&str, Term> = HashMap::new();
-    join_positives(
+    let mut acc = CondAcc::new();
+    // Comparisons with no rule variables gate the whole rule pass.
+    for &ci in &plan.initial_comparisons {
+        if !apply_comparison(ctx, &rule.comparisons[ci], &theta, &mut acc, ops)? {
+            return Ok(out);
+        }
+    }
+    exec_step(
         ctx,
         rule,
-        &positives,
-        &negatives,
+        plan,
         tables,
-        delta_override,
+        delta_table,
         0,
         &mut theta,
-        Condition::True,
+        &mut acc,
         session,
         opts,
+        ops,
         &mut out,
     )?;
     Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn join_positives<'r>(
+fn exec_step<'r>(
     ctx: &Ctx<'_>,
     rule: &'r Rule,
-    positives: &[(usize, &'r crate::ast::RuleAtom)],
-    negatives: &[&'r crate::ast::RuleAtom],
+    plan: &RulePlan,
     tables: &HashMap<String, Table>,
-    delta_override: Option<(usize, &Table)>,
+    delta_table: Option<&Table>,
     depth: usize,
     theta: &mut HashMap<&'r str, Term>,
-    cond: Condition,
+    acc: &mut CondAcc,
     session: &mut Session,
     opts: &EvalOptions,
+    ops: &mut OpStats,
     out: &mut Vec<CTuple>,
 ) -> Result<(), EvalError> {
-    if cond == Condition::False {
-        return Ok(());
+    if depth == plan.steps.len() {
+        return finish_rule(ctx, rule, plan, tables, theta, acc, session, opts, ops, out);
     }
-    if depth == positives.len() {
-        return finish_rule(
-            ctx, rule, negatives, tables, theta, cond, session, opts, out,
-        );
-    }
-    let (lit_pos, atom) = positives[depth];
-    let table: &Table = match delta_override {
-        Some((p, d)) if p == lit_pos => d,
-        _ => tables.get(&atom.pred).expect("table created in setup"),
+    let step = &plan.steps[depth];
+    let atom = rule.body[step.lit_pos].atom();
+    let table: &Table = if step.is_delta {
+        delta_table.expect("delta plan executed with a delta table")
+    } else {
+        tables.get(&atom.pred).expect("table created in setup")
     };
 
     // Build patterns under the current substitution.
@@ -547,60 +605,77 @@ fn join_positives<'r>(
         patterns.push(pat);
     }
 
-    for (row_idx, mu) in table.find_matches(&ctx.reg_snapshot, &patterns) {
+    for (row_idx, mu) in exec::probe(table, &ctx.reg_snapshot, &patterns, ops) {
         let row = table.row(row_idx);
-        let mut new_cond = cond.clone().and(row.cond.clone()).and(mu);
+        let mark = acc.mark();
+        let mut ok = acc.push(row.cond.clone(), ops) && acc.push(mu, ops);
         // Bind variables (handling repeated variables within the atom).
         let mut bound_here: Vec<&'r str> = Vec::new();
-        let mut ok = true;
-        for (arg, cell) in atom.args.iter().zip(&row.terms) {
-            if let ArgTerm::Var(v) = arg {
-                match theta.get(v.as_str()) {
-                    Some(prev) => {
-                        // Already bound (earlier literal or repeated in
-                        // this atom). A pattern covered pre-bound vars;
-                        // repeats bound within this row need an explicit
-                        // equality.
-                        if bound_here.contains(&v.as_str()) {
-                            match (prev, cell) {
-                                (Term::Const(a), Term::Const(b)) => {
-                                    if a != b {
-                                        ok = false;
-                                        break;
+        if ok {
+            for (arg, cell) in atom.args.iter().zip(&row.terms) {
+                if let ArgTerm::Var(v) = arg {
+                    match theta.get(v.as_str()) {
+                        Some(prev) => {
+                            // Already bound (earlier literal or repeated in
+                            // this atom). A pattern covered pre-bound vars;
+                            // repeats bound within this row need an explicit
+                            // equality.
+                            if bound_here.contains(&v.as_str()) {
+                                match (prev, cell) {
+                                    (Term::Const(a), Term::Const(b)) => {
+                                        if a != b {
+                                            ok = false;
+                                            break;
+                                        }
                                     }
-                                }
-                                (a, b) => {
-                                    if a != b {
-                                        new_cond =
-                                            new_cond.and(Condition::eq(a.clone(), b.clone()));
+                                    (a, b) => {
+                                        if a != b {
+                                            let eq = Condition::eq(a.clone(), b.clone());
+                                            if !acc.push(eq, ops) {
+                                                ok = false;
+                                                break;
+                                            }
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
-                    None => {
-                        theta.insert(v.as_str(), cell.clone());
-                        bound_here.push(v.as_str());
+                        None => {
+                            theta.insert(v.as_str(), cell.clone());
+                            bound_here.push(v.as_str());
+                        }
                     }
                 }
             }
         }
+        // Pushed-down comparisons: every variable they mention is bound
+        // by now, so ground-false ones cut the branch here instead of
+        // after the remaining joins.
         if ok {
-            join_positives(
+            for &ci in &step.comparisons {
+                if !apply_comparison(ctx, &rule.comparisons[ci], theta, acc, ops)? {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            exec_step(
                 ctx,
                 rule,
-                positives,
-                negatives,
+                plan,
                 tables,
-                delta_override,
+                delta_table,
                 depth + 1,
                 theta,
-                new_cond,
+                acc,
                 session,
                 opts,
+                ops,
                 out,
             )?;
         }
+        acc.truncate(mark);
         for v in bound_here {
             theta.remove(v);
         }
@@ -608,31 +683,31 @@ fn join_positives<'r>(
     Ok(())
 }
 
-/// Applies negated literals and comparisons, then emits the head row.
+/// Applies negated literals, then emits the head row.
 #[allow(clippy::too_many_arguments)]
 fn finish_rule<'r>(
     ctx: &Ctx<'_>,
     rule: &'r Rule,
-    negatives: &[&'r crate::ast::RuleAtom],
+    plan: &RulePlan,
     tables: &HashMap<String, Table>,
     theta: &HashMap<&'r str, Term>,
-    mut cond: Condition,
+    acc: &CondAcc,
     session: &mut Session,
     opts: &EvalOptions,
+    ops: &mut OpStats,
     out: &mut Vec<CTuple>,
 ) -> Result<(), EvalError> {
+    let mut cond = acc.materialize();
     // Negation: "not derivable from the c-table".
-    for atom in negatives {
+    for &np in &plan.negations {
+        let atom = rule.body[np].atom();
         let terms = instantiate_args(ctx, &atom.args, theta)?;
         let table = tables.get(&atom.pred).expect("table created in setup");
+        ops.neg_checks += 1;
         cond = cond.and(table.negation_condition(&ctx.reg_snapshot, &terms));
         if cond == Condition::False {
             return Ok(());
         }
-    }
-    // Explicit comparisons.
-    for cmp in &rule.comparisons {
-        cond = cond.and(Condition::Atom(comparison_atom(ctx, cmp, theta)?));
     }
 
     let cond = canonicalize(faure_solver::simplify(&cond));
@@ -701,40 +776,45 @@ fn comparison_atom(
 // condition canonicalisation
 // ---------------------------------------------------------------------------
 
-fn cond_hash(c: &Condition) -> u64 {
-    let mut h = DefaultHasher::new();
-    c.hash(&mut h);
-    h.finish()
-}
-
-/// Sorts the children of `And` / `Or` nodes by hash so that logically
-/// identical conjunctions built in different orders become structurally
-/// identical — the delta-dedup in [`Table::insert`] then recognises
-/// them, which both shrinks conditions and guarantees fixpoint
-/// termination.
+/// Sorts the children of `And` / `Or` nodes by the **total structural
+/// order** on [`Condition`] so that logically identical conjunctions
+/// built in different orders become structurally identical — the
+/// delta-dedup in [`Table::insert`] then recognises them, which both
+/// shrinks conditions and guarantees fixpoint termination.
+///
+/// The sort key used to be a 64-bit `DefaultHasher` value; two distinct
+/// children with colliding hashes then got an arbitrary relative order,
+/// so the "canonical" form was not collision-proof. Sorting by
+/// `Condition`'s derived `Ord` is total and collision-free.
 pub fn canonicalize(c: Condition) -> Condition {
     match c {
         Condition::And(cs) => {
-            let mut cs: Vec<Condition> = cs.into_iter().map(canonicalize).collect();
-            cs.sort_by_key(cond_hash);
+            let mut cs: Vec<Condition> = Condition::take_children(cs)
+                .into_iter()
+                .map(canonicalize)
+                .collect();
+            cs.sort_unstable();
             cs.dedup();
             match cs.len() {
                 0 => Condition::True,
                 1 => cs.pop().expect("len checked"),
-                _ => Condition::And(cs),
+                _ => Condition::conj(cs),
             }
         }
         Condition::Or(cs) => {
-            let mut cs: Vec<Condition> = cs.into_iter().map(canonicalize).collect();
-            cs.sort_by_key(cond_hash);
+            let mut cs: Vec<Condition> = Condition::take_children(cs)
+                .into_iter()
+                .map(canonicalize)
+                .collect();
+            cs.sort_unstable();
             cs.dedup();
             match cs.len() {
                 0 => Condition::False,
                 1 => cs.pop().expect("len checked"),
-                _ => Condition::Or(cs),
+                _ => Condition::disj(cs),
             }
         }
-        Condition::Not(inner) => canonicalize(*inner).negate(),
+        Condition::Not(inner) => canonicalize(Condition::take_inner(inner)).negate(),
         other => other,
     }
 }
@@ -1047,6 +1127,56 @@ mod tests {
             evaluate(&program, &db),
             Err(EvalError::ArityMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn plans_compile_once_and_hit_cache_across_iterations() {
+        // A 6-node chain: transitive closure takes several semi-naive
+        // iterations, each of which must reuse the compiled delta plan.
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for i in 1..6 {
+            db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
+                .unwrap();
+        }
+        let program = parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n",
+        )
+        .unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        assert_eq!(out.relation("R").unwrap().len(), 15);
+        // Plans: (rule1, None), (rule2, None), (rule2, Δ@1) — compiled
+        // exactly once each; every later iteration is a cache hit.
+        assert_eq!(out.stats.plan_cache_misses, 3);
+        assert!(
+            out.stats.plan_cache_hits > 0,
+            "fixpoint iterations must reuse compiled plans, stats: {:?}",
+            out.stats
+        );
+        // Semi-naive deltas shrink down the chain: iteration 0 seeds
+        // the 5 edges plus the 4 length-2 paths (rule 2 already sees
+        // rule 1's output), then 3, 2, 1 longer paths.
+        assert_eq!(out.stats.delta_sizes, vec![9, 3, 2, 1]);
+        // Operator counters observed the probes.
+        assert!(out.stats.ops.probes > 0);
+        assert!(out.stats.ops.rows_matched as usize >= 15);
+    }
+
+    #[test]
+    fn pushed_comparisons_prune_branches_early() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for i in 0..10 {
+            db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
+                .unwrap();
+        }
+        let program = parse_program("Q(a, c) :- E(a, b), E(b, c), a < 3.\n").unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        assert_eq!(out.relation("Q").unwrap().len(), 3);
+        // `a < 3` is bound after the first literal; the 6+ failing
+        // bindings must be cut before the second join, not after.
+        assert!(out.stats.ops.cmp_pruned >= 6, "stats: {:?}", out.stats.ops);
     }
 
     #[test]

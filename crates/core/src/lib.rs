@@ -46,6 +46,7 @@ pub mod ast;
 pub mod containment;
 pub mod eval;
 pub mod parser;
+pub mod plan;
 pub mod reference;
 pub mod update;
 
@@ -57,6 +58,7 @@ pub use parser::{
     parse_program, parse_program_spanned, parse_rule, AtomSpans, ParseError, RuleSpans, Span,
     SpannedProgram,
 };
+pub use plan::{compile_rule, explain_program, JoinStep, PlanCache, RulePlan};
 pub use update::{
     apply_to_database, expand_constraint, rewrite_constraint, DeletePattern, Update, UpdateError,
 };

@@ -1,0 +1,380 @@
+//! Compiled rule plans — the query-planning layer between fauré-log
+//! rules and c-table storage.
+//!
+//! Interpreting a rule used to mean re-deriving its join order and
+//! re-scanning its comparison list on every fixpoint iteration. This
+//! module compiles each `(rule, delta slot)` pair into a [`RulePlan`]
+//! **once** (cached in a [`PlanCache`] for the whole evaluation) and
+//! the engine then executes the plan every iteration:
+//!
+//! * **join order** — positive body literals are greedily reordered by
+//!   *bound-variable selectivity*: at each step the literal with the
+//!   most bound argument columns (constants, c-variables, and rule
+//!   variables bound by earlier steps) is joined next, so it can be
+//!   probed through the storage layer's column indexes instead of
+//!   scanned;
+//! * **delta slot** — for semi-naive evaluation, the literal reading
+//!   the iteration delta is forced to the front (the delta is the small
+//!   side; everything downstream becomes an indexed probe on bound
+//!   columns);
+//! * **comparison pushdown** — each rule comparison is attached to the
+//!   earliest join step after which all its variables are bound;
+//!   ground-false comparisons then cut join branches before the
+//!   remaining literals are joined, instead of after the full join;
+//! * **negation** — negated literals stay after all positive joins
+//!   (they need the full binding; stratification already guarantees
+//!   their tables are complete).
+//!
+//! Plans are purely *logical*: they hold body-literal indices and
+//! comparison indices into the rule, not table references, so they are
+//! compiled without a database and rendered by `faure explain`.
+
+use crate::analysis::{check_safety, stratify, AnalysisError};
+use crate::ast::{ArgTerm, Program, Rule};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// One positive join step of a compiled plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinStep {
+    /// Index of the positive literal in the rule body.
+    pub lit_pos: usize,
+    /// Whether this step reads the iteration delta instead of the full
+    /// table (at most one step per plan; always step 0 when present).
+    pub is_delta: bool,
+    /// How many of the literal's argument columns are bound when this
+    /// step runs (constants, c-variables, previously bound rule
+    /// variables) — the selectivity score that ordered it.
+    pub bound_cols: usize,
+    /// Rule variables first bound by this step, in argument order.
+    pub binds: Vec<String>,
+    /// Indices into `rule.comparisons` evaluated right after this step
+    /// (pushdown: all their variables are bound here and not earlier).
+    pub comparisons: Vec<usize>,
+}
+
+/// A compiled evaluation plan for one rule under one delta slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RulePlan {
+    /// Body position of the delta literal, if this is a semi-naive
+    /// delta pass.
+    pub delta_pos: Option<usize>,
+    /// Positive join steps, in execution order.
+    pub steps: Vec<JoinStep>,
+    /// Indices into `rule.comparisons` with no rule variables (ground
+    /// or c-variable-only), evaluated before any join step.
+    pub initial_comparisons: Vec<usize>,
+    /// Body positions of negated literals, evaluated after all joins.
+    pub negations: Vec<usize>,
+}
+
+fn arg_is_bound(arg: &ArgTerm, bound: &BTreeSet<&str>) -> bool {
+    match arg {
+        ArgTerm::Cst(_) | ArgTerm::CVar(_) => true,
+        ArgTerm::Var(v) => bound.contains(v.as_str()),
+    }
+}
+
+fn bound_cols(rule: &Rule, lit_pos: usize, bound: &BTreeSet<&str>) -> usize {
+    rule.body[lit_pos]
+        .atom()
+        .args
+        .iter()
+        .filter(|a| arg_is_bound(a, bound))
+        .count()
+}
+
+/// Compiles the plan for `rule` with an optional forced delta literal.
+///
+/// The join order is chosen greedily: the delta literal (if any) goes
+/// first; afterwards, among the remaining positive literals, the one
+/// with the most bound columns wins, ties broken by fewer *unbound*
+/// columns (a fully-bound binary atom beats a half-bound ternary one),
+/// then by body position (stable for `explain` output).
+pub fn compile_rule(rule: &Rule, delta_pos: Option<usize>) -> RulePlan {
+    let mut remaining: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_negative())
+        .map(|(i, _)| i)
+        .collect();
+    let negations: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.is_negative())
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    let mut pending_cmp: Vec<usize> = (0..rule.comparisons.len()).collect();
+    let mut initial_comparisons = Vec::new();
+    pending_cmp.retain(|&ci| {
+        if rule.comparisons[ci].variables().is_empty() {
+            initial_comparisons.push(ci);
+            false
+        } else {
+            true
+        }
+    });
+
+    let mut steps = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let pick = if let Some(dp) = delta_pos.filter(|_| steps.is_empty()) {
+            remaining
+                .iter()
+                .position(|&p| p == dp)
+                .expect("delta position must be a positive body literal")
+        } else {
+            let mut best = 0usize;
+            let mut best_key = (0usize, usize::MAX, usize::MAX);
+            for (i, &p) in remaining.iter().enumerate() {
+                let bc = bound_cols(rule, p, &bound);
+                let unbound = rule.body[p].atom().args.len() - bc;
+                // Max bound columns; then min unbound; then body order.
+                let key = (bc, usize::MAX - unbound, usize::MAX - p);
+                if i == 0 || key > best_key {
+                    best = i;
+                    best_key = key;
+                }
+            }
+            best
+        };
+        let lit_pos = remaining.swap_remove(pick);
+        let bc = bound_cols(rule, lit_pos, &bound);
+        let mut binds = Vec::new();
+        for arg in &rule.body[lit_pos].atom().args {
+            if let ArgTerm::Var(v) = arg {
+                if bound.insert(v.as_str()) {
+                    binds.push(v.clone());
+                }
+            }
+        }
+        let mut comparisons = Vec::new();
+        pending_cmp.retain(|&ci| {
+            let vars = rule.comparisons[ci].variables();
+            if vars.iter().all(|v| bound.contains(v)) {
+                comparisons.push(ci);
+                false
+            } else {
+                true
+            }
+        });
+        steps.push(JoinStep {
+            lit_pos,
+            is_delta: delta_pos == Some(lit_pos),
+            bound_cols: bc,
+            binds,
+            comparisons,
+        });
+    }
+    debug_assert!(
+        pending_cmp.is_empty(),
+        "safety guarantees every comparison variable is bound by a positive literal"
+    );
+
+    RulePlan {
+        delta_pos,
+        steps,
+        initial_comparisons,
+        negations,
+    }
+}
+
+/// Renders a plan against its rule, one numbered operator per line.
+pub fn render_plan(rule: &Rule, plan: &RulePlan, out: &mut String) {
+    use fmt::Write;
+    let mut n = 0usize;
+    let mut op = |out: &mut String| {
+        n += 1;
+        let _ = write!(out, "      {n}. ");
+    };
+    for &ci in &plan.initial_comparisons {
+        op(out);
+        let _ = writeln!(out, "filter {}", rule.comparisons[ci]);
+    }
+    for step in &plan.steps {
+        op(out);
+        let atom = rule.body[step.lit_pos].atom();
+        let kind = if step.is_delta {
+            "scan Δ"
+        } else if step.bound_cols > 0 {
+            "probe"
+        } else {
+            "scan"
+        };
+        let _ = write!(out, "{kind} {atom}");
+        if step.bound_cols > 0 {
+            let _ = write!(out, "   [{} bound col(s)]", step.bound_cols);
+        }
+        if !step.binds.is_empty() {
+            let _ = write!(out, "   binds {}", step.binds.join(", "));
+        }
+        let _ = writeln!(out);
+        for &ci in &step.comparisons {
+            op(out);
+            let _ = writeln!(out, "filter {}   (pushed down)", rule.comparisons[ci]);
+        }
+    }
+    for &np in &plan.negations {
+        op(out);
+        let _ = writeln!(out, "negate {}", rule.body[np]);
+    }
+    op(out);
+    let _ = writeln!(out, "emit {}", rule.head);
+}
+
+/// Per-evaluation plan cache, keyed by `(rule index, delta slot)`.
+///
+/// The first request for a key compiles the plan (a miss); every later
+/// request — one per fixpoint iteration — returns the cached plan (a
+/// hit). The hit/miss counters surface in
+/// [`faure_storage::PhaseStats`] so callers can assert that plans are
+/// compiled once and reused.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<(usize, Option<usize>), RulePlan>,
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that compiled a new plan.
+    pub misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the plan for `(rule_idx, delta_pos)`, compiling it on
+    /// first use.
+    pub fn get_or_compile(
+        &mut self,
+        rule_idx: usize,
+        rule: &Rule,
+        delta_pos: Option<usize>,
+    ) -> &RulePlan {
+        let key = (rule_idx, delta_pos);
+        if self.plans.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.plans.insert(key, compile_rule(rule, delta_pos));
+        }
+        self.plans.get(&key).expect("inserted above")
+    }
+}
+
+/// Renders the compiled plans for a whole program, stratum by stratum:
+/// for each rule, the full-evaluation plan plus one delta-pass plan per
+/// recursive body literal (the plans semi-naive evaluation actually
+/// runs). This is the engine behind `faure explain`.
+pub fn explain_program(program: &Program) -> Result<String, AnalysisError> {
+    use fmt::Write;
+    check_safety(program)?;
+    let strat = stratify(program)?;
+    let mut out = String::new();
+    for (si, stratum_rules) in strat.strata.iter().enumerate() {
+        let stratum_preds: BTreeSet<&str> = stratum_rules
+            .iter()
+            .map(|&ri| program.rules[ri].head.pred.as_str())
+            .collect();
+        let _ = writeln!(out, "stratum {si}:");
+        for &ri in stratum_rules {
+            let rule = &program.rules[ri];
+            let _ = writeln!(out, "  rule {}: {}", ri + 1, rule);
+            if rule.body.iter().all(|l| l.is_negative()) && rule.body.is_empty() {
+                // Facts have no joins; the emit line still shows.
+            }
+            let _ = writeln!(out, "    plan [full]:");
+            render_plan(rule, &compile_rule(rule, None), &mut out);
+            for (pos, lit) in rule.body.iter().enumerate() {
+                if lit.is_negative() || !stratum_preds.contains(lit.atom().pred.as_str()) {
+                    continue;
+                }
+                let _ = writeln!(out, "    plan [Δ {} @ body {}]:", lit.atom().pred, pos + 1);
+                render_plan(rule, &compile_rule(rule, Some(pos)), &mut out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn constants_pull_literal_forward() {
+        // C(p, c) has 0 bound columns; P("1.2.3.4", p) has 1 — the plan
+        // must reorder to probe P first even though C is written first.
+        let program = parse_program(r#"Cost(c) :- C(p, c), P("1.2.3.4", p)."#).unwrap();
+        let plan = compile_rule(&program.rules[0], None);
+        assert_eq!(plan.steps.len(), 2);
+        assert_eq!(plan.steps[0].lit_pos, 1, "P literal first");
+        assert_eq!(plan.steps[0].bound_cols, 1);
+        assert_eq!(plan.steps[1].lit_pos, 0);
+        assert_eq!(plan.steps[1].bound_cols, 1, "p is bound by step 1");
+    }
+
+    #[test]
+    fn delta_literal_is_forced_first() {
+        let program = parse_program("R(a, b) :- E(a, c), R(c, b).").unwrap();
+        let plan = compile_rule(&program.rules[0], Some(1));
+        assert_eq!(plan.steps[0].lit_pos, 1);
+        assert!(plan.steps[0].is_delta);
+        // E(a, c) then probes with c bound.
+        assert_eq!(plan.steps[1].lit_pos, 0);
+        assert_eq!(plan.steps[1].bound_cols, 1);
+    }
+
+    #[test]
+    fn comparisons_push_to_earliest_step() {
+        let program = parse_program("Q(a) :- E(a, c), F(c, d), a != 0, d < 9, 1 < 2.").unwrap();
+        let plan = compile_rule(&program.rules[0], None);
+        // `1 < 2` has no variables: initial. `a != 0` binds at step 0
+        // (E binds a, c); `d < 9` waits for F.
+        assert_eq!(plan.initial_comparisons, vec![2]);
+        assert_eq!(plan.steps[0].comparisons, vec![0]);
+        assert_eq!(plan.steps[1].comparisons, vec![1]);
+    }
+
+    #[test]
+    fn negations_follow_joins() {
+        let program = parse_program("Open(a) :- N(a), !Block(a).").unwrap();
+        let plan = compile_rule(&program.rules[0], None);
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.negations, vec![1]);
+    }
+
+    #[test]
+    fn cache_hits_on_reuse() {
+        let program = parse_program("R(a, b) :- E(a, c), R(c, b).").unwrap();
+        let mut cache = PlanCache::new();
+        let rule = &program.rules[0];
+        cache.get_or_compile(0, rule, Some(1));
+        cache.get_or_compile(0, rule, Some(1));
+        cache.get_or_compile(0, rule, None);
+        assert_eq!(cache.misses, 2);
+        assert_eq!(cache.hits, 1);
+    }
+
+    #[test]
+    fn explain_renders_all_example_shapes() {
+        let program = parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n\
+             Open(a) :- R(a, b), !Block(b), a != 0.\n",
+        )
+        .unwrap();
+        let text = explain_program(&program).unwrap();
+        assert!(text.contains("stratum 0"), "{text}");
+        assert!(text.contains("plan [full]"), "{text}");
+        assert!(text.contains("plan [Δ R @ body 2]"), "{text}");
+        assert!(text.contains("scan Δ R(c, b)"), "{text}");
+        assert!(text.contains("negate !Block(b)"), "{text}");
+        assert!(text.contains("pushed down"), "{text}");
+    }
+}

@@ -19,6 +19,7 @@ use crate::value::Const;
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::term::Term;
 
@@ -312,7 +313,19 @@ impl Atom {
 /// `True` is the *empty condition* of the paper (the row is present in
 /// every world); `False` marks a contradictory row (pruned by the
 /// solver phase).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// Composite nodes (`Not` / `And` / `Or`) hold their children behind
+/// [`Arc`], so cloning a condition is O(1) regardless of its size and
+/// subtrees are **shared** between the conditions derived from them.
+/// This matters in the join inner loop: conjoining a body row's
+/// condition into a derived row's condition bumps a reference count
+/// instead of deep-copying the tree. Equality, hashing, and ordering
+/// all remain structural (they see through the `Arc`).
+///
+/// The derived [`Ord`] is a total *structural* order; it has no
+/// semantic meaning but gives canonicalisation a collision-free sort
+/// key (see `faure_core::eval::canonicalize`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum Condition {
     /// Always true (empty condition).
     True,
@@ -321,14 +334,39 @@ pub enum Condition {
     /// An atomic comparison.
     Atom(Atom),
     /// Negation.
-    Not(Box<Condition>),
+    Not(Arc<Condition>),
     /// Conjunction (empty = true).
-    And(Vec<Condition>),
+    And(Arc<Vec<Condition>>),
     /// Disjunction (empty = false).
-    Or(Vec<Condition>),
+    Or(Arc<Vec<Condition>>),
 }
 
 impl Condition {
+    /// Raw conjunction node over `children` (no flattening or
+    /// constant folding; use [`Condition::and`] / [`Condition::all`]
+    /// for the smart constructors).
+    pub fn conj(children: Vec<Condition>) -> Condition {
+        Condition::And(Arc::new(children))
+    }
+
+    /// Raw disjunction node over `children` (no flattening or
+    /// constant folding; use [`Condition::or`] / [`Condition::any`]
+    /// for the smart constructors).
+    pub fn disj(children: Vec<Condition>) -> Condition {
+        Condition::Or(Arc::new(children))
+    }
+
+    /// Takes ownership of a shared child vector, cloning the vector
+    /// only when other references to it exist (and then only
+    /// shallowly — the children themselves are `Arc`-cheap).
+    pub fn take_children(cs: Arc<Vec<Condition>>) -> Vec<Condition> {
+        Arc::try_unwrap(cs).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Takes ownership of a shared `Not` child.
+    pub fn take_inner(c: Arc<Condition>) -> Condition {
+        Arc::try_unwrap(c).unwrap_or_else(|shared| (*shared).clone())
+    }
     /// Shorthand for an equality atom between two terms.
     pub fn eq(lhs: impl Into<Expr>, rhs: impl Into<Expr>) -> Self {
         Condition::Atom(Atom::new(lhs, CmpOp::Eq, rhs))
@@ -351,18 +389,18 @@ impl Condition {
             (Condition::False, _) | (_, Condition::False) => Condition::False,
             (Condition::True, c) | (c, Condition::True) => c,
             (Condition::And(mut a), Condition::And(b)) => {
-                a.extend(b);
+                Arc::make_mut(&mut a).extend(Condition::take_children(b));
                 Condition::And(a)
             }
             (Condition::And(mut a), c) => {
-                a.push(c);
+                Arc::make_mut(&mut a).push(c);
                 Condition::And(a)
             }
             (c, Condition::And(mut b)) => {
-                b.insert(0, c);
+                Arc::make_mut(&mut b).insert(0, c);
                 Condition::And(b)
             }
-            (a, b) => Condition::And(vec![a, b]),
+            (a, b) => Condition::conj(vec![a, b]),
         }
     }
 
@@ -373,18 +411,18 @@ impl Condition {
             (Condition::True, _) | (_, Condition::True) => Condition::True,
             (Condition::False, c) | (c, Condition::False) => c,
             (Condition::Or(mut a), Condition::Or(b)) => {
-                a.extend(b);
+                Arc::make_mut(&mut a).extend(Condition::take_children(b));
                 Condition::Or(a)
             }
             (Condition::Or(mut a), c) => {
-                a.push(c);
+                Arc::make_mut(&mut a).push(c);
                 Condition::Or(a)
             }
             (c, Condition::Or(mut b)) => {
-                b.insert(0, c);
+                Arc::make_mut(&mut b).insert(0, c);
                 Condition::Or(b)
             }
-            (a, b) => Condition::Or(vec![a, b]),
+            (a, b) => Condition::disj(vec![a, b]),
         }
     }
 
@@ -394,13 +432,13 @@ impl Condition {
         match self {
             Condition::True => Condition::False,
             Condition::False => Condition::True,
-            Condition::Not(inner) => *inner,
+            Condition::Not(inner) => Condition::take_inner(inner),
             Condition::Atom(a) => Condition::Atom(Atom {
                 lhs: a.lhs,
                 op: a.op.negated(),
                 rhs: a.rhs,
             }),
-            other => Condition::Not(Box::new(other)),
+            other => Condition::Not(Arc::new(other)),
         }
     }
 
@@ -424,7 +462,7 @@ impl Condition {
             Condition::Atom(a) => a.eval(lookup),
             Condition::Not(c) => c.eval(lookup).map(|b| !b),
             Condition::And(cs) => {
-                for c in cs {
+                for c in cs.iter() {
                     if !c.eval(lookup)? {
                         return Some(false);
                     }
@@ -432,7 +470,7 @@ impl Condition {
                 Some(true)
             }
             Condition::Or(cs) => {
-                for c in cs {
+                for c in cs.iter() {
                     if c.eval(lookup)? {
                         return Some(true);
                     }
@@ -456,7 +494,7 @@ impl Condition {
             Condition::Atom(a) => a.cvars(out),
             Condition::Not(c) => c.collect_cvars(out),
             Condition::And(cs) | Condition::Or(cs) => {
-                for c in cs {
+                for c in cs.iter() {
                     c.collect_cvars(out);
                 }
             }
@@ -642,7 +680,7 @@ mod tests {
         let b = Condition::eq(Term::Var(y), Term::int(1));
         let c = Condition::eq(Term::Var(z), Term::int(1));
         let all = a.clone().and(b.clone()).and(c.clone());
-        assert_eq!(all, Condition::And(vec![a, b, c]));
+        assert_eq!(all, Condition::conj(vec![a, b, c]));
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn convert(cond: &Condition, negate: bool) -> Nnf {
 mod tests {
     use super::*;
     use faure_ctable::{CVarRegistry, CmpOp, Condition, Domain, Term};
+    use std::sync::Arc;
 
     fn atom(x: faure_ctable::CVarId, op: CmpOp, v: i64) -> Condition {
         Condition::cmp(Term::Var(x), op, Term::int(v))
@@ -87,7 +88,7 @@ mod tests {
     fn double_negation() {
         let mut reg = CVarRegistry::new();
         let x = reg.fresh("x", Domain::Bool01);
-        let c = Condition::Not(Box::new(Condition::Not(Box::new(atom(x, CmpOp::Lt, 1)))));
+        let c = Condition::Not(Arc::new(Condition::Not(Arc::new(atom(x, CmpOp::Lt, 1)))));
         assert_eq!(
             to_nnf(&c),
             Nnf::Atom(faure_ctable::Atom::new(
@@ -102,7 +103,7 @@ mod tests {
     fn constants_flip() {
         assert_eq!(to_nnf(&Condition::True.negate()), Nnf::False);
         assert_eq!(
-            to_nnf(&Condition::Not(Box::new(Condition::Or(vec![])))),
+            to_nnf(&Condition::Not(Arc::new(Condition::disj(vec![])))),
             Nnf::And(vec![])
         );
     }

@@ -4,12 +4,28 @@
 //! separately from the relational ("SQL") phase, mirroring the paper's
 //! `sql` / `Z3` columns. [`Session`] wraps the solver entry points and
 //! accumulates call counts and wall-clock time.
+//!
+//! The session also memoises solver results keyed by the (canonical)
+//! condition. Fixpoint evaluation re-derives the same tuples — and
+//! therefore the same conditions — across iterations; phase-3 pruning
+//! would otherwise re-solve each of them from scratch every round. The
+//! memo is sound because c-variable registries are append-only within a
+//! session: a condition only mentions variables that existed when it
+//! was built, so growing the registry never changes its status. A
+//! session must not be reused across *distinct* registries (the
+//! pipeline creates one session per evaluation run).
 
 use crate::error::SolverError;
 use crate::search;
 use crate::simplify;
 use faure_ctable::{Assignment, CVarRegistry, Condition};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Upper bound on memo entries (per kind). Past this the session keeps
+/// answering queries but stops caching new conditions, bounding memory
+/// on adversarial workloads.
+const MEMO_CAP: usize = 1 << 16;
 
 /// Accumulated solver statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -20,21 +36,41 @@ pub struct SolverStats {
     pub sat_true: u64,
     /// Number of `simplify_pruned` invocations.
     pub simplify_calls: u64,
+    /// Queries answered from the session memo (no solver work).
+    pub memo_hits: u64,
+    /// Queries that missed the memo and ran the solver.
+    pub memo_misses: u64,
     /// Total wall-clock time inside the solver.
     pub time: Duration,
 }
 
-/// A solver session: entry points plus accumulated statistics.
+impl SolverStats {
+    /// Fraction of memoisable queries answered from the memo, in
+    /// `[0, 1]`; `0.0` when no queries were issued.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A solver session: entry points plus accumulated statistics and a
+/// condition-keyed memo (see module docs for the soundness argument).
 ///
 /// Sessions are cheap; the evaluation pipeline creates one per query
 /// run and folds its stats into the run report.
 #[derive(Debug, Default)]
 pub struct Session {
     stats: SolverStats,
+    sat_memo: HashMap<Condition, bool>,
+    simplify_memo: HashMap<Condition, Condition>,
 }
 
 impl Session {
-    /// A fresh session with zeroed stats.
+    /// A fresh session with zeroed stats and an empty memo.
     pub fn new() -> Self {
         Self::default()
     }
@@ -44,28 +80,45 @@ impl Session {
         self.stats
     }
 
-    /// Resets statistics to zero.
+    /// Resets statistics to zero and clears the memo (required before
+    /// reusing a session with a different registry).
     pub fn reset(&mut self) {
         self.stats = SolverStats::default();
+        self.sat_memo.clear();
+        self.simplify_memo.clear();
     }
 
-    /// Satisfiability with stats accounting.
+    /// Satisfiability with stats accounting and memoisation.
     pub fn satisfiable(
         &mut self,
         reg: &CVarRegistry,
         cond: &Condition,
     ) -> Result<bool, SolverError> {
+        self.stats.sat_calls += 1;
+        if let Some(&hit) = self.sat_memo.get(cond) {
+            self.stats.memo_hits += 1;
+            if hit {
+                self.stats.sat_true += 1;
+            }
+            return Ok(hit);
+        }
+        self.stats.memo_misses += 1;
         let start = Instant::now();
         let out = search::satisfiable(reg, cond);
         self.stats.time += start.elapsed();
-        self.stats.sat_calls += 1;
-        if let Ok(true) = out {
-            self.stats.sat_true += 1;
+        if let Ok(sat) = out {
+            if sat {
+                self.stats.sat_true += 1;
+            }
+            if self.sat_memo.len() < MEMO_CAP {
+                self.sat_memo.insert(cond.clone(), sat);
+            }
         }
         out
     }
 
-    /// Model search with stats accounting.
+    /// Model search with stats accounting (not memoised: models are
+    /// only requested for explanation paths, not hot loops).
     pub fn find_model(
         &mut self,
         reg: &CVarRegistry,
@@ -81,24 +134,38 @@ impl Session {
         out
     }
 
-    /// Solver-backed simplification with stats accounting.
+    /// Solver-backed simplification with stats accounting and
+    /// memoisation.
     pub fn simplify_pruned(
         &mut self,
         reg: &CVarRegistry,
         cond: &Condition,
     ) -> Result<Condition, SolverError> {
+        self.stats.simplify_calls += 1;
+        if let Some(hit) = self.simplify_memo.get(cond) {
+            self.stats.memo_hits += 1;
+            return Ok(hit.clone());
+        }
+        self.stats.memo_misses += 1;
         let start = Instant::now();
         let out = simplify::simplify_pruned(reg, cond);
         self.stats.time += start.elapsed();
-        self.stats.simplify_calls += 1;
+        if let Ok(simplified) = &out {
+            if self.simplify_memo.len() < MEMO_CAP {
+                self.simplify_memo.insert(cond.clone(), simplified.clone());
+            }
+        }
         out
     }
 
-    /// Merges another session's stats into this one.
+    /// Merges another session's stats into this one (memo entries are
+    /// not transferred — they may come from a different registry).
     pub fn absorb(&mut self, other: &Session) {
         self.stats.sat_calls += other.stats.sat_calls;
         self.stats.sat_true += other.stats.sat_true;
         self.stats.simplify_calls += other.stats.simplify_calls;
+        self.stats.memo_hits += other.stats.memo_hits;
+        self.stats.memo_misses += other.stats.memo_misses;
         self.stats.time += other.stats.time;
     }
 }
@@ -135,5 +202,51 @@ mod tests {
         b.satisfiable(&reg, &c).unwrap();
         a.absorb(&b);
         assert_eq!(a.stats().sat_calls, 2);
+    }
+
+    #[test]
+    fn memo_hits_repeat_queries() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let mut s = Session::new();
+        let c = Condition::eq(Term::Var(x), Term::int(1));
+        assert!(s.satisfiable(&reg, &c).unwrap());
+        assert!(s.satisfiable(&reg, &c).unwrap());
+        assert!(s.satisfiable(&reg, &c).unwrap());
+        let st = s.stats();
+        assert_eq!(st.sat_calls, 3);
+        assert_eq!(st.sat_true, 3);
+        assert_eq!(st.memo_misses, 1);
+        assert_eq!(st.memo_hits, 2);
+        assert!(st.memo_hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn memo_hits_repeat_simplify() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let mut s = Session::new();
+        let c = Condition::eq(Term::Var(x), Term::int(0))
+            .and(Condition::eq(Term::Var(x), Term::int(1)));
+        let first = s.simplify_pruned(&reg, &c).unwrap();
+        let second = s.simplify_pruned(&reg, &c).unwrap();
+        assert_eq!(first, Condition::False);
+        assert_eq!(first, second);
+        let st = s.stats();
+        assert_eq!(st.simplify_calls, 2);
+        assert!(st.memo_hits >= 1);
+    }
+
+    #[test]
+    fn reset_clears_memo() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let mut s = Session::new();
+        let c = Condition::eq(Term::Var(x), Term::int(1));
+        s.satisfiable(&reg, &c).unwrap();
+        s.reset();
+        s.satisfiable(&reg, &c).unwrap();
+        assert_eq!(s.stats().memo_hits, 0);
+        assert_eq!(s.stats().memo_misses, 1);
     }
 }

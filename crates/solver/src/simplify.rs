@@ -41,12 +41,12 @@ pub fn simplify(cond: &Condition) -> Condition {
         Condition::Not(inner) => simplify(inner).negate(),
         Condition::And(cs) => {
             let mut out: Vec<Condition> = Vec::with_capacity(cs.len());
-            for c in cs {
+            for c in cs.iter() {
                 match simplify(c) {
                     Condition::True => {}
                     Condition::False => return Condition::False,
                     Condition::And(nested) => {
-                        for n in nested {
+                        for n in Condition::take_children(nested) {
                             if !out.contains(&n) {
                                 out.push(n);
                             }
@@ -62,17 +62,17 @@ pub fn simplify(cond: &Condition) -> Condition {
             match out.len() {
                 0 => Condition::True,
                 1 => out.pop().expect("len checked"),
-                _ => Condition::And(out),
+                _ => Condition::conj(out),
             }
         }
         Condition::Or(cs) => {
             let mut out: Vec<Condition> = Vec::with_capacity(cs.len());
-            for c in cs {
+            for c in cs.iter() {
                 match simplify(c) {
                     Condition::False => {}
                     Condition::True => return Condition::True,
                     Condition::Or(nested) => {
-                        for n in nested {
+                        for n in Condition::take_children(nested) {
                             if !out.contains(&n) {
                                 out.push(n);
                             }
@@ -88,7 +88,7 @@ pub fn simplify(cond: &Condition) -> Condition {
             match out.len() {
                 0 => Condition::False,
                 1 => out.pop().expect("len checked"),
-                _ => Condition::Or(out),
+                _ => Condition::disj(out),
             }
         }
     }
@@ -136,7 +136,7 @@ pub fn simplify_pruned(reg: &CVarRegistry, cond: &Condition) -> Result<Condition
     }
     if let Condition::Or(branches) = &s {
         let mut kept = Vec::with_capacity(branches.len());
-        for b in branches {
+        for b in branches.iter() {
             if satisfiable(reg, b)? {
                 kept.push(b.clone());
             }
@@ -145,7 +145,7 @@ pub fn simplify_pruned(reg: &CVarRegistry, cond: &Condition) -> Result<Condition
             return Ok(kept.pop().expect("len checked"));
         }
         if kept.len() != branches.len() {
-            return Ok(Condition::Or(kept));
+            return Ok(Condition::disj(kept));
         }
     }
     Ok(s)
@@ -173,9 +173,9 @@ mod tests {
         let mut reg = CVarRegistry::new();
         let x = reg.fresh("x", Domain::Bool01);
         let a = Condition::eq(Term::Var(x), Term::int(1));
-        let c = Condition::And(vec![
+        let c = Condition::conj(vec![
             a.clone(),
-            Condition::And(vec![a.clone(), Condition::True]),
+            Condition::conj(vec![a.clone(), Condition::True]),
         ]);
         assert_eq!(simplify(&c), a);
     }

@@ -62,8 +62,8 @@ fn arb_condition() -> impl Strategy<Value = Condition> {
     let leaf = prop_oneof![Just(Condition::True), Just(Condition::False), arb_atom(),];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Condition::And),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Condition::Or),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Condition::conj),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Condition::disj),
             inner.prop_map(|c| c.negate()),
         ]
     })

@@ -115,7 +115,56 @@ pub fn antichain_insert(sets: &mut Vec<AtomSet>, new: AtomSet) -> bool {
 /// keeps the structural form). `Some(vec![])` means *false*;
 /// `Some(vec![{}])` means *true*.
 pub fn to_min_dnf(cond: &Condition, budget: usize) -> Option<Vec<AtomSet>> {
+    // Fast path: derived-row conditions are overwhelmingly flat
+    // conjunctions of atoms; build their single atom-set directly
+    // instead of running the general distribute-and-minimise product.
+    if let Some(sets) = conjunction_fast_path(cond) {
+        return Some(sets);
+    }
     convert(cond, false, budget)
+}
+
+/// Collects the atoms of a pure conjunction (`True`, an atom, or `And`
+/// nests thereof), folding ground atoms. Returns `false` on any other
+/// shape, or when a ground-false atom makes the conjunction false
+/// (flagged via the `dead` out-parameter).
+fn collect_conj_atoms(cond: &Condition, set: &mut AtomSet, dead: &mut bool) -> bool {
+    match cond {
+        Condition::True => true,
+        Condition::Atom(a) => {
+            match fold_atom(a) {
+                FoldedAtom::True => {}
+                FoldedAtom::False => *dead = true,
+                FoldedAtom::Keep(a) => {
+                    set.insert(a);
+                }
+            }
+            true
+        }
+        Condition::And(cs) => cs.iter().all(|c| *dead || collect_conj_atoms(c, set, dead)),
+        _ => false,
+    }
+}
+
+/// The single-set DNF of a pure conjunction, or `None` when `cond` is
+/// not one. Matches `convert` exactly: ground atoms fold, and a
+/// directly contradictory set means *false*.
+fn conjunction_fast_path(cond: &Condition) -> Option<Vec<AtomSet>> {
+    if matches!(cond, Condition::Atom(_) | Condition::True) {
+        // Tiny shapes: let the general code handle them (no product
+        // machinery is involved anyway).
+    } else if !matches!(cond, Condition::And(_)) {
+        return None;
+    }
+    let mut set = AtomSet::new();
+    let mut dead = false;
+    if !collect_conj_atoms(cond, &mut set, &mut dead) {
+        return None;
+    }
+    if dead || set_contradictory(&set) {
+        return Some(Vec::new());
+    }
+    Some(vec![set])
 }
 
 fn convert(cond: &Condition, negate: bool, budget: usize) -> Option<Vec<AtomSet>> {
@@ -142,7 +191,7 @@ fn convert(cond: &Condition, negate: bool, budget: usize) -> Option<Vec<AtomSet>
         (Condition::And(cs), false) | (Condition::Or(cs), true) => {
             // Product of the children's DNFs.
             let mut acc: Vec<AtomSet> = vec![AtomSet::new()];
-            for c in cs {
+            for c in cs.iter() {
                 let child = convert(c, negate, budget)?;
                 let mut next: Vec<AtomSet> = Vec::new();
                 for a in &acc {
@@ -167,7 +216,7 @@ fn convert(cond: &Condition, negate: bool, budget: usize) -> Option<Vec<AtomSet>
         }
         (Condition::Or(cs), false) | (Condition::And(cs), true) => {
             let mut acc: Vec<AtomSet> = Vec::new();
-            for c in cs {
+            for c in cs.iter() {
                 for set in convert(c, negate, budget)? {
                     antichain_insert(&mut acc, set);
                     if acc.len() > budget {
@@ -195,13 +244,13 @@ pub fn condition_of(sets: &[AtomSet]) -> Condition {
         disjuncts.push(if conj.len() == 1 {
             conj.into_iter().next().expect("len checked")
         } else {
-            Condition::And(conj)
+            Condition::conj(conj)
         });
     }
     if disjuncts.len() == 1 {
         disjuncts.pop().expect("len checked")
     } else {
-        Condition::Or(disjuncts)
+        Condition::disj(disjuncts)
     }
 }
 

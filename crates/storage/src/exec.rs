@@ -1,0 +1,162 @@
+//! Physical execution operators over [`Table`].
+//!
+//! The evaluation engine in `faure-core` compiles each rule into a
+//! *logical* plan (join order, delta slot, comparison pushdown) once
+//! per stratum; this module supplies the *physical* side executed every
+//! fixpoint iteration:
+//!
+//! * [`probe`] — pattern matching against a table, routed through the
+//!   most selective column index (or a delta scan when the table is an
+//!   iteration delta);
+//! * [`CondAcc`] — the condition-conjoining join: instead of rebuilding
+//!   a flattened `And` on every nesting level (which re-allocates the
+//!   child vector per joined row), fragments are pushed onto a stack
+//!   and materialised into a single conjunction only when a binding
+//!   survives to the head;
+//! * [`OpStats`] — per-operator row/condition counters threaded into
+//!   [`crate::PhaseStats`] so benches and `explain`-style tooling can
+//!   see where relational time goes.
+
+use crate::table::{Pattern, Table};
+use faure_ctable::{CVarRegistry, Condition};
+
+/// Per-operator execution counters for one evaluation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Pattern-match operator invocations (index probe or scan).
+    pub probes: u64,
+    /// Rows returned by probes (matches, before comparison filtering).
+    pub rows_matched: u64,
+    /// Condition fragments conjoined by the join operator.
+    pub conds_conjoined: u64,
+    /// Join branches cut by a pushed-down comparison that evaluated to
+    /// ground-false before the remaining literals were joined.
+    pub cmp_pruned: u64,
+    /// Negation checks performed (one per negated literal per binding).
+    pub neg_checks: u64,
+}
+
+impl OpStats {
+    /// Folds another counter record into this one.
+    pub fn absorb(&mut self, other: &OpStats) {
+        self.probes += other.probes;
+        self.rows_matched += other.rows_matched;
+        self.conds_conjoined += other.conds_conjoined;
+        self.cmp_pruned += other.cmp_pruned;
+        self.neg_checks += other.neg_checks;
+    }
+}
+
+/// Pattern-match operator: finds all rows of `table` matching `pats`,
+/// counting the probe and its result size. `table` may be a full
+/// relation (index probe) or an iteration delta (delta scan) — the
+/// distinction lives in the logical plan; physically both route through
+/// the table's most selective column index.
+pub fn probe(
+    table: &Table,
+    reg: &CVarRegistry,
+    pats: &[Pattern],
+    ops: &mut OpStats,
+) -> Vec<(usize, Condition)> {
+    ops.probes += 1;
+    let matches = table.find_matches(reg, pats);
+    ops.rows_matched += matches.len() as u64;
+    matches
+}
+
+/// Condition accumulator for the conjoining join.
+///
+/// Join recursion pushes fragments (row conditions, match conditions
+/// `μ`, pushed-down comparison atoms) as it descends and truncates back
+/// to a [`mark`](CondAcc::mark) when it backtracks; the full
+/// conjunction is only materialised at the leaf. Row conditions are
+/// `Arc`-backed, so each push is O(1) — the old code paid a flattened
+/// `And`-vector rebuild per nesting level per row.
+#[derive(Debug, Default)]
+pub struct CondAcc {
+    parts: Vec<Condition>,
+}
+
+impl CondAcc {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a fragment; `True` is skipped. Returns `false` when the
+    /// fragment is `False` (the branch is dead and the caller should
+    /// backtrack — the fragment is *not* pushed).
+    pub fn push(&mut self, c: Condition, ops: &mut OpStats) -> bool {
+        match c {
+            Condition::True => true,
+            Condition::False => false,
+            other => {
+                ops.conds_conjoined += 1;
+                self.parts.push(other);
+                true
+            }
+        }
+    }
+
+    /// Current stack depth, for later [`truncate`](CondAcc::truncate).
+    pub fn mark(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Backtracks to a previous [`mark`](CondAcc::mark).
+    pub fn truncate(&mut self, mark: usize) {
+        self.parts.truncate(mark);
+    }
+
+    /// Materialises the conjunction of all pushed fragments.
+    pub fn materialize(&self) -> Condition {
+        match self.parts.len() {
+            0 => Condition::True,
+            1 => self.parts[0].clone(),
+            _ => Condition::conj(self.parts.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_ctable::{CTuple, Schema, Term};
+
+    #[test]
+    fn probe_counts_rows() {
+        let reg = CVarRegistry::new();
+        let mut t = Table::new(Schema::new("E", &["a", "b"]));
+        for i in 0..5 {
+            t.insert(CTuple::new([Term::int(i % 2), Term::int(i)]));
+        }
+        let mut ops = OpStats::default();
+        let m = probe(
+            &t,
+            &reg,
+            &[Pattern::Exact(Term::int(0)), Pattern::Any],
+            &mut ops,
+        );
+        assert_eq!(m.len(), 3);
+        assert_eq!(ops.probes, 1);
+        assert_eq!(ops.rows_matched, 3);
+    }
+
+    #[test]
+    fn acc_materializes_and_backtracks() {
+        let mut ops = OpStats::default();
+        let mut acc = CondAcc::new();
+        let a = Condition::eq(Term::int(1), Term::int(1));
+        let b = Condition::ne(Term::int(1), Term::int(2));
+        assert!(acc.push(Condition::True, &mut ops));
+        assert_eq!(acc.materialize(), Condition::True);
+        assert!(acc.push(a.clone(), &mut ops));
+        let mark = acc.mark();
+        assert!(acc.push(b.clone(), &mut ops));
+        assert_eq!(acc.materialize(), Condition::conj(vec![a.clone(), b]));
+        acc.truncate(mark);
+        assert_eq!(acc.materialize(), a);
+        assert!(!acc.push(Condition::False, &mut ops));
+        assert_eq!(ops.conds_conjoined, 2);
+    }
+}

@@ -33,10 +33,12 @@
 #![warn(missing_docs)]
 
 pub mod dnf;
+pub mod exec;
 pub mod ops;
 pub mod pipeline;
 pub mod sql;
 pub mod table;
 
+pub use exec::{CondAcc, OpStats};
 pub use pipeline::PhaseStats;
 pub use table::{InsertOutcome, Pattern, Table};

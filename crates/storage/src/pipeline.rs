@@ -4,13 +4,16 @@
 //! SQL phases (data generation + condition updates) and the time spent
 //! in Z3 (pruning contradictory rows) separately. [`PhaseStats`] is the
 //! accumulator threaded through evaluation so the bench harness can
-//! print the same columns.
+//! print the same columns — plus, since the plan-compilation refactor,
+//! per-operator row/condition counters, per-iteration delta sizes, and
+//! plan-cache hit counters.
 
+use crate::exec::OpStats;
 use faure_solver::session::SolverStats;
 use std::time::Duration;
 
 /// Accumulated per-phase statistics for one query evaluation.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PhaseStats {
     /// Time in the relational phases: pattern matching, joins, and
     /// condition construction (the paper's "sql" column).
@@ -24,6 +27,20 @@ pub struct PhaseStats {
     pub pruned: usize,
     /// Fine-grained solver counters.
     pub solver_stats: SolverStats,
+    /// Per-operator execution counters (probes, matches, conjoined
+    /// conditions, comparison-pruned branches, negation checks).
+    pub ops: OpStats,
+    /// Total delta rows after each semi-naive fixpoint iteration,
+    /// summed over the stratum's predicates. Iteration 0 is the seed
+    /// pass over the full tables; the list ends with the emptying
+    /// iteration omitted (a fixpoint is reached when the delta is
+    /// empty).
+    pub delta_sizes: Vec<usize>,
+    /// Rule plans served from the per-evaluation plan cache (compiled
+    /// once per `(rule, delta slot)`, executed every iteration).
+    pub plan_cache_hits: u64,
+    /// Rule plans compiled because no cached plan existed.
+    pub plan_cache_misses: u64,
 }
 
 impl PhaseStats {
@@ -41,7 +58,13 @@ impl PhaseStats {
         self.solver_stats.sat_calls += other.solver_stats.sat_calls;
         self.solver_stats.sat_true += other.solver_stats.sat_true;
         self.solver_stats.simplify_calls += other.solver_stats.simplify_calls;
+        self.solver_stats.memo_hits += other.solver_stats.memo_hits;
+        self.solver_stats.memo_misses += other.solver_stats.memo_misses;
         self.solver_stats.time += other.solver_stats.time;
+        self.ops.absorb(&other.ops);
+        self.delta_sizes.extend_from_slice(&other.delta_sizes);
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
     }
 
     /// Total wall-clock time (relational + solver).
@@ -61,14 +84,20 @@ mod tests {
             solver: Duration::from_millis(5),
             tuples: 3,
             pruned: 1,
-            solver_stats: SolverStats::default(),
+            delta_sizes: vec![4],
+            plan_cache_hits: 2,
+            plan_cache_misses: 1,
+            ..PhaseStats::default()
         };
         let b = PhaseStats {
             relational: Duration::from_millis(20),
             solver: Duration::from_millis(15),
             tuples: 7,
             pruned: 2,
-            solver_stats: SolverStats::default(),
+            delta_sizes: vec![9, 1],
+            plan_cache_hits: 3,
+            plan_cache_misses: 1,
+            ..PhaseStats::default()
         };
         a.absorb(&b);
         assert_eq!(a.relational, Duration::from_millis(30));
@@ -76,5 +105,8 @@ mod tests {
         assert_eq!(a.tuples, 10);
         assert_eq!(a.pruned, 3);
         assert_eq!(a.total(), Duration::from_millis(50));
+        assert_eq!(a.delta_sizes, vec![4, 9, 1]);
+        assert_eq!(a.plan_cache_hits, 5);
+        assert_eq!(a.plan_cache_misses, 2);
     }
 }

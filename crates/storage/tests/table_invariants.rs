@@ -62,8 +62,8 @@ fn arb_cond() -> impl Strategy<Value = Condition> {
     let leaf = prop_oneof![Just(Condition::True), atom];
     leaf.prop_recursive(2, 8, 3, |inner| {
         prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Condition::And),
-            prop::collection::vec(inner, 1..3).prop_map(Condition::Or),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Condition::conj),
+            prop::collection::vec(inner, 1..3).prop_map(Condition::disj),
         ]
     })
 }

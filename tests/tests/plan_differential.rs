@@ -1,0 +1,230 @@
+//! Differential testing of the plan-compiled evaluator.
+//!
+//! The planning layer (`faure_core::plan`) reorders joins, forces delta
+//! slots, and pushes comparisons down — none of which may change *what*
+//! is derived. These properties pin that down from two directions:
+//!
+//! 1. **World-equivalence** (the paper's §4 loss-lessness, reused as a
+//!    differential oracle): plan-compiled evaluation over the c-table
+//!    must instantiate, in every possible world, to exactly what the
+//!    independent ground evaluator (`faure_core::reference`) computes
+//!    in that world — on *random* programs including recursive,
+//!    non-linear-recursive, and negated rules over random databases.
+//! 2. **Permutation invariance**: writing the same rule body in a
+//!    different textual order must yield the identical relation (same
+//!    tuples, same canonical conditions), because the planner re-orders
+//!    literals by selectivity regardless of source order.
+//!
+//! Plus structural invariants on every compiled plan: each body literal
+//! executes exactly once, each comparison is evaluated exactly once,
+//! and a delta slot is always step 0.
+
+use faure_core::{compile_rule, evaluate, parse_program, Program, Rule};
+use faure_ctable::{CTuple, Condition, Const, Database, Domain, Schema, Term};
+use faure_tests::assert_lossless;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------------
+
+/// A small random database over E(a, b) and B(x) with two c-variables
+/// ranging over {0, 1, 2} (so every instance has 9 possible worlds).
+fn arb_db() -> impl Strategy<Value = Database> {
+    let cell = 0usize..5;
+    let cond = 0usize..5;
+    let e_rows = prop::collection::vec((cell.clone(), cell.clone(), cond.clone()), 1..6);
+    let b_rows = prop::collection::vec((cell, cond), 0..3);
+    (e_rows, b_rows).prop_map(|(e_rows, b_rows)| {
+        let mut db = Database::new();
+        let v0 = db.fresh_cvar("v0", Domain::Ints(vec![0, 1, 2]));
+        let v1 = db.fresh_cvar("v1", Domain::Ints(vec![0, 1, 2]));
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        db.create_relation(Schema::new("B", &["x"])).unwrap();
+        let mk_cell = |code: usize| match code {
+            0..=2 => Term::Const(Const::Int(code as i64)),
+            3 => Term::Var(v0),
+            _ => Term::Var(v1),
+        };
+        let mk_cond = |code: usize| match code {
+            0 => Condition::True,
+            1 => Condition::eq(Term::Var(v0), Term::int(1)),
+            2 => Condition::ne(Term::Var(v0), Term::int(0)),
+            3 => Condition::eq(Term::Var(v1), Term::int(1)),
+            _ => Condition::eq(Term::Var(v0), Term::int(1))
+                .and(Condition::ne(Term::Var(v1), Term::int(0))),
+        };
+        for (a, b, c) in e_rows {
+            db.insert("E", CTuple::with_cond([mk_cell(a), mk_cell(b)], mk_cond(c)))
+                .unwrap();
+        }
+        for (x, c) in b_rows {
+            db.insert("B", CTuple::with_cond([mk_cell(x)], mk_cond(c)))
+                .unwrap();
+        }
+        // Use both c-variables somewhere so world enumeration covers
+        // them even when no row condition mentions them.
+        db.insert("E", CTuple::new([Term::Var(v0), Term::Var(v1)]))
+            .unwrap();
+        db
+    })
+}
+
+/// Random programs chosen to exercise every planner feature: join
+/// reordering (constants written last), linear and non-linear recursion
+/// (one and two delta slots per rule), stratified negation over both
+/// EDB and IDB predicates, rule-variable comparison pushdown, and
+/// c-variable-only comparisons (hoisted to initial filters).
+fn arb_program() -> impl Strategy<Value = Program> {
+    let k = 0i64..3;
+    prop_oneof![
+        // Reordering bait: the constant-bearing literal is written last.
+        k.clone()
+            .prop_map(|k| format!("Q(a, c) :- E(a, b), E(b, c), E({k}, a).\n")),
+        // Pushdown: `a != k` binds after the first joined literal.
+        k.clone()
+            .prop_map(|k| format!("Q(a, c) :- E(a, b), E(b, c), a != {k}, c < 2.\n")),
+        // Linear recursion — one delta slot.
+        Just("R(a, b) :- E(a, b).\nR(a, c) :- E(a, b), R(b, c).\n".to_string()),
+        // Non-linear recursion — two delta slots per iteration.
+        Just("R(a, b) :- E(a, b).\nR(a, c) :- R(a, b), R(b, c).\n".to_string()),
+        // Stratified negation over the recursive IDB.
+        Just(
+            "R(a, b) :- E(a, b).\n\
+             R(a, c) :- E(a, b), R(b, c).\n\
+             N(a) :- E(a, b).\n\
+             N(b) :- E(a, b).\n\
+             Cut(a, b) :- N(a), N(b), !R(a, b).\n"
+                .to_string()
+        ),
+        // Negation over EDB plus a unary join.
+        k.clone()
+            .prop_map(|k| format!("Q(a) :- E(a, b), B(b), !E(b, a), a != {k}.\n")),
+        // C-variable-only comparison: hoisted before any join.
+        k.prop_map(|k| format!("Q(a) :- E(a, b), $v0 + $v1 < {}.\n", k + 2)),
+    ]
+    .prop_map(|src| parse_program(&src).unwrap())
+}
+
+// ---------------------------------------------------------------------------
+// structural plan invariants
+// ---------------------------------------------------------------------------
+
+/// Every compiled plan must execute each body literal exactly once and
+/// each comparison exactly once, with any delta slot forced to step 0.
+fn assert_plan_invariants(rule: &Rule, delta_pos: Option<usize>) {
+    let plan = compile_rule(rule, delta_pos);
+    assert_eq!(plan.delta_pos, delta_pos);
+
+    let mut lits: Vec<usize> = plan.steps.iter().map(|s| s.lit_pos).collect();
+    lits.extend(&plan.negations);
+    lits.sort_unstable();
+    let all: Vec<usize> = (0..rule.body.len()).collect();
+    assert_eq!(lits, all, "each body literal appears exactly once\n{rule}");
+
+    let mut cmps: Vec<usize> = plan.initial_comparisons.clone();
+    for step in &plan.steps {
+        cmps.extend(&step.comparisons);
+    }
+    cmps.sort_unstable();
+    let all: Vec<usize> = (0..rule.comparisons.len()).collect();
+    assert_eq!(cmps, all, "each comparison evaluated exactly once\n{rule}");
+
+    if let Some(dp) = delta_pos {
+        assert!(plan.steps[0].is_delta, "delta slot is step 0\n{rule}");
+        assert_eq!(plan.steps[0].lit_pos, dp);
+        assert!(
+            plan.steps.iter().skip(1).all(|s| !s.is_delta),
+            "only one delta step\n{rule}"
+        );
+    } else {
+        assert!(plan.steps.iter().all(|s| !s.is_delta));
+    }
+}
+
+/// Snapshot of a derived relation: tuples plus canonical conditions,
+/// order-independent.
+fn relation_snapshot(out: &faure_core::EvalOutput, program: &Program) -> BTreeSet<String> {
+    let mut snap = BTreeSet::new();
+    for pred in program.idb_predicates() {
+        for row in out.relation(pred).expect("IDB relation exists").iter() {
+            snap.insert(format!("{pred}{:?} :- {:?}", row.terms, row.cond));
+        }
+    }
+    snap
+}
+
+// ---------------------------------------------------------------------------
+// properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Plan-compiled evaluation is world-equivalent to the independent
+    /// ground reference evaluator on random programs (recursive,
+    /// non-linear-recursive, negated) over random c-table databases.
+    #[test]
+    fn plans_are_world_equivalent_to_reference(db in arb_db(), program in arb_program()) {
+        let worlds = assert_lossless(&program, &db);
+        prop_assert_eq!(worlds, 9, "two {{0,1,2}} c-variables span 9 worlds");
+    }
+
+    /// Structural invariants hold for the full plan and every delta
+    /// variant of every generated rule.
+    #[test]
+    fn compiled_plans_cover_rules_exactly(program in arb_program()) {
+        for rule in &program.rules {
+            assert_plan_invariants(rule, None);
+            for (pos, lit) in rule.body.iter().enumerate() {
+                if !lit.is_negative() {
+                    assert_plan_invariants(rule, Some(pos));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// permutation invariance (deterministic)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn body_order_does_not_change_results() {
+    let (db, _) = faure_ctable::examples::table2_path_db();
+    // The same join written in all 3! literal orders (modulo the
+    // comparison, which the parser keeps separate anyway).
+    let orders = [
+        r#"Cost(c) :- P("1.2.3.4", p), C(p, c)."#,
+        r#"Cost(c) :- C(p, c), P("1.2.3.4", p)."#,
+    ];
+    let mut snaps = Vec::new();
+    for src in orders {
+        let program = parse_program(src).unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        snaps.push(relation_snapshot(&out, &program));
+    }
+    assert_eq!(snaps[0], snaps[1], "literal order must not matter");
+}
+
+#[test]
+fn recursive_body_order_does_not_change_results() {
+    let (db, _) = faure_net::frr::figure1_database();
+    let orders = [
+        "R(f, n1, n2) :- F(f, n1, n2).\n\
+         R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).\n",
+        "R(f, n1, n2) :- F(f, n1, n2).\n\
+         R(f, n1, n2) :- R(f, n3, n2), F(f, n1, n3).\n",
+    ];
+    let mut snaps = Vec::new();
+    for src in orders {
+        let program = parse_program(src).unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        snaps.push(relation_snapshot(&out, &program));
+    }
+    assert_eq!(
+        snaps[0], snaps[1],
+        "recursive literal order must not matter"
+    );
+}
