@@ -2,8 +2,14 @@
 //!
 //! ```text
 //! cargo run -p faure-bench --release --bin table4 [-- --sizes 1000,10000] \
-//!     [--seed N] [--json out.json] [--prune eager|stratum|never]
+//!     [--seed N] [--json out.json] [--prune eager|stratum|never] \
+//!     [--threads 1,4]
 //! ```
+//!
+//! `--threads` takes a comma-separated list of worker counts; each size
+//! is evaluated once per count, and rows at > 1 threads record their
+//! q4–q5 speedup over the serial row of the same size (requires `1` in
+//! the list).
 //!
 //! Defaults to the sizes 1 000 and 10 000 (the paper also runs 100 000
 //! and 922 067; pass them explicitly if you have the minutes — the
@@ -16,6 +22,7 @@ fn main() {
     let mut sizes: Vec<usize> = vec![1000, 10_000];
     let mut opts = HarnessOptions::default();
     let mut json_path: Option<String> = None;
+    let mut thread_counts: Vec<usize> = vec![opts.eval.threads];
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -45,24 +52,55 @@ fn main() {
                     other => panic!("unknown prune policy {other}"),
                 };
             }
-            other => panic!("unknown argument {other} (try --sizes/--seed/--json/--prune)"),
+            "--threads" => {
+                i += 1;
+                thread_counts = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads takes a,b,c"))
+                    .collect();
+                assert!(
+                    thread_counts.iter().all(|&t| t >= 1),
+                    "--threads counts must be >= 1"
+                );
+            }
+            other => {
+                panic!("unknown argument {other} (try --sizes/--seed/--json/--prune/--threads)")
+            }
         }
         i += 1;
     }
 
     eprintln!(
-        "running Listing 2 (q4-q8) on the synthetic RIB workload, sizes {sizes:?}, seed {}",
+        "running Listing 2 (q4-q8) on the synthetic RIB workload, sizes {sizes:?}, seed {}, threads {thread_counts:?}",
         opts.seed
     );
     let mut rows: Vec<Table4Row> = Vec::new();
     for &n in &sizes {
-        eprintln!("  generating + evaluating {n} prefixes ...");
-        let row = run_table4_row(n, &opts).expect("evaluation succeeds");
-        eprintln!(
-            "    done in {:.1}s ({} F-tuples, {} R-tuples)",
-            row.total, row.f_tuples, row.q45.tuples
-        );
-        rows.push(row);
+        // Serial q4-q5 wall-clock baseline for this size, for the
+        // speedup column of the > 1-thread rows.
+        let mut serial_q45: Option<f64> = None;
+        for &t in &thread_counts {
+            eprintln!("  generating + evaluating {n} prefixes ({t} thread(s)) ...");
+            opts.eval.threads = t;
+            let mut row = run_table4_row(n, &opts).expect("evaluation succeeds");
+            if t == 1 {
+                serial_q45 = Some(row.q45_wall());
+            } else if let Some(base) = serial_q45 {
+                if row.q45_wall() > 0.0 {
+                    row.speedup_q45 = Some(base / row.q45_wall());
+                }
+            }
+            eprintln!(
+                "    done in {:.1}s ({} F-tuples, {} R-tuples{})",
+                row.total,
+                row.f_tuples,
+                row.q45.tuples,
+                row.speedup_q45
+                    .map(|s| format!(", q4-q5 speedup {s:.2}x"))
+                    .unwrap_or_default()
+            );
+            rows.push(row);
+        }
     }
 
     println!("\nTable 4 (reproduced): running time of reachability analysis");

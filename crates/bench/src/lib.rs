@@ -71,6 +71,12 @@ pub struct Table4Row {
     pub prefixes: usize,
     /// RNG seed used for the workload.
     pub seed: u64,
+    /// Worker threads the row was evaluated with (1 = serial).
+    pub threads: usize,
+    /// q4–q5 wall-clock (sql+solver) of the serial row divided by this
+    /// row's — filled by the `table4` binary when it ran a serial
+    /// baseline for the same size, `None` otherwise.
+    pub speedup_q45: Option<f64>,
     /// Size of the generated forwarding c-table.
     pub f_tuples: usize,
     /// q4–q5: all-pairs reachability (recursive).
@@ -88,10 +94,16 @@ pub struct Table4Row {
 impl Table4Row {
     /// JSON object for this row.
     pub fn to_json(&self) -> String {
+        let speedup = match self.speedup_q45 {
+            Some(s) => format!("{s:.3}"),
+            None => "null".to_owned(),
+        };
         format!(
-            "{{\"prefixes\":{},\"seed\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{}}}",
+            "{{\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{}}}",
             self.prefixes,
             self.seed,
+            self.threads,
+            speedup,
             self.f_tuples,
             self.q45.to_json(),
             self.q6.to_json(),
@@ -99,6 +111,13 @@ impl Table4Row {
             self.q8.to_json(),
             self.total
         )
+    }
+
+    /// q4–q5 wall-clock (the relational and solver phases together),
+    /// seconds — the quantity `speedup_q45` compares across thread
+    /// counts.
+    pub fn q45_wall(&self) -> f64 {
+        self.q45.sql + self.q45.solver
     }
 }
 
@@ -192,6 +211,8 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
     Ok(Table4Row {
         prefixes,
         seed: opts.seed,
+        threads: opts.eval.threads,
+        speedup_q45: None,
         f_tuples,
         q45,
         q6,
@@ -281,13 +302,36 @@ mod tests {
 
     #[test]
     fn rows_serialize_to_json() {
-        let row = run_table4_row(10, &HarnessOptions::default()).unwrap();
-        let json = rows_to_json(&[row]);
+        // Pin threads so the assertion holds under FAURE_THREADS.
+        let mut opts = HarnessOptions::default();
+        opts.eval.threads = 1;
+        let mut row = run_table4_row(10, &opts).unwrap();
+        let json = rows_to_json(&[row.clone()]);
         assert!(json.contains("\"prefixes\":10"));
+        assert!(json.contains("\"threads\":1"));
+        assert!(json.contains("\"speedup_q45\":null"));
         assert!(json.contains("\"q6\""));
         assert!(json.contains("\"memo_hit_rate\""));
         assert!(json.contains("\"delta_sizes\":["));
         assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
+        row.speedup_q45 = Some(1.5);
+        assert!(row.to_json().contains("\"speedup_q45\":1.500"));
+    }
+
+    #[test]
+    fn parallel_row_matches_serial_tuples() {
+        let mut serial_opts = HarnessOptions::default();
+        serial_opts.eval.threads = 1;
+        let serial = run_table4_row(10, &serial_opts).unwrap();
+        let mut opts = HarnessOptions::default();
+        opts.eval.threads = 4;
+        let parallel = run_table4_row(10, &opts).unwrap();
+        assert_eq!(parallel.threads, 4);
+        assert_eq!(serial.q45.tuples, parallel.q45.tuples);
+        assert_eq!(serial.q6.tuples, parallel.q6.tuples);
+        assert_eq!(serial.q7.tuples, parallel.q7.tuples);
+        assert_eq!(serial.q8.tuples, parallel.q8.tuples);
+        assert_eq!(serial.q45.delta_sizes, parallel.q45.delta_sizes);
     }
 
     #[test]

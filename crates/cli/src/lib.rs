@@ -197,23 +197,26 @@ pub fn render_relation(
 }
 
 /// `faure eval` implementation; returns the rendered output.
+/// `threads` > 1 runs the parallel fixpoint (results are bit-identical
+/// to serial at any thread count); `None` keeps the engine default
+/// (serial, or the `FAURE_THREADS` environment variable).
 pub fn cmd_eval(
     db_text: &str,
     program_text: &str,
     prune: PrunePolicy,
     only_relation: Option<&str>,
+    threads: Option<usize>,
 ) -> Result<String, CliError> {
     let db = load_database(db_text)?;
     let program = parse_program(program_text).map_err(|e| err(e.to_string()))?;
-    let out = evaluate_with(
-        &program,
-        &db,
-        &EvalOptions {
-            prune,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| err(e.to_string()))?;
+    let mut opts = EvalOptions {
+        prune,
+        ..Default::default()
+    };
+    if let Some(n) = threads {
+        opts.threads = n.max(1);
+    }
+    let out = evaluate_with(&program, &db, &opts).map_err(|e| err(e.to_string()))?;
     let mut s = String::new();
     match only_relation {
         Some(r) => render_relation(r, &out.database, &mut s)?,
@@ -323,6 +326,15 @@ pub fn cmd_lint_json(source: &str, filename: &str, db: Option<&Database>) -> Lin
 pub fn cmd_explain(program_text: &str) -> Result<String, CliError> {
     let program = parse_program(program_text).map_err(|e| CliError(e.to_string()))?;
     faure_core::explain_program(&program).map_err(|e| CliError(e.to_string()))
+}
+
+/// `faure explain <program.fl> --format json` implementation: the same
+/// compiled plans as [`cmd_explain`], rendered as a JSON array (one
+/// object per rule with its full and delta-pass plans) for editor and
+/// CI integration — parity with `faure check --format json`.
+pub fn cmd_explain_json(program_text: &str) -> Result<String, CliError> {
+    let program = parse_program(program_text).map_err(|e| CliError(e.to_string()))?;
+    faure_core::explain_program_json(&program).map_err(|e| CliError(e.to_string()))
 }
 
 /// `faure scenarios` implementation.
@@ -518,13 +530,37 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
 
     #[test]
     fn eval_end_to_end() {
-        let out = cmd_eval(FIG1, REACH, PrunePolicy::EndOfStratum, Some("R")).unwrap();
+        let out = cmd_eval(FIG1, REACH, PrunePolicy::EndOfStratum, Some("R"), None).unwrap();
         assert!(out.contains("R("), "{out}");
         // The FRR guarantee visible from the CLI: R(1,1,5) unconditional.
         assert!(
             out.contains("(1, 1, 5)\n") || out.contains("(1, 1, 5) "),
             "{out}"
         );
+    }
+
+    #[test]
+    fn eval_threads_renders_identically() {
+        let serial = cmd_eval(FIG1, REACH, PrunePolicy::EndOfStratum, Some("R"), Some(1)).unwrap();
+        let parallel =
+            cmd_eval(FIG1, REACH, PrunePolicy::EndOfStratum, Some("R"), Some(4)).unwrap();
+        // Strip the trailing stats line (timings differ run to run).
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("--"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&serial), strip(&parallel));
+    }
+
+    #[test]
+    fn explain_json_end_to_end() {
+        let out = cmd_explain_json(REACH).unwrap();
+        assert!(out.starts_with('['), "{out}");
+        assert!(out.contains(r#""op":"scan-delta""#), "{out}");
+        assert!(out.contains(r#""delta":{"pred":"R","body":2}"#), "{out}");
+        assert!(cmd_explain_json("R(a, b) :- F(a).\n").is_err());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The `faure` binary — see the crate docs for the file formats.
 
 use faure_cli::{
-    cmd_check, cmd_eval, cmd_explain, cmd_lint, cmd_lint_json, cmd_scenarios, cmd_sql, cmd_subsume,
-    cmd_worlds, load_database, parse_prune, CliError,
+    cmd_check, cmd_eval, cmd_explain, cmd_explain_json, cmd_lint, cmd_lint_json, cmd_scenarios,
+    cmd_sql, cmd_subsume, cmd_worlds, load_database, parse_prune, CliError,
 };
 use faure_core::PrunePolicy;
 
@@ -11,7 +11,8 @@ faure — partial network analysis (HotNets '21 reproduction)
 
 USAGE:
   faure eval <db.fdb> <program.fl> [--prune never|stratum|iteration|eager] [--relation R]
-  faure explain <program.fl>
+            [--threads N]
+  faure explain <program.fl> [--format text|json]
   faure check <program.fl> [--domains db.fdb] [--format text|json]
   faure check <db.fdb> <constraint.fl>
   faure scenarios <db.fdb> <constraint.fl> [--limit N]
@@ -24,10 +25,15 @@ Database files (.fdb) hold `@cvar name in {..}` / `@cvar name open` /
 `@schema Name(attr, ...)` directives plus conditional facts like
 `F(1, 2) :- $x = 1.`; program files (.fl) hold fauré-log rules.
 
+`eval --threads N` partitions the fixpoint inner loop across N worker
+threads; results are bit-identical to a serial run at any thread
+count. The `FAURE_THREADS` environment variable sets the default.
+
 `explain` prints the compiled rule plans: the join order chosen by
 bound-column selectivity, semi-naive delta slots, pushed-down
 comparisons, and trailing negations — per stratum, exactly the plans
-the evaluator caches and executes.
+the evaluator caches and executes. `--format json` emits the plans as
+a JSON array instead.
 
 The one-argument `check` form is the static analyzer: it reports every
 diagnostic (stable codes F0001…) with source snippets, and exits 1
@@ -53,9 +59,19 @@ fn run() -> Result<String, CliError> {
     let mut limit = 64usize;
     let mut domains: Option<String> = None;
     let mut format = LintFormat::Text;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError("--threads takes a positive integer".into()))?,
+                );
+            }
             "--prune" => {
                 i += 1;
                 prune = parse_prune(args.get(i).map(String::as_str).unwrap_or(""))?;
@@ -93,8 +109,17 @@ fn run() -> Result<String, CliError> {
     }
 
     match positional.as_slice() {
-        ["eval", db, program] => cmd_eval(&read(db)?, &read(program)?, prune, relation.as_deref()),
-        ["explain", program] => cmd_explain(&read(program)?),
+        ["eval", db, program] => cmd_eval(
+            &read(db)?,
+            &read(program)?,
+            prune,
+            relation.as_deref(),
+            threads,
+        ),
+        ["explain", program] => match format {
+            LintFormat::Text => cmd_explain(&read(program)?),
+            LintFormat::Json => cmd_explain_json(&read(program)?),
+        },
         ["check", program] => {
             let db = match &domains {
                 Some(path) => Some(load_database(&read(path)?)?),

@@ -1,0 +1,984 @@
+//! The fauré-log evaluation engine: reusable prepared programs and
+//! (optionally parallel) stratified fixpoint execution.
+//!
+//! This module family replaces the old monolithic `eval::evaluate`
+//! function with an explicit two-step lifecycle:
+//!
+//! 1. [`Engine::prepare`] runs everything that depends only on the
+//!    *program* — safety checking, stratification, and compilation of
+//!    every [`RulePlan`](crate::plan::RulePlan) semi-naive evaluation
+//!    will request (the full
+//!    plan per rule plus one delta plan per stratum-recursive body
+//!    literal). The result is a [`PreparedProgram`].
+//! 2. [`PreparedProgram::run`] executes the prepared program against a
+//!    [`Database`]. Repeated queries over changing databases — the
+//!    paper's network-monitoring loop — skip analysis and planning
+//!    entirely: every plan lookup during a run is a cache hit.
+//!
+//! The one-shot [`evaluate`] / [`evaluate_with`] entry points are kept
+//! and now route through prepare-then-run, so their behaviour
+//! (including error order and statistics) is unchanged.
+//!
+//! ## Layout
+//!
+//! * [`mod@self`] — options, errors, the prepare/run lifecycle;
+//! * [`fixpoint`] (private) — the naive and semi-naive stratum drivers;
+//! * [`rule`] (private) — compiled-plan execution: the c-valuation,
+//!   comparison pushdown, negation, head instantiation;
+//! * [`parallel`] (private) — the data-parallel inner loop (see below).
+//!
+//! ## Parallel fixpoint execution
+//!
+//! With [`EvalOptions::threads`] > 1, each rule pass partitions the
+//! matches of its first join step into contiguous chunks and evaluates
+//! the chunks on `std::thread::scope` workers. Each worker owns its
+//! substitution, condition accumulator, operator counters, and solver
+//! [`Session`]; the sessions share one lock-sharded
+//! [`faure_solver::SharedMemo`] so a condition decided by one worker is
+//! a memo hit for every other. Worker outputs are replayed in chunk
+//! order through [`faure_storage::Table::absorb_partitions`] — the
+//! insert sequence equals the serial enumeration order, so parallel
+//! results (conditions included) are **bit-identical** to a serial run.
+
+mod fixpoint;
+mod parallel;
+mod rule;
+
+pub use rule::canonicalize;
+
+use crate::analysis::{check_safety, stratify, AnalysisError, Stratification};
+use crate::ast::{Literal, Program, Rule};
+use crate::plan::PlanCache;
+use faure_ctable::{CVarId, CVarRegistry, Database, Domain, Relation, Schema};
+use faure_solver::{Session, SharedMemo, SolverError};
+use faure_storage::{ArityError, PhaseStats, Table};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// When the solver phase (the paper's "Z3 step") runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrunePolicy {
+    /// Never call the solver; rows may carry contradictory conditions.
+    Never,
+    /// Prune each derived relation once its stratum converges
+    /// (default; matches the paper's batch use of Z3).
+    EndOfStratum,
+    /// Prune the delta after every fixpoint iteration (keeps
+    /// intermediate states small, costs more solver calls).
+    EveryIteration,
+    /// Check satisfiability of every candidate row before insertion.
+    Eager,
+}
+
+/// Evaluation options.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Solver phase policy.
+    pub prune: PrunePolicy,
+    /// Semi-naive (true, default) or naive (false) fixpoint — the
+    /// latter exists for the ablation benchmark.
+    pub semi_naive: bool,
+    /// Safety valve on fixpoint iterations per stratum.
+    pub max_iterations: usize,
+    /// Worker threads for rule evaluation. `1` (the default) runs
+    /// serially; larger values partition each rule pass across
+    /// `std::thread::scope` workers. Results are bit-identical to the
+    /// serial run at any thread count. Defaults to the `FAURE_THREADS`
+    /// environment variable when set.
+    pub threads: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            prune: PrunePolicy::EndOfStratum,
+            semi_naive: true,
+            max_iterations: 100_000,
+            threads: parse_threads(std::env::var("FAURE_THREADS").ok().as_deref()),
+        }
+    }
+}
+
+/// Parses a `FAURE_THREADS`-style value; anything absent, unparsable,
+/// or zero means "serial".
+fn parse_threads(var: Option<&str>) -> usize {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Evaluation errors.
+#[derive(Debug)]
+pub enum EvalError {
+    /// Static analysis rejected the program.
+    Analysis(AnalysisError),
+    /// The solver rejected a condition (outside supported fragment or
+    /// budget exceeded).
+    Solver(SolverError),
+    /// An atom's arity disagrees with its relation.
+    ArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Arity in the database / earlier use.
+        expected: usize,
+        /// Arity at this use.
+        got: usize,
+    },
+    /// The fixpoint did not converge within `max_iterations`.
+    IterationLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A rule variable was unbound when needed (safety should prevent
+    /// this; kept as a defensive error).
+    UnboundVariable(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Analysis(e) => write!(f, "{e}"),
+            EvalError::Solver(e) => write!(f, "{e}"),
+            EvalError::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "predicate {pred} used with arity {got}, expected {expected}"
+            ),
+            EvalError::IterationLimit { limit } => {
+                write!(f, "fixpoint did not converge within {limit} iterations")
+            }
+            EvalError::UnboundVariable(v) => write!(f, "unbound rule variable `{v}`"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<AnalysisError> for EvalError {
+    fn from(e: AnalysisError) -> Self {
+        EvalError::Analysis(e)
+    }
+}
+
+impl From<SolverError> for EvalError {
+    fn from(e: SolverError) -> Self {
+        EvalError::Solver(e)
+    }
+}
+
+impl From<ArityError> for EvalError {
+    fn from(e: ArityError) -> Self {
+        EvalError::ArityMismatch {
+            pred: e.table,
+            expected: e.expected,
+            got: e.got,
+        }
+    }
+}
+
+/// Result of evaluating a program.
+pub struct EvalOutput {
+    /// The input database extended with all derived relations (and any
+    /// c-variables auto-registered during resolution).
+    pub database: Database,
+    /// Per-phase statistics (the paper's `sql` / `Z3` / `#tuples`
+    /// columns).
+    pub stats: PhaseStats,
+    /// Lint warnings from the pre-evaluation analysis pass (dead
+    /// rules, shadowed inputs, singleton variables, …). Warnings never
+    /// change evaluation results; callers may surface or ignore them.
+    pub warnings: Vec<crate::analysis::Finding>,
+}
+
+impl EvalOutput {
+    /// A derived (or input) relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.database.relation(name)
+    }
+
+    /// Whether the 0-ary predicate `name` (e.g. `panic`) was derived
+    /// with a satisfiable condition. Requires the evaluation to have
+    /// run with a pruning policy other than `Never`, or the caller can
+    /// inspect conditions directly.
+    pub fn derived(&self, name: &str) -> bool {
+        self.relation(name).is_some_and(|r| !r.is_empty())
+    }
+}
+
+/// The evaluation engine: a factory for [`PreparedProgram`]s.
+///
+/// The engine itself only holds the default [`EvalOptions`] its
+/// prepared programs run with; preparation is per-program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Engine {
+    opts: EvalOptions,
+}
+
+impl Engine {
+    /// An engine with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(opts: EvalOptions) -> Self {
+        Engine { opts }
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Runs the program-only analyses (safety, stratification) and
+    /// compiles every rule plan semi-naive evaluation will request,
+    /// yielding a [`PreparedProgram`] that can be
+    /// [run](PreparedProgram::run) against many databases.
+    pub fn prepare(&self, program: &Program) -> Result<PreparedProgram, EvalError> {
+        check_safety(program)?;
+        let strat = stratify(program)?;
+        let mut plans = PlanCache::new();
+        for stratum_rules in &strat.strata {
+            let stratum_preds: BTreeSet<&str> = stratum_rules
+                .iter()
+                .map(|&ri| program.rules[ri].head.pred.as_str())
+                .collect();
+            for &ri in stratum_rules {
+                let rule = &program.rules[ri];
+                plans.get_or_compile(ri, rule, None);
+                // Exactly the delta plans the semi-naive driver looks
+                // up: one per positive body literal whose predicate is
+                // defined in this stratum.
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    if lit.is_negative() || !stratum_preds.contains(lit.atom().pred.as_str()) {
+                        continue;
+                    }
+                    plans.get_or_compile(ri, rule, Some(pos));
+                }
+            }
+        }
+        let compiled = plans.misses;
+        Ok(PreparedProgram {
+            program: program.clone(),
+            strat,
+            plans,
+            compiled,
+            opts: self.opts,
+        })
+    }
+}
+
+/// A program with its analysis and planning work done once, ready to
+/// execute against any number of databases. Built by [`Engine::prepare`].
+#[derive(Clone, Debug)]
+pub struct PreparedProgram {
+    program: Program,
+    strat: Stratification,
+    /// Fully precompiled plan cache; runs clone it with zeroed counters
+    /// so per-run hit statistics stay meaningful.
+    plans: PlanCache,
+    /// Plans compiled at prepare time — reported as each run's
+    /// `plan_cache_misses` so the "compiled exactly once" accounting
+    /// survives the prepare/run split.
+    compiled: u64,
+    opts: EvalOptions,
+}
+
+impl PreparedProgram {
+    /// The prepared program's AST.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Its stratification.
+    pub fn stratification(&self) -> &Stratification {
+        &self.strat
+    }
+
+    /// Number of rule plans compiled at prepare time.
+    pub fn plan_count(&self) -> usize {
+        self.compiled as usize
+    }
+
+    /// Executes against `db` with the options the engine was built
+    /// with.
+    pub fn run(&self, db: &Database) -> Result<EvalOutput, EvalError> {
+        self.run_with(db, &self.opts)
+    }
+
+    /// Executes against `db` with explicit per-run options. Note the
+    /// plans were compiled at prepare time; options affecting planning
+    /// inputs (there are none today) would require re-preparing.
+    pub fn run_with(&self, db: &Database, opts: &EvalOptions) -> Result<EvalOutput, EvalError> {
+        let program = &self.program;
+        // Diagnostic pre-pass: collect lint warnings without affecting
+        // evaluation. Findings are database-dependent (shadowed inputs,
+        // arity against actual relations), so this runs per run, not at
+        // prepare time.
+        let warnings: Vec<crate::analysis::Finding> = crate::analysis::analyze(program, Some(db))
+            .into_iter()
+            .filter(|f| !f.is_error())
+            .collect();
+
+        let mut database = db.clone();
+        let cvmap = resolve_cvars(program, &mut database);
+        let shared_memo = (opts.threads > 1).then(|| Arc::new(SharedMemo::new()));
+        let mut session = match &shared_memo {
+            Some(memo) => Session::with_shared(Arc::clone(memo)),
+            None => Session::new(),
+        };
+        let started = Instant::now();
+
+        // --- set up tables ---------------------------------------------
+        let mut tables: HashMap<String, Table> = HashMap::new();
+        // EDB relations present in the database.
+        for rel in database.relations() {
+            tables.insert(rel.schema.name.clone(), Table::from_relation(rel));
+        }
+        // Any predicate mentioned but absent: empty table with inferred
+        // arity.
+        for rule in &program.rules {
+            for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(Literal::atom)) {
+                let arity = atom.args.len();
+                match tables.get(&atom.pred) {
+                    Some(t) if t.schema.arity() != arity => {
+                        return Err(EvalError::ArityMismatch {
+                            pred: atom.pred.clone(),
+                            expected: t.schema.arity(),
+                            got: arity,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        let attrs: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
+                        let schema = Schema {
+                            name: atom.pred.clone(),
+                            attrs,
+                        };
+                        tables.insert(atom.pred.clone(), Table::new(schema));
+                    }
+                }
+            }
+        }
+
+        let ctx = Ctx {
+            cvmap: &cvmap,
+            reg_snapshot: database.cvars.clone(),
+            shared_memo,
+        };
+
+        let mut stats = PhaseStats::new();
+        let mut plans = self.plans.fresh_counters();
+
+        // --- evaluate stratum by stratum --------------------------------
+        for stratum_rules in &self.strat.strata {
+            let rules: Vec<(usize, &Rule)> = stratum_rules
+                .iter()
+                .map(|&i| (i, &program.rules[i]))
+                .collect();
+            let stratum_preds: BTreeSet<&str> =
+                rules.iter().map(|(_, r)| r.head.pred.as_str()).collect();
+
+            if opts.semi_naive {
+                fixpoint::eval_stratum_semi_naive(
+                    &ctx,
+                    &rules,
+                    &stratum_preds,
+                    &mut tables,
+                    &mut plans,
+                    &mut session,
+                    opts,
+                    &mut stats,
+                )?;
+            } else {
+                fixpoint::eval_stratum_naive(
+                    &ctx,
+                    &rules,
+                    &mut tables,
+                    &mut plans,
+                    &mut session,
+                    opts,
+                    &mut stats,
+                )?;
+            }
+
+            if matches!(
+                opts.prune,
+                PrunePolicy::EndOfStratum | PrunePolicy::EveryIteration
+            ) {
+                for p in &stratum_preds {
+                    let t = tables.get_mut(*p).expect("table created above");
+                    let removed = t.prune(&ctx.reg_snapshot, &mut session)?;
+                    stats.pruned += removed;
+                }
+            }
+        }
+
+        // --- collect results --------------------------------------------
+        // Drop tables as they are converted (and EDB mirrors up front)
+        // so peak memory stays near two copies of the data, not three —
+        // this matters at Table 4 scale (millions of rows).
+        let idb_names: Vec<String> = program
+            .idb_predicates()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        tables.retain(|name, _| idb_names.iter().any(|p| p == name));
+        let mut derived_tuples = 0usize;
+        for p in &idb_names {
+            let t = tables.remove(p).expect("table created in setup");
+            derived_tuples += t.len();
+            database.set_relation(t.to_relation());
+        }
+
+        let total = started.elapsed();
+        let solver_time = session.stats().time;
+        stats.relational = total.saturating_sub(solver_time);
+        stats.solver = solver_time;
+        stats.tuples = derived_tuples;
+        stats.solver_stats = session.stats();
+        stats.plan_cache_hits = plans.hits;
+        stats.plan_cache_misses = self.compiled + plans.misses;
+
+        Ok(EvalOutput {
+            database,
+            stats,
+            warnings,
+        })
+    }
+}
+
+/// Evaluates `program` on `db` with default options.
+pub fn evaluate(program: &Program, db: &Database) -> Result<EvalOutput, EvalError> {
+    evaluate_with(program, db, &EvalOptions::default())
+}
+
+/// Evaluates `program` on `db` with explicit options (prepare-then-run
+/// in one call).
+pub fn evaluate_with(
+    program: &Program,
+    db: &Database,
+    opts: &EvalOptions,
+) -> Result<EvalOutput, EvalError> {
+    Engine::with_options(*opts).prepare(program)?.run(db)
+}
+
+/// Resolves c-variable names to ids, auto-registering unknown names
+/// with an open domain (batched — the registry vector grows once).
+fn resolve_cvars(program: &Program, db: &mut Database) -> HashMap<String, CVarId> {
+    let mut map = HashMap::new();
+    let mut missing: Vec<&str> = Vec::new();
+    for name in program.cvar_names() {
+        match db.cvars.by_name(name) {
+            Some(id) => {
+                map.insert(name.to_owned(), id);
+            }
+            None => missing.push(name),
+        }
+    }
+    let ids = db.fresh_cvars(missing.iter().map(|&n| (n.to_owned(), Domain::Open)));
+    for (name, id) in missing.into_iter().zip(ids) {
+        map.insert(name.to_owned(), id);
+    }
+    map
+}
+
+/// Immutable per-run context shared by every rule pass (and, under
+/// parallel evaluation, every worker thread).
+pub(crate) struct Ctx<'a> {
+    pub(crate) cvmap: &'a HashMap<String, CVarId>,
+    /// Registry snapshot taken after resolution (the registry is not
+    /// mutated during evaluation).
+    pub(crate) reg_snapshot: CVarRegistry,
+    /// The shared solver memo backing worker sessions; `Some` exactly
+    /// when `opts.threads > 1`.
+    pub(crate) shared_memo: Option<Arc<SharedMemo>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use faure_ctable::examples::table2_path_db;
+    use faure_ctable::{CTuple, Condition, Term};
+
+    /// q1/q2 of the paper: cost of 1.2.3.4's path.
+    #[test]
+    fn table2_cost_query() {
+        let (db, vars) = table2_path_db();
+        let program = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c)."#).unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        let rel = out.relation("Cost").unwrap();
+        // Depending on x̄, the cost is 3 ([ABC]) or 4 ([ADEC]).
+        assert_eq!(rel.len(), 2);
+        let mut costs: Vec<i64> = rel
+            .iter()
+            .map(|t| t.terms[0].as_const().unwrap().as_int().unwrap())
+            .collect();
+        costs.sort_unstable();
+        assert_eq!(costs, vec![3, 4]);
+        // Each row's condition must mention x̄.
+        for t in rel.iter() {
+            assert!(t.cond.cvars().contains(&vars.x));
+        }
+    }
+
+    /// q3: implicit pattern matching — P(1.2.3.5, y) matches the
+    /// c-variable row (ȳ, [ABE]).
+    #[test]
+    fn table2_q3_pattern_match() {
+        let (db, _) = table2_path_db();
+        let program = parse_program(r#"Q3(c) :- P("1.2.3.5", p), C(p, c)."#).unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        let rel = out.relation("Q3").unwrap();
+        // The answer 3 is conditional on ȳ = 1.2.3.5 (consistent with
+        // ȳ ≠ 1.2.3.4), so exactly one row.
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples[0].terms[0], Term::int(3));
+        assert_ne!(rel.tuples[0].cond, Condition::True);
+    }
+
+    /// The diagnostic pre-pass surfaces lints without changing results.
+    #[test]
+    fn warnings_surface_without_changing_results() {
+        let (db, _) = table2_path_db();
+        // `u` is a singleton (likely-typo) variable; the query result
+        // must be identical to the clean formulation.
+        let program = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c), D(u)."#).unwrap();
+        let mut db2 = db.clone();
+        db2.create_relation(faure_ctable::Schema::new("D", &["a"]))
+            .unwrap();
+        db2.insert("D", faure_ctable::CTuple::new([Term::int(0)]))
+            .unwrap();
+        let out = evaluate(&program, &db2).unwrap();
+        assert_eq!(out.relation("Cost").unwrap().len(), 2);
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| matches!(w, crate::analysis::Finding::SingletonVariable { variable, .. } if variable == "u")));
+        assert!(out.warnings.iter().all(|w| !w.is_error()));
+
+        // A clean program yields no warnings.
+        let clean = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c)."#).unwrap();
+        let out = evaluate(&clean, &db).unwrap();
+        assert_eq!(out.warnings, Vec::new());
+    }
+
+    #[test]
+    fn facts_evaluate() {
+        let db = Database::new();
+        let program = parse_program("Lb(Mkt, CS).\nLb(\"R&D\", GS).\n").unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        assert_eq!(out.relation("Lb").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn recursion_transitive_closure_ground() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert("E", CTuple::new([Term::int(a), Term::int(b)]))
+                .unwrap();
+        }
+        let program = parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n",
+        )
+        .unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        // 1→2,1→3,1→4,2→3,2→4,3→4
+        assert_eq!(out.relation("R").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn naive_matches_semi_naive() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for (a, b) in [(1, 2), (2, 3), (3, 1), (3, 4)] {
+            db.insert("E", CTuple::new([Term::int(a), Term::int(b)]))
+                .unwrap();
+        }
+        let program = parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n",
+        )
+        .unwrap();
+        let semi = evaluate(&program, &db).unwrap();
+        let naive = evaluate_with(
+            &program,
+            &db,
+            &EvalOptions {
+                semi_naive: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut a: Vec<Vec<Term>> = semi
+            .relation("R")
+            .unwrap()
+            .iter()
+            .map(|t| t.terms.clone())
+            .collect();
+        let mut b: Vec<Vec<Term>> = naive
+            .relation("R")
+            .unwrap()
+            .iter()
+            .map(|t| t.terms.clone())
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recursion_with_conditions_terminates_on_cycles() {
+        // A 2-cycle where each link is protected by a c-variable; the
+        // reachability conditions must converge (conjunction dedup).
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Bool01);
+        let y = db.fresh_cvar("y", Domain::Bool01);
+        db.create_relation(Schema::new("F", &["a", "b"])).unwrap();
+        db.insert(
+            "F",
+            CTuple::with_cond(
+                [Term::int(1), Term::int(2)],
+                Condition::eq(Term::Var(x), Term::int(1)),
+            ),
+        )
+        .unwrap();
+        db.insert(
+            "F",
+            CTuple::with_cond(
+                [Term::int(2), Term::int(1)],
+                Condition::eq(Term::Var(y), Term::int(1)),
+            ),
+        )
+        .unwrap();
+        let program = parse_program(
+            "R(a, b) :- F(a, b).\n\
+             R(a, b) :- F(a, c), R(c, b).\n",
+        )
+        .unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        let r = out.relation("R").unwrap();
+        // R(1,2), R(2,1), R(1,1), R(2,2)
+        assert_eq!(r.len(), 4);
+        // R(1,1) requires both links: condition ≡ x̄=1 ∧ ȳ=1.
+        let r11 = r
+            .iter()
+            .find(|t| t.terms == vec![Term::int(1), Term::int(1)])
+            .unwrap();
+        let expected = Condition::eq(Term::Var(x), Term::int(1))
+            .and(Condition::eq(Term::Var(y), Term::int(1)));
+        assert!(faure_solver::equivalent(&out.database.cvars, &r11.cond, &expected).unwrap());
+    }
+
+    #[test]
+    fn negation_not_derivable() {
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Bool01);
+        db.create_relation(Schema::new("N", &["a"])).unwrap();
+        db.insert("N", CTuple::new([Term::int(1)])).unwrap();
+        db.insert("N", CTuple::new([Term::int(2)])).unwrap();
+        db.create_relation(Schema::new("Block", &["a"])).unwrap();
+        db.insert(
+            "Block",
+            CTuple::with_cond([Term::int(1)], Condition::eq(Term::Var(x), Term::int(1))),
+        )
+        .unwrap();
+        let program = parse_program("Open(a) :- N(a), !Block(a).\n").unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        let open = out.relation("Open").unwrap();
+        assert_eq!(open.len(), 2);
+        let o1 = open.iter().find(|t| t.terms == vec![Term::int(1)]).unwrap();
+        // Open(1) iff NOT (x̄ = 1), i.e. x̄ ≠ 1.
+        assert!(faure_solver::equivalent(
+            &out.database.cvars,
+            &o1.cond,
+            &Condition::ne(Term::Var(x), Term::int(1))
+        )
+        .unwrap());
+        let o2 = open.iter().find(|t| t.terms == vec![Term::int(2)]).unwrap();
+        assert_eq!(o2.cond, Condition::True);
+    }
+
+    #[test]
+    fn comparisons_filter_and_annotate() {
+        let mut db = Database::new();
+        let p = db.fresh_cvar("p", Domain::Ints(vec![80, 344, 7000]));
+        db.create_relation(Schema::new("R", &["subnet", "port"]))
+            .unwrap();
+        db.insert("R", CTuple::new([Term::sym("Mkt"), Term::Var(p)]))
+            .unwrap();
+        db.insert("R", CTuple::new([Term::sym("R&D"), Term::int(80)]))
+            .unwrap();
+        let program = parse_program("V(s) :- R(s, q), q != 80.\n").unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        let v = out.relation("V").unwrap();
+        // R&D row: 80 != 80 is ground-false → dropped. Mkt row: condition p̄ ≠ 80.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.tuples[0].terms, vec![Term::sym("Mkt")]);
+        assert!(faure_solver::equivalent(
+            &out.database.cvars,
+            &v.tuples[0].cond,
+            &Condition::ne(Term::Var(p), Term::int(80))
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn zero_ary_panic_queries() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("R", &["s", "d"])).unwrap();
+        db.insert("R", CTuple::new([Term::sym("Mkt"), Term::sym("CS")]))
+            .unwrap();
+        db.create_relation(Schema::new("Fw", &["s", "d"])).unwrap();
+        // No firewall: panic must fire unconditionally.
+        let program = parse_program("panic :- R(Mkt, CS), !Fw(Mkt, CS).\n").unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        assert!(out.derived("panic"));
+        // Deploy the firewall: panic no longer derivable.
+        let mut db2 = db.clone();
+        db2.insert("Fw", CTuple::new([Term::sym("Mkt"), Term::sym("CS")]))
+            .unwrap();
+        let out2 = evaluate(&program, &db2).unwrap();
+        assert!(!out2.derived("panic"));
+    }
+
+    #[test]
+    fn eager_prune_matches_end_of_stratum() {
+        let (db, _) = table2_path_db();
+        let program = parse_program(
+            r#"Cost(c) :- P("1.2.3.4", p), C(p, c).
+               Cheap(c) :- Cost(c), c < 4."#,
+        )
+        .unwrap();
+        let a = evaluate_with(
+            &program,
+            &db,
+            &EvalOptions {
+                prune: PrunePolicy::Eager,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = evaluate(&program, &db).unwrap();
+        assert_eq!(
+            a.relation("Cheap").unwrap().len(),
+            b.relation("Cheap").unwrap().len()
+        );
+        assert_eq!(a.relation("Cheap").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Ints(vec![1, 2]));
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        db.insert("E", CTuple::new([Term::int(1), Term::int(1)]))
+            .unwrap();
+        db.insert("E", CTuple::new([Term::int(1), Term::int(2)]))
+            .unwrap();
+        db.insert("E", CTuple::new([Term::int(2), Term::Var(x)]))
+            .unwrap();
+        let program = parse_program("Diag(a) :- E(a, a).\n").unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        let diag = out.relation("Diag").unwrap();
+        // E(1,1) → Diag(1) unconditionally; E(2, x̄) → Diag(2) iff x̄ = 2.
+        assert_eq!(diag.len(), 2);
+        let d2 = diag.iter().find(|t| t.terms == vec![Term::int(2)]).unwrap();
+        assert!(faure_solver::equivalent(
+            &out.database.cvars,
+            &d2.cond,
+            &Condition::eq(Term::Var(x), Term::int(2))
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("F", &["a", "b"])).unwrap();
+        let program = parse_program("R(a) :- F(a).\n").unwrap();
+        assert!(matches!(
+            evaluate(&program, &db),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn plans_compile_once_and_hit_cache_across_iterations() {
+        // A 6-node chain: transitive closure takes several semi-naive
+        // iterations, each of which must reuse the compiled delta plan.
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for i in 1..6 {
+            db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
+                .unwrap();
+        }
+        let program = parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n",
+        )
+        .unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        assert_eq!(out.relation("R").unwrap().len(), 15);
+        // Plans: (rule1, None), (rule2, None), (rule2, Δ@1) — compiled
+        // exactly once each (at prepare time); every lookup during the
+        // run is a cache hit.
+        assert_eq!(out.stats.plan_cache_misses, 3);
+        assert!(
+            out.stats.plan_cache_hits > 0,
+            "fixpoint iterations must reuse compiled plans, stats: {:?}",
+            out.stats
+        );
+        // Semi-naive deltas shrink down the chain: iteration 0 seeds
+        // the 5 edges plus the 4 length-2 paths (rule 2 already sees
+        // rule 1's output), then 3, 2, 1 longer paths.
+        assert_eq!(out.stats.delta_sizes, vec![9, 3, 2, 1]);
+        // Operator counters observed the probes.
+        assert!(out.stats.ops.probes > 0);
+        assert!(out.stats.ops.rows_matched as usize >= 15);
+    }
+
+    #[test]
+    fn pushed_comparisons_prune_branches_early() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for i in 0..10 {
+            db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
+                .unwrap();
+        }
+        let program = parse_program("Q(a, c) :- E(a, b), E(b, c), a < 3.\n").unwrap();
+        let out = evaluate(&program, &db).unwrap();
+        assert_eq!(out.relation("Q").unwrap().len(), 3);
+        // `a < 3` is bound after the first literal; the 6+ failing
+        // bindings must be cut before the second join, not after.
+        assert!(out.stats.ops.cmp_pruned >= 6, "stats: {:?}", out.stats.ops);
+    }
+
+    #[test]
+    fn canonicalize_merges_reordered_conjunctions() {
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Bool01);
+        let y = db.fresh_cvar("y", Domain::Bool01);
+        let a = Condition::eq(Term::Var(x), Term::int(1));
+        let b = Condition::eq(Term::Var(y), Term::int(1));
+        let ab = canonicalize(a.clone().and(b.clone()));
+        let ba = canonicalize(b.and(a));
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(None), 1);
+        assert_eq!(parse_threads(Some("")), 1);
+        assert_eq!(parse_threads(Some("0")), 1);
+        assert_eq!(parse_threads(Some("four")), 1);
+        assert_eq!(parse_threads(Some("-2")), 1);
+        assert_eq!(parse_threads(Some("4")), 4);
+        assert_eq!(parse_threads(Some(" 8 ")), 8);
+    }
+
+    #[test]
+    fn prepared_program_reruns_skip_planning() {
+        let program = parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n",
+        )
+        .unwrap();
+        let prepared = Engine::new().prepare(&program).unwrap();
+        assert_eq!(prepared.plan_count(), 3);
+
+        // Two different databases through the same prepared program.
+        let mut outputs = Vec::new();
+        for n in [4i64, 6] {
+            let mut db = Database::new();
+            db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+            for i in 1..n {
+                db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
+                    .unwrap();
+            }
+            outputs.push(prepared.run(&db).unwrap());
+        }
+        assert_eq!(outputs[0].relation("R").unwrap().len(), 6);
+        assert_eq!(outputs[1].relation("R").unwrap().len(), 15);
+        for out in &outputs {
+            assert_eq!(out.stats.plan_cache_misses, 3);
+            assert!(out.stats.plan_cache_hits > 0);
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_unsafe_and_unstratifiable_programs() {
+        let engine = Engine::new();
+        let unsafe_p = parse_program("P(a, b) :- N(a).\n").unwrap();
+        assert!(matches!(
+            engine.prepare(&unsafe_p),
+            Err(EvalError::Analysis(_))
+        ));
+        let unstrat = parse_program("P(a) :- N(a), !Q(a).\nQ(a) :- N(a), !P(a).\n").unwrap();
+        assert!(matches!(
+            engine.prepare(&unstrat),
+            Err(EvalError::Analysis(_))
+        ));
+    }
+
+    /// Parallel evaluation must produce bit-identical results to serial
+    /// — rows, row order, and derived conditions included.
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Bool01);
+        let y = db.fresh_cvar("y", Domain::Bool01);
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 2), (2, 5), (5, 1)] {
+            db.insert("E", CTuple::new([Term::int(a), Term::int(b)]))
+                .unwrap();
+        }
+        db.insert(
+            "E",
+            CTuple::with_cond(
+                [Term::int(4), Term::int(6)],
+                Condition::eq(Term::Var(x), Term::int(1)),
+            ),
+        )
+        .unwrap();
+        db.insert(
+            "E",
+            CTuple::with_cond(
+                [Term::int(6), Term::int(1)],
+                Condition::eq(Term::Var(y), Term::int(1)),
+            ),
+        )
+        .unwrap();
+        let program = parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n\
+             Q(a) :- R(a, a), !Bad(a).\n",
+        )
+        .unwrap();
+        let serial = evaluate(&program, &db).unwrap();
+        for threads in [2, 4, 8] {
+            let par = evaluate_with(
+                &program,
+                &db,
+                &EvalOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for name in ["R", "Q"] {
+                let a = serial.relation(name).unwrap();
+                let b = par.relation(name).unwrap();
+                assert_eq!(a.tuples, b.tuples, "{name} differs at threads={threads}");
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Data-parallel rule evaluation.
+//!
+//! The depth-0 match list computed by [`super::rule::eval_rule`] is
+//! split into `min(threads, matches)` **contiguous, balanced** chunks;
+//! each chunk is evaluated on a `std::thread::scope` worker running the
+//! identical per-match code ([`super::rule::eval_match`]) over shared
+//! immutable state (tables, plan, c-variable registry). Determinism
+//! falls out of the partitioning: worker outputs are returned as
+//! partitions in chunk order, and concatenating them reproduces the
+//! serial enumeration order exactly, so the merged tables — conditions
+//! included — are bit-identical to a serial run.
+//!
+//! Each worker owns its substitution, condition accumulator, operator
+//! counters, and solver [`Session`]. The sessions are backed by the
+//! run's shared lock-sharded [`faure_solver::SharedMemo`], so a
+//! condition decided by one worker is a memo hit for every other (and
+//! for later fixpoint iterations). Sharing the memo is sound under
+//! races because it caches ground truth: satisfiability of a condition
+//! is a deterministic function of the condition given the (append-only)
+//! c-variable registry.
+
+use super::rule::eval_match;
+use super::{Ctx, EvalError, EvalOptions};
+use crate::ast::Rule;
+use crate::plan::RulePlan;
+use faure_ctable::{Condition, Term};
+use faure_solver::{Session, SolverStats};
+use faure_storage::{CondAcc, OpStats, PreparedRow, Table};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Splits `len` items into `chunks` contiguous ranges whose sizes
+/// differ by at most one (the first `len % chunks` ranges get the extra
+/// item).
+fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let base = len / chunks;
+    let rem = len % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < rem);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Evaluates the depth-0 matches of one rule pass across worker
+/// threads, returning the derived rows as one partition per chunk (in
+/// chunk order). Worker statistics are folded into the caller's
+/// counters; the first worker error (in chunk order) is propagated
+/// after all workers have joined.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run_partitioned(
+    ctx: &Ctx<'_>,
+    rule: &Rule,
+    plan: &RulePlan,
+    tables: &HashMap<String, Table>,
+    delta_table: Option<&Table>,
+    base_acc: &CondAcc,
+    matches: &[(usize, Condition)],
+    opts: &EvalOptions,
+    session: &mut Session,
+    ops: &mut OpStats,
+) -> Result<Vec<Vec<PreparedRow>>, EvalError> {
+    let memo = ctx
+        .shared_memo
+        .as_ref()
+        .expect("parallel evaluation runs with a shared solver memo");
+    let bounds = chunk_bounds(matches.len(), opts.threads.min(matches.len()));
+
+    type WorkerResult = Result<(Vec<PreparedRow>, OpStats, SolverStats), EvalError>;
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                let chunk = &matches[lo..hi];
+                let memo = Arc::clone(memo);
+                scope.spawn(move || -> WorkerResult {
+                    let mut worker_session = Session::with_shared(memo);
+                    let mut worker_ops = OpStats::default();
+                    let mut theta: HashMap<&str, Term> = HashMap::new();
+                    let mut acc = base_acc.clone();
+                    let mut out = Vec::new();
+                    for (row_idx, mu) in chunk {
+                        eval_match(
+                            ctx,
+                            rule,
+                            plan,
+                            tables,
+                            delta_table,
+                            *row_idx,
+                            mu,
+                            &mut theta,
+                            &mut acc,
+                            &mut worker_session,
+                            opts,
+                            &mut worker_ops,
+                            &mut out,
+                        )?;
+                    }
+                    Ok((out, worker_ops, worker_session.stats()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rule evaluation worker panicked"))
+            .collect()
+    });
+
+    let mut partitions = Vec::with_capacity(results.len());
+    for result in results {
+        let (rows, worker_ops, worker_stats) = result?;
+        ops.absorb(&worker_ops);
+        session.absorb_stats(&worker_stats);
+        partitions.push(rows);
+    }
+    Ok(partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::chunk_bounds;
+
+    #[test]
+    fn chunks_are_contiguous_and_balanced() {
+        for (len, chunks) in [(10, 4), (7, 7), (5, 2), (3, 3), (100, 16)] {
+            let bounds = chunk_bounds(len, chunks);
+            assert_eq!(bounds.len(), chunks);
+            assert_eq!(bounds[0].0, 0);
+            assert_eq!(bounds.last().unwrap().1, len);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            let sizes: Vec<usize> = bounds.iter().map(|&(lo, hi)| hi - lo).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "balanced: {sizes:?}");
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Single-rule plan execution — the c-valuation.
+//!
+//! A compiled [`RulePlan`] is executed as a nested-loop join over
+//! c-tables. The driver ([`eval_rule`]) probes the plan's first step
+//! once — those patterns never depend on the substitution, which is
+//! empty at depth 0 — and then evaluates each match via [`eval_match`].
+//! That split is what makes the parallel path possible: the match list
+//! can be partitioned into contiguous chunks and each chunk handed to a
+//! worker running the identical per-match code (see
+//! [`super::parallel`]).
+
+use super::{Ctx, EvalError, EvalOptions, PrunePolicy};
+use crate::ast::{ArgTerm, CompExpr, Comparison, Rule, RuleAtom};
+use crate::plan::RulePlan;
+use faure_ctable::{Atom, CTuple, Condition, Expr, LinExpr, Term};
+use faure_solver::Session;
+use faure_storage::{exec, CondAcc, OpStats, Pattern, PreparedRow, Table};
+use std::collections::{BTreeSet, HashMap};
+
+/// Outcome of evaluating one comparison under a substitution: either
+/// the branch dies (ground-false), or a condition fragment (possibly
+/// `True`) joins the accumulator.
+fn apply_comparison(
+    ctx: &Ctx<'_>,
+    cmp: &Comparison,
+    theta: &HashMap<&str, Term>,
+    acc: &mut CondAcc,
+    ops: &mut OpStats,
+) -> Result<bool, EvalError> {
+    let atom = comparison_atom(ctx, cmp, theta)?;
+    let mut vars = BTreeSet::new();
+    atom.cvars(&mut vars);
+    if vars.is_empty() {
+        // Ground: decide now. A false (or undefined) comparison cuts
+        // the branch before any further literal is joined.
+        match atom.eval(&|_| unreachable!("ground atom")) {
+            Some(true) => Ok(true),
+            Some(false) | None => {
+                ops.cmp_pruned += 1;
+                Ok(false)
+            }
+        }
+    } else if acc.push(Condition::Atom(atom), ops) {
+        Ok(true)
+    } else {
+        ops.cmp_pruned += 1;
+        Ok(false)
+    }
+}
+
+/// Builds probe patterns for `atom` under the current substitution.
+fn build_patterns(ctx: &Ctx<'_>, atom: &RuleAtom, theta: &HashMap<&str, Term>) -> Vec<Pattern> {
+    atom.args
+        .iter()
+        .map(|arg| match arg {
+            ArgTerm::Cst(c) => Pattern::Exact(Term::Const(c.clone())),
+            ArgTerm::CVar(name) => Pattern::Exact(Term::Var(ctx.cvmap[name])),
+            ArgTerm::Var(v) => match theta.get(v.as_str()) {
+                Some(t) => Pattern::Exact(t.clone()),
+                None => Pattern::Any,
+            },
+        })
+        .collect()
+}
+
+/// Executes a compiled [`RulePlan`] against the current tables. When
+/// the plan has a delta slot, `delta_table` supplies the iteration
+/// delta it reads.
+///
+/// Returns the derived head rows (conditions structurally simplified
+/// and DNF-normalised, `False` filtered out) as **ordered partitions**:
+/// one partition per worker under parallel evaluation, a single
+/// partition serially. Concatenated in order, the partitions equal the
+/// serial enumeration order exactly.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn eval_rule(
+    ctx: &Ctx<'_>,
+    rule: &Rule,
+    plan: &RulePlan,
+    tables: &HashMap<String, Table>,
+    delta_table: Option<&Table>,
+    session: &mut Session,
+    opts: &EvalOptions,
+    ops: &mut OpStats,
+) -> Result<Vec<Vec<PreparedRow>>, EvalError> {
+    debug_assert_eq!(plan.delta_pos.is_some(), delta_table.is_some());
+    let mut theta: HashMap<&str, Term> = HashMap::new();
+    let mut acc = CondAcc::new();
+    // Comparisons with no rule variables gate the whole rule pass.
+    for &ci in &plan.initial_comparisons {
+        if !apply_comparison(ctx, &rule.comparisons[ci], &theta, &mut acc, ops)? {
+            return Ok(Vec::new());
+        }
+    }
+    if plan.steps.is_empty() {
+        // Fact rule: a single (possibly negation-gated) head row.
+        let mut out = Vec::new();
+        finish_rule(
+            ctx, rule, plan, tables, &theta, &acc, session, opts, ops, &mut out,
+        )?;
+        return Ok(vec![out]);
+    }
+
+    // Probe the first step once, in the driver: depth-0 patterns are
+    // substitution-independent, so every worker would compute the same
+    // match list anyway.
+    let step = &plan.steps[0];
+    let atom = rule.body[step.lit_pos].atom();
+    let table: &Table = if step.is_delta {
+        delta_table.expect("delta plan executed with a delta table")
+    } else {
+        tables.get(&atom.pred).expect("table created in setup")
+    };
+    let patterns = build_patterns(ctx, atom, &theta);
+    let matches = exec::probe(table, &ctx.reg_snapshot, &patterns, ops);
+    if matches.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    if opts.threads > 1 && matches.len() >= 2 {
+        return super::parallel::run_partitioned(
+            ctx,
+            rule,
+            plan,
+            tables,
+            delta_table,
+            &acc,
+            &matches,
+            opts,
+            session,
+            ops,
+        );
+    }
+
+    let mut out = Vec::new();
+    for (row_idx, mu) in &matches {
+        eval_match(
+            ctx,
+            rule,
+            plan,
+            tables,
+            delta_table,
+            *row_idx,
+            mu,
+            &mut theta,
+            &mut acc,
+            session,
+            opts,
+            ops,
+            &mut out,
+        )?;
+    }
+    Ok(vec![out])
+}
+
+/// Evaluates one depth-0 match: conjoins the matched row's condition
+/// and the match condition `μ`, binds the first step's variables
+/// (handling repeated variables within the atom), applies the step's
+/// pushed-down comparisons, and recurses into the remaining join steps.
+/// `theta`/`acc` are restored before returning, so a caller can reuse
+/// them across matches.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn eval_match<'r>(
+    ctx: &Ctx<'_>,
+    rule: &'r Rule,
+    plan: &RulePlan,
+    tables: &HashMap<String, Table>,
+    delta_table: Option<&Table>,
+    row_idx: usize,
+    mu: &Condition,
+    theta: &mut HashMap<&'r str, Term>,
+    acc: &mut CondAcc,
+    session: &mut Session,
+    opts: &EvalOptions,
+    ops: &mut OpStats,
+    out: &mut Vec<PreparedRow>,
+) -> Result<(), EvalError> {
+    let step = &plan.steps[0];
+    let atom = rule.body[step.lit_pos].atom();
+    let table: &Table = if step.is_delta {
+        delta_table.expect("delta plan executed with a delta table")
+    } else {
+        tables.get(&atom.pred).expect("table created in setup")
+    };
+    let row = table.row(row_idx);
+    let mark = acc.mark();
+    let mut ok = acc.push(row.cond.clone(), ops) && acc.push(mu.clone(), ops);
+    // Bind variables (handling repeated variables within the atom).
+    let mut bound_here: Vec<&'r str> = Vec::new();
+    if ok {
+        ok = bind_row(atom, row, theta, acc, ops, &mut bound_here);
+    }
+    // Pushed-down comparisons: every variable they mention is bound
+    // by now, so ground-false ones cut the branch here instead of
+    // after the remaining joins.
+    if ok {
+        for &ci in &step.comparisons {
+            if !apply_comparison(ctx, &rule.comparisons[ci], theta, acc, ops)? {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        exec_step(
+            ctx,
+            rule,
+            plan,
+            tables,
+            delta_table,
+            1,
+            theta,
+            acc,
+            session,
+            opts,
+            ops,
+            out,
+        )?;
+    }
+    acc.truncate(mark);
+    for v in bound_here {
+        theta.remove(v);
+    }
+    Ok(())
+}
+
+/// Binds `atom`'s variables against `row`, pushing explicit equalities
+/// for variables repeated *within* the atom (pre-bound variables were
+/// already covered by the probe pattern). Returns `false` when a
+/// binding is contradictory; `bound_here` records the fresh bindings
+/// for the caller to undo.
+fn bind_row<'r>(
+    atom: &'r RuleAtom,
+    row: &CTuple,
+    theta: &mut HashMap<&'r str, Term>,
+    acc: &mut CondAcc,
+    ops: &mut OpStats,
+    bound_here: &mut Vec<&'r str>,
+) -> bool {
+    for (arg, cell) in atom.args.iter().zip(&row.terms) {
+        if let ArgTerm::Var(v) = arg {
+            match theta.get(v.as_str()) {
+                Some(prev) => {
+                    if bound_here.contains(&v.as_str()) {
+                        match (prev, cell) {
+                            (Term::Const(a), Term::Const(b)) => {
+                                if a != b {
+                                    return false;
+                                }
+                            }
+                            (a, b) => {
+                                if a != b {
+                                    let eq = Condition::eq(a.clone(), b.clone());
+                                    if !acc.push(eq, ops) {
+                                        return false;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                None => {
+                    theta.insert(v.as_str(), cell.clone());
+                    bound_here.push(v.as_str());
+                }
+            }
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_step<'r>(
+    ctx: &Ctx<'_>,
+    rule: &'r Rule,
+    plan: &RulePlan,
+    tables: &HashMap<String, Table>,
+    delta_table: Option<&Table>,
+    depth: usize,
+    theta: &mut HashMap<&'r str, Term>,
+    acc: &mut CondAcc,
+    session: &mut Session,
+    opts: &EvalOptions,
+    ops: &mut OpStats,
+    out: &mut Vec<PreparedRow>,
+) -> Result<(), EvalError> {
+    if depth == plan.steps.len() {
+        return finish_rule(ctx, rule, plan, tables, theta, acc, session, opts, ops, out);
+    }
+    let step = &plan.steps[depth];
+    let atom = rule.body[step.lit_pos].atom();
+    let table: &Table = if step.is_delta {
+        delta_table.expect("delta plan executed with a delta table")
+    } else {
+        tables.get(&atom.pred).expect("table created in setup")
+    };
+
+    let patterns = build_patterns(ctx, atom, theta);
+    for (row_idx, mu) in exec::probe(table, &ctx.reg_snapshot, &patterns, ops) {
+        let row = table.row(row_idx);
+        let mark = acc.mark();
+        let mut ok = acc.push(row.cond.clone(), ops) && acc.push(mu, ops);
+        let mut bound_here: Vec<&'r str> = Vec::new();
+        if ok {
+            ok = bind_row(atom, row, theta, acc, ops, &mut bound_here);
+        }
+        // Pushed-down comparisons: every variable they mention is bound
+        // by now, so ground-false ones cut the branch here instead of
+        // after the remaining joins.
+        if ok {
+            for &ci in &step.comparisons {
+                if !apply_comparison(ctx, &rule.comparisons[ci], theta, acc, ops)? {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            exec_step(
+                ctx,
+                rule,
+                plan,
+                tables,
+                delta_table,
+                depth + 1,
+                theta,
+                acc,
+                session,
+                opts,
+                ops,
+                out,
+            )?;
+        }
+        acc.truncate(mark);
+        for v in bound_here {
+            theta.remove(v);
+        }
+    }
+    Ok(())
+}
+
+/// Applies negated literals, then emits the head row.
+#[allow(clippy::too_many_arguments)]
+fn finish_rule<'r>(
+    ctx: &Ctx<'_>,
+    rule: &'r Rule,
+    plan: &RulePlan,
+    tables: &HashMap<String, Table>,
+    theta: &HashMap<&'r str, Term>,
+    acc: &CondAcc,
+    session: &mut Session,
+    opts: &EvalOptions,
+    ops: &mut OpStats,
+    out: &mut Vec<PreparedRow>,
+) -> Result<(), EvalError> {
+    let mut cond = acc.materialize();
+    // Negation: "not derivable from the c-table".
+    for &np in &plan.negations {
+        let atom = rule.body[np].atom();
+        let terms = instantiate_args(ctx, &atom.args, theta)?;
+        let table = tables.get(&atom.pred).expect("table created in setup");
+        ops.neg_checks += 1;
+        cond = cond.and(table.negation_condition(&ctx.reg_snapshot, &terms));
+        if cond == Condition::False {
+            return Ok(());
+        }
+    }
+
+    let cond = canonicalize(faure_solver::simplify(&cond));
+    if cond == Condition::False {
+        return Ok(());
+    }
+    if opts.prune == PrunePolicy::Eager && !session.satisfiable(&ctx.reg_snapshot, &cond)? {
+        return Ok(());
+    }
+
+    let terms = instantiate_args(ctx, &rule.head.args, theta)?;
+    // Normalising the condition here (PreparedRow::new runs the
+    // minimal-DNF pass) keeps the post-join work inside the worker
+    // thread; the serial merge is then just hash lookups.
+    out.push(PreparedRow::new(CTuple { terms, cond }));
+    Ok(())
+}
+
+fn instantiate_args(
+    ctx: &Ctx<'_>,
+    args: &[ArgTerm],
+    theta: &HashMap<&str, Term>,
+) -> Result<Vec<Term>, EvalError> {
+    args.iter()
+        .map(|a| match a {
+            ArgTerm::Cst(c) => Ok(Term::Const(c.clone())),
+            ArgTerm::CVar(name) => Ok(Term::Var(ctx.cvmap[name])),
+            ArgTerm::Var(v) => theta
+                .get(v.as_str())
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+        })
+        .collect()
+}
+
+/// Converts an AST comparison into a condition atom under the current
+/// substitution.
+fn comparison_atom(
+    ctx: &Ctx<'_>,
+    cmp: &Comparison,
+    theta: &HashMap<&str, Term>,
+) -> Result<Atom, EvalError> {
+    let side = |e: &CompExpr| -> Result<Expr, EvalError> {
+        match e {
+            CompExpr::Arg(ArgTerm::Cst(c)) => Ok(Expr::Term(Term::Const(c.clone()))),
+            CompExpr::Arg(ArgTerm::CVar(name)) => Ok(Expr::Term(Term::Var(ctx.cvmap[name]))),
+            CompExpr::Arg(ArgTerm::Var(v)) => theta
+                .get(v.as_str())
+                .cloned()
+                .map(Expr::Term)
+                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+            CompExpr::Lin { terms, constant } => {
+                let mut lin = LinExpr::constant(*constant);
+                for (coef, name) in terms {
+                    lin = lin.plus_var(*coef, ctx.cvmap[name]);
+                }
+                Ok(Expr::Lin(lin))
+            }
+        }
+    };
+    Ok(Atom {
+        lhs: side(&cmp.lhs)?,
+        op: cmp.op,
+        rhs: side(&cmp.rhs)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// condition canonicalisation
+// ---------------------------------------------------------------------------
+
+/// Sorts the children of `And` / `Or` nodes by the **total structural
+/// order** on [`Condition`] so that logically identical conjunctions
+/// built in different orders become structurally identical — the
+/// delta-dedup in [`Table::insert`] then recognises them, which both
+/// shrinks conditions and guarantees fixpoint termination.
+///
+/// The sort key used to be a 64-bit `DefaultHasher` value; two distinct
+/// children with colliding hashes then got an arbitrary relative order,
+/// so the "canonical" form was not collision-proof. Sorting by
+/// `Condition`'s derived `Ord` is total and collision-free.
+pub fn canonicalize(c: Condition) -> Condition {
+    match c {
+        Condition::And(cs) => {
+            let mut cs: Vec<Condition> = Condition::take_children(cs)
+                .into_iter()
+                .map(canonicalize)
+                .collect();
+            cs.sort_unstable();
+            cs.dedup();
+            match cs.len() {
+                0 => Condition::True,
+                1 => cs.pop().expect("len checked"),
+                _ => Condition::conj(cs),
+            }
+        }
+        Condition::Or(cs) => {
+            let mut cs: Vec<Condition> = Condition::take_children(cs)
+                .into_iter()
+                .map(canonicalize)
+                .collect();
+            cs.sort_unstable();
+            cs.dedup();
+            match cs.len() {
+                0 => Condition::False,
+                1 => cs.pop().expect("len checked"),
+                _ => Condition::disj(cs),
+            }
+        }
+        Condition::Not(inner) => canonicalize(Condition::take_inner(inner)).negate(),
+        other => other,
+    }
+}

@@ -1,1193 +1,12 @@
-//! Fauré-log evaluation over c-tables.
+//! Compatibility facade over the [`crate::engine`] module family.
 //!
-//! This is the paper's central technical contribution (§3): datalog
-//! evaluation where the valuation function `v^C` maps rule variables
-//! into the **c-domain** — constants *and* c-variables — and where
-//! pattern matching may succeed *conditionally* (a constant matches a
-//! c-variable cell by adding an equality to the derived row's
-//! condition).
-//!
-//! The engine implements:
-//!
-//! * **c-valuation** — rule-variable binding against c-tuples with
-//!   accumulated match conditions (via [`faure_storage::Table`]);
-//! * **condition propagation** — a derived row's condition is the
-//!   conjunction of its body rows' conditions, the match conditions,
-//!   and the rule's explicit comparisons (equation 3);
-//! * **stratified semi-naive fixpoint** — recursion by iteration,
-//!   negation by the *not-derivable* condition of the lower stratum
-//!   (the paper §6: "recursive fauré-log is implemented by
-//!   stratification");
-//! * the **three-phase pipeline** of §6 with per-phase timing: the
-//!   relational work is phase 1+2, the solver pass
-//!   ([`PrunePolicy`]) is phase 3.
-//!
-//! Derived tuples with equal terms merge their conditions
-//! disjunctively; disjuncts are canonicalised (sorted, deduplicated) so
-//! the fixpoint terminates — conditions range over the finite atom
-//! vocabulary induced by the database.
+//! Fauré-log evaluation used to live here as one monolithic function;
+//! it is now the [`crate::engine`] — a prepare/run lifecycle
+//! ([`crate::engine::Engine`], [`crate::engine::PreparedProgram`]) with
+//! optional data-parallel fixpoint execution. This module re-exports
+//! the evaluation API under its historical paths so existing callers
+//! (and the `faure-core` crate root) keep working unchanged.
 
-use crate::analysis::{check_safety, stratify, AnalysisError};
-use crate::ast::{ArgTerm, CompExpr, Comparison, Literal, Program, Rule};
-use crate::plan::{PlanCache, RulePlan};
-use faure_ctable::{
-    Atom, CTuple, CVarId, Condition, Database, Domain, Expr, LinExpr, Relation, Schema, Term,
+pub use crate::engine::{
+    canonicalize, evaluate, evaluate_with, EvalError, EvalOptions, EvalOutput, PrunePolicy,
 };
-use faure_solver::{Session, SolverError};
-use faure_storage::{exec, CondAcc, OpStats, Pattern, PhaseStats, Table};
-use std::collections::{BTreeSet, HashMap};
-use std::fmt;
-use std::time::Instant;
-
-/// When the solver phase (the paper's "Z3 step") runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PrunePolicy {
-    /// Never call the solver; rows may carry contradictory conditions.
-    Never,
-    /// Prune each derived relation once its stratum converges
-    /// (default; matches the paper's batch use of Z3).
-    EndOfStratum,
-    /// Prune the delta after every fixpoint iteration (keeps
-    /// intermediate states small, costs more solver calls).
-    EveryIteration,
-    /// Check satisfiability of every candidate row before insertion.
-    Eager,
-}
-
-/// Evaluation options.
-#[derive(Clone, Copy, Debug)]
-pub struct EvalOptions {
-    /// Solver phase policy.
-    pub prune: PrunePolicy,
-    /// Semi-naive (true, default) or naive (false) fixpoint — the
-    /// latter exists for the ablation benchmark.
-    pub semi_naive: bool,
-    /// Safety valve on fixpoint iterations per stratum.
-    pub max_iterations: usize,
-}
-
-impl Default for EvalOptions {
-    fn default() -> Self {
-        EvalOptions {
-            prune: PrunePolicy::EndOfStratum,
-            semi_naive: true,
-            max_iterations: 100_000,
-        }
-    }
-}
-
-/// Evaluation errors.
-#[derive(Debug)]
-pub enum EvalError {
-    /// Static analysis rejected the program.
-    Analysis(AnalysisError),
-    /// The solver rejected a condition (outside supported fragment or
-    /// budget exceeded).
-    Solver(SolverError),
-    /// An atom's arity disagrees with its relation.
-    ArityMismatch {
-        /// Predicate name.
-        pred: String,
-        /// Arity in the database / earlier use.
-        expected: usize,
-        /// Arity at this use.
-        got: usize,
-    },
-    /// The fixpoint did not converge within `max_iterations`.
-    IterationLimit {
-        /// The configured limit.
-        limit: usize,
-    },
-    /// A rule variable was unbound when needed (safety should prevent
-    /// this; kept as a defensive error).
-    UnboundVariable(String),
-}
-
-impl fmt::Display for EvalError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EvalError::Analysis(e) => write!(f, "{e}"),
-            EvalError::Solver(e) => write!(f, "{e}"),
-            EvalError::ArityMismatch {
-                pred,
-                expected,
-                got,
-            } => write!(
-                f,
-                "predicate {pred} used with arity {got}, expected {expected}"
-            ),
-            EvalError::IterationLimit { limit } => {
-                write!(f, "fixpoint did not converge within {limit} iterations")
-            }
-            EvalError::UnboundVariable(v) => write!(f, "unbound rule variable `{v}`"),
-        }
-    }
-}
-
-impl std::error::Error for EvalError {}
-
-impl From<AnalysisError> for EvalError {
-    fn from(e: AnalysisError) -> Self {
-        EvalError::Analysis(e)
-    }
-}
-
-impl From<SolverError> for EvalError {
-    fn from(e: SolverError) -> Self {
-        EvalError::Solver(e)
-    }
-}
-
-/// Result of evaluating a program.
-pub struct EvalOutput {
-    /// The input database extended with all derived relations (and any
-    /// c-variables auto-registered during resolution).
-    pub database: Database,
-    /// Per-phase statistics (the paper's `sql` / `Z3` / `#tuples`
-    /// columns).
-    pub stats: PhaseStats,
-    /// Lint warnings from the pre-evaluation analysis pass (dead
-    /// rules, shadowed inputs, singleton variables, …). Warnings never
-    /// change evaluation results; callers may surface or ignore them.
-    pub warnings: Vec<crate::analysis::Finding>,
-}
-
-impl EvalOutput {
-    /// A derived (or input) relation by name.
-    pub fn relation(&self, name: &str) -> Option<&Relation> {
-        self.database.relation(name)
-    }
-
-    /// Whether the 0-ary predicate `name` (e.g. `panic`) was derived
-    /// with a satisfiable condition. Requires the evaluation to have
-    /// run with a pruning policy other than `Never`, or the caller can
-    /// inspect conditions directly.
-    pub fn derived(&self, name: &str) -> bool {
-        self.relation(name).is_some_and(|r| !r.is_empty())
-    }
-}
-
-/// Evaluates `program` on `db` with default options.
-pub fn evaluate(program: &Program, db: &Database) -> Result<EvalOutput, EvalError> {
-    evaluate_with(program, db, &EvalOptions::default())
-}
-
-/// Evaluates `program` on `db` with explicit options.
-pub fn evaluate_with(
-    program: &Program,
-    db: &Database,
-    opts: &EvalOptions,
-) -> Result<EvalOutput, EvalError> {
-    check_safety(program)?;
-    let strat = stratify(program)?;
-    // Diagnostic pre-pass: collect lint warnings without affecting
-    // evaluation (the hard errors above gate first, so only
-    // warning-class findings remain relevant here).
-    let warnings: Vec<crate::analysis::Finding> = crate::analysis::analyze(program, Some(db))
-        .into_iter()
-        .filter(|f| !f.is_error())
-        .collect();
-
-    let mut database = db.clone();
-    let cvmap = resolve_cvars(program, &mut database);
-    let mut session = Session::new();
-    let started = Instant::now();
-
-    // --- set up tables -------------------------------------------------
-    let idb: BTreeSet<&str> = program.idb_predicates();
-    let mut tables: HashMap<String, Table> = HashMap::new();
-    // EDB relations present in the database.
-    for rel in database.relations() {
-        tables.insert(rel.schema.name.clone(), Table::from_relation(rel));
-    }
-    // Any predicate mentioned but absent: empty table with inferred arity.
-    for rule in &program.rules {
-        for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(Literal::atom)) {
-            let arity = atom.args.len();
-            match tables.get(&atom.pred) {
-                Some(t) if t.schema.arity() != arity => {
-                    return Err(EvalError::ArityMismatch {
-                        pred: atom.pred.clone(),
-                        expected: t.schema.arity(),
-                        got: arity,
-                    });
-                }
-                Some(_) => {}
-                None => {
-                    let attrs: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
-                    let schema = Schema {
-                        name: atom.pred.clone(),
-                        attrs,
-                    };
-                    tables.insert(atom.pred.clone(), Table::new(schema));
-                }
-            }
-        }
-    }
-
-    let ctx = Ctx {
-        cvmap: &cvmap,
-        reg_snapshot: database.cvars.clone(),
-    };
-
-    let mut stats = PhaseStats::new();
-    let mut plans = PlanCache::new();
-
-    // --- evaluate stratum by stratum ------------------------------------
-    for stratum_rules in &strat.strata {
-        let rules: Vec<(usize, &Rule)> = stratum_rules
-            .iter()
-            .map(|&i| (i, &program.rules[i]))
-            .collect();
-        let stratum_preds: BTreeSet<&str> =
-            rules.iter().map(|(_, r)| r.head.pred.as_str()).collect();
-
-        if opts.semi_naive {
-            eval_stratum_semi_naive(
-                &ctx,
-                &rules,
-                &stratum_preds,
-                &mut tables,
-                &mut plans,
-                &mut session,
-                opts,
-                &mut stats,
-            )?;
-        } else {
-            eval_stratum_naive(
-                &ctx,
-                &rules,
-                &stratum_preds,
-                &mut tables,
-                &mut plans,
-                &mut session,
-                opts,
-                &mut stats,
-            )?;
-        }
-
-        if matches!(
-            opts.prune,
-            PrunePolicy::EndOfStratum | PrunePolicy::EveryIteration
-        ) {
-            for p in &stratum_preds {
-                let t = tables.get_mut(*p).expect("table created above");
-                let removed = t.prune(&ctx.reg_snapshot, &mut session)?;
-                stats.pruned += removed;
-            }
-        }
-        let _ = idb;
-    }
-
-    // --- collect results -------------------------------------------------
-    // Drop tables as they are converted (and EDB mirrors up front) so
-    // peak memory stays near two copies of the data, not three — this
-    // matters at Table 4 scale (millions of rows).
-    let idb_names: Vec<String> = program
-        .idb_predicates()
-        .into_iter()
-        .map(str::to_owned)
-        .collect();
-    tables.retain(|name, _| idb_names.iter().any(|p| p == name));
-    let mut derived_tuples = 0usize;
-    for p in &idb_names {
-        let t = tables.remove(p).expect("table created in setup");
-        derived_tuples += t.len();
-        database.set_relation(t.to_relation());
-    }
-
-    let total = started.elapsed();
-    let solver_time = session.stats().time;
-    stats.relational = total.saturating_sub(solver_time);
-    stats.solver = solver_time;
-    stats.tuples = derived_tuples;
-    stats.solver_stats = session.stats();
-    stats.plan_cache_hits = plans.hits;
-    stats.plan_cache_misses = plans.misses;
-
-    Ok(EvalOutput {
-        database,
-        stats,
-        warnings,
-    })
-}
-
-/// Resolves c-variable names to ids, auto-registering unknown names
-/// with an open domain.
-fn resolve_cvars(program: &Program, db: &mut Database) -> HashMap<String, CVarId> {
-    let mut map = HashMap::new();
-    for name in program.cvar_names() {
-        let id = match db.cvars.by_name(name) {
-            Some(id) => id,
-            None => db.fresh_cvar(name, Domain::Open),
-        };
-        map.insert(name.to_owned(), id);
-    }
-    map
-}
-
-struct Ctx<'a> {
-    cvmap: &'a HashMap<String, CVarId>,
-    /// Registry snapshot taken after resolution (the registry is not
-    /// mutated during evaluation).
-    reg_snapshot: faure_ctable::CVarRegistry,
-}
-
-// ---------------------------------------------------------------------------
-// fixpoint drivers
-// ---------------------------------------------------------------------------
-
-#[allow(clippy::too_many_arguments)]
-fn eval_stratum_semi_naive(
-    ctx: &Ctx<'_>,
-    rules: &[(usize, &Rule)],
-    stratum_preds: &BTreeSet<&str>,
-    tables: &mut HashMap<String, Table>,
-    plans: &mut PlanCache,
-    session: &mut Session,
-    opts: &EvalOptions,
-    stats: &mut PhaseStats,
-) -> Result<(), EvalError> {
-    // Iteration 0: every rule against the full tables (recursive rules
-    // see the — possibly empty — current contents of stratum IDBs).
-    let mut delta: HashMap<String, Table> = HashMap::new();
-    for &(ri, rule) in rules {
-        let plan = plans.get_or_compile(ri, rule, None);
-        let derived = eval_rule(ctx, rule, plan, tables, None, session, opts, &mut stats.ops)?;
-        merge_derived(rule.head.pred.as_str(), derived, tables, &mut delta);
-    }
-    record_delta_size(&delta, stats);
-
-    let mut iterations = 0usize;
-    while !delta.is_empty() {
-        iterations += 1;
-        if iterations > opts.max_iterations {
-            return Err(EvalError::IterationLimit {
-                limit: opts.max_iterations,
-            });
-        }
-        if opts.prune == PrunePolicy::EveryIteration {
-            for t in delta.values_mut() {
-                t.prune(&ctx.reg_snapshot, session)?;
-            }
-            delta.retain(|_, t| !t.is_empty());
-            if delta.is_empty() {
-                break;
-            }
-        }
-        let mut next_delta: HashMap<String, Table> = HashMap::new();
-        for &(ri, rule) in rules {
-            // One pass per positive body literal whose predicate is in
-            // this stratum and has a pending delta. The plan for each
-            // (rule, delta slot) is compiled once — later iterations
-            // are cache hits that only execute.
-            for (pos, lit) in rule.body.iter().enumerate() {
-                if lit.is_negative() {
-                    continue;
-                }
-                let p = lit.atom().pred.as_str();
-                if !stratum_preds.contains(p) {
-                    continue;
-                }
-                let Some(d) = delta.get(p) else { continue };
-                if d.is_empty() {
-                    continue;
-                }
-                let plan = plans.get_or_compile(ri, rule, Some(pos));
-                let derived = eval_rule(
-                    ctx,
-                    rule,
-                    plan,
-                    tables,
-                    Some(d),
-                    session,
-                    opts,
-                    &mut stats.ops,
-                )?;
-                merge_derived(rule.head.pred.as_str(), derived, tables, &mut next_delta);
-            }
-        }
-        delta = next_delta;
-        record_delta_size(&delta, stats);
-    }
-    Ok(())
-}
-
-/// Records the total delta size of a just-finished fixpoint iteration
-/// (the empty delta that terminates the loop is not recorded).
-fn record_delta_size(delta: &HashMap<String, Table>, stats: &mut PhaseStats) {
-    let total: usize = delta.values().map(Table::len).sum();
-    if total > 0 {
-        stats.delta_sizes.push(total);
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn eval_stratum_naive(
-    ctx: &Ctx<'_>,
-    rules: &[(usize, &Rule)],
-    stratum_preds: &BTreeSet<&str>,
-    tables: &mut HashMap<String, Table>,
-    plans: &mut PlanCache,
-    session: &mut Session,
-    opts: &EvalOptions,
-    stats: &mut PhaseStats,
-) -> Result<(), EvalError> {
-    let _ = stratum_preds;
-    let mut iterations = 0usize;
-    loop {
-        iterations += 1;
-        if iterations > opts.max_iterations {
-            return Err(EvalError::IterationLimit {
-                limit: opts.max_iterations,
-            });
-        }
-        let mut changed = false;
-        for &(ri, rule) in rules {
-            let plan = plans.get_or_compile(ri, rule, None);
-            let derived = eval_rule(ctx, rule, plan, tables, None, session, opts, &mut stats.ops)?;
-            let table = tables
-                .get_mut(rule.head.pred.as_str())
-                .expect("table created in setup");
-            for row in derived {
-                if table.insert(row).changed() {
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            return Ok(());
-        }
-    }
-}
-
-/// Merges derived rows into the full table; changed rows (new terms or
-/// new disjunct) are recorded in `delta` carrying only the new
-/// disjunct.
-fn merge_derived(
-    pred: &str,
-    derived: Vec<CTuple>,
-    tables: &mut HashMap<String, Table>,
-    delta: &mut HashMap<String, Table>,
-) {
-    if derived.is_empty() {
-        return;
-    }
-    let table = tables.get_mut(pred).expect("table created in setup");
-    for row in derived {
-        let disjunct = row.cond.clone();
-        if table.insert(row.clone()).changed() {
-            delta
-                .entry(pred.to_owned())
-                .or_insert_with(|| Table::new(table.schema.clone()))
-                .insert(CTuple {
-                    terms: row.terms,
-                    cond: disjunct,
-                });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// single-rule plan execution (the c-valuation)
-// ---------------------------------------------------------------------------
-
-/// Outcome of evaluating one comparison under a substitution: either
-/// the branch dies (ground-false), or a condition fragment (possibly
-/// `True`) joins the accumulator.
-fn apply_comparison(
-    ctx: &Ctx<'_>,
-    cmp: &Comparison,
-    theta: &HashMap<&str, Term>,
-    acc: &mut CondAcc,
-    ops: &mut OpStats,
-) -> Result<bool, EvalError> {
-    let atom = comparison_atom(ctx, cmp, theta)?;
-    let mut vars = BTreeSet::new();
-    atom.cvars(&mut vars);
-    if vars.is_empty() {
-        // Ground: decide now. A false (or undefined) comparison cuts
-        // the branch before any further literal is joined.
-        match atom.eval(&|_| unreachable!("ground atom")) {
-            Some(true) => Ok(true),
-            Some(false) | None => {
-                ops.cmp_pruned += 1;
-                Ok(false)
-            }
-        }
-    } else if acc.push(Condition::Atom(atom), ops) {
-        Ok(true)
-    } else {
-        ops.cmp_pruned += 1;
-        Ok(false)
-    }
-}
-
-/// Executes a compiled [`RulePlan`] against the current tables. When
-/// the plan has a delta slot, `delta_table` supplies the iteration
-/// delta it reads. Returns the derived head rows (conditions
-/// structurally simplified, `False` filtered out).
-#[allow(clippy::too_many_arguments)]
-fn eval_rule(
-    ctx: &Ctx<'_>,
-    rule: &Rule,
-    plan: &RulePlan,
-    tables: &HashMap<String, Table>,
-    delta_table: Option<&Table>,
-    session: &mut Session,
-    opts: &EvalOptions,
-    ops: &mut OpStats,
-) -> Result<Vec<CTuple>, EvalError> {
-    debug_assert_eq!(plan.delta_pos.is_some(), delta_table.is_some());
-    let mut out = Vec::new();
-    let mut theta: HashMap<&str, Term> = HashMap::new();
-    let mut acc = CondAcc::new();
-    // Comparisons with no rule variables gate the whole rule pass.
-    for &ci in &plan.initial_comparisons {
-        if !apply_comparison(ctx, &rule.comparisons[ci], &theta, &mut acc, ops)? {
-            return Ok(out);
-        }
-    }
-    exec_step(
-        ctx,
-        rule,
-        plan,
-        tables,
-        delta_table,
-        0,
-        &mut theta,
-        &mut acc,
-        session,
-        opts,
-        ops,
-        &mut out,
-    )?;
-    Ok(out)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn exec_step<'r>(
-    ctx: &Ctx<'_>,
-    rule: &'r Rule,
-    plan: &RulePlan,
-    tables: &HashMap<String, Table>,
-    delta_table: Option<&Table>,
-    depth: usize,
-    theta: &mut HashMap<&'r str, Term>,
-    acc: &mut CondAcc,
-    session: &mut Session,
-    opts: &EvalOptions,
-    ops: &mut OpStats,
-    out: &mut Vec<CTuple>,
-) -> Result<(), EvalError> {
-    if depth == plan.steps.len() {
-        return finish_rule(ctx, rule, plan, tables, theta, acc, session, opts, ops, out);
-    }
-    let step = &plan.steps[depth];
-    let atom = rule.body[step.lit_pos].atom();
-    let table: &Table = if step.is_delta {
-        delta_table.expect("delta plan executed with a delta table")
-    } else {
-        tables.get(&atom.pred).expect("table created in setup")
-    };
-
-    // Build patterns under the current substitution.
-    let mut patterns = Vec::with_capacity(atom.args.len());
-    for arg in &atom.args {
-        let pat = match arg {
-            ArgTerm::Cst(c) => Pattern::Exact(Term::Const(c.clone())),
-            ArgTerm::CVar(name) => Pattern::Exact(Term::Var(ctx.cvmap[name])),
-            ArgTerm::Var(v) => match theta.get(v.as_str()) {
-                Some(t) => Pattern::Exact(t.clone()),
-                None => Pattern::Any,
-            },
-        };
-        patterns.push(pat);
-    }
-
-    for (row_idx, mu) in exec::probe(table, &ctx.reg_snapshot, &patterns, ops) {
-        let row = table.row(row_idx);
-        let mark = acc.mark();
-        let mut ok = acc.push(row.cond.clone(), ops) && acc.push(mu, ops);
-        // Bind variables (handling repeated variables within the atom).
-        let mut bound_here: Vec<&'r str> = Vec::new();
-        if ok {
-            for (arg, cell) in atom.args.iter().zip(&row.terms) {
-                if let ArgTerm::Var(v) = arg {
-                    match theta.get(v.as_str()) {
-                        Some(prev) => {
-                            // Already bound (earlier literal or repeated in
-                            // this atom). A pattern covered pre-bound vars;
-                            // repeats bound within this row need an explicit
-                            // equality.
-                            if bound_here.contains(&v.as_str()) {
-                                match (prev, cell) {
-                                    (Term::Const(a), Term::Const(b)) => {
-                                        if a != b {
-                                            ok = false;
-                                            break;
-                                        }
-                                    }
-                                    (a, b) => {
-                                        if a != b {
-                                            let eq = Condition::eq(a.clone(), b.clone());
-                                            if !acc.push(eq, ops) {
-                                                ok = false;
-                                                break;
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                        None => {
-                            theta.insert(v.as_str(), cell.clone());
-                            bound_here.push(v.as_str());
-                        }
-                    }
-                }
-            }
-        }
-        // Pushed-down comparisons: every variable they mention is bound
-        // by now, so ground-false ones cut the branch here instead of
-        // after the remaining joins.
-        if ok {
-            for &ci in &step.comparisons {
-                if !apply_comparison(ctx, &rule.comparisons[ci], theta, acc, ops)? {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if ok {
-            exec_step(
-                ctx,
-                rule,
-                plan,
-                tables,
-                delta_table,
-                depth + 1,
-                theta,
-                acc,
-                session,
-                opts,
-                ops,
-                out,
-            )?;
-        }
-        acc.truncate(mark);
-        for v in bound_here {
-            theta.remove(v);
-        }
-    }
-    Ok(())
-}
-
-/// Applies negated literals, then emits the head row.
-#[allow(clippy::too_many_arguments)]
-fn finish_rule<'r>(
-    ctx: &Ctx<'_>,
-    rule: &'r Rule,
-    plan: &RulePlan,
-    tables: &HashMap<String, Table>,
-    theta: &HashMap<&'r str, Term>,
-    acc: &CondAcc,
-    session: &mut Session,
-    opts: &EvalOptions,
-    ops: &mut OpStats,
-    out: &mut Vec<CTuple>,
-) -> Result<(), EvalError> {
-    let mut cond = acc.materialize();
-    // Negation: "not derivable from the c-table".
-    for &np in &plan.negations {
-        let atom = rule.body[np].atom();
-        let terms = instantiate_args(ctx, &atom.args, theta)?;
-        let table = tables.get(&atom.pred).expect("table created in setup");
-        ops.neg_checks += 1;
-        cond = cond.and(table.negation_condition(&ctx.reg_snapshot, &terms));
-        if cond == Condition::False {
-            return Ok(());
-        }
-    }
-
-    let cond = canonicalize(faure_solver::simplify(&cond));
-    if cond == Condition::False {
-        return Ok(());
-    }
-    if opts.prune == PrunePolicy::Eager && !session.satisfiable(&ctx.reg_snapshot, &cond)? {
-        return Ok(());
-    }
-
-    let terms = instantiate_args(ctx, &rule.head.args, theta)?;
-    out.push(CTuple { terms, cond });
-    Ok(())
-}
-
-fn instantiate_args(
-    ctx: &Ctx<'_>,
-    args: &[ArgTerm],
-    theta: &HashMap<&str, Term>,
-) -> Result<Vec<Term>, EvalError> {
-    args.iter()
-        .map(|a| match a {
-            ArgTerm::Cst(c) => Ok(Term::Const(c.clone())),
-            ArgTerm::CVar(name) => Ok(Term::Var(ctx.cvmap[name])),
-            ArgTerm::Var(v) => theta
-                .get(v.as_str())
-                .cloned()
-                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
-        })
-        .collect()
-}
-
-/// Converts an AST comparison into a condition atom under the current
-/// substitution.
-fn comparison_atom(
-    ctx: &Ctx<'_>,
-    cmp: &Comparison,
-    theta: &HashMap<&str, Term>,
-) -> Result<Atom, EvalError> {
-    let side = |e: &CompExpr| -> Result<Expr, EvalError> {
-        match e {
-            CompExpr::Arg(ArgTerm::Cst(c)) => Ok(Expr::Term(Term::Const(c.clone()))),
-            CompExpr::Arg(ArgTerm::CVar(name)) => Ok(Expr::Term(Term::Var(ctx.cvmap[name]))),
-            CompExpr::Arg(ArgTerm::Var(v)) => theta
-                .get(v.as_str())
-                .cloned()
-                .map(Expr::Term)
-                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
-            CompExpr::Lin { terms, constant } => {
-                let mut lin = LinExpr::constant(*constant);
-                for (coef, name) in terms {
-                    lin = lin.plus_var(*coef, ctx.cvmap[name]);
-                }
-                Ok(Expr::Lin(lin))
-            }
-        }
-    };
-    Ok(Atom {
-        lhs: side(&cmp.lhs)?,
-        op: cmp.op,
-        rhs: side(&cmp.rhs)?,
-    })
-}
-
-// ---------------------------------------------------------------------------
-// condition canonicalisation
-// ---------------------------------------------------------------------------
-
-/// Sorts the children of `And` / `Or` nodes by the **total structural
-/// order** on [`Condition`] so that logically identical conjunctions
-/// built in different orders become structurally identical — the
-/// delta-dedup in [`Table::insert`] then recognises them, which both
-/// shrinks conditions and guarantees fixpoint termination.
-///
-/// The sort key used to be a 64-bit `DefaultHasher` value; two distinct
-/// children with colliding hashes then got an arbitrary relative order,
-/// so the "canonical" form was not collision-proof. Sorting by
-/// `Condition`'s derived `Ord` is total and collision-free.
-pub fn canonicalize(c: Condition) -> Condition {
-    match c {
-        Condition::And(cs) => {
-            let mut cs: Vec<Condition> = Condition::take_children(cs)
-                .into_iter()
-                .map(canonicalize)
-                .collect();
-            cs.sort_unstable();
-            cs.dedup();
-            match cs.len() {
-                0 => Condition::True,
-                1 => cs.pop().expect("len checked"),
-                _ => Condition::conj(cs),
-            }
-        }
-        Condition::Or(cs) => {
-            let mut cs: Vec<Condition> = Condition::take_children(cs)
-                .into_iter()
-                .map(canonicalize)
-                .collect();
-            cs.sort_unstable();
-            cs.dedup();
-            match cs.len() {
-                0 => Condition::False,
-                1 => cs.pop().expect("len checked"),
-                _ => Condition::disj(cs),
-            }
-        }
-        Condition::Not(inner) => canonicalize(Condition::take_inner(inner)).negate(),
-        other => other,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::parser::parse_program;
-    use faure_ctable::examples::table2_path_db;
-
-    /// q1/q2 of the paper: cost of 1.2.3.4's path.
-    #[test]
-    fn table2_cost_query() {
-        let (db, vars) = table2_path_db();
-        let program = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c)."#).unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        let rel = out.relation("Cost").unwrap();
-        // Depending on x̄, the cost is 3 ([ABC]) or 4 ([ADEC]).
-        assert_eq!(rel.len(), 2);
-        let mut costs: Vec<i64> = rel
-            .iter()
-            .map(|t| t.terms[0].as_const().unwrap().as_int().unwrap())
-            .collect();
-        costs.sort_unstable();
-        assert_eq!(costs, vec![3, 4]);
-        // Each row's condition must mention x̄.
-        for t in rel.iter() {
-            assert!(t.cond.cvars().contains(&vars.x));
-        }
-    }
-
-    /// q3: implicit pattern matching — P(1.2.3.5, y) matches the
-    /// c-variable row (ȳ, [ABE]).
-    #[test]
-    fn table2_q3_pattern_match() {
-        let (db, _) = table2_path_db();
-        let program = parse_program(r#"Q3(c) :- P("1.2.3.5", p), C(p, c)."#).unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        let rel = out.relation("Q3").unwrap();
-        // The answer 3 is conditional on ȳ = 1.2.3.5 (consistent with
-        // ȳ ≠ 1.2.3.4), so exactly one row.
-        assert_eq!(rel.len(), 1);
-        assert_eq!(rel.tuples[0].terms[0], Term::int(3));
-        assert_ne!(rel.tuples[0].cond, Condition::True);
-    }
-
-    /// The diagnostic pre-pass surfaces lints without changing results.
-    #[test]
-    fn warnings_surface_without_changing_results() {
-        let (db, _) = table2_path_db();
-        // `u` is a singleton (likely-typo) variable; the query result
-        // must be identical to the clean formulation.
-        let program = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c), D(u)."#).unwrap();
-        let mut db2 = db.clone();
-        db2.create_relation(faure_ctable::Schema::new("D", &["a"]))
-            .unwrap();
-        db2.insert("D", faure_ctable::CTuple::new([Term::int(0)]))
-            .unwrap();
-        let out = evaluate(&program, &db2).unwrap();
-        assert_eq!(out.relation("Cost").unwrap().len(), 2);
-        assert!(out
-            .warnings
-            .iter()
-            .any(|w| matches!(w, crate::analysis::Finding::SingletonVariable { variable, .. } if variable == "u")));
-        assert!(out.warnings.iter().all(|w| !w.is_error()));
-
-        // A clean program yields no warnings.
-        let clean = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c)."#).unwrap();
-        let out = evaluate(&clean, &db).unwrap();
-        assert_eq!(out.warnings, Vec::new());
-    }
-
-    #[test]
-    fn facts_evaluate() {
-        let db = Database::new();
-        let program = parse_program("Lb(Mkt, CS).\nLb(\"R&D\", GS).\n").unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        assert_eq!(out.relation("Lb").unwrap().len(), 2);
-    }
-
-    #[test]
-    fn recursion_transitive_closure_ground() {
-        let mut db = Database::new();
-        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
-        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
-            db.insert("E", CTuple::new([Term::int(a), Term::int(b)]))
-                .unwrap();
-        }
-        let program = parse_program(
-            "R(a, b) :- E(a, b).\n\
-             R(a, b) :- E(a, c), R(c, b).\n",
-        )
-        .unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        // 1→2,1→3,1→4,2→3,2→4,3→4
-        assert_eq!(out.relation("R").unwrap().len(), 6);
-    }
-
-    #[test]
-    fn naive_matches_semi_naive() {
-        let mut db = Database::new();
-        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
-        for (a, b) in [(1, 2), (2, 3), (3, 1), (3, 4)] {
-            db.insert("E", CTuple::new([Term::int(a), Term::int(b)]))
-                .unwrap();
-        }
-        let program = parse_program(
-            "R(a, b) :- E(a, b).\n\
-             R(a, b) :- E(a, c), R(c, b).\n",
-        )
-        .unwrap();
-        let semi = evaluate(&program, &db).unwrap();
-        let naive = evaluate_with(
-            &program,
-            &db,
-            &EvalOptions {
-                semi_naive: false,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        let mut a: Vec<Vec<Term>> = semi
-            .relation("R")
-            .unwrap()
-            .iter()
-            .map(|t| t.terms.clone())
-            .collect();
-        let mut b: Vec<Vec<Term>> = naive
-            .relation("R")
-            .unwrap()
-            .iter()
-            .map(|t| t.terms.clone())
-            .collect();
-        a.sort();
-        b.sort();
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn recursion_with_conditions_terminates_on_cycles() {
-        // A 2-cycle where each link is protected by a c-variable; the
-        // reachability conditions must converge (conjunction dedup).
-        let mut db = Database::new();
-        let x = db.fresh_cvar("x", Domain::Bool01);
-        let y = db.fresh_cvar("y", Domain::Bool01);
-        db.create_relation(Schema::new("F", &["a", "b"])).unwrap();
-        db.insert(
-            "F",
-            CTuple::with_cond(
-                [Term::int(1), Term::int(2)],
-                Condition::eq(Term::Var(x), Term::int(1)),
-            ),
-        )
-        .unwrap();
-        db.insert(
-            "F",
-            CTuple::with_cond(
-                [Term::int(2), Term::int(1)],
-                Condition::eq(Term::Var(y), Term::int(1)),
-            ),
-        )
-        .unwrap();
-        let program = parse_program(
-            "R(a, b) :- F(a, b).\n\
-             R(a, b) :- F(a, c), R(c, b).\n",
-        )
-        .unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        let r = out.relation("R").unwrap();
-        // R(1,2), R(2,1), R(1,1), R(2,2)
-        assert_eq!(r.len(), 4);
-        // R(1,1) requires both links: condition ≡ x̄=1 ∧ ȳ=1.
-        let r11 = r
-            .iter()
-            .find(|t| t.terms == vec![Term::int(1), Term::int(1)])
-            .unwrap();
-        let expected = Condition::eq(Term::Var(x), Term::int(1))
-            .and(Condition::eq(Term::Var(y), Term::int(1)));
-        assert!(faure_solver::equivalent(&out.database.cvars, &r11.cond, &expected).unwrap());
-    }
-
-    #[test]
-    fn negation_not_derivable() {
-        let mut db = Database::new();
-        let x = db.fresh_cvar("x", Domain::Bool01);
-        db.create_relation(Schema::new("N", &["a"])).unwrap();
-        db.insert("N", CTuple::new([Term::int(1)])).unwrap();
-        db.insert("N", CTuple::new([Term::int(2)])).unwrap();
-        db.create_relation(Schema::new("Block", &["a"])).unwrap();
-        db.insert(
-            "Block",
-            CTuple::with_cond([Term::int(1)], Condition::eq(Term::Var(x), Term::int(1))),
-        )
-        .unwrap();
-        let program = parse_program("Open(a) :- N(a), !Block(a).\n").unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        let open = out.relation("Open").unwrap();
-        assert_eq!(open.len(), 2);
-        let o1 = open.iter().find(|t| t.terms == vec![Term::int(1)]).unwrap();
-        // Open(1) iff NOT (x̄ = 1), i.e. x̄ ≠ 1.
-        assert!(faure_solver::equivalent(
-            &out.database.cvars,
-            &o1.cond,
-            &Condition::ne(Term::Var(x), Term::int(1))
-        )
-        .unwrap());
-        let o2 = open.iter().find(|t| t.terms == vec![Term::int(2)]).unwrap();
-        assert_eq!(o2.cond, Condition::True);
-    }
-
-    #[test]
-    fn comparisons_filter_and_annotate() {
-        let mut db = Database::new();
-        let p = db.fresh_cvar("p", Domain::Ints(vec![80, 344, 7000]));
-        db.create_relation(Schema::new("R", &["subnet", "port"]))
-            .unwrap();
-        db.insert("R", CTuple::new([Term::sym("Mkt"), Term::Var(p)]))
-            .unwrap();
-        db.insert("R", CTuple::new([Term::sym("R&D"), Term::int(80)]))
-            .unwrap();
-        let program = parse_program("V(s) :- R(s, q), q != 80.\n").unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        let v = out.relation("V").unwrap();
-        // R&D row: 80 != 80 is ground-false → dropped. Mkt row: condition p̄ ≠ 80.
-        assert_eq!(v.len(), 1);
-        assert_eq!(v.tuples[0].terms, vec![Term::sym("Mkt")]);
-        assert!(faure_solver::equivalent(
-            &out.database.cvars,
-            &v.tuples[0].cond,
-            &Condition::ne(Term::Var(p), Term::int(80))
-        )
-        .unwrap());
-    }
-
-    #[test]
-    fn zero_ary_panic_queries() {
-        let mut db = Database::new();
-        db.create_relation(Schema::new("R", &["s", "d"])).unwrap();
-        db.insert("R", CTuple::new([Term::sym("Mkt"), Term::sym("CS")]))
-            .unwrap();
-        db.create_relation(Schema::new("Fw", &["s", "d"])).unwrap();
-        // No firewall: panic must fire unconditionally.
-        let program = parse_program("panic :- R(Mkt, CS), !Fw(Mkt, CS).\n").unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        assert!(out.derived("panic"));
-        // Deploy the firewall: panic no longer derivable.
-        let mut db2 = db.clone();
-        db2.insert("Fw", CTuple::new([Term::sym("Mkt"), Term::sym("CS")]))
-            .unwrap();
-        let out2 = evaluate(&program, &db2).unwrap();
-        assert!(!out2.derived("panic"));
-    }
-
-    #[test]
-    fn eager_prune_matches_end_of_stratum() {
-        let (db, _) = table2_path_db();
-        let program = parse_program(
-            r#"Cost(c) :- P("1.2.3.4", p), C(p, c).
-               Cheap(c) :- Cost(c), c < 4."#,
-        )
-        .unwrap();
-        let a = evaluate_with(
-            &program,
-            &db,
-            &EvalOptions {
-                prune: PrunePolicy::Eager,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        let b = evaluate(&program, &db).unwrap();
-        assert_eq!(
-            a.relation("Cheap").unwrap().len(),
-            b.relation("Cheap").unwrap().len()
-        );
-        assert_eq!(a.relation("Cheap").unwrap().len(), 1);
-    }
-
-    #[test]
-    fn repeated_variable_in_atom() {
-        let mut db = Database::new();
-        let x = db.fresh_cvar("x", Domain::Ints(vec![1, 2]));
-        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
-        db.insert("E", CTuple::new([Term::int(1), Term::int(1)]))
-            .unwrap();
-        db.insert("E", CTuple::new([Term::int(1), Term::int(2)]))
-            .unwrap();
-        db.insert("E", CTuple::new([Term::int(2), Term::Var(x)]))
-            .unwrap();
-        let program = parse_program("Diag(a) :- E(a, a).\n").unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        let diag = out.relation("Diag").unwrap();
-        // E(1,1) → Diag(1) unconditionally; E(2, x̄) → Diag(2) iff x̄ = 2.
-        assert_eq!(diag.len(), 2);
-        let d2 = diag.iter().find(|t| t.terms == vec![Term::int(2)]).unwrap();
-        assert!(faure_solver::equivalent(
-            &out.database.cvars,
-            &d2.cond,
-            &Condition::eq(Term::Var(x), Term::int(2))
-        )
-        .unwrap());
-    }
-
-    #[test]
-    fn arity_mismatch_detected() {
-        let mut db = Database::new();
-        db.create_relation(Schema::new("F", &["a", "b"])).unwrap();
-        let program = parse_program("R(a) :- F(a).\n").unwrap();
-        assert!(matches!(
-            evaluate(&program, &db),
-            Err(EvalError::ArityMismatch { .. })
-        ));
-    }
-
-    #[test]
-    fn plans_compile_once_and_hit_cache_across_iterations() {
-        // A 6-node chain: transitive closure takes several semi-naive
-        // iterations, each of which must reuse the compiled delta plan.
-        let mut db = Database::new();
-        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
-        for i in 1..6 {
-            db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
-                .unwrap();
-        }
-        let program = parse_program(
-            "R(a, b) :- E(a, b).\n\
-             R(a, b) :- E(a, c), R(c, b).\n",
-        )
-        .unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        assert_eq!(out.relation("R").unwrap().len(), 15);
-        // Plans: (rule1, None), (rule2, None), (rule2, Δ@1) — compiled
-        // exactly once each; every later iteration is a cache hit.
-        assert_eq!(out.stats.plan_cache_misses, 3);
-        assert!(
-            out.stats.plan_cache_hits > 0,
-            "fixpoint iterations must reuse compiled plans, stats: {:?}",
-            out.stats
-        );
-        // Semi-naive deltas shrink down the chain: iteration 0 seeds
-        // the 5 edges plus the 4 length-2 paths (rule 2 already sees
-        // rule 1's output), then 3, 2, 1 longer paths.
-        assert_eq!(out.stats.delta_sizes, vec![9, 3, 2, 1]);
-        // Operator counters observed the probes.
-        assert!(out.stats.ops.probes > 0);
-        assert!(out.stats.ops.rows_matched as usize >= 15);
-    }
-
-    #[test]
-    fn pushed_comparisons_prune_branches_early() {
-        let mut db = Database::new();
-        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
-        for i in 0..10 {
-            db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
-                .unwrap();
-        }
-        let program = parse_program("Q(a, c) :- E(a, b), E(b, c), a < 3.\n").unwrap();
-        let out = evaluate(&program, &db).unwrap();
-        assert_eq!(out.relation("Q").unwrap().len(), 3);
-        // `a < 3` is bound after the first literal; the 6+ failing
-        // bindings must be cut before the second join, not after.
-        assert!(out.stats.ops.cmp_pruned >= 6, "stats: {:?}", out.stats.ops);
-    }
-
-    #[test]
-    fn canonicalize_merges_reordered_conjunctions() {
-        let mut db = Database::new();
-        let x = db.fresh_cvar("x", Domain::Bool01);
-        let y = db.fresh_cvar("y", Domain::Bool01);
-        let a = Condition::eq(Term::Var(x), Term::int(1));
-        let b = Condition::eq(Term::Var(y), Term::int(1));
-        let ab = canonicalize(a.clone().and(b.clone()));
-        let ba = canonicalize(b.and(a));
-        assert_eq!(ab, ba);
-    }
-}

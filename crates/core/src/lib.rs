@@ -11,11 +11,17 @@
 //! * [`ast`] / [`parser`] — rules, programs, and their textual syntax
 //!   (`R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).`);
 //! * [`analysis`] — safety (range restriction) and stratification;
-//! * [`eval`] — evaluation with the **c-valuation** `v^C` (§3):
+//! * [`engine`] — evaluation with the **c-valuation** `v^C` (§3):
 //!   variables range over the c-domain, constants match c-variable
 //!   cells conditionally, and derived rows carry the conjunction of
 //!   their provenance conditions; recursion by stratified semi-naive
-//!   fixpoint, negation as *not derivable from the c-table*;
+//!   fixpoint, negation as *not derivable from the c-table*. Programs
+//!   can be [prepared](engine::Engine::prepare) once and
+//!   [run](engine::PreparedProgram::run) against many databases, and
+//!   the fixpoint inner loop parallelises across threads
+//!   ([`EvalOptions::threads`]) with bit-identical results;
+//! * [`eval`] — the historical paths of the evaluation API
+//!   (re-exports from [`engine`]);
 //! * [`mod@reference`] — an independent pure-datalog evaluator over single
 //!   possible worlds, the ground truth for **loss-less modeling** (§4);
 //! * [`containment`] — constraint subsumption by the paper's reduction
@@ -44,6 +50,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod containment;
+pub mod engine;
 pub mod eval;
 pub mod parser;
 pub mod plan;
@@ -53,12 +60,17 @@ pub mod update;
 pub use analysis::{analyze, check_safety, stratify, AnalysisError, Finding, Stratification};
 pub use ast::{ArgTerm, CompExpr, Comparison, Literal, Program, Rule, RuleAtom};
 pub use containment::{subsumes, ContainmentError, Subsumption, GOAL};
-pub use eval::{evaluate, evaluate_with, EvalError, EvalOptions, EvalOutput, PrunePolicy};
+pub use engine::{
+    evaluate, evaluate_with, Engine, EvalError, EvalOptions, EvalOutput, PreparedProgram,
+    PrunePolicy,
+};
 pub use parser::{
     parse_program, parse_program_spanned, parse_rule, AtomSpans, ParseError, RuleSpans, Span,
     SpannedProgram,
 };
-pub use plan::{compile_rule, explain_program, JoinStep, PlanCache, RulePlan};
+pub use plan::{
+    compile_rule, explain_program, explain_program_json, JoinStep, PlanCache, RulePlan,
+};
 pub use update::{
     apply_to_database, expand_constraint, rewrite_constraint, DeletePattern, Update, UpdateError,
 };

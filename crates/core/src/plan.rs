@@ -232,7 +232,7 @@ pub fn render_plan(rule: &Rule, plan: &RulePlan, out: &mut String) {
 /// hit). The hit/miss counters surface in
 /// [`faure_storage::PhaseStats`] so callers can assert that plans are
 /// compiled once and reused.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PlanCache {
     plans: HashMap<(usize, Option<usize>), RulePlan>,
     /// Requests served from the cache.
@@ -245,6 +245,17 @@ impl PlanCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A copy of this cache with its hit/miss counters reset — used by
+    /// prepared-program runs, which start from a fully compiled cache
+    /// but report per-run statistics.
+    pub fn fresh_counters(&self) -> PlanCache {
+        PlanCache {
+            plans: self.plans.clone(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Returns the plan for `(rule_idx, delta_pos)`, compiling it on
@@ -298,6 +309,129 @@ pub fn explain_program(program: &Program) -> Result<String, AnalysisError> {
             }
         }
     }
+    Ok(out)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one plan as a JSON array of operator objects, mirroring the
+/// numbered lines of [`render_plan`].
+fn plan_to_json(rule: &Rule, plan: &RulePlan) -> String {
+    use fmt::Write;
+    let mut ops: Vec<String> = Vec::new();
+    for &ci in &plan.initial_comparisons {
+        ops.push(format!(
+            r#"{{"op":"filter","expr":"{}","pushed":false}}"#,
+            json_escape(&rule.comparisons[ci].to_string())
+        ));
+    }
+    for step in &plan.steps {
+        let atom = rule.body[step.lit_pos].atom();
+        let kind = if step.is_delta {
+            "scan-delta"
+        } else if step.bound_cols > 0 {
+            "probe"
+        } else {
+            "scan"
+        };
+        let binds: Vec<String> = step
+            .binds
+            .iter()
+            .map(|b| format!("\"{}\"", json_escape(b)))
+            .collect();
+        ops.push(format!(
+            r#"{{"op":"{kind}","atom":"{}","bound_cols":{},"binds":[{}]}}"#,
+            json_escape(&atom.to_string()),
+            step.bound_cols,
+            binds.join(",")
+        ));
+        for &ci in &step.comparisons {
+            ops.push(format!(
+                r#"{{"op":"filter","expr":"{}","pushed":true}}"#,
+                json_escape(&rule.comparisons[ci].to_string())
+            ));
+        }
+    }
+    for &np in &plan.negations {
+        ops.push(format!(
+            r#"{{"op":"negate","literal":"{}"}}"#,
+            json_escape(&rule.body[np].to_string())
+        ));
+    }
+    ops.push(format!(
+        r#"{{"op":"emit","atom":"{}"}}"#,
+        json_escape(&rule.head.to_string())
+    ));
+    let mut s = String::from("[");
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{op}");
+    }
+    s.push(']');
+    s
+}
+
+/// The JSON form of [`explain_program`]: a JSON array with one object
+/// per rule (`stratum`, `rule` index, rule `text`, and its compiled
+/// `plans` — the full plan plus one delta plan per recursive body
+/// literal). Powers `faure explain --format json` for editor and CI
+/// integration, mirroring `faure check --format json`.
+pub fn explain_program_json(program: &Program) -> Result<String, AnalysisError> {
+    use fmt::Write;
+    check_safety(program)?;
+    let strat = stratify(program)?;
+    let mut out = String::from("[");
+    let mut first = true;
+    for (si, stratum_rules) in strat.strata.iter().enumerate() {
+        let stratum_preds: BTreeSet<&str> = stratum_rules
+            .iter()
+            .map(|&ri| program.rules[ri].head.pred.as_str())
+            .collect();
+        for &ri in stratum_rules {
+            let rule = &program.rules[ri];
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                r#"{{"stratum":{si},"rule":{},"text":"{}","plans":[{{"delta":null,"ops":{}}}"#,
+                ri + 1,
+                json_escape(&rule.to_string()),
+                plan_to_json(rule, &compile_rule(rule, None))
+            );
+            for (pos, lit) in rule.body.iter().enumerate() {
+                if lit.is_negative() || !stratum_preds.contains(lit.atom().pred.as_str()) {
+                    continue;
+                }
+                let _ = write!(
+                    out,
+                    r#",{{"delta":{{"pred":"{}","body":{}}},"ops":{}}}"#,
+                    json_escape(&lit.atom().pred),
+                    pos + 1,
+                    plan_to_json(rule, &compile_rule(rule, Some(pos)))
+                );
+            }
+            out.push_str("]}");
+        }
+    }
+    out.push_str("]\n");
     Ok(out)
 }
 
@@ -376,5 +510,41 @@ mod tests {
         assert!(text.contains("scan Δ R(c, b)"), "{text}");
         assert!(text.contains("negate !Block(b)"), "{text}");
         assert!(text.contains("pushed down"), "{text}");
+    }
+
+    #[test]
+    fn explain_json_mirrors_text_form() {
+        let program = parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n\
+             Open(a) :- R(a, b), !Block(b), a != 0.\n",
+        )
+        .unwrap();
+        let json = explain_program_json(&program).unwrap();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains(r#""stratum":0"#), "{json}");
+        assert!(json.contains(r#""delta":null"#), "{json}");
+        assert!(json.contains(r#""delta":{"pred":"R","body":2}"#), "{json}");
+        assert!(json.contains(r#""op":"scan-delta""#), "{json}");
+        assert!(
+            json.contains(r#""op":"negate","literal":"!Block(b)""#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""op":"filter","expr":"a != 0","pushed":true"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""op":"emit""#), "{json}");
+        // Quotes inside rule text are escaped.
+        let q = parse_program(r#"Cost(c) :- P("1.2.3.4", p), C(p, c)."#).unwrap();
+        let json = explain_program_json(&q).unwrap();
+        assert!(json.contains(r#"P(\"1.2.3.4\", p)"#), "{json}");
+    }
+
+    #[test]
+    fn explain_json_rejects_unsafe_programs() {
+        let program = parse_program("R(a, b) :- E(a).\n").unwrap();
+        assert!(explain_program_json(&program).is_err());
     }
 }

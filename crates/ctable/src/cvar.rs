@@ -120,6 +120,28 @@ impl CVarRegistry {
         id
     }
 
+    /// Registers a batch of fresh c-variables in one call, returning
+    /// their ids in input order.
+    ///
+    /// This is the bulk path used by the evaluation engine when a
+    /// program mentions many c-variables: the backing vector is grown
+    /// once instead of once per variable, and the returned ids are
+    /// assigned contiguously (callers may rely on
+    /// `ids[i].index() == old_len + i`).
+    pub fn fresh_batch<N: Into<String>>(
+        &mut self,
+        vars: impl IntoIterator<Item = (N, Domain)>,
+    ) -> Vec<CVarId> {
+        let vars = vars.into_iter();
+        let (lower, _) = vars.size_hint();
+        self.vars.reserve(lower);
+        let mut ids = Vec::with_capacity(lower);
+        for (name, domain) in vars {
+            ids.push(self.fresh(name, domain));
+        }
+        ids
+    }
+
     /// Looks up a c-variable by name (first match).
     pub fn by_name(&self, name: &str) -> Option<CVarId> {
         self.vars
@@ -176,6 +198,25 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.name(x), "x");
         assert_eq!(reg.domain(y), &Domain::Open);
+    }
+
+    #[test]
+    fn fresh_batch_matches_sequential_registration() {
+        let mut a = CVarRegistry::new();
+        a.fresh("pre", Domain::Open);
+        let ids = a.fresh_batch([
+            ("x".to_string(), Domain::Bool01),
+            ("y".to_string(), Domain::Open),
+        ]);
+        let mut b = CVarRegistry::new();
+        b.fresh("pre", Domain::Open);
+        let x = b.fresh("x", Domain::Bool01);
+        let y = b.fresh("y", Domain::Open);
+        assert_eq!(ids, vec![x, y]);
+        assert_eq!(ids[0].index(), 1);
+        assert_eq!(ids[1].index(), 2);
+        assert_eq!(a.name(ids[0]), "x");
+        assert_eq!(a.domain(ids[1]), &Domain::Open);
     }
 
     #[test]

@@ -30,6 +30,15 @@ impl Database {
         self.cvars.fresh(name, domain)
     }
 
+    /// Registers a batch of fresh c-variables in one call (ids in
+    /// input order) — see [`CVarRegistry::fresh_batch`].
+    pub fn fresh_cvars<N: Into<String>>(
+        &mut self,
+        vars: impl IntoIterator<Item = (N, Domain)>,
+    ) -> Vec<CVarId> {
+        self.cvars.fresh_batch(vars)
+    }
+
     /// Creates an empty relation; errors if the name is taken.
     pub fn create_relation(&mut self, schema: Schema) -> Result<(), CtableError> {
         if self.relations.contains_key(&schema.name) {

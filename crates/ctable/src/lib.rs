@@ -58,3 +58,22 @@ pub use symbol::{intern, resolve, Symbol};
 pub use term::Term;
 pub use value::Const;
 pub use worlds::{Assignment, GroundDatabase, GroundRelation, GroundTuple, WorldIter};
+
+// Thread-safety audit: parallel evaluation shares these types across
+// `std::thread::scope` workers by reference. Conditions are Arc-backed
+// (never Rc), symbols intern to `&'static str` behind a global RwLock,
+// and registries are plain vectors — all Send + Sync. The assertions
+// below turn any future regression (e.g. an Rc or RefCell slipping into
+// a cell type) into a compile error instead of a runtime surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Condition>();
+    assert_send_sync::<Atom>();
+    assert_send_sync::<Term>();
+    assert_send_sync::<Const>();
+    assert_send_sync::<Symbol>();
+    assert_send_sync::<CVarRegistry>();
+    assert_send_sync::<CTuple>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<Database>();
+};

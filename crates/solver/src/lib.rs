@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod memo;
 pub mod nnf;
 pub mod search;
 pub mod session;
@@ -53,8 +54,9 @@ pub mod simplify;
 pub mod theory;
 
 pub use error::SolverError;
+pub use memo::SharedMemo;
 pub use search::{all_models, find_model, satisfiable};
-pub use session::Session;
+pub use session::{Session, SolverStats};
 pub use simplify::simplify;
 
 use faure_ctable::{CVarRegistry, Condition};

@@ -1,0 +1,162 @@
+//! Shared, lock-sharded solver memo for parallel evaluation.
+//!
+//! A [`crate::Session`] memoises satisfiability and simplification
+//! results keyed by the (canonical) condition. Under parallel fixpoint
+//! evaluation each worker thread runs its own session; without sharing,
+//! every worker would re-solve the conditions its siblings already
+//! decided and the ~87 % memo hit rate the fixpoint relies on would
+//! fall with the thread count. [`SharedMemo`] is the shared backing
+//! store: a fixed set of mutex-protected shards, each holding a slice
+//! of the condition space selected by hash.
+//!
+//! Sharding keeps contention low (two workers only collide when their
+//! conditions hash to the same shard) while staying dependency-free —
+//! plain `std::sync::Mutex`, no lock-free machinery.
+//!
+//! ## Soundness under races
+//!
+//! The memo caches *ground truth*: `satisfiable` and `simplify_pruned`
+//! are deterministic functions of the condition (given the append-only
+//! registry of the run). If two workers race on the same uncached
+//! condition, both compute the same answer and the second `put` is a
+//! no-op overwrite — results never depend on interleaving, only the
+//! hit/miss statistics do. Like the per-session memo, a `SharedMemo`
+//! must not be reused across distinct c-variable registries.
+
+use faure_ctable::Condition;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Number of independently locked shards. A small power of two is
+/// plenty: with the engine's worker counts (single digits) the
+/// collision probability per access is `workers / SHARDS`.
+const SHARDS: usize = 16;
+
+/// Upper bound on entries per shard per kind, so the whole memo stays
+/// within the same budget as a local session memo
+/// (`MEMO_CAP = 1 << 16` entries total per kind).
+const SHARD_CAP: usize = super::session::MEMO_CAP / SHARDS;
+
+/// A satisfiability/simplification memo shareable across worker
+/// sessions (see module docs).
+#[derive(Debug, Default)]
+pub struct SharedMemo {
+    sat: Vec<Mutex<HashMap<Condition, bool>>>,
+    simplify: Vec<Mutex<HashMap<Condition, Condition>>>,
+}
+
+impl SharedMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        SharedMemo {
+            sat: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            simplify: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(cond: &Condition) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        cond.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    /// Cached satisfiability verdict for `cond`, if any.
+    pub fn sat_get(&self, cond: &Condition) -> Option<bool> {
+        self.sat[Self::shard(cond)]
+            .lock()
+            .expect("memo shard poisoned")
+            .get(cond)
+            .copied()
+    }
+
+    /// Caches a satisfiability verdict (dropped once the shard is at
+    /// capacity, bounding memory on adversarial workloads).
+    pub fn sat_put(&self, cond: &Condition, sat: bool) {
+        let mut shard = self.sat[Self::shard(cond)]
+            .lock()
+            .expect("memo shard poisoned");
+        if shard.len() < SHARD_CAP || shard.contains_key(cond) {
+            shard.insert(cond.clone(), sat);
+        }
+    }
+
+    /// Cached simplification of `cond`, if any.
+    pub fn simplify_get(&self, cond: &Condition) -> Option<Condition> {
+        self.simplify[Self::shard(cond)]
+            .lock()
+            .expect("memo shard poisoned")
+            .get(cond)
+            .cloned()
+    }
+
+    /// Caches a simplification result (capacity-bounded like
+    /// [`sat_put`](SharedMemo::sat_put)).
+    pub fn simplify_put(&self, cond: &Condition, simplified: &Condition) {
+        let mut shard = self.simplify[Self::shard(cond)]
+            .lock()
+            .expect("memo shard poisoned");
+        if shard.len() < SHARD_CAP || shard.contains_key(cond) {
+            shard.insert(cond.clone(), simplified.clone());
+        }
+    }
+
+    /// Total cached entries (both kinds), for diagnostics.
+    pub fn len(&self) -> usize {
+        self.sat
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum::<usize>()
+            + self
+                .simplify
+                .iter()
+                .map(|s| s.lock().expect("memo shard poisoned").len())
+                .sum::<usize>()
+    }
+
+    /// Whether no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faure_ctable::Term;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_round_trip() {
+        let memo = SharedMemo::new();
+        let c = Condition::eq(Term::int(1), Term::int(1));
+        assert_eq!(memo.sat_get(&c), None);
+        memo.sat_put(&c, true);
+        assert_eq!(memo.sat_get(&c), Some(true));
+        let s = Condition::eq(Term::int(1), Term::int(2));
+        memo.simplify_put(&s, &Condition::False);
+        assert_eq!(memo.simplify_get(&s), Some(Condition::False));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let memo = Arc::new(SharedMemo::new());
+        let conds: Vec<Condition> = (0..64)
+            .map(|i| Condition::eq(Term::int(i), Term::int(i % 3)))
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let memo = Arc::clone(&memo);
+                let conds = &conds;
+                s.spawn(move || {
+                    for c in conds {
+                        memo.sat_put(c, true);
+                        assert_eq!(memo.sat_get(c), Some(true));
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 64);
+    }
+}

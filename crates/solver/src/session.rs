@@ -14,18 +14,27 @@
 //! was built, so growing the registry never changes its status. A
 //! session must not be reused across *distinct* registries (the
 //! pipeline creates one session per evaluation run).
+//!
+//! A session's memo lives in one of two places: **local** (a private
+//! `HashMap`, the default — no synchronisation cost) or **shared** (an
+//! [`Arc<SharedMemo>`] handed to [`Session::with_shared`]). The shared
+//! backend is what parallel fixpoint evaluation uses: each worker
+//! thread owns a session, all sessions consult the same lock-sharded
+//! memo, so a condition decided by one worker is a hit for every other.
 
 use crate::error::SolverError;
+use crate::memo::SharedMemo;
 use crate::search;
 use crate::simplify;
 use faure_ctable::{Assignment, CVarRegistry, Condition};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Upper bound on memo entries (per kind). Past this the session keeps
 /// answering queries but stops caching new conditions, bounding memory
 /// on adversarial workloads.
-const MEMO_CAP: usize = 1 << 16;
+pub(crate) const MEMO_CAP: usize = 1 << 16;
 
 /// Accumulated solver statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,7 +49,9 @@ pub struct SolverStats {
     pub memo_hits: u64,
     /// Queries that missed the memo and ran the solver.
     pub memo_misses: u64,
-    /// Total wall-clock time inside the solver.
+    /// Total wall-clock time inside the solver. Under parallel
+    /// evaluation this sums across workers, i.e. it is solver *CPU*
+    /// time, not elapsed time.
     pub time: Duration,
 }
 
@@ -55,24 +66,68 @@ impl SolverStats {
             self.memo_hits as f64 / total as f64
         }
     }
+
+    /// Folds another stats record into this one (all counters and the
+    /// accumulated time sum field-wise). This is how worker sessions'
+    /// statistics merge back into the run's totals.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.sat_calls += other.sat_calls;
+        self.sat_true += other.sat_true;
+        self.simplify_calls += other.simplify_calls;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.time += other.time;
+    }
+}
+
+/// Where a session's memo entries live.
+#[derive(Debug)]
+enum MemoBackend {
+    /// Private maps — the default, no synchronisation.
+    Local {
+        sat: HashMap<Condition, bool>,
+        simplify: HashMap<Condition, Condition>,
+    },
+    /// A lock-sharded memo shared with sibling sessions (parallel
+    /// evaluation workers).
+    Shared(Arc<SharedMemo>),
+}
+
+impl Default for MemoBackend {
+    fn default() -> Self {
+        MemoBackend::Local {
+            sat: HashMap::new(),
+            simplify: HashMap::new(),
+        }
+    }
 }
 
 /// A solver session: entry points plus accumulated statistics and a
 /// condition-keyed memo (see module docs for the soundness argument).
 ///
 /// Sessions are cheap; the evaluation pipeline creates one per query
-/// run and folds its stats into the run report.
+/// run (plus one per worker thread under parallel evaluation, all
+/// backed by one [`SharedMemo`]) and folds their stats into the run
+/// report.
 #[derive(Debug, Default)]
 pub struct Session {
     stats: SolverStats,
-    sat_memo: HashMap<Condition, bool>,
-    simplify_memo: HashMap<Condition, Condition>,
+    memo: MemoBackend,
 }
 
 impl Session {
-    /// A fresh session with zeroed stats and an empty memo.
+    /// A fresh session with zeroed stats and an empty local memo.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh session whose memo reads and writes `memo` — used by
+    /// parallel evaluation so worker sessions share decided conditions.
+    pub fn with_shared(memo: Arc<SharedMemo>) -> Self {
+        Session {
+            stats: SolverStats::default(),
+            memo: MemoBackend::Shared(memo),
+        }
     }
 
     /// Current statistics snapshot.
@@ -81,11 +136,12 @@ impl Session {
     }
 
     /// Resets statistics to zero and clears the memo (required before
-    /// reusing a session with a different registry).
+    /// reusing a session with a different registry). A shared-memo
+    /// session reverts to a fresh local memo: the shared store may be
+    /// in use by sibling sessions and cannot be cleared unilaterally.
     pub fn reset(&mut self) {
         self.stats = SolverStats::default();
-        self.sat_memo.clear();
-        self.simplify_memo.clear();
+        self.memo = MemoBackend::default();
     }
 
     /// Satisfiability with stats accounting and memoisation.
@@ -95,7 +151,11 @@ impl Session {
         cond: &Condition,
     ) -> Result<bool, SolverError> {
         self.stats.sat_calls += 1;
-        if let Some(&hit) = self.sat_memo.get(cond) {
+        let hit = match &self.memo {
+            MemoBackend::Local { sat, .. } => sat.get(cond).copied(),
+            MemoBackend::Shared(memo) => memo.sat_get(cond),
+        };
+        if let Some(hit) = hit {
             self.stats.memo_hits += 1;
             if hit {
                 self.stats.sat_true += 1;
@@ -110,8 +170,13 @@ impl Session {
             if sat {
                 self.stats.sat_true += 1;
             }
-            if self.sat_memo.len() < MEMO_CAP {
-                self.sat_memo.insert(cond.clone(), sat);
+            match &mut self.memo {
+                MemoBackend::Local { sat: map, .. } => {
+                    if map.len() < MEMO_CAP {
+                        map.insert(cond.clone(), sat);
+                    }
+                }
+                MemoBackend::Shared(memo) => memo.sat_put(cond, sat),
             }
         }
         out
@@ -142,17 +207,26 @@ impl Session {
         cond: &Condition,
     ) -> Result<Condition, SolverError> {
         self.stats.simplify_calls += 1;
-        if let Some(hit) = self.simplify_memo.get(cond) {
+        let hit = match &self.memo {
+            MemoBackend::Local { simplify, .. } => simplify.get(cond).cloned(),
+            MemoBackend::Shared(memo) => memo.simplify_get(cond),
+        };
+        if let Some(hit) = hit {
             self.stats.memo_hits += 1;
-            return Ok(hit.clone());
+            return Ok(hit);
         }
         self.stats.memo_misses += 1;
         let start = Instant::now();
         let out = simplify::simplify_pruned(reg, cond);
         self.stats.time += start.elapsed();
         if let Ok(simplified) = &out {
-            if self.simplify_memo.len() < MEMO_CAP {
-                self.simplify_memo.insert(cond.clone(), simplified.clone());
+            match &mut self.memo {
+                MemoBackend::Local { simplify: map, .. } => {
+                    if map.len() < MEMO_CAP {
+                        map.insert(cond.clone(), simplified.clone());
+                    }
+                }
+                MemoBackend::Shared(memo) => memo.simplify_put(cond, simplified),
             }
         }
         out
@@ -161,12 +235,14 @@ impl Session {
     /// Merges another session's stats into this one (memo entries are
     /// not transferred — they may come from a different registry).
     pub fn absorb(&mut self, other: &Session) {
-        self.stats.sat_calls += other.stats.sat_calls;
-        self.stats.sat_true += other.stats.sat_true;
-        self.stats.simplify_calls += other.stats.simplify_calls;
-        self.stats.memo_hits += other.stats.memo_hits;
-        self.stats.memo_misses += other.stats.memo_misses;
-        self.stats.time += other.stats.time;
+        self.stats.absorb(&other.stats);
+    }
+
+    /// Merges a raw stats record into this session's totals (the
+    /// cross-thread variant of [`absorb`](Session::absorb): workers
+    /// return their [`SolverStats`] by value).
+    pub fn absorb_stats(&mut self, stats: &SolverStats) {
+        self.stats.absorb(stats);
     }
 }
 
@@ -202,6 +278,32 @@ mod tests {
         b.satisfiable(&reg, &c).unwrap();
         a.absorb(&b);
         assert_eq!(a.stats().sat_calls, 2);
+    }
+
+    #[test]
+    fn solver_stats_absorb_sums_fields() {
+        let mut a = SolverStats {
+            sat_calls: 1,
+            sat_true: 1,
+            simplify_calls: 2,
+            memo_hits: 3,
+            memo_misses: 4,
+            time: Duration::from_millis(5),
+        };
+        a.absorb(&SolverStats {
+            sat_calls: 10,
+            sat_true: 10,
+            simplify_calls: 20,
+            memo_hits: 30,
+            memo_misses: 40,
+            time: Duration::from_millis(50),
+        });
+        assert_eq!(a.sat_calls, 11);
+        assert_eq!(a.sat_true, 11);
+        assert_eq!(a.simplify_calls, 22);
+        assert_eq!(a.memo_hits, 33);
+        assert_eq!(a.memo_misses, 44);
+        assert_eq!(a.time, Duration::from_millis(55));
     }
 
     #[test]
@@ -248,5 +350,35 @@ mod tests {
         s.satisfiable(&reg, &c).unwrap();
         assert_eq!(s.stats().memo_hits, 0);
         assert_eq!(s.stats().memo_misses, 1);
+    }
+
+    #[test]
+    fn shared_memo_hits_across_sessions() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let memo = Arc::new(SharedMemo::new());
+        let c = Condition::eq(Term::Var(x), Term::int(1));
+
+        let mut a = Session::with_shared(Arc::clone(&memo));
+        assert!(a.satisfiable(&reg, &c).unwrap());
+        assert_eq!(a.stats().memo_misses, 1);
+
+        // A sibling session sees the cached verdict without solving.
+        let mut b = Session::with_shared(Arc::clone(&memo));
+        assert!(b.satisfiable(&reg, &c).unwrap());
+        assert_eq!(b.stats().memo_hits, 1);
+        assert_eq!(b.stats().memo_misses, 0);
+
+        // Simplification shares too.
+        let contradiction = c.clone().and(Condition::eq(Term::Var(x), Term::int(0)));
+        assert_eq!(
+            a.simplify_pruned(&reg, &contradiction).unwrap(),
+            Condition::False
+        );
+        assert_eq!(
+            b.simplify_pruned(&reg, &contradiction).unwrap(),
+            Condition::False
+        );
+        assert_eq!(b.stats().memo_hits, 2);
     }
 }

@@ -72,7 +72,7 @@ pub fn probe(
 /// conjunction is only materialised at the leaf. Row conditions are
 /// `Arc`-backed, so each push is O(1) — the old code paid a flattened
 /// `And`-vector rebuild per nesting level per row.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct CondAcc {
     parts: Vec<Condition>,
 }
@@ -128,7 +128,8 @@ mod tests {
         let reg = CVarRegistry::new();
         let mut t = Table::new(Schema::new("E", &["a", "b"]));
         for i in 0..5 {
-            t.insert(CTuple::new([Term::int(i % 2), Term::int(i)]));
+            t.insert(CTuple::new([Term::int(i % 2), Term::int(i)]))
+                .unwrap();
         }
         let mut ops = OpStats::default();
         let m = probe(

@@ -20,7 +20,8 @@ pub fn select(reg: &CVarRegistry, table: &Table, pats: &[Pattern]) -> Table {
         out.insert(CTuple {
             terms: row.terms.clone(),
             cond: row.cond.clone().and(mu),
-        });
+        })
+        .expect("selection preserves the input schema");
     }
     out
 }
@@ -40,7 +41,8 @@ pub fn project(table: &Table, cols: &[usize], new_name: &str) -> Table {
         out.insert(CTuple {
             terms: cols.iter().map(|&c| row.terms[c].clone()).collect(),
             cond: row.cond.clone(),
-        });
+        })
+        .expect("projection schema is built from the projected columns");
     }
     out
 }
@@ -77,7 +79,8 @@ pub fn join(
             out.insert(CTuple {
                 terms,
                 cond: left.cond.clone().and(right.cond.clone()).and(mu),
-            });
+            })
+            .expect("join schema concatenates both input schemas");
         }
     }
     out
@@ -93,7 +96,8 @@ pub fn union(a: &Table, b: &Table, new_name: &str) -> Table {
     assert_eq!(a.schema.arity(), b.schema.arity(), "union arity mismatch");
     let mut out = Table::new(schema);
     for row in a.iter().chain(b.iter()) {
-        out.insert(row.clone());
+        out.insert(row.clone())
+            .expect("union inputs were checked for equal arity");
     }
     out
 }
@@ -114,7 +118,8 @@ pub fn difference(reg: &CVarRegistry, a: &Table, b: &Table, new_name: &str) -> T
             out.insert(CTuple {
                 terms: row.terms.clone(),
                 cond,
-            });
+            })
+            .expect("difference preserves the left schema");
         }
     }
     out
@@ -144,18 +149,22 @@ mod tests {
     fn table_p(reg_x: faure_ctable::CVarId) -> Table {
         // P(dest, path) like Table 2, simplified.
         let mut t = Table::new(Schema::new("P", &["dest", "path"]));
-        t.insert(CTuple::new([Term::sym("1.2.3.4"), Term::sym("[ABC]")]));
+        t.insert(CTuple::new([Term::sym("1.2.3.4"), Term::sym("[ABC]")]))
+            .unwrap();
         t.insert(CTuple::with_cond(
             [Term::Var(reg_x), Term::sym("[ABE]")],
             Condition::ne(Term::Var(reg_x), Term::sym("1.2.3.4")),
-        ));
+        ))
+        .unwrap();
         t
     }
 
     fn table_c() -> Table {
         let mut t = Table::new(Schema::new("C", &["path", "cost"]));
-        t.insert(CTuple::new([Term::sym("[ABC]"), Term::int(3)]));
-        t.insert(CTuple::new([Term::sym("[ABE]"), Term::int(3)]));
+        t.insert(CTuple::new([Term::sym("[ABC]"), Term::int(3)]))
+            .unwrap();
+        t.insert(CTuple::new([Term::sym("[ABE]"), Term::int(3)]))
+            .unwrap();
         t
     }
 
@@ -179,8 +188,10 @@ mod tests {
     fn project_merges_duplicates() {
         let (_, _) = setup();
         let mut t = Table::new(Schema::new("T", &["a", "b"]));
-        t.insert(CTuple::new([Term::int(1), Term::int(10)]));
-        t.insert(CTuple::new([Term::int(1), Term::int(20)]));
+        t.insert(CTuple::new([Term::int(1), Term::int(10)]))
+            .unwrap();
+        t.insert(CTuple::new([Term::int(1), Term::int(20)]))
+            .unwrap();
         let p = project(&t, &[0], "Pa");
         assert_eq!(p.len(), 1);
         assert_eq!(p.schema.attrs, vec!["a".to_owned()]);
@@ -208,12 +219,14 @@ mod tests {
         a.insert(CTuple::with_cond(
             [Term::int(1)],
             Condition::eq(Term::Var(x), Term::sym("1.2.3.4")),
-        ));
+        ))
+        .unwrap();
         let mut b = Table::new(Schema::new("B", &["v"]));
         b.insert(CTuple::with_cond(
             [Term::int(1)],
             Condition::eq(Term::Var(x), Term::sym("1.2.3.5")),
-        ));
+        ))
+        .unwrap();
         let u = union(&a, &b, "U");
         assert_eq!(u.len(), 1);
         assert!(matches!(u.row(0).cond, Condition::Or(_)));
@@ -223,14 +236,15 @@ mod tests {
     fn difference_uses_negation_condition() {
         let (reg, x) = setup();
         let mut a = Table::new(Schema::new("A", &["v"]));
-        a.insert(CTuple::new([Term::sym("1.2.3.4")]));
-        a.insert(CTuple::new([Term::sym("1.2.3.5")]));
+        a.insert(CTuple::new([Term::sym("1.2.3.4")])).unwrap();
+        a.insert(CTuple::new([Term::sym("1.2.3.5")])).unwrap();
         let mut b = Table::new(Schema::new("B", &["v"]));
-        b.insert(CTuple::new([Term::sym("1.2.3.4")])); // unconditional
+        b.insert(CTuple::new([Term::sym("1.2.3.4")])).unwrap(); // unconditional
         b.insert(CTuple::with_cond(
             [Term::Var(x)],
             Condition::eq(Term::Var(x), Term::sym("1.2.3.5")),
-        ));
+        ))
+        .unwrap();
         let d = difference(&reg, &a, &b, "D");
         // 1.2.3.4 is unconditionally in b → dropped.
         // 1.2.3.5 matches b's var row under (x̄=1.2.3.5 ∧ x̄=1.2.3.5) →

@@ -444,7 +444,8 @@ fn apply_predicate(
         out.insert(CTuple {
             terms: row.terms.clone(),
             cond: combined,
-        });
+        })
+        .expect("filter preserves the input schema");
     }
     Ok(out)
 }

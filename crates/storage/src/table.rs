@@ -3,6 +3,34 @@
 use faure_ctable::{CTuple, CVarRegistry, Condition, Const, Relation, Schema, Term};
 use faure_solver::{Session, SolverError};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A tuple's arity disagrees with the table schema.
+///
+/// Inserting used to `assert_eq!` on arity; a serving process must not
+/// abort on malformed input, so the mismatch is now a typed error the
+/// evaluation engine propagates (as `EvalError::ArityMismatch`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArityError {
+    /// Name of the table whose schema was violated.
+    pub table: String,
+    /// Arity of the table schema.
+    pub expected: usize,
+    /// Arity of the offending tuple.
+    pub got: usize,
+}
+
+impl fmt::Display for ArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tuple of arity {} inserted into table {} of arity {}",
+            self.got, self.table, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ArityError {}
 
 /// A per-column pattern used for indexed matching.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,6 +76,57 @@ struct ColIndex {
     /// Rows whose cell in this column is a c-variable (they
     /// conditionally match any constant).
     var_rows: Vec<u32>,
+}
+
+/// A derived row whose condition has been pre-normalised for insertion.
+///
+/// Building one runs the DNF normalisation that [`Table::insert`] would
+/// otherwise perform at merge time — the most expensive part of adding
+/// a row. Parallel evaluation constructs `PreparedRow`s inside worker
+/// threads so the serialised merge
+/// ([`Table::absorb_partitions`]) is reduced to hash lookups and
+/// antichain merges.
+#[derive(Clone, Debug)]
+pub struct PreparedRow {
+    tuple: CTuple,
+    /// Minimal-DNF disjuncts of the condition, or `None` when it is too
+    /// large to normalise within budget (the table then stores it in
+    /// the opaque representation).
+    sets: Option<Vec<crate::dnf::AtomSet>>,
+}
+
+impl PreparedRow {
+    /// Normalises `tuple`'s condition (the caller should have
+    /// structurally simplified it, as with [`Table::insert`]).
+    pub fn new(tuple: CTuple) -> Self {
+        let sets = if tuple.cond == Condition::False {
+            Some(Vec::new())
+        } else {
+            crate::dnf::to_min_dnf(&tuple.cond, crate::dnf::DEFAULT_SET_BUDGET)
+        };
+        PreparedRow { tuple, sets }
+    }
+
+    /// The row's terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.tuple.terms
+    }
+
+    /// The row's (un-normalised) condition.
+    pub fn cond(&self) -> &Condition {
+        &self.tuple.cond
+    }
+
+    /// The underlying tuple.
+    pub fn tuple(&self) -> &CTuple {
+        &self.tuple
+    }
+
+    /// Whether the condition normalised to false (the row can never be
+    /// inserted).
+    pub fn is_false(&self) -> bool {
+        self.sets.as_ref().is_some_and(Vec::is_empty)
+    }
 }
 
 /// Per-row condition bookkeeping.
@@ -111,7 +190,8 @@ impl Table {
     pub fn from_relation(rel: &Relation) -> Self {
         let mut t = Table::new(rel.schema.clone());
         for row in rel.iter() {
-            t.insert(row.clone());
+            t.insert(row.clone())
+                .expect("relation rows match their own schema arity");
         }
         t
     }
@@ -149,45 +229,48 @@ impl Table {
     /// The tuple's condition should be structurally simplified by the
     /// caller (the evaluation engine does); `Condition::False` rows are
     /// rejected outright, as are rows whose condition normalises to the
-    /// empty DNF.
-    pub fn insert(&mut self, tuple: CTuple) -> InsertOutcome {
-        assert_eq!(
-            tuple.arity(),
-            self.schema.arity(),
-            "tuple arity must match schema {}",
-            self.schema.name
-        );
-        if tuple.cond == Condition::False {
-            return InsertOutcome::Unchanged;
+    /// empty DNF. A tuple whose arity disagrees with the schema is a
+    /// typed [`ArityError`], not a panic.
+    pub fn insert(&mut self, tuple: CTuple) -> Result<InsertOutcome, ArityError> {
+        self.insert_prepared(&PreparedRow::new(tuple))
+    }
+
+    /// Inserts a pre-normalised row (see [`PreparedRow`]) — the
+    /// normalisation-free half of [`insert`](Table::insert), used when
+    /// the DNF work already happened elsewhere (e.g. in a parallel
+    /// worker, or when the same derived row also feeds a delta table).
+    pub fn insert_prepared(&mut self, row: &PreparedRow) -> Result<InsertOutcome, ArityError> {
+        if row.tuple.arity() != self.schema.arity() {
+            return Err(ArityError {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: row.tuple.arity(),
+            });
         }
-        let incoming = crate::dnf::to_min_dnf(&tuple.cond, crate::dnf::DEFAULT_SET_BUDGET);
-        if let Some(sets) = &incoming {
-            if sets.is_empty() {
-                // Condition normalised to false.
-                return InsertOutcome::Unchanged;
-            }
+        if row.tuple.cond == Condition::False || row.is_false() {
+            return Ok(InsertOutcome::Unchanged);
         }
-        let hash = terms_hash(&tuple.terms);
+        let hash = terms_hash(&row.tuple.terms);
         let existing_idx = self.by_terms.get(&hash).and_then(|bucket| {
             bucket
                 .iter()
-                .find(|&&i| self.rows[i as usize].terms == tuple.terms)
+                .find(|&&i| self.rows[i as usize].terms == row.tuple.terms)
                 .copied()
         });
         match existing_idx {
             Some(idx) => {
                 let idx = idx as usize;
-                Self::merge_into_row(
+                Ok(Self::merge_into_row(
                     &mut self.rows[idx],
                     &mut self.reprs[idx],
-                    tuple.cond,
-                    incoming,
-                )
+                    row.tuple.cond.clone(),
+                    row.sets.clone(),
+                ))
             }
             None => {
                 let idx = u32::try_from(self.rows.len()).expect("row count overflow");
                 self.by_terms.entry(hash).or_default().push(idx);
-                for (col, term) in tuple.terms.iter().enumerate() {
+                for (col, term) in row.tuple.terms.iter().enumerate() {
                     match term {
                         Term::Const(c) => self.cols[col]
                             .by_const
@@ -197,24 +280,50 @@ impl Table {
                         Term::Var(_) => self.cols[col].var_rows.push(idx),
                     }
                 }
-                let (repr, cond) = match incoming {
+                let (repr, cond) = match row.sets.clone() {
                     Some(sets) => {
                         let cond = crate::dnf::condition_of(&sets);
                         (CondRepr::Sets(sets), cond)
                     }
                     None => (
-                        CondRepr::Opaque(vec![tuple.cond.clone()]),
-                        tuple.cond.clone(),
+                        CondRepr::Opaque(vec![row.tuple.cond.clone()]),
+                        row.tuple.cond.clone(),
                     ),
                 };
                 self.reprs.push(repr);
                 self.rows.push(CTuple {
-                    terms: tuple.terms,
+                    terms: row.tuple.terms.clone(),
                     cond,
                 });
-                InsertOutcome::New
+                Ok(InsertOutcome::New)
             }
         }
+    }
+
+    /// Partitioned build: merges per-worker result partitions in
+    /// **stable partition order** (partition 0 first, then 1, …, and
+    /// within each partition in vector order).
+    ///
+    /// Because parallel evaluation partitions the serial enumeration
+    /// into contiguous chunks, replaying the chunks in order makes the
+    /// insert sequence — and therefore every merged condition —
+    /// bit-identical to a serial run. `on_changed` fires for each row
+    /// that changed the table (new terms or a new condition disjunct),
+    /// in that same deterministic order; the engine uses it to record
+    /// semi-naive deltas.
+    pub fn absorb_partitions(
+        &mut self,
+        partitions: Vec<Vec<PreparedRow>>,
+        mut on_changed: impl FnMut(&PreparedRow),
+    ) -> Result<(), ArityError> {
+        for part in partitions {
+            for prow in &part {
+                if self.insert_prepared(prow)?.changed() {
+                    on_changed(prow);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn merge_into_row(
@@ -446,7 +555,8 @@ impl Table {
             c.var_rows.clear();
         }
         for row in rows {
-            self.insert(row);
+            self.insert(row)
+                .expect("rebuilt rows came from this table and match its arity");
         }
     }
 }
@@ -474,15 +584,18 @@ mod tests {
         let c0 = Condition::eq(Term::Var(x), Term::int(0));
         let c1 = Condition::eq(Term::Var(x), Term::int(1));
         assert_eq!(
-            t.insert(CTuple::with_cond([Term::int(7)], c0.clone())),
+            t.insert(CTuple::with_cond([Term::int(7)], c0.clone()))
+                .unwrap(),
             InsertOutcome::New
         );
         assert_eq!(
-            t.insert(CTuple::with_cond([Term::int(7)], c0.clone())),
+            t.insert(CTuple::with_cond([Term::int(7)], c0.clone()))
+                .unwrap(),
             InsertOutcome::Unchanged
         );
         assert_eq!(
-            t.insert(CTuple::with_cond([Term::int(7)], c1.clone())),
+            t.insert(CTuple::with_cond([Term::int(7)], c1.clone()))
+                .unwrap(),
             InsertOutcome::Merged
         );
         assert_eq!(t.len(), 1);
@@ -493,12 +606,13 @@ mod tests {
     fn unconditional_row_absorbs() {
         let (_, x, _) = db_with_xy();
         let mut t = Table::new(Schema::new("T", &["a"]));
-        t.insert(CTuple::new([Term::int(7)]));
+        t.insert(CTuple::new([Term::int(7)])).unwrap();
         assert_eq!(
             t.insert(CTuple::with_cond(
                 [Term::int(7)],
                 Condition::eq(Term::Var(x), Term::int(0))
-            )),
+            ))
+            .unwrap(),
             InsertOutcome::Unchanged
         );
         assert_eq!(t.row(0).cond, Condition::True);
@@ -508,7 +622,8 @@ mod tests {
     fn false_condition_rejected() {
         let mut t = Table::new(Schema::new("T", &["a"]));
         assert_eq!(
-            t.insert(CTuple::with_cond([Term::int(7)], Condition::False)),
+            t.insert(CTuple::with_cond([Term::int(7)], Condition::False))
+                .unwrap(),
             InsertOutcome::Unchanged
         );
         assert!(t.is_empty());
@@ -521,7 +636,8 @@ mod tests {
         t.insert(CTuple::with_cond(
             [Term::Var(y), Term::sym("[ABE]")],
             Condition::ne(Term::Var(y), Term::sym("1.2.3.4")),
-        ));
+        ))
+        .unwrap();
         // Pattern P(1.2.3.5, Any) — the paper's q3 example.
         let pats = [Pattern::Exact(Term::sym("1.2.3.5")), Pattern::Any];
         let matches = t.find_matches(&reg, &pats);
@@ -536,7 +652,7 @@ mod tests {
     fn constant_outside_domain_does_not_match() {
         let (reg, _, y) = db_with_xy();
         let mut t = Table::new(Schema::new("P", &["dest"]));
-        t.insert(CTuple::new([Term::Var(y)]));
+        t.insert(CTuple::new([Term::Var(y)])).unwrap();
         // 9.9.9.9 is outside dom(ȳ) = {1.2.3.4, 1.2.3.5}.
         let matches = t.find_matches(&reg, &[Pattern::Exact(Term::sym("9.9.9.9"))]);
         assert!(matches.is_empty());
@@ -547,12 +663,14 @@ mod tests {
         let (reg, x, _) = db_with_xy();
         let mut t = Table::new(Schema::new("F", &["a", "b"]));
         for i in 0..100 {
-            t.insert(CTuple::new([Term::int(i % 10), Term::int(i)]));
+            t.insert(CTuple::new([Term::int(i % 10), Term::int(i)]))
+                .unwrap();
         }
         t.insert(CTuple::with_cond(
             [Term::Var(x), Term::int(1000)],
             Condition::True,
-        ));
+        ))
+        .unwrap();
         let pats = [Pattern::Exact(Term::int(3)), Pattern::Any];
         let mut via_index: Vec<usize> = t
             .find_matches(&reg, &pats)
@@ -586,7 +704,8 @@ mod tests {
     fn negation_condition_unconditional_match_is_false() {
         let reg = CVarRegistry::new();
         let mut t = Table::new(Schema::new("Fw", &["a", "b"]));
-        t.insert(CTuple::new([Term::sym("Mkt"), Term::sym("CS")]));
+        t.insert(CTuple::new([Term::sym("Mkt"), Term::sym("CS")]))
+            .unwrap();
         assert_eq!(
             t.negation_condition(&reg, &[Term::sym("Mkt"), Term::sym("CS")]),
             Condition::False
@@ -600,7 +719,8 @@ mod tests {
         t.insert(CTuple::with_cond(
             [Term::sym("R&D")],
             Condition::eq(Term::Var(x), Term::int(1)),
-        ));
+        ))
+        .unwrap();
         let c = t.negation_condition(&reg, &[Term::sym("R&D")]);
         // ¬(x̄ = 1) folded to x̄ ≠ 1 by `negate`.
         assert!(
@@ -618,7 +738,8 @@ mod tests {
                 [Term::int(1)],
                 Condition::eq(Term::Var(x), Term::int(0))
                     .and(Condition::eq(Term::Var(x), Term::int(1))),
-            )),
+            ))
+            .unwrap(),
             InsertOutcome::Unchanged
         );
         assert!(t.is_empty());
@@ -643,11 +764,13 @@ mod tests {
                 CmpOp::Eq,
                 LinExpr::constant(3),
             ),
-        ));
+        ))
+        .unwrap();
         t.insert(CTuple::with_cond(
             [Term::int(2)],
             Condition::eq(Term::Var(y), Term::int(0)),
-        ));
+        ))
+        .unwrap();
         assert_eq!(t.len(), 2);
         let mut session = Session::new();
         let removed = t.prune(&reg, &mut session).unwrap();
@@ -664,10 +787,73 @@ mod tests {
         t.insert(CTuple::with_cond(
             [Term::int(1)],
             Condition::eq(Term::Var(x), Term::int(0)).or(Condition::eq(Term::Var(x), Term::int(1))),
-        ));
+        ))
+        .unwrap();
         let mut session = Session::new();
         t.prune(&reg, &mut session).unwrap();
         assert_eq!(t.row(0).cond, Condition::True);
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_typed_error() {
+        let mut t = Table::new(Schema::new("T", &["a", "b"]));
+        let err = t.insert(CTuple::new([Term::int(1)])).unwrap_err();
+        assert_eq!(
+            err,
+            ArityError {
+                table: "T".into(),
+                expected: 2,
+                got: 1,
+            }
+        );
+        assert!(err.to_string().contains("arity 1"));
+        assert!(err.to_string().contains("table T"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn absorb_partitions_matches_serial_inserts() {
+        let (_, x, _) = db_with_xy();
+        let c0 = Condition::eq(Term::Var(x), Term::int(0));
+        let c1 = Condition::eq(Term::Var(x), Term::int(1));
+        let rows = vec![
+            CTuple::with_cond([Term::int(7)], c0.clone()),
+            CTuple::with_cond([Term::int(8)], Condition::True),
+            CTuple::with_cond([Term::int(7)], c1.clone()),
+            CTuple::with_cond([Term::int(7)], c0.clone()), // dup disjunct
+            CTuple::with_cond([Term::int(9)], Condition::False),
+        ];
+        let mut serial = Table::new(Schema::new("T", &["a"]));
+        let mut serial_changed = Vec::new();
+        for row in &rows {
+            if serial.insert(row.clone()).unwrap().changed() {
+                serial_changed.push(row.terms.clone());
+            }
+        }
+        // Same rows split across two partitions preserving order.
+        let parts: Vec<Vec<PreparedRow>> = vec![
+            rows[..2].iter().cloned().map(PreparedRow::new).collect(),
+            rows[2..].iter().cloned().map(PreparedRow::new).collect(),
+        ];
+        let mut part = Table::new(Schema::new("T", &["a"]));
+        let mut part_changed = Vec::new();
+        part.absorb_partitions(parts, |prow| part_changed.push(prow.terms().to_vec()))
+            .unwrap();
+        assert_eq!(part.len(), serial.len());
+        for (a, b) in part.iter().zip(serial.iter()) {
+            assert_eq!(a, b); // bit-identical rows, conditions included
+        }
+        assert_eq!(part_changed, serial_changed);
+    }
+
+    #[test]
+    fn absorb_partitions_propagates_arity_errors() {
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        let bad = vec![vec![PreparedRow::new(CTuple::new([
+            Term::int(1),
+            Term::int(2),
+        ]))]];
+        assert!(t.absorb_partitions(bad, |_| {}).is_err());
     }
 
     #[test]

@@ -95,7 +95,7 @@ proptest! {
                     );
                 }
             }
-            table.insert(t.clone());
+            table.insert(t.clone()).unwrap();
 
             // Invariant: distinct terms.
             let mut seen = BTreeSet::new();

@@ -1,0 +1,90 @@
+//! The shared random corpus: small c-table databases and fauré-log
+//! programs covering every planner and engine feature.
+//!
+//! Several differential suites draw from the same distribution — the
+//! plan layer checks world-equivalence against the ground reference
+//! evaluator, the engine layer checks parallel runs against serial
+//! runs — so the generators live here rather than in any one test
+//! file.
+
+use faure_core::{parse_program, Program};
+use faure_ctable::{CTuple, Condition, Const, Database, Domain, Schema, Term};
+use proptest::prelude::*;
+
+/// A small random database over E(a, b) and B(x) with two c-variables
+/// ranging over {0, 1, 2} (so every instance has 9 possible worlds).
+pub fn arb_db() -> impl Strategy<Value = Database> {
+    let cell = 0usize..5;
+    let cond = 0usize..5;
+    let e_rows = prop::collection::vec((cell.clone(), cell.clone(), cond.clone()), 1..6);
+    let b_rows = prop::collection::vec((cell, cond), 0..3);
+    (e_rows, b_rows).prop_map(|(e_rows, b_rows)| {
+        let mut db = Database::new();
+        let v0 = db.fresh_cvar("v0", Domain::Ints(vec![0, 1, 2]));
+        let v1 = db.fresh_cvar("v1", Domain::Ints(vec![0, 1, 2]));
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        db.create_relation(Schema::new("B", &["x"])).unwrap();
+        let mk_cell = |code: usize| match code {
+            0..=2 => Term::Const(Const::Int(code as i64)),
+            3 => Term::Var(v0),
+            _ => Term::Var(v1),
+        };
+        let mk_cond = |code: usize| match code {
+            0 => Condition::True,
+            1 => Condition::eq(Term::Var(v0), Term::int(1)),
+            2 => Condition::ne(Term::Var(v0), Term::int(0)),
+            3 => Condition::eq(Term::Var(v1), Term::int(1)),
+            _ => Condition::eq(Term::Var(v0), Term::int(1))
+                .and(Condition::ne(Term::Var(v1), Term::int(0))),
+        };
+        for (a, b, c) in e_rows {
+            db.insert("E", CTuple::with_cond([mk_cell(a), mk_cell(b)], mk_cond(c)))
+                .unwrap();
+        }
+        for (x, c) in b_rows {
+            db.insert("B", CTuple::with_cond([mk_cell(x)], mk_cond(c)))
+                .unwrap();
+        }
+        // Use both c-variables somewhere so world enumeration covers
+        // them even when no row condition mentions them.
+        db.insert("E", CTuple::new([Term::Var(v0), Term::Var(v1)]))
+            .unwrap();
+        db
+    })
+}
+
+/// Random programs chosen to exercise every planner feature: join
+/// reordering (constants written last), linear and non-linear recursion
+/// (one and two delta slots per rule), stratified negation over both
+/// EDB and IDB predicates, rule-variable comparison pushdown, and
+/// c-variable-only comparisons (hoisted to initial filters).
+pub fn arb_program() -> impl Strategy<Value = Program> {
+    let k = 0i64..3;
+    prop_oneof![
+        // Reordering bait: the constant-bearing literal is written last.
+        k.clone()
+            .prop_map(|k| format!("Q(a, c) :- E(a, b), E(b, c), E({k}, a).\n")),
+        // Pushdown: `a != k` binds after the first joined literal.
+        k.clone()
+            .prop_map(|k| format!("Q(a, c) :- E(a, b), E(b, c), a != {k}, c < 2.\n")),
+        // Linear recursion — one delta slot.
+        Just("R(a, b) :- E(a, b).\nR(a, c) :- E(a, b), R(b, c).\n".to_string()),
+        // Non-linear recursion — two delta slots per iteration.
+        Just("R(a, b) :- E(a, b).\nR(a, c) :- R(a, b), R(b, c).\n".to_string()),
+        // Stratified negation over the recursive IDB.
+        Just(
+            "R(a, b) :- E(a, b).\n\
+             R(a, c) :- E(a, b), R(b, c).\n\
+             N(a) :- E(a, b).\n\
+             N(b) :- E(a, b).\n\
+             Cut(a, b) :- N(a), N(b), !R(a, b).\n"
+                .to_string()
+        ),
+        // Negation over EDB plus a unary join.
+        k.clone()
+            .prop_map(|k| format!("Q(a) :- E(a, b), B(b), !E(b, a), a != {k}.\n")),
+        // C-variable-only comparison: hoisted before any join.
+        k.prop_map(|k| format!("Q(a) :- E(a, b), $v0 + $v1 < {}.\n", k + 2)),
+    ]
+    .prop_map(|src| parse_program(&src).unwrap())
+}

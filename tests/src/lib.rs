@@ -14,6 +14,8 @@ use faure_ctable::worlds::WorldIter;
 use faure_ctable::{Const, Database, GroundTuple};
 use std::collections::{BTreeMap, BTreeSet};
 
+pub mod corpus;
+
 /// Instantiates the engine's derived relations in one world.
 pub fn instantiate_derived(
     out: &faure_core::EvalOutput,
