@@ -74,6 +74,15 @@ fn main() {
         "running Listing 2 (q4-q8) on the synthetic RIB workload, sizes {sizes:?}, seed {}, threads {thread_counts:?}",
         opts.seed
     );
+    // A 1-vs-N thread comparison only measures parallel speedup when
+    // the machine actually has >= 2 cores; on a single-core runner the
+    // number is scheduler noise, so the rows mark it invalid instead.
+    let multicore = std::thread::available_parallelism()
+        .map(|n| n.get() >= 2)
+        .unwrap_or(false);
+    if !multicore && thread_counts.iter().any(|&t| t > 1) {
+        eprintln!("  note: single-core runner — speedup_q45 omitted (speedup_valid: false)");
+    }
     let mut rows: Vec<Table4Row> = Vec::new();
     for &n in &sizes {
         // Serial q4-q5 wall-clock baseline for this size, for the
@@ -86,7 +95,8 @@ fn main() {
             if t == 1 {
                 serial_q45 = Some(row.q45_wall());
             } else if let Some(base) = serial_q45 {
-                if row.q45_wall() > 0.0 {
+                row.speedup_valid = multicore;
+                if multicore && row.q45_wall() > 0.0 {
                     row.speedup_q45 = Some(base / row.q45_wall());
                 }
             }

@@ -19,6 +19,8 @@
 
 use faure_core::{evaluate_with, EvalError, EvalOptions, PrunePolicy};
 use faure_net::{queries, rib};
+use faure_solver::session::SolverStats;
+use faure_storage::OpStats;
 use std::time::Duration;
 
 /// Timing + size numbers for one query (one cell group of Table 4).
@@ -36,6 +38,17 @@ pub struct QueryStats {
     /// Delta rows after each semi-naive iteration (across strata, in
     /// evaluation order) — the convergence profile of the fixpoint.
     pub delta_sizes: Vec<usize>,
+    /// Per-operator execution counters (probes, rows matched,
+    /// conditions conjoined, comparison-pruned branches, negation
+    /// checks) — the relational half of the aggregated-metrics block.
+    pub ops: OpStats,
+    /// Fine-grained solver counters (sat calls, memo hits/misses,
+    /// per-check latency histogram) — the solver half.
+    pub solver_stats: SolverStats,
+    /// Rule plans served from the per-evaluation plan cache.
+    pub plan_cache_hits: u64,
+    /// Rule plans compiled because no cached plan existed.
+    pub plan_cache_misses: u64,
 }
 
 impl QueryStats {
@@ -46,20 +59,46 @@ impl QueryStats {
             tuples: stats.tuples,
             memo_hit_rate: stats.solver_stats.memo_hit_rate(),
             delta_sizes: stats.delta_sizes.clone(),
+            ops: stats.ops.clone(),
+            solver_stats: stats.solver_stats,
+            plan_cache_hits: stats.plan_cache_hits,
+            plan_cache_misses: stats.plan_cache_misses,
         }
     }
 
     /// JSON object for this cell group (no external serializer in the
-    /// offline build, so the encoding is by hand).
+    /// offline build, so the encoding is by hand). The `metrics` block
+    /// mirrors the CLI's `--metrics` per-database schema (ops, solver,
+    /// plan-cache counters, solve-latency histogram).
     pub fn to_json(&self) -> String {
         let deltas: Vec<String> = self.delta_sizes.iter().map(|d| d.to_string()).collect();
+        let ops = &self.ops;
+        let sv = &self.solver_stats;
         format!(
-            "{{\"sql\":{},\"solver\":{},\"tuples\":{},\"memo_hit_rate\":{:.4},\"delta_sizes\":[{}]}}",
+            "{{\"sql\":{},\"solver\":{},\"tuples\":{},\"memo_hit_rate\":{:.4},\"delta_sizes\":[{}],\
+             \"metrics\":{{\
+             \"ops\":{{\"probes\":{},\"rows_matched\":{},\"conds_conjoined\":{},\"cmp_pruned\":{},\"neg_checks\":{}}},\
+             \"solver\":{{\"sat_calls\":{},\"sat_true\":{},\"simplify_calls\":{},\"memo_hits\":{},\"memo_misses\":{},\"time_ns\":{},\"latency_ns\":{}}},\
+             \"plan_cache\":{{\"hits\":{},\"misses\":{}}}}}}}",
             self.sql,
             self.solver,
             self.tuples,
             self.memo_hit_rate,
-            deltas.join(",")
+            deltas.join(","),
+            ops.probes,
+            ops.rows_matched,
+            ops.conds_conjoined,
+            ops.cmp_pruned,
+            ops.neg_checks,
+            sv.sat_calls,
+            sv.sat_true,
+            sv.simplify_calls,
+            sv.memo_hits,
+            sv.memo_misses,
+            sv.time.as_nanos(),
+            sv.latency.to_json(),
+            self.plan_cache_hits,
+            self.plan_cache_misses,
         )
     }
 }
@@ -77,6 +116,11 @@ pub struct Table4Row {
     /// row's — filled by the `table4` binary when it ran a serial
     /// baseline for the same size, `None` otherwise.
     pub speedup_q45: Option<f64>,
+    /// Whether `speedup_q45` is a meaningful signal on this machine:
+    /// `false` on single-core runners, where a 1-vs-N comparison
+    /// measures scheduler noise, not parallel speedup. The `table4`
+    /// binary sets it from `std::thread::available_parallelism()`.
+    pub speedup_valid: bool,
     /// Size of the generated forwarding c-table.
     pub f_tuples: usize,
     /// q4–q5: all-pairs reachability (recursive).
@@ -99,11 +143,12 @@ impl Table4Row {
             None => "null".to_owned(),
         };
         format!(
-            "{{\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{}}}",
+            "{{\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"speedup_valid\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{}}}",
             self.prefixes,
             self.seed,
             self.threads,
             speedup,
+            self.speedup_valid,
             self.f_tuples,
             self.q45.to_json(),
             self.q6.to_json(),
@@ -213,6 +258,7 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
         seed: opts.seed,
         threads: opts.eval.threads,
         speedup_q45: None,
+        speedup_valid: false,
         f_tuples,
         q45,
         q6,
@@ -310,12 +356,20 @@ mod tests {
         assert!(json.contains("\"prefixes\":10"));
         assert!(json.contains("\"threads\":1"));
         assert!(json.contains("\"speedup_q45\":null"));
+        assert!(json.contains("\"speedup_valid\":false"));
         assert!(json.contains("\"q6\""));
         assert!(json.contains("\"memo_hit_rate\""));
         assert!(json.contains("\"delta_sizes\":["));
+        // The aggregated-metrics block mirrors the CLI --metrics schema.
+        assert!(json.contains("\"metrics\":{\"ops\":{\"probes\":"));
+        assert!(json.contains("\"solver\":{\"sat_calls\":"));
+        assert!(json.contains("\"latency_ns\":["));
+        assert!(json.contains("\"plan_cache\":{\"hits\":"));
         assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
         row.speedup_q45 = Some(1.5);
+        row.speedup_valid = true;
         assert!(row.to_json().contains("\"speedup_q45\":1.500"));
+        assert!(row.to_json().contains("\"speedup_valid\":true"));
     }
 
     #[test]

@@ -37,6 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod observe;
+
+pub use observe::{cmd_eval_batch, cmd_profile, EvalReport};
+
 use faure_core::{evaluate_with, parse_program, EvalOptions, Program, PrunePolicy};
 use faure_ctable::{CVarRegistry, Const, Database, Domain};
 use faure_verify::{check_direct, violation_scenarios, Constraint, DirectVerdict};

@@ -1,8 +1,8 @@
 //! The `faure` binary — see the crate docs for the file formats.
 
 use faure_cli::{
-    cmd_check, cmd_eval, cmd_explain, cmd_explain_json, cmd_lint, cmd_lint_json, cmd_scenarios,
-    cmd_sql, cmd_subsume, cmd_worlds, load_database, parse_prune, CliError,
+    cmd_check, cmd_eval_batch, cmd_explain, cmd_explain_json, cmd_lint, cmd_lint_json, cmd_profile,
+    cmd_scenarios, cmd_sql, cmd_subsume, cmd_worlds, load_database, parse_prune, CliError,
 };
 use faure_core::PrunePolicy;
 
@@ -10,8 +10,9 @@ const USAGE: &str = "\
 faure — partial network analysis (HotNets '21 reproduction)
 
 USAGE:
-  faure eval <db.fdb> <program.fl> [--prune never|stratum|iteration|eager] [--relation R]
-            [--threads N]
+  faure eval <db.fdb>... <program.fl> [--prune never|stratum|iteration|eager] [--relation R]
+            [--threads N] [--trace out.trace.json] [--metrics out.json]
+  faure profile <program.fl> <db.fdb> [--threads N]
   faure explain <program.fl> [--format text|json]
   faure check <program.fl> [--domains db.fdb] [--format text|json]
   faure check <db.fdb> <constraint.fl>
@@ -28,6 +29,18 @@ Database files (.fdb) hold `@cvar name in {..}` / `@cvar name open` /
 `eval --threads N` partitions the fixpoint inner loop across N worker
 threads; results are bit-identical to a serial run at any thread
 count. The `FAURE_THREADS` environment variable sets the default.
+
+`eval` accepts several databases: the program is prepared (analysed,
+stratified, plan-compiled) once and run against each, so the compiled
+plans are shared across queries. `--trace` writes the whole pipeline
+as Chrome trace_event JSON (load in chrome://tracing or Perfetto);
+`--metrics` writes aggregated per-database metrics JSON (schema
+`faure_metrics_version: 1`, see DESIGN.md). Tracing never changes
+evaluation results.
+
+`profile` evaluates once with tracing on and prints a text report:
+phase breakdown, per-iteration delta sizes, top rules by time, and
+the solver memo hit rate and latency quantiles.
 
 `explain` prints the compiled rule plans: the join order chosen by
 bound-column selectivity, semi-naive delta slots, pushed-down
@@ -60,6 +73,8 @@ fn run() -> Result<String, CliError> {
     let mut domains: Option<String> = None;
     let mut format = LintFormat::Text;
     let mut threads: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -91,6 +106,22 @@ fn run() -> Result<String, CliError> {
                 i += 1;
                 domains = args.get(i).cloned();
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| CliError("--trace takes an output path".into()))?,
+                );
+            }
+            "--metrics" => {
+                i += 1;
+                metrics_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| CliError("--metrics takes an output path".into()))?,
+                );
+            }
             "--format" => {
                 i += 1;
                 format = match args.get(i).map(String::as_str) {
@@ -109,13 +140,35 @@ fn run() -> Result<String, CliError> {
     }
 
     match positional.as_slice() {
-        ["eval", db, program] => cmd_eval(
-            &read(db)?,
-            &read(program)?,
-            prune,
-            relation.as_deref(),
-            threads,
-        ),
+        // All-but-last positionals are databases; the program is last.
+        ["eval", paths @ ..] if paths.len() >= 2 => {
+            let (program, dbs) = paths.split_last().expect("len >= 2");
+            let db_texts: Vec<(String, String)> = dbs
+                .iter()
+                .map(|p| read(p).map(|text| ((*p).to_owned(), text)))
+                .collect::<Result<_, _>>()?;
+            let report = cmd_eval_batch(
+                &db_texts,
+                program,
+                &read(program)?,
+                prune,
+                relation.as_deref(),
+                threads,
+                trace_path.is_some(),
+                metrics_path.is_some(),
+            )?;
+            let mut out = report.rendered;
+            if let (Some(path), Some(json)) = (&trace_path, &report.trace_json) {
+                std::fs::write(path, json).map_err(|e| CliError(format!("{path}: {e}")))?;
+                out.push_str(&format!("-- trace written to {path}\n"));
+            }
+            if let (Some(path), Some(json)) = (&metrics_path, &report.metrics_json) {
+                std::fs::write(path, json).map_err(|e| CliError(format!("{path}: {e}")))?;
+                out.push_str(&format!("-- metrics written to {path}\n"));
+            }
+            Ok(out)
+        }
+        ["profile", program, db] => cmd_profile(program, &read(program)?, db, &read(db)?, threads),
         ["explain", program] => match format {
             LintFormat::Text => cmd_explain(&read(program)?),
             LintFormat::Json => cmd_explain_json(&read(program)?),

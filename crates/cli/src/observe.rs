@@ -1,0 +1,599 @@
+//! Observability surface of the CLI: batch `eval` with `--trace` /
+//! `--metrics`, and the `faure profile` text report.
+//!
+//! All three outputs come from the same recorded span stream
+//! ([`faure_trace::Recorder`]) plus the engine's [`PhaseStats`]:
+//!
+//! * `--trace` renders the raw spans in Chrome `trace_event` JSON
+//!   (loadable in `chrome://tracing` / Perfetto);
+//! * `--metrics` rolls them up into the stable aggregated-metrics
+//!   schema documented in DESIGN.md (`faure_metrics_version: 1`);
+//! * `faure profile` renders a rustc-style text report (top rules by
+//!   time, iteration table, solver memo hit rate).
+//!
+//! Batch `eval` prepares the program **once** (`Engine::prepare`) and
+//! runs it against every database — the cross-query plan-reuse path the
+//! engine refactor introduced — with per-database spans grouped in one
+//! trace.
+
+use crate::{err, load_database, render_relation, CliError};
+use faure_core::{parse_program, Engine, EvalOptions, PrunePolicy};
+use faure_storage::PhaseStats;
+use faure_trace::metrics::{rollup_by_arg, rollup_spans, Rollup};
+use faure_trace::{chrome, json_escape, Event, Recorder, Tracer};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Output of a (possibly batch) `faure eval` run.
+#[derive(Debug)]
+pub struct EvalReport {
+    /// Human-readable relation listing + stats lines (stdout).
+    pub rendered: String,
+    /// Chrome `trace_event` JSON, when `--trace` was requested.
+    pub trace_json: Option<String>,
+    /// Aggregated-metrics JSON, when `--metrics` was requested.
+    pub metrics_json: Option<String>,
+}
+
+/// One database's worth of recorded evaluation, used to build the
+/// metrics document.
+struct DbRun {
+    label: String,
+    stats: PhaseStats,
+    events: Vec<Event>,
+}
+
+/// `faure eval` implementation over one or more databases. The program
+/// is prepared once; each database is a separate
+/// [`run`](faure_core::PreparedProgram::run) over the same compiled
+/// plans. With `want_trace` / `want_metrics`, the pipeline is recorded
+/// and the corresponding JSON documents are returned in the report
+/// (tracing never changes evaluation results).
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_eval_batch(
+    dbs: &[(String, String)],
+    program_label: &str,
+    program_text: &str,
+    prune: PrunePolicy,
+    only_relation: Option<&str>,
+    threads: Option<usize>,
+    want_trace: bool,
+    want_metrics: bool,
+) -> Result<EvalReport, CliError> {
+    if dbs.is_empty() {
+        return Err(err("eval needs at least one database file"));
+    }
+    let program = parse_program(program_text).map_err(|e| err(e.to_string()))?;
+    let mut opts = EvalOptions {
+        prune,
+        ..Default::default()
+    };
+    if let Some(n) = threads {
+        opts.threads = n.max(1);
+    }
+
+    let recorder = Arc::new(Recorder::new());
+    let tracer = if want_trace || want_metrics {
+        Tracer::new(Arc::clone(&recorder) as Arc<dyn faure_trace::TraceSink>)
+    } else {
+        Tracer::disabled()
+    };
+
+    let prepared = Engine::with_options(opts)
+        .prepare_traced(&program, &tracer)
+        .map_err(|e| err(e.to_string()))?;
+    let prepare_events = recorder.take();
+
+    let mut rendered = String::new();
+    let mut all_events = prepare_events.clone();
+    let mut runs: Vec<DbRun> = Vec::new();
+
+    for (label, text) in dbs {
+        let db = load_database(text).map_err(|e| err(format!("{label}: {e}")))?;
+        let out = prepared
+            .run_with_traced(&db, &opts, &tracer)
+            .map_err(|e| err(format!("{label}: {e}")))?;
+        let events = recorder.take();
+
+        if dbs.len() > 1 {
+            writeln!(rendered, "== {label} ==").map_err(|e| err(e.to_string()))?;
+        }
+        match only_relation {
+            Some(r) => render_relation(r, &out.database, &mut rendered)?,
+            None => {
+                for p in program.idb_predicates() {
+                    render_relation(p, &out.database, &mut rendered)?;
+                }
+            }
+        }
+        writeln!(
+            rendered,
+            "-- {} tuples, relational {:?}, solver {:?}",
+            out.stats.tuples, out.stats.relational, out.stats.solver
+        )
+        .map_err(|e| err(e.to_string()))?;
+
+        all_events.extend(events.iter().cloned());
+        runs.push(DbRun {
+            label: label.clone(),
+            stats: out.stats,
+            events,
+        });
+    }
+
+    let trace_json = want_trace.then(|| chrome::trace_json(&all_events));
+    let metrics_json =
+        want_metrics.then(|| metrics_document(program_label, &program, &prepare_events, &runs));
+    Ok(EvalReport {
+        rendered,
+        trace_json,
+        metrics_json,
+    })
+}
+
+/// Builds the `faure_metrics_version: 1` JSON document. The schema is
+/// documented in DESIGN.md ("Observability") and asserted by CI; keep
+/// the two in sync.
+fn metrics_document(
+    program_label: &str,
+    program: &faure_core::Program,
+    prepare_events: &[Event],
+    runs: &[DbRun],
+) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\"faure_metrics_version\":1,");
+    let _ = write!(s, "\"program\":\"{}\",", json_escape(program_label));
+
+    // Prepare-phase rollup (safety / stratify / plan-compile).
+    s.push_str("\"prepare\":[");
+    push_rollups(&mut s, &rollup_spans(prepare_events));
+    s.push_str("],");
+
+    s.push_str("\"databases\":[");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_db_metrics(&mut s, program, run);
+    }
+    s.push_str("]}");
+    s
+}
+
+fn push_rollups(s: &mut String, rollups: &[Rollup]) {
+    for (i, r) in rollups.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"cat\":\"{}\",\"name\":\"{}\",\"count\":{},\"wall_ns\":{}}}",
+            json_escape(r.cat),
+            json_escape(r.name),
+            r.count,
+            r.wall_ns
+        );
+    }
+}
+
+fn push_db_metrics(s: &mut String, program: &faure_core::Program, run: &DbRun) {
+    let st = &run.stats;
+    let sv = &st.solver_stats;
+    let _ = write!(s, "{{\"label\":\"{}\",", json_escape(&run.label));
+    let _ = write!(
+        s,
+        "\"relational_ns\":{},\"solver_ns\":{},\"tuples\":{},\"pruned\":{},",
+        st.relational.as_nanos(),
+        st.solver.as_nanos(),
+        st.tuples,
+        st.pruned
+    );
+    let _ = write!(
+        s,
+        "\"ops\":{{\"probes\":{},\"rows_matched\":{},\"conds_conjoined\":{},\
+         \"cmp_pruned\":{},\"neg_checks\":{}}},",
+        st.ops.probes,
+        st.ops.rows_matched,
+        st.ops.conds_conjoined,
+        st.ops.cmp_pruned,
+        st.ops.neg_checks
+    );
+    let _ = write!(
+        s,
+        "\"solver\":{{\"sat_calls\":{},\"sat_true\":{},\"simplify_calls\":{},\
+         \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{:.4},\"time_ns\":{},\
+         \"latency_ns\":{}}},",
+        sv.sat_calls,
+        sv.sat_true,
+        sv.simplify_calls,
+        sv.memo_hits,
+        sv.memo_misses,
+        sv.memo_hit_rate(),
+        sv.time.as_nanos(),
+        sv.latency.to_json()
+    );
+    let _ = write!(
+        s,
+        "\"plan_cache\":{{\"hits\":{},\"misses\":{}}},",
+        st.plan_cache_hits, st.plan_cache_misses
+    );
+    let sizes: Vec<String> = st.delta_sizes.iter().map(usize::to_string).collect();
+    let _ = write!(s, "\"delta_sizes\":[{}],", sizes.join(","));
+
+    s.push_str("\"phases\":[");
+    push_rollups(s, &rollup_spans(&run.events));
+    s.push_str("],");
+
+    s.push_str("\"rules\":[");
+    let per_rule = rollup_by_arg(&run.events, "fixpoint", "rule-pass", "rule");
+    for (i, (ri, r)) in per_rule.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let head = r
+            .label("head")
+            .map(str::to_owned)
+            .or_else(|| {
+                program
+                    .rules
+                    .get(*ri as usize)
+                    .map(|rule| rule.head.pred.clone())
+            })
+            .unwrap_or_default();
+        let _ = write!(
+            s,
+            "{{\"rule\":{},\"head\":\"{}\",\"passes\":{},\"wall_ns\":{},\
+             \"matches\":{},\"rows_out\":{},\"cond_size\":{}}}",
+            ri,
+            json_escape(&head),
+            r.count,
+            r.wall_ns,
+            r.sum("matches"),
+            r.sum("rows_out"),
+            r.sum("cond_size")
+        );
+    }
+    s.push_str("]}");
+}
+
+/// Formats nanoseconds human-readably (ns → µs → ms → s).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// `faure profile <prog.fl> <db.fdb>` implementation: runs the program
+/// with tracing enabled and renders a rustc-style text report — phase
+/// breakdown, per-iteration delta sizes, top rules by time, and the
+/// solver memo / latency summary.
+pub fn cmd_profile(
+    program_label: &str,
+    program_text: &str,
+    db_label: &str,
+    db_text: &str,
+    threads: Option<usize>,
+) -> Result<String, CliError> {
+    let program = parse_program(program_text).map_err(|e| err(e.to_string()))?;
+    let db = load_database(db_text)?;
+    let mut opts = EvalOptions::default();
+    if let Some(n) = threads {
+        opts.threads = n.max(1);
+    }
+
+    let recorder = Arc::new(Recorder::new());
+    let tracer = Tracer::new(Arc::clone(&recorder) as Arc<dyn faure_trace::TraceSink>);
+    let prepared = Engine::with_options(opts)
+        .prepare_traced(&program, &tracer)
+        .map_err(|e| err(e.to_string()))?;
+    let out = prepared
+        .run_traced(&db, &tracer)
+        .map_err(|e| err(e.to_string()))?;
+    let events = recorder.take();
+    let st = &out.stats;
+    let sv = &st.solver_stats;
+
+    let mut s = String::new();
+    let w = &mut s;
+    let _ = writeln!(w, "profile: {program_label} on {db_label}");
+    let _ = writeln!(
+        w,
+        "  total {}  (relational {}, solver {})",
+        fmt_ns((st.relational + st.solver).as_nanos() as u64),
+        fmt_ns(st.relational.as_nanos() as u64),
+        fmt_ns(st.solver.as_nanos() as u64),
+    );
+    let _ = writeln!(
+        w,
+        "  tuples {}  pruned {}  plan cache {} hits / {} compiled",
+        st.tuples, st.pruned, st.plan_cache_hits, st.plan_cache_misses
+    );
+    let _ = writeln!(
+        w,
+        "  solver: {} sat calls ({} sat), memo hit rate {:.1}% ({} hits / {} misses)",
+        sv.sat_calls,
+        sv.sat_true,
+        sv.memo_hit_rate() * 100.0,
+        sv.memo_hits,
+        sv.memo_misses
+    );
+    if sv.latency.count() > 0 {
+        let _ = writeln!(
+            w,
+            "  solver latency: {} checks, mean {}  p50 ≤ {}  p99 ≤ {}",
+            sv.latency.count(),
+            fmt_ns(sv.latency.mean_ns()),
+            fmt_ns(sv.latency.quantile(0.5)),
+            fmt_ns(sv.latency.quantile(0.99)),
+        );
+    }
+
+    // Phase breakdown from the span rollup.
+    let _ = writeln!(w, "\nphases:");
+    let _ = writeln!(w, "  {:<22} {:>7} {:>12}", "phase", "count", "wall");
+    for r in rollup_spans(&events) {
+        // `run` nests everything else; listing it would double-count.
+        if r.cat == "eval" && r.name == "run" {
+            continue;
+        }
+        let _ = writeln!(
+            w,
+            "  {:<22} {:>7} {:>12}",
+            format!("{}/{}", r.cat, r.name),
+            r.count,
+            fmt_ns(r.wall_ns)
+        );
+    }
+
+    // Iteration table (semi-naive delta sizes, in execution order).
+    let iters: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.cat == "fixpoint" && e.name == "iteration")
+        .collect();
+    if !iters.is_empty() {
+        let _ = writeln!(w, "\niterations:");
+        let _ = writeln!(w, "  {:>5} {:>11} {:>12}", "iter", "delta rows", "wall");
+        for e in iters {
+            let _ = writeln!(
+                w,
+                "  {:>5} {:>11} {:>12}",
+                e.arg_u64("iteration").unwrap_or(0),
+                e.arg_u64("delta_rows").unwrap_or(0),
+                fmt_ns(e.dur_ns)
+            );
+        }
+    }
+
+    // Top rules by time.
+    let mut per_rule = rollup_by_arg(&events, "fixpoint", "rule-pass", "rule");
+    per_rule.sort_by_key(|r| std::cmp::Reverse(r.1.wall_ns));
+    let _ = writeln!(w, "\ntop rules by time:");
+    let _ = writeln!(
+        w,
+        "  {:>12} {:>6} {:>9} {:>9}  rule",
+        "wall", "passes", "matches", "rows"
+    );
+    for (ri, r) in per_rule.iter().take(10) {
+        let rule_text = program
+            .rules
+            .get(*ri as usize)
+            .map(|rule| rule.to_string())
+            .unwrap_or_else(|| format!("#{ri}"));
+        let _ = writeln!(
+            w,
+            "  {:>12} {:>6} {:>9} {:>9}  {}",
+            fmt_ns(r.wall_ns),
+            r.count,
+            r.sum("matches"),
+            r.sum("rows_out"),
+            rule_text
+        );
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "\
+@cvar x in {0, 1}
+@cvar y in {0, 1}
+@cvar z in {0, 1}
+@schema F(f, n1, n2)
+F(1, 1, 2) :- $x = 1.
+F(1, 1, 3) :- $x = 0.
+F(1, 2, 3) :- $y = 1.
+F(1, 2, 4) :- $y = 0.
+F(1, 3, 5) :- $z = 1.
+F(1, 3, 4) :- $z = 0.
+F(1, 4, 5).
+";
+
+    const REACH: &str = "\
+R(f, a, b) :- F(f, a, b).
+R(f, a, b) :- F(f, a, c), R(f, c, b).
+";
+
+    fn one_db(label: &str) -> Vec<(String, String)> {
+        vec![(label.to_owned(), FIG1.to_owned())]
+    }
+
+    #[test]
+    fn batch_eval_single_db_matches_plain_eval() {
+        let report = cmd_eval_batch(
+            &one_db("fig1.fdb"),
+            "reach.fl",
+            REACH,
+            PrunePolicy::EndOfStratum,
+            Some("R"),
+            None,
+            false,
+            false,
+        )
+        .unwrap();
+        let plain =
+            crate::cmd_eval(FIG1, REACH, PrunePolicy::EndOfStratum, Some("R"), None).unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("--"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&report.rendered), strip(&plain));
+        assert!(report.trace_json.is_none());
+        assert!(report.metrics_json.is_none());
+    }
+
+    #[test]
+    fn batch_eval_renders_per_db_sections_and_shares_plans() {
+        let dbs = vec![
+            ("a.fdb".to_owned(), FIG1.to_owned()),
+            ("b.fdb".to_owned(), FIG1.to_owned()),
+        ];
+        let report = cmd_eval_batch(
+            &dbs,
+            "reach.fl",
+            REACH,
+            PrunePolicy::EndOfStratum,
+            Some("R"),
+            None,
+            false,
+            true,
+        )
+        .unwrap();
+        assert!(report.rendered.contains("== a.fdb =="));
+        assert!(report.rendered.contains("== b.fdb =="));
+        let metrics = report.metrics_json.unwrap();
+        assert!(metrics.contains("\"faure_metrics_version\":1"));
+        assert!(metrics.contains("\"label\":\"a.fdb\""));
+        assert!(metrics.contains("\"label\":\"b.fdb\""));
+        // Both runs report identical plan-cache counters: plans were
+        // compiled once, at prepare time, then reused per database.
+        let caches: Vec<&str> = metrics
+            .match_indices("\"plan_cache\":{")
+            .map(|(i, _)| {
+                let rest = &metrics[i..];
+                &rest[..=rest.find('}').unwrap()]
+            })
+            .collect();
+        assert_eq!(caches.len(), 2, "{metrics}");
+        assert_eq!(caches[0], caches[1], "{metrics}");
+    }
+
+    #[test]
+    fn trace_output_is_chrome_trace_json() {
+        let report = cmd_eval_batch(
+            &one_db("fig1.fdb"),
+            "reach.fl",
+            REACH,
+            PrunePolicy::EndOfStratum,
+            None,
+            None,
+            true,
+            false,
+        )
+        .unwrap();
+        let trace = report.trace_json.unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"name\":\"rule-pass\""));
+        assert!(trace.contains("\"name\":\"plan-compile\""));
+    }
+
+    #[test]
+    fn metrics_document_has_schema_keys() {
+        let report = cmd_eval_batch(
+            &one_db("fig1.fdb"),
+            "reach.fl",
+            REACH,
+            PrunePolicy::EndOfStratum,
+            None,
+            None,
+            false,
+            true,
+        )
+        .unwrap();
+        let m = report.metrics_json.unwrap();
+        for key in [
+            "\"faure_metrics_version\":1",
+            "\"program\":\"reach.fl\"",
+            "\"prepare\":[",
+            "\"databases\":[",
+            "\"relational_ns\":",
+            "\"solver_ns\":",
+            "\"tuples\":",
+            "\"pruned\":",
+            "\"ops\":{\"probes\":",
+            "\"solver\":{\"sat_calls\":",
+            "\"memo_hit_rate\":",
+            "\"latency_ns\":[",
+            "\"plan_cache\":{\"hits\":",
+            "\"delta_sizes\":[",
+            "\"phases\":[",
+            "\"rules\":[",
+            "\"head\":\"R\"",
+        ] {
+            assert!(m.contains(key), "missing {key} in {m}");
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_rendered_results() {
+        let base = cmd_eval_batch(
+            &one_db("fig1.fdb"),
+            "reach.fl",
+            REACH,
+            PrunePolicy::EndOfStratum,
+            Some("R"),
+            None,
+            false,
+            false,
+        )
+        .unwrap();
+        let traced = cmd_eval_batch(
+            &one_db("fig1.fdb"),
+            "reach.fl",
+            REACH,
+            PrunePolicy::EndOfStratum,
+            Some("R"),
+            None,
+            true,
+            true,
+        )
+        .unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("--"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&base.rendered), strip(&traced.rendered));
+    }
+
+    #[test]
+    fn profile_renders_report_sections() {
+        let report = cmd_profile("reach.fl", REACH, "fig1.fdb", FIG1, None).unwrap();
+        assert!(report.contains("profile: reach.fl on fig1.fdb"), "{report}");
+        assert!(report.contains("memo hit rate"), "{report}");
+        assert!(report.contains("phases:"), "{report}");
+        assert!(report.contains("fixpoint/rule-pass"), "{report}");
+        assert!(report.contains("iterations:"), "{report}");
+        assert!(report.contains("top rules by time:"), "{report}");
+        assert!(report.contains("R(f, a, b)"), "{report}");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

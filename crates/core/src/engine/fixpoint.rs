@@ -28,13 +28,31 @@ pub(super) fn eval_stratum_semi_naive(
 ) -> Result<(), EvalError> {
     // Iteration 0: every rule against the full tables (recursive rules
     // see the — possibly empty — current contents of stratum IDBs).
+    let t_iter = ctx.tracer.now_ns();
     let mut delta: HashMap<String, Table> = HashMap::new();
     for &(ri, rule) in rules {
         let plan = plans.get_or_compile(ri, rule, None);
-        let derived = eval_rule(ctx, rule, plan, tables, None, session, opts, &mut stats.ops)?;
+        let derived = eval_rule(
+            ctx,
+            ri,
+            rule,
+            plan,
+            tables,
+            None,
+            session,
+            opts,
+            &mut stats.ops,
+        )?;
         merge_derived(rule.head.pred.as_str(), derived, tables, &mut delta)?;
     }
-    record_delta_size(&delta, stats);
+    let delta_rows = record_delta_size(&delta, stats);
+    ctx.tracer
+        .emit_span("fixpoint", "iteration", t_iter, 0, || {
+            vec![
+                ("iteration", 0usize.into()),
+                ("delta_rows", delta_rows.into()),
+            ]
+        });
 
     let mut iterations = 0usize;
     while !delta.is_empty() {
@@ -44,10 +62,19 @@ pub(super) fn eval_stratum_semi_naive(
                 limit: opts.max_iterations,
             });
         }
+        let t_iter = ctx.tracer.now_ns();
         if opts.prune == PrunePolicy::EveryIteration {
+            // One span for the whole delta sweep: per-table spans would
+            // follow `HashMap` iteration order, which is not
+            // deterministic across runs.
+            let t_prune = ctx.tracer.now_ns();
+            let mut removed = 0usize;
             for t in delta.values_mut() {
-                t.prune(&ctx.reg_snapshot, session)?;
+                removed += t.prune(&ctx.reg_snapshot, session)?;
             }
+            ctx.tracer.emit_span("eval", "prune", t_prune, 0, || {
+                vec![("pred", "(delta)".into()), ("removed", removed.into())]
+            });
             delta.retain(|_, t| !t.is_empty());
             if delta.is_empty() {
                 break;
@@ -74,6 +101,7 @@ pub(super) fn eval_stratum_semi_naive(
                 let plan = plans.get_or_compile(ri, rule, Some(pos));
                 let derived = eval_rule(
                     ctx,
+                    ri,
                     rule,
                     plan,
                     tables,
@@ -86,18 +114,28 @@ pub(super) fn eval_stratum_semi_naive(
             }
         }
         delta = next_delta;
-        record_delta_size(&delta, stats);
+        let delta_rows = record_delta_size(&delta, stats);
+        let iteration = iterations;
+        ctx.tracer
+            .emit_span("fixpoint", "iteration", t_iter, 0, || {
+                vec![
+                    ("iteration", iteration.into()),
+                    ("delta_rows", delta_rows.into()),
+                ]
+            });
     }
     Ok(())
 }
 
 /// Records the total delta size of a just-finished fixpoint iteration
-/// (the empty delta that terminates the loop is not recorded).
-fn record_delta_size(delta: &HashMap<String, Table>, stats: &mut PhaseStats) {
+/// (the empty delta that terminates the loop is not recorded); returns
+/// the size.
+fn record_delta_size(delta: &HashMap<String, Table>, stats: &mut PhaseStats) -> usize {
     let total: usize = delta.values().map(Table::len).sum();
     if total > 0 {
         stats.delta_sizes.push(total);
     }
+    total
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -118,15 +156,34 @@ pub(super) fn eval_stratum_naive(
                 limit: opts.max_iterations,
             });
         }
+        let t_iter = ctx.tracer.now_ns();
         let mut changed = false;
         for &(ri, rule) in rules {
             let plan = plans.get_or_compile(ri, rule, None);
-            let derived = eval_rule(ctx, rule, plan, tables, None, session, opts, &mut stats.ops)?;
+            let derived = eval_rule(
+                ctx,
+                ri,
+                rule,
+                plan,
+                tables,
+                None,
+                session,
+                opts,
+                &mut stats.ops,
+            )?;
             let table = tables
                 .get_mut(rule.head.pred.as_str())
                 .expect("table created in setup");
             table.absorb_partitions(derived, |_| changed = true)?;
         }
+        let iteration = iterations - 1;
+        ctx.tracer
+            .emit_span("fixpoint", "iteration", t_iter, 0, || {
+                vec![
+                    ("iteration", iteration.into()),
+                    ("changed", u64::from(changed).into()),
+                ]
+            });
         if !changed {
             return Ok(());
         }

@@ -52,6 +52,7 @@ use crate::plan::PlanCache;
 use faure_ctable::{CVarId, CVarRegistry, Database, Domain, Relation, Schema};
 use faure_solver::{Session, SharedMemo, SolverError};
 use faure_storage::{ArityError, PhaseStats, Table};
+use faure_trace::Tracer;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -240,8 +241,27 @@ impl Engine {
     /// yielding a [`PreparedProgram`] that can be
     /// [run](PreparedProgram::run) against many databases.
     pub fn prepare(&self, program: &Program) -> Result<PreparedProgram, EvalError> {
+        self.prepare_traced(program, &Tracer::disabled())
+    }
+
+    /// [`prepare`](Engine::prepare) with the analysis and planning
+    /// phases recorded as `prepare` spans on `tracer`.
+    pub fn prepare_traced(
+        &self,
+        program: &Program,
+        tracer: &Tracer,
+    ) -> Result<PreparedProgram, EvalError> {
+        let t_safety = tracer.now_ns();
         check_safety(program)?;
+        tracer.emit_span("prepare", "safety", t_safety, 0, || {
+            vec![("rules", program.rules.len().into())]
+        });
+        let t_strat = tracer.now_ns();
         let strat = stratify(program)?;
+        tracer.emit_span("prepare", "stratify", t_strat, 0, || {
+            vec![("strata", strat.strata.len().into())]
+        });
+        let t_plan = tracer.now_ns();
         let mut plans = PlanCache::new();
         for stratum_rules in &strat.strata {
             let stratum_preds: BTreeSet<&str> = stratum_rules
@@ -263,6 +283,9 @@ impl Engine {
             }
         }
         let compiled = plans.misses;
+        tracer.emit_span("prepare", "plan-compile", t_plan, 0, || {
+            vec![("plans", compiled.into())]
+        });
         Ok(PreparedProgram {
             program: program.clone(),
             strat,
@@ -311,11 +334,31 @@ impl PreparedProgram {
         self.run_with(db, &self.opts)
     }
 
+    /// [`run`](PreparedProgram::run) with the pipeline recorded on
+    /// `tracer`: per-stratum fixpoint iterations, per-rule plan
+    /// execution, parallel worker chunks, end-of-stratum pruning, and a
+    /// solver-session summary.
+    pub fn run_traced(&self, db: &Database, tracer: &Tracer) -> Result<EvalOutput, EvalError> {
+        self.run_with_traced(db, &self.opts, tracer)
+    }
+
     /// Executes against `db` with explicit per-run options. Note the
     /// plans were compiled at prepare time; options affecting planning
     /// inputs (there are none today) would require re-preparing.
     pub fn run_with(&self, db: &Database, opts: &EvalOptions) -> Result<EvalOutput, EvalError> {
+        self.run_with_traced(db, opts, &Tracer::disabled())
+    }
+
+    /// [`run_with`](PreparedProgram::run_with) +
+    /// [`run_traced`](PreparedProgram::run_traced) combined.
+    pub fn run_with_traced(
+        &self,
+        db: &Database,
+        opts: &EvalOptions,
+        tracer: &Tracer,
+    ) -> Result<EvalOutput, EvalError> {
         let program = &self.program;
+        let t_run = tracer.now_ns();
         // Diagnostic pre-pass: collect lint warnings without affecting
         // evaluation. Findings are database-dependent (shadowed inputs,
         // arity against actual relations), so this runs per run, not at
@@ -324,7 +367,11 @@ impl PreparedProgram {
             .into_iter()
             .filter(|f| !f.is_error())
             .collect();
+        tracer.emit_span("eval", "lint", t_run, 0, || {
+            vec![("warnings", warnings.len().into())]
+        });
 
+        let t_setup = tracer.now_ns();
         let mut database = db.clone();
         let cvmap = resolve_cvars(program, &mut database);
         let shared_memo = (opts.threads > 1).then(|| Arc::new(SharedMemo::new()));
@@ -370,13 +417,18 @@ impl PreparedProgram {
             cvmap: &cvmap,
             reg_snapshot: database.cvars.clone(),
             shared_memo,
+            tracer: tracer.clone(),
         };
+        tracer.emit_span("eval", "setup", t_setup, 0, || {
+            vec![("tables", tables.len().into())]
+        });
 
         let mut stats = PhaseStats::new();
         let mut plans = self.plans.fresh_counters();
 
         // --- evaluate stratum by stratum --------------------------------
-        for stratum_rules in &self.strat.strata {
+        for (stratum_idx, stratum_rules) in self.strat.strata.iter().enumerate() {
+            let t_stratum = tracer.now_ns();
             let rules: Vec<(usize, &Rule)> = stratum_rules
                 .iter()
                 .map(|&i| (i, &program.rules[i]))
@@ -411,12 +463,24 @@ impl PreparedProgram {
                 opts.prune,
                 PrunePolicy::EndOfStratum | PrunePolicy::EveryIteration
             ) {
+                // `stratum_preds` is a BTreeSet, so prune order — and
+                // therefore the trace event stream — is deterministic.
                 for p in &stratum_preds {
+                    let t_prune = tracer.now_ns();
                     let t = tables.get_mut(*p).expect("table created above");
                     let removed = t.prune(&ctx.reg_snapshot, &mut session)?;
                     stats.pruned += removed;
+                    tracer.emit_span("eval", "prune", t_prune, 0, || {
+                        vec![("pred", (*p).into()), ("removed", removed.into())]
+                    });
                 }
             }
+            tracer.emit_span("eval", "stratum", t_stratum, 0, || {
+                vec![
+                    ("stratum", stratum_idx.into()),
+                    ("rules", stratum_rules.len().into()),
+                ]
+            });
         }
 
         // --- collect results --------------------------------------------
@@ -445,6 +509,27 @@ impl PreparedProgram {
         stats.plan_cache_hits = plans.hits;
         stats.plan_cache_misses = self.compiled + plans.misses;
 
+        let solver_stats = stats.solver_stats;
+        tracer.emit_instant("solver", "session", 0, || {
+            vec![
+                ("sat_calls", solver_stats.sat_calls.into()),
+                ("sat_true", solver_stats.sat_true.into()),
+                ("simplify_calls", solver_stats.simplify_calls.into()),
+                ("memo_hits", solver_stats.memo_hits.into()),
+                ("memo_misses", solver_stats.memo_misses.into()),
+                (
+                    "time_ns",
+                    u64::try_from(solver_stats.time.as_nanos())
+                        .unwrap_or(u64::MAX)
+                        .into(),
+                ),
+            ]
+        });
+        let pruned = stats.pruned;
+        tracer.emit_span("eval", "run", t_run, 0, || {
+            vec![("tuples", derived_tuples.into()), ("pruned", pruned.into())]
+        });
+
         Ok(EvalOutput {
             database,
             stats,
@@ -466,6 +551,20 @@ pub fn evaluate_with(
     opts: &EvalOptions,
 ) -> Result<EvalOutput, EvalError> {
     Engine::with_options(*opts).prepare(program)?.run(db)
+}
+
+/// [`evaluate_with`], recording the prepare and run pipelines on
+/// `tracer` (a [`Tracer::disabled`] makes this identical to
+/// [`evaluate_with`] — results never depend on tracing).
+pub fn evaluate_traced(
+    program: &Program,
+    db: &Database,
+    opts: &EvalOptions,
+    tracer: &Tracer,
+) -> Result<EvalOutput, EvalError> {
+    Engine::with_options(*opts)
+        .prepare_traced(program, tracer)?
+        .run_traced(db, tracer)
 }
 
 /// Resolves c-variable names to ids, auto-registering unknown names
@@ -498,6 +597,10 @@ pub(crate) struct Ctx<'a> {
     /// The shared solver memo backing worker sessions; `Some` exactly
     /// when `opts.threads > 1`.
     pub(crate) shared_memo: Option<Arc<SharedMemo>>,
+    /// The run's tracer (disabled unless the caller opted in). Workers
+    /// buffer events locally and the driver submits them in chunk
+    /// order, so tracing never perturbs results.
+    pub(crate) tracer: Tracer,
 }
 
 #[cfg(test)]
@@ -872,6 +975,116 @@ mod tests {
         let ab = canonicalize(a.clone().and(b.clone()));
         let ba = canonicalize(b.and(a));
         assert_eq!(ab, ba);
+    }
+
+    /// Tracing records the pipeline without changing results; a
+    /// disabled tracer records nothing.
+    #[test]
+    fn traced_run_records_pipeline_without_changing_results() {
+        use faure_trace::{ManualClock, Recorder};
+
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for i in 1..5 {
+            db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
+                .unwrap();
+        }
+        let program = crate::parser::parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n",
+        )
+        .unwrap();
+
+        let plain = evaluate(&program, &db).unwrap();
+
+        let rec = Arc::new(Recorder::new());
+        let tracer = Tracer::with_clock(rec.clone(), Arc::new(ManualClock::new()));
+        let traced = evaluate_traced(&program, &db, &EvalOptions::default(), &tracer).unwrap();
+
+        // Bit-identical results and counters.
+        assert_eq!(
+            plain.relation("R").unwrap().tuples,
+            traced.relation("R").unwrap().tuples
+        );
+        assert_eq!(plain.stats.tuples, traced.stats.tuples);
+        assert_eq!(plain.stats.delta_sizes, traced.stats.delta_sizes);
+
+        // The recorded stream covers every pipeline layer.
+        let events = rec.take();
+        let has = |cat: &str, name: &str| events.iter().any(|e| e.cat == cat && e.name == name);
+        assert!(has("prepare", "safety"));
+        assert!(has("prepare", "stratify"));
+        assert!(has("prepare", "plan-compile"));
+        assert!(has("eval", "setup"));
+        assert!(has("eval", "stratum"));
+        assert!(has("eval", "prune"));
+        assert!(has("eval", "run"));
+        assert!(has("fixpoint", "iteration"));
+        assert!(has("fixpoint", "rule-pass"));
+        assert!(has("solver", "session"));
+
+        // rule-pass spans carry the per-rule payload.
+        let pass = events
+            .iter()
+            .find(|e| e.name == "rule-pass" && e.arg_u64("rule") == Some(0))
+            .expect("rule 0 pass recorded");
+        assert_eq!(pass.arg_str("head"), Some("R"));
+        assert!(pass.arg_u64("matches").unwrap() >= 4);
+        assert!(pass.arg_u64("rows_out").is_some());
+        assert!(pass.arg_u64("cond_size").is_some());
+
+        // The iteration spans mirror the delta-size counters.
+        let delta_rows: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name == "iteration")
+            .filter_map(|e| e.arg_u64("delta_rows"))
+            .filter(|&n| n > 0)
+            .collect();
+        let expected: Vec<u64> = traced.stats.delta_sizes.iter().map(|&n| n as u64).collect();
+        assert_eq!(delta_rows, expected);
+    }
+
+    /// Parallel traced runs buffer worker spans and stay bit-identical.
+    #[test]
+    fn parallel_traced_run_emits_worker_chunks() {
+        use faure_trace::Recorder;
+
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for i in 1..8 {
+            db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
+                .unwrap();
+        }
+        let program = crate::parser::parse_program(
+            "R(a, b) :- E(a, b).\n\
+             R(a, b) :- E(a, c), R(c, b).\n",
+        )
+        .unwrap();
+        let opts = EvalOptions {
+            threads: 4,
+            ..Default::default()
+        };
+        let serial = evaluate(&program, &db).unwrap();
+
+        let rec = Arc::new(Recorder::new());
+        let tracer = Tracer::new(rec.clone());
+        let traced = evaluate_traced(&program, &db, &opts, &tracer).unwrap();
+        assert_eq!(
+            serial.relation("R").unwrap().tuples,
+            traced.relation("R").unwrap().tuples
+        );
+        let events = rec.take();
+        let chunks: Vec<_> = events
+            .iter()
+            .filter(|e| e.cat == "worker" && e.name == "chunk")
+            .collect();
+        assert!(!chunks.is_empty(), "worker chunk spans recorded");
+        // Tracks are chunk indices + 1, and chunk args count up from 0
+        // within each rule pass (deterministic submission order).
+        for c in &chunks {
+            assert_eq!(u64::from(c.track), c.arg_u64("chunk").unwrap() + 1);
+            assert!(c.arg_u64("matches").is_some());
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::plan::RulePlan;
 use faure_ctable::{Condition, Term};
 use faure_solver::{Session, SolverStats};
 use faure_storage::{CondAcc, OpStats, PreparedRow, Table};
+use faure_trace::Event;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -69,11 +70,12 @@ pub(super) fn run_partitioned(
         .expect("parallel evaluation runs with a shared solver memo");
     let bounds = chunk_bounds(matches.len(), opts.threads.min(matches.len()));
 
-    type WorkerResult = Result<(Vec<PreparedRow>, OpStats, SolverStats), EvalError>;
+    type WorkerResult = Result<(Vec<PreparedRow>, OpStats, SolverStats, Vec<Event>), EvalError>;
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = bounds
             .iter()
-            .map(|&(lo, hi)| {
+            .enumerate()
+            .map(|(chunk_idx, &(lo, hi))| {
                 let chunk = &matches[lo..hi];
                 let memo = Arc::clone(memo);
                 scope.spawn(move || -> WorkerResult {
@@ -82,6 +84,7 @@ pub(super) fn run_partitioned(
                     let mut theta: HashMap<&str, Term> = HashMap::new();
                     let mut acc = base_acc.clone();
                     let mut out = Vec::new();
+                    let t_chunk = ctx.tracer.now_ns();
                     for (row_idx, mu) in chunk {
                         eval_match(
                             ctx,
@@ -99,7 +102,28 @@ pub(super) fn run_partitioned(
                             &mut out,
                         )?;
                     }
-                    Ok((out, worker_ops, worker_session.stats()))
+                    // Workers never write to the sink directly: the
+                    // span is buffered here and submitted by the driver
+                    // in chunk order, keeping the event stream
+                    // deterministic. The track is the chunk index, not
+                    // an OS thread id, for the same reason.
+                    let mut events = Vec::new();
+                    if ctx.tracer.is_enabled() {
+                        let t_end = ctx.tracer.now_ns();
+                        events.push(Event {
+                            cat: "worker",
+                            name: "chunk",
+                            start_ns: t_chunk,
+                            dur_ns: t_end.saturating_sub(t_chunk),
+                            track: chunk_idx as u32 + 1,
+                            args: vec![
+                                ("chunk", chunk_idx.into()),
+                                ("matches", chunk.len().into()),
+                                ("rows_out", out.len().into()),
+                            ],
+                        });
+                    }
+                    Ok((out, worker_ops, worker_session.stats(), events))
                 })
             })
             .collect();
@@ -110,12 +134,15 @@ pub(super) fn run_partitioned(
     });
 
     let mut partitions = Vec::with_capacity(results.len());
+    let mut trace_events = Vec::new();
     for result in results {
-        let (rows, worker_ops, worker_stats) = result?;
+        let (rows, worker_ops, worker_stats, mut events) = result?;
         ops.absorb(&worker_ops);
         session.absorb_stats(&worker_stats);
+        trace_events.append(&mut events);
         partitions.push(rows);
     }
+    ctx.tracer.submit(trace_events);
     Ok(partitions)
 }
 

@@ -72,8 +72,56 @@ fn build_patterns(ctx: &Ctx<'_>, atom: &RuleAtom, theta: &HashMap<&str, Term>) -
 /// one partition per worker under parallel evaluation, a single
 /// partition serially. Concatenated in order, the partitions equal the
 /// serial enumeration order exactly.
+///
+/// Each pass is recorded as one `fixpoint`/`rule-pass` span carrying
+/// the rule index, depth-0 match count, rows derived, and the summed
+/// structural size of the derived conditions.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn eval_rule(
+    ctx: &Ctx<'_>,
+    ri: usize,
+    rule: &Rule,
+    plan: &RulePlan,
+    tables: &HashMap<String, Table>,
+    delta_table: Option<&Table>,
+    session: &mut Session,
+    opts: &EvalOptions,
+    ops: &mut OpStats,
+) -> Result<Vec<Vec<PreparedRow>>, EvalError> {
+    let t_pass = ctx.tracer.now_ns();
+    let mut matches_in = 0usize;
+    let partitions = eval_rule_inner(
+        ctx,
+        rule,
+        plan,
+        tables,
+        delta_table,
+        session,
+        opts,
+        ops,
+        &mut matches_in,
+    )?;
+    ctx.tracer
+        .emit_span("fixpoint", "rule-pass", t_pass, 0, || {
+            let rows_out: usize = partitions.iter().map(Vec::len).sum();
+            let cond_size: usize = partitions.iter().flatten().map(|r| r.cond().size()).sum();
+            let mut args = vec![
+                ("rule", ri.into()),
+                ("head", rule.head.pred.as_str().into()),
+                ("matches", matches_in.into()),
+                ("rows_out", rows_out.into()),
+                ("cond_size", cond_size.into()),
+            ];
+            if let Some(dp) = plan.delta_pos {
+                args.push(("delta_pos", dp.into()));
+            }
+            args
+        });
+    Ok(partitions)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_rule_inner(
     ctx: &Ctx<'_>,
     rule: &Rule,
     plan: &RulePlan,
@@ -82,6 +130,7 @@ pub(super) fn eval_rule(
     session: &mut Session,
     opts: &EvalOptions,
     ops: &mut OpStats,
+    matches_in: &mut usize,
 ) -> Result<Vec<Vec<PreparedRow>>, EvalError> {
     debug_assert_eq!(plan.delta_pos.is_some(), delta_table.is_some());
     let mut theta: HashMap<&str, Term> = HashMap::new();
@@ -113,6 +162,7 @@ pub(super) fn eval_rule(
     };
     let patterns = build_patterns(ctx, atom, &theta);
     let matches = exec::probe(table, &ctx.reg_snapshot, &patterns, ops);
+    *matches_in = matches.len();
     if matches.is_empty() {
         return Ok(Vec::new());
     }

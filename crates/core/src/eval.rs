@@ -8,5 +8,6 @@
 //! (and the `faure-core` crate root) keep working unchanged.
 
 pub use crate::engine::{
-    canonicalize, evaluate, evaluate_with, EvalError, EvalOptions, EvalOutput, PrunePolicy,
+    canonicalize, evaluate, evaluate_traced, evaluate_with, EvalError, EvalOptions, EvalOutput,
+    PrunePolicy,
 };

@@ -54,6 +54,7 @@ pub mod simplify;
 pub mod theory;
 
 pub use error::SolverError;
+pub use faure_trace::Histogram;
 pub use memo::SharedMemo;
 pub use search::{all_models, find_model, satisfiable};
 pub use session::{Session, SolverStats};

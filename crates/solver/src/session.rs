@@ -27,6 +27,7 @@ use crate::memo::SharedMemo;
 use crate::search;
 use crate::simplify;
 use faure_ctable::{Assignment, CVarRegistry, Condition};
+use faure_trace::Histogram;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -53,6 +54,10 @@ pub struct SolverStats {
     /// evaluation this sums across workers, i.e. it is solver *CPU*
     /// time, not elapsed time.
     pub time: Duration,
+    /// Per-check solve latency (memo misses only — hits never enter
+    /// the solver). Power-of-two nanosecond buckets; merged across
+    /// workers by [`absorb`](SolverStats::absorb).
+    pub latency: Histogram,
 }
 
 impl SolverStats {
@@ -77,6 +82,7 @@ impl SolverStats {
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
         self.time += other.time;
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -135,6 +141,15 @@ impl Session {
         self.stats
     }
 
+    /// Accounts one solver invocation (a memo miss): total time plus
+    /// the per-check latency histogram.
+    fn note_solve(&mut self, elapsed: Duration) {
+        self.stats.time += elapsed;
+        self.stats
+            .latency
+            .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
     /// Resets statistics to zero and clears the memo (required before
     /// reusing a session with a different registry). A shared-memo
     /// session reverts to a fresh local memo: the shared store may be
@@ -165,7 +180,7 @@ impl Session {
         self.stats.memo_misses += 1;
         let start = Instant::now();
         let out = search::satisfiable(reg, cond);
-        self.stats.time += start.elapsed();
+        self.note_solve(start.elapsed());
         if let Ok(sat) = out {
             if sat {
                 self.stats.sat_true += 1;
@@ -191,7 +206,7 @@ impl Session {
     ) -> Result<Option<Assignment>, SolverError> {
         let start = Instant::now();
         let out = search::find_model(reg, cond);
-        self.stats.time += start.elapsed();
+        self.note_solve(start.elapsed());
         self.stats.sat_calls += 1;
         if let Ok(Some(_)) = out {
             self.stats.sat_true += 1;
@@ -218,7 +233,7 @@ impl Session {
         self.stats.memo_misses += 1;
         let start = Instant::now();
         let out = simplify::simplify_pruned(reg, cond);
-        self.stats.time += start.elapsed();
+        self.note_solve(start.elapsed());
         if let Ok(simplified) = &out {
             match &mut self.memo {
                 MemoBackend::Local { simplify: map, .. } => {
@@ -282,6 +297,10 @@ mod tests {
 
     #[test]
     fn solver_stats_absorb_sums_fields() {
+        let mut lat_a = Histogram::new();
+        lat_a.record(100);
+        let mut lat_b = Histogram::new();
+        lat_b.record(5_000);
         let mut a = SolverStats {
             sat_calls: 1,
             sat_true: 1,
@@ -289,6 +308,7 @@ mod tests {
             memo_hits: 3,
             memo_misses: 4,
             time: Duration::from_millis(5),
+            latency: lat_a,
         };
         a.absorb(&SolverStats {
             sat_calls: 10,
@@ -297,6 +317,7 @@ mod tests {
             memo_hits: 30,
             memo_misses: 40,
             time: Duration::from_millis(50),
+            latency: lat_b,
         });
         assert_eq!(a.sat_calls, 11);
         assert_eq!(a.sat_true, 11);
@@ -304,6 +325,22 @@ mod tests {
         assert_eq!(a.memo_hits, 33);
         assert_eq!(a.memo_misses, 44);
         assert_eq!(a.time, Duration::from_millis(55));
+        assert_eq!(a.latency.count(), 2);
+        assert_eq!(a.latency.sum_ns(), 5_100);
+    }
+
+    #[test]
+    fn latency_histogram_counts_misses_only() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let mut s = Session::new();
+        let c = Condition::eq(Term::Var(x), Term::int(1));
+        s.satisfiable(&reg, &c).unwrap();
+        s.satisfiable(&reg, &c).unwrap(); // memo hit: no solver entry
+        let st = s.stats();
+        assert_eq!(st.memo_misses, 1);
+        assert_eq!(st.latency.count(), 1);
+        assert_eq!(st.latency.sum_ns(), st.time.as_nanos() as u64);
     }
 
     #[test]

@@ -37,13 +37,17 @@ pub struct OpStats {
 }
 
 impl OpStats {
-    /// Folds another counter record into this one.
+    /// Folds another counter record into this one. Saturating: the
+    /// driver folds one record per parallel worker per rule pass, and a
+    /// long-running process must clamp at `u64::MAX` rather than wrap
+    /// back towards zero (a wrapped counter reads as "cheap rule" in a
+    /// profile, the worst possible lie).
     pub fn absorb(&mut self, other: &OpStats) {
-        self.probes += other.probes;
-        self.rows_matched += other.rows_matched;
-        self.conds_conjoined += other.conds_conjoined;
-        self.cmp_pruned += other.cmp_pruned;
-        self.neg_checks += other.neg_checks;
+        self.probes = self.probes.saturating_add(other.probes);
+        self.rows_matched = self.rows_matched.saturating_add(other.rows_matched);
+        self.conds_conjoined = self.conds_conjoined.saturating_add(other.conds_conjoined);
+        self.cmp_pruned = self.cmp_pruned.saturating_add(other.cmp_pruned);
+        self.neg_checks = self.neg_checks.saturating_add(other.neg_checks);
     }
 }
 
@@ -159,5 +163,29 @@ mod tests {
         assert_eq!(acc.materialize(), a);
         assert!(!acc.push(Condition::False, &mut ops));
         assert_eq!(ops.conds_conjoined, 2);
+    }
+
+    #[test]
+    fn absorb_saturates_instead_of_wrapping() {
+        let mut a = OpStats {
+            probes: u64::MAX - 1,
+            rows_matched: u64::MAX,
+            conds_conjoined: 1,
+            cmp_pruned: 0,
+            neg_checks: u64::MAX,
+        };
+        let b = OpStats {
+            probes: 5,
+            rows_matched: 5,
+            conds_conjoined: 2,
+            cmp_pruned: 3,
+            neg_checks: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.probes, u64::MAX);
+        assert_eq!(a.rows_matched, u64::MAX);
+        assert_eq!(a.conds_conjoined, 3);
+        assert_eq!(a.cmp_pruned, 3);
+        assert_eq!(a.neg_checks, u64::MAX);
     }
 }

@@ -55,12 +55,7 @@ impl PhaseStats {
         self.solver += other.solver;
         self.tuples += other.tuples;
         self.pruned += other.pruned;
-        self.solver_stats.sat_calls += other.solver_stats.sat_calls;
-        self.solver_stats.sat_true += other.solver_stats.sat_true;
-        self.solver_stats.simplify_calls += other.solver_stats.simplify_calls;
-        self.solver_stats.memo_hits += other.solver_stats.memo_hits;
-        self.solver_stats.memo_misses += other.solver_stats.memo_misses;
-        self.solver_stats.time += other.solver_stats.time;
+        self.solver_stats.absorb(&other.solver_stats);
         self.ops.absorb(&other.ops);
         self.delta_sizes.extend_from_slice(&other.delta_sizes);
         self.plan_cache_hits += other.plan_cache_hits;

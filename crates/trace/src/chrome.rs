@@ -1,0 +1,162 @@
+//! Chrome `trace_event` JSON writer.
+//!
+//! Emits the "JSON object format" (`{"traceEvents": [...]}`) with
+//! complete (`"ph":"X"`) events, loadable in `chrome://tracing` and
+//! Perfetto. Timestamps and durations are microseconds with
+//! sub-microsecond precision carried as decimals, per the format spec.
+//! Each logical track becomes a `tid` with a `thread_name` metadata
+//! event (`driver` for track 0, `worker N` for the parallel chunks),
+//! so a parallel run renders as one lane per worker.
+
+use crate::{json_escape, ArgValue, Event};
+
+fn write_us(out: &mut String, ns: u64) {
+    // ns → µs with 3 decimals, without going through f64 (exact).
+    let whole = ns / 1000;
+    let frac = ns % 1000;
+    if frac == 0 {
+        out.push_str(&whole.to_string());
+    } else {
+        out.push_str(&format!("{whole}.{frac:03}"));
+    }
+}
+
+fn write_arg_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::UInt(u) => out.push_str(&u.to_string()),
+        ArgValue::Int(i) => out.push_str(&i.to_string()),
+        ArgValue::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        ArgValue::Str(s) => {
+            out.push('"');
+            out.push_str(&json_escape(s));
+            out.push('"');
+        }
+    }
+}
+
+/// Renders `events` as a Chrome `trace_event` JSON document.
+pub fn trace_json(events: &[Event]) -> String {
+    let mut tracks: Vec<u32> = events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+
+    for track in &tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let name = if *track == 0 {
+            "driver".to_owned()
+        } else {
+            format!("worker {track}")
+        };
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{track},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&e.track.to_string());
+        out.push_str(",\"cat\":\"");
+        out.push_str(e.cat);
+        out.push_str("\",\"name\":\"");
+        out.push_str(&json_escape(e.name));
+        out.push_str("\",\"ts\":");
+        write_us(&mut out, e.start_ns);
+        out.push_str(",\"dur\":");
+        write_us(&mut out, e.dur_ns);
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json_escape(k));
+                out.push_str("\":");
+                write_arg_value(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(track: u32, start_ns: u64, dur_ns: u64) -> Event {
+        Event {
+            cat: "eval",
+            name: "stratum",
+            start_ns,
+            dur_ns,
+            track,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn emits_complete_events_in_microseconds() {
+        let json = trace_json(&[ev(0, 1_500, 2_000)]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2"));
+        assert!(json.contains("\"displayTimeUnit\":\"ns\""));
+    }
+
+    #[test]
+    fn names_tracks_via_metadata_events() {
+        let json = trace_json(&[ev(0, 0, 1), ev(2, 0, 1)]);
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"driver\""));
+        assert!(json.contains("\"name\":\"worker 2\""));
+        // one metadata event per distinct track, before the spans
+        assert_eq!(json.matches("\"thread_name\"").count(), 2);
+    }
+
+    #[test]
+    fn serialises_typed_args() {
+        let mut e = ev(0, 0, 1);
+        e.args = vec![
+            ("rows", ArgValue::UInt(7)),
+            ("delta", ArgValue::Int(-2)),
+            ("rate", ArgValue::Float(0.5)),
+            ("head", ArgValue::Str("R\"x".into())),
+        ];
+        let json = trace_json(&[e]);
+        assert!(json.contains("\"rows\":7"));
+        assert!(json.contains("\"delta\":-2"));
+        assert!(json.contains("\"rate\":0.5"));
+        assert!(json.contains("\"head\":\"R\\\"x\""));
+    }
+
+    #[test]
+    fn empty_input_is_still_valid() {
+        assert_eq!(
+            trace_json(&[]),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Span roll-ups for the aggregated-metrics schema.
+//!
+//! The `--metrics` output and `faure profile` report both want
+//! aggregates, not raw spans: "how long did all `rule-pass` spans for
+//! rule 3 take, and how many rows did they produce?". [`rollup_spans`]
+//! groups by `(cat, name)`; [`rollup_by_arg`] further splits one span
+//! kind by an integer argument (the per-rule table keys on the `rule`
+//! index argument). Numeric arguments are summed saturating; ordering
+//! is first-seen, which is deterministic because the event stream is.
+
+use crate::{ArgValue, Event};
+use std::collections::BTreeMap;
+
+/// Aggregate over all spans sharing a `(cat, name)` key (and, for
+/// [`rollup_by_arg`], an argument value).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rollup {
+    /// Span category.
+    pub cat: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Number of spans aggregated.
+    pub count: u64,
+    /// Total duration in nanoseconds.
+    pub wall_ns: u64,
+    /// Saturating sums of every integer argument seen, by key. String
+    /// and float arguments are not aggregated.
+    pub sums: BTreeMap<&'static str, u64>,
+    /// Last string value seen per string-argument key (labels like a
+    /// rule's head predicate are constant within a group).
+    pub labels: BTreeMap<&'static str, String>,
+}
+
+impl Rollup {
+    fn new(cat: &'static str, name: &'static str) -> Self {
+        Rollup {
+            cat,
+            name,
+            count: 0,
+            wall_ns: 0,
+            sums: BTreeMap::new(),
+            labels: BTreeMap::new(),
+        }
+    }
+
+    fn absorb(&mut self, e: &Event) {
+        self.count = self.count.saturating_add(1);
+        self.wall_ns = self.wall_ns.saturating_add(e.dur_ns);
+        for (k, v) in &e.args {
+            match v {
+                ArgValue::UInt(u) => {
+                    let slot = self.sums.entry(k).or_insert(0);
+                    *slot = slot.saturating_add(*u);
+                }
+                ArgValue::Int(i) => {
+                    let slot = self.sums.entry(k).or_insert(0);
+                    *slot = slot.saturating_add(u64::try_from(*i).unwrap_or(0));
+                }
+                ArgValue::Str(s) => {
+                    self.labels.insert(k, s.clone());
+                }
+                ArgValue::Float(_) => {}
+            }
+        }
+    }
+
+    /// A summed argument, 0 if the key never appeared.
+    pub fn sum(&self, key: &str) -> u64 {
+        self.sums.get(key).copied().unwrap_or(0)
+    }
+
+    /// A label argument, if any span in the group carried it.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.get(key).map(String::as_str)
+    }
+}
+
+/// Groups spans by `(cat, name)` in first-seen order.
+pub fn rollup_spans(events: &[Event]) -> Vec<Rollup> {
+    let mut order: Vec<(&'static str, &'static str)> = Vec::new();
+    let mut by_key: BTreeMap<(&'static str, &'static str), Rollup> = BTreeMap::new();
+    for e in events {
+        let key = (e.cat, e.name);
+        by_key
+            .entry(key)
+            .or_insert_with(|| {
+                order.push(key);
+                Rollup::new(e.cat, e.name)
+            })
+            .absorb(e);
+    }
+    order
+        .into_iter()
+        .map(|k| by_key.remove(&k).expect("key inserted above"))
+        .collect()
+}
+
+/// Splits spans matching `(cat, name)` by the integer argument `arg`
+/// (e.g. per-rule roll-ups keyed by the `rule` index). Returns
+/// `(arg value, rollup)` pairs in first-seen order; spans without the
+/// argument are skipped.
+pub fn rollup_by_arg(events: &[Event], cat: &str, name: &str, arg: &str) -> Vec<(u64, Rollup)> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut by_key: BTreeMap<u64, Rollup> = BTreeMap::new();
+    for e in events {
+        if e.cat != cat || e.name != name {
+            continue;
+        }
+        let Some(v) = e.arg_u64(arg) else { continue };
+        by_key
+            .entry(v)
+            .or_insert_with(|| {
+                order.push(v);
+                Rollup::new(e.cat, e.name)
+            })
+            .absorb(e);
+    }
+    order
+        .into_iter()
+        .map(|v| (v, by_key.remove(&v).expect("key inserted above")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, dur: u64, args: Vec<(&'static str, ArgValue)>) -> Event {
+        Event {
+            cat: "fixpoint",
+            name,
+            start_ns: 0,
+            dur_ns: dur,
+            track: 0,
+            args,
+        }
+    }
+
+    #[test]
+    fn groups_by_cat_name_in_first_seen_order() {
+        let events = vec![
+            span("rule-pass", 10, vec![("matches", 3u64.into())]),
+            span("iteration", 5, vec![]),
+            span("rule-pass", 20, vec![("matches", 4u64.into())]),
+        ];
+        let rollups = rollup_spans(&events);
+        assert_eq!(rollups.len(), 2);
+        assert_eq!(rollups[0].name, "rule-pass");
+        assert_eq!(rollups[0].count, 2);
+        assert_eq!(rollups[0].wall_ns, 30);
+        assert_eq!(rollups[0].sum("matches"), 7);
+        assert_eq!(rollups[1].name, "iteration");
+        assert_eq!(rollups[1].count, 1);
+    }
+
+    #[test]
+    fn splits_by_integer_argument() {
+        let events = vec![
+            span(
+                "rule-pass",
+                10,
+                vec![("rule", 1u64.into()), ("rows", 2u64.into())],
+            ),
+            span(
+                "rule-pass",
+                7,
+                vec![("rule", 0u64.into()), ("rows", 1u64.into())],
+            ),
+            span(
+                "rule-pass",
+                5,
+                vec![("rule", 1u64.into()), ("rows", 3u64.into())],
+            ),
+            span("iteration", 99, vec![("rule", 1u64.into())]),
+            span("rule-pass", 4, vec![]), // no `rule` arg: skipped
+        ];
+        let by_rule = rollup_by_arg(&events, "fixpoint", "rule-pass", "rule");
+        assert_eq!(by_rule.len(), 2);
+        assert_eq!(by_rule[0].0, 1);
+        assert_eq!(by_rule[0].1.wall_ns, 15);
+        assert_eq!(by_rule[0].1.sum("rows"), 5);
+        assert_eq!(by_rule[1].0, 0);
+        assert_eq!(by_rule[1].1.wall_ns, 7);
+    }
+
+    #[test]
+    fn keeps_last_string_label() {
+        let events = vec![
+            span("rule-pass", 1, vec![("head", "R".into())]),
+            span("rule-pass", 1, vec![("head", "R".into())]),
+        ];
+        let rollups = rollup_spans(&events);
+        assert_eq!(rollups[0].label("head"), Some("R"));
+        assert_eq!(rollups[0].label("missing"), None);
+    }
+
+    #[test]
+    fn negative_int_args_do_not_underflow() {
+        let events = vec![span("rule-pass", 1, vec![("delta", ArgValue::Int(-5))])];
+        let rollups = rollup_spans(&events);
+        assert_eq!(rollups[0].sum("delta"), 0);
+    }
+}
