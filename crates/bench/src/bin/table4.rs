@@ -85,28 +85,41 @@ fn main() {
     }
     let mut rows: Vec<Table4Row> = Vec::new();
     for &n in &sizes {
-        // Serial q4-q5 wall-clock baseline for this size, for the
-        // speedup column of the > 1-thread rows.
+        // Serial q4-q5 baselines for this size (whole-query wall-clock
+        // and the prune phase alone), for the speedup columns of the
+        // > 1-thread rows.
         let mut serial_q45: Option<f64> = None;
+        let mut serial_prune: Option<f64> = None;
         for &t in &thread_counts {
             eprintln!("  generating + evaluating {n} prefixes ({t} thread(s)) ...");
             opts.eval.threads = t;
             let mut row = run_table4_row(n, &opts).expect("evaluation succeeds");
             if t == 1 {
                 serial_q45 = Some(row.q45_wall());
-            } else if let Some(base) = serial_q45 {
+                serial_prune = Some(row.prune_wall());
+            } else {
                 row.speedup_valid = multicore;
-                if multicore && row.q45_wall() > 0.0 {
-                    row.speedup_q45 = Some(base / row.q45_wall());
+                if let Some(base) = serial_q45 {
+                    if multicore && row.q45_wall() > 0.0 {
+                        row.speedup_q45 = Some(base / row.q45_wall());
+                    }
+                }
+                if let Some(base) = serial_prune {
+                    if multicore && row.prune_wall() > 0.0 {
+                        row.prune_speedup = Some(base / row.prune_wall());
+                    }
                 }
             }
             eprintln!(
-                "    done in {:.1}s ({} F-tuples, {} R-tuples{})",
+                "    done in {:.1}s ({} F-tuples, {} R-tuples{}{})",
                 row.total,
                 row.f_tuples,
                 row.q45.tuples,
                 row.speedup_q45
                     .map(|s| format!(", q4-q5 speedup {s:.2}x"))
+                    .unwrap_or_default(),
+                row.prune_speedup
+                    .map(|s| format!(", prune speedup {s:.2}x"))
                     .unwrap_or_default()
             );
             rows.push(row);

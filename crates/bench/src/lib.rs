@@ -35,6 +35,14 @@ pub struct QueryStats {
     /// Solver memo hit rate over the evaluation (0.0 when the solver
     /// was never consulted).
     pub memo_hit_rate: f64,
+    /// Fraction of memo queries answered by an entry from an earlier
+    /// run of the same memo (batch-mode reuse; 0.0 for the one-shot
+    /// evaluations this harness runs).
+    pub memo_cross_run_hit_rate: f64,
+    /// Elapsed wall-clock of the prune phase alone, seconds. Shrinks
+    /// with the thread count under parallel pruning while `solver`
+    /// (per-worker CPU time) stays flat.
+    pub prune_wall: f64,
     /// Delta rows after each semi-naive iteration (across strata, in
     /// evaluation order) — the convergence profile of the fixpoint.
     pub delta_sizes: Vec<usize>,
@@ -58,6 +66,8 @@ impl QueryStats {
             solver: stats.solver.as_secs_f64(),
             tuples: stats.tuples,
             memo_hit_rate: stats.solver_stats.memo_hit_rate(),
+            memo_cross_run_hit_rate: stats.solver_stats.memo_cross_run_hit_rate(),
+            prune_wall: stats.prune_wall.as_secs_f64(),
             delta_sizes: stats.delta_sizes.clone(),
             ops: stats.ops.clone(),
             solver_stats: stats.solver_stats,
@@ -75,15 +85,17 @@ impl QueryStats {
         let ops = &self.ops;
         let sv = &self.solver_stats;
         format!(
-            "{{\"sql\":{},\"solver\":{},\"tuples\":{},\"memo_hit_rate\":{:.4},\"delta_sizes\":[{}],\
+            "{{\"sql\":{},\"solver\":{},\"prune_wall\":{},\"tuples\":{},\"memo_hit_rate\":{:.4},\"memo_cross_run_hit_rate\":{:.4},\"delta_sizes\":[{}],\
              \"metrics\":{{\
              \"ops\":{{\"probes\":{},\"rows_matched\":{},\"conds_conjoined\":{},\"cmp_pruned\":{},\"neg_checks\":{}}},\
-             \"solver\":{{\"sat_calls\":{},\"sat_true\":{},\"simplify_calls\":{},\"memo_hits\":{},\"memo_misses\":{},\"time_ns\":{},\"latency_ns\":{}}},\
+             \"solver\":{{\"sat_calls\":{},\"sat_true\":{},\"simplify_calls\":{},\"memo_hits\":{},\"cross_run_hits\":{},\"memo_misses\":{},\"memo_cross_run_hit_rate\":{:.4},\"time_ns\":{},\"latency_ns\":{}}},\
              \"plan_cache\":{{\"hits\":{},\"misses\":{}}}}}}}",
             self.sql,
             self.solver,
+            self.prune_wall,
             self.tuples,
             self.memo_hit_rate,
+            self.memo_cross_run_hit_rate,
             deltas.join(","),
             ops.probes,
             ops.rows_matched,
@@ -94,7 +106,9 @@ impl QueryStats {
             sv.sat_true,
             sv.simplify_calls,
             sv.memo_hits,
+            sv.cross_run_hits,
             sv.memo_misses,
+            sv.memo_cross_run_hit_rate(),
             sv.time.as_nanos(),
             sv.latency.to_json(),
             self.plan_cache_hits,
@@ -121,6 +135,11 @@ pub struct Table4Row {
     /// measures scheduler noise, not parallel speedup. The `table4`
     /// binary sets it from `std::thread::available_parallelism()`.
     pub speedup_valid: bool,
+    /// q4–q5 prune-phase wall-clock of the serial row divided by this
+    /// row's (the solver-phase counterpart of `speedup_q45`) — filled
+    /// by the `table4` binary under the same conditions and gated on
+    /// `speedup_valid` the same way.
+    pub prune_speedup: Option<f64>,
     /// Size of the generated forwarding c-table.
     pub f_tuples: usize,
     /// q4–q5: all-pairs reachability (recursive).
@@ -138,17 +157,19 @@ pub struct Table4Row {
 impl Table4Row {
     /// JSON object for this row.
     pub fn to_json(&self) -> String {
-        let speedup = match self.speedup_q45 {
+        let opt = |v: Option<f64>| match v {
             Some(s) => format!("{s:.3}"),
             None => "null".to_owned(),
         };
         format!(
-            "{{\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"speedup_valid\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{}}}",
+            "{{\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"speedup_valid\":{},\"prune_wall\":{},\"prune_speedup\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{}}}",
             self.prefixes,
             self.seed,
             self.threads,
-            speedup,
+            opt(self.speedup_q45),
             self.speedup_valid,
+            self.prune_wall(),
+            opt(self.prune_speedup),
             self.f_tuples,
             self.q45.to_json(),
             self.q6.to_json(),
@@ -163,6 +184,12 @@ impl Table4Row {
     /// counts.
     pub fn q45_wall(&self) -> f64 {
         self.q45.sql + self.q45.solver
+    }
+
+    /// q4–q5 prune-phase wall-clock, seconds — the quantity
+    /// `prune_speedup` compares across thread counts.
+    pub fn prune_wall(&self) -> f64 {
+        self.q45.prune_wall
     }
 }
 
@@ -259,6 +286,7 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
         threads: opts.eval.threads,
         speedup_q45: None,
         speedup_valid: false,
+        prune_speedup: None,
         f_tuples,
         q45,
         q6,
@@ -357,19 +385,25 @@ mod tests {
         assert!(json.contains("\"threads\":1"));
         assert!(json.contains("\"speedup_q45\":null"));
         assert!(json.contains("\"speedup_valid\":false"));
+        assert!(json.contains("\"prune_wall\":"));
+        assert!(json.contains("\"prune_speedup\":null"));
         assert!(json.contains("\"q6\""));
         assert!(json.contains("\"memo_hit_rate\""));
+        assert!(json.contains("\"memo_cross_run_hit_rate\""));
         assert!(json.contains("\"delta_sizes\":["));
         // The aggregated-metrics block mirrors the CLI --metrics schema.
         assert!(json.contains("\"metrics\":{\"ops\":{\"probes\":"));
         assert!(json.contains("\"solver\":{\"sat_calls\":"));
+        assert!(json.contains("\"cross_run_hits\":"));
         assert!(json.contains("\"latency_ns\":["));
         assert!(json.contains("\"plan_cache\":{\"hits\":"));
         assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
         row.speedup_q45 = Some(1.5);
         row.speedup_valid = true;
+        row.prune_speedup = Some(2.0);
         assert!(row.to_json().contains("\"speedup_q45\":1.500"));
         assert!(row.to_json().contains("\"speedup_valid\":true"));
+        assert!(row.to_json().contains("\"prune_speedup\":2.000"));
     }
 
     #[test]

@@ -182,9 +182,10 @@ fn push_db_metrics(s: &mut String, program: &faure_core::Program, run: &DbRun) {
     let _ = write!(s, "{{\"label\":\"{}\",", json_escape(&run.label));
     let _ = write!(
         s,
-        "\"relational_ns\":{},\"solver_ns\":{},\"tuples\":{},\"pruned\":{},",
+        "\"relational_ns\":{},\"solver_ns\":{},\"prune_wall_ns\":{},\"tuples\":{},\"pruned\":{},",
         st.relational.as_nanos(),
         st.solver.as_nanos(),
+        st.prune_wall.as_nanos(),
         st.tuples,
         st.pruned
     );
@@ -201,14 +202,16 @@ fn push_db_metrics(s: &mut String, program: &faure_core::Program, run: &DbRun) {
     let _ = write!(
         s,
         "\"solver\":{{\"sat_calls\":{},\"sat_true\":{},\"simplify_calls\":{},\
-         \"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{:.4},\"time_ns\":{},\
-         \"latency_ns\":{}}},",
+         \"memo_hits\":{},\"cross_run_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{:.4},\
+         \"memo_cross_run_hit_rate\":{:.4},\"time_ns\":{},\"latency_ns\":{}}},",
         sv.sat_calls,
         sv.sat_true,
         sv.simplify_calls,
         sv.memo_hits,
+        sv.cross_run_hits,
         sv.memo_misses,
         sv.memo_hit_rate(),
+        sv.memo_cross_run_hit_rate(),
         sv.time.as_nanos(),
         sv.latency.to_json()
     );
@@ -316,12 +319,13 @@ pub fn cmd_profile(
     );
     let _ = writeln!(
         w,
-        "  solver: {} sat calls ({} sat), memo hit rate {:.1}% ({} hits / {} misses)",
+        "  solver: {} sat calls ({} sat), memo hit rate {:.1}% ({} hits / {} misses, {} cross-run)",
         sv.sat_calls,
         sv.sat_true,
         sv.memo_hit_rate() * 100.0,
         sv.memo_hits,
-        sv.memo_misses
+        sv.memo_misses,
+        sv.cross_run_hits
     );
     if sv.latency.count() > 0 {
         let _ = writeln!(
@@ -349,6 +353,41 @@ pub fn cmd_profile(
             r.count,
             fmt_ns(r.wall_ns)
         );
+    }
+
+    // Prune-phase breakdown: one row per recorded prune span (per
+    // predicate, in execution order), plus the wall-clock total the
+    // driver thread spent in the prune phase. `wall` here is elapsed
+    // driver time; the solver line above is per-worker CPU summed, so
+    // under `--threads N` the prune wall shrinking while solver time
+    // stays flat is the parallel prune paying off.
+    let prunes: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.cat == "eval" && e.name == "prune")
+        .collect();
+    if !prunes.is_empty() {
+        let _ = writeln!(
+            w,
+            "\nprune: {} removed in {} wall",
+            st.pruned,
+            fmt_ns(st.prune_wall.as_nanos() as u64)
+        );
+        let _ = writeln!(
+            w,
+            "  {:<16} {:>8} {:>8} {:>8} {:>12}",
+            "pred", "rows", "removed", "threads", "wall"
+        );
+        for e in prunes {
+            let _ = writeln!(
+                w,
+                "  {:<16} {:>8} {:>8} {:>8} {:>12}",
+                e.arg_str("pred").unwrap_or("?"),
+                e.arg_u64("rows").unwrap_or(0),
+                e.arg_u64("removed").unwrap_or(0),
+                e.arg_u64("threads").unwrap_or(1),
+                fmt_ns(e.dur_ns)
+            );
+        }
     }
 
     // Iteration table (semi-naive delta sizes, in execution order).
@@ -488,6 +527,45 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
     }
 
     #[test]
+    fn batch_second_db_reuses_memo_across_runs() {
+        // Both databases share the same c-variable registry
+        // (fingerprint), so the prepared program's memo carries over:
+        // the second run must report cross-run memo hits, the first
+        // (cold) run none.
+        let dbs = vec![
+            ("a.fdb".to_owned(), FIG1.to_owned()),
+            ("b.fdb".to_owned(), FIG1.to_owned()),
+        ];
+        let report = cmd_eval_batch(
+            &dbs,
+            "reach.fl",
+            REACH,
+            PrunePolicy::EndOfStratum,
+            Some("R"),
+            None,
+            false,
+            true,
+        )
+        .unwrap();
+        let metrics = report.metrics_json.unwrap();
+        let hits: Vec<u64> = metrics
+            .match_indices("\"cross_run_hits\":")
+            .map(|(i, key)| {
+                let rest = &metrics[i + key.len()..];
+                let end = rest.find(',').unwrap();
+                rest[..end].parse().unwrap()
+            })
+            .collect();
+        assert_eq!(hits.len(), 2, "{metrics}");
+        assert_eq!(hits[0], 0, "cold run saw cross-run hits: {metrics}");
+        assert!(hits[1] > 0, "warm run reused no memo entries: {metrics}");
+        assert!(
+            metrics.contains("\"memo_cross_run_hit_rate\":0.0000"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
     fn trace_output_is_chrome_trace_json() {
         let report = cmd_eval_batch(
             &one_db("fig1.fdb"),
@@ -528,11 +606,14 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             "\"databases\":[",
             "\"relational_ns\":",
             "\"solver_ns\":",
+            "\"prune_wall_ns\":",
             "\"tuples\":",
             "\"pruned\":",
             "\"ops\":{\"probes\":",
             "\"solver\":{\"sat_calls\":",
+            "\"cross_run_hits\":",
             "\"memo_hit_rate\":",
+            "\"memo_cross_run_hit_rate\":",
             "\"latency_ns\":[",
             "\"plan_cache\":{\"hits\":",
             "\"delta_sizes\":[",
@@ -584,6 +665,8 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
         assert!(report.contains("memo hit rate"), "{report}");
         assert!(report.contains("phases:"), "{report}");
         assert!(report.contains("fixpoint/rule-pass"), "{report}");
+        assert!(report.contains("prune:"), "{report}");
+        assert!(report.contains("cross-run"), "{report}");
         assert!(report.contains("iterations:"), "{report}");
         assert!(report.contains("top rules by time:"), "{report}");
         assert!(report.contains("R(f, a, b)"), "{report}");

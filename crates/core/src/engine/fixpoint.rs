@@ -68,12 +68,25 @@ pub(super) fn eval_stratum_semi_naive(
             // follow `HashMap` iteration order, which is not
             // deterministic across runs.
             let t_prune = ctx.tracer.now_ns();
+            let wall = std::time::Instant::now();
             let mut removed = 0usize;
+            let mut rows = 0usize;
             for t in delta.values_mut() {
-                removed += t.prune(&ctx.reg_snapshot, session)?;
+                rows += t.len();
+                removed += if opts.threads > 1 {
+                    t.prune_parallel(&ctx.reg_snapshot, session, &ctx.shared_memo, opts.threads)?
+                } else {
+                    t.prune(&ctx.reg_snapshot, session)?
+                };
             }
+            stats.prune_wall += wall.elapsed();
             ctx.tracer.emit_span("eval", "prune", t_prune, 0, || {
-                vec![("pred", "(delta)".into()), ("removed", removed.into())]
+                vec![
+                    ("pred", "(delta)".into()),
+                    ("rows", rows.into()),
+                    ("removed", removed.into()),
+                    ("threads", opts.threads.into()),
+                ]
             });
             delta.retain(|_, t| !t.is_empty());
             if delta.is_empty() {

@@ -1,14 +1,23 @@
 //! Data-parallel rule evaluation.
 //!
-//! The depth-0 match list computed by [`super::rule::eval_rule`] is
-//! split into `min(threads, matches)` **contiguous, balanced** chunks;
-//! each chunk is evaluated on a `std::thread::scope` worker running the
-//! identical per-match code ([`super::rule::eval_match`]) over shared
-//! immutable state (tables, plan, c-variable registry). Determinism
-//! falls out of the partitioning: worker outputs are returned as
-//! partitions in chunk order, and concatenating them reproduces the
-//! serial enumeration order exactly, so the merged tables — conditions
-//! included — are bit-identical to a serial run.
+//! The depth-0 match list computed by [`super::rule::eval_rule`] is cut
+//! into **fixed-size contiguous chunks** — several per worker — and the
+//! chunks are pulled by `std::thread::scope` workers from a shared
+//! atomic cursor (work stealing). A fixed balanced split handed each
+//! worker exactly one range, so one expensive range (recursive rules
+//! concentrate work in the first matches) left the other workers idle;
+//! with finer self-scheduled chunks a worker that finishes early simply
+//! pulls the next chunk. Each chunk runs the identical per-match code
+//! ([`super::rule::eval_match`]) over shared immutable state (tables,
+//! plan, c-variable registry).
+//!
+//! Determinism falls out of the chunk *indexing*, not the schedule:
+//! workers tag every output with its chunk index, and the driver
+//! reassembles partitions — and buffered trace events — in chunk index
+//! order. Concatenating the partitions reproduces the serial
+//! enumeration order exactly, so the merged tables (conditions
+//! included) and the trace stream are bit-identical regardless of which
+//! worker ran which chunk.
 //!
 //! Each worker owns its substitution, condition accumulator, operator
 //! counters, and solver [`Session`]. The sessions are backed by the
@@ -28,29 +37,26 @@ use faure_solver::{Session, SolverStats};
 use faure_storage::{CondAcc, OpStats, PreparedRow, Table};
 use faure_trace::Event;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Splits `len` items into `chunks` contiguous ranges whose sizes
-/// differ by at most one (the first `len % chunks` ranges get the extra
-/// item).
-fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
-    let base = len / chunks;
-    let rem = len % chunks;
-    let mut bounds = Vec::with_capacity(chunks);
-    let mut start = 0;
-    for i in 0..chunks {
-        let size = base + usize::from(i < rem);
-        bounds.push((start, start + size));
-        start += size;
-    }
-    bounds
+/// Chunks-per-worker granularity. Smaller chunks balance skewed match
+/// lists better but cost one cursor increment (and one partition) each;
+/// 8 per worker keeps the steal overhead well under a percent while
+/// bounding the idle tail to ~1/8 of one worker's share.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// The fixed chunk size for `len` matches on `workers` threads:
+/// `len / (workers * CHUNKS_PER_WORKER)`, rounded up, never zero.
+fn chunk_size(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers * CHUNKS_PER_WORKER).max(1)
 }
 
 /// Evaluates the depth-0 matches of one rule pass across worker
 /// threads, returning the derived rows as one partition per chunk (in
-/// chunk order). Worker statistics are folded into the caller's
-/// counters; the first worker error (in chunk order) is propagated
-/// after all workers have joined.
+/// chunk index order). Worker statistics are folded into the caller's
+/// counters; the error from the lowest-indexed failing chunk is
+/// propagated after all workers have joined.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn run_partitioned(
     ctx: &Ctx<'_>,
@@ -64,66 +70,102 @@ pub(super) fn run_partitioned(
     session: &mut Session,
     ops: &mut OpStats,
 ) -> Result<Vec<Vec<PreparedRow>>, EvalError> {
-    let memo = ctx
-        .shared_memo
-        .as_ref()
-        .expect("parallel evaluation runs with a shared solver memo");
-    let bounds = chunk_bounds(matches.len(), opts.threads.min(matches.len()));
+    let memo = &ctx.shared_memo;
+    let workers = opts.threads.min(matches.len());
+    let size = chunk_size(matches.len(), workers);
+    let n_chunks = matches.len().div_ceil(size);
+    let cursor = AtomicUsize::new(0);
 
-    type WorkerResult = Result<(Vec<PreparedRow>, OpStats, SolverStats, Vec<Event>), EvalError>;
+    /// One chunk's output, tagged with its index for in-order reassembly.
+    struct ChunkOut {
+        chunk_idx: usize,
+        rows: Vec<PreparedRow>,
+        event: Option<Event>,
+    }
+    type WorkerResult = (
+        Vec<ChunkOut>,
+        OpStats,
+        SolverStats,
+        Option<(usize, EvalError)>,
+    );
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .iter()
-            .enumerate()
-            .map(|(chunk_idx, &(lo, hi))| {
-                let chunk = &matches[lo..hi];
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
                 let memo = Arc::clone(memo);
+                let cursor = &cursor;
                 scope.spawn(move || -> WorkerResult {
                     let mut worker_session = Session::with_shared(memo);
                     let mut worker_ops = OpStats::default();
                     let mut theta: HashMap<&str, Term> = HashMap::new();
                     let mut acc = base_acc.clone();
-                    let mut out = Vec::new();
-                    let t_chunk = ctx.tracer.now_ns();
-                    for (row_idx, mu) in chunk {
-                        eval_match(
-                            ctx,
-                            rule,
-                            plan,
-                            tables,
-                            delta_table,
-                            *row_idx,
-                            mu,
-                            &mut theta,
-                            &mut acc,
-                            &mut worker_session,
-                            opts,
-                            &mut worker_ops,
-                            &mut out,
-                        )?;
-                    }
-                    // Workers never write to the sink directly: the
-                    // span is buffered here and submitted by the driver
-                    // in chunk order, keeping the event stream
-                    // deterministic. The track is the chunk index, not
-                    // an OS thread id, for the same reason.
-                    let mut events = Vec::new();
-                    if ctx.tracer.is_enabled() {
-                        let t_end = ctx.tracer.now_ns();
-                        events.push(Event {
-                            cat: "worker",
-                            name: "chunk",
-                            start_ns: t_chunk,
-                            dur_ns: t_end.saturating_sub(t_chunk),
-                            track: chunk_idx as u32 + 1,
-                            args: vec![
-                                ("chunk", chunk_idx.into()),
-                                ("matches", chunk.len().into()),
-                                ("rows_out", out.len().into()),
-                            ],
+                    let mut outputs = Vec::new();
+                    let mut failure: Option<(usize, EvalError)> = None;
+                    // Pull chunks until the cursor runs dry (or this
+                    // worker hits an error — its siblings drain the
+                    // remaining chunks).
+                    loop {
+                        let chunk_idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if chunk_idx >= n_chunks {
+                            break;
+                        }
+                        let lo = chunk_idx * size;
+                        let hi = (lo + size).min(matches.len());
+                        let chunk = &matches[lo..hi];
+                        let t_chunk = ctx.tracer.now_ns();
+                        let mut out = Vec::new();
+                        let mut err = None;
+                        for (row_idx, mu) in chunk {
+                            if let Err(e) = eval_match(
+                                ctx,
+                                rule,
+                                plan,
+                                tables,
+                                delta_table,
+                                *row_idx,
+                                mu,
+                                &mut theta,
+                                &mut acc,
+                                &mut worker_session,
+                                opts,
+                                &mut worker_ops,
+                                &mut out,
+                            ) {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                        if let Some(e) = err {
+                            failure = Some((chunk_idx, e));
+                            break;
+                        }
+                        // Workers never write to the sink directly: the
+                        // span is buffered here and submitted by the
+                        // driver in chunk index order, keeping the event
+                        // stream deterministic. The track is the chunk
+                        // index, not an OS thread id, for the same
+                        // reason.
+                        let event = ctx.tracer.is_enabled().then(|| {
+                            let t_end = ctx.tracer.now_ns();
+                            Event {
+                                cat: "worker",
+                                name: "chunk",
+                                start_ns: t_chunk,
+                                dur_ns: t_end.saturating_sub(t_chunk),
+                                track: chunk_idx as u32 + 1,
+                                args: vec![
+                                    ("chunk", chunk_idx.into()),
+                                    ("matches", chunk.len().into()),
+                                    ("rows_out", out.len().into()),
+                                ],
+                            }
+                        });
+                        outputs.push(ChunkOut {
+                            chunk_idx,
+                            rows: out,
+                            event,
                         });
                     }
-                    Ok((out, worker_ops, worker_session.stats(), events))
+                    (outputs, worker_ops, worker_session.stats(), failure)
                 })
             })
             .collect();
@@ -133,14 +175,29 @@ pub(super) fn run_partitioned(
             .collect()
     });
 
-    let mut partitions = Vec::with_capacity(results.len());
-    let mut trace_events = Vec::new();
-    for result in results {
-        let (rows, worker_ops, worker_stats, mut events) = result?;
+    let mut chunk_outs: Vec<ChunkOut> = Vec::with_capacity(n_chunks);
+    let mut first_err: Option<(usize, EvalError)> = None;
+    for (outputs, worker_ops, worker_stats, failure) in results {
         ops.absorb(&worker_ops);
         session.absorb_stats(&worker_stats);
-        trace_events.append(&mut events);
-        partitions.push(rows);
+        chunk_outs.extend(outputs);
+        if let Some((idx, e)) = failure {
+            if first_err.as_ref().is_none_or(|(fi, _)| idx < *fi) {
+                first_err = Some((idx, e));
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    // Reassemble in chunk index order: the concatenation equals the
+    // serial enumeration order, whatever the steal schedule was.
+    chunk_outs.sort_by_key(|c| c.chunk_idx);
+    let mut partitions = Vec::with_capacity(chunk_outs.len());
+    let mut trace_events = Vec::new();
+    for c in chunk_outs {
+        partitions.push(c.rows);
+        trace_events.extend(c.event);
     }
     ctx.tracer.submit(trace_events);
     Ok(partitions)
@@ -148,22 +205,34 @@ pub(super) fn run_partitioned(
 
 #[cfg(test)]
 mod tests {
-    use super::chunk_bounds;
+    use super::{chunk_size, CHUNKS_PER_WORKER};
 
     #[test]
-    fn chunks_are_contiguous_and_balanced() {
-        for (len, chunks) in [(10, 4), (7, 7), (5, 2), (3, 3), (100, 16)] {
-            let bounds = chunk_bounds(len, chunks);
-            assert_eq!(bounds.len(), chunks);
-            assert_eq!(bounds[0].0, 0);
-            assert_eq!(bounds.last().unwrap().1, len);
-            for w in bounds.windows(2) {
-                assert_eq!(w[0].1, w[1].0, "contiguous");
+    fn chunk_size_is_fine_grained_and_covers_all_matches() {
+        for (len, workers) in [
+            (10usize, 4usize),
+            (7, 7),
+            (5, 2),
+            (3, 3),
+            (1000, 16),
+            (1, 1),
+        ] {
+            let size = chunk_size(len, workers);
+            assert!(size >= 1);
+            let n_chunks = len.div_ceil(size);
+            // Covers everything…
+            assert!(n_chunks * size >= len);
+            assert!((n_chunks - 1) * size < len);
+            // …and is finer than one chunk per worker once there is
+            // enough work to split (ceiling rounding can lose a few
+            // chunks off `workers * CHUNKS_PER_WORKER`, never below
+            // one steal per worker).
+            if len >= workers * CHUNKS_PER_WORKER {
+                assert!(
+                    n_chunks > workers * (CHUNKS_PER_WORKER / 2),
+                    "len={len} workers={workers} n_chunks={n_chunks}"
+                );
             }
-            let sizes: Vec<usize> = bounds.iter().map(|&(lo, hi)| hi - lo).collect();
-            let min = sizes.iter().min().unwrap();
-            let max = sizes.iter().max().unwrap();
-            assert!(max - min <= 1, "balanced: {sizes:?}");
         }
     }
 }

@@ -20,12 +20,30 @@
 //! registry of the run). If two workers race on the same uncached
 //! condition, both compute the same answer and the second `put` is a
 //! no-op overwrite — results never depend on interleaving, only the
-//! hit/miss statistics do. Like the per-session memo, a `SharedMemo`
-//! must not be reused across distinct c-variable registries.
+//! hit/miss statistics do.
+//!
+//! ## Cross-run reuse
+//!
+//! Conditions reference c-variables only by [`CVarId`](faure_ctable::CVarId)
+//! — a registry index — so a cached verdict is meaningful for *any*
+//! registry that assigns the same `(name, domain)` sequence. A memo
+//! built with [`SharedMemo::for_registry`] records the registry's
+//! structural [fingerprint](faure_ctable::CVarRegistry::fingerprint);
+//! callers that want to carry the memo across evaluation runs (batch
+//! mode) check [`matches_registry`](SharedMemo::matches_registry) and
+//! discard the memo when the signature changed.
+//!
+//! Each entry is additionally stamped with the run *generation* current
+//! at insert time. [`begin_run`](SharedMemo::begin_run) bumps the
+//! generation; a lookup that finds an entry stamped by an earlier
+//! generation reports it as a **cross-run** hit, which sessions surface
+//! as [`SolverStats::cross_run_hits`](crate::SolverStats::cross_run_hits)
+//! so batch-mode reuse is observable in metrics.
 
-use faure_ctable::Condition;
+use faure_ctable::{CVarRegistry, Condition};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
 /// Number of independently locked shards. A small power of two is
@@ -39,20 +57,64 @@ const SHARDS: usize = 16;
 const SHARD_CAP: usize = super::session::MEMO_CAP / SHARDS;
 
 /// A satisfiability/simplification memo shareable across worker
-/// sessions (see module docs).
+/// sessions and, when fingerprinted, across evaluation runs (see
+/// module docs).
+///
+/// Entries carry the run generation that produced them; lookups report
+/// whether the hit crossed a [`begin_run`](SharedMemo::begin_run)
+/// boundary.
 #[derive(Debug, Default)]
 pub struct SharedMemo {
-    sat: Vec<Mutex<HashMap<Condition, bool>>>,
-    simplify: Vec<Mutex<HashMap<Condition, Condition>>>,
+    sat: Vec<Mutex<HashMap<Condition, (bool, u32)>>>,
+    simplify: Vec<Mutex<HashMap<Condition, (Condition, u32)>>>,
+    /// Current run generation; entries written during run `g` are
+    /// cross-run hits for every run `> g`.
+    generation: AtomicU32,
+    /// Structural fingerprint of the registry this memo was built for,
+    /// or `None` for an anonymous single-run memo.
+    fingerprint: Option<u64>,
 }
 
 impl SharedMemo {
-    /// An empty memo.
+    /// An empty, anonymous memo (no registry fingerprint — valid for a
+    /// single evaluation run only).
     pub fn new() -> Self {
+        Self::with_fingerprint(None)
+    }
+
+    /// An empty memo keyed to `reg`'s structural fingerprint, eligible
+    /// for reuse across runs whose registry
+    /// [`matches_registry`](SharedMemo::matches_registry).
+    pub fn for_registry(reg: &CVarRegistry) -> Self {
+        Self::with_fingerprint(Some(reg.fingerprint()))
+    }
+
+    fn with_fingerprint(fingerprint: Option<u64>) -> Self {
         SharedMemo {
             sat: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             simplify: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            generation: AtomicU32::new(0),
+            fingerprint,
         }
+    }
+
+    /// Whether this memo's cached verdicts are valid for `reg`: true
+    /// exactly when the memo was built with
+    /// [`for_registry`](SharedMemo::for_registry) over a registry with
+    /// the same structural fingerprint. Anonymous memos never match.
+    pub fn matches_registry(&self, reg: &CVarRegistry) -> bool {
+        self.fingerprint == Some(reg.fingerprint())
+    }
+
+    /// Marks the start of a new evaluation run: entries cached before
+    /// this call are reported as cross-run hits by subsequent lookups.
+    /// Returns the new generation (for diagnostics).
+    pub fn begin_run(&self) -> u32 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn current_generation(&self) -> u32 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     fn shard(cond: &Condition) -> usize {
@@ -61,43 +123,51 @@ impl SharedMemo {
         (h.finish() as usize) % SHARDS
     }
 
-    /// Cached satisfiability verdict for `cond`, if any.
-    pub fn sat_get(&self, cond: &Condition) -> Option<bool> {
+    /// Cached satisfiability verdict for `cond`, if any, paired with
+    /// whether the entry predates the current run generation
+    /// (`(verdict, cross_run)`).
+    pub fn sat_get(&self, cond: &Condition) -> Option<(bool, bool)> {
+        let gen = self.current_generation();
         self.sat[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned")
             .get(cond)
-            .copied()
+            .map(|&(sat, entry_gen)| (sat, entry_gen < gen))
     }
 
-    /// Caches a satisfiability verdict (dropped once the shard is at
-    /// capacity, bounding memory on adversarial workloads).
+    /// Caches a satisfiability verdict stamped with the current run
+    /// generation (dropped once the shard is at capacity, bounding
+    /// memory on adversarial workloads).
     pub fn sat_put(&self, cond: &Condition, sat: bool) {
+        let gen = self.current_generation();
         let mut shard = self.sat[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned");
         if shard.len() < SHARD_CAP || shard.contains_key(cond) {
-            shard.insert(cond.clone(), sat);
+            shard.insert(cond.clone(), (sat, gen));
         }
     }
 
-    /// Cached simplification of `cond`, if any.
-    pub fn simplify_get(&self, cond: &Condition) -> Option<Condition> {
+    /// Cached simplification of `cond`, if any, paired with whether the
+    /// entry predates the current run generation.
+    pub fn simplify_get(&self, cond: &Condition) -> Option<(Condition, bool)> {
+        let gen = self.current_generation();
         self.simplify[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned")
             .get(cond)
-            .cloned()
+            .map(|(simplified, entry_gen)| (simplified.clone(), *entry_gen < gen))
     }
 
     /// Caches a simplification result (capacity-bounded like
     /// [`sat_put`](SharedMemo::sat_put)).
     pub fn simplify_put(&self, cond: &Condition, simplified: &Condition) {
+        let gen = self.current_generation();
         let mut shard = self.simplify[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned");
         if shard.len() < SHARD_CAP || shard.contains_key(cond) {
-            shard.insert(cond.clone(), simplified.clone());
+            shard.insert(cond.clone(), (simplified.clone(), gen));
         }
     }
 
@@ -123,7 +193,7 @@ impl SharedMemo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faure_ctable::Term;
+    use faure_ctable::{Domain, Term};
     use std::sync::Arc;
 
     #[test]
@@ -132,10 +202,10 @@ mod tests {
         let c = Condition::eq(Term::int(1), Term::int(1));
         assert_eq!(memo.sat_get(&c), None);
         memo.sat_put(&c, true);
-        assert_eq!(memo.sat_get(&c), Some(true));
+        assert_eq!(memo.sat_get(&c), Some((true, false)));
         let s = Condition::eq(Term::int(1), Term::int(2));
         memo.simplify_put(&s, &Condition::False);
-        assert_eq!(memo.simplify_get(&s), Some(Condition::False));
+        assert_eq!(memo.simplify_get(&s), Some((Condition::False, false)));
         assert_eq!(memo.len(), 2);
     }
 
@@ -152,11 +222,53 @@ mod tests {
                 s.spawn(move || {
                     for c in conds {
                         memo.sat_put(c, true);
-                        assert_eq!(memo.sat_get(c), Some(true));
+                        assert_eq!(memo.sat_get(c), Some((true, false)));
                     }
                 });
             }
         });
         assert_eq!(memo.len(), 64);
+    }
+
+    #[test]
+    fn generations_mark_cross_run_hits() {
+        let memo = SharedMemo::new();
+        memo.begin_run();
+        let c = Condition::eq(Term::int(1), Term::int(1));
+        memo.sat_put(&c, true);
+        memo.simplify_put(&c, &Condition::True);
+        // Same run: not cross-run.
+        assert_eq!(memo.sat_get(&c), Some((true, false)));
+        assert_eq!(memo.simplify_get(&c), Some((Condition::True, false)));
+        // Next run: the entries now cross the boundary.
+        memo.begin_run();
+        assert_eq!(memo.sat_get(&c), Some((true, true)));
+        assert_eq!(memo.simplify_get(&c), Some((Condition::True, true)));
+        // A fresh put in the new run is in-run again.
+        let d = Condition::eq(Term::int(2), Term::int(2));
+        memo.sat_put(&d, true);
+        assert_eq!(memo.sat_get(&d), Some((true, false)));
+    }
+
+    #[test]
+    fn fingerprint_gates_reuse() {
+        let mut reg = CVarRegistry::new();
+        reg.fresh("x", Domain::Bool01);
+        let memo = SharedMemo::for_registry(&reg);
+        assert!(memo.matches_registry(&reg));
+
+        // Same structure, different registry instance: still matches.
+        let mut twin = CVarRegistry::new();
+        twin.fresh("x", Domain::Bool01);
+        assert!(memo.matches_registry(&twin));
+
+        // Different structure: invalidated.
+        let mut other = CVarRegistry::new();
+        other.fresh("x", Domain::Bool01);
+        other.fresh("y", Domain::Open);
+        assert!(!memo.matches_registry(&other));
+
+        // Anonymous memos never claim cross-run validity.
+        assert!(!SharedMemo::new().matches_registry(&reg));
     }
 }

@@ -48,15 +48,22 @@ pub struct SolverStats {
     pub simplify_calls: u64,
     /// Queries answered from the session memo (no solver work).
     pub memo_hits: u64,
+    /// The subset of `memo_hits` answered by an entry cached during an
+    /// *earlier* run of the same shared memo (batch-mode reuse; always
+    /// `0` for local memos and single-run shared memos).
+    pub cross_run_hits: u64,
     /// Queries that missed the memo and ran the solver.
     pub memo_misses: u64,
     /// Total wall-clock time inside the solver. Under parallel
     /// evaluation this sums across workers, i.e. it is solver *CPU*
     /// time, not elapsed time.
     pub time: Duration,
-    /// Per-check solve latency (memo misses only — hits never enter
-    /// the solver). Power-of-two nanosecond buckets; merged across
-    /// workers by [`absorb`](SolverStats::absorb).
+    /// Per-check solve latency. Records **memo misses only** — hits,
+    /// including cross-run hits in batch mode, never enter the solver
+    /// and are deliberately excluded so the quantiles measure solver
+    /// cost per *solved* condition and stay comparable between a cold
+    /// first run and warm reruns. Power-of-two nanosecond buckets;
+    /// merged across workers by [`absorb`](SolverStats::absorb).
     pub latency: Histogram,
 }
 
@@ -72,6 +79,19 @@ impl SolverStats {
         }
     }
 
+    /// Fraction of memoisable queries answered by an entry carried over
+    /// from a previous run, in `[0, 1]`; `0.0` when no queries were
+    /// issued. Non-zero only in batch mode, where a prepared program
+    /// reuses its [`SharedMemo`] across `run()` calls.
+    pub fn memo_cross_run_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_run_hits as f64 / total as f64
+        }
+    }
+
     /// Folds another stats record into this one (all counters and the
     /// accumulated time sum field-wise). This is how worker sessions'
     /// statistics merge back into the run's totals.
@@ -80,6 +100,7 @@ impl SolverStats {
         self.sat_true += other.sat_true;
         self.simplify_calls += other.simplify_calls;
         self.memo_hits += other.memo_hits;
+        self.cross_run_hits += other.cross_run_hits;
         self.memo_misses += other.memo_misses;
         self.time += other.time;
         self.latency.merge(&other.latency);
@@ -167,11 +188,14 @@ impl Session {
     ) -> Result<bool, SolverError> {
         self.stats.sat_calls += 1;
         let hit = match &self.memo {
-            MemoBackend::Local { sat, .. } => sat.get(cond).copied(),
+            MemoBackend::Local { sat, .. } => sat.get(cond).map(|&v| (v, false)),
             MemoBackend::Shared(memo) => memo.sat_get(cond),
         };
-        if let Some(hit) = hit {
+        if let Some((hit, cross_run)) = hit {
             self.stats.memo_hits += 1;
+            if cross_run {
+                self.stats.cross_run_hits += 1;
+            }
             if hit {
                 self.stats.sat_true += 1;
             }
@@ -223,11 +247,14 @@ impl Session {
     ) -> Result<Condition, SolverError> {
         self.stats.simplify_calls += 1;
         let hit = match &self.memo {
-            MemoBackend::Local { simplify, .. } => simplify.get(cond).cloned(),
+            MemoBackend::Local { simplify, .. } => simplify.get(cond).cloned().map(|v| (v, false)),
             MemoBackend::Shared(memo) => memo.simplify_get(cond),
         };
-        if let Some(hit) = hit {
+        if let Some((hit, cross_run)) = hit {
             self.stats.memo_hits += 1;
+            if cross_run {
+                self.stats.cross_run_hits += 1;
+            }
             return Ok(hit);
         }
         self.stats.memo_misses += 1;
@@ -306,6 +333,7 @@ mod tests {
             sat_true: 1,
             simplify_calls: 2,
             memo_hits: 3,
+            cross_run_hits: 1,
             memo_misses: 4,
             time: Duration::from_millis(5),
             latency: lat_a,
@@ -315,6 +343,7 @@ mod tests {
             sat_true: 10,
             simplify_calls: 20,
             memo_hits: 30,
+            cross_run_hits: 10,
             memo_misses: 40,
             time: Duration::from_millis(50),
             latency: lat_b,
@@ -323,6 +352,7 @@ mod tests {
         assert_eq!(a.sat_true, 11);
         assert_eq!(a.simplify_calls, 22);
         assert_eq!(a.memo_hits, 33);
+        assert_eq!(a.cross_run_hits, 11);
         assert_eq!(a.memo_misses, 44);
         assert_eq!(a.time, Duration::from_millis(55));
         assert_eq!(a.latency.count(), 2);
@@ -417,5 +447,33 @@ mod tests {
             Condition::False
         );
         assert_eq!(b.stats().memo_hits, 2);
+    }
+
+    #[test]
+    fn cross_run_hits_count_only_prior_generation_entries() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let memo = Arc::new(SharedMemo::for_registry(&reg));
+        let c = Condition::eq(Term::Var(x), Term::int(1));
+
+        // Run 1: miss, then an in-run hit — no cross-run hits.
+        memo.begin_run();
+        let mut s1 = Session::with_shared(Arc::clone(&memo));
+        s1.satisfiable(&reg, &c).unwrap();
+        s1.satisfiable(&reg, &c).unwrap();
+        assert_eq!(s1.stats().memo_hits, 1);
+        assert_eq!(s1.stats().cross_run_hits, 0);
+
+        // Run 2 over the same memo: the hit crosses the run boundary
+        // and stays out of the latency histogram (misses only).
+        memo.begin_run();
+        let mut s2 = Session::with_shared(Arc::clone(&memo));
+        s2.satisfiable(&reg, &c).unwrap();
+        let st = s2.stats();
+        assert_eq!(st.memo_hits, 1);
+        assert_eq!(st.cross_run_hits, 1);
+        assert_eq!(st.memo_misses, 0);
+        assert_eq!(st.latency.count(), 0);
+        assert!(st.memo_cross_run_hit_rate() > 0.99);
     }
 }

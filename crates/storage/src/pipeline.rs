@@ -25,6 +25,13 @@ pub struct PhaseStats {
     pub tuples: usize,
     /// Number of tuples removed by the solver phase.
     pub pruned: usize,
+    /// Elapsed wall-clock time of the prune phase alone. Unlike
+    /// `solver` (which sums per-worker CPU time under parallel
+    /// evaluation), this is measured around each `Table::prune` /
+    /// `Table::prune_parallel` call on the driver thread, so
+    /// `prune_wall` shrinking while `solver` stays flat is exactly the
+    /// signature of parallel pruning paying off.
+    pub prune_wall: Duration,
     /// Fine-grained solver counters.
     pub solver_stats: SolverStats,
     /// Per-operator execution counters (probes, matches, conjoined
@@ -55,6 +62,7 @@ impl PhaseStats {
         self.solver += other.solver;
         self.tuples += other.tuples;
         self.pruned += other.pruned;
+        self.prune_wall += other.prune_wall;
         self.solver_stats.absorb(&other.solver_stats);
         self.ops.absorb(&other.ops);
         self.delta_sizes.extend_from_slice(&other.delta_sizes);
@@ -79,6 +87,7 @@ mod tests {
             solver: Duration::from_millis(5),
             tuples: 3,
             pruned: 1,
+            prune_wall: Duration::from_millis(2),
             delta_sizes: vec![4],
             plan_cache_hits: 2,
             plan_cache_misses: 1,
@@ -89,6 +98,7 @@ mod tests {
             solver: Duration::from_millis(15),
             tuples: 7,
             pruned: 2,
+            prune_wall: Duration::from_millis(3),
             delta_sizes: vec![9, 1],
             plan_cache_hits: 3,
             plan_cache_misses: 1,
@@ -99,6 +109,7 @@ mod tests {
         assert_eq!(a.solver, Duration::from_millis(20));
         assert_eq!(a.tuples, 10);
         assert_eq!(a.pruned, 3);
+        assert_eq!(a.prune_wall, Duration::from_millis(5));
         assert_eq!(a.total(), Duration::from_millis(50));
         assert_eq!(a.delta_sizes, vec![4, 9, 1]);
         assert_eq!(a.plan_cache_hits, 5);

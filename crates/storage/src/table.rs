@@ -511,36 +511,147 @@ impl Table {
         let mut kept_rows = Vec::with_capacity(self.rows.len());
         let mut removed = 0usize;
         for (row, repr) in self.rows.drain(..).zip(self.reprs.drain(..)) {
-            let simplified = match repr {
-                CondRepr::Sets(sets) => {
-                    let mut live = Vec::with_capacity(sets.len());
-                    for set in sets {
-                        let conj = crate::dnf::condition_of(std::slice::from_ref(&set));
-                        if session.satisfiable(reg, &conj)? {
-                            live.push(set);
-                        }
-                    }
-                    let cond = crate::dnf::condition_of(&live);
-                    if cond == Condition::False {
-                        Condition::False
-                    } else if cond.size() <= 128 {
-                        // Small survivor: also detect validity (e.g.
-                        // {x̄=0} ∨ {x̄=1} over {0,1} → empty condition).
-                        session.simplify_pruned(reg, &cond)?
-                    } else {
-                        cond
+            match Self::prune_row(reg, session, row, repr)? {
+                Some(kept) => kept_rows.push(kept),
+                None => removed += 1,
+            }
+        }
+        self.rebuild_from(kept_rows);
+        Ok(removed)
+    }
+
+    /// Prunes one row: `None` if its condition is unsatisfiable,
+    /// otherwise the row with its condition simplified. This is the
+    /// unit of work shared by [`prune`](Table::prune) and
+    /// [`prune_parallel`](Table::prune_parallel) — a deterministic
+    /// function of the row (solver results are ground truth), which is
+    /// what makes the parallel split bit-identical to the serial walk.
+    fn prune_row(
+        reg: &CVarRegistry,
+        session: &mut Session,
+        row: CTuple,
+        repr: CondRepr,
+    ) -> Result<Option<CTuple>, SolverError> {
+        let simplified = match repr {
+            CondRepr::Sets(sets) => {
+                let mut live = Vec::with_capacity(sets.len());
+                for set in sets {
+                    let conj = crate::dnf::condition_of(std::slice::from_ref(&set));
+                    if session.satisfiable(reg, &conj)? {
+                        live.push(set);
                     }
                 }
-                CondRepr::Opaque(_) => session.simplify_pruned(reg, &row.cond)?,
-            };
-            if simplified == Condition::False {
-                removed += 1;
-            } else {
-                kept_rows.push(CTuple {
-                    terms: row.terms,
-                    cond: simplified,
-                });
+                let cond = crate::dnf::condition_of(&live);
+                if cond == Condition::False {
+                    Condition::False
+                } else if cond.size() <= 128 {
+                    // Small survivor: also detect validity (e.g.
+                    // {x̄=0} ∨ {x̄=1} over {0,1} → empty condition).
+                    session.simplify_pruned(reg, &cond)?
+                } else {
+                    cond
+                }
             }
+            CondRepr::Opaque(_) => session.simplify_pruned(reg, &row.cond)?,
+        };
+        Ok(if simplified == Condition::False {
+            None
+        } else {
+            Some(CTuple {
+                terms: row.terms,
+                cond: simplified,
+            })
+        })
+    }
+
+    /// Parallel variant of [`prune`](Table::prune): splits the rows
+    /// into contiguous chunks across `threads` scoped workers, each
+    /// running its own [`Session`] over the shared lock-sharded `memo`,
+    /// then merges the kept-row lists **in partition order** — the same
+    /// determinism recipe as [`absorb_partitions`](Table::absorb_partitions),
+    /// so the resulting table is bit-identical to the serial walk.
+    ///
+    /// Per-worker [`faure_solver::SolverStats`] (including latency
+    /// histograms) are folded into `session` in chunk order; the
+    /// deterministic counters (`sat_calls`, `sat_true`,
+    /// `simplify_calls`, hit+miss total) match serial, only the
+    /// hit/miss *split* depends on scheduling.
+    ///
+    /// Falls back to the serial walk when `threads <= 1` or the table
+    /// has fewer than two rows.
+    pub fn prune_parallel(
+        &mut self,
+        reg: &CVarRegistry,
+        session: &mut Session,
+        memo: &std::sync::Arc<faure_solver::SharedMemo>,
+        threads: usize,
+    ) -> Result<usize, SolverError> {
+        if threads <= 1 || self.rows.len() < 2 {
+            return self.prune(reg, session);
+        }
+        let work: Vec<(CTuple, CondRepr)> = self.rows.drain(..).zip(self.reprs.drain(..)).collect();
+        let workers = threads.min(work.len());
+        // Balanced contiguous split: the first `extra` chunks get one
+        // extra row.
+        let base = work.len() / workers;
+        let extra = work.len() % workers;
+        let mut chunks: Vec<Vec<(CTuple, CondRepr)>> = Vec::with_capacity(workers);
+        let mut it = work.into_iter();
+        for w in 0..workers {
+            let take = base + usize::from(w < extra);
+            chunks.push(it.by_ref().take(take).collect());
+        }
+        type ChunkOut = Result<(Vec<CTuple>, usize), SolverError>;
+        let results: Vec<(ChunkOut, faure_solver::SolverStats)> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut worker = Session::with_shared(std::sync::Arc::clone(memo));
+                        let mut kept = Vec::with_capacity(chunk.len());
+                        let mut removed = 0usize;
+                        let mut out: ChunkOut = Ok((Vec::new(), 0));
+                        for (row, repr) in chunk {
+                            match Self::prune_row(reg, &mut worker, row, repr) {
+                                Ok(Some(row)) => kept.push(row),
+                                Ok(None) => removed += 1,
+                                Err(e) => {
+                                    out = Err(e);
+                                    break;
+                                }
+                            }
+                        }
+                        if out.is_ok() {
+                            out = Ok((kept, removed));
+                        }
+                        (out, worker.stats())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prune worker panicked"))
+                .collect()
+        });
+        let mut kept_rows = Vec::new();
+        let mut removed = 0usize;
+        let mut first_err = None;
+        for (out, stats) in results {
+            session.absorb_stats(&stats);
+            match out {
+                Ok((kept, n)) => {
+                    kept_rows.extend(kept);
+                    removed += n;
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         self.rebuild_from(kept_rows);
         Ok(removed)
@@ -778,6 +889,66 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t.row(0).terms, vec![Term::int(2)]);
         assert!(session.stats().sat_calls + session.stats().simplify_calls >= 2);
+    }
+
+    #[test]
+    fn prune_parallel_matches_serial() {
+        use faure_ctable::{CmpOp, LinExpr};
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Bool01);
+        let y = db.fresh_cvar("y", Domain::Bool01);
+        let reg = db.cvars.clone();
+        let build = || {
+            let mut t = Table::new(Schema::new("T", &["a"]));
+            for i in 0..12i64 {
+                let cond = match i % 4 {
+                    // x̄ + ȳ = 3 over {0,1}²: solver-only unsat.
+                    0 => Condition::cmp(
+                        LinExpr::var(x).plus_var(1, y),
+                        CmpOp::Eq,
+                        LinExpr::constant(3),
+                    ),
+                    1 => Condition::eq(Term::Var(x), Term::int(0)),
+                    // Valid: simplifies to True.
+                    2 => Condition::eq(Term::Var(y), Term::int(0))
+                        .or(Condition::eq(Term::Var(y), Term::int(1))),
+                    _ => Condition::eq(Term::Var(x), Term::int(1))
+                        .and(Condition::ne(Term::Var(y), Term::int(0))),
+                };
+                t.insert(CTuple::with_cond([Term::int(i)], cond)).unwrap();
+            }
+            t
+        };
+
+        let mut serial = build();
+        let mut serial_session = Session::new();
+        let serial_removed = serial.prune(&reg, &mut serial_session).unwrap();
+
+        for threads in [1usize, 2, 4] {
+            let mut par = build();
+            let memo = std::sync::Arc::new(faure_solver::SharedMemo::for_registry(&reg));
+            let mut session = Session::new();
+            let removed = par
+                .prune_parallel(&reg, &mut session, &memo, threads)
+                .unwrap();
+            assert_eq!(removed, serial_removed, "threads={threads}");
+            assert_eq!(par.len(), serial.len());
+            for i in 0..serial.len() {
+                assert_eq!(par.row(i).terms, serial.row(i).terms);
+                assert_eq!(par.row(i).cond, serial.row(i).cond);
+            }
+            // Deterministic counters match serial; only the memo
+            // hit/miss split depends on scheduling.
+            let s = session.stats();
+            let base = serial_session.stats();
+            assert_eq!(s.sat_calls, base.sat_calls);
+            assert_eq!(s.sat_true, base.sat_true);
+            assert_eq!(s.simplify_calls, base.simplify_calls);
+            assert_eq!(
+                s.memo_hits + s.memo_misses,
+                base.memo_hits + base.memo_misses
+            );
+        }
     }
 
     #[test]

@@ -49,21 +49,62 @@ pub fn instantiate_derived(
 /// world, the instantiated fauré-log answer equals the pure-datalog
 /// answer computed in that world. Returns the number of worlds checked.
 ///
+/// The per-world checks are independent (each world gets its own ground
+/// evaluation and instantiation), so they are fanned out across
+/// `std::thread::scope` workers — the oracle dominates proptest
+/// wall-clock, and the world count (domain-size ^ c-variables) is the
+/// embarrassingly parallel axis. A failing world's assertion panic is
+/// re-raised on the caller's thread with its message intact.
+///
 /// Requires every c-variable the program mentions to occur in `db` (so
 /// world enumeration covers it) and all domains to be finite.
 pub fn assert_lossless(program: &Program, db: &Database) -> usize {
     let out = evaluate(program, db).expect("fauré-log evaluation succeeds");
-    let mut checked = 0;
-    for world in WorldIter::new(db, None).expect("finite domains") {
+    let worlds: Vec<_> = WorldIter::new(db, None).expect("finite domains").collect();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(worlds.len());
+    let check = |world: &faure_ctable::GroundDatabase| {
         let expected =
-            evaluate_ground(program, &db.cvars, &world).expect("reference evaluation succeeds");
+            evaluate_ground(program, &db.cvars, world).expect("reference evaluation succeeds");
         let got = instantiate_derived(&out, program, &world.assignment);
         assert_eq!(
             expected, got,
             "loss-lessness violated in world {:?}\nprogram:\n{program}",
             world.assignment
         );
-        checked += 1;
+    };
+    if threads <= 1 {
+        for world in &worlds {
+            check(world);
+        }
+        return worlds.len();
     }
-    checked
+    // Contiguous balanced split; workers only read shared state.
+    let base = worlds.len() / threads;
+    let extra = worlds.len() % threads;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut rest: &[faure_ctable::GroundDatabase] = &worlds;
+        for w in 0..threads {
+            let take = base + usize::from(w < extra);
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            let check = &check;
+            handles.push(s.spawn(move || {
+                for world in chunk {
+                    check(world);
+                }
+            }));
+        }
+        for h in handles {
+            // Re-raise a worker's assertion panic with its original
+            // message (join erases it into a Box<dyn Any>).
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    worlds.len()
 }
