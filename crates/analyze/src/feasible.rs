@@ -1,0 +1,253 @@
+//! Per-rule join-feasibility analysis under inferred column domains.
+//!
+//! Given the current per-predicate column domains, [`analyze_rule`]
+//! computes the abstract environment of one rule — the domain of each
+//! rule variable as the **meet** of the column domains at every one of
+//! its positive-atom occurrences, then refined by the rule's
+//! `variable op constant` comparison atoms — and reports the first
+//! proof of infeasibility it finds, if any:
+//!
+//! * a positive atom ranges over a predicate with no possible tuples;
+//! * a constant (or domain-restricted c-variable) argument falls
+//!   outside the column's inferred domain;
+//! * a shared variable's occurrence domains are disjoint (the join can
+//!   never produce a row);
+//! * a comparison contradicts the inferred domain of its variable.
+//!
+//! The environment is an over-approximation, so an infeasibility proof
+//! is sound: the rule can never derive a tuple, over any world.
+
+use crate::domains::AbsDom;
+use crate::infer::Columns;
+use faure_core::{ArgTerm, CompExpr, Comparison, Rule};
+use faure_ctable::{CVarRegistry, CmpOp, Const};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a rule can never derive a tuple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Infeasibility {
+    /// A positive body atom ranges over a predicate that can hold no
+    /// tuple at all.
+    EmptyPredicate {
+        /// Body literal index.
+        literal: usize,
+        /// The empty predicate.
+        predicate: String,
+    },
+    /// A constant argument falls outside the inferred column domain.
+    ConstOutsideDomain {
+        /// Body literal index.
+        literal: usize,
+        /// Argument column.
+        col: usize,
+        /// The constant.
+        constant: Const,
+        /// The probed predicate.
+        predicate: String,
+        /// The inferred column domain it misses.
+        domain: AbsDom,
+    },
+    /// A c-variable argument's registry domain is disjoint from the
+    /// inferred column domain.
+    CVarOutsideDomain {
+        /// Body literal index.
+        literal: usize,
+        /// Argument column.
+        col: usize,
+        /// The c-variable name.
+        cvar: String,
+        /// The probed predicate.
+        predicate: String,
+        /// The inferred column domain it misses.
+        domain: AbsDom,
+    },
+    /// A shared rule variable's occurrence domains are disjoint.
+    DisjointColumns {
+        /// Body literal index of the occurrence that emptied the meet.
+        literal: usize,
+        /// Argument column of that occurrence.
+        col: usize,
+        /// The variable.
+        variable: String,
+        /// Its domain before this occurrence.
+        before: AbsDom,
+        /// The column domain of this occurrence.
+        here: AbsDom,
+    },
+    /// A comparison contradicts the variable's domain.
+    Comparison {
+        /// Index into `rule.comparisons`.
+        comparison: usize,
+        /// The variable whose domain was emptied.
+        variable: String,
+        /// The variable's domain as inferred from atoms alone (before
+        /// any comparison refinement). When the comparison empties this
+        /// domain directly the contradiction is against *inferred*
+        /// facts (diagnostic F0011); otherwise it only contradicts
+        /// earlier comparisons (already F0008's territory).
+        atom_domain: AbsDom,
+        /// Whether the comparison contradicts the atom-inferred domain
+        /// on its own.
+        against_atoms: bool,
+    },
+}
+
+/// The abstract semantics of one rule body.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleSemantics {
+    /// Final domain of each rule variable (atom meets + comparison
+    /// refinements). Variables of infeasible rules keep whatever was
+    /// computed before the proof of infeasibility.
+    pub env: BTreeMap<String, AbsDom>,
+    /// Domain of each rule variable from positive atoms only.
+    pub atom_env: BTreeMap<String, AbsDom>,
+    /// The first infeasibility proof found, if any.
+    pub infeasible: Option<Infeasibility>,
+}
+
+/// The column domain for `pred[col]`, defaulting to ⊤ when the
+/// predicate or column is unknown (e.g. under an arity conflict).
+fn col_domain(columns: &Columns, pred: &str, col: usize) -> AbsDom {
+    columns
+        .get(pred)
+        .and_then(|cols| cols.get(col))
+        .cloned()
+        .unwrap_or(AbsDom::Top)
+}
+
+/// Computes the abstract environment and feasibility of `rule` under
+/// the current `columns` and the set of possibly-`nonempty` predicates.
+/// `reg` supplies c-variable domains when a database was given.
+pub fn analyze_rule(
+    rule: &Rule,
+    columns: &Columns,
+    nonempty: &BTreeSet<String>,
+    reg: Option<&CVarRegistry>,
+) -> RuleSemantics {
+    let mut sem = RuleSemantics::default();
+
+    // Positive atoms: meet the column domain into each argument.
+    for (li, lit) in rule.body.iter().enumerate() {
+        if lit.is_negative() {
+            continue;
+        }
+        let atom = lit.atom();
+        let pred = atom.pred.as_str();
+        if !nonempty.contains(pred) {
+            sem.infeasible = Some(Infeasibility::EmptyPredicate {
+                literal: li,
+                predicate: pred.to_owned(),
+            });
+            return sem;
+        }
+        for (col, arg) in atom.args.iter().enumerate() {
+            let d = col_domain(columns, pred, col);
+            match arg {
+                ArgTerm::Cst(c) => {
+                    if !d.contains(c) {
+                        sem.infeasible = Some(Infeasibility::ConstOutsideDomain {
+                            literal: li,
+                            col,
+                            constant: c.clone(),
+                            predicate: pred.to_owned(),
+                            domain: d,
+                        });
+                        return sem;
+                    }
+                }
+                ArgTerm::CVar(name) => {
+                    let cd = reg
+                        .and_then(|r| r.by_name(name).map(|id| AbsDom::from_domain(r.domain(id))))
+                        .unwrap_or(AbsDom::Top);
+                    if cd.meet(&d).is_bottom() {
+                        sem.infeasible = Some(Infeasibility::CVarOutsideDomain {
+                            literal: li,
+                            col,
+                            cvar: name.clone(),
+                            predicate: pred.to_owned(),
+                            domain: d,
+                        });
+                        return sem;
+                    }
+                }
+                ArgTerm::Var(v) => {
+                    let before = sem.env.get(v).cloned().unwrap_or(AbsDom::Top);
+                    let met = before.meet(&d);
+                    if met.is_bottom() {
+                        sem.infeasible = Some(Infeasibility::DisjointColumns {
+                            literal: li,
+                            col,
+                            variable: v.clone(),
+                            before,
+                            here: d,
+                        });
+                        return sem;
+                    }
+                    sem.env.insert(v.clone(), met);
+                }
+            }
+        }
+    }
+    sem.atom_env = sem.env.clone();
+
+    // Comparisons: sequentially refine `var op const` shapes.
+    for (ci, cmp) in rule.comparisons.iter().enumerate() {
+        let Some((var, op, c)) = var_op_const(cmp) else {
+            continue;
+        };
+        // Safety guarantees comparison variables are atom-bound; under
+        // a safety violation the variable is simply unknown (⊤).
+        let cur = sem.env.get(var).cloned().unwrap_or(AbsDom::Top);
+        let refined = cur.refine(op, &c);
+        if refined.is_bottom() {
+            let atom_domain = sem.atom_env.get(var).cloned().unwrap_or(AbsDom::Top);
+            // Would the comparisons alone (over an unconstrained ⊤
+            // variable) already be contradictory? Then the unsat-rule
+            // pass owns the report and the atom domains add nothing.
+            let alone_bottom = rule
+                .comparisons
+                .iter()
+                .take(ci + 1)
+                .filter_map(var_op_const)
+                .filter(|(v, _, _)| *v == var)
+                .fold(AbsDom::Top, |d, (_, op, c)| d.refine(op, &c))
+                .is_bottom();
+            let against_atoms = !alone_bottom && atom_domain.refine(op, &c).is_bottom();
+            sem.infeasible = Some(Infeasibility::Comparison {
+                comparison: ci,
+                variable: var.to_owned(),
+                atom_domain,
+                against_atoms,
+            });
+            return sem;
+        }
+        sem.env.insert(var.to_owned(), refined);
+    }
+    sem
+}
+
+/// Destructures a comparison of the shape `var op const` (in either
+/// orientation), the only shape the refinement understands.
+fn var_op_const(cmp: &Comparison) -> Option<(&str, CmpOp, Const)> {
+    match (&cmp.lhs, &cmp.rhs) {
+        (CompExpr::Arg(ArgTerm::Var(v)), CompExpr::Arg(ArgTerm::Cst(c))) => {
+            Some((v.as_str(), cmp.op, c.clone()))
+        }
+        (CompExpr::Arg(ArgTerm::Cst(c)), CompExpr::Arg(ArgTerm::Var(v))) => {
+            Some((v.as_str(), flip(cmp.op), c.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Mirrors a comparison operator (for `const op var` normalisation).
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}

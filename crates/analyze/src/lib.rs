@@ -35,6 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod domains;
+pub mod feasible;
+pub mod infer;
+
+pub use domains::{AbsDom, Kind};
+pub use feasible::{Infeasibility, RuleSemantics};
+pub use infer::{infer, Columns, Inference};
+
 use faure_core::analysis::{analyze, Finding};
 use faure_core::parser::{parse_program_spanned, RuleSpans, Span, SpannedProgram};
 use faure_ctable::Database;
@@ -196,8 +204,259 @@ fn check(src: &str, db: Option<&Database>) -> Report {
         .iter()
         .map(|f| to_diagnostic(f, &spanned, src))
         .collect();
-    diagnostics.sort_by(|a, b| (a.span.start, a.code).cmp(&(b.span.start, b.code)));
+    let inference = infer::infer(&spanned.program, db);
+    diagnostics.extend(semantic_diagnostics(&spanned, db, &inference));
+    // Stable order: by span, then code — and exact duplicates (same
+    // code, span, and message) collapse to one.
+    diagnostics.sort_by(|a, b| {
+        (a.span.start, a.span.end, a.code).cmp(&(b.span.start, b.span.end, b.code))
+    });
+    diagnostics.dedup();
     Report { diagnostics }
+}
+
+// ---------------------------------------------------------------------------
+// semantic diagnostics (F0009–F0014), from the abstract interpretation
+// ---------------------------------------------------------------------------
+
+/// Maps the inference results to diagnostics F0009–F0014.
+///
+/// | code  | fires when |
+/// |-------|------------|
+/// | F0009 | two rules write different kinds (integer vs symbolic) into one column |
+/// | F0010 | a body join is provably empty under the inferred domains |
+/// | F0011 | a comparison contradicts a variable's atom-inferred domain |
+/// | F0012 | a recursive rule copies its head verbatim from its own body |
+/// | F0013 | (with db) a derived column stays completely unrestricted (⊤) |
+/// | F0014 | (with db) a program constant/c-variable misses an input relation's actual domain |
+fn semantic_diagnostics(
+    spanned: &SpannedProgram,
+    db: Option<&Database>,
+    inf: &infer::Inference,
+) -> Vec<Diagnostic> {
+    let program = &spanned.program;
+    let idb: std::collections::BTreeSet<&str> = program.idb_predicates();
+    let reg = db.map(|d| &d.cvars);
+    let mut out = Vec::new();
+
+    // The span of head argument `col` of rule `ri` (atom fallback under
+    // arity conflicts).
+    let head_arg = |ri: usize, col: usize| -> Span {
+        let spans = &spanned.spans[ri];
+        spans.head.args.get(col).copied().unwrap_or(spans.head.atom)
+    };
+    let body_arg = |ri: usize, li: usize, col: usize| -> Span {
+        let spans = &spanned.spans[ri];
+        spans
+            .body
+            .get(li)
+            .map(|a| a.args.get(col).copied().unwrap_or(a.atom))
+            .unwrap_or(spans.rule)
+    };
+
+    // F0009: kind mismatch across rule head contributions, per column.
+    // The first rule writing a definite kind into a column sets the
+    // precedent; later rules writing the opposite kind are flagged.
+    let mut col_kinds: std::collections::BTreeMap<(&str, usize), (usize, domains::Kind)> =
+        std::collections::BTreeMap::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let sem = &inf.rules[ri];
+        if sem.infeasible.is_some() {
+            continue;
+        }
+        for (col, arg) in rule.head.args.iter().enumerate() {
+            let v = infer::arg_value(arg, sem, reg);
+            let kind = match &v {
+                AbsDom::Bottom | AbsDom::Top => continue,
+                d => d.kind(),
+            };
+            if kind == domains::Kind::Mixed {
+                continue;
+            }
+            match col_kinds.get(&(rule.head.pred.as_str(), col)) {
+                None => {
+                    col_kinds.insert((rule.head.pred.as_str(), col), (ri, kind));
+                }
+                Some(&(first, prior)) if prior != kind => {
+                    out.push(Diagnostic {
+                        code: "F0009",
+                        severity: Severity::Warning,
+                        message: format!(
+                            "column {col} of `{}` holds {kind} values here but {prior} \
+                             values in rule #{}: the column's type is inconsistent",
+                            rule.head.pred,
+                            first + 1,
+                        ),
+                        span: head_arg(ri, col),
+                        rule: ri,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // F0010 / F0011 / F0014: per-rule infeasibility proofs.
+    for (ri, sem) in inf.rules.iter().enumerate() {
+        let rule = &program.rules[ri];
+        match &sem.infeasible {
+            // Empty predicates are the dead-rule pass's territory
+            // (F0005) — re-reporting them here would be noise.
+            Some(Infeasibility::EmptyPredicate { .. }) | None => {}
+            Some(Infeasibility::ConstOutsideDomain {
+                literal,
+                col,
+                constant,
+                predicate,
+                domain,
+            }) => {
+                let is_input = db.is_some() && !idb.contains(predicate.as_str());
+                out.push(Diagnostic {
+                    code: if is_input { "F0014" } else { "F0010" },
+                    severity: Severity::Warning,
+                    message: if is_input {
+                        format!(
+                            "constant `{constant}` can never match input relation \
+                             `{predicate}`: column {col} only holds {domain}"
+                        )
+                    } else {
+                        format!(
+                            "join can never succeed: `{constant}` is outside column \
+                             {col} of `{predicate}`, which only holds {domain}"
+                        )
+                    },
+                    span: body_arg(ri, *literal, *col),
+                    rule: ri,
+                });
+            }
+            Some(Infeasibility::CVarOutsideDomain {
+                literal,
+                col,
+                cvar,
+                predicate,
+                domain,
+            }) => {
+                let is_input = db.is_some() && !idb.contains(predicate.as_str());
+                out.push(Diagnostic {
+                    code: if is_input { "F0014" } else { "F0010" },
+                    severity: Severity::Warning,
+                    message: format!(
+                        "c-variable `${cvar}`'s domain is disjoint from column {col} of \
+                         `{predicate}`, which only holds {domain}"
+                    ),
+                    span: body_arg(ri, *literal, *col),
+                    rule: ri,
+                });
+            }
+            Some(Infeasibility::DisjointColumns {
+                literal,
+                col,
+                variable,
+                before,
+                here,
+            }) => {
+                out.push(Diagnostic {
+                    code: "F0010",
+                    severity: Severity::Warning,
+                    message: format!(
+                        "join can never succeed: `{variable}` ranges over {before} from \
+                         earlier atoms, but column {col} here only holds {here}"
+                    ),
+                    span: body_arg(ri, *literal, *col),
+                    rule: ri,
+                });
+            }
+            Some(Infeasibility::Comparison {
+                comparison,
+                variable,
+                atom_domain,
+                against_atoms,
+            }) => {
+                // Contradictions among the comparisons themselves are
+                // F0008's territory; F0011 fires only when a comparison
+                // contradicts what the *atoms* prove.
+                if !against_atoms {
+                    continue;
+                }
+                let spans = &spanned.spans[ri];
+                out.push(Diagnostic {
+                    code: "F0011",
+                    severity: Severity::Warning,
+                    message: format!(
+                        "comparison contradicts the inferred domain of `{variable}`: \
+                         the body atoms constrain it to {atom_domain}"
+                    ),
+                    span: spans
+                        .comparisons
+                        .get(*comparison)
+                        .copied()
+                        .unwrap_or(spans.rule),
+                    rule: ri,
+                });
+            }
+        }
+        // F0012: the head is copied verbatim from a positive body atom
+        // of the same predicate — the rule can never derive a new tuple,
+        // so the recursion cannot grow its predicate.
+        if let Some(li) = rule.body.iter().position(|lit| {
+            !lit.is_negative()
+                && lit.atom().pred == rule.head.pred
+                && lit.atom().args == rule.head.args
+        }) {
+            let spans = &spanned.spans[ri];
+            out.push(Diagnostic {
+                code: "F0012",
+                severity: Severity::Warning,
+                message: format!(
+                    "recursion cannot grow `{}`: the head is copied unchanged from \
+                     body atom #{} — the rule never derives a new tuple",
+                    rule.head.pred,
+                    li + 1,
+                ),
+                span: spans.rule,
+                rule: ri,
+            });
+        }
+    }
+
+    // F0013: with a database, every input column has a concrete domain,
+    // so a derived column still at ⊤ means no rule ever restricts it —
+    // usually a missing filter or an open c-variable flowing through.
+    if db.is_some() {
+        for (pred, cols) in &inf.columns {
+            if !idb.contains(pred.as_str()) || !inf.nonempty.contains(pred) {
+                continue;
+            }
+            for (col, dom) in cols.iter().enumerate() {
+                if *dom != AbsDom::Top {
+                    continue;
+                }
+                // Blame the first feasible rule whose head contribution
+                // is ⊤ at this column.
+                let Some(ri) = program.rules.iter().enumerate().position(|(ri, r)| {
+                    r.head.pred == *pred
+                        && inf.rules[ri].infeasible.is_none()
+                        && r.head.args.get(col).is_some_and(|arg| {
+                            infer::arg_value(arg, &inf.rules[ri], reg) == AbsDom::Top
+                        })
+                }) else {
+                    continue;
+                };
+                out.push(Diagnostic {
+                    code: "F0013",
+                    severity: Severity::Warning,
+                    message: format!(
+                        "column {col} of `{pred}` is never restricted: it can hold any \
+                         value (⊤) — likely a missing filter"
+                    ),
+                    span: head_arg(ri, col),
+                    rule: ri,
+                });
+            }
+        }
+    }
+
+    out
 }
 
 /// Maps a structural finding to a coded, spanned diagnostic.
@@ -285,6 +544,173 @@ fn comparisons_span(spans: &RuleSpans) -> Option<Span> {
     let first = spans.comparisons.first()?;
     let last = spans.comparisons.last()?;
     Some(Span::new(first.start, last.end))
+}
+
+// ---------------------------------------------------------------------------
+// planner hints
+// ---------------------------------------------------------------------------
+
+/// Distils the inference results into [`faure_core::plan::Hints`] for
+/// hinted plan compilation
+/// ([`Engine::prepare_with_hints`](faure_core::Engine::prepare_with_hints)):
+///
+/// * every predicate the fixpoint proves empty goes into
+///   `empty_preds`, and every rule with an infeasibility proof into
+///   `infeasible_rules` — their plans compile to statically-pruned
+///   empty bodies;
+/// * every column with a finite inferred domain contributes its
+///   cardinality to `col_cards`, refining join-order selectivity.
+///
+/// Soundness matters here: the hints must hold for the database the
+/// program later runs against. Pass the same `db` the evaluation will
+/// use; pass `None` for program-only hints, which are valid for any
+/// database **whose relations the program does not shadow** — when in
+/// doubt, supply the database.
+pub fn plan_hints(program: &faure_core::Program, db: Option<&Database>) -> faure_core::plan::Hints {
+    let inference = infer::infer(program, db);
+    hints_from_inference(&inference)
+}
+
+/// The [`plan_hints`] distillation, for callers that already ran
+/// [`infer`].
+pub fn hints_from_inference(inference: &infer::Inference) -> faure_core::plan::Hints {
+    let mut hints = faure_core::plan::Hints::default();
+    for (pred, cols) in &inference.columns {
+        if !inference.nonempty.contains(pred) {
+            hints.empty_preds.insert(pred.clone());
+            continue;
+        }
+        for (col, dom) in cols.iter().enumerate() {
+            if let Some(card) = dom.card() {
+                hints.col_cards.insert((pred.clone(), col), card);
+            }
+        }
+    }
+    for (ri, sem) in inference.rules.iter().enumerate() {
+        if sem.infeasible.is_some() {
+            hints.infeasible_rules.insert(ri);
+        }
+    }
+    hints
+}
+
+// ---------------------------------------------------------------------------
+// --explain
+// ---------------------------------------------------------------------------
+
+/// The long-form explanation of a diagnostic code (`faure check
+/// --explain F0010`), or `None` for an unknown code.
+pub fn explain_code(code: &str) -> Option<&'static str> {
+    Some(match code {
+        "F0000" => {
+            "F0000: syntax error\n\n\
+             The program text does not parse as fauré-log. The diagnostic points\n\
+             at the first byte the parser could not consume. Everything after a\n\
+             syntax error is unchecked: fix it first, then re-run `faure check`\n\
+             to see the remaining diagnostics."
+        }
+        "F0001" => {
+            "F0001: unsafe (unbound) rule variable\n\n\
+             Every variable in a rule head, comparison, or negated atom must\n\
+             also appear in at least one positive body atom — otherwise its\n\
+             range is unbounded and the rule has no finite meaning. Bind the\n\
+             variable in a positive atom, or replace it with a constant."
+        }
+        "F0002" => {
+            "F0002: negation through recursion\n\n\
+             The program negates a predicate inside its own recursive cycle, so\n\
+             no stratification exists and the fixpoint is not well-defined.\n\
+             Break the cycle: derive the negated predicate in an earlier\n\
+             stratum, or drop the negation."
+        }
+        "F0003" => {
+            "F0003: conflicting predicate arity\n\n\
+             The same predicate is used with different argument counts (or a\n\
+             count that disagrees with the database schema). Every use of a\n\
+             predicate must have the same arity."
+        }
+        "F0004" => {
+            "F0004: rule head shadows an input relation\n\n\
+             A rule derives into a predicate that also holds stored tuples in\n\
+             the database. Evaluation unions the two, which is legal but almost\n\
+             always surprising. Rename the derived predicate if the overlap is\n\
+             unintended."
+        }
+        "F0005" => {
+            "F0005: dead rule\n\n\
+             A positive body atom ranges over a predicate that is provably\n\
+             empty — never stored, never derived — so the rule can never fire.\n\
+             Check the predicate name for typos."
+        }
+        "F0006" => {
+            "F0006: undefined relation\n\n\
+             A body atom references a predicate that neither the database nor\n\
+             any rule head defines. It evaluates as empty; this is usually a\n\
+             misspelling."
+        }
+        "F0007" => {
+            "F0007: singleton variable\n\n\
+             A variable occurs exactly once in the rule. It joins nothing and\n\
+             constrains nothing, which often hides a typo (`adress` vs\n\
+             `address`). Use the variable twice, or rename deliberately\n\
+             throw-away variables to something like `_x` by convention."
+        }
+        "F0008" => {
+            "F0008: statically unsatisfiable rule condition\n\n\
+             The rule's comparison atoms contradict each other (for example\n\
+             `a < 2, a > 5`), so the body can never be satisfied in any world\n\
+             and the rule is dead weight."
+        }
+        "F0009" => {
+            "F0009: inconsistent column type across rules\n\n\
+             Two rules write provably different kinds of values — integers in\n\
+             one, symbols in the other — into the same column of a predicate.\n\
+             The abstract interpreter infers each column's domain from every\n\
+             rule that derives into it; a kind mismatch almost always means two\n\
+             rules disagree about the predicate's schema (e.g. `Cost(f, 3)` vs\n\
+             `Cost(f, High)`)."
+        }
+        "F0010" => {
+            "F0010: provably empty join\n\n\
+             Under the inferred per-column domains, a body join can never\n\
+             produce a row: a shared variable's occurrences have disjoint\n\
+             domains, or a constant argument lies outside the derived\n\
+             predicate's inferred column domain. The rule is unsatisfiable in\n\
+             every world, over every database consistent with the program."
+        }
+        "F0011" => {
+            "F0011: comparison contradicts inferred domain\n\n\
+             A comparison like `a > 100` contradicts what the body atoms\n\
+             already prove about `a` (e.g. that it only holds values in\n\
+             [0..2]). Unlike F0008, which finds contradictions *between*\n\
+             comparisons, F0011 checks each comparison against the abstract\n\
+             interpretation of the atoms."
+        }
+        "F0012" => {
+            "F0012: recursion cannot grow its domain\n\n\
+             A recursive rule copies its head verbatim from a positive body\n\
+             atom of the same predicate (`P(a, b) :- P(a, b), ...`), so every\n\
+             tuple it derives is already present and the rule can never add\n\
+             anything. Usually one of the head arguments was meant to change."
+        }
+        "F0013" => {
+            "F0013: head column never restricted\n\n\
+             With a database every input column has a concrete finite domain,\n\
+             so a derived column whose inferred domain is still ⊤ (any value)\n\
+             means no rule ever restricts it — typically an open c-variable\n\
+             flows through unchecked, or a filter was forgotten. Reported only\n\
+             when a database is supplied."
+        }
+        "F0014" => {
+            "F0014: constant incompatible with input relation\n\n\
+             A program constant (or domain-restricted c-variable) used as an\n\
+             argument to an input relation can never match the relation's\n\
+             actual contents under the supplied database: the value lies\n\
+             outside everything the column holds. The atom — and therefore the\n\
+             rule — matches nothing. Reported only when a database is supplied."
+        }
+        _ => return None,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -435,14 +861,19 @@ mod tests {
     fn f0005_self_recursive_predicate_without_base_case() {
         let src = "P(a) :- P(a).\n";
         let report = check_source(src);
-        assert_eq!(codes(&report), vec!["F0005"]);
+        // The self-copy also triggers F0012 (recursion cannot grow).
+        assert_eq!(codes(&report), vec!["F0005", "F0012"]);
         assert_eq!(span_text(src, &report.diagnostics[0]), "P(a) :- P(a).");
         assert!(!report.has_errors());
     }
 
     #[test]
     fn f0005_clean_with_base_case() {
-        assert!(check_source("P(a) :- E(a).\nP(a) :- P(a).\n").is_empty());
+        // The base case silences F0005, but the verbatim self-copy in
+        // rule 2 still can never derive a new tuple (F0012).
+        let report = check_source("P(a) :- E(a).\nP(a) :- P(a).\n");
+        assert_eq!(codes(&report), vec!["F0012"]);
+        assert!(check_source("P(a) :- E(a).\nP(b) :- E2(a, b), P(a).\n").is_empty());
     }
 
     // --- F0006: undefined relations -------------------------------------
@@ -504,6 +935,152 @@ mod tests {
     #[test]
     fn f0008_clean_satisfiable_bounds() {
         assert!(check_source("R(a) :- F(a), a > 2, a < 5.\n").is_empty());
+    }
+
+    // --- F0009..F0014: semantic diagnostics -----------------------------
+
+    fn db_small() -> Database {
+        use faure_ctable::{CTuple, Domain, Schema, Term};
+        let mut db = Database::new();
+        db.fresh_cvar("v", Domain::Ints(vec![0, 1, 2]));
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        db.insert("E", CTuple::new([Term::int(0), Term::int(1)]))
+            .unwrap();
+        db.insert("E", CTuple::new([Term::int(1), Term::int(2)]))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn f0009_kind_mismatch_across_rules() {
+        let src = "Cost(a, 3) :- E(a, a).\nCost(a, High) :- E(a, a).\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0009"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(span_text(src, d), "High");
+        assert!(d.message.contains("symbolic"), "{}", d.message);
+        assert!(d.message.contains("integer"), "{}", d.message);
+        // Consistent kinds stay silent.
+        assert!(check_source("Cost(a, 3) :- E(a, a).\nCost(a, 4) :- E(a, a).\n").is_empty());
+    }
+
+    #[test]
+    fn f0010_provably_empty_join() {
+        // P's only column holds {1, 2}; Q's holds {7}. Joining them on
+        // one variable can never succeed.
+        let src = "P(1).\nP(2).\nQ(7).\nR(a) :- P(a), Q(a).\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0010"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(span_text(src, d), "a");
+        assert!(
+            d.message.contains("join can never succeed"),
+            "{}",
+            d.message
+        );
+        // Overlapping domains stay silent.
+        assert!(check_source("P(1).\nP(2).\nQ(2).\nR(a) :- P(a), Q(a).\n").is_empty());
+    }
+
+    #[test]
+    fn f0010_constant_outside_derived_domain() {
+        let src = "P(1).\nP(2).\nR(a) :- P(7), E(a, a).\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0010"]);
+        assert_eq!(span_text(src, &report.diagnostics[0]), "7");
+    }
+
+    #[test]
+    fn f0011_comparison_contradicts_inferred_domain() {
+        let db = db_small();
+        let src = "R(a, b) :- E(a, b), a > 100.\n";
+        let report = check_source_with_db(src, &db);
+        assert_eq!(codes(&report), vec!["F0011"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(span_text(src, d), "a > 100");
+        assert!(d.message.contains("{0, 1}"), "{}", d.message);
+        // A satisfiable comparison stays silent.
+        assert!(check_source_with_db("R(a, b) :- E(a, b), a > 0.\n", &db).is_empty());
+        // Comparison-vs-comparison contradictions stay F0008's call.
+        let r = check_source_with_db("R(a, b) :- E(a, b), a < 2, a > 5.\n", &db);
+        assert!(codes(&r).contains(&"F0008"), "{:?}", codes(&r));
+        assert!(!codes(&r).contains(&"F0011"), "{:?}", codes(&r));
+    }
+
+    #[test]
+    fn f0012_recursion_cannot_grow() {
+        let src = "P(a) :- E(a, a).\nP(a) :- P(a), E(a, a).\n";
+        let report = check_source(src);
+        assert_eq!(codes(&report), vec!["F0012"]);
+        assert!(
+            report.diagnostics[0].message.contains("never derives"),
+            "{}",
+            report.diagnostics[0].message
+        );
+        // Real recursion (argument changes) stays silent.
+        assert!(check_source("P(a) :- E(a, a).\nP(b) :- P(a), E(a, b).\n").is_empty());
+    }
+
+    #[test]
+    fn f0013_unrestricted_head_column_with_db() {
+        use faure_ctable::{CTuple, Domain, Schema, Term};
+        let mut db = Database::new();
+        let open = db.fresh_cvar("port", Domain::Open);
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        db.insert("E", CTuple::new([Term::int(0), Term::Var(open)]))
+            .unwrap();
+        let src = "R(a, b) :- E(a, b).\n";
+        let report = check_source_with_db(src, &db);
+        assert_eq!(codes(&report), vec!["F0013"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(span_text(src, d), "b");
+        assert!(d.message.contains("never restricted"), "{}", d.message);
+        // A filter on the open column silences it.
+        assert!(check_source_with_db("R(a, b) :- E(a, b), b < 100.\n", &db).is_empty());
+        // Without a database F0013 never fires (everything would be ⊤).
+        assert!(check_source(src).is_empty());
+    }
+
+    #[test]
+    fn f0014_constant_incompatible_with_input() {
+        let db = db_small();
+        let src = "R(b) :- E(9, b).\n";
+        let report = check_source_with_db(src, &db);
+        assert_eq!(codes(&report), vec!["F0014"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(span_text(src, d), "9");
+        assert!(d.message.contains("input relation"), "{}", d.message);
+        // A constant the input actually holds stays silent.
+        assert!(check_source_with_db("R(b) :- E(1, b).\n", &db).is_empty());
+    }
+
+    #[test]
+    fn duplicate_diagnostics_are_deduped_and_ordered() {
+        // One atom triggering two different codes keeps both, ordered by
+        // (span, code); exact duplicates collapse.
+        let report = check_source("P(a) :- P(a).\n");
+        let mut seen = report.diagnostics.clone();
+        seen.dedup();
+        assert_eq!(seen.len(), report.diagnostics.len());
+        let keys: Vec<(usize, usize, &str)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.span.start, d.span.end, d.code))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn explain_code_covers_all_codes() {
+        for n in 0..=14 {
+            let code = format!("F{n:04}");
+            let text = explain_code(&code).expect("explanation");
+            assert!(text.starts_with(&code), "{code}: {text}");
+        }
+        assert!(explain_code("F9999").is_none());
+        assert!(explain_code("nonsense").is_none());
     }
 
     // --- F0000: syntax errors -------------------------------------------

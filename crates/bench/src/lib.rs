@@ -87,7 +87,7 @@ impl QueryStats {
         format!(
             "{{\"sql\":{},\"solver\":{},\"prune_wall\":{},\"tuples\":{},\"memo_hit_rate\":{:.4},\"memo_cross_run_hit_rate\":{:.4},\"delta_sizes\":[{}],\
              \"metrics\":{{\
-             \"ops\":{{\"probes\":{},\"rows_matched\":{},\"conds_conjoined\":{},\"cmp_pruned\":{},\"neg_checks\":{}}},\
+             \"ops\":{{\"probes\":{},\"rows_matched\":{},\"conds_conjoined\":{},\"cmp_pruned\":{},\"neg_checks\":{},\"static_cut\":{}}},\
              \"solver\":{{\"sat_calls\":{},\"sat_true\":{},\"simplify_calls\":{},\"memo_hits\":{},\"cross_run_hits\":{},\"memo_misses\":{},\"memo_cross_run_hit_rate\":{:.4},\"time_ns\":{},\"latency_ns\":{}}},\
              \"plan_cache\":{{\"hits\":{},\"misses\":{}}}}}}}",
             self.sql,
@@ -102,6 +102,7 @@ impl QueryStats {
             ops.conds_conjoined,
             ops.cmp_pruned,
             ops.neg_checks,
+            ops.static_cut,
             sv.sat_calls,
             sv.sat_true,
             sv.simplify_calls,

@@ -326,10 +326,27 @@ pub fn cmd_lint_json(source: &str, filename: &str, db: Option<&Database>) -> Lin
 /// `faure explain <program.fl>` implementation: prints the compiled
 /// rule plans (join order by bound-column selectivity, semi-naive
 /// delta slots, pushed-down comparisons, trailing negations) for every
-/// stratum — the plans the evaluation engine caches and executes.
+/// stratum — the plans the evaluation engine caches and executes —
+/// followed by the per-predicate column domains the abstract
+/// interpreter infers from the program text alone.
 pub fn cmd_explain(program_text: &str) -> Result<String, CliError> {
+    use std::fmt::Write as _;
     let program = parse_program(program_text).map_err(|e| CliError(e.to_string()))?;
-    faure_core::explain_program(&program).map_err(|e| CliError(e.to_string()))
+    let mut out = faure_core::explain_program(&program).map_err(|e| CliError(e.to_string()))?;
+    // Program-only inference: input relations are ⊤ (unknown contents),
+    // so anything tighter below was proven from the rules themselves.
+    let inference = faure_analyze::infer(&program, None);
+    let _ = writeln!(out, "\ninferred domains (program-only):");
+    for (pred, cols) in &inference.columns {
+        let rendered: Vec<String> = cols.iter().map(|d| d.to_string()).collect();
+        let empty = if inference.nonempty.contains(pred) {
+            ""
+        } else {
+            "   [provably empty]"
+        };
+        let _ = writeln!(out, "  {pred}({}){empty}", rendered.join(", "));
+    }
+    Ok(out)
 }
 
 /// `faure explain <program.fl> --format json` implementation: the same

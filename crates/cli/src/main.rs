@@ -14,7 +14,8 @@ USAGE:
             [--threads N] [--trace out.trace.json] [--metrics out.json]
   faure profile <program.fl> <db.fdb> [--threads N]
   faure explain <program.fl> [--format text|json]
-  faure check <program.fl> [--domains db.fdb] [--format text|json]
+  faure check <program.fl> [--domains db.fdb] [--format text|json] [--deny warnings]
+  faure check --explain F00xx
   faure check <db.fdb> <constraint.fl>
   faure scenarios <db.fdb> <constraint.fl> [--limit N]
   faure subsume <target.fl> <known.fl>... [--domains db.fdb]
@@ -49,9 +50,13 @@ the evaluator caches and executes. `--format json` emits the plans as
 a JSON array instead.
 
 The one-argument `check` form is the static analyzer: it reports every
-diagnostic (stable codes F0001…) with source snippets, and exits 1
-only when an error-severity diagnostic is present. `--format json`
-emits the diagnostics as a JSON array instead.
+diagnostic (stable codes F0000–F0014) with source snippets, and exits
+1 only when an error-severity diagnostic is present — or, with
+`--deny warnings`, when any diagnostic is present at all (for CI).
+`--format json` emits the diagnostics as a JSON array instead. With
+`--domains db.fdb` the semantic passes also check the program against
+the database's actual contents and c-variable domains. `faure check
+--explain F0010` prints the long-form explanation of a code.
 ";
 
 fn read(path: &str) -> Result<String, CliError> {
@@ -75,9 +80,28 @@ fn run() -> Result<String, CliError> {
     let mut threads: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut deny_warnings = false;
+    let mut explain_code: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--deny" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("warnings") => deny_warnings = true,
+                    other => {
+                        return Err(CliError(format!("--deny takes `warnings`, got {other:?}")))
+                    }
+                }
+            }
+            "--explain" => {
+                i += 1;
+                explain_code = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| CliError("--explain takes a code like F0010".into()))?,
+                );
+            }
             "--threads" => {
                 i += 1;
                 threads = Some(
@@ -173,6 +197,15 @@ fn run() -> Result<String, CliError> {
             LintFormat::Text => cmd_explain(&read(program)?),
             LintFormat::Json => cmd_explain_json(&read(program)?),
         },
+        ["check"] if explain_code.is_some() => {
+            let code = explain_code.as_deref().expect("guarded");
+            match faure_analyze::explain_code(code) {
+                Some(text) => Ok(format!("{text}\n")),
+                None => Err(CliError(format!(
+                    "unknown diagnostic code `{code}` (valid codes: F0000–F0014)"
+                ))),
+            }
+        }
         ["check", program] => {
             let db = match &domains {
                 Some(path) => Some(load_database(&read(path)?)?),
@@ -183,7 +216,7 @@ fn run() -> Result<String, CliError> {
                 LintFormat::Text => cmd_lint(&source, program, db.as_ref()),
                 LintFormat::Json => cmd_lint_json(&source, program, db.as_ref()),
             };
-            if outcome.errors > 0 {
+            if outcome.errors > 0 || (deny_warnings && outcome.warnings > 0) {
                 eprint!("{}", outcome.rendered);
                 std::process::exit(1);
             }

@@ -14,10 +14,17 @@
 //! Batch `eval` prepares the program **once** (`Engine::prepare`) and
 //! runs it against every database — the cross-query plan-reuse path the
 //! engine refactor introduced — with per-database spans grouped in one
-//! trace.
+//! trace. Preparation is *hinted*: the databases are loaded first, the
+//! semantic analyzer infers per-column domains against each, and the
+//! intersection of their facts (a hint must hold for every database in
+//! the batch) drives plan compilation — provably-infeasible rules
+//! become statically-pruned empty plans, counted in the metrics
+//! document's `ops.static_cut`.
 
 use crate::{err, load_database, render_relation, CliError};
+use faure_core::plan::Hints;
 use faure_core::{parse_program, Engine, EvalOptions, PrunePolicy};
+use faure_ctable::Database;
 use faure_storage::PhaseStats;
 use faure_trace::metrics::{rollup_by_arg, rollup_spans, Rollup};
 use faure_trace::{chrome, json_escape, Event, Recorder, Tracer};
@@ -79,8 +86,20 @@ pub fn cmd_eval_batch(
         Tracer::disabled()
     };
 
+    // Load every database up front: planner hints must hold for each
+    // database they will run against.
+    let loaded: Vec<(&String, Database)> = dbs
+        .iter()
+        .map(|(label, text)| {
+            load_database(text)
+                .map(|db| (label, db))
+                .map_err(|e| err(format!("{label}: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let hints = batch_hints(&program, loaded.iter().map(|(_, db)| db));
+
     let prepared = Engine::with_options(opts)
-        .prepare_traced(&program, &tracer)
+        .prepare_traced_with_hints(&program, hints, &tracer)
         .map_err(|e| err(e.to_string()))?;
     let prepare_events = recorder.take();
 
@@ -88,10 +107,9 @@ pub fn cmd_eval_batch(
     let mut all_events = prepare_events.clone();
     let mut runs: Vec<DbRun> = Vec::new();
 
-    for (label, text) in dbs {
-        let db = load_database(text).map_err(|e| err(format!("{label}: {e}")))?;
+    for (label, db) in &loaded {
         let out = prepared
-            .run_with_traced(&db, &opts, &tracer)
+            .run_with_traced(db, &opts, &tracer)
             .map_err(|e| err(format!("{label}: {e}")))?;
         let events = recorder.take();
 
@@ -115,7 +133,7 @@ pub fn cmd_eval_batch(
 
         all_events.extend(events.iter().cloned());
         runs.push(DbRun {
-            label: label.clone(),
+            label: (*label).clone(),
             stats: out.stats,
             events,
         });
@@ -129,6 +147,45 @@ pub fn cmd_eval_batch(
         trace_json,
         metrics_json,
     })
+}
+
+/// Planner hints that are sound for **every** database in the batch:
+/// per-database inference results are intersected (a predicate is only
+/// hinted empty, and a rule only hinted infeasible, if that holds under
+/// each database), and column cardinalities take the per-column
+/// maximum. One database ⇒ its hints verbatim; zero ⇒ unreachable
+/// (`cmd_eval_batch` rejects empty batches).
+fn batch_hints<'a>(
+    program: &faure_core::Program,
+    dbs: impl Iterator<Item = &'a Database>,
+) -> Hints {
+    let mut merged: Option<Hints> = None;
+    for db in dbs {
+        let h = faure_analyze::plan_hints(program, Some(db));
+        merged = Some(match merged {
+            None => h,
+            Some(m) => Hints {
+                col_cards: h
+                    .col_cards
+                    .iter()
+                    .filter_map(|(k, &card)| {
+                        m.col_cards.get(k).map(|&mc| (k.clone(), mc.max(card)))
+                    })
+                    .collect(),
+                empty_preds: m
+                    .empty_preds
+                    .intersection(&h.empty_preds)
+                    .cloned()
+                    .collect(),
+                infeasible_rules: m
+                    .infeasible_rules
+                    .intersection(&h.infeasible_rules)
+                    .copied()
+                    .collect(),
+            },
+        });
+    }
+    merged.unwrap_or_default()
 }
 
 /// Builds the `faure_metrics_version: 1` JSON document. The schema is
@@ -192,12 +249,13 @@ fn push_db_metrics(s: &mut String, program: &faure_core::Program, run: &DbRun) {
     let _ = write!(
         s,
         "\"ops\":{{\"probes\":{},\"rows_matched\":{},\"conds_conjoined\":{},\
-         \"cmp_pruned\":{},\"neg_checks\":{}}},",
+         \"cmp_pruned\":{},\"neg_checks\":{},\"static_cut\":{}}},",
         st.ops.probes,
         st.ops.rows_matched,
         st.ops.conds_conjoined,
         st.ops.cmp_pruned,
-        st.ops.neg_checks
+        st.ops.neg_checks,
+        st.ops.static_cut
     );
     let _ = write!(
         s,

@@ -1,0 +1,151 @@
+//! Golden-file UI tests for `faure check`.
+//!
+//! Each diagnostic code F0000–F0014 has at least one fixture under
+//! `tests/golden/`: a program `f00NN.fl`, an optional database
+//! `f00NN.fdb` for the database-aware passes, and the exact rendered
+//! analyzer output in `f00NN.expected`. Codes F0009–F0014 (the
+//! abstract-interpretation diagnostics) additionally have a
+//! `f00NN_neg.*` fixture — a near-miss program that must *not*
+//! trigger the code.
+//!
+//! The comparison is an exact string diff of the rustc-style
+//! rendering, so any change to spans, carets, severities, messages,
+//! or the summary line shows up here. To regenerate after an
+//! intentional rendering change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test -p faure-cli --test golden
+//! ```
+
+use faure_cli::{cmd_lint, cmd_lint_json, load_database};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Every fixture stem (file name without extension), sorted.
+fn fixture_stems() -> Vec<String> {
+    let mut stems: Vec<String> = fs::read_dir(golden_dir())
+        .expect("tests/golden exists")
+        .filter_map(|e| {
+            let path = e.expect("readable dir entry").path();
+            (path.extension()? == "fl")
+                .then(|| path.file_stem().unwrap().to_str().unwrap().to_owned())
+        })
+        .collect();
+    stems.sort();
+    stems
+}
+
+/// Runs the analyzer on one fixture exactly as `faure check` would,
+/// with the file name the renderer embeds pinned to the fixture name
+/// (so expected files are stable across checkouts).
+fn lint_fixture(stem: &str) -> faure_cli::LintOutcome {
+    let dir = golden_dir();
+    let source = fs::read_to_string(dir.join(format!("{stem}.fl"))).expect("fixture program");
+    let db = match fs::read_to_string(dir.join(format!("{stem}.fdb"))) {
+        Ok(text) => Some(load_database(&text).expect("fixture database parses")),
+        Err(_) => None,
+    };
+    cmd_lint(&source, &format!("{stem}.fl"), db.as_ref())
+}
+
+#[test]
+fn rendered_output_matches_golden_files() {
+    let dir = golden_dir();
+    let update = std::env::var_os("GOLDEN_UPDATE").is_some();
+    let mut failures = Vec::new();
+    for stem in fixture_stems() {
+        let got = lint_fixture(&stem).rendered;
+        let expected_path = dir.join(format!("{stem}.expected"));
+        if update {
+            fs::write(&expected_path, &got).expect("write expected file");
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("{stem}.expected missing — run with GOLDEN_UPDATE=1"));
+        if got != expected {
+            failures.push(format!(
+                "── {stem} ──\n--- expected ---\n{expected}\n--- got ---\n{got}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches (GOLDEN_UPDATE=1 regenerates):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_code_has_a_positive_fixture_that_fires() {
+    let stems = fixture_stems();
+    for n in 0..=14 {
+        let stem = format!("f{n:04}");
+        assert!(
+            stems.contains(&stem),
+            "missing positive fixture {stem}.fl for F{n:04}"
+        );
+        let rendered = lint_fixture(&stem).rendered;
+        let tag = format!("[F{n:04}]");
+        assert!(
+            rendered.contains(&tag),
+            "{stem}.fl does not trigger {tag}:\n{rendered}"
+        );
+    }
+}
+
+#[test]
+fn semantic_codes_have_negative_fixtures_that_stay_silent() {
+    let stems = fixture_stems();
+    for n in 9..=14 {
+        let stem = format!("f{n:04}_neg");
+        assert!(
+            stems.contains(&stem),
+            "missing negative fixture {stem}.fl for F{n:04}"
+        );
+        let outcome = lint_fixture(&stem);
+        let tag = format!("[F{n:04}]");
+        assert!(
+            !outcome.rendered.contains(&tag),
+            "{stem}.fl must not trigger {tag}:\n{}",
+            outcome.rendered
+        );
+        assert_eq!(
+            (outcome.errors, outcome.warnings),
+            (0, 0),
+            "{stem}.fl should be completely clean:\n{}",
+            outcome.rendered
+        );
+    }
+}
+
+/// `--format json` must carry a byte `span` for every diagnostic —
+/// including F0000 syntax errors, whose span comes from the parser
+/// rather than the resolved AST (editor integrations rely on it).
+#[test]
+fn json_output_has_span_for_every_diagnostic() {
+    let dir = golden_dir();
+    for stem in fixture_stems() {
+        let source = fs::read_to_string(dir.join(format!("{stem}.fl"))).expect("fixture program");
+        let db = match fs::read_to_string(dir.join(format!("{stem}.fdb"))) {
+            Ok(text) => Some(load_database(&text).expect("fixture database parses")),
+            Err(_) => None,
+        };
+        let json = cmd_lint_json(&source, &format!("{stem}.fl"), db.as_ref()).rendered;
+        let codes = json.matches("\"code\"").count();
+        let spans = json.matches("\"span\"").count();
+        assert_eq!(
+            codes, spans,
+            "{stem}: {codes} diagnostics but {spans} spans in JSON:\n{json}"
+        );
+        if stem == "f0000" {
+            assert!(
+                json.contains("\"code\":\"F0000\"") && json.contains("\"span\""),
+                "f0000 JSON must carry a span:\n{json}"
+            );
+        }
+    }
+}

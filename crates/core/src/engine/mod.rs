@@ -261,11 +261,34 @@ impl Engine {
         self.prepare_traced(program, &Tracer::disabled())
     }
 
+    /// [`prepare`](Engine::prepare) with semantic-analysis planner
+    /// hints: plans compile under `hints` (see [`crate::plan::Hints`]),
+    /// so provably-infeasible rules become statically-pruned empty
+    /// plans and inferred column cardinalities refine join order.
+    /// Sound hints never change results — only the work done.
+    pub fn prepare_with_hints(
+        &self,
+        program: &Program,
+        hints: crate::plan::Hints,
+    ) -> Result<PreparedProgram, EvalError> {
+        self.prepare_traced_with_hints(program, hints, &Tracer::disabled())
+    }
+
     /// [`prepare`](Engine::prepare) with the analysis and planning
     /// phases recorded as `prepare` spans on `tracer`.
     pub fn prepare_traced(
         &self,
         program: &Program,
+        tracer: &Tracer,
+    ) -> Result<PreparedProgram, EvalError> {
+        self.prepare_traced_with_hints(program, crate::plan::Hints::default(), tracer)
+    }
+
+    /// [`prepare_with_hints`](Engine::prepare_with_hints) with tracing.
+    pub fn prepare_traced_with_hints(
+        &self,
+        program: &Program,
+        hints: crate::plan::Hints,
         tracer: &Tracer,
     ) -> Result<PreparedProgram, EvalError> {
         let t_safety = tracer.now_ns();
@@ -279,7 +302,7 @@ impl Engine {
             vec![("strata", strat.strata.len().into())]
         });
         let t_plan = tracer.now_ns();
-        let mut plans = PlanCache::new();
+        let mut plans = PlanCache::with_hints(hints);
         for stratum_rules in &strat.strata {
             let stratum_preds: BTreeSet<&str> = stratum_rules
                 .iter()

@@ -88,6 +88,12 @@ pub(super) fn eval_rule(
     opts: &EvalOptions,
     ops: &mut OpStats,
 ) -> Result<Vec<Vec<PreparedRow>>, EvalError> {
+    if plan.static_empty {
+        // Semantic analysis proved the body can never produce a row:
+        // cut the branch before probing anything.
+        ops.static_cut += 1;
+        return Ok(Vec::new());
+    }
     let t_pass = ctx.tracer.now_ns();
     let mut matches_in = 0usize;
     let partitions = eval_rule_inner(

@@ -69,7 +69,8 @@ pub use parser::{
     SpannedProgram,
 };
 pub use plan::{
-    compile_rule, explain_program, explain_program_json, JoinStep, PlanCache, RulePlan,
+    compile_rule, compile_rule_hinted, explain_program, explain_program_json, Hints, JoinStep,
+    PlanCache, RulePlan,
 };
 pub use update::{
     apply_to_database, expand_constraint, rewrite_constraint, DeletePattern, Update, UpdateError,

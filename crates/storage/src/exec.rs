@@ -34,6 +34,10 @@ pub struct OpStats {
     pub cmp_pruned: u64,
     /// Negation checks performed (one per negated literal per binding).
     pub neg_checks: u64,
+    /// Rule passes skipped entirely because semantic analysis compiled
+    /// the plan to a statically-pruned empty body (branch cut before a
+    /// single probe ran).
+    pub static_cut: u64,
 }
 
 impl OpStats {
@@ -48,6 +52,7 @@ impl OpStats {
         self.conds_conjoined = self.conds_conjoined.saturating_add(other.conds_conjoined);
         self.cmp_pruned = self.cmp_pruned.saturating_add(other.cmp_pruned);
         self.neg_checks = self.neg_checks.saturating_add(other.neg_checks);
+        self.static_cut = self.static_cut.saturating_add(other.static_cut);
     }
 }
 
@@ -173,6 +178,7 @@ mod tests {
             conds_conjoined: 1,
             cmp_pruned: 0,
             neg_checks: u64::MAX,
+            static_cut: u64::MAX,
         };
         let b = OpStats {
             probes: 5,
@@ -180,6 +186,7 @@ mod tests {
             conds_conjoined: 2,
             cmp_pruned: 3,
             neg_checks: 1,
+            static_cut: 1,
         };
         a.absorb(&b);
         assert_eq!(a.probes, u64::MAX);
@@ -187,5 +194,6 @@ mod tests {
         assert_eq!(a.conds_conjoined, 3);
         assert_eq!(a.cmp_pruned, 3);
         assert_eq!(a.neg_checks, u64::MAX);
+        assert_eq!(a.static_cut, u64::MAX);
     }
 }

@@ -1,7 +1,9 @@
 //! `faure check` over every shipped example program: the examples must
-//! stay diagnostic-clean (no errors, no warnings), and the analyzer
-//! must exercise at least five distinct diagnostic classes on a
-//! deliberately broken program.
+//! stay diagnostic-clean (no errors, no warnings) — except the
+//! `bad_*` fixtures, which exist to trip specific diagnostics and
+//! must keep tripping exactly those — and the analyzer must exercise
+//! at least five distinct diagnostic classes on a deliberately broken
+//! program.
 
 use faure_analyze::{check_source, Severity};
 use std::path::PathBuf;
@@ -10,13 +12,23 @@ fn programs_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../examples/programs")
 }
 
+fn is_fl(path: &std::path::Path) -> bool {
+    path.extension().and_then(|e| e.to_str()) == Some("fl")
+}
+
+fn is_bad_fixture(path: &std::path::Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("bad_"))
+}
+
 #[test]
 fn every_example_program_checks_clean() {
     let dir = programs_dir();
     let mut checked = 0;
     for entry in std::fs::read_dir(&dir).expect("examples/programs exists") {
         let path = entry.unwrap().path();
-        if path.extension().and_then(|e| e.to_str()) != Some("fl") {
+        if !is_fl(&path) || is_bad_fixture(&path) {
             continue;
         }
         let src = std::fs::read_to_string(&path).unwrap();
@@ -30,6 +42,44 @@ fn every_example_program_checks_clean() {
         checked += 1;
     }
     assert!(checked >= 5, "expected at least 5 example programs");
+}
+
+/// Every `bad_*` fixture trips exactly the diagnostic its name
+/// advertises (these are the programs the CI `check-examples` job
+/// runs `faure check --deny warnings` against, expecting exit 1).
+#[test]
+fn bad_example_fixtures_trip_their_advertised_codes() {
+    let expected = [
+        ("bad_unsafe_head.fl", "F0001"),
+        ("bad_empty_join.fl", "F0010"),
+        ("bad_no_growth.fl", "F0012"),
+        ("bad_kind_mismatch.fl", "F0009"),
+    ];
+    for (file, code) in expected {
+        let path = programs_dir().join(file);
+        let src =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let report = check_source(&src);
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == code),
+            "{file} must trigger {code}, got:\n{}",
+            report.render(&src, file)
+        );
+    }
+    // And the clean sweep above really skips them all.
+    let bad_on_disk: Vec<_> = std::fs::read_dir(programs_dir())
+        .unwrap()
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            (is_fl(&path) && is_bad_fixture(&path))
+                .then(|| path.file_name().unwrap().to_str().unwrap().to_owned())
+        })
+        .collect();
+    assert_eq!(
+        bad_on_disk.len(),
+        expected.len(),
+        "bad_* fixture on disk without a code expectation: {bad_on_disk:?}"
+    );
 }
 
 #[test]
