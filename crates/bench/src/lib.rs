@@ -57,6 +57,11 @@ pub struct QueryStats {
     pub plan_cache_hits: u64,
     /// Rule plans compiled because no cached plan existed.
     pub plan_cache_misses: u64,
+    /// Condition-pool counters snapshotted when the query finished
+    /// (the pool is process-global, so these are cumulative: `size`
+    /// is the number of distinct condition nodes ever interned and
+    /// `hits` the dedup lookups answered by an existing node).
+    pub pool: faure_ctable::PoolStats,
 }
 
 impl QueryStats {
@@ -73,6 +78,7 @@ impl QueryStats {
             solver_stats: stats.solver_stats,
             plan_cache_hits: stats.plan_cache_hits,
             plan_cache_misses: stats.plan_cache_misses,
+            pool: faure_ctable::pool::pool_stats(),
         }
     }
 
@@ -89,7 +95,8 @@ impl QueryStats {
              \"metrics\":{{\
              \"ops\":{{\"probes\":{},\"rows_matched\":{},\"conds_conjoined\":{},\"cmp_pruned\":{},\"neg_checks\":{},\"static_cut\":{}}},\
              \"solver\":{{\"sat_calls\":{},\"sat_true\":{},\"simplify_calls\":{},\"memo_hits\":{},\"cross_run_hits\":{},\"memo_misses\":{},\"memo_cross_run_hit_rate\":{:.4},\"time_ns\":{},\"latency_ns\":{}}},\
-             \"plan_cache\":{{\"hits\":{},\"misses\":{}}}}}}}",
+             \"plan_cache\":{{\"hits\":{},\"misses\":{}}},\
+             \"pool\":{{\"pool_hits\":{},\"pool_misses\":{},\"pool_size\":{},\"hit_rate\":{:.4}}}}}}}",
             self.sql,
             self.solver,
             self.prune_wall,
@@ -114,6 +121,10 @@ impl QueryStats {
             sv.latency.to_json(),
             self.plan_cache_hits,
             self.plan_cache_misses,
+            self.pool.hits,
+            self.pool.misses,
+            self.pool.size,
+            self.pool.hit_rate(),
         )
     }
 }
@@ -153,6 +164,12 @@ pub struct Table4Row {
     pub q8: QueryStats,
     /// Total wall-clock for the row, seconds.
     pub total: f64,
+    /// Peak resident set size (`VmHWM` from `/proc/self/status`) in
+    /// kB, sampled when the row finished. Process-wide high-water
+    /// mark, so within one `table4` run it is monotone across rows;
+    /// the first (largest-impact) row per size is the comparable
+    /// number. `0` when the kernel interface is unavailable.
+    pub peak_rss_kb: u64,
 }
 
 impl Table4Row {
@@ -163,7 +180,7 @@ impl Table4Row {
             None => "null".to_owned(),
         };
         format!(
-            "{{\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"speedup_valid\":{},\"prune_wall\":{},\"prune_speedup\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{}}}",
+            "{{\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"speedup_valid\":{},\"prune_wall\":{},\"prune_speedup\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{},\"peak_rss_kb\":{}}}",
             self.prefixes,
             self.seed,
             self.threads,
@@ -176,7 +193,8 @@ impl Table4Row {
             self.q6.to_json(),
             self.q7.to_json(),
             self.q8.to_json(),
-            self.total
+            self.total,
+            self.peak_rss_kb
         )
     }
 
@@ -294,6 +312,7 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
         q7,
         q8,
         total: started.elapsed().as_secs_f64(),
+        peak_rss_kb: peak_rss_kb(),
     })
 }
 
@@ -350,6 +369,22 @@ pub fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), or 0 when the interface is unavailable
+/// (non-Linux hosts, restricted /proc).
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix("VmHWM:")?;
+            rest.trim().strip_suffix("kB")?.trim().parse().ok()
+        })
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +433,15 @@ mod tests {
         assert!(json.contains("\"cross_run_hits\":"));
         assert!(json.contains("\"latency_ns\":["));
         assert!(json.contains("\"plan_cache\":{\"hits\":"));
+        // The condition-pool block: q4-q5 interned at least the
+        // pinned True/False nodes, so size is non-zero.
+        assert!(json.contains("\"pool\":{\"pool_hits\":"));
+        assert!(json.contains("\"pool_size\":"));
+        assert!(row.q45.pool.size >= 2);
+        // Peak RSS comes from /proc (always present on the Linux CI
+        // hosts this suite runs on).
+        assert!(json.contains("\"peak_rss_kb\":"));
+        assert!(row.peak_rss_kb > 0);
         assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
         row.speedup_q45 = Some(1.5);
         row.speedup_valid = true;

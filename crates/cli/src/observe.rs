@@ -278,6 +278,15 @@ fn push_db_metrics(s: &mut String, program: &faure_core::Program, run: &DbRun) {
         "\"plan_cache\":{{\"hits\":{},\"misses\":{}}},",
         st.plan_cache_hits, st.plan_cache_misses
     );
+    let pool = faure_ctable::pool::pool_stats();
+    let _ = write!(
+        s,
+        "\"pool\":{{\"pool_hits\":{},\"pool_misses\":{},\"pool_size\":{},\"hit_rate\":{:.4}}},",
+        pool.hits,
+        pool.misses,
+        pool.size,
+        pool.hit_rate()
+    );
     let sizes: Vec<String> = st.delta_sizes.iter().map(usize::to_string).collect();
     let _ = write!(s, "\"delta_sizes\":[{}],", sizes.join(","));
 
@@ -674,6 +683,8 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             "\"memo_cross_run_hit_rate\":",
             "\"latency_ns\":[",
             "\"plan_cache\":{\"hits\":",
+            "\"pool\":{\"pool_hits\":",
+            "\"pool_size\":",
             "\"delta_sizes\":[",
             "\"phases\":[",
             "\"rules\":[",

@@ -575,7 +575,7 @@ impl PreparedProgram {
         for p in &idb_names {
             let t = tables.remove(p).expect("table created in setup");
             derived_tuples += t.len();
-            database.set_relation(t.to_relation());
+            database.set_relation(t.into_relation());
         }
 
         let total = started.elapsed();

@@ -238,13 +238,12 @@ pub(super) fn eval_match<'r>(
     } else {
         tables.get(&atom.pred).expect("table created in setup")
     };
-    let row = table.row(row_idx);
     let mark = acc.mark();
-    let mut ok = acc.push(row.cond.clone(), ops) && acc.push(mu.clone(), ops);
+    let mut ok = acc.push(table.cond(row_idx), ops) && acc.push(mu.clone(), ops);
     // Bind variables (handling repeated variables within the atom).
     let mut bound_here: Vec<&'r str> = Vec::new();
     if ok {
-        ok = bind_row(atom, row, theta, acc, ops, &mut bound_here);
+        ok = bind_row(atom, table, row_idx, theta, acc, ops, &mut bound_here);
     }
     // Pushed-down comparisons: every variable they mention is bound
     // by now, so ground-false ones cut the branch here instead of
@@ -280,25 +279,29 @@ pub(super) fn eval_match<'r>(
     Ok(())
 }
 
-/// Binds `atom`'s variables against `row`, pushing explicit equalities
-/// for variables repeated *within* the atom (pre-bound variables were
-/// already covered by the probe pattern). Returns `false` when a
-/// binding is contradictory; `bound_here` records the fresh bindings
-/// for the caller to undo.
+/// Binds `atom`'s variables against row `row_idx` of `table`, pushing
+/// explicit equalities for variables repeated *within* the atom
+/// (pre-bound variables were already covered by the probe pattern).
+/// Only the cells under variable arguments are decoded out of the
+/// columnar store — constant arguments never touch the row. Returns
+/// `false` when a binding is contradictory; `bound_here` records the
+/// fresh bindings for the caller to undo.
 fn bind_row<'r>(
     atom: &'r RuleAtom,
-    row: &CTuple,
+    table: &Table,
+    row_idx: usize,
     theta: &mut HashMap<&'r str, Term>,
     acc: &mut CondAcc,
     ops: &mut OpStats,
     bound_here: &mut Vec<&'r str>,
 ) -> bool {
-    for (arg, cell) in atom.args.iter().zip(&row.terms) {
+    for (col, arg) in atom.args.iter().enumerate() {
         if let ArgTerm::Var(v) = arg {
+            let cell = table.term(row_idx, col);
             match theta.get(v.as_str()) {
                 Some(prev) => {
                     if bound_here.contains(&v.as_str()) {
-                        match (prev, cell) {
+                        match (prev, &cell) {
                             (Term::Const(a), Term::Const(b)) => {
                                 if a != b {
                                     return false;
@@ -316,7 +319,7 @@ fn bind_row<'r>(
                     }
                 }
                 None => {
-                    theta.insert(v.as_str(), cell.clone());
+                    theta.insert(v.as_str(), cell);
                     bound_here.push(v.as_str());
                 }
             }
@@ -353,12 +356,11 @@ fn exec_step<'r>(
 
     let patterns = build_patterns(ctx, atom, theta);
     for (row_idx, mu) in exec::probe(table, &ctx.reg_snapshot, &patterns, ops) {
-        let row = table.row(row_idx);
         let mark = acc.mark();
-        let mut ok = acc.push(row.cond.clone(), ops) && acc.push(mu, ops);
+        let mut ok = acc.push(table.cond(row_idx), ops) && acc.push(mu, ops);
         let mut bound_here: Vec<&'r str> = Vec::new();
         if ok {
-            ok = bind_row(atom, row, theta, acc, ops, &mut bound_here);
+            ok = bind_row(atom, table, row_idx, theta, acc, ops, &mut bound_here);
         }
         // Pushed-down comparisons: every variable they mention is bound
         // by now, so ground-false ones cut the branch here instead of

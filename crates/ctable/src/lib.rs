@@ -43,6 +43,7 @@ pub mod cvar;
 pub mod database;
 pub mod error;
 pub mod examples;
+pub mod pool;
 pub mod relation;
 pub mod symbol;
 pub mod term;
@@ -53,6 +54,7 @@ pub use condition::{Atom, CmpOp, Condition, Expr, LinExpr};
 pub use cvar::{CVarId, CVarRegistry, Domain};
 pub use database::Database;
 pub use error::CtableError;
+pub use pool::{CondId, ListId, PoolStats};
 pub use relation::{CTuple, Relation, Schema};
 pub use symbol::{intern, resolve, Symbol};
 pub use term::Term;
@@ -68,6 +70,9 @@ pub use worlds::{Assignment, GroundDatabase, GroundRelation, GroundTuple, WorldI
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Condition>();
+    assert_send_sync::<CondId>();
+    assert_send_sync::<ListId>();
+    assert_send_sync::<PoolStats>();
     assert_send_sync::<Atom>();
     assert_send_sync::<Term>();
     assert_send_sync::<Const>();

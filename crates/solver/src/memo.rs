@@ -1,7 +1,10 @@
 //! Shared, lock-sharded solver memo for parallel evaluation.
 //!
 //! A [`crate::Session`] memoises satisfiability and simplification
-//! results keyed by the (canonical) condition. Under parallel fixpoint
+//! results keyed by the pooled [`CondId`] of the (canonical) condition
+//! — interning is injective on structure, so an id key is exactly as
+//! precise as the old whole-tree key while hashing a single `u32`.
+//! Entries are `(CondId, generation)`-stamped. Under parallel fixpoint
 //! evaluation each worker thread runs its own session; without sharing,
 //! every worker would re-solve the conditions its siblings already
 //! decided and the ~87 % memo hit rate the fixpoint relies on would
@@ -10,7 +13,8 @@
 //! of the condition space selected by hash.
 //!
 //! Sharding keeps contention low (two workers only collide when their
-//! conditions hash to the same shard) while staying dependency-free —
+//! condition ids land in the same shard — the shard is just
+//! `id % SHARDS`, no hashing at all) while staying dependency-free —
 //! plain `std::sync::Mutex`, no lock-free machinery.
 //!
 //! ## Soundness under races
@@ -40,9 +44,9 @@
 //! as [`SolverStats::cross_run_hits`](crate::SolverStats::cross_run_hits)
 //! so batch-mode reuse is observable in metrics.
 
+use faure_ctable::pool::{self, CondId};
 use faure_ctable::{CVarRegistry, Condition};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
@@ -65,8 +69,8 @@ const SHARD_CAP: usize = super::session::MEMO_CAP / SHARDS;
 /// boundary.
 #[derive(Debug, Default)]
 pub struct SharedMemo {
-    sat: Vec<Mutex<HashMap<Condition, (bool, u32)>>>,
-    simplify: Vec<Mutex<HashMap<Condition, (Condition, u32)>>>,
+    sat: Vec<Mutex<HashMap<CondId, (bool, u32)>>>,
+    simplify: Vec<Mutex<HashMap<CondId, (CondId, u32)>>>,
     /// Current run generation; entries written during run `g` are
     /// cross-run hits for every run `> g`.
     generation: AtomicU32,
@@ -117,57 +121,56 @@ impl SharedMemo {
         self.generation.load(Ordering::Relaxed)
     }
 
-    fn shard(cond: &Condition) -> usize {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        cond.hash(&mut h);
-        (h.finish() as usize) % SHARDS
+    fn shard(cond: CondId) -> usize {
+        cond.index() as usize % SHARDS
     }
 
     /// Cached satisfiability verdict for `cond`, if any, paired with
     /// whether the entry predates the current run generation
     /// (`(verdict, cross_run)`).
-    pub fn sat_get(&self, cond: &Condition) -> Option<(bool, bool)> {
+    pub fn sat_get(&self, cond: CondId) -> Option<(bool, bool)> {
         let gen = self.current_generation();
         self.sat[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned")
-            .get(cond)
+            .get(&cond)
             .map(|&(sat, entry_gen)| (sat, entry_gen < gen))
     }
 
     /// Caches a satisfiability verdict stamped with the current run
     /// generation (dropped once the shard is at capacity, bounding
     /// memory on adversarial workloads).
-    pub fn sat_put(&self, cond: &Condition, sat: bool) {
+    pub fn sat_put(&self, cond: CondId, sat: bool) {
         let gen = self.current_generation();
         let mut shard = self.sat[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned");
-        if shard.len() < SHARD_CAP || shard.contains_key(cond) {
-            shard.insert(cond.clone(), (sat, gen));
+        if shard.len() < SHARD_CAP || shard.contains_key(&cond) {
+            shard.insert(cond, (sat, gen));
         }
     }
 
     /// Cached simplification of `cond`, if any, paired with whether the
     /// entry predates the current run generation.
-    pub fn simplify_get(&self, cond: &Condition) -> Option<(Condition, bool)> {
+    pub fn simplify_get(&self, cond: CondId) -> Option<(Condition, bool)> {
         let gen = self.current_generation();
         self.simplify[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned")
-            .get(cond)
-            .map(|(simplified, entry_gen)| (simplified.clone(), *entry_gen < gen))
+            .get(&cond)
+            .map(|&(simplified, entry_gen)| (pool::resolve(simplified), entry_gen < gen))
     }
 
     /// Caches a simplification result (capacity-bounded like
     /// [`sat_put`](SharedMemo::sat_put)).
-    pub fn simplify_put(&self, cond: &Condition, simplified: &Condition) {
+    pub fn simplify_put(&self, cond: CondId, simplified: &Condition) {
         let gen = self.current_generation();
+        let simplified = pool::intern(simplified);
         let mut shard = self.simplify[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned");
-        if shard.len() < SHARD_CAP || shard.contains_key(cond) {
-            shard.insert(cond.clone(), (simplified.clone(), gen));
+        if shard.len() < SHARD_CAP || shard.contains_key(&cond) {
+            shard.insert(cond, (simplified, gen));
         }
     }
 
@@ -199,28 +202,28 @@ mod tests {
     #[test]
     fn put_get_round_trip() {
         let memo = SharedMemo::new();
-        let c = Condition::eq(Term::int(1), Term::int(1));
-        assert_eq!(memo.sat_get(&c), None);
-        memo.sat_put(&c, true);
-        assert_eq!(memo.sat_get(&c), Some((true, false)));
-        let s = Condition::eq(Term::int(1), Term::int(2));
-        memo.simplify_put(&s, &Condition::False);
-        assert_eq!(memo.simplify_get(&s), Some((Condition::False, false)));
+        let c = pool::intern(&Condition::eq(Term::int(1), Term::int(1)));
+        assert_eq!(memo.sat_get(c), None);
+        memo.sat_put(c, true);
+        assert_eq!(memo.sat_get(c), Some((true, false)));
+        let s = pool::intern(&Condition::eq(Term::int(1), Term::int(2)));
+        memo.simplify_put(s, &Condition::False);
+        assert_eq!(memo.simplify_get(s), Some((Condition::False, false)));
         assert_eq!(memo.len(), 2);
     }
 
     #[test]
     fn concurrent_access_is_consistent() {
         let memo = Arc::new(SharedMemo::new());
-        let conds: Vec<Condition> = (0..64)
-            .map(|i| Condition::eq(Term::int(i), Term::int(i % 3)))
+        let conds: Vec<CondId> = (0..64)
+            .map(|i| pool::intern(&Condition::eq(Term::int(i), Term::int(i % 3))))
             .collect();
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let memo = Arc::clone(&memo);
                 let conds = &conds;
                 s.spawn(move || {
-                    for c in conds {
+                    for &c in conds {
                         memo.sat_put(c, true);
                         assert_eq!(memo.sat_get(c), Some((true, false)));
                     }
@@ -234,20 +237,20 @@ mod tests {
     fn generations_mark_cross_run_hits() {
         let memo = SharedMemo::new();
         memo.begin_run();
-        let c = Condition::eq(Term::int(1), Term::int(1));
-        memo.sat_put(&c, true);
-        memo.simplify_put(&c, &Condition::True);
+        let c = pool::intern(&Condition::eq(Term::int(1), Term::int(1)));
+        memo.sat_put(c, true);
+        memo.simplify_put(c, &Condition::True);
         // Same run: not cross-run.
-        assert_eq!(memo.sat_get(&c), Some((true, false)));
-        assert_eq!(memo.simplify_get(&c), Some((Condition::True, false)));
+        assert_eq!(memo.sat_get(c), Some((true, false)));
+        assert_eq!(memo.simplify_get(c), Some((Condition::True, false)));
         // Next run: the entries now cross the boundary.
         memo.begin_run();
-        assert_eq!(memo.sat_get(&c), Some((true, true)));
-        assert_eq!(memo.simplify_get(&c), Some((Condition::True, true)));
+        assert_eq!(memo.sat_get(c), Some((true, true)));
+        assert_eq!(memo.simplify_get(c), Some((Condition::True, true)));
         // A fresh put in the new run is in-run again.
-        let d = Condition::eq(Term::int(2), Term::int(2));
-        memo.sat_put(&d, true);
-        assert_eq!(memo.sat_get(&d), Some((true, false)));
+        let d = pool::intern(&Condition::eq(Term::int(2), Term::int(2)));
+        memo.sat_put(d, true);
+        assert_eq!(memo.sat_get(d), Some((true, false)));
     }
 
     #[test]

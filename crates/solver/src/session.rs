@@ -5,8 +5,11 @@
 //! `sql` / `Z3` columns. [`Session`] wraps the solver entry points and
 //! accumulates call counts and wall-clock time.
 //!
-//! The session also memoises solver results keyed by the (canonical)
-//! condition. Fixpoint evaluation re-derives the same tuples — and
+//! The session also memoises solver results keyed by the pooled
+//! [`CondId`] of the (canonical) condition — interning is structural,
+//! so the id key is exactly as precise as the old whole-tree key while
+//! costing one `u32` hash per probe. Fixpoint evaluation re-derives the
+//! same tuples — and
 //! therefore the same conditions — across iterations; phase-3 pruning
 //! would otherwise re-solve each of them from scratch every round. The
 //! memo is sound because c-variable registries are append-only within a
@@ -26,6 +29,7 @@ use crate::error::SolverError;
 use crate::memo::SharedMemo;
 use crate::search;
 use crate::simplify;
+use faure_ctable::pool::{self, CondId};
 use faure_ctable::{Assignment, CVarRegistry, Condition};
 use faure_trace::Histogram;
 use std::collections::HashMap;
@@ -112,8 +116,8 @@ impl SolverStats {
 enum MemoBackend {
     /// Private maps — the default, no synchronisation.
     Local {
-        sat: HashMap<Condition, bool>,
-        simplify: HashMap<Condition, Condition>,
+        sat: HashMap<CondId, bool>,
+        simplify: HashMap<CondId, CondId>,
     },
     /// A lock-sharded memo shared with sibling sessions (parallel
     /// evaluation workers).
@@ -187,9 +191,10 @@ impl Session {
         cond: &Condition,
     ) -> Result<bool, SolverError> {
         self.stats.sat_calls += 1;
+        let key = pool::intern(cond);
         let hit = match &self.memo {
-            MemoBackend::Local { sat, .. } => sat.get(cond).map(|&v| (v, false)),
-            MemoBackend::Shared(memo) => memo.sat_get(cond),
+            MemoBackend::Local { sat, .. } => sat.get(&key).map(|&v| (v, false)),
+            MemoBackend::Shared(memo) => memo.sat_get(key),
         };
         if let Some((hit, cross_run)) = hit {
             self.stats.memo_hits += 1;
@@ -212,10 +217,10 @@ impl Session {
             match &mut self.memo {
                 MemoBackend::Local { sat: map, .. } => {
                     if map.len() < MEMO_CAP {
-                        map.insert(cond.clone(), sat);
+                        map.insert(key, sat);
                     }
                 }
-                MemoBackend::Shared(memo) => memo.sat_put(cond, sat),
+                MemoBackend::Shared(memo) => memo.sat_put(key, sat),
             }
         }
         out
@@ -246,9 +251,12 @@ impl Session {
         cond: &Condition,
     ) -> Result<Condition, SolverError> {
         self.stats.simplify_calls += 1;
+        let key = pool::intern(cond);
         let hit = match &self.memo {
-            MemoBackend::Local { simplify, .. } => simplify.get(cond).cloned().map(|v| (v, false)),
-            MemoBackend::Shared(memo) => memo.simplify_get(cond),
+            MemoBackend::Local { simplify, .. } => {
+                simplify.get(&key).map(|&v| (pool::resolve(v), false))
+            }
+            MemoBackend::Shared(memo) => memo.simplify_get(key),
         };
         if let Some((hit, cross_run)) = hit {
             self.stats.memo_hits += 1;
@@ -265,10 +273,10 @@ impl Session {
             match &mut self.memo {
                 MemoBackend::Local { simplify: map, .. } => {
                     if map.len() < MEMO_CAP {
-                        map.insert(cond.clone(), simplified.clone());
+                        map.insert(key, pool::intern(simplified));
                     }
                 }
-                MemoBackend::Shared(memo) => memo.simplify_put(cond, simplified),
+                MemoBackend::Shared(memo) => memo.simplify_put(key, simplified),
             }
         }
         out

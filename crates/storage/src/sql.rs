@@ -437,8 +437,8 @@ fn apply_predicate(
     };
     let mut out = Table::new(table.schema.clone());
     for row in table.iter() {
-        let l = side(&pred.lhs, row)?;
-        let r = side(&pred.rhs, row)?;
+        let l = side(&pred.lhs, &row)?;
+        let r = side(&pred.rhs, &row)?;
         let cond = Condition::Atom(Atom::new(l, pred.op, r));
         let combined = row.cond.clone().and(cond);
         out.insert(CTuple {

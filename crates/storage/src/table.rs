@@ -1,6 +1,23 @@
-//! Indexed c-table storage.
+//! Indexed c-table storage — columnar layout over interned data.
+//!
+//! A [`Table`] stores its rows struct-of-arrays: one typed [`Cell`]
+//! column per attribute (u32-interned symbols, dense c-var indices,
+//! unboxed ints, interned list ids) plus a [`CondId`] condition column
+//! backed by the global hash-consed pool (`faure_ctable::pool`). The
+//! data phase — index probes, pattern scans, dedup — then works on
+//! `Copy` cells in contiguous vectors instead of cloning and re-hashing
+//! `Vec<Term>` tuples, and row-condition equality is a `u32` compare.
+//!
+//! Cell encoding is injective ([`Cell`] distinguishes `Int(1)` from
+//! `Sym("1")` from `List([1])`), so keying the dedup index directly on
+//! the encoded row (`Box<[Cell]>`) replaces the old hash-bucket scheme
+//! that had to verify candidates against the actual rows on every
+//! lookup to stay collision-safe.
 
-use faure_ctable::{CTuple, CVarRegistry, Condition, Const, Relation, Schema, Term};
+use faure_ctable::pool::{self, CondId};
+use faure_ctable::{
+    CTuple, CVarId, CVarRegistry, Condition, Const, Relation, Schema, Symbol, Term,
+};
 use faure_solver::{Session, SolverError};
 use std::collections::HashMap;
 use std::fmt;
@@ -31,6 +48,68 @@ impl fmt::Display for ArityError {
 }
 
 impl std::error::Error for ArityError {}
+
+/// One columnar storage cell: the fully-interned, `Copy` encoding of a
+/// [`Term`]. The encoding is injective — decoding always recovers a
+/// structurally equal term — so cell equality *is* term equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cell {
+    /// An integer constant, unboxed.
+    Int(i64),
+    /// An interned symbolic constant.
+    Sym(Symbol),
+    /// An interned list constant (see [`pool::intern_list`]).
+    List(pool::ListId),
+    /// A c-variable (dense registry index).
+    Var(CVarId),
+}
+
+impl Cell {
+    /// Encodes a term (interning list payloads).
+    pub fn encode(term: &Term) -> Cell {
+        match term {
+            Term::Const(c) => Cell::encode_const(c),
+            Term::Var(v) => Cell::Var(*v),
+        }
+    }
+
+    /// Encodes a constant.
+    pub fn encode_const(c: &Const) -> Cell {
+        match c {
+            Const::Int(v) => Cell::Int(*v),
+            Const::Sym(s) => Cell::Sym(*s),
+            Const::List(items) => Cell::List(pool::intern_list(items)),
+        }
+    }
+
+    /// Decodes back to a term (O(1); list payloads are Arc clones).
+    pub fn decode(self) -> Term {
+        match self {
+            Cell::Int(v) => Term::Const(Const::Int(v)),
+            Cell::Sym(s) => Term::Const(Const::Sym(s)),
+            Cell::List(id) => Term::Const(Const::List(pool::resolve_list(id))),
+            Cell::Var(v) => Term::Var(v),
+        }
+    }
+
+    /// Decodes a constant cell; `None` for c-variable cells.
+    pub fn decode_const(self) -> Option<Const> {
+        match self {
+            Cell::Int(v) => Some(Const::Int(v)),
+            Cell::Sym(s) => Some(Const::Sym(s)),
+            Cell::List(id) => Some(Const::List(pool::resolve_list(id))),
+            Cell::Var(_) => None,
+        }
+    }
+
+    /// The c-variable, if this is a variable cell.
+    pub fn as_var(self) -> Option<CVarId> {
+        match self {
+            Cell::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
 
 /// A per-column pattern used for indexed matching.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,26 +148,36 @@ impl InsertOutcome {
     }
 }
 
+/// One typed attribute column plus its probe indexes.
 #[derive(Clone, Debug, Default)]
-struct ColIndex {
+struct Column {
+    /// The cell of every row, in row order (struct-of-arrays).
+    cells: Vec<Cell>,
     /// Rows whose cell in this column is the given constant.
-    by_const: HashMap<Const, Vec<u32>>,
+    by_const: HashMap<Cell, Vec<u32>>,
     /// Rows whose cell in this column is a c-variable (they
     /// conditionally match any constant).
     var_rows: Vec<u32>,
 }
 
-/// A derived row whose condition has been pre-normalised for insertion.
+/// A derived row whose condition has been pre-normalised and whose
+/// terms and condition have been pre-interned for insertion.
 ///
 /// Building one runs the DNF normalisation that [`Table::insert`] would
 /// otherwise perform at merge time — the most expensive part of adding
-/// a row. Parallel evaluation constructs `PreparedRow`s inside worker
-/// threads so the serialised merge
-/// ([`Table::absorb_partitions`]) is reduced to hash lookups and
-/// antichain merges.
+/// a row — plus the cell encoding and condition-pool interning the
+/// columnar table needs. Parallel evaluation constructs `PreparedRow`s
+/// inside worker threads so the serialised merge
+/// ([`Table::absorb_partitions`]) is reduced to hash lookups on
+/// interned data, `Copy` cell appends, and antichain merges — no term
+/// clones, no tree re-hashing.
 #[derive(Clone, Debug)]
 pub struct PreparedRow {
     tuple: CTuple,
+    /// Encoded cells of `tuple.terms`.
+    cells: Box<[Cell]>,
+    /// `tuple.cond` interned into the global pool.
+    cond_id: CondId,
     /// Minimal-DNF disjuncts of the condition, or `None` when it is too
     /// large to normalise within budget (the table then stores it in
     /// the opaque representation).
@@ -97,14 +186,22 @@ pub struct PreparedRow {
 
 impl PreparedRow {
     /// Normalises `tuple`'s condition (the caller should have
-    /// structurally simplified it, as with [`Table::insert`]).
+    /// structurally simplified it, as with [`Table::insert`]) and
+    /// interns its terms and condition.
     pub fn new(tuple: CTuple) -> Self {
         let sets = if tuple.cond == Condition::False {
             Some(Vec::new())
         } else {
             crate::dnf::to_min_dnf(&tuple.cond, crate::dnf::DEFAULT_SET_BUDGET)
         };
-        PreparedRow { tuple, sets }
+        let cells = tuple.terms.iter().map(Cell::encode).collect();
+        let cond_id = pool::intern(&tuple.cond);
+        PreparedRow {
+            tuple,
+            cells,
+            cond_id,
+            sets,
+        }
     }
 
     /// The row's terms.
@@ -112,9 +209,19 @@ impl PreparedRow {
         &self.tuple.terms
     }
 
+    /// The row's encoded cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
     /// The row's (un-normalised) condition.
     pub fn cond(&self) -> &Condition {
         &self.tuple.cond
+    }
+
+    /// The pooled id of the row's condition.
+    pub fn cond_id(&self) -> CondId {
+        self.cond_id
     }
 
     /// The underlying tuple.
@@ -137,52 +244,53 @@ enum CondRepr {
     /// fixpoints over cyclic graphs polynomial instead of enumerating
     /// every walk.
     Sets(Vec<crate::dnf::AtomSet>),
-    /// Fallback for conditions too large to normalise: structural
-    /// disjunct list with equality-based deduplication.
-    Opaque(Vec<Condition>),
+    /// Fallback for conditions too large to normalise: pooled disjunct
+    /// ids with O(1) equality-based deduplication.
+    Opaque(Vec<CondId>),
 }
 
-/// An indexed c-table.
+/// An indexed, columnar c-table.
 ///
 /// Rows are deduplicated **by their terms**: deriving the same tuple
 /// again under a different condition extends the existing row's
 /// condition with a disjunct (`φ₁ ∨ φ₂ ∨ …`). Disjuncts are kept
 /// *minimal* (an antichain under implication-by-inclusion) whenever the
 /// condition normalises to small DNF, which both keeps conditions
-/// readable and guarantees fast fixpoint convergence; otherwise
+/// readable and guarantees fast fixpoint convergence; otherwise pooled
 /// structural deduplication applies. Either way the disjunct space over
 /// a finite atom vocabulary is finite, so fixpoints terminate.
+///
+/// Row conditions are stored as [`CondId`]s; [`Table::row`] and
+/// [`Table::iter`] materialise owned [`CTuple`]s on demand (condition
+/// trees are O(1) Arc clones out of the pool, and materialised rows are
+/// bit-identical to what the old row-major table stored).
 #[derive(Clone, Debug)]
 pub struct Table {
     /// The schema.
     pub schema: Schema,
-    rows: Vec<CTuple>,
+    /// One typed column per attribute.
+    cols: Vec<Column>,
+    /// Pooled condition per row.
+    conds: Vec<CondId>,
     /// Condition bookkeeping per row.
     reprs: Vec<CondRepr>,
-    /// Dedup index keyed by the *hash* of the term vector; buckets hold
-    /// row indices and are verified against the actual rows (collision
-    /// safe without duplicating every row's terms as map keys).
-    by_terms: HashMap<u64, Vec<u32>>,
-    cols: Vec<ColIndex>,
-}
-
-fn terms_hash(terms: &[Term]) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    terms.hash(&mut h);
-    h.finish()
+    /// Dedup index keyed **directly** on the encoded row cells. Cell
+    /// encoding is injective and fully interned, so equal keys are
+    /// equal term vectors by construction — no collision buckets, no
+    /// re-verification against the stored rows.
+    by_terms: HashMap<Box<[Cell]>, u32>,
 }
 
 impl Table {
     /// An empty table.
     pub fn new(schema: Schema) -> Self {
-        let cols = (0..schema.arity()).map(|_| ColIndex::default()).collect();
+        let cols = (0..schema.arity()).map(|_| Column::default()).collect();
         Table {
             schema,
-            rows: Vec::new(),
+            cols,
+            conds: Vec::new(),
             reprs: Vec::new(),
             by_terms: HashMap::new(),
-            cols,
         }
     }
 
@@ -196,32 +304,67 @@ impl Table {
         t
     }
 
-    /// Converts back to a plain relation.
+    /// Converts to a plain relation, materialising each row once.
     pub fn to_relation(&self) -> Relation {
         Relation {
             schema: self.schema.clone(),
-            tuples: self.rows.clone(),
+            tuples: self.iter().collect(),
+        }
+    }
+
+    /// Consuming export: like [`to_relation`](Table::to_relation) but
+    /// reuses the schema allocation and drops the indexes in place.
+    pub fn into_relation(self) -> Relation {
+        let tuples = (0..self.len()).map(|i| self.row(i)).collect();
+        Relation {
+            schema: self.schema,
+            tuples,
         }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.conds.len()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.conds.is_empty()
     }
 
-    /// Read-only access to a row.
-    pub fn row(&self, idx: usize) -> &CTuple {
-        &self.rows[idx]
+    /// Materialises one row as an owned [`CTuple`]. The condition is an
+    /// O(1) Arc clone out of the pool; terms decode cell-by-cell.
+    pub fn row(&self, idx: usize) -> CTuple {
+        CTuple {
+            terms: self.cols.iter().map(|c| c.cells[idx].decode()).collect(),
+            cond: pool::resolve(self.conds[idx]),
+        }
     }
 
-    /// Iterates over all rows.
-    pub fn iter(&self) -> std::slice::Iter<'_, CTuple> {
-        self.rows.iter()
+    /// One row's condition (O(1) pool resolve; avoids materialising
+    /// the terms on condition-only paths like the join inner loop).
+    pub fn cond(&self, idx: usize) -> Condition {
+        pool::resolve(self.conds[idx])
+    }
+
+    /// One row's pooled condition id.
+    pub fn cond_id(&self, idx: usize) -> CondId {
+        self.conds[idx]
+    }
+
+    /// One cell, decoded (column-major access: `col` then `idx`).
+    pub fn term(&self, idx: usize, col: usize) -> Term {
+        self.cols[col].cells[idx].decode()
+    }
+
+    /// One cell, raw.
+    pub fn cell(&self, idx: usize, col: usize) -> Cell {
+        self.cols[col].cells[idx]
+    }
+
+    /// Iterates over all rows, materialising each once.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = CTuple> + '_ {
+        (0..self.len()).map(|i| self.row(i))
     }
 
     /// Inserts a tuple, deduplicating by terms and merging conditions.
@@ -237,64 +380,49 @@ impl Table {
 
     /// Inserts a pre-normalised row (see [`PreparedRow`]) — the
     /// normalisation-free half of [`insert`](Table::insert), used when
-    /// the DNF work already happened elsewhere (e.g. in a parallel
-    /// worker, or when the same derived row also feeds a delta table).
+    /// the DNF and interning work already happened elsewhere (e.g. in a
+    /// parallel worker, or when the same derived row also feeds a delta
+    /// table).
     pub fn insert_prepared(&mut self, row: &PreparedRow) -> Result<InsertOutcome, ArityError> {
-        if row.tuple.arity() != self.schema.arity() {
+        if row.cells.len() != self.schema.arity() {
             return Err(ArityError {
                 table: self.schema.name.clone(),
                 expected: self.schema.arity(),
-                got: row.tuple.arity(),
+                got: row.cells.len(),
             });
         }
-        if row.tuple.cond == Condition::False || row.is_false() {
+        if row.cond_id == CondId::FALSE || row.is_false() {
             return Ok(InsertOutcome::Unchanged);
         }
-        let hash = terms_hash(&row.tuple.terms);
-        let existing_idx = self.by_terms.get(&hash).and_then(|bucket| {
-            bucket
-                .iter()
-                .find(|&&i| self.rows[i as usize].terms == row.tuple.terms)
-                .copied()
-        });
-        match existing_idx {
+        match self.by_terms.get(&row.cells).copied() {
             Some(idx) => {
                 let idx = idx as usize;
                 Ok(Self::merge_into_row(
-                    &mut self.rows[idx],
+                    &mut self.conds[idx],
                     &mut self.reprs[idx],
-                    row.tuple.cond.clone(),
+                    row.cond_id,
                     row.sets.clone(),
                 ))
             }
             None => {
-                let idx = u32::try_from(self.rows.len()).expect("row count overflow");
-                self.by_terms.entry(hash).or_default().push(idx);
-                for (col, term) in row.tuple.terms.iter().enumerate() {
-                    match term {
-                        Term::Const(c) => self.cols[col]
-                            .by_const
-                            .entry(c.clone())
-                            .or_default()
-                            .push(idx),
-                        Term::Var(_) => self.cols[col].var_rows.push(idx),
+                let idx = u32::try_from(self.conds.len()).expect("row count overflow");
+                self.by_terms.insert(row.cells.clone(), idx);
+                for (col, &cell) in self.cols.iter_mut().zip(row.cells.iter()) {
+                    col.cells.push(cell);
+                    match cell {
+                        Cell::Var(_) => col.var_rows.push(idx),
+                        c => col.by_const.entry(c).or_default().push(idx),
                     }
                 }
                 let (repr, cond) = match row.sets.clone() {
                     Some(sets) => {
-                        let cond = crate::dnf::condition_of(&sets);
+                        let cond = pool::intern(&crate::dnf::condition_of(&sets));
                         (CondRepr::Sets(sets), cond)
                     }
-                    None => (
-                        CondRepr::Opaque(vec![row.tuple.cond.clone()]),
-                        row.tuple.cond.clone(),
-                    ),
+                    None => (CondRepr::Opaque(vec![row.cond_id]), row.cond_id),
                 };
                 self.reprs.push(repr);
-                self.rows.push(CTuple {
-                    terms: row.tuple.terms.clone(),
-                    cond,
-                });
+                self.conds.push(cond);
                 Ok(InsertOutcome::New)
             }
         }
@@ -326,13 +454,18 @@ impl Table {
         Ok(())
     }
 
+    /// Merges an incoming condition into an existing row's disjunction.
+    ///
+    /// Computes the same condition *trees* as the old row-major table
+    /// (pooled `disj` mirrors [`Condition::or`] exactly), then stores
+    /// their ids — so materialised rows stay bit-identical.
     fn merge_into_row(
-        row: &mut CTuple,
+        cond: &mut CondId,
         repr: &mut CondRepr,
-        incoming_cond: Condition,
+        incoming_id: CondId,
         incoming_sets: Option<Vec<crate::dnf::AtomSet>>,
     ) -> InsertOutcome {
-        if row.cond == Condition::True {
+        if *cond == CondId::TRUE {
             return InsertOutcome::Unchanged;
         }
         match (&mut *repr, incoming_sets) {
@@ -344,7 +477,7 @@ impl Table {
                     }
                 }
                 if changed {
-                    row.cond = crate::dnf::condition_of(existing);
+                    *cond = pool::intern(&crate::dnf::condition_of(existing));
                     InsertOutcome::Merged
                 } else {
                     InsertOutcome::Unchanged
@@ -352,35 +485,39 @@ impl Table {
             }
             (CondRepr::Sets(existing), None) => {
                 // Degrade to the opaque representation.
-                let mut disjuncts: Vec<Condition> = existing
+                let disjuncts: Vec<CondId> = existing
                     .iter()
-                    .map(|s| crate::dnf::condition_of(std::slice::from_ref(s)))
+                    .map(|s| pool::intern(&crate::dnf::condition_of(std::slice::from_ref(s))))
                     .collect();
-                if disjuncts.contains(&incoming_cond) {
+                if disjuncts.contains(&incoming_id) {
                     *repr = CondRepr::Opaque(disjuncts);
                     return InsertOutcome::Unchanged;
                 }
-                disjuncts.push(incoming_cond);
-                row.cond = Condition::any(disjuncts.iter().cloned());
+                // `Condition::any` over the disjunct trees, id-wise.
+                let folded = disjuncts
+                    .iter()
+                    .fold(CondId::FALSE, |acc, &d| pool::disj(acc, d));
+                *cond = pool::disj(folded, incoming_id);
+                let mut disjuncts = disjuncts;
+                disjuncts.push(incoming_id);
                 *repr = CondRepr::Opaque(disjuncts);
                 InsertOutcome::Merged
             }
             (CondRepr::Opaque(disjuncts), maybe_sets) => {
                 let incoming = match maybe_sets {
-                    Some(sets) => crate::dnf::condition_of(&sets),
-                    None => incoming_cond,
+                    Some(sets) => pool::intern(&crate::dnf::condition_of(&sets)),
+                    None => incoming_id,
                 };
-                if incoming == Condition::True {
-                    row.cond = Condition::True;
-                    *disjuncts = vec![Condition::True];
+                if incoming == CondId::TRUE {
+                    *cond = CondId::TRUE;
+                    *disjuncts = vec![CondId::TRUE];
                     return InsertOutcome::Merged;
                 }
                 if disjuncts.contains(&incoming) {
                     return InsertOutcome::Unchanged;
                 }
-                disjuncts.push(incoming.clone());
-                let prev = std::mem::replace(&mut row.cond, Condition::True);
-                row.cond = prev.or(incoming);
+                disjuncts.push(incoming);
+                *cond = pool::disj(*cond, incoming);
                 InsertOutcome::Merged
             }
         }
@@ -392,7 +529,11 @@ impl Table {
             Pattern::Any | Pattern::Exact(Term::Var(_)) => None,
             Pattern::Exact(Term::Const(c)) => {
                 let ci = &self.cols[col];
-                let mut v: Vec<u32> = ci.by_const.get(c).cloned().unwrap_or_default();
+                let mut v: Vec<u32> = ci
+                    .by_const
+                    .get(&Cell::encode_const(c))
+                    .cloned()
+                    .unwrap_or_default();
                 v.extend_from_slice(&ci.var_rows);
                 Some(v)
             }
@@ -438,6 +579,45 @@ impl Table {
         Some(cond)
     }
 
+    /// Columnar [`match_row`](Table::match_row): same four cases and
+    /// the same μ construction order, but reading `Copy` cells straight
+    /// out of the column vectors instead of materialising a tuple.
+    fn match_cells(&self, reg: &CVarRegistry, idx: u32, pats: &[Pattern]) -> Option<Condition> {
+        let mut cond = Condition::True;
+        for (col, pat) in self.cols.iter().zip(pats) {
+            let cell = col.cells[idx as usize];
+            match pat {
+                Pattern::Any => {}
+                Pattern::Exact(p) => match (p, cell) {
+                    (Term::Const(c), Cell::Var(v)) => {
+                        if !reg.domain(v).contains(c) {
+                            return None;
+                        }
+                        cond = cond.and(Condition::eq(Term::Var(v), Term::Const(c.clone())));
+                    }
+                    (Term::Const(a), cell) => {
+                        if Cell::encode_const(a) != cell {
+                            return None;
+                        }
+                    }
+                    (Term::Var(u), Cell::Var(v)) => {
+                        if *u != v {
+                            cond = cond.and(Condition::eq(Term::Var(*u), Term::Var(v)));
+                        }
+                    }
+                    (Term::Var(u), cell) => {
+                        let d = cell.decode_const().expect("non-var cell decodes to const");
+                        if !reg.domain(*u).contains(&d) {
+                            return None;
+                        }
+                        cond = cond.and(Condition::eq(Term::Var(*u), Term::Const(d)));
+                    }
+                },
+            }
+        }
+        Some(cond)
+    }
+
     /// Finds all rows matching the per-column patterns. Returns
     /// `(row index, match condition μ)` pairs. Uses the most selective
     /// constant column as the index probe.
@@ -456,16 +636,15 @@ impl Table {
         match best {
             Some(cands) => {
                 for idx in cands {
-                    let row = &self.rows[idx as usize];
-                    if let Some(mu) = Self::match_row(reg, row, pats) {
+                    if let Some(mu) = self.match_cells(reg, idx, pats) {
                         out.push((idx as usize, mu));
                     }
                 }
             }
             None => {
-                for (idx, row) in self.rows.iter().enumerate() {
-                    if let Some(mu) = Self::match_row(reg, row, pats) {
-                        out.push((idx, mu));
+                for idx in 0..self.len() as u32 {
+                    if let Some(mu) = self.match_cells(reg, idx, pats) {
+                        out.push((idx as usize, mu));
                     }
                 }
             }
@@ -486,7 +665,7 @@ impl Table {
         let pats: Vec<Pattern> = terms.iter().map(|t| Pattern::Exact(t.clone())).collect();
         let mut cond = Condition::True;
         for (idx, mu) in self.find_matches(reg, &pats) {
-            let psi = self.rows[idx].cond.clone();
+            let psi = self.cond(idx);
             cond = cond.and(psi.and(mu).negate());
             if cond == Condition::False {
                 break;
@@ -508,9 +687,10 @@ impl Table {
         reg: &CVarRegistry,
         session: &mut Session,
     ) -> Result<usize, SolverError> {
-        let mut kept_rows = Vec::with_capacity(self.rows.len());
+        let work = self.take_rows();
+        let mut kept_rows = Vec::with_capacity(work.len());
         let mut removed = 0usize;
-        for (row, repr) in self.rows.drain(..).zip(self.reprs.drain(..)) {
+        for (row, repr) in work {
             match Self::prune_row(reg, session, row, repr)? {
                 Some(kept) => kept_rows.push(kept),
                 None => removed += 1,
@@ -518,6 +698,21 @@ impl Table {
         }
         self.rebuild_from(kept_rows);
         Ok(removed)
+    }
+
+    /// Drains the table into `(materialised row, repr)` work items,
+    /// leaving it empty (columns and indexes cleared).
+    fn take_rows(&mut self) -> Vec<(CTuple, CondRepr)> {
+        let rows: Vec<CTuple> = self.iter().collect();
+        let reprs = std::mem::take(&mut self.reprs);
+        self.conds.clear();
+        self.by_terms.clear();
+        for c in &mut self.cols {
+            c.cells.clear();
+            c.by_const.clear();
+            c.var_rows.clear();
+        }
+        rows.into_iter().zip(reprs).collect()
     }
 
     /// Prunes one row: `None` if its condition is unsatisfiable,
@@ -586,10 +781,10 @@ impl Table {
         memo: &std::sync::Arc<faure_solver::SharedMemo>,
         threads: usize,
     ) -> Result<usize, SolverError> {
-        if threads <= 1 || self.rows.len() < 2 {
+        if threads <= 1 || self.len() < 2 {
             return self.prune(reg, session);
         }
-        let work: Vec<(CTuple, CondRepr)> = self.rows.drain(..).zip(self.reprs.drain(..)).collect();
+        let work = self.take_rows();
         let workers = threads.min(work.len());
         // Balanced contiguous split: the first `extra` chunks get one
         // extra row.
@@ -658,13 +853,6 @@ impl Table {
     }
 
     fn rebuild_from(&mut self, rows: Vec<CTuple>) {
-        self.rows.clear();
-        self.reprs.clear();
-        self.by_terms.clear();
-        for c in &mut self.cols {
-            c.by_const.clear();
-            c.var_rows.clear();
-        }
         for row in rows {
             self.insert(row)
                 .expect("rebuilt rows came from this table and match its arity");
@@ -741,6 +929,61 @@ mod tests {
     }
 
     #[test]
+    fn cell_encoding_is_injective_round_trip() {
+        // Int(1), Sym("1") and List([1]) must stay three distinct
+        // cells and decode back to their exact source terms.
+        let terms = [
+            Term::int(1),
+            Term::sym("1"),
+            Term::Const(Const::list([Const::Int(1)])),
+        ];
+        let cells: Vec<Cell> = terms.iter().map(Cell::encode).collect();
+        assert_ne!(cells[0], cells[1]);
+        assert_ne!(cells[0], cells[2]);
+        assert_ne!(cells[1], cells[2]);
+        for (t, c) in terms.iter().zip(&cells) {
+            assert_eq!(&c.decode(), t);
+        }
+    }
+
+    #[test]
+    fn dedup_keys_on_exact_cells_not_hashes() {
+        // Regression for the old hash-bucket dedup index: rows whose
+        // term vectors differ only in representation kind (Int vs Sym
+        // vs List spelling the "same" value) must never merge, and
+        // re-inserting each exact row must hit its own entry. The old
+        // `HashMap<u64, Vec<u32>>` design relied on a verify-the-bucket
+        // scan to guarantee this under hash collisions; direct cell
+        // keys make it structural.
+        let mut t = Table::new(Schema::new("T", &["a", "b"]));
+        let rows = [
+            [Term::int(1), Term::int(2)],
+            [Term::sym("1"), Term::int(2)],
+            [Term::int(1), Term::sym("2")],
+            [Term::Const(Const::list([Const::Int(1)])), Term::int(2)],
+            [Term::int(2), Term::int(1)], // swapped order is distinct
+        ];
+        for row in &rows {
+            assert_eq!(
+                t.insert(CTuple::new(row.clone())).unwrap(),
+                InsertOutcome::New
+            );
+        }
+        assert_eq!(t.len(), rows.len());
+        // Exact re-inserts dedup onto the existing row, never a new one.
+        for row in &rows {
+            assert_eq!(
+                t.insert(CTuple::new(row.clone())).unwrap(),
+                InsertOutcome::Unchanged
+            );
+        }
+        assert_eq!(t.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(t.row(i).terms, row.to_vec());
+        }
+    }
+
+    #[test]
     fn constant_pattern_matches_var_cell_conditionally() {
         let (reg, _, y) = db_with_xy();
         let mut t = Table::new(Schema::new("P", &["dest", "path"]));
@@ -792,7 +1035,7 @@ mod tests {
         let mut via_scan: Vec<usize> = t
             .iter()
             .enumerate()
-            .filter_map(|(i, row)| Table::match_row(&reg, row, &pats).map(|_| i))
+            .filter_map(|(i, row)| Table::match_row(&reg, &row, &pats).map(|_| i))
             .collect();
         via_scan.sort_unstable();
         assert_eq!(via_index, via_scan);
@@ -936,6 +1179,7 @@ mod tests {
             for i in 0..serial.len() {
                 assert_eq!(par.row(i).terms, serial.row(i).terms);
                 assert_eq!(par.row(i).cond, serial.row(i).cond);
+                assert_eq!(par.cond_id(i), serial.cond_id(i), "pooled ids match too");
             }
             // Deterministic counters match serial; only the memo
             // hit/miss split depends on scheduling.
@@ -963,6 +1207,7 @@ mod tests {
         let mut session = Session::new();
         t.prune(&reg, &mut session).unwrap();
         assert_eq!(t.row(0).cond, Condition::True);
+        assert_eq!(t.cond_id(0), CondId::TRUE);
     }
 
     #[test]
@@ -1037,5 +1282,7 @@ mod tests {
         assert_eq!(t.len(), 2); // dedup
         let back = t.to_relation();
         assert_eq!(back.len(), 2);
+        let consumed = Table::from_relation(&rel).into_relation();
+        assert_eq!(consumed.tuples, back.tuples);
     }
 }

@@ -128,7 +128,7 @@ proptest! {
                 .collect();
             via_index.sort_unstable();
             let mut via_scan: Vec<usize> = (0..table.len())
-                .filter(|&i| Table::match_row(&reg, table.row(i), &probe).is_some())
+                .filter(|&i| Table::match_row(&reg, &table.row(i), &probe).is_some())
                 .collect();
             via_scan.sort_unstable();
             prop_assert_eq!(via_index, via_scan);

@@ -1,0 +1,132 @@
+//! Property tests for the hash-consed condition pool.
+//!
+//! The pool (`faure_ctable::pool`) is only allowed to *share* condition
+//! trees, never to change them: interning performs no simplification,
+//! and the pooled connectives must agree with the tree connectives
+//! bit-for-bit (the solver memo keys and every stored row condition
+//! depend on it). Three properties pin that down on random condition
+//! trees — including degenerate shapes (`And([])`, `Or([c])`, nested
+//! `Not`) that a simplifying interner would collapse:
+//!
+//! 1. **Round-trip identity**: `resolve(intern(c)) == c` structurally.
+//! 2. **Idempotence / hash-consing**: interning the same tree twice
+//!    (or a structurally equal clone) yields the same `CondId`, and
+//!    id equality coincides with structural equality.
+//! 3. **Pooled ops agree with tree ops**: `resolve(conj(a, b))` is
+//!    exactly `resolve(a).and(resolve(b))` (same for `disj`/`or` and
+//!    `neg`/`negate`), so code paths that moved from trees to ids
+//!    produce byte-identical conditions.
+
+use faure_ctable::pool::{self, CondId};
+use faure_ctable::{CVarId, CmpOp, Condition, Const, LinExpr, Term};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (-3i64..10).prop_map(Term::int),
+        prop::sample::select(&["a", "b", "c", "d1"][..]).prop_map(Term::sym),
+        prop::collection::vec(-2i64..5, 0..3)
+            .prop_map(|xs| Term::Const(Const::list(xs.into_iter().map(Const::Int)))),
+        (0u32..6).prop_map(|i| Term::Var(CVarId(i))),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_leaf() -> impl Strategy<Value = Condition> {
+    let term_atom =
+        (arb_term(), arb_cmp(), arb_term()).prop_map(|(l, op, r)| Condition::cmp(l, op, r));
+    let lin_atom = (
+        prop::collection::vec((1i64..3, 0u32..6), 1..3),
+        -2i64..6,
+        arb_cmp(),
+    )
+        .prop_map(|(vars, c, op)| {
+            let mut e = LinExpr::constant(c);
+            for (coef, v) in vars {
+                e = e.plus_var(coef, CVarId(v));
+            }
+            Condition::cmp(e, op, LinExpr::constant(0))
+        });
+    prop_oneof![
+        Just(Condition::True),
+        Just(Condition::False),
+        term_atom,
+        lin_atom,
+    ]
+}
+
+/// Random condition trees. Deliberately built from the raw enum
+/// constructors, not the smart connectives, so degenerate nodes
+/// (`And([])`, `Or([c])`, `Not(Not(c))`) appear in the corpus — the
+/// pool must round-trip those unchanged too.
+fn arb_cond() -> impl Strategy<Value = Condition> {
+    arb_leaf().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(|cs| Condition::And(Arc::new(cs))),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(|cs| Condition::Or(Arc::new(cs))),
+            inner.prop_map(|c| Condition::Not(Arc::new(c))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn intern_resolve_round_trips(c in arb_cond()) {
+        let id = pool::intern(&c);
+        prop_assert_eq!(pool::resolve(id), c);
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_ids_mirror_structure(
+        a in arb_cond(),
+        b in arb_cond(),
+    ) {
+        let ia = pool::intern(&a);
+        prop_assert_eq!(ia, pool::intern(&a), "same tree, same id");
+        prop_assert_eq!(ia, pool::intern(&a.clone()), "clone, same id");
+        let ib = pool::intern(&b);
+        // O(1) id equality must coincide with structural equality.
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    #[test]
+    fn pooled_connectives_agree_with_tree_connectives(
+        a in arb_cond(),
+        b in arb_cond(),
+    ) {
+        let (ia, ib) = (pool::intern(&a), pool::intern(&b));
+        prop_assert_eq!(
+            pool::resolve(pool::conj(ia, ib)),
+            a.clone().and(b.clone()),
+            "conj"
+        );
+        prop_assert_eq!(
+            pool::resolve(pool::disj(ia, ib)),
+            a.clone().or(b.clone()),
+            "disj"
+        );
+        prop_assert_eq!(pool::resolve(pool::neg(ia)), a.negate(), "neg");
+    }
+
+    #[test]
+    fn constants_keep_their_pinned_ids(c in arb_cond()) {
+        // Whatever else gets interned, True and False keep the pinned
+        // ids the storage layer's fast paths compare against.
+        let _ = pool::intern(&c);
+        prop_assert_eq!(pool::intern(&Condition::True), CondId::TRUE);
+        prop_assert_eq!(pool::intern(&Condition::False), CondId::FALSE);
+    }
+}
