@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p faure-bench --release --bin table4 [-- --sizes 1000,10000] \
 //!     [--seed N] [--json out.json] [--prune eager|stratum|never] \
-//!     [--threads 1,4]
+//!     [--threads 1,4] [--churn 1000] [--churn-updates 200] [--churn-only]
 //! ```
 //!
 //! `--threads` takes a comma-separated list of worker counts; each size
@@ -11,11 +11,22 @@
 //! q4–q5 speedup over the serial row of the same size (requires `1` in
 //! the list).
 //!
+//! `--churn` adds the incremental-maintenance benchmark for the listed
+//! sizes: the q4–q5 fixpoint is materialized once, then
+//! `--churn-updates` single-tuple deltas stream through
+//! `PreparedProgram::apply` (~9:1 announce:withdraw), and the mean
+//! per-update wall is compared against one full re-evaluation of the
+//! final database. Churn rows are tagged `"bench":"churn"` in the JSON
+//! dump. `--churn-only` skips the Table 4 sweep.
+//!
 //! Defaults to the sizes 1 000 and 10 000 (the paper also runs 100 000
 //! and 922 067; pass them explicitly if you have the minutes — the
 //! shape, not the wall-clock, is the reproduction target).
 
-use faure_bench::{print_table, rows_to_json, run_table4_row, HarnessOptions, Table4Row};
+use faure_bench::{
+    mixed_rows_to_json, print_table, run_churn_row, run_table4_row, ChurnRow, HarnessOptions,
+    Table4Row,
+};
 use faure_core::PrunePolicy;
 
 fn main() {
@@ -23,6 +34,9 @@ fn main() {
     let mut opts = HarnessOptions::default();
     let mut json_path: Option<String> = None;
     let mut thread_counts: Vec<usize> = vec![opts.eval.threads];
+    let mut churn_sizes: Vec<usize> = Vec::new();
+    let mut churn_updates: usize = 200;
+    let mut churn_only = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,13 +77,33 @@ fn main() {
                     "--threads counts must be >= 1"
                 );
             }
+            "--churn" => {
+                i += 1;
+                churn_sizes = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--churn takes a,b,c"))
+                    .collect();
+            }
+            "--churn-updates" => {
+                i += 1;
+                churn_updates = args[i].parse().expect("--churn-updates takes an integer");
+            }
+            "--churn-only" => {
+                churn_only = true;
+            }
             other => {
-                panic!("unknown argument {other} (try --sizes/--seed/--json/--prune/--threads)")
+                panic!(
+                    "unknown argument {other} (try --sizes/--seed/--json/--prune/--threads/\
+                     --churn/--churn-updates/--churn-only)"
+                )
             }
         }
         i += 1;
     }
 
+    if churn_only {
+        sizes.clear();
+    }
     eprintln!(
         "running Listing 2 (q4-q8) on the synthetic RIB workload, sizes {sizes:?}, seed {}, threads {thread_counts:?}",
         opts.seed
@@ -126,12 +160,55 @@ fn main() {
         }
     }
 
-    println!("\nTable 4 (reproduced): running time of reachability analysis");
-    println!("(times in seconds; Nm = milliseconds, Nu = microseconds)\n");
-    print_table(&rows);
+    // Churn rows: standing materialization + update stream, one row
+    // per size and thread count (q4-q5 only — the recursive query is
+    // the maintenance-sensitive one).
+    let mut churn_rows: Vec<ChurnRow> = Vec::new();
+    for &n in &churn_sizes {
+        for &t in &thread_counts {
+            eprintln!("  churn: {n} prefixes, {churn_updates} updates ({t} thread(s)) ...");
+            opts.eval.threads = t;
+            let row = run_churn_row(n, churn_updates, &opts).expect("churn run succeeds");
+            eprintln!(
+                "    per-update {}ns mean / {}ns max vs full re-eval {}ns ({:.1}x)",
+                row.per_update_wall_ns,
+                row.max_update_wall_ns,
+                row.full_reeval_wall_ns,
+                row.speedup
+            );
+            churn_rows.push(row);
+        }
+    }
+
+    if !rows.is_empty() {
+        println!("\nTable 4 (reproduced): running time of reachability analysis");
+        println!("(times in seconds; Nm = milliseconds, Nu = microseconds)\n");
+        print_table(&rows);
+    }
+    if !churn_rows.is_empty() {
+        println!("\nchurn: incremental maintenance vs full re-evaluation (q4-q5)\n");
+        println!(
+            "{:>9} {:>8} {:>8} | {:>14} {:>14} {:>14} {:>8}",
+            "#prefix", "threads", "updates", "per-update", "max-update", "full-reeval", "speedup"
+        );
+        for r in &churn_rows {
+            println!(
+                "{:>9} {:>8} {:>8} | {:>12}ns {:>12}ns {:>12}ns {:>7.1}x",
+                r.prefixes,
+                r.threads,
+                r.updates,
+                r.per_update_wall_ns,
+                r.max_update_wall_ns,
+                r.full_reeval_wall_ns,
+                r.speedup
+            );
+        }
+    }
 
     if let Some(path) = json_path {
-        std::fs::write(&path, rows_to_json(&rows)).expect("writable path");
+        let mut encoded: Vec<String> = rows.iter().map(Table4Row::to_json).collect();
+        encoded.extend(churn_rows.iter().map(ChurnRow::to_json));
+        std::fs::write(&path, mixed_rows_to_json(&encoded)).expect("writable path");
         eprintln!("\nwrote {path}");
     }
 }

@@ -17,7 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use faure_core::{evaluate_with, EvalError, EvalOptions, PrunePolicy};
+use faure_core::{evaluate_with, Delta, Engine, EvalError, EvalOptions, PrunePolicy};
+use faure_ctable::Const;
 use faure_net::{queries, rib};
 use faure_solver::session::SolverStats;
 use faure_storage::OpStats;
@@ -316,6 +317,188 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
     })
 }
 
+/// One row of the `churn` benchmark: a standing Table 4 materialization
+/// absorbs an announce-heavy stream of single-tuple deltas (~9:1
+/// insert:withdraw, the BGP churn shape from ROADMAP item 2), and the
+/// mean per-update incremental wall is compared against one full
+/// re-evaluation of the final database through the same compiled plans.
+#[derive(Clone, Debug)]
+pub struct ChurnRow {
+    /// Input size (number of prefixes in the standing workload).
+    pub prefixes: usize,
+    /// RNG seed used for the workload.
+    pub seed: u64,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+    /// Updates applied (each a single-tuple delta).
+    pub updates: usize,
+    /// How many of them were insertions (route announcements).
+    pub inserts: usize,
+    /// How many were exact-tuple deletions (withdrawals).
+    pub deletes: usize,
+    /// Size of the standing forwarding c-table before the stream.
+    pub f_tuples: usize,
+    /// Derived R tuples after the whole stream.
+    pub r_tuples: usize,
+    /// Wall-clock of the initial materialization (the batch fixpoint).
+    pub materialize_wall_ns: u64,
+    /// Sum of per-update apply wall-clocks.
+    pub total_update_wall_ns: u64,
+    /// Mean per-update apply wall-clock — the headline number.
+    pub per_update_wall_ns: u64,
+    /// Worst single update.
+    pub max_update_wall_ns: u64,
+    /// One full re-evaluation of the final database over the same
+    /// prepared plans (what every update would cost without
+    /// incremental maintenance).
+    pub full_reeval_wall_ns: u64,
+    /// `full_reeval_wall_ns / per_update_wall_ns`.
+    pub speedup: f64,
+    /// Derived rows (re)derived across the stream.
+    pub rederived: usize,
+    /// Derived rows removed during DRed over-deletion.
+    pub overdeleted: usize,
+}
+
+impl ChurnRow {
+    /// JSON object for this row. Tagged `"bench":"churn"` so readers
+    /// (and the CI jq asserts) can tell churn rows from Table 4 rows
+    /// when both share one array.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"churn\",\"prefixes\":{},\"seed\":{},\"threads\":{},\"updates\":{},\
+             \"inserts\":{},\"deletes\":{},\"f_tuples\":{},\"r_tuples\":{},\
+             \"materialize_wall_ns\":{},\"total_update_wall_ns\":{},\"per_update_wall_ns\":{},\
+             \"max_update_wall_ns\":{},\"full_reeval_wall_ns\":{},\"speedup\":{:.2},\
+             \"rederived\":{},\"overdeleted\":{}}}",
+            self.prefixes,
+            self.seed,
+            self.threads,
+            self.updates,
+            self.inserts,
+            self.deletes,
+            self.f_tuples,
+            self.r_tuples,
+            self.materialize_wall_ns,
+            self.total_update_wall_ns,
+            self.per_update_wall_ns,
+            self.max_update_wall_ns,
+            self.full_reeval_wall_ns,
+            self.speedup,
+            self.rederived,
+            self.overdeleted
+        )
+    }
+}
+
+/// Runs the `churn` benchmark for one input size: materialize the
+/// reachability fixpoint (q4–q5) over the RIB workload once, stream
+/// `updates` single-tuple deltas through
+/// [`PreparedProgram::apply`](faure_core::PreparedProgram::apply), then
+/// time one full re-evaluation of the final database as the baseline.
+///
+/// The stream is deterministic in `(seed, updates)`: update `i` is a
+/// withdrawal of the `(7i)`-th original forwarding tuple when
+/// `i % 10 == 9`, otherwise an announcement extending the `i`-th
+/// tuple's path by one hop to a fresh node — so inserts join into the
+/// standing reachability relation (recursive rederivation) rather than
+/// forming disconnected edges, and deletes exercise the DRed path.
+pub fn run_churn_row(
+    prefixes: usize,
+    updates: usize,
+    opts: &HarnessOptions,
+) -> Result<ChurnRow, EvalError> {
+    let w = workload(prefixes, opts.seed);
+    let program = queries::reachability_program();
+
+    // Ground term triples of the standing F table, stream fodder.
+    let f_rows: Vec<[i64; 3]> =
+        w.db.relation("F")
+            .map(|rel| {
+                rel.iter()
+                    .filter_map(|t| {
+                        let mut row = [0i64; 3];
+                        for (slot, term) in row.iter_mut().zip(&t.terms) {
+                            *slot = term.as_const().and_then(|c| c.as_int())?;
+                        }
+                        Some(row)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+    let f_tuples = f_rows.len();
+    assert!(f_tuples > 0, "workload generated no ground F tuples");
+
+    let prepared = Engine::with_options(opts.eval).prepare(&program)?;
+    let t0 = std::time::Instant::now();
+    let mut state = prepared.materialize(&w.db)?;
+    let materialize_wall_ns = t0.elapsed().as_nanos() as u64;
+    drop(w);
+
+    let (mut inserts, mut deletes) = (0usize, 0usize);
+    let (mut total_ns, mut max_ns) = (0u64, 0u64);
+    let (mut rederived, mut overdeleted) = (0usize, 0usize);
+    for i in 0..updates {
+        let mut delta = Delta::new();
+        if i % 10 == 9 {
+            let [p, a, b] = f_rows[(i * 7) % f_tuples];
+            delta.push_delete_exact("F", [Const::Int(p), Const::Int(a), Const::Int(b)]);
+            deletes += 1;
+        } else {
+            let [p, _, b] = f_rows[i % f_tuples];
+            delta.push_insert_fact(
+                "F",
+                [Const::Int(p), Const::Int(b), Const::Int(600_000 + i as i64)],
+            );
+            inserts += 1;
+        }
+        let report = prepared.apply(&mut state, delta)?;
+        let ns = report.wall.as_nanos() as u64;
+        total_ns += ns;
+        max_ns = max_ns.max(ns);
+        rederived += report.rederived;
+        overdeleted += report.overdeleted;
+    }
+
+    // Baseline: one full batch re-evaluation of the final database,
+    // through the same prepared plans (prepare cost excluded — this is
+    // what a non-incremental engine would pay per update).
+    let mut final_db = faure_ctable::Database::new();
+    final_db.cvars = state.database().cvars.clone();
+    final_db.set_relation(state.relation("F").expect("F is maintained"));
+    let t1 = std::time::Instant::now();
+    let out = prepared.run(&final_db)?;
+    let full_reeval_wall_ns = t1.elapsed().as_nanos() as u64;
+    let r_tuples = out.database.relation("R").map(|r| r.len()).unwrap_or(0);
+
+    let per_update_wall_ns = total_ns / updates.max(1) as u64;
+    Ok(ChurnRow {
+        prefixes,
+        seed: opts.seed,
+        threads: opts.eval.threads,
+        updates,
+        inserts,
+        deletes,
+        f_tuples,
+        r_tuples,
+        materialize_wall_ns,
+        total_update_wall_ns: total_ns,
+        per_update_wall_ns,
+        max_update_wall_ns: max_ns,
+        full_reeval_wall_ns,
+        speedup: full_reeval_wall_ns as f64 / per_update_wall_ns.max(1) as f64,
+        rederived,
+        overdeleted,
+    })
+}
+
+/// JSON array over pre-encoded row objects, one per line — lets the
+/// `table4` binary mix [`Table4Row`] and [`ChurnRow`] dumps in one file.
+pub fn mixed_rows_to_json(rows: &[String]) -> String {
+    let body: Vec<String> = rows.iter().map(|r| format!("  {r}")).collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
 fn fmt_secs(s: f64) -> String {
     if s >= 1.0 {
         format!("{s:.2}")
@@ -465,6 +648,88 @@ mod tests {
         assert_eq!(serial.q7.tuples, parallel.q7.tuples);
         assert_eq!(serial.q8.tuples, parallel.q8.tuples);
         assert_eq!(serial.q45.delta_sizes, parallel.q45.delta_sizes);
+    }
+
+    #[test]
+    fn churn_row_runs_and_serializes() {
+        let mut opts = HarnessOptions::default();
+        opts.eval.threads = 1;
+        let row = run_churn_row(10, 30, &opts).unwrap();
+        assert_eq!(row.updates, 30);
+        assert_eq!(row.inserts, 27);
+        assert_eq!(row.deletes, 3);
+        assert!(row.f_tuples > 0);
+        assert!(row.r_tuples > 0);
+        assert!(row.per_update_wall_ns > 0);
+        assert!(row.max_update_wall_ns >= row.per_update_wall_ns);
+        assert!(row.full_reeval_wall_ns > 0);
+        // The announcements extend standing paths, so propagation must
+        // actually derive new reachability rows.
+        assert!(row.rederived > 0, "{row:?}");
+        // Withdrawals of ground tuples must exercise DRed.
+        assert!(row.overdeleted > 0, "{row:?}");
+        let json = row.to_json();
+        for key in [
+            "\"bench\":\"churn\"",
+            "\"prefixes\":10",
+            "\"updates\":30",
+            "\"per_update_wall_ns\":",
+            "\"full_reeval_wall_ns\":",
+            "\"speedup\":",
+            "\"materialize_wall_ns\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let mixed = mixed_rows_to_json(&[json]);
+        assert!(mixed.trim_start().starts_with('['));
+    }
+
+    #[test]
+    fn churn_final_state_matches_full_reeval_tuples() {
+        // The r_tuples field comes from the full re-evaluation of the
+        // final database; the maintained state must agree. Re-run the
+        // small stream by hand and compare counts.
+        let mut opts = HarnessOptions::default();
+        opts.eval.threads = 1;
+        let w = workload(10, opts.seed);
+        let program = queries::reachability_program();
+        let prepared = Engine::with_options(opts.eval).prepare(&program).unwrap();
+        let mut state = prepared.materialize(&w.db).unwrap();
+        let f_rows: Vec<Vec<faure_ctable::Term>> =
+            w.db.relation("F")
+                .unwrap()
+                .iter()
+                .map(|t| t.terms.clone())
+                .collect();
+        for i in 0..30usize {
+            let mut delta = Delta::new();
+            if i % 10 == 9 {
+                let row = &f_rows[(i * 7) % f_rows.len()];
+                delta.push_delete_exact(
+                    "F",
+                    row.iter()
+                        .map(|t| t.as_const().unwrap().clone())
+                        .collect::<Vec<_>>(),
+                );
+            } else {
+                let row = &f_rows[i % f_rows.len()];
+                let p = row[0].as_const().unwrap().as_int().unwrap();
+                let b = row[2].as_const().unwrap().as_int().unwrap();
+                delta.push_insert_fact(
+                    "F",
+                    [Const::Int(p), Const::Int(b), Const::Int(600_000 + i as i64)],
+                );
+            }
+            prepared.apply(&mut state, delta).unwrap();
+        }
+        let mut final_db = faure_ctable::Database::new();
+        final_db.cvars = state.database().cvars.clone();
+        final_db.set_relation(state.relation("F").unwrap());
+        let out = prepared.run(&final_db).unwrap();
+        assert_eq!(
+            state.relation("R").unwrap().len(),
+            out.database.relation("R").unwrap().len()
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@
 
 pub mod observe;
 
-pub use observe::{cmd_eval_batch, cmd_profile, EvalReport};
+pub use observe::{cmd_eval_batch, cmd_eval_updates, cmd_profile, EvalReport};
 
 use faure_core::{evaluate_with, parse_program, EvalOptions, Program, PrunePolicy};
 use faure_ctable::{CVarRegistry, Const, Database, Domain};

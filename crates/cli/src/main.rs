@@ -1,8 +1,9 @@
 //! The `faure` binary — see the crate docs for the file formats.
 
 use faure_cli::{
-    cmd_check, cmd_eval_batch, cmd_explain, cmd_explain_json, cmd_lint, cmd_lint_json, cmd_profile,
-    cmd_scenarios, cmd_sql, cmd_subsume, cmd_worlds, load_database, parse_prune, CliError,
+    cmd_check, cmd_eval_batch, cmd_eval_updates, cmd_explain, cmd_explain_json, cmd_lint,
+    cmd_lint_json, cmd_profile, cmd_scenarios, cmd_sql, cmd_subsume, cmd_worlds, load_database,
+    parse_prune, CliError,
 };
 use faure_core::PrunePolicy;
 
@@ -12,6 +13,7 @@ faure — partial network analysis (HotNets '21 reproduction)
 USAGE:
   faure eval <db.fdb>... <program.fl> [--prune never|stratum|iteration|eager] [--relation R]
             [--threads N] [--trace out.trace.json] [--metrics out.json]
+            [--updates stream.fdl]
   faure profile <program.fl> <db.fdb> [--threads N]
   faure explain <program.fl> [--format text|json]
   faure check <program.fl> [--domains db.fdb] [--format text|json] [--deny warnings]
@@ -38,6 +40,14 @@ as Chrome trace_event JSON (load in chrome://tracing or Perfetto);
 `--metrics` writes aggregated per-database metrics JSON (schema
 `faure_metrics_version: 1`, see DESIGN.md). Tracing never changes
 evaluation results.
+
+`eval --updates stream.fdl` (one database only) materializes the
+fixpoint once, then applies each update line incrementally: `+R(c, ...)`
+inserts a fact, `-R(c, ...)` deletes the exact tuple; `%` comments and
+blank lines are skipped. Each line is one delta; the output reports
+per-update change counts and wall time, and `--metrics` adds a
+per-update `updates` array (`per_update_wall_ns` per entry) to the
+metrics document.
 
 `profile` evaluates once with tracing on and prints a text report:
 phase breakdown, per-iteration delta sizes, top rules by time, and
@@ -80,6 +90,7 @@ fn run() -> Result<String, CliError> {
     let mut threads: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut updates_path: Option<String> = None;
     let mut deny_warnings = false;
     let mut explain_code: Option<String> = None;
     let mut i = 0;
@@ -146,6 +157,14 @@ fn run() -> Result<String, CliError> {
                         .ok_or_else(|| CliError("--metrics takes an output path".into()))?,
                 );
             }
+            "--updates" => {
+                i += 1;
+                updates_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| CliError("--updates takes an update-stream path".into()))?,
+                );
+            }
             "--format" => {
                 i += 1;
                 format = match args.get(i).map(String::as_str) {
@@ -171,16 +190,36 @@ fn run() -> Result<String, CliError> {
                 .iter()
                 .map(|p| read(p).map(|text| ((*p).to_owned(), text)))
                 .collect::<Result<_, _>>()?;
-            let report = cmd_eval_batch(
-                &db_texts,
-                program,
-                &read(program)?,
-                prune,
-                relation.as_deref(),
-                threads,
-                trace_path.is_some(),
-                metrics_path.is_some(),
-            )?;
+            let report = match &updates_path {
+                Some(upath) => {
+                    let [(db_label, db_text)] = db_texts.as_slice() else {
+                        return Err(CliError("--updates takes exactly one database".into()));
+                    };
+                    cmd_eval_updates(
+                        db_label,
+                        db_text,
+                        program,
+                        &read(program)?,
+                        upath,
+                        &read(upath)?,
+                        prune,
+                        relation.as_deref(),
+                        threads,
+                        trace_path.is_some(),
+                        metrics_path.is_some(),
+                    )?
+                }
+                None => cmd_eval_batch(
+                    &db_texts,
+                    program,
+                    &read(program)?,
+                    prune,
+                    relation.as_deref(),
+                    threads,
+                    trace_path.is_some(),
+                    metrics_path.is_some(),
+                )?,
+            };
             let mut out = report.rendered;
             if let (Some(path), Some(json)) = (&trace_path, &report.trace_json) {
                 std::fs::write(path, json).map_err(|e| CliError(format!("{path}: {e}")))?;

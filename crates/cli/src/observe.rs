@@ -23,8 +23,10 @@
 
 use crate::{err, load_database, render_relation, CliError};
 use faure_core::plan::Hints;
-use faure_core::{parse_program, Engine, EvalOptions, PrunePolicy};
-use faure_ctable::Database;
+use faure_core::{
+    parse_program, DeletePattern, Delta, DeltaReport, Engine, EvalOptions, PrunePolicy,
+};
+use faure_ctable::{Const, Database};
 use faure_storage::PhaseStats;
 use faure_trace::metrics::{rollup_by_arg, rollup_spans, Rollup};
 use faure_trace::{chrome, json_escape, Event, Recorder, Tracer};
@@ -140,13 +142,230 @@ pub fn cmd_eval_batch(
     }
 
     let trace_json = want_trace.then(|| chrome::trace_json(&all_events));
-    let metrics_json =
-        want_metrics.then(|| metrics_document(program_label, &program, &prepare_events, &runs));
+    let metrics_json = want_metrics
+        .then(|| metrics_document(program_label, &program, &prepare_events, &runs, &[]));
     Ok(EvalReport {
         rendered,
         trace_json,
         metrics_json,
     })
+}
+
+/// One applied update from an `--updates` stream, with its source line
+/// and the engine's [`DeltaReport`] — feeds both the rendered summary
+/// and the metrics document's `updates` array.
+struct UpdateRun {
+    line: usize,
+    text: String,
+    report: DeltaReport,
+}
+
+/// Parses an update-stream file: one update per line, `+R(c, ...)` to
+/// insert a fact and `-R(c, ...)` to delete the exact tuple (mapped to
+/// [`DeletePattern::exact`]). Constants are integers, quoted strings,
+/// or bare symbols; `%` starts a comment; blank lines are skipped; a
+/// trailing `.` is allowed. Returns `(line_number, source_text, delta)`
+/// triples — one delta per line, applied in file order.
+fn parse_update_stream(text: &str) -> Result<Vec<(usize, String, Delta)>, CliError> {
+    let mut updates = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('%').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (lineno, shown) = (lineno + 1, line.to_owned());
+        let bad = |m: &str| err(format!("updates line {lineno}: {m} in `{shown}`"));
+        let (is_insert, rest) = match line.as_bytes()[0] {
+            b'+' => (true, &line[1..]),
+            b'-' => (false, &line[1..]),
+            _ => return Err(bad("update lines start with `+` or `-`")),
+        };
+        let rest = rest.trim();
+        let rest = rest.strip_suffix('.').unwrap_or(rest).trim_end();
+        let (pred, args) = rest
+            .split_once('(')
+            .ok_or_else(|| bad("expected `Pred(const, ...)`"))?;
+        let pred = pred.trim();
+        if pred.is_empty() {
+            return Err(bad("missing predicate name"));
+        }
+        let args = args
+            .strip_suffix(')')
+            .ok_or_else(|| bad("expected closing `)`"))?;
+        let mut row: Vec<Const> = Vec::new();
+        for item in args.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                if args.trim().is_empty() {
+                    break; // zero-arity tuple `R()`
+                }
+                return Err(bad("empty argument"));
+            }
+            if let Ok(n) = item.parse::<i64>() {
+                row.push(Const::Int(n));
+            } else if let Some(q) = item.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+                row.push(Const::sym(q));
+            } else {
+                row.push(Const::sym(item));
+            }
+        }
+        let mut delta = Delta::new();
+        if is_insert {
+            delta.push_insert_fact(pred, row);
+        } else {
+            delta.push_delete(pred, DeletePattern::exact(row));
+        }
+        updates.push((lineno, shown, delta));
+    }
+    Ok(updates)
+}
+
+/// `faure eval --updates stream.fdl` implementation: materializes the
+/// program's fixpoint over the database once, then applies each update
+/// line as its own [`Delta`] through the incremental maintenance path,
+/// reporting per-update latency. The rendered output lists every
+/// applied update with its change counts and wall time, then the final
+/// relations; `--metrics` adds a per-update `updates` array (schema
+/// `faure_metrics_version: 1`) with `per_update_wall_ns` per entry.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_eval_updates(
+    db_label: &str,
+    db_text: &str,
+    program_label: &str,
+    program_text: &str,
+    updates_label: &str,
+    updates_text: &str,
+    prune: PrunePolicy,
+    only_relation: Option<&str>,
+    threads: Option<usize>,
+    want_trace: bool,
+    want_metrics: bool,
+) -> Result<EvalReport, CliError> {
+    let program = parse_program(program_text).map_err(|e| err(e.to_string()))?;
+    let mut opts = EvalOptions {
+        prune,
+        ..Default::default()
+    };
+    if let Some(n) = threads {
+        opts.threads = n.max(1);
+    }
+    let updates = parse_update_stream(updates_text)?;
+
+    let recorder = Arc::new(Recorder::new());
+    let tracer = if want_trace || want_metrics {
+        Tracer::new(Arc::clone(&recorder) as Arc<dyn faure_trace::TraceSink>)
+    } else {
+        Tracer::disabled()
+    };
+
+    let db = load_database(db_text).map_err(|e| err(format!("{db_label}: {e}")))?;
+    let hints = batch_hints(&program, std::iter::once(&db));
+    let prepared = Engine::with_options(opts)
+        .prepare_traced_with_hints(&program, hints, &tracer)
+        .map_err(|e| err(e.to_string()))?;
+    let prepare_events = recorder.take();
+
+    // Initial fixpoint: the batch evaluation, run through the standing
+    // materialized state that the per-update applies then maintain.
+    let t0 = std::time::Instant::now();
+    let mut state = prepared
+        .materialize_with(&db, &opts, &tracer)
+        .map_err(|e| err(format!("{db_label}: {e}")))?;
+    let materialize_wall = t0.elapsed();
+    let initial_events = recorder.take();
+    let initial_stats = state.stats().clone();
+
+    let mut rendered = String::new();
+    let mut all_events = prepare_events.clone();
+    all_events.extend(initial_events.iter().cloned());
+    writeln!(
+        rendered,
+        "-- materialized {} in {}",
+        db_label,
+        fmt_ns(materialize_wall.as_nanos() as u64)
+    )
+    .map_err(|e| err(e.to_string()))?;
+
+    let mut applied: Vec<UpdateRun> = Vec::new();
+    for (line, text, delta) in updates {
+        let report = prepared
+            .apply(&mut state, delta)
+            .map_err(|e| err(format!("{updates_label}:{line}: {e}")))?;
+        all_events.extend(recorder.take());
+        writeln!(
+            rendered,
+            "-- update {line} `{text}`: +{} / -{} edb, {} rederived, {} overdeleted, {} pruned ({})",
+            report.inserted,
+            report.deleted,
+            report.rederived,
+            report.overdeleted,
+            report.pruned,
+            fmt_ns(report.wall.as_nanos() as u64)
+        )
+        .map_err(|e| err(e.to_string()))?;
+        applied.push(UpdateRun { line, text, report });
+    }
+
+    match only_relation {
+        Some(r) => render_state_relation(r, &state, &mut rendered)?,
+        None => {
+            for p in program.idb_predicates() {
+                render_state_relation(p, &state, &mut rendered)?;
+            }
+        }
+    }
+    let total_ns: u64 = applied
+        .iter()
+        .map(|u| u.report.wall.as_nanos() as u64)
+        .sum();
+    let mean_ns = total_ns / applied.len().max(1) as u64;
+    let max_ns = applied
+        .iter()
+        .map(|u| u.report.wall.as_nanos() as u64)
+        .max()
+        .unwrap_or(0);
+    writeln!(
+        rendered,
+        "-- {} updates applied: per-update mean {}, max {}, total {}",
+        applied.len(),
+        fmt_ns(mean_ns),
+        fmt_ns(max_ns),
+        fmt_ns(total_ns)
+    )
+    .map_err(|e| err(e.to_string()))?;
+
+    let runs = [DbRun {
+        label: db_label.to_owned(),
+        stats: initial_stats,
+        events: initial_events,
+    }];
+    let trace_json = want_trace.then(|| chrome::trace_json(&all_events));
+    let metrics_json = want_metrics
+        .then(|| metrics_document(program_label, &program, &prepare_events, &runs, &applied));
+    Ok(EvalReport {
+        rendered,
+        trace_json,
+        metrics_json,
+    })
+}
+
+/// Renders a predicate's current contents out of the standing
+/// materialized state (EDB or derived, reflecting every applied delta).
+fn render_state_relation(
+    name: &str,
+    state: &faure_core::MaterializedState,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let Some(rel) = state.relation(name) else {
+        return Err(err(format!("no relation named {name}")));
+    };
+    writeln!(out, "{}({}):", rel.schema.name, rel.schema.attrs.join(", "))
+        .map_err(|e| err(e.to_string()))?;
+    for t in rel.iter() {
+        writeln!(out, "  {}", t.display(&state.database().cvars))
+            .map_err(|e| err(e.to_string()))?;
+    }
+    Ok(())
 }
 
 /// Planner hints that are sound for **every** database in the batch:
@@ -196,6 +415,7 @@ fn metrics_document(
     program: &faure_core::Program,
     prepare_events: &[Event],
     runs: &[DbRun],
+    updates: &[UpdateRun],
 ) -> String {
     let mut s = String::with_capacity(1024);
     s.push_str("{\"faure_metrics_version\":1,");
@@ -213,7 +433,54 @@ fn metrics_document(
         }
         push_db_metrics(&mut s, program, run);
     }
-    s.push_str("]}");
+    s.push_str("],");
+
+    // Per-delta maintenance latency (`eval --updates`): one entry per
+    // applied update line, in order. Empty for plain batch eval.
+    s.push_str("\"updates\":[");
+    for (i, u) in updates.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let r = &u.report;
+        let _ = write!(
+            s,
+            "{{\"seq\":{},\"line\":{},\"update\":\"{}\",\"inserted\":{},\"deleted\":{},\
+             \"overdeleted\":{},\"rederived\":{},\"pruned\":{},\"strata_touched\":{},\
+             \"counting_strata\":{},\"rederive_strata\":{},\"per_update_wall_ns\":{}}}",
+            i,
+            u.line,
+            json_escape(&u.text),
+            r.inserted,
+            r.deleted,
+            r.overdeleted,
+            r.rederived,
+            r.pruned,
+            r.strata_touched,
+            r.counting_strata,
+            r.rederive_strata,
+            r.wall.as_nanos()
+        );
+    }
+    s.push(']');
+    if !updates.is_empty() {
+        let total: u128 = updates.iter().map(|u| u.report.wall.as_nanos()).sum();
+        let max = updates
+            .iter()
+            .map(|u| u.report.wall.as_nanos())
+            .max()
+            .unwrap_or(0);
+        let _ = write!(
+            s,
+            ",\"updates_summary\":{{\"count\":{},\"total_wall_ns\":{},\
+             \"mean_wall_ns\":{},\"max_wall_ns\":{}}}",
+            updates.len(),
+            total,
+            total / updates.len() as u128,
+            max
+        );
+    }
+    s.push('}');
     s
 }
 
@@ -725,6 +992,115 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
                 .join("\n")
         };
         assert_eq!(strip(&base.rendered), strip(&traced.rendered));
+    }
+
+    #[test]
+    fn update_stream_parses_signs_consts_and_comments() {
+        let stream = "\
+% churn stream
++F(1, 4, 6).
+-F(1, 4, 5)
++Lbl(\"R&D\", core1, 7)  % inline comment
+
+";
+        let updates = parse_update_stream(stream).unwrap();
+        assert_eq!(updates.len(), 3);
+        assert_eq!(updates[0].0, 2);
+        assert_eq!(updates[0].1, "+F(1, 4, 6).");
+        assert_eq!(updates[0].2.insert.len(), 1);
+        assert!(updates[0].2.delete.is_empty());
+        assert_eq!(updates[1].2.delete.len(), 1);
+        assert_eq!(
+            updates[1].2.delete[0].1.cols,
+            vec![
+                Some(Const::Int(1)),
+                Some(Const::Int(4)),
+                Some(Const::Int(5))
+            ]
+        );
+        let (rel, tuple) = &updates[2].2.insert[0];
+        assert_eq!(rel, "Lbl");
+        assert_eq!(tuple.terms.len(), 3);
+        for bad in ["F(1, 2)", "+F 1 2", "+F(1,", "+(1)"] {
+            assert!(parse_update_stream(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn eval_updates_reports_per_update_latency() {
+        let stream = "+F(1, 4, 6).\n-F(1, 4, 5).\n";
+        let report = cmd_eval_updates(
+            "fig1.fdb",
+            FIG1,
+            "reach.fl",
+            REACH,
+            "stream.fdl",
+            stream,
+            PrunePolicy::EndOfStratum,
+            Some("R"),
+            None,
+            false,
+            true,
+        )
+        .unwrap();
+        assert!(report.rendered.contains("-- materialized fig1.fdb"));
+        assert!(
+            report.rendered.contains("-- update 1 `+F(1, 4, 6).`:"),
+            "{}",
+            report.rendered
+        );
+        assert!(
+            report.rendered.contains("-- 2 updates applied:"),
+            "{}",
+            report.rendered
+        );
+        let m = report.metrics_json.unwrap();
+        for key in [
+            "\"faure_metrics_version\":1",
+            "\"updates\":[{\"seq\":0,\"line\":1,\"update\":\"+F(1, 4, 6).\"",
+            "\"per_update_wall_ns\":",
+            "\"rederived\":",
+            "\"overdeleted\":",
+            "\"updates_summary\":{\"count\":2,",
+        ] {
+            assert!(m.contains(key), "missing {key} in {m}");
+        }
+    }
+
+    #[test]
+    fn eval_updates_final_state_matches_batch_reeval() {
+        // Applying the stream incrementally must land on the same
+        // relation a from-scratch evaluation over the edited database
+        // computes (rows compared as sets; FIG1 cells are ground, so
+        // the order-safe fast path keeps conditions bit-identical).
+        let stream = "-F(1, 4, 5).\n+F(1, 4, 6).\n+F(1, 6, 7).\n";
+        let incr = cmd_eval_updates(
+            "fig1.fdb",
+            FIG1,
+            "reach.fl",
+            REACH,
+            "stream.fdl",
+            stream,
+            PrunePolicy::EndOfStratum,
+            Some("R"),
+            None,
+            false,
+            false,
+        )
+        .unwrap();
+        let edited = FIG1.replace("F(1, 4, 5).\n", "F(1, 4, 6).\nF(1, 6, 7).\n");
+        let full =
+            crate::cmd_eval(&edited, REACH, PrunePolicy::EndOfStratum, Some("R"), None).unwrap();
+        let rows = |s: &str| {
+            let mut v: Vec<String> = s
+                .lines()
+                .filter(|l| l.starts_with("  "))
+                .map(|l| l.trim().to_owned())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(rows(&incr.rendered), rows(&full), "{}", incr.rendered);
     }
 
     #[test]

@@ -1,0 +1,1758 @@
+//! Incremental maintenance of materialized c-table fixpoints.
+//!
+//! The paper's target workload is route churn: a standing analysis
+//! absorbing a stream of RIB updates, not a batch re-evaluation per
+//! snapshot. This module turns [`PreparedProgram`] from a run-once
+//! evaluator into a maintainable view system:
+//!
+//! * [`MaterializedState`] holds everything a run used to rebuild from
+//!   scratch — the per-predicate [`Table`]s (IDB *and* EDB), the
+//!   resolved c-variable map, and the pooled solver memo — so it can
+//!   outlive a single evaluation;
+//! * [`Delta`] is a batch of EDB changes (`+tuple` inserts and
+//!   [`DeletePattern`] deletes, mirroring the §5 Levy–Sagiv update
+//!   semantics of [`crate::update`]);
+//! * [`PreparedProgram::apply`] propagates a delta through the
+//!   standing tables and returns a [`DeltaReport`].
+//!
+//! Batch evaluation is now literally "apply one big insert-delta to
+//! empty state": [`PreparedProgram::run`] materializes empty tables
+//! and applies [`Delta::from_database`]. The first (fresh) apply runs
+//! the exact batch fixpoint drivers, so batch results, statistics and
+//! trace streams are unchanged.
+//!
+//! ## Propagation strategy, per stratum
+//!
+//! Strata are revisited in order; each reads the pending change sets
+//! produced below it and decides a mode:
+//!
+//! * **skip** — no rule reads a changed predicate: untouched.
+//! * **append** (insertions only, no negation over changed
+//!   predicates) — semi-naive delta passes seeded with the pending
+//!   insertions, pinned to *any* positive body position whose
+//!   predicate changed (EDB and lower-stratum slots included; their
+//!   delta plans compile lazily through the shared [`PlanCache`]).
+//!   No iteration-0 pass: standing rows already carry every old
+//!   derivation, and the antichain condition representation absorbs
+//!   the new disjuncts exactly — subsumed old disjuncts are evicted
+//!   on merge, which is what a from-scratch run would have produced.
+//! * **DRed / counting** (deletions or negation involved) —
+//!   over-delete then re-derive. Suspect rows (head rows with a
+//!   derivation reachable from a deleted or changed row, found by
+//!   running the delta plans for taint detection against the *old*
+//!   tables) are removed wholesale; survivors are exact, because
+//!   every one of their derivations avoided the changed rows. Rules
+//!   whose heads lost rows then re-run their full iteration-0 plans
+//!   and the stratum iterates to fixpoint. On non-recursive strata
+//!   ([`DeletionStrategy::Counting`]) the frontier empties after one
+//!   round and the stored support counts gate whether re-derivation
+//!   runs at all; recursive strata
+//!   ([`DeletionStrategy::Rederive`]) chase the frontier to its
+//!   transitive closure.
+//!
+//! A changed negated predicate can strengthen *or* weaken downstream
+//! conditions without touching any term, so rules negating a changed
+//! predicate over-delete their whole head and re-derive it.
+//!
+//! ## Upward propagation and certification
+//!
+//! After a stratum settles (changed rows pruned through
+//! [`Table::prune_rows`]), each changed row is *certified* before
+//! flowing upward: a merged row whose condition is still the
+//! minimal-DNF antichain representation and was left untouched by the
+//! prune propagates as just its new disjuncts (the cheap path — upper
+//! antichains self-correct by subsumption). Anything else — opaque
+//! conditions, prune-simplified conditions, removed rows — propagates
+//! as delete-old-version + insert-new-version, pushing the upper
+//! stratum onto the DRed path. This is what keeps incremental results
+//! bit-identical (rows and canonicalized conditions) to a full
+//! re-evaluation.
+//!
+//! ## Scope
+//!
+//! Deltas may only touch *EDB-only* relations (not rule heads): a
+//! predicate that is both fact-seeded and derived stores its facts
+//! and derivations merged in one table, so a table-level delete would
+//! diverge from the update oracle. [`EvalError::InvalidDelta`] rejects
+//! such deltas explicitly.
+
+use super::fixpoint;
+use super::rule::eval_rule;
+use super::{resolve_cvars, Ctx, EvalError, EvalOptions, EvalOutput, PreparedProgram, PrunePolicy};
+use crate::analysis::Finding;
+use crate::ast::{Literal, Program, Rule};
+use crate::plan::{DeletionStrategy, PlanCache};
+use crate::update::{DeletePattern, Update};
+use faure_ctable::{CTuple, CVarId, CVarRegistry, Const, Database, Relation, Schema, Term};
+use faure_solver::{Session, SharedMemo};
+use faure_storage::{PhaseStats, PreparedRow, Table};
+use faure_trace::Tracer;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A batch of EDB changes: tuples to insert and patterns to delete.
+///
+/// Deletions apply first, then insertions — the order
+/// [`crate::update::apply_to_database`] uses, so a `Delta` built
+/// [from an update](Delta::from_update) has identical semantics.
+/// Entries naming a relation absent from the database are skipped,
+/// also mirroring the update oracle.
+#[derive(Clone, Debug, Default)]
+pub struct Delta {
+    /// Tuples to insert (conditions allowed), in order.
+    pub insert: Vec<(String, CTuple)>,
+    /// Deletion patterns (per-column constants; `None` = wildcard).
+    pub delete: Vec<(String, DeletePattern)>,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the delta carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
+
+    /// Queues a tuple insertion.
+    pub fn push_insert(&mut self, relation: impl Into<String>, tuple: CTuple) {
+        self.insert.push((relation.into(), tuple));
+    }
+
+    /// Queues an unconditional fact insertion.
+    pub fn push_insert_fact(
+        &mut self,
+        relation: impl Into<String>,
+        row: impl IntoIterator<Item = Const>,
+    ) {
+        let terms: Vec<Term> = row.into_iter().map(Term::Const).collect();
+        self.insert.push((relation.into(), CTuple::new(terms)));
+    }
+
+    /// Queues a pattern deletion.
+    pub fn push_delete(&mut self, relation: impl Into<String>, pattern: DeletePattern) {
+        self.delete.push((relation.into(), pattern));
+    }
+
+    /// Queues an exact-tuple deletion.
+    pub fn push_delete_exact(
+        &mut self,
+        relation: impl Into<String>,
+        row: impl IntoIterator<Item = Const>,
+    ) {
+        self.delete
+            .push((relation.into(), DeletePattern::exact(row)));
+    }
+
+    /// The delta equivalent of one §5 [`Update`]: its deletions
+    /// followed by its insertions, on the update's relation.
+    pub fn from_update(update: &Update) -> Self {
+        let mut delta = Delta::new();
+        for d in &update.deletions {
+            delta.push_delete(update.relation.clone(), d.clone());
+        }
+        for row in &update.insertions {
+            delta.push_insert_fact(update.relation.clone(), row.iter().cloned());
+        }
+        delta
+    }
+
+    /// Every tuple of every relation in `db`, as one big insert-delta
+    /// — the batch evaluation path applies this to empty state.
+    pub fn from_database(db: &Database) -> Self {
+        let mut delta = Delta::new();
+        for rel in db.relations() {
+            for tuple in rel.iter() {
+                delta.push_insert(rel.schema.name.clone(), tuple.clone());
+            }
+        }
+        delta
+    }
+}
+
+/// What one [`PreparedProgram::apply`] call did.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaReport {
+    /// EDB insertions that changed state (new row or new disjunct).
+    pub inserted: usize,
+    /// EDB rows removed or weakened by the delta's deletions.
+    pub deleted: usize,
+    /// Derived rows removed during DRed over-deletion.
+    pub overdeleted: usize,
+    /// Derived rows (re)derived or strengthened by propagation.
+    pub rederived: usize,
+    /// Rows removed by the end-of-stratum prune over changed rows.
+    pub pruned: usize,
+    /// Strata that did any work.
+    pub strata_touched: usize,
+    /// Touched strata handled by the counting strategy.
+    pub counting_strata: usize,
+    /// Touched strata handled by DRed over-delete/re-derive.
+    pub rederive_strata: usize,
+    /// Delta rows after each propagation iteration, across strata.
+    pub delta_sizes: Vec<usize>,
+    /// Wall-clock time of the whole apply.
+    pub wall: Duration,
+    /// Full phase statistics for this apply (solver, plans, ops).
+    pub stats: PhaseStats,
+}
+
+/// A standing evaluation: per-predicate tables, resolved c-variables,
+/// and the pooled solver memo, kept alive between
+/// [`Delta`] applications. Built by [`PreparedProgram::materialize`].
+pub struct MaterializedState {
+    pub(super) database: Database,
+    pub(super) cvmap: HashMap<String, CVarId>,
+    pub(super) reg_snapshot: CVarRegistry,
+    pub(super) shared_memo: Arc<SharedMemo>,
+    pub(super) tables: HashMap<String, Table>,
+    pub(super) plans: PlanCache,
+    pub(super) warnings: Vec<Finding>,
+    pub(super) tracer: Tracer,
+    pub(super) opts: EvalOptions,
+    pub(super) started: Instant,
+    pub(super) stats: PhaseStats,
+    /// True until the first apply: the batch fixpoint path.
+    pub(super) fresh: bool,
+}
+
+impl MaterializedState {
+    /// Lint findings from materialization.
+    pub fn warnings(&self) -> &[Finding] {
+        &self.warnings
+    }
+
+    /// The standing database (original EDB relations plus registry;
+    /// derived relations live in the tables until exported).
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The current contents of a predicate's table as a relation
+    /// (EDB or derived), reflecting every delta applied so far.
+    pub fn relation(&self, name: &str) -> Option<Relation> {
+        self.tables.get(name).map(Table::to_relation)
+    }
+
+    /// Statistics of the most recent apply.
+    pub fn stats(&self) -> &PhaseStats {
+        &self.stats
+    }
+
+    /// Whether no delta has been applied yet.
+    pub fn is_fresh(&self) -> bool {
+        self.fresh
+    }
+
+    /// Consumes the state into the classic [`EvalOutput`]: the input
+    /// database extended with every derived relation.
+    pub(super) fn into_output(mut self, program: &Program) -> EvalOutput {
+        let idb_names: Vec<String> = program
+            .idb_predicates()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        self.tables
+            .retain(|name, _| idb_names.iter().any(|p| p == name));
+        let mut derived_tuples = 0usize;
+        for p in &idb_names {
+            let t = self.tables.remove(p).expect("table created in setup");
+            derived_tuples += t.len();
+            self.database.set_relation(t.into_relation());
+        }
+        let total = self.started.elapsed();
+        self.stats.relational = total.saturating_sub(self.stats.solver);
+        self.stats.tuples = derived_tuples;
+        EvalOutput {
+            database: self.database,
+            stats: self.stats,
+            warnings: self.warnings,
+        }
+    }
+}
+
+/// Per-predicate change tracking across one stratum's propagation.
+#[derive(Default)]
+struct ChangeLog {
+    /// Old row version at first sight this apply (`None` = the row did
+    /// not exist), keyed by terms. Captured *before* any merge.
+    old: HashMap<Vec<Term>, Option<CTuple>>,
+    /// Terms whose row actually changed (new row or new disjunct).
+    dirty: BTreeSet<Vec<Term>>,
+}
+
+impl PreparedProgram {
+    /// Builds a [`MaterializedState`] for `db` and brings it to the
+    /// program's fixpoint (the batch evaluation, run through the
+    /// one-big-insert-delta path). Subsequent [`apply`] calls maintain
+    /// the fixpoint incrementally.
+    ///
+    /// [`apply`]: PreparedProgram::apply
+    pub fn materialize(&self, db: &Database) -> Result<MaterializedState, EvalError> {
+        self.materialize_with(db, &self.opts, &Tracer::disabled())
+    }
+
+    /// [`materialize`](PreparedProgram::materialize) with explicit
+    /// options and tracing.
+    pub fn materialize_with(
+        &self,
+        db: &Database,
+        opts: &EvalOptions,
+        tracer: &Tracer,
+    ) -> Result<MaterializedState, EvalError> {
+        let mut state = self.materialize_empty(db, opts, tracer)?;
+        self.apply(&mut state, Delta::from_database(db))?;
+        Ok(state)
+    }
+
+    /// The setup phase factored out of the old run-once path: lint,
+    /// c-variable resolution, memo checkout, and *empty* table
+    /// creation (EDB facts arrive via the first delta).
+    pub(super) fn materialize_empty(
+        &self,
+        db: &Database,
+        opts: &EvalOptions,
+        tracer: &Tracer,
+    ) -> Result<MaterializedState, EvalError> {
+        let program = &self.program;
+        let t_lint = tracer.now_ns();
+        // Diagnostic pre-pass: collect lint warnings without affecting
+        // evaluation. Findings are database-dependent (shadowed inputs,
+        // arity against actual relations), so this runs per
+        // materialization, not at prepare time.
+        let warnings: Vec<Finding> = crate::analysis::analyze(program, Some(db))
+            .into_iter()
+            .filter(|f| !f.is_error())
+            .collect();
+        tracer.emit_span("eval", "lint", t_lint, 0, || {
+            vec![("warnings", warnings.len().into())]
+        });
+
+        let t_setup = tracer.now_ns();
+        let mut database = db.clone();
+        let cvmap = resolve_cvars(program, &mut database);
+        // Check out the pooled solver memo: reuse it when its registry
+        // fingerprint still matches (batch mode — conditions decided in
+        // earlier runs become cross-run hits), replace it otherwise.
+        let shared_memo = {
+            let mut pool = self.memo_pool.lock().expect("memo pool poisoned");
+            match pool.as_ref() {
+                Some(memo) if memo.matches_registry(&database.cvars) => Arc::clone(memo),
+                _ => {
+                    let memo = Arc::new(SharedMemo::for_registry(&database.cvars));
+                    *pool = Some(Arc::clone(&memo));
+                    memo
+                }
+            }
+        };
+        shared_memo.begin_run();
+        let started = Instant::now();
+
+        // Empty tables: EDB relations keep their declared schemas; any
+        // predicate mentioned but absent gets an inferred one.
+        let mut tables: HashMap<String, Table> = HashMap::new();
+        for rel in database.relations() {
+            tables.insert(rel.schema.name.clone(), Table::new(rel.schema.clone()));
+        }
+        for rule in &program.rules {
+            for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(Literal::atom)) {
+                let arity = atom.args.len();
+                match tables.get(&atom.pred) {
+                    Some(t) if t.schema.arity() != arity => {
+                        return Err(EvalError::ArityMismatch {
+                            pred: atom.pred.clone(),
+                            expected: t.schema.arity(),
+                            got: arity,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        let attrs: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
+                        let schema = Schema {
+                            name: atom.pred.clone(),
+                            attrs,
+                        };
+                        tables.insert(atom.pred.clone(), Table::new(schema));
+                    }
+                }
+            }
+        }
+        let reg_snapshot = database.cvars.clone();
+        tracer.emit_span("eval", "setup", t_setup, 0, || {
+            vec![("tables", tables.len().into())]
+        });
+
+        Ok(MaterializedState {
+            database,
+            cvmap,
+            reg_snapshot,
+            shared_memo,
+            tables,
+            plans: self.plans.fresh_counters(),
+            warnings,
+            tracer: tracer.clone(),
+            opts: *opts,
+            started,
+            stats: PhaseStats::new(),
+            fresh: true,
+        })
+    }
+
+    /// Applies one delta to the standing state, maintaining every
+    /// derived table at the program's fixpoint. The first apply on a
+    /// fresh state runs the batch fixpoint drivers; later applies
+    /// propagate incrementally as described in the module docs.
+    pub fn apply(
+        &self,
+        state: &mut MaterializedState,
+        delta: Delta,
+    ) -> Result<DeltaReport, EvalError> {
+        let program = &self.program;
+        let tracer = state.tracer.clone();
+        let opts = state.opts;
+        let t_delta = tracer.now_ns();
+        let wall = Instant::now();
+        let fresh = state.fresh;
+        if !fresh {
+            state.shared_memo.begin_run();
+        }
+        let mut session = Session::with_shared(Arc::clone(&state.shared_memo));
+        let mut stats = PhaseStats::new();
+        let mut report = DeltaReport::default();
+        let hits_base = state.plans.hits;
+        let miss_base = state.plans.misses;
+
+        let idb: BTreeSet<&str> = program.idb_predicates();
+
+        // --- phase A: apply the delta to the EDB tables ---------------
+        // Pending change sets flowing upward through the strata: new
+        // disjuncts / new rows per predicate, and old versions of
+        // removed or rewritten rows.
+        let mut pend_ins: BTreeMap<String, Table> = BTreeMap::new();
+        let mut pend_del: BTreeMap<String, Vec<CTuple>> = BTreeMap::new();
+
+        for (rel_name, pattern) in &delta.delete {
+            if idb.contains(rel_name.as_str()) {
+                return Err(EvalError::InvalidDelta(format!(
+                    "cannot delete from `{rel_name}`: it is derived by rules \
+                     (facts and derivations share one table)"
+                )));
+            }
+            // Mirror `update::apply_to_database`: absent relation = no-op.
+            if state.database.relation(rel_name).is_none() {
+                continue;
+            }
+            let table = state
+                .tables
+                .get_mut(rel_name)
+                .expect("every database relation has a table");
+            if pattern.cols.len() != table.schema.arity() {
+                return Err(EvalError::ArityMismatch {
+                    pred: rel_name.clone(),
+                    expected: table.schema.arity(),
+                    got: pattern.cols.len(),
+                });
+            }
+            if pattern.cols.iter().all(Option::is_none) {
+                return Err(EvalError::InvalidDelta(format!(
+                    "unconstrained deletion pattern on `{rel_name}`"
+                )));
+            }
+            let eff = table.delete_where(&pattern.cols);
+            report.deleted += eff.removed.len() + eff.weakened.len();
+            if !eff.is_empty() {
+                let e = pend_del.entry(rel_name.clone()).or_default();
+                e.extend(eff.removed);
+                e.extend(eff.weakened);
+            }
+        }
+        for (rel_name, tuple) in &delta.insert {
+            if !fresh {
+                if idb.contains(rel_name.as_str()) {
+                    return Err(EvalError::InvalidDelta(format!(
+                        "cannot insert into `{rel_name}`: it is derived by rules \
+                         (facts and derivations share one table)"
+                    )));
+                }
+                if state.database.relation(rel_name).is_none() {
+                    continue;
+                }
+            }
+            let Some(table) = state.tables.get_mut(rel_name) else {
+                continue;
+            };
+            let old = if fresh {
+                None
+            } else {
+                table.find_row(&tuple.terms).map(|i| table.row(i))
+            };
+            let outcome = table.insert(tuple.clone())?;
+            if outcome.changed() {
+                report.inserted += 1;
+                if !fresh {
+                    let idx = table.find_row(&tuple.terms).expect("just inserted");
+                    let schema = table.schema.clone();
+                    match old {
+                        // Merged into an antichain: the tuple's own
+                        // condition is exactly the new disjunct set.
+                        Some(_) if table.has_sets_repr(idx) => {
+                            push_ins(&mut pend_ins, rel_name, &schema, tuple.clone());
+                        }
+                        // Opaque merge: propagate delete-old + insert-new.
+                        Some(old_row) => {
+                            pend_del.entry(rel_name.clone()).or_default().push(old_row);
+                            push_ins(&mut pend_ins, rel_name, &schema, table.row(idx));
+                        }
+                        // New row: its stored (normalised) version.
+                        None => push_ins(&mut pend_ins, rel_name, &schema, table.row(idx)),
+                    }
+                }
+            }
+        }
+
+        // --- fresh path: the exact batch fixpoint ---------------------
+        if fresh {
+            state.fresh = false;
+            self.run_batch_strata(state, &mut session, &mut stats)?;
+            finalize_apply(
+                self,
+                state,
+                session,
+                &mut stats,
+                &mut report,
+                program,
+                wall,
+                hits_base,
+                miss_base,
+            );
+            report.rederived = stats.tuples;
+            report.delta_sizes = stats.delta_sizes.clone();
+            report.pruned = stats.pruned;
+            report.strata_touched = self.strat.strata.len();
+            return Ok(report);
+        }
+
+        // --- incremental path -----------------------------------------
+        let mut changed_preds: BTreeSet<String> =
+            pend_ins.keys().chain(pend_del.keys()).cloned().collect();
+
+        let ctx = Ctx {
+            cvmap: &state.cvmap,
+            reg_snapshot: state.reg_snapshot.clone(),
+            shared_memo: Arc::clone(&state.shared_memo),
+            tracer: tracer.clone(),
+        };
+        let tables = &mut state.tables;
+        let plans = &mut state.plans;
+
+        for (si, stratum_rules) in self.strat.strata.iter().enumerate() {
+            let rules: Vec<(usize, &Rule)> = stratum_rules
+                .iter()
+                .map(|&i| (i, &program.rules[i]))
+                .collect();
+            let head_preds: BTreeSet<&str> =
+                rules.iter().map(|(_, r)| r.head.pred.as_str()).collect();
+            let reads_changed = rules.iter().any(|(_, r)| {
+                r.body
+                    .iter()
+                    .any(|l| changed_preds.contains(l.atom().pred.as_str()))
+            });
+            if !reads_changed {
+                continue;
+            }
+            report.strata_touched += 1;
+            let t_stratum = tracer.now_ns();
+
+            // Bit-identity gate: in-place delta propagation derives
+            // rows through join orders batch evaluation never runs
+            // (its plans pin the delta literal first), and condition
+            // atoms record the *binding chain* — `a` bound to a
+            // c-variable cell then matched against `2` yields `v̄ = 2`,
+            // while the reverse order yields ground atoms that fold.
+            // Over var-free cells every match condition is ground, so
+            // the derived rows are order-independent and the fast path
+            // is exact. Any c-variable cell in the stratum's tables or
+            // in a deleted row forces recomputation of the whole
+            // stratum through the batch loop, which is bit-identical
+            // by construction.
+            if !stratum_order_safe(&rules, tables, &pend_del) {
+                report.rederive_strata += 1;
+                let changed_rows = recompute_stratum(
+                    &ctx,
+                    si,
+                    &rules,
+                    tables,
+                    plans,
+                    &mut session,
+                    &opts,
+                    &mut stats,
+                    &mut report,
+                    &mut pend_ins,
+                    &mut pend_del,
+                    &mut changed_preds,
+                )?;
+                tracer.emit_span("maintain", "stratum", t_stratum, 0, || {
+                    vec![
+                        ("stratum", si.into()),
+                        ("mode", "recompute".into()),
+                        ("changed", changed_rows.into()),
+                    ]
+                });
+                continue;
+            }
+
+            let del_relevant = rules.iter().any(|(_, r)| {
+                r.body
+                    .iter()
+                    .any(|l| !l.is_negative() && pend_del.contains_key(l.atom().pred.as_str()))
+            });
+            let neg_involved = rules.iter().any(|(_, r)| {
+                r.body
+                    .iter()
+                    .any(|l| l.is_negative() && changed_preds.contains(l.atom().pred.as_str()))
+            });
+
+            let mut changed: BTreeMap<String, ChangeLog> = BTreeMap::new();
+            let mut outbound: BTreeMap<String, Table> = BTreeMap::new();
+            let mut removed_old: BTreeMap<String, Vec<CTuple>> = BTreeMap::new();
+
+            // Seed the propagation delta: pending insertions on every
+            // predicate some rule reads positively.
+            let mut seed: HashMap<String, Table> = HashMap::new();
+            for (_, rule) in &rules {
+                for lit in &rule.body {
+                    if lit.is_negative() {
+                        continue;
+                    }
+                    let p = lit.atom().pred.as_str();
+                    if !seed.contains_key(p) {
+                        if let Some(t) = pend_ins.get(p) {
+                            seed.insert(p.to_owned(), t.clone());
+                        }
+                    }
+                }
+            }
+
+            let mode;
+            let mut iter0: BTreeSet<String> = BTreeSet::new();
+            if del_relevant || neg_involved {
+                mode = match self
+                    .maint
+                    .strategies
+                    .get(*head_preds.iter().next().unwrap_or(&""))
+                {
+                    Some(DeletionStrategy::Counting) => "counting",
+                    _ => "rederive",
+                };
+                if self.maint.recursive_strata.get(si) == Some(&false) {
+                    report.counting_strata += 1;
+                } else {
+                    report.rederive_strata += 1;
+                }
+
+                // 1. Suspects: rows of negation-affected heads, plus
+                // everything derivation-reachable from deleted rows.
+                let mut suspects: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+                let mut frontier: HashMap<String, Table> = HashMap::new();
+                for (_, rule) in &rules {
+                    let negated = rule
+                        .body
+                        .iter()
+                        .any(|l| l.is_negative() && changed_preds.contains(l.atom().pred.as_str()));
+                    if negated {
+                        let h = rule.head.pred.as_str();
+                        // Negation can also *unlock* brand-new rows, so
+                        // these rules always re-run iteration 0.
+                        iter0.insert(h.to_owned());
+                        let ht = tables.get(h).expect("table created in setup");
+                        let set = suspects.entry(h.to_owned()).or_default();
+                        let f = frontier
+                            .entry(h.to_owned())
+                            .or_insert_with(|| Table::new(ht.schema.clone()));
+                        for i in 0..ht.len() {
+                            if set.insert(i) {
+                                f.insert(ht.row(i)).expect("same schema");
+                            }
+                        }
+                    }
+                }
+                for (p, old_rows) in &pend_del {
+                    let read = rules.iter().any(|(_, r)| {
+                        r.body
+                            .iter()
+                            .any(|l| !l.is_negative() && l.atom().pred.as_str() == p.as_str())
+                    });
+                    if !read {
+                        continue;
+                    }
+                    let schema = tables.get(p.as_str()).expect("table exists").schema.clone();
+                    let f = frontier
+                        .entry(p.clone())
+                        .or_insert_with(|| Table::new(schema));
+                    for row in old_rows {
+                        f.insert(row.clone()).expect("old rows match their schema");
+                    }
+                }
+
+                // 2. Over-delete rounds: taint detection by terms, run
+                // against the *old* (pre-removal) tables. Prune must be
+                // off here — an eagerly-skipped unsatisfiable candidate
+                // would hide a taint. Deleted rows were already removed
+                // or weakened from their tables in phase A, but a
+                // derivation can use the same deleted row at *two* join
+                // positions (only one of which is the delta slot), so
+                // the old versions are temporarily unioned back in —
+                // taint detection is term-level, so merged conditions
+                // are irrelevant — and the tables restored afterwards.
+                let od_opts = EvalOptions {
+                    prune: PrunePolicy::Never,
+                    ..opts
+                };
+                let mut saved_tables: Vec<(String, Table)> = Vec::new();
+                for (p, old_rows) in &pend_del {
+                    if !frontier.contains_key(p) {
+                        continue;
+                    }
+                    let t = tables.get_mut(p.as_str()).expect("table exists");
+                    saved_tables.push((p.clone(), t.clone()));
+                    for row in old_rows {
+                        t.insert(row.clone()).expect("old rows match their schema");
+                    }
+                }
+                let t_od = tracer.now_ns();
+                let mut rounds = 0usize;
+                while !frontier.is_empty() {
+                    rounds += 1;
+                    if rounds > opts.max_iterations {
+                        return Err(EvalError::IterationLimit {
+                            limit: opts.max_iterations,
+                        });
+                    }
+                    let mut next: HashMap<String, Table> = HashMap::new();
+                    for &(ri, rule) in &rules {
+                        for &pos in &self.maint.delta_positions[ri] {
+                            let p = rule.body[pos].atom().pred.as_str();
+                            let Some(d) = frontier.get(p) else { continue };
+                            if d.is_empty() {
+                                continue;
+                            }
+                            let plan = plans.get_or_compile(ri, rule, Some(pos));
+                            let derived = eval_rule(
+                                &ctx,
+                                ri,
+                                rule,
+                                plan,
+                                tables,
+                                Some(d),
+                                &mut session,
+                                &od_opts,
+                                &mut stats.ops,
+                            )?;
+                            let h = rule.head.pred.as_str();
+                            let ht = tables.get(h).expect("table created in setup");
+                            let set = suspects.entry(h.to_owned()).or_default();
+                            for prow in derived.iter().flatten() {
+                                if let Some(idx) = ht.find_row(prow.terms()) {
+                                    if set.insert(idx) {
+                                        next.entry(h.to_owned())
+                                            .or_insert_with(|| Table::new(ht.schema.clone()))
+                                            .insert(ht.row(idx))
+                                            .expect("same schema");
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    frontier = next;
+                }
+                for (p, t) in saved_tables {
+                    tables.insert(p, t);
+                }
+
+                // 3. Physically remove every suspect; removed heads
+                // re-run their full iteration-0 plans.
+                for (p, idxs) in &suspects {
+                    if idxs.is_empty() {
+                        continue;
+                    }
+                    let t = tables.get_mut(p.as_str()).expect("table exists");
+                    let sorted: Vec<usize> = idxs.iter().copied().collect();
+                    let old_rows = t.remove_rows(&sorted);
+                    report.overdeleted += old_rows.len();
+                    iter0.insert(p.clone());
+                    removed_old.insert(p.clone(), old_rows);
+                }
+                let overdeleted = report.overdeleted;
+                tracer.emit_span("maintain", "rederive", t_od, 0, || {
+                    vec![
+                        ("stratum", si.into()),
+                        ("rounds", rounds.into()),
+                        ("overdeleted", overdeleted.into()),
+                    ]
+                });
+            } else {
+                mode = "append";
+            }
+
+            // 4. Propagate to fixpoint: iteration-0 full passes for
+            // re-derived heads, then semi-naive delta passes pinned to
+            // every changed body position.
+            stratum_fixpoint(
+                &ctx,
+                &rules,
+                &self.maint.delta_positions,
+                &iter0,
+                seed,
+                tables,
+                plans,
+                &mut session,
+                &opts,
+                &mut stats,
+                &mut report,
+                &mut changed,
+                &mut outbound,
+            )?;
+
+            // 5. Settle: prune changed rows, certify, and queue the
+            // upward change sets.
+            settle_stratum(
+                &ctx,
+                &opts,
+                tables,
+                &mut session,
+                &mut stats,
+                &mut report,
+                &changed,
+                &outbound,
+                &removed_old,
+                &mut pend_ins,
+                &mut pend_del,
+                &mut changed_preds,
+            )?;
+
+            let changed_rows: usize = changed.values().map(|l| l.dirty.len()).sum();
+            tracer.emit_span("maintain", "stratum", t_stratum, 0, || {
+                vec![
+                    ("stratum", si.into()),
+                    ("mode", mode.into()),
+                    ("changed", changed_rows.into()),
+                ]
+            });
+        }
+
+        finalize_apply(
+            self,
+            state,
+            session,
+            &mut stats,
+            &mut report,
+            program,
+            wall,
+            hits_base,
+            miss_base,
+        );
+        let (ins, del, od, rd) = (
+            report.inserted,
+            report.deleted,
+            report.overdeleted,
+            report.rederived,
+        );
+        let wall_ns = u64::try_from(report.wall.as_nanos()).unwrap_or(u64::MAX);
+        tracer.emit_span("maintain", "delta", t_delta, 0, || {
+            vec![
+                ("inserted", ins.into()),
+                ("deleted", del.into()),
+                ("overdeleted", od.into()),
+                ("rederived", rd.into()),
+                ("wall_ns", wall_ns.into()),
+            ]
+        });
+        Ok(report)
+    }
+
+    /// The batch stratum loop, bit-for-bit the old run-once path:
+    /// naive or semi-naive fixpoint per stratum, then whole-table
+    /// pruning in deterministic predicate order.
+    fn run_batch_strata(
+        &self,
+        state: &mut MaterializedState,
+        session: &mut Session,
+        stats: &mut PhaseStats,
+    ) -> Result<(), EvalError> {
+        let program = &self.program;
+        let opts = state.opts;
+        let tracer = state.tracer.clone();
+        let ctx = Ctx {
+            cvmap: &state.cvmap,
+            reg_snapshot: state.reg_snapshot.clone(),
+            shared_memo: Arc::clone(&state.shared_memo),
+            tracer: tracer.clone(),
+        };
+        let tables = &mut state.tables;
+        let plans = &mut state.plans;
+        for (stratum_idx, stratum_rules) in self.strat.strata.iter().enumerate() {
+            let rules: Vec<(usize, &Rule)> = stratum_rules
+                .iter()
+                .map(|&i| (i, &program.rules[i]))
+                .collect();
+            run_one_stratum(
+                &ctx,
+                stratum_idx,
+                &rules,
+                tables,
+                plans,
+                session,
+                &opts,
+                stats,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One stratum of the batch fixpoint: naive or semi-naive iteration
+/// over the current tables, then whole-table pruning in deterministic
+/// predicate order. This is the unit shared by the fresh-materialize
+/// path and the maintenance recomputation fallback, so both produce
+/// bit-identical tables and trace spans for the same inputs.
+#[allow(clippy::too_many_arguments)]
+fn run_one_stratum(
+    ctx: &Ctx<'_>,
+    stratum_idx: usize,
+    rules: &[(usize, &Rule)],
+    tables: &mut HashMap<String, Table>,
+    plans: &mut PlanCache,
+    session: &mut Session,
+    opts: &EvalOptions,
+    stats: &mut PhaseStats,
+) -> Result<(), EvalError> {
+    let tracer = &ctx.tracer;
+    let t_stratum = tracer.now_ns();
+    let stratum_preds: BTreeSet<&str> = rules.iter().map(|(_, r)| r.head.pred.as_str()).collect();
+
+    if opts.semi_naive {
+        fixpoint::eval_stratum_semi_naive(
+            ctx,
+            rules,
+            &stratum_preds,
+            tables,
+            plans,
+            session,
+            opts,
+            stats,
+        )?;
+    } else {
+        fixpoint::eval_stratum_naive(ctx, rules, tables, plans, session, opts, stats)?;
+    }
+
+    if matches!(
+        opts.prune,
+        PrunePolicy::EndOfStratum | PrunePolicy::EveryIteration
+    ) {
+        // `stratum_preds` is a BTreeSet, so prune order — and
+        // therefore the trace event stream — is deterministic.
+        for p in &stratum_preds {
+            let t_prune = tracer.now_ns();
+            let t = tables.get_mut(*p).expect("table created above");
+            let rows = t.len();
+            let wall = Instant::now();
+            let removed = if opts.threads > 1 {
+                t.prune_parallel(&ctx.reg_snapshot, session, &ctx.shared_memo, opts.threads)?
+            } else {
+                t.prune(&ctx.reg_snapshot, session)?
+            };
+            stats.prune_wall += wall.elapsed();
+            stats.pruned += removed;
+            tracer.emit_span("eval", "prune", t_prune, 0, || {
+                vec![
+                    ("pred", (*p).into()),
+                    ("rows", rows.into()),
+                    ("removed", removed.into()),
+                    ("threads", opts.threads.into()),
+                ]
+            });
+        }
+    }
+    let rule_count = rules.len();
+    tracer.emit_span("eval", "stratum", t_stratum, 0, || {
+        vec![
+            ("stratum", stratum_idx.into()),
+            ("rules", rule_count.into()),
+        ]
+    });
+    Ok(())
+}
+
+/// Whether every table a stratum touches (head and body predicates) is
+/// free of c-variable *cells*, and every pending deleted row has ground
+/// terms. Under this condition the in-place delta passes derive exactly
+/// the rows and conditions batch evaluation would, regardless of join
+/// order (see the gate comment in [`PreparedProgram::apply`]).
+fn stratum_order_safe(
+    rules: &[(usize, &Rule)],
+    tables: &HashMap<String, Table>,
+    pend_del: &BTreeMap<String, Vec<CTuple>>,
+) -> bool {
+    let mut preds: BTreeSet<&str> = BTreeSet::new();
+    for (_, rule) in rules {
+        preds.insert(rule.head.pred.as_str());
+        for lit in &rule.body {
+            preds.insert(lit.atom().pred.as_str());
+        }
+    }
+    preds.iter().all(|p| {
+        tables.get(*p).is_none_or(|t| !t.has_var_cells())
+            && pend_del.get(*p).is_none_or(|rows| {
+                rows.iter()
+                    .all(|r| r.terms.iter().all(|t| matches!(t, Term::Const(_))))
+            })
+    })
+}
+
+/// Maintenance fallback for order-sensitive strata: drains the head
+/// tables, re-runs the batch stratum loop on the (already updated)
+/// inputs, and diffs old against new to queue the upward change sets.
+/// Inputs are bit-identical to what a from-scratch batch run would see
+/// at this stratum, so the recomputed tables are too. Returns the
+/// number of rows that differ.
+#[allow(clippy::too_many_arguments)]
+fn recompute_stratum(
+    ctx: &Ctx<'_>,
+    si: usize,
+    rules: &[(usize, &Rule)],
+    tables: &mut HashMap<String, Table>,
+    plans: &mut PlanCache,
+    session: &mut Session,
+    opts: &EvalOptions,
+    stats: &mut PhaseStats,
+    report: &mut DeltaReport,
+    pend_ins: &mut BTreeMap<String, Table>,
+    pend_del: &mut BTreeMap<String, Vec<CTuple>>,
+    changed_preds: &mut BTreeSet<String>,
+) -> Result<usize, EvalError> {
+    let head_preds: BTreeSet<&str> = rules.iter().map(|(_, r)| r.head.pred.as_str()).collect();
+    let mut old: BTreeMap<String, Table> = BTreeMap::new();
+    for p in &head_preds {
+        let t = tables.get_mut(*p).expect("table created in setup");
+        let empty = Table::new(t.schema.clone());
+        old.insert((*p).to_owned(), std::mem::replace(t, empty));
+    }
+    run_one_stratum(ctx, si, rules, tables, plans, session, opts, stats)?;
+
+    let mut changed_rows = 0usize;
+    for (p, old_t) in &old {
+        let new_t = tables.get(p.as_str()).expect("table created in setup");
+        let schema = new_t.schema.clone();
+        report.rederived += new_t.len();
+        let mut ins: Vec<CTuple> = Vec::new();
+        let mut del: Vec<CTuple> = Vec::new();
+        for i in 0..old_t.len() {
+            let row = old_t.row(i);
+            match new_t.find_row(&row.terms) {
+                // Unchanged: pooled ids are hash-consed, so equal ids
+                // mean equal conditions.
+                Some(j) if new_t.cond_id(j) == old_t.cond_id(i) => {}
+                Some(j) => {
+                    del.push(row);
+                    ins.push(new_t.row(j));
+                }
+                None => {
+                    report.overdeleted += 1;
+                    del.push(row);
+                }
+            }
+        }
+        for j in 0..new_t.len() {
+            let row = new_t.row(j);
+            if old_t.find_row(&row.terms).is_none() {
+                ins.push(row);
+            }
+        }
+        changed_rows += ins.len() + del.len();
+        if !ins.is_empty() || !del.is_empty() {
+            changed_preds.insert(p.clone());
+        }
+        for row in ins {
+            push_ins(pend_ins, p, &schema, row);
+        }
+        if !del.is_empty() {
+            pend_del.entry(p.clone()).or_default().extend(del);
+        }
+    }
+    Ok(changed_rows)
+}
+
+/// Appends a row to a pending-insertion table, creating it on demand.
+fn push_ins(pend_ins: &mut BTreeMap<String, Table>, pred: &str, schema: &Schema, row: CTuple) {
+    pend_ins
+        .entry(pred.to_owned())
+        .or_insert_with(|| Table::new(schema.clone()))
+        .insert(row)
+        .expect("pending rows match their table's schema");
+}
+
+/// Merges derived partitions into the full table, capturing old row
+/// versions at first sight and recording every actually-changed row in
+/// the change log, the next-iteration delta, and the per-stratum
+/// outbound table (new disjuncts only — `insert_prepared` reuses the
+/// normalised condition).
+fn merge_tracked(
+    pred: &str,
+    derived: Vec<Vec<PreparedRow>>,
+    tables: &mut HashMap<String, Table>,
+    next_delta: &mut HashMap<String, Table>,
+    changed: &mut BTreeMap<String, ChangeLog>,
+    outbound: &mut BTreeMap<String, Table>,
+) -> Result<(), EvalError> {
+    if derived.iter().all(Vec::is_empty) {
+        return Ok(());
+    }
+    let table = tables.get_mut(pred).expect("table created in setup");
+    let log = changed.entry(pred.to_owned()).or_default();
+    for prow in derived.iter().flatten() {
+        if !log.old.contains_key(prow.terms()) {
+            let old = table.find_row(prow.terms()).map(|i| table.row(i));
+            log.old.insert(prow.terms().to_vec(), old);
+        }
+    }
+    let schema = table.schema.clone();
+    let ob = outbound
+        .entry(pred.to_owned())
+        .or_insert_with(|| Table::new(schema.clone()));
+    table.absorb_partitions(derived, |prow| {
+        log.dirty.insert(prow.terms().to_vec());
+        next_delta
+            .entry(pred.to_owned())
+            .or_insert_with(|| Table::new(schema.clone()))
+            .insert_prepared(prow)
+            .expect("delta schema matches the full table");
+        ob.insert_prepared(prow)
+            .expect("outbound schema matches the full table");
+    })?;
+    Ok(())
+}
+
+/// One stratum's incremental fixpoint: optional iteration-0 full
+/// passes for re-derived heads, then semi-naive delta passes pinned to
+/// every positive body position whose predicate has a pending delta —
+/// EDB and lower-stratum slots included (their plans compile lazily).
+#[allow(clippy::too_many_arguments)]
+fn stratum_fixpoint(
+    ctx: &Ctx<'_>,
+    rules: &[(usize, &Rule)],
+    delta_positions: &[Vec<usize>],
+    iter0: &BTreeSet<String>,
+    mut delta: HashMap<String, Table>,
+    tables: &mut HashMap<String, Table>,
+    plans: &mut PlanCache,
+    session: &mut Session,
+    opts: &EvalOptions,
+    stats: &mut PhaseStats,
+    report: &mut DeltaReport,
+    changed: &mut BTreeMap<String, ChangeLog>,
+    outbound: &mut BTreeMap<String, Table>,
+) -> Result<(), EvalError> {
+    if !iter0.is_empty() {
+        for &(ri, rule) in rules {
+            if !iter0.contains(rule.head.pred.as_str()) {
+                continue;
+            }
+            let plan = plans.get_or_compile(ri, rule, None);
+            let derived = eval_rule(
+                ctx,
+                ri,
+                rule,
+                plan,
+                tables,
+                None,
+                session,
+                opts,
+                &mut stats.ops,
+            )?;
+            merge_tracked(
+                rule.head.pred.as_str(),
+                derived,
+                tables,
+                &mut delta,
+                changed,
+                outbound,
+            )?;
+        }
+    }
+    record_delta(&delta, stats, report);
+    let mut iterations = 0usize;
+    while !delta.is_empty() {
+        iterations += 1;
+        if iterations > opts.max_iterations {
+            return Err(EvalError::IterationLimit {
+                limit: opts.max_iterations,
+            });
+        }
+        let mut next_delta: HashMap<String, Table> = HashMap::new();
+        for &(ri, rule) in rules {
+            for &pos in &delta_positions[ri] {
+                let p = rule.body[pos].atom().pred.as_str();
+                let Some(d) = delta.get(p) else { continue };
+                if d.is_empty() {
+                    continue;
+                }
+                let plan = plans.get_or_compile(ri, rule, Some(pos));
+                let derived = eval_rule(
+                    ctx,
+                    ri,
+                    rule,
+                    plan,
+                    tables,
+                    Some(d),
+                    session,
+                    opts,
+                    &mut stats.ops,
+                )?;
+                merge_tracked(
+                    rule.head.pred.as_str(),
+                    derived,
+                    tables,
+                    &mut next_delta,
+                    changed,
+                    outbound,
+                )?;
+            }
+        }
+        delta = next_delta;
+        record_delta(&delta, stats, report);
+    }
+    Ok(())
+}
+
+fn record_delta(delta: &HashMap<String, Table>, stats: &mut PhaseStats, report: &mut DeltaReport) {
+    let total: usize = delta.values().map(Table::len).sum();
+    if total > 0 {
+        stats.delta_sizes.push(total);
+        report.delta_sizes.push(total);
+    }
+}
+
+/// End-of-stratum settlement: prune the changed rows, then certify
+/// each one and queue the upward change sets (see the module docs).
+#[allow(clippy::too_many_arguments)]
+fn settle_stratum(
+    ctx: &Ctx<'_>,
+    opts: &EvalOptions,
+    tables: &mut HashMap<String, Table>,
+    session: &mut Session,
+    stats: &mut PhaseStats,
+    report: &mut DeltaReport,
+    changed: &BTreeMap<String, ChangeLog>,
+    outbound: &BTreeMap<String, Table>,
+    removed_old: &BTreeMap<String, Vec<CTuple>>,
+    pend_ins: &mut BTreeMap<String, Table>,
+    pend_del: &mut BTreeMap<String, Vec<CTuple>>,
+    changed_preds: &mut BTreeSet<String>,
+) -> Result<(), EvalError> {
+    // Old versions of removed rows always flow upward as deletions
+    // (re-derived replacements flow as insertions below).
+    for (p, old_rows) in removed_old {
+        if old_rows.is_empty() {
+            continue;
+        }
+        pend_del
+            .entry(p.clone())
+            .or_default()
+            .extend(old_rows.iter().cloned());
+        changed_preds.insert(p.clone());
+    }
+
+    for (p, log) in changed {
+        if log.dirty.is_empty() {
+            continue;
+        }
+        report.rederived += log.dirty.len();
+        let table = tables.get_mut(p.as_str()).expect("table created in setup");
+        let schema = table.schema.clone();
+
+        // Pre-prune condition ids per changed row: certification
+        // requires the prune to have left the condition untouched.
+        let mut pre_ids: HashMap<&Vec<Term>, faure_ctable::CondId> = HashMap::new();
+        let mut idxs: Vec<usize> = Vec::with_capacity(log.dirty.len());
+        for terms in &log.dirty {
+            if let Some(idx) = table.find_row(terms) {
+                pre_ids.insert(terms, table.cond_id(idx));
+                idxs.push(idx);
+            }
+        }
+        if matches!(
+            opts.prune,
+            PrunePolicy::EndOfStratum | PrunePolicy::EveryIteration
+        ) && !idxs.is_empty()
+        {
+            let t_prune = ctx.tracer.now_ns();
+            let rows = idxs.len();
+            let wall = Instant::now();
+            let removed = table.prune_rows(&ctx.reg_snapshot, session, &idxs)?;
+            stats.prune_wall += wall.elapsed();
+            stats.pruned += removed;
+            report.pruned += removed;
+            ctx.tracer.emit_span("eval", "prune", t_prune, 0, || {
+                vec![
+                    ("pred", p.as_str().into()),
+                    ("rows", rows.into()),
+                    ("removed", removed.into()),
+                    ("threads", 1usize.into()),
+                ]
+            });
+        }
+
+        let ob = outbound.get(p);
+        for terms in &log.dirty {
+            let old = log.old.get(terms).cloned().flatten();
+            match table.find_row(terms) {
+                None => {
+                    // Died (pruned away). If it existed before this
+                    // apply, upper strata must forget its old version.
+                    if let Some(old_row) = old {
+                        pend_del.entry(p.clone()).or_default().push(old_row);
+                        changed_preds.insert(p.clone());
+                    }
+                }
+                Some(idx) => {
+                    changed_preds.insert(p.clone());
+                    match old {
+                        None => {
+                            // New row: final (pruned) version upward.
+                            push_ins(pend_ins, p, &schema, table.row(idx));
+                        }
+                        Some(old_row) => {
+                            let certified = table.has_sets_repr(idx)
+                                && pre_ids.get(terms).copied() == Some(table.cond_id(idx));
+                            if certified {
+                                // Pure antichain append: only the new
+                                // disjuncts travel upward.
+                                let ob_row = ob
+                                    .and_then(|t| t.find_row(terms).map(|i| t.row(i)))
+                                    .expect("dirty rows were recorded in outbound");
+                                push_ins(pend_ins, p, &schema, ob_row);
+                            } else {
+                                pend_del.entry(p.clone()).or_default().push(old_row);
+                                push_ins(pend_ins, p, &schema, table.row(idx));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shared tail of every apply: solver/plan statistics and report
+/// totals.
+#[allow(clippy::too_many_arguments)]
+fn finalize_apply(
+    prepared: &PreparedProgram,
+    state: &mut MaterializedState,
+    session: Session,
+    stats: &mut PhaseStats,
+    report: &mut DeltaReport,
+    program: &Program,
+    wall: Instant,
+    hits_base: u64,
+    miss_base: u64,
+) {
+    let total = wall.elapsed();
+    let solver_time = session.stats().time;
+    stats.relational = total.saturating_sub(solver_time);
+    stats.solver = solver_time;
+    stats.solver_stats = session.stats();
+    stats.plan_cache_hits = state.plans.hits - hits_base;
+    stats.plan_cache_misses = prepared.compiled + (state.plans.misses - miss_base);
+    stats.tuples = program
+        .idb_predicates()
+        .iter()
+        .filter_map(|p| state.tables.get(*p))
+        .map(Table::len)
+        .sum();
+    report.wall = total;
+    report.stats = stats.clone();
+    state.stats = stats.clone();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{canonicalize, Engine, EvalError};
+    use super::*;
+    use crate::parser::parse_program;
+    use faure_ctable::{Condition, Domain};
+    use std::collections::BTreeSet;
+
+    /// Reorients symmetric comparisons (`=`, `≠`) into one canonical
+    /// operand order. The storage layer's pooled DNF representation may
+    /// flip `x̄ = 1` into `1 = x̄` relative to a raw input condition;
+    /// both sides of the differential get the same orientation here.
+    fn orient(c: Condition) -> Condition {
+        match c {
+            Condition::Atom(a)
+                if matches!(a.op, faure_ctable::CmpOp::Eq | faure_ctable::CmpOp::Ne)
+                    && format!("{:?}", a.lhs) > format!("{:?}", a.rhs) =>
+            {
+                Condition::Atom(faure_ctable::Atom {
+                    lhs: a.rhs,
+                    op: a.op,
+                    rhs: a.lhs,
+                })
+            }
+            Condition::Not(inner) => Condition::Not(Arc::new(orient((*inner).clone()))),
+            Condition::And(cs) => {
+                Condition::And(Arc::new(cs.iter().cloned().map(orient).collect()))
+            }
+            Condition::Or(cs) => Condition::Or(Arc::new(cs.iter().cloned().map(orient).collect())),
+            other => other,
+        }
+    }
+
+    /// Set snapshot of a relation: terms plus canonicalized condition.
+    /// Incremental maintenance may store rows in a different order than
+    /// a from-scratch run (re-derived rows append at the end), so
+    /// comparisons are set-based; canonicalization (plus symmetric-atom
+    /// reorientation) washes the tree-shape differences the same
+    /// condition can be built with.
+    fn snapshot(rel: &Relation) -> BTreeSet<String> {
+        rel.iter()
+            .map(|t| {
+                format!(
+                    "{:?} | {:?}",
+                    t.terms,
+                    canonicalize(orient(canonicalize(t.cond.clone())))
+                )
+            })
+            .collect()
+    }
+
+    /// Applies every delta through `apply` on a standing state AND
+    /// through the §5 oracle (update + full re-eval), asserting the
+    /// maintained tables match the re-evaluation after every step.
+    fn check_differential(program_src: &str, db: &Database, deltas: Vec<Delta>, preds: &[&str]) {
+        let program = parse_program(program_src).unwrap();
+        let prepared = Engine::new().prepare(&program).unwrap();
+        let mut state = prepared.materialize(db).unwrap();
+        let mut oracle_db = db.clone();
+        for (step, delta) in deltas.into_iter().enumerate() {
+            let update_by_rel = {
+                let mut m: Vec<(String, Update)> = Vec::new();
+                for (rel, pat) in &delta.delete {
+                    match m.iter_mut().find(|(r, _)| r == rel) {
+                        Some((_, u)) => u.deletions.push(pat.clone()),
+                        None => m.push((
+                            rel.clone(),
+                            Update {
+                                relation: rel.clone(),
+                                insertions: vec![],
+                                deletions: vec![pat.clone()],
+                            },
+                        )),
+                    }
+                }
+                for (rel, tuple) in &delta.insert {
+                    let row: Vec<Const> = tuple
+                        .terms
+                        .iter()
+                        .map(|t| t.as_const().unwrap().clone())
+                        .collect();
+                    match m.iter_mut().find(|(r, _)| r == rel) {
+                        Some((_, u)) => u.insertions.push(row),
+                        None => m.push((
+                            rel.clone(),
+                            Update {
+                                relation: rel.clone(),
+                                insertions: vec![row],
+                                deletions: vec![],
+                            },
+                        )),
+                    }
+                }
+                m
+            };
+            prepared.apply(&mut state, delta).unwrap();
+            for (_, u) in &update_by_rel {
+                crate::update::apply_to_database(u, &mut oracle_db).unwrap();
+            }
+            let full = prepared.run(&oracle_db).unwrap();
+            for p in preds {
+                let maintained = state
+                    .relation(p)
+                    .unwrap_or_else(|| panic!("predicate {p} missing from maintained state"));
+                let reeval = full.relation(p).unwrap();
+                assert_eq!(
+                    snapshot(&maintained),
+                    snapshot(reeval),
+                    "step {step}: maintained `{p}` diverged from full re-eval"
+                );
+            }
+        }
+    }
+
+    fn chain_db(n: i64) -> Database {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for i in 1..n {
+            db.insert("E", CTuple::new([Term::int(i), Term::int(i + 1)]))
+                .unwrap();
+        }
+        db
+    }
+
+    const TC: &str = "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n";
+
+    #[test]
+    fn materialize_matches_run() {
+        let db = chain_db(6);
+        let program = parse_program(TC).unwrap();
+        let prepared = Engine::new().prepare(&program).unwrap();
+        let state = prepared.materialize(&db).unwrap();
+        let full = prepared.run(&db).unwrap();
+        assert_eq!(
+            snapshot(&state.relation("R").unwrap()),
+            snapshot(full.relation("R").unwrap())
+        );
+        assert_eq!(state.relation("R").unwrap().len(), 15);
+        assert!(!state.is_fresh());
+    }
+
+    #[test]
+    fn insert_extends_transitive_closure() {
+        let db = chain_db(4); // 1→2→3→4
+        let mut d = Delta::new();
+        d.push_insert_fact("E", [Const::Int(4), Const::Int(5)]);
+        check_differential(TC, &db, vec![d], &["R", "E"]);
+    }
+
+    #[test]
+    fn insert_report_counts_propagation() {
+        let db = chain_db(4);
+        let program = parse_program(TC).unwrap();
+        let prepared = Engine::new().prepare(&program).unwrap();
+        let mut state = prepared.materialize(&db).unwrap();
+        let mut d = Delta::new();
+        d.push_insert_fact("E", [Const::Int(4), Const::Int(5)]);
+        let report = prepared.apply(&mut state, d).unwrap();
+        assert_eq!(report.inserted, 1);
+        assert_eq!(report.deleted, 0);
+        assert_eq!(report.overdeleted, 0);
+        // New paths: 4→5, 3→5, 2→5, 1→5.
+        assert_eq!(report.rederived, 4);
+        assert_eq!(report.strata_touched, 1);
+        assert_eq!(state.relation("R").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn delete_shrinks_transitive_closure() {
+        let db = chain_db(6);
+        let mut d = Delta::new();
+        d.push_delete_exact("E", [Const::Int(3), Const::Int(4)]);
+        check_differential(TC, &db, vec![d], &["R", "E"]);
+    }
+
+    #[test]
+    fn delete_on_cycle_rederives_surviving_paths() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        for (a, b) in [(1, 2), (2, 3), (3, 1), (2, 4), (4, 3)] {
+            db.insert("E", CTuple::new([Term::int(a), Term::int(b)]))
+                .unwrap();
+        }
+        let mut d = Delta::new();
+        d.push_delete_exact("E", [Const::Int(2), Const::Int(3)]);
+        // 2→3 survives via 2→4→3; the cycle must be re-derived, not lost.
+        check_differential(TC, &db, vec![d], &["R"]);
+    }
+
+    #[test]
+    fn mixed_stream_of_deltas_stays_synchronized() {
+        let db = chain_db(5);
+        let mut d1 = Delta::new();
+        d1.push_insert_fact("E", [Const::Int(5), Const::Int(1)]); // close the cycle
+        let mut d2 = Delta::new();
+        d2.push_delete_exact("E", [Const::Int(2), Const::Int(3)]);
+        d2.push_insert_fact("E", [Const::Int(2), Const::Int(5)]);
+        let mut d3 = Delta::new();
+        d3.push_delete_exact("E", [Const::Int(5), Const::Int(1)]);
+        check_differential(TC, &db, vec![d1, d2, d3], &["R", "E"]);
+    }
+
+    #[test]
+    fn conditional_rows_propagate_and_retract() {
+        let mut db = Database::new();
+        let x = db.fresh_cvar("x", Domain::Bool01);
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        db.insert("E", CTuple::new([Term::int(1), Term::int(2)]))
+            .unwrap();
+        db.insert(
+            "E",
+            CTuple::with_cond(
+                [Term::int(2), Term::int(3)],
+                Condition::eq(Term::Var(x), Term::int(1)),
+            ),
+        )
+        .unwrap();
+        let mut d1 = Delta::new();
+        d1.push_insert_fact("E", [Const::Int(3), Const::Int(4)]);
+        // Pattern deletion hitting the c-variable row: weakens its
+        // condition (Levy–Sagiv ψ ∧ ¬μ) instead of dropping it.
+        let mut d2 = Delta::new();
+        d2.push_delete(
+            "E",
+            DeletePattern {
+                cols: vec![None, Some(Const::Int(3))],
+            },
+        );
+        check_differential(TC, &db, vec![d1, d2], &["R", "E"]);
+    }
+
+    #[test]
+    fn negation_over_changed_predicate_rederives_head() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("N", &["a"])).unwrap();
+        db.create_relation(Schema::new("Block", &["a"])).unwrap();
+        db.insert("N", CTuple::new([Term::int(1)])).unwrap();
+        db.insert("N", CTuple::new([Term::int(2)])).unwrap();
+        db.insert("Block", CTuple::new([Term::int(1)])).unwrap();
+        let program = "Open(a) :- N(a), !Block(a).\n";
+        // Unblocking 1 must *create* Open(1); blocking 2 must kill Open(2).
+        let mut d1 = Delta::new();
+        d1.push_delete_exact("Block", [Const::Int(1)]);
+        let mut d2 = Delta::new();
+        d2.push_insert_fact("Block", [Const::Int(2)]);
+        check_differential(program, &db, vec![d1, d2], &["Open"]);
+    }
+
+    #[test]
+    fn multi_stratum_propagation_crosses_negation() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("E", &["a", "b"])).unwrap();
+        db.create_relation(Schema::new("V", &["a"])).unwrap();
+        for (a, b) in [(1, 2), (2, 3)] {
+            db.insert("E", CTuple::new([Term::int(a), Term::int(b)]))
+                .unwrap();
+        }
+        for v in 1..=4 {
+            db.insert("V", CTuple::new([Term::int(v)])).unwrap();
+        }
+        let program = "R(a, b) :- E(a, b).\n\
+                       R(a, b) :- E(a, c), R(c, b).\n\
+                       Reach(b) :- R(1, b).\n\
+                       Unreach(a) :- V(a), !Reach(a).\n";
+        let mut d1 = Delta::new();
+        d1.push_insert_fact("E", [Const::Int(3), Const::Int(4)]);
+        let mut d2 = Delta::new();
+        d2.push_delete_exact("E", [Const::Int(1), Const::Int(2)]);
+        check_differential(program, &db, vec![d1, d2], &["R", "Reach", "Unreach"]);
+    }
+
+    #[test]
+    fn delta_on_derived_predicate_is_rejected() {
+        let db = chain_db(4);
+        let program = parse_program(TC).unwrap();
+        let prepared = Engine::new().prepare(&program).unwrap();
+        let mut state = prepared.materialize(&db).unwrap();
+        let mut d = Delta::new();
+        d.push_insert_fact("R", [Const::Int(9), Const::Int(9)]);
+        assert!(matches!(
+            prepared.apply(&mut state, d),
+            Err(EvalError::InvalidDelta(_))
+        ));
+        let mut d = Delta::new();
+        d.push_delete_exact("R", [Const::Int(1), Const::Int(2)]);
+        assert!(matches!(
+            prepared.apply(&mut state, d),
+            Err(EvalError::InvalidDelta(_))
+        ));
+    }
+
+    #[test]
+    fn unconstrained_deletion_is_rejected() {
+        let db = chain_db(4);
+        let program = parse_program(TC).unwrap();
+        let prepared = Engine::new().prepare(&program).unwrap();
+        let mut state = prepared.materialize(&db).unwrap();
+        let mut d = Delta::new();
+        d.push_delete(
+            "E",
+            DeletePattern {
+                cols: vec![None, None],
+            },
+        );
+        assert!(matches!(
+            prepared.apply(&mut state, d),
+            Err(EvalError::InvalidDelta(_))
+        ));
+    }
+
+    #[test]
+    fn delta_on_unknown_relation_is_skipped() {
+        let db = chain_db(4);
+        let program = parse_program(TC).unwrap();
+        let prepared = Engine::new().prepare(&program).unwrap();
+        let mut state = prepared.materialize(&db).unwrap();
+        let mut d = Delta::new();
+        d.push_insert_fact("Nope", [Const::Int(1)]);
+        d.push_delete_exact("Nope", [Const::Int(1)]);
+        let report = prepared.apply(&mut state, d).unwrap();
+        assert_eq!(report.inserted, 0);
+        assert_eq!(report.deleted, 0);
+    }
+
+    #[test]
+    fn noop_delta_touches_nothing() {
+        let db = chain_db(6);
+        let program = parse_program(TC).unwrap();
+        let prepared = Engine::new().prepare(&program).unwrap();
+        let mut state = prepared.materialize(&db).unwrap();
+        let before = snapshot(&state.relation("R").unwrap());
+        // Re-inserting an existing fact changes nothing, so no stratum
+        // should be touched at all.
+        let mut d = Delta::new();
+        d.push_insert_fact("E", [Const::Int(1), Const::Int(2)]);
+        let report = prepared.apply(&mut state, d).unwrap();
+        assert_eq!(report.inserted, 0);
+        assert_eq!(report.strata_touched, 0);
+        assert_eq!(report.rederived, 0);
+        assert_eq!(before, snapshot(&state.relation("R").unwrap()));
+    }
+
+    #[test]
+    fn from_update_roundtrips_order() {
+        let u = Update {
+            relation: "E".into(),
+            insertions: vec![vec![Const::Int(7), Const::Int(8)]],
+            deletions: vec![DeletePattern::exact([Const::Int(1), Const::Int(2)])],
+        };
+        let d = Delta::from_update(&u);
+        assert_eq!(d.insert.len(), 1);
+        assert_eq!(d.delete.len(), 1);
+        let db = chain_db(5);
+        check_differential(TC, &db, vec![d], &["R", "E"]);
+    }
+
+    #[test]
+    fn incremental_is_bit_identical_across_thread_counts() {
+        let db = chain_db(7);
+        let program = parse_program(TC).unwrap();
+        let mut snaps = Vec::new();
+        for threads in [1usize, 2] {
+            let engine = Engine::with_options(EvalOptions {
+                threads,
+                ..Default::default()
+            });
+            let prepared = engine.prepare(&program).unwrap();
+            let mut state = prepared.materialize(&db).unwrap();
+            let mut d = Delta::new();
+            d.push_delete_exact("E", [Const::Int(4), Const::Int(5)]);
+            d.push_insert_fact("E", [Const::Int(7), Const::Int(1)]);
+            prepared.apply(&mut state, d).unwrap();
+            snaps.push(snapshot(&state.relation("R").unwrap()));
+        }
+        assert_eq!(snaps[0], snaps[1]);
+    }
+}

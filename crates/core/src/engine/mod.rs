@@ -58,22 +58,23 @@
 //! serving stale verdicts.
 
 mod fixpoint;
+mod maintain;
 mod parallel;
 mod rule;
 
+pub use maintain::{Delta, DeltaReport, MaterializedState};
 pub use rule::canonicalize;
 
 use crate::analysis::{check_safety, stratify, AnalysisError, Stratification};
-use crate::ast::{Literal, Program, Rule};
-use crate::plan::PlanCache;
-use faure_ctable::{CVarId, CVarRegistry, Database, Domain, Relation, Schema};
-use faure_solver::{Session, SharedMemo, SolverError};
-use faure_storage::{ArityError, PhaseStats, Table};
+use crate::ast::Program;
+use crate::plan::{maintenance_meta, MaintenanceMeta, PlanCache};
+use faure_ctable::{CVarId, CVarRegistry, Database, Domain, Relation};
+use faure_solver::{SharedMemo, SolverError};
+use faure_storage::{ArityError, PhaseStats};
 use faure_trace::Tracer;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// When the solver phase (the paper's "Z3 step") runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -152,6 +153,9 @@ pub enum EvalError {
     /// A rule variable was unbound when needed (safety should prevent
     /// this; kept as a defensive error).
     UnboundVariable(String),
+    /// A [`Delta`] was rejected by incremental maintenance: it targets
+    /// a derived predicate, or carries an unconstrained deletion.
+    InvalidDelta(String),
 }
 
 impl fmt::Display for EvalError {
@@ -171,6 +175,7 @@ impl fmt::Display for EvalError {
                 write!(f, "fixpoint did not converge within {limit} iterations")
             }
             EvalError::UnboundVariable(v) => write!(f, "unbound rule variable `{v}`"),
+            EvalError::InvalidDelta(msg) => write!(f, "invalid delta: {msg}"),
         }
     }
 }
@@ -326,6 +331,7 @@ impl Engine {
         tracer.emit_span("prepare", "plan-compile", t_plan, 0, || {
             vec![("plans", compiled.into())]
         });
+        let maint = maintenance_meta(program, &strat.strata);
         Ok(PreparedProgram {
             program: program.clone(),
             strat,
@@ -333,6 +339,7 @@ impl Engine {
             compiled,
             opts: self.opts,
             memo_pool: Arc::new(Mutex::new(None)),
+            maint,
         })
     }
 }
@@ -358,6 +365,10 @@ pub struct PreparedProgram {
     /// domains) replaces it. Clones of a prepared program share the
     /// pool, like they share the compiled plans.
     memo_pool: Arc<Mutex<Option<Arc<SharedMemo>>>>,
+    /// Incremental-maintenance metadata: per-rule delta positions,
+    /// per-stratum recursion flags, and the per-predicate deletion
+    /// strategy (counting vs. DRed re-derivation).
+    maint: MaintenanceMeta,
 }
 
 impl PreparedProgram {
@@ -405,189 +416,11 @@ impl PreparedProgram {
         opts: &EvalOptions,
         tracer: &Tracer,
     ) -> Result<EvalOutput, EvalError> {
-        let program = &self.program;
         let t_run = tracer.now_ns();
-        // Diagnostic pre-pass: collect lint warnings without affecting
-        // evaluation. Findings are database-dependent (shadowed inputs,
-        // arity against actual relations), so this runs per run, not at
-        // prepare time.
-        let warnings: Vec<crate::analysis::Finding> = crate::analysis::analyze(program, Some(db))
-            .into_iter()
-            .filter(|f| !f.is_error())
-            .collect();
-        tracer.emit_span("eval", "lint", t_run, 0, || {
-            vec![("warnings", warnings.len().into())]
-        });
+        let state = self.materialize_with(db, opts, tracer)?;
+        let output = state.into_output(&self.program);
 
-        let t_setup = tracer.now_ns();
-        let mut database = db.clone();
-        let cvmap = resolve_cvars(program, &mut database);
-        // Check out the pooled solver memo: reuse it when its registry
-        // fingerprint still matches (batch mode — conditions decided in
-        // earlier runs become cross-run hits), replace it otherwise.
-        // Serial runs use the shared backend too; an uncontended mutex
-        // shard costs nanoseconds and buys single-thread batch reuse.
-        let shared_memo = {
-            let mut pool = self.memo_pool.lock().expect("memo pool poisoned");
-            match pool.as_ref() {
-                Some(memo) if memo.matches_registry(&database.cvars) => Arc::clone(memo),
-                _ => {
-                    let memo = Arc::new(SharedMemo::for_registry(&database.cvars));
-                    *pool = Some(Arc::clone(&memo));
-                    memo
-                }
-            }
-        };
-        shared_memo.begin_run();
-        let mut session = Session::with_shared(Arc::clone(&shared_memo));
-        let started = Instant::now();
-
-        // --- set up tables ---------------------------------------------
-        let mut tables: HashMap<String, Table> = HashMap::new();
-        // EDB relations present in the database.
-        for rel in database.relations() {
-            tables.insert(rel.schema.name.clone(), Table::from_relation(rel));
-        }
-        // Any predicate mentioned but absent: empty table with inferred
-        // arity.
-        for rule in &program.rules {
-            for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(Literal::atom)) {
-                let arity = atom.args.len();
-                match tables.get(&atom.pred) {
-                    Some(t) if t.schema.arity() != arity => {
-                        return Err(EvalError::ArityMismatch {
-                            pred: atom.pred.clone(),
-                            expected: t.schema.arity(),
-                            got: arity,
-                        });
-                    }
-                    Some(_) => {}
-                    None => {
-                        let attrs: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
-                        let schema = Schema {
-                            name: atom.pred.clone(),
-                            attrs,
-                        };
-                        tables.insert(atom.pred.clone(), Table::new(schema));
-                    }
-                }
-            }
-        }
-
-        let ctx = Ctx {
-            cvmap: &cvmap,
-            reg_snapshot: database.cvars.clone(),
-            shared_memo,
-            tracer: tracer.clone(),
-        };
-        tracer.emit_span("eval", "setup", t_setup, 0, || {
-            vec![("tables", tables.len().into())]
-        });
-
-        let mut stats = PhaseStats::new();
-        let mut plans = self.plans.fresh_counters();
-
-        // --- evaluate stratum by stratum --------------------------------
-        for (stratum_idx, stratum_rules) in self.strat.strata.iter().enumerate() {
-            let t_stratum = tracer.now_ns();
-            let rules: Vec<(usize, &Rule)> = stratum_rules
-                .iter()
-                .map(|&i| (i, &program.rules[i]))
-                .collect();
-            let stratum_preds: BTreeSet<&str> =
-                rules.iter().map(|(_, r)| r.head.pred.as_str()).collect();
-
-            if opts.semi_naive {
-                fixpoint::eval_stratum_semi_naive(
-                    &ctx,
-                    &rules,
-                    &stratum_preds,
-                    &mut tables,
-                    &mut plans,
-                    &mut session,
-                    opts,
-                    &mut stats,
-                )?;
-            } else {
-                fixpoint::eval_stratum_naive(
-                    &ctx,
-                    &rules,
-                    &mut tables,
-                    &mut plans,
-                    &mut session,
-                    opts,
-                    &mut stats,
-                )?;
-            }
-
-            if matches!(
-                opts.prune,
-                PrunePolicy::EndOfStratum | PrunePolicy::EveryIteration
-            ) {
-                // `stratum_preds` is a BTreeSet, so prune order — and
-                // therefore the trace event stream — is deterministic.
-                for p in &stratum_preds {
-                    let t_prune = tracer.now_ns();
-                    let t = tables.get_mut(*p).expect("table created above");
-                    let rows = t.len();
-                    let wall = Instant::now();
-                    let removed = if opts.threads > 1 {
-                        t.prune_parallel(
-                            &ctx.reg_snapshot,
-                            &mut session,
-                            &ctx.shared_memo,
-                            opts.threads,
-                        )?
-                    } else {
-                        t.prune(&ctx.reg_snapshot, &mut session)?
-                    };
-                    stats.prune_wall += wall.elapsed();
-                    stats.pruned += removed;
-                    tracer.emit_span("eval", "prune", t_prune, 0, || {
-                        vec![
-                            ("pred", (*p).into()),
-                            ("rows", rows.into()),
-                            ("removed", removed.into()),
-                            ("threads", opts.threads.into()),
-                        ]
-                    });
-                }
-            }
-            tracer.emit_span("eval", "stratum", t_stratum, 0, || {
-                vec![
-                    ("stratum", stratum_idx.into()),
-                    ("rules", stratum_rules.len().into()),
-                ]
-            });
-        }
-
-        // --- collect results --------------------------------------------
-        // Drop tables as they are converted (and EDB mirrors up front)
-        // so peak memory stays near two copies of the data, not three —
-        // this matters at Table 4 scale (millions of rows).
-        let idb_names: Vec<String> = program
-            .idb_predicates()
-            .into_iter()
-            .map(str::to_owned)
-            .collect();
-        tables.retain(|name, _| idb_names.iter().any(|p| p == name));
-        let mut derived_tuples = 0usize;
-        for p in &idb_names {
-            let t = tables.remove(p).expect("table created in setup");
-            derived_tuples += t.len();
-            database.set_relation(t.into_relation());
-        }
-
-        let total = started.elapsed();
-        let solver_time = session.stats().time;
-        stats.relational = total.saturating_sub(solver_time);
-        stats.solver = solver_time;
-        stats.tuples = derived_tuples;
-        stats.solver_stats = session.stats();
-        stats.plan_cache_hits = plans.hits;
-        stats.plan_cache_misses = self.compiled + plans.misses;
-
-        let solver_stats = stats.solver_stats;
+        let solver_stats = output.stats.solver_stats;
         tracer.emit_instant("solver", "session", 0, || {
             vec![
                 ("sat_calls", solver_stats.sat_calls.into()),
@@ -604,16 +437,12 @@ impl PreparedProgram {
                 ),
             ]
         });
-        let pruned = stats.pruned;
+        let tuples = output.stats.tuples;
+        let pruned = output.stats.pruned;
         tracer.emit_span("eval", "run", t_run, 0, || {
-            vec![("tuples", derived_tuples.into()), ("pruned", pruned.into())]
+            vec![("tuples", tuples.into()), ("pruned", pruned.into())]
         });
-
-        Ok(EvalOutput {
-            database,
-            stats,
-            warnings,
-        })
+        Ok(output)
     }
 }
 
@@ -688,7 +517,7 @@ mod tests {
     use super::*;
     use crate::parser::parse_program;
     use faure_ctable::examples::table2_path_db;
-    use faure_ctable::{CTuple, Condition, Term};
+    use faure_ctable::{CTuple, Condition, Schema, Term};
 
     /// q1/q2 of the paper: cost of 1.2.3.4's path.
     #[test]

@@ -61,16 +61,16 @@ pub use analysis::{analyze, check_safety, stratify, AnalysisError, Finding, Stra
 pub use ast::{ArgTerm, CompExpr, Comparison, Literal, Program, Rule, RuleAtom};
 pub use containment::{subsumes, ContainmentError, Subsumption, GOAL};
 pub use engine::{
-    evaluate, evaluate_traced, evaluate_with, Engine, EvalError, EvalOptions, EvalOutput,
-    PreparedProgram, PrunePolicy,
+    evaluate, evaluate_traced, evaluate_with, Delta, DeltaReport, Engine, EvalError, EvalOptions,
+    EvalOutput, MaterializedState, PreparedProgram, PrunePolicy,
 };
 pub use parser::{
     parse_program, parse_program_spanned, parse_rule, AtomSpans, ParseError, RuleSpans, Span,
     SpannedProgram,
 };
 pub use plan::{
-    compile_rule, compile_rule_hinted, explain_program, explain_program_json, Hints, JoinStep,
-    PlanCache, RulePlan,
+    compile_rule, compile_rule_hinted, explain_program, explain_program_json, maintenance_meta,
+    DeletionStrategy, Hints, JoinStep, MaintenanceMeta, PlanCache, RulePlan,
 };
 pub use update::{
     apply_to_database, expand_constraint, rewrite_constraint, DeletePattern, Update, UpdateError,

@@ -118,6 +118,24 @@ impl PoolStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Counter movement since `baseline` (an earlier [`pool_stats`]
+    /// snapshot). `hits`/`misses` are the lookups performed in
+    /// between; `size` is the pool size *now*, since the pool only
+    /// grows and the absolute size is what callers report.
+    ///
+    /// The pool counters are process-global and cumulative, so a raw
+    /// value observed mid-suite depends on every test that ran before
+    /// it in the same process. Assertions about a region of interest
+    /// (a bench stage, one evaluation) must take a snapshot first and
+    /// assert on the delta, never on the absolute counters.
+    pub fn since(&self, baseline: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            size: self.size,
+        }
+    }
 }
 
 /// Snapshot of the pool counters.
@@ -127,6 +145,14 @@ pub fn pool_stats() -> PoolStats {
         misses: MISSES.load(Ordering::Relaxed),
         size: pool().read().expect("condition pool poisoned").kinds.len(),
     }
+}
+
+/// Pool counter movement since `baseline`: shorthand for
+/// `pool_stats().since(baseline)`. Use this to scope hit-rate
+/// assertions to a region of interest instead of depending on
+/// whatever ran earlier in the process.
+pub fn pool_stats_since(baseline: &PoolStats) -> PoolStats {
+    pool_stats().since(baseline)
 }
 
 /// Looks `key` up in the pool, inserting a node materialised by
@@ -469,6 +495,33 @@ mod tests {
         let after = pool_stats();
         assert!(after.size >= before.size);
         assert!(after.hits > before.hits, "second intern must hit");
+    }
+
+    #[test]
+    fn scoped_stats_are_order_independent() {
+        // Warm the pool with unrelated work, then assert on the delta
+        // of a scoped region: the numbers must not depend on how much
+        // ran before the snapshot.
+        let (x, y) = vars2();
+        intern(&Condition::eq(Term::Var(x), Term::int(100)));
+        let baseline = pool_stats();
+        let c = Condition::eq(Term::Var(x), Term::int(101))
+            .and(Condition::eq(Term::Var(y), Term::int(102)));
+        intern(&c);
+        intern(&c);
+        let scoped = pool_stats_since(&baseline);
+        // The second intern of `c` hits on every node; the first may
+        // hit or miss per node depending on prior process history, but
+        // the scoped delta always shows both activity and hits.
+        // `c` is three nodes (two atoms + one And); the second intern
+        // hits on each.
+        assert!(scoped.hits >= 3, "re-intern must hit per node: {scoped:?}");
+        assert!(scoped.hit_rate() > 0.0);
+        assert_eq!(scoped.size, pool_stats().size);
+        // A no-op region reads as a zero delta.
+        let quiet = pool_stats_since(&pool_stats());
+        assert_eq!(quiet.hits, 0);
+        assert_eq!(quiet.misses, 0);
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub mod table;
 
 pub use exec::{CondAcc, OpStats};
 pub use pipeline::PhaseStats;
-pub use table::{ArityError, InsertOutcome, Pattern, PreparedRow, Table};
+pub use table::{ArityError, DeletionEffect, InsertOutcome, Pattern, PreparedRow, Table};

@@ -279,6 +279,36 @@ pub struct Table {
     /// equal term vectors by construction — no collision buckets, no
     /// re-verification against the stored rows.
     by_terms: HashMap<Box<[Cell]>, u32>,
+    /// Support count per row: how many insertion events (new row,
+    /// merged disjunct, or duplicate derivation) have landed on it.
+    /// Semi-naive passes can enumerate the same derivation more than
+    /// once, so this is an upper bound on the number of distinct
+    /// derivations — incremental maintenance uses it as a fast
+    /// "does anything even support this row" gate, never as an exact
+    /// count to delete by.
+    support: Vec<u64>,
+}
+
+/// What a [`Table::delete_where`] pass did to the table, in terms of
+/// the *old* row versions: rows dropped outright (the deletion
+/// condition μ was `True`) and rows whose condition was weakened to
+/// `ψ ∧ ¬μ` (their pre-weakening version is reported, since that is
+/// what downstream derivations were computed from).
+#[derive(Clone, Debug, Default)]
+pub struct DeletionEffect {
+    /// Rows removed from the table (old version).
+    pub removed: Vec<CTuple>,
+    /// Rows kept with a weakened condition (old version). A weakened
+    /// row whose new condition collapses to `False` appears in
+    /// `removed` instead.
+    pub weakened: Vec<CTuple>,
+}
+
+impl DeletionEffect {
+    /// Whether the pass changed anything.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.weakened.is_empty()
+    }
 }
 
 impl Table {
@@ -291,6 +321,7 @@ impl Table {
             conds: Vec::new(),
             reprs: Vec::new(),
             by_terms: HashMap::new(),
+            support: Vec::new(),
         }
     }
 
@@ -397,6 +428,7 @@ impl Table {
         match self.by_terms.get(&row.cells).copied() {
             Some(idx) => {
                 let idx = idx as usize;
+                self.support[idx] = self.support[idx].saturating_add(1);
                 Ok(Self::merge_into_row(
                     &mut self.conds[idx],
                     &mut self.reprs[idx],
@@ -423,6 +455,7 @@ impl Table {
                 };
                 self.reprs.push(repr);
                 self.conds.push(cond);
+                self.support.push(1);
                 Ok(InsertOutcome::New)
             }
         }
@@ -707,6 +740,7 @@ impl Table {
         let reprs = std::mem::take(&mut self.reprs);
         self.conds.clear();
         self.by_terms.clear();
+        self.support.clear();
         for c in &mut self.cols {
             c.cells.clear();
             c.by_const.clear();
@@ -857,6 +891,216 @@ impl Table {
             self.insert(row)
                 .expect("rebuilt rows came from this table and match its arity");
         }
+    }
+
+    /// The row index holding exactly these terms, if present (O(1)
+    /// dedup-index lookup on the injective cell encoding).
+    pub fn find_row(&self, terms: &[Term]) -> Option<usize> {
+        let cells: Box<[Cell]> = terms.iter().map(Cell::encode).collect();
+        self.by_terms.get(&cells).map(|&i| i as usize)
+    }
+
+    /// The support count of one row (see the field doc: an upper bound
+    /// on distinct derivations, for gating — not for exact deletion).
+    pub fn support(&self, idx: usize) -> u64 {
+        self.support[idx]
+    }
+
+    /// Whether row `idx` stores its condition as a minimal-DNF
+    /// antichain (the `Sets` representation). Incremental maintenance
+    /// only certifies a merged row as "pure antichain append" — safe to
+    /// propagate upward as just its new disjuncts — when this holds;
+    /// opaque conditions fall back to delete-and-reinsert propagation.
+    pub fn has_sets_repr(&self, idx: usize) -> bool {
+        matches!(self.reprs[idx], CondRepr::Sets(_))
+    }
+
+    /// Whether any row stores a c-variable in a *cell* (conditions may
+    /// still mention c-variables freely). Join results over var-free
+    /// cells are independent of the plan's literal order — bindings
+    /// never chain through a c-variable, so every match condition is a
+    /// ground comparison that folds on the spot. Incremental
+    /// maintenance uses this as the gate for in-place delta
+    /// propagation; tables with var cells fall back to stratum
+    /// recomputation to stay bit-identical with batch evaluation.
+    pub fn has_var_cells(&self) -> bool {
+        self.cols.iter().any(|c| !c.var_rows.is_empty())
+    }
+
+    /// Removes the rows at `indices` (duplicates and any order are
+    /// fine), returning the removed rows materialised in index order.
+    ///
+    /// Columnar removal: the surviving cells, conditions, reprs and
+    /// support counts are compacted in place — **no re-normalisation**,
+    /// so surviving rows keep their exact condition representation —
+    /// and the probe/dedup indexes are rebuilt.
+    pub fn remove_rows(&mut self, indices: &[usize]) -> Vec<CTuple> {
+        if indices.is_empty() {
+            return Vec::new();
+        }
+        let mut kill = vec![false; self.len()];
+        for &i in indices {
+            kill[i] = true;
+        }
+        let removed: Vec<CTuple> = (0..self.len())
+            .filter(|&i| kill[i])
+            .map(|i| self.row(i))
+            .collect();
+        if removed.is_empty() {
+            return removed;
+        }
+        fn keep<T>(v: &mut Vec<T>, kill: &[bool]) {
+            let mut w = 0usize;
+            for (r, &dead) in kill.iter().enumerate() {
+                if !dead {
+                    v.swap(w, r);
+                    w += 1;
+                }
+            }
+            v.truncate(w);
+        }
+        for col in &mut self.cols {
+            keep(&mut col.cells, &kill);
+        }
+        keep(&mut self.conds, &kill);
+        keep(&mut self.reprs, &kill);
+        keep(&mut self.support, &kill);
+        self.reindex();
+        removed
+    }
+
+    /// Rebuilds the probe and dedup indexes from the column vectors.
+    fn reindex(&mut self) {
+        self.by_terms.clear();
+        for col in &mut self.cols {
+            col.by_const.clear();
+            col.var_rows.clear();
+        }
+        for idx in 0..self.conds.len() {
+            let idx32 = idx as u32;
+            let cells: Box<[Cell]> = self.cols.iter().map(|c| c.cells[idx]).collect();
+            for (col, &cell) in self.cols.iter_mut().zip(cells.iter()) {
+                match cell {
+                    Cell::Var(_) => col.var_rows.push(idx32),
+                    c => col.by_const.entry(c).or_default().push(idx32),
+                }
+            }
+            self.by_terms.insert(cells, idx32);
+        }
+    }
+
+    /// Replaces one row's condition in place, recomputing its pooled
+    /// id and (antichain or opaque) representation exactly as a fresh
+    /// insert of that condition would. Returns `false` when the new
+    /// condition is `False` or normalises to the empty DNF — the row
+    /// is then dead and the caller must [`remove_rows`](Table::remove_rows) it.
+    pub fn adjust_condition(&mut self, idx: usize, cond: &Condition) -> bool {
+        let sets = if *cond == Condition::False {
+            Some(Vec::new())
+        } else {
+            crate::dnf::to_min_dnf(cond, crate::dnf::DEFAULT_SET_BUDGET)
+        };
+        match sets {
+            Some(s) if s.is_empty() => false,
+            Some(s) => {
+                self.conds[idx] = pool::intern(&crate::dnf::condition_of(&s));
+                self.reprs[idx] = CondRepr::Sets(s);
+                true
+            }
+            None => {
+                let id = pool::intern(cond);
+                self.conds[idx] = id;
+                self.reprs[idx] = CondRepr::Opaque(vec![id]);
+                true
+            }
+        }
+    }
+
+    /// Row-targeted [`prune`](Table::prune): solver-prunes only the
+    /// rows at `indices`, adjusting surviving conditions in place and
+    /// removing rows whose condition is unsatisfiable. Returns the
+    /// number of rows removed. Each row goes through the same
+    /// [`prune_row`](Table::prune) unit of work as a full prune, so a
+    /// row's outcome depends only on its own condition — pruning a
+    /// subset leaves the rest bit-identical to never having pruned.
+    pub fn prune_rows(
+        &mut self,
+        reg: &CVarRegistry,
+        session: &mut Session,
+        indices: &[usize],
+    ) -> Result<usize, SolverError> {
+        let mut dead = Vec::new();
+        for &idx in indices {
+            let row = self.row(idx);
+            let repr = self.reprs[idx].clone();
+            match Self::prune_row(reg, session, row, repr)? {
+                Some(kept) => {
+                    if !self.adjust_condition(idx, &kept.cond) {
+                        dead.push(idx);
+                    }
+                }
+                None => dead.push(idx),
+            }
+        }
+        let n = dead.len();
+        self.remove_rows(&dead);
+        Ok(n)
+    }
+
+    /// Applies one §5-style deletion pattern: `cols[i] = Some(c)`
+    /// constrains attribute `i` to the constant `c`, `None` leaves it
+    /// free. Mirrors the Levy–Sagiv semantics of
+    /// `faure_core::update::apply_to_database` exactly, per row:
+    ///
+    /// * a constant cell that disagrees with its constraint keeps the
+    ///   row untouched;
+    /// * otherwise μ conjoins `v̄ = c` for every c-variable cell under a
+    ///   constrained column (in column order);
+    /// * μ = `True` removes the row; anything else weakens the row's
+    ///   condition to `ψ ∧ ¬μ` (and removes it if that collapses).
+    pub fn delete_where(&mut self, cols: &[Option<Const>]) -> DeletionEffect {
+        assert_eq!(cols.len(), self.schema.arity(), "pattern arity mismatch");
+        let mut drop_idx = Vec::new();
+        let mut weakened = Vec::new();
+        for idx in 0..self.len() {
+            let mut mu = Condition::True;
+            let mut keep = false;
+            for (col, want) in self.cols.iter().zip(cols) {
+                if let Some(c) = want {
+                    match col.cells[idx] {
+                        Cell::Var(v) => {
+                            mu = mu.and(Condition::eq(Term::Var(v), Term::Const(c.clone())));
+                        }
+                        cell => {
+                            if cell != Cell::encode_const(c) {
+                                keep = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if keep {
+                continue;
+            }
+            if mu == Condition::True {
+                drop_idx.push(idx);
+            } else {
+                let old = self.row(idx);
+                let new_cond = old.cond.clone().and(mu.negate());
+                if !self.adjust_condition(idx, &new_cond) {
+                    drop_idx.push(idx);
+                    // Reported as removed (it is gone), not weakened.
+                    continue;
+                }
+                weakened.push(old);
+            }
+        }
+        // `drop_idx` rows still hold their old condition (a failed
+        // `adjust_condition` does not write), so `remove_rows`
+        // materialises the old versions.
+        let removed = self.remove_rows(&drop_idx);
+        DeletionEffect { removed, weakened }
     }
 }
 
@@ -1270,6 +1514,145 @@ mod tests {
             Term::int(2),
         ]))]];
         assert!(t.absorb_partitions(bad, |_| {}).is_err());
+    }
+
+    /// The condition a fresh insert would store for `cond` (inserts
+    /// normalise through min-DNF, which may reorient atoms).
+    fn normalized(cond: &Condition) -> Condition {
+        let mut t = Table::new(Schema::new("N", &["a"]));
+        t.insert(CTuple::with_cond([Term::int(0)], cond.clone()))
+            .unwrap();
+        t.row(0).cond
+    }
+
+    #[test]
+    fn remove_rows_compacts_and_reindexes() {
+        let (reg, x, _) = db_with_xy();
+        let mut t = Table::new(Schema::new("T", &["a", "b"]));
+        for i in 0..6i64 {
+            t.insert(CTuple::new([Term::int(i % 2), Term::int(i)]))
+                .unwrap();
+        }
+        t.insert(CTuple::with_cond(
+            [Term::Var(x), Term::int(99)],
+            Condition::ne(Term::Var(x), Term::int(0)),
+        ))
+        .unwrap();
+        let removed = t.remove_rows(&[1, 4, 1]); // dups are fine
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[0].terms, vec![Term::int(1), Term::int(1)]);
+        assert_eq!(removed[1].terms, vec![Term::int(0), Term::int(4)]);
+        assert_eq!(t.len(), 5);
+        // Surviving rows keep their exact conditions and the indexes
+        // answer probes correctly after compaction.
+        assert!(t.find_row(&[Term::int(1), Term::int(1)]).is_none());
+        let idx = t.find_row(&[Term::Var(x), Term::int(99)]).unwrap();
+        assert_eq!(
+            t.row(idx).cond,
+            normalized(&Condition::ne(Term::Var(x), Term::int(0)))
+        );
+        let pats = [Pattern::Exact(Term::int(0)), Pattern::Any];
+        let hits = t.find_matches(&reg, &pats);
+        assert_eq!(hits.len(), 3); // rows 0,2 (consts) + the x̄ row
+        assert!(t.remove_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn adjust_condition_matches_fresh_insert() {
+        let (_, x, _) = db_with_xy();
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        t.insert(CTuple::new([Term::int(1)])).unwrap();
+        let c = Condition::eq(Term::Var(x), Term::int(0));
+        assert!(t.adjust_condition(0, &c));
+        let mut fresh = Table::new(Schema::new("T", &["a"]));
+        fresh
+            .insert(CTuple::with_cond([Term::int(1)], c.clone()))
+            .unwrap();
+        assert_eq!(t.row(0), fresh.row(0));
+        assert_eq!(t.cond_id(0), fresh.cond_id(0));
+        // A condition that is locally contradictory reports dead.
+        let dead = Condition::eq(Term::Var(x), Term::int(0))
+            .and(Condition::eq(Term::Var(x), Term::int(1)));
+        assert!(!t.adjust_condition(0, &dead));
+        assert!(!t.adjust_condition(0, &Condition::False));
+        // A failed adjust leaves the row untouched.
+        assert_eq!(t.row(0).cond, normalized(&c));
+    }
+
+    #[test]
+    fn prune_rows_matches_full_prune_on_subset() {
+        use faure_ctable::{CmpOp, LinExpr};
+        let mut db = Database::new();
+        let y = db.fresh_cvar("y", Domain::Bool01);
+        let reg = db.cvars.clone();
+        let unsat = Condition::cmp(
+            LinExpr::var(y).plus_var(1, y),
+            CmpOp::Eq,
+            LinExpr::constant(3),
+        );
+        let valid =
+            Condition::eq(Term::Var(y), Term::int(0)).or(Condition::eq(Term::Var(y), Term::int(1)));
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        t.insert(CTuple::with_cond([Term::int(1)], unsat)).unwrap();
+        t.insert(CTuple::with_cond([Term::int(2)], valid)).unwrap();
+        t.insert(CTuple::with_cond(
+            [Term::int(3)],
+            Condition::eq(Term::Var(y), Term::int(1)),
+        ))
+        .unwrap();
+        let mut session = Session::new();
+        let removed = t.prune_rows(&reg, &mut session, &[0, 1]).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(0).terms, vec![Term::int(2)]);
+        assert_eq!(t.row(0).cond, Condition::True); // valid → simplified
+                                                    // Untouched row 3 keeps its condition verbatim.
+        assert_eq!(
+            t.row(1).cond,
+            normalized(&Condition::eq(Term::Var(y), Term::int(1)))
+        );
+    }
+
+    #[test]
+    fn delete_where_mirrors_levy_sagiv_semantics() {
+        let (_, x, _) = db_with_xy();
+        let mut t = Table::new(Schema::new("T", &["a", "b"]));
+        t.insert(CTuple::new([Term::int(1), Term::int(2)])).unwrap();
+        t.insert(CTuple::new([Term::int(1), Term::int(3)])).unwrap();
+        t.insert(CTuple::new([Term::Var(x), Term::int(2)])).unwrap();
+        // Delete T(1, 2): the ground match drops, the x̄ row weakens.
+        let eff = t.delete_where(&[Some(Const::int(1)), Some(Const::int(2))]);
+        assert_eq!(eff.removed.len(), 1);
+        assert_eq!(eff.removed[0].terms, vec![Term::int(1), Term::int(2)]);
+        assert_eq!(eff.weakened.len(), 1);
+        assert_eq!(eff.weakened[0].cond, Condition::True); // old version
+        assert_eq!(t.len(), 2);
+        let idx = t.find_row(&[Term::Var(x), Term::int(2)]).unwrap();
+        assert_eq!(
+            t.row(idx).cond,
+            normalized(&Condition::ne(Term::Var(x), Term::int(1))) // ¬(x̄ = 1) folded
+        );
+        // A second exact delete of an absent tuple is a no-op.
+        let eff = t.delete_where(&[Some(Const::int(9)), Some(Const::int(9))]);
+        assert!(eff.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn support_counts_gate_not_count() {
+        let (_, x, _) = db_with_xy();
+        let mut t = Table::new(Schema::new("T", &["a"]));
+        t.insert(CTuple::new([Term::int(1)])).unwrap();
+        assert_eq!(t.support(0), 1);
+        t.insert(CTuple::with_cond(
+            [Term::int(1)],
+            Condition::eq(Term::Var(x), Term::int(0)),
+        ))
+        .unwrap(); // absorbed (row is True) but still a support event
+        assert_eq!(t.support(0), 2);
+        t.insert(CTuple::new([Term::int(2)])).unwrap();
+        let _ = t.remove_rows(&[0]);
+        assert_eq!(t.support(0), 1); // counts travel with their rows
     }
 
     #[test]
