@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p faure-bench --release --bin table4 [-- --sizes 1000,10000] \
 //!     [--seed N] [--json out.json] [--prune eager|stratum|never] \
-//!     [--threads 1,4] [--churn 1000] [--churn-updates 200] [--churn-only]
+//!     [--threads 1,4] [--churn 1000] [--churn-updates 200] [--churn-only] \
+//!     [--telemetry-addr 127.0.0.1:9090]
 //! ```
 //!
 //! `--threads` takes a comma-separated list of worker counts; each size
@@ -18,6 +19,10 @@
 //! per-update wall is compared against one full re-evaluation of the
 //! final database. Churn rows are tagged `"bench":"churn"` in the JSON
 //! dump. `--churn-only` skips the Table 4 sweep.
+//!
+//! `--telemetry-addr HOST:PORT` serves the process-global telemetry
+//! registry as Prometheus text format on `/metrics` while the bench
+//! runs — scrape it mid-churn to watch the engine counters move.
 //!
 //! Defaults to the sizes 1 000 and 10 000 (the paper also runs 100 000
 //! and 922 067; pass them explicitly if you have the minutes — the
@@ -37,6 +42,7 @@ fn main() {
     let mut churn_sizes: Vec<usize> = Vec::new();
     let mut churn_updates: usize = 200;
     let mut churn_only = false;
+    let mut telemetry_addr: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -91,10 +97,14 @@ fn main() {
             "--churn-only" => {
                 churn_only = true;
             }
+            "--telemetry-addr" => {
+                i += 1;
+                telemetry_addr = Some(args[i].clone());
+            }
             other => {
                 panic!(
                     "unknown argument {other} (try --sizes/--seed/--json/--prune/--threads/\
-                     --churn/--churn-updates/--churn-only)"
+                     --churn/--churn-updates/--churn-only/--telemetry-addr)"
                 )
             }
         }
@@ -103,6 +113,19 @@ fn main() {
 
     if churn_only {
         sizes.clear();
+    }
+    // The engine publishes its counters into the process-global
+    // telemetry registry at apply boundaries; the exporter thread just
+    // serves whatever has accumulated, so a mid-run scrape watches the
+    // bench make progress.
+    if let Some(addr) = &telemetry_addr {
+        match faure_trace::prom::serve(addr, faure_trace::telemetry::global()) {
+            Ok(srv) => eprintln!("telemetry: serving /metrics on http://{}/", srv.addr),
+            Err(e) => {
+                eprintln!("error: --telemetry-addr {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     eprintln!(
         "running Listing 2 (q4-q8) on the synthetic RIB workload, sizes {sizes:?}, seed {}, threads {thread_counts:?}",
@@ -208,7 +231,10 @@ fn main() {
     if let Some(path) = json_path {
         let mut encoded: Vec<String> = rows.iter().map(Table4Row::to_json).collect();
         encoded.extend(churn_rows.iter().map(ChurnRow::to_json));
-        std::fs::write(&path, mixed_rows_to_json(&encoded)).expect("writable path");
+        if let Err(e) = std::fs::write(&path, mixed_rows_to_json(&encoded)) {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
         eprintln!("\nwrote {path}");
     }
 }

@@ -148,6 +148,11 @@ pub struct Table4Row {
     /// measures scheduler noise, not parallel speedup. The `table4`
     /// binary sets it from `std::thread::available_parallelism()`.
     pub speedup_valid: bool,
+    /// Logical cores available to this process
+    /// (`std::thread::available_parallelism()`), recorded so a
+    /// `speedup_valid`/`speedup_q45` pair can be judged against the
+    /// machine that produced it.
+    pub host_cores: usize,
     /// q4–q5 prune-phase wall-clock of the serial row divided by this
     /// row's (the solver-phase counterpart of `speedup_q45`) — filled
     /// by the `table4` binary under the same conditions and gated on
@@ -174,19 +179,22 @@ pub struct Table4Row {
 }
 
 impl Table4Row {
-    /// JSON object for this row.
+    /// JSON object for this row. Tagged `"bench":"table4"` so readers
+    /// (and the CI jq asserts) can tell Table 4 rows from churn rows
+    /// when both share one array.
     pub fn to_json(&self) -> String {
         let opt = |v: Option<f64>| match v {
             Some(s) => format!("{s:.3}"),
             None => "null".to_owned(),
         };
         format!(
-            "{{\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"speedup_valid\":{},\"prune_wall\":{},\"prune_speedup\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{},\"peak_rss_kb\":{}}}",
+            "{{\"bench\":\"table4\",\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"speedup_valid\":{},\"host_cores\":{},\"prune_wall\":{},\"prune_speedup\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{},\"peak_rss_kb\":{}}}",
             self.prefixes,
             self.seed,
             self.threads,
             opt(self.speedup_q45),
             self.speedup_valid,
+            self.host_cores,
             self.prune_wall(),
             opt(self.prune_speedup),
             self.f_tuples,
@@ -306,6 +314,7 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
         threads: opts.eval.threads,
         speedup_q45: None,
         speedup_valid: false,
+        host_cores: host_cores(),
         prune_speedup: None,
         f_tuples,
         q45,
@@ -330,6 +339,10 @@ pub struct ChurnRow {
     pub seed: u64,
     /// Worker threads (1 = serial).
     pub threads: usize,
+    /// Logical cores available to this process, recorded next to
+    /// `speedup` so the incremental-vs-reeval ratio can be judged
+    /// against the machine that produced it.
+    pub host_cores: usize,
     /// Updates applied (each a single-tuple delta).
     pub updates: usize,
     /// How many of them were insertions (route announcements).
@@ -366,7 +379,8 @@ impl ChurnRow {
     /// when both share one array.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"bench\":\"churn\",\"prefixes\":{},\"seed\":{},\"threads\":{},\"updates\":{},\
+            "{{\"bench\":\"churn\",\"prefixes\":{},\"seed\":{},\"threads\":{},\"host_cores\":{},\
+             \"updates\":{},\
              \"inserts\":{},\"deletes\":{},\"f_tuples\":{},\"r_tuples\":{},\
              \"materialize_wall_ns\":{},\"total_update_wall_ns\":{},\"per_update_wall_ns\":{},\
              \"max_update_wall_ns\":{},\"full_reeval_wall_ns\":{},\"speedup\":{:.2},\
@@ -374,6 +388,7 @@ impl ChurnRow {
             self.prefixes,
             self.seed,
             self.threads,
+            self.host_cores,
             self.updates,
             self.inserts,
             self.deletes,
@@ -476,6 +491,7 @@ pub fn run_churn_row(
         prefixes,
         seed: opts.seed,
         threads: opts.eval.threads,
+        host_cores: host_cores(),
         updates,
         inserts,
         deletes,
@@ -552,20 +568,20 @@ pub fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
+/// Logical cores available to this process — the `host_cores` column
+/// every benchmark row carries next to its speedup figures.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Peak resident set size of this process in kB (`VmHWM` from
 /// `/proc/self/status`), or 0 when the interface is unavailable
-/// (non-Linux hosts, restricted /proc).
+/// (non-Linux hosts, restricted /proc). Delegates to the shared
+/// `/proc/self/status` reader in `faure-trace`.
 pub fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    status
-        .lines()
-        .find_map(|line| {
-            let rest = line.strip_prefix("VmHWM:")?;
-            rest.trim().strip_suffix("kB")?.trim().parse().ok()
-        })
-        .unwrap_or(0)
+    faure_trace::telemetry::peak_rss_kb().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -600,10 +616,13 @@ mod tests {
         opts.eval.threads = 1;
         let mut row = run_table4_row(10, &opts).unwrap();
         let json = rows_to_json(&[row.clone()]);
+        assert!(json.contains("\"bench\":\"table4\""));
         assert!(json.contains("\"prefixes\":10"));
         assert!(json.contains("\"threads\":1"));
         assert!(json.contains("\"speedup_q45\":null"));
         assert!(json.contains("\"speedup_valid\":false"));
+        assert!(json.contains("\"host_cores\":"));
+        assert!(row.host_cores >= 1);
         assert!(json.contains("\"prune_wall\":"));
         assert!(json.contains("\"prune_speedup\":null"));
         assert!(json.contains("\"q6\""));
@@ -668,10 +687,12 @@ mod tests {
         assert!(row.rederived > 0, "{row:?}");
         // Withdrawals of ground tuples must exercise DRed.
         assert!(row.overdeleted > 0, "{row:?}");
+        assert!(row.host_cores >= 1);
         let json = row.to_json();
         for key in [
             "\"bench\":\"churn\"",
             "\"prefixes\":10",
+            "\"host_cores\":",
             "\"updates\":30",
             "\"per_update_wall_ns\":",
             "\"full_reeval_wall_ns\":",

@@ -39,7 +39,10 @@
 
 pub mod observe;
 
-pub use observe::{cmd_eval_batch, cmd_eval_updates, cmd_profile, EvalReport};
+pub use observe::{
+    cmd_eval_batch, cmd_eval_updates, cmd_profile, cmd_profile_with_clock, spawn_telemetry_jsonl,
+    EvalReport, ObsOptions, TelemetryJsonl,
+};
 
 use faure_core::{evaluate_with, parse_program, EvalOptions, Program, PrunePolicy};
 use faure_ctable::{CVarRegistry, Const, Database, Domain};
@@ -102,14 +105,19 @@ pub fn load_database(text: &str) -> Result<Database, CliError> {
             )));
         }
     }
-    let out = evaluate_with(
-        &program,
-        &db,
-        &EvalOptions {
-            prune: PrunePolicy::Never,
-            ..Default::default()
-        },
-    )
+    // Loading is an auxiliary evaluation (facts-only program, run to
+    // normalise conditional facts into tables) — keep it out of the
+    // process-global telemetry so `/metrics` tracks only pipeline work.
+    let out = faure_core::without_telemetry(|| {
+        evaluate_with(
+            &program,
+            &db,
+            &EvalOptions {
+                prune: PrunePolicy::Never,
+                ..Default::default()
+            },
+        )
+    })
     .map_err(|e| err(e.to_string()))?;
     Ok(out.database)
 }

@@ -3,9 +3,11 @@
 use faure_cli::{
     cmd_check, cmd_eval_batch, cmd_eval_updates, cmd_explain, cmd_explain_json, cmd_lint,
     cmd_lint_json, cmd_profile, cmd_scenarios, cmd_sql, cmd_subsume, cmd_worlds, load_database,
-    parse_prune, CliError,
+    parse_prune, spawn_telemetry_jsonl, CliError, ObsOptions,
 };
 use faure_core::PrunePolicy;
+use faure_trace::{flight, prom, telemetry, FlightRecorder};
+use std::sync::Arc;
 
 const USAGE: &str = "\
 faure — partial network analysis (HotNets '21 reproduction)
@@ -13,7 +15,9 @@ faure — partial network analysis (HotNets '21 reproduction)
 USAGE:
   faure eval <db.fdb>... <program.fl> [--prune never|stratum|iteration|eager] [--relation R]
             [--threads N] [--trace out.trace.json] [--metrics out.json]
-            [--updates stream.fdl]
+            [--updates stream.fdl] [--flight-recorder out.trace.json]
+            [--flight-capacity N] [--telemetry-addr 127.0.0.1:9090]
+            [--telemetry-jsonl out.jsonl] [--telemetry-interval-ms MS]
   faure profile <program.fl> <db.fdb> [--threads N]
   faure explain <program.fl> [--format text|json]
   faure check <program.fl> [--domains db.fdb] [--format text|json] [--deny warnings]
@@ -47,7 +51,19 @@ inserts a fact, `-R(c, ...)` deletes the exact tuple; `%` comments and
 blank lines are skipped. Each line is one delta; the output reports
 per-update change counts and wall time, and `--metrics` adds a
 per-update `updates` array (`per_update_wall_ns` per entry) to the
-metrics document.
+metrics document. A live progress line per applied update streams to
+stderr (stdout stays clean for piping).
+
+Live telemetry: `--telemetry-addr HOST:PORT` serves the process-global
+metric registry as Prometheus text format on `/metrics` (plus
+`/healthz`) from a background thread while the evaluation runs;
+`--telemetry-jsonl out.jsonl` appends one JSON snapshot line per
+`--telemetry-interval-ms` (default 500) and a final line with the
+post-run totals. `eval` always records the last spans into an
+in-memory flight ring (`--flight-capacity N` events, default 4096); on
+panic the ring is dumped as Chrome trace JSON, and
+`--flight-recorder out.trace.json` also writes it on normal exit.
+Telemetry never changes evaluation results.
 
 `profile` evaluates once with tracing on and prints a text report:
 phase breakdown, per-iteration delta sizes, top rules by time, and
@@ -91,6 +107,11 @@ fn run() -> Result<String, CliError> {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut updates_path: Option<String> = None;
+    let mut flight_path: Option<String> = None;
+    let mut flight_capacity: usize = flight::DEFAULT_CAPACITY;
+    let mut telemetry_addr: Option<String> = None;
+    let mut telemetry_jsonl: Option<String> = None;
+    let mut telemetry_interval_ms: u64 = 500;
     let mut deny_warnings = false;
     let mut explain_code: Option<String> = None;
     let mut i = 0;
@@ -165,6 +186,44 @@ fn run() -> Result<String, CliError> {
                         .ok_or_else(|| CliError("--updates takes an update-stream path".into()))?,
                 );
             }
+            "--flight-recorder" => {
+                i += 1;
+                flight_path =
+                    Some(args.get(i).cloned().ok_or_else(|| {
+                        CliError("--flight-recorder takes an output path".into())
+                    })?);
+            }
+            "--flight-capacity" => {
+                i += 1;
+                flight_capacity = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError("--flight-capacity takes a positive integer".into()))?;
+            }
+            "--telemetry-addr" => {
+                i += 1;
+                telemetry_addr = Some(args.get(i).cloned().ok_or_else(|| {
+                    CliError("--telemetry-addr takes a host:port address".into())
+                })?);
+            }
+            "--telemetry-jsonl" => {
+                i += 1;
+                telemetry_jsonl =
+                    Some(args.get(i).cloned().ok_or_else(|| {
+                        CliError("--telemetry-jsonl takes an output path".into())
+                    })?);
+            }
+            "--telemetry-interval-ms" => {
+                i += 1;
+                telemetry_interval_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        CliError("--telemetry-interval-ms takes a positive integer".into())
+                    })?;
+            }
             "--format" => {
                 i += 1;
                 format = match args.get(i).map(String::as_str) {
@@ -190,7 +249,33 @@ fn run() -> Result<String, CliError> {
                 .iter()
                 .map(|p| read(p).map(|text| ((*p).to_owned(), text)))
                 .collect::<Result<_, _>>()?;
-            let report = match &updates_path {
+            // The flight ring records the tail of the span stream for
+            // every eval run; a panic (or an error exit below) dumps
+            // it so the last thing the pipeline did is recoverable
+            // post-mortem. Recording into the ring never changes
+            // evaluation results.
+            let flight = Arc::new(FlightRecorder::new(flight_capacity));
+            install_flight_panic_hook(&flight, flight_path.clone());
+            let _server = match &telemetry_addr {
+                Some(addr) => {
+                    let srv = prom::serve(addr, telemetry::global())
+                        .map_err(|e| CliError(format!("--telemetry-addr {addr}: {e}")))?;
+                    eprintln!("telemetry: serving /metrics on http://{}/", srv.addr);
+                    Some(srv)
+                }
+                None => None,
+            };
+            let jsonl = match &telemetry_jsonl {
+                Some(path) => Some(spawn_telemetry_jsonl(path, telemetry_interval_ms)?),
+                None => None,
+            };
+            let obs = ObsOptions {
+                want_trace: trace_path.is_some(),
+                want_metrics: metrics_path.is_some(),
+                flight: Some(Arc::clone(&flight)),
+                progress: updates_path.is_some(),
+            };
+            let result = match &updates_path {
                 Some(upath) => {
                     let [(db_label, db_text)] = db_texts.as_slice() else {
                         return Err(CliError("--updates takes exactly one database".into()));
@@ -205,9 +290,8 @@ fn run() -> Result<String, CliError> {
                         prune,
                         relation.as_deref(),
                         threads,
-                        trace_path.is_some(),
-                        metrics_path.is_some(),
-                    )?
+                        &obs,
+                    )
                 }
                 None => cmd_eval_batch(
                     &db_texts,
@@ -216,10 +300,37 @@ fn run() -> Result<String, CliError> {
                     prune,
                     relation.as_deref(),
                     threads,
-                    trace_path.is_some(),
-                    metrics_path.is_some(),
-                )?,
+                    &obs,
+                ),
             };
+            let report = match result {
+                Ok(report) => report,
+                Err(e) => {
+                    // Error exit: dump the flight ring (best effort —
+                    // the original error is the one worth reporting)
+                    // and flush a final telemetry snapshot before
+                    // propagating.
+                    if let Some(path) = &flight_path {
+                        match dump_flight(&flight, path) {
+                            Ok(()) => eprintln!(
+                                "flight recorder: dumped {} events ({} dropped) to {path}",
+                                flight.len(),
+                                flight.dropped()
+                            ),
+                            Err(de) => eprintln!("{de}"),
+                        }
+                    }
+                    if let Some(j) = jsonl {
+                        let _ = j.finish();
+                    }
+                    return Err(e);
+                }
+            };
+            // CI hook: force a panic after evaluation so the panic
+            // hook's flight dump can be exercised end to end.
+            if std::env::var_os("FAURE_FLIGHT_PANIC").is_some() {
+                panic!("FAURE_FLIGHT_PANIC set: forced panic to exercise the flight recorder");
+            }
             let mut out = report.rendered;
             if let (Some(path), Some(json)) = (&trace_path, &report.trace_json) {
                 std::fs::write(path, json).map_err(|e| CliError(format!("{path}: {e}")))?;
@@ -228,6 +339,19 @@ fn run() -> Result<String, CliError> {
             if let (Some(path), Some(json)) = (&metrics_path, &report.metrics_json) {
                 std::fs::write(path, json).map_err(|e| CliError(format!("{path}: {e}")))?;
                 out.push_str(&format!("-- metrics written to {path}\n"));
+            }
+            if let Some(path) = &flight_path {
+                dump_flight(&flight, path)?;
+                out.push_str(&format!(
+                    "-- flight recording ({} events, {} dropped) written to {path}\n",
+                    flight.len(),
+                    flight.dropped()
+                ));
+            }
+            if let Some(j) = jsonl {
+                j.finish()?;
+                let path = telemetry_jsonl.as_deref().unwrap_or("");
+                out.push_str(&format!("-- telemetry snapshots written to {path}\n"));
             }
             Ok(out)
         }
@@ -279,6 +403,38 @@ fn run() -> Result<String, CliError> {
             "unrecognised invocation {other:?}\n\n{USAGE}"
         ))),
     }
+}
+
+/// Writes the flight ring's contents as Chrome trace JSON, rendering
+/// I/O failures as a CLI error naming the path.
+fn dump_flight(flight: &FlightRecorder, path: &str) -> Result<(), CliError> {
+    std::fs::write(path, flight.to_chrome_json()).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// Chains a panic hook that dumps the flight ring after the default
+/// hook has printed the panic message. Without `--flight-recorder` the
+/// dump lands in the temp directory, so a crashing run always leaves a
+/// post-mortem trace behind.
+fn install_flight_panic_hook(flight: &Arc<FlightRecorder>, path: Option<String>) {
+    let flight = Arc::clone(flight);
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        prev(info);
+        let path = path.clone().unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join("faure-flight.trace.json")
+                .to_string_lossy()
+                .into_owned()
+        });
+        match std::fs::write(&path, flight.to_chrome_json()) {
+            Ok(()) => eprintln!(
+                "flight recorder: dumped {} events ({} dropped) to {path}",
+                flight.len(),
+                flight.dropped()
+            ),
+            Err(e) => eprintln!("flight recorder: failed to write {path}: {e}"),
+        }
+    }));
 }
 
 fn main() {

@@ -29,9 +29,68 @@ use faure_core::{
 use faure_ctable::{Const, Database};
 use faure_storage::PhaseStats;
 use faure_trace::metrics::{rollup_by_arg, rollup_spans, Rollup};
-use faure_trace::{chrome, json_escape, Event, Recorder, Tracer};
+use faure_trace::{
+    chrome, json_escape, prom, telemetry, Clock, Event, FlightRecorder, MonotonicClock, Recorder,
+    Tee, TraceSink, Tracer,
+};
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Observability switches for `faure eval`: which artifacts to build
+/// (`--trace` / `--metrics`), the always-on flight-recorder ring to
+/// tee span events into, and whether `--updates` streams a live
+/// per-update progress line to stderr.
+#[derive(Debug, Default)]
+pub struct ObsOptions {
+    /// Build the Chrome trace JSON (`--trace`).
+    pub want_trace: bool,
+    /// Build the aggregated-metrics JSON (`--metrics`).
+    pub want_metrics: bool,
+    /// Flight-recorder ring receiving every span event (teed alongside
+    /// the per-run recorder); `None` disables the tee.
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// Emit a per-update progress line on stderr during `--updates`.
+    pub progress: bool,
+}
+
+impl ObsOptions {
+    /// Switches for a plain programmatic run: no artifacts, no flight
+    /// ring, no progress stream.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Switches matching the old positional `(want_trace,
+    /// want_metrics)` call shape.
+    pub fn artifacts(want_trace: bool, want_metrics: bool) -> Self {
+        ObsOptions {
+            want_trace,
+            want_metrics,
+            ..Self::default()
+        }
+    }
+}
+
+/// Builds the run's tracer: the per-run [`Recorder`] when trace or
+/// metrics artifacts are wanted, teed with the flight ring when one is
+/// installed, disabled when neither is present (the zero-overhead
+/// path — evaluation output is bit-identical either way).
+fn build_tracer(recorder: &Arc<Recorder>, obs: &ObsOptions) -> Tracer {
+    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+    if obs.want_trace || obs.want_metrics {
+        sinks.push(Arc::clone(recorder) as Arc<dyn TraceSink>);
+    }
+    if let Some(flight) = &obs.flight {
+        sinks.push(Arc::clone(flight) as Arc<dyn TraceSink>);
+    }
+    match sinks.len() {
+        0 => Tracer::disabled(),
+        1 => Tracer::new(sinks.pop().expect("one sink")),
+        _ => Tracer::new(Arc::new(Tee::new(sinks))),
+    }
+}
 
 /// Output of a (possibly batch) `faure eval` run.
 #[derive(Debug)]
@@ -66,8 +125,7 @@ pub fn cmd_eval_batch(
     prune: PrunePolicy,
     only_relation: Option<&str>,
     threads: Option<usize>,
-    want_trace: bool,
-    want_metrics: bool,
+    obs: &ObsOptions,
 ) -> Result<EvalReport, CliError> {
     if dbs.is_empty() {
         return Err(err("eval needs at least one database file"));
@@ -82,11 +140,7 @@ pub fn cmd_eval_batch(
     }
 
     let recorder = Arc::new(Recorder::new());
-    let tracer = if want_trace || want_metrics {
-        Tracer::new(Arc::clone(&recorder) as Arc<dyn faure_trace::TraceSink>)
-    } else {
-        Tracer::disabled()
-    };
+    let tracer = build_tracer(&recorder, obs);
 
     // Load every database up front: planner hints must hold for each
     // database they will run against.
@@ -141,8 +195,9 @@ pub fn cmd_eval_batch(
         });
     }
 
-    let trace_json = want_trace.then(|| chrome::trace_json(&all_events));
-    let metrics_json = want_metrics
+    let trace_json = obs.want_trace.then(|| chrome::trace_json(&all_events));
+    let metrics_json = obs
+        .want_metrics
         .then(|| metrics_document(program_label, &program, &prepare_events, &runs, &[]));
     Ok(EvalReport {
         rendered,
@@ -238,8 +293,7 @@ pub fn cmd_eval_updates(
     prune: PrunePolicy,
     only_relation: Option<&str>,
     threads: Option<usize>,
-    want_trace: bool,
-    want_metrics: bool,
+    obs: &ObsOptions,
 ) -> Result<EvalReport, CliError> {
     let program = parse_program(program_text).map_err(|e| err(e.to_string()))?;
     let mut opts = EvalOptions {
@@ -252,11 +306,7 @@ pub fn cmd_eval_updates(
     let updates = parse_update_stream(updates_text)?;
 
     let recorder = Arc::new(Recorder::new());
-    let tracer = if want_trace || want_metrics {
-        Tracer::new(Arc::clone(&recorder) as Arc<dyn faure_trace::TraceSink>)
-    } else {
-        Tracer::disabled()
-    };
+    let tracer = build_tracer(&recorder, obs);
 
     let db = load_database(db_text).map_err(|e| err(format!("{db_label}: {e}")))?;
     let hints = batch_hints(&program, std::iter::once(&db));
@@ -286,12 +336,31 @@ pub fn cmd_eval_updates(
     )
     .map_err(|e| err(e.to_string()))?;
 
+    let total_updates = updates.len();
     let mut applied: Vec<UpdateRun> = Vec::new();
-    for (line, text, delta) in updates {
+    for (idx, (line, text, delta)) in updates.into_iter().enumerate() {
         let report = prepared
             .apply(&mut state, delta)
             .map_err(|e| err(format!("{updates_label}:{line}: {e}")))?;
         all_events.extend(recorder.take());
+        if obs.progress {
+            // Live churn progress on stderr: one line per applied
+            // update, flushed immediately so a watcher (or a human
+            // tailing the run) sees maintenance latency as it happens.
+            // stdout carries only the final report, so piping results
+            // stays clean.
+            let sv = &report.stats.solver_stats;
+            eprintln!(
+                "update {}/{total_updates} line {line}: +{} -{} edb, {} rederived, {} overdeleted in {} (memo {:.1}%)",
+                idx + 1,
+                report.inserted,
+                report.deleted,
+                report.rederived,
+                report.overdeleted,
+                fmt_ns(report.wall.as_nanos() as u64),
+                sv.memo_hit_rate() * 100.0
+            );
+        }
         writeln!(
             rendered,
             "-- update {line} `{text}`: +{} / -{} edb, {} rederived, {} overdeleted, {} pruned ({})",
@@ -339,8 +408,9 @@ pub fn cmd_eval_updates(
         stats: initial_stats,
         events: initial_events,
     }];
-    let trace_json = want_trace.then(|| chrome::trace_json(&all_events));
-    let metrics_json = want_metrics
+    let trace_json = obs.want_trace.then(|| chrome::trace_json(&all_events));
+    let metrics_json = obs
+        .want_metrics
         .then(|| metrics_document(program_label, &program, &prepare_events, &runs, &applied));
     Ok(EvalReport {
         rendered,
@@ -480,6 +550,47 @@ fn metrics_document(
             max
         );
     }
+
+    // Whole-process totals: every apply (initial materializations plus
+    // per-update maintenance) folded together. These are the same
+    // increments the live telemetry registry accumulates at apply
+    // boundaries, so a final `--telemetry-jsonl` snapshot (or a last
+    // `/metrics` scrape) agrees with this block counter-for-counter.
+    // `idb_tuples` is the absolute row count after the last apply — a
+    // gauge, not a sum.
+    let mut tot = PhaseStats::new();
+    for run in runs {
+        tot.absorb(&run.stats);
+    }
+    for u in updates {
+        tot.absorb(&u.report.stats);
+    }
+    let idb_tuples = updates
+        .last()
+        .map(|u| u.report.stats.tuples)
+        .or_else(|| runs.last().map(|r| r.stats.tuples))
+        .unwrap_or(0);
+    let _ = write!(
+        s,
+        ",\"totals\":{{\"runs\":{},\"updates_applied\":{},\"idb_tuples\":{},\
+         \"probes\":{},\"rows_matched\":{},\"sat_calls\":{},\"sat_true\":{},\
+         \"simplify_calls\":{},\"memo_hits\":{},\"cross_run_hits\":{},\"memo_misses\":{},\
+         \"pruned\":{},\"plan_cache_hits\":{},\"plan_cache_misses\":{}}}",
+        runs.len(),
+        updates.len(),
+        idb_tuples,
+        tot.ops.probes,
+        tot.ops.rows_matched,
+        tot.solver_stats.sat_calls,
+        tot.solver_stats.sat_true,
+        tot.solver_stats.simplify_calls,
+        tot.solver_stats.memo_hits,
+        tot.solver_stats.cross_run_hits,
+        tot.solver_stats.memo_misses,
+        tot.pruned,
+        tot.plan_cache_hits,
+        tot.plan_cache_misses
+    );
     s.push('}');
     s
 }
@@ -617,6 +728,27 @@ pub fn cmd_profile(
     db_text: &str,
     threads: Option<usize>,
 ) -> Result<String, CliError> {
+    cmd_profile_with_clock(
+        program_label,
+        program_text,
+        db_label,
+        db_text,
+        threads,
+        Arc::new(MonotonicClock::starting_now()),
+    )
+}
+
+/// [`cmd_profile`] with an injected trace clock — the golden-output
+/// test drives this with a [`faure_trace::ManualClock`] so every span
+/// duration in the report is deterministic.
+pub fn cmd_profile_with_clock(
+    program_label: &str,
+    program_text: &str,
+    db_label: &str,
+    db_text: &str,
+    threads: Option<usize>,
+    clock: Arc<dyn Clock>,
+) -> Result<String, CliError> {
     let program = parse_program(program_text).map_err(|e| err(e.to_string()))?;
     let db = load_database(db_text)?;
     let mut opts = EvalOptions::default();
@@ -625,7 +757,7 @@ pub fn cmd_profile(
     }
 
     let recorder = Arc::new(Recorder::new());
-    let tracer = Tracer::new(Arc::clone(&recorder) as Arc<dyn faure_trace::TraceSink>);
+    let tracer = Tracer::with_clock(Arc::clone(&recorder) as Arc<dyn TraceSink>, clock);
     let prepared = Engine::with_options(opts)
         .prepare_traced(&program, &tracer)
         .map_err(|e| err(e.to_string()))?;
@@ -771,6 +903,81 @@ pub fn cmd_profile(
     Ok(s)
 }
 
+/// Handle to the background `--telemetry-jsonl` writer. The thread
+/// snapshots the process-global telemetry registry every interval and
+/// appends one JSON object per line; [`finish`](Self::finish) stops it
+/// and forces a final snapshot line, so the file always ends with the
+/// post-run counter totals.
+#[derive(Debug)]
+pub struct TelemetryJsonl {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+    path: String,
+}
+
+impl TelemetryJsonl {
+    /// Signals the writer to stop, waits for the final snapshot line,
+    /// and surfaces any deferred I/O error as a CLI error naming the
+    /// output path.
+    pub fn finish(self) -> Result<(), CliError> {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.join() {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(err(format!("{}: {e}", self.path))),
+            Err(_) => Err(err(format!(
+                "{}: telemetry writer thread panicked",
+                self.path
+            ))),
+        }
+    }
+}
+
+/// Starts the `--telemetry-jsonl` background writer: one snapshot of
+/// the global registry per `interval_ms`, rendered by
+/// [`faure_trace::prom::render_jsonl`], one line each. The file is
+/// created eagerly so a bad path fails the command up front instead of
+/// silently producing nothing.
+pub fn spawn_telemetry_jsonl(path: &str, interval_ms: u64) -> Result<TelemetryJsonl, CliError> {
+    let file = std::fs::File::create(path).map_err(|e| err(format!("{path}: {e}")))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let registry = telemetry::global();
+    let interval = std::time::Duration::from_millis(interval_ms.max(1));
+    let handle = std::thread::Builder::new()
+        .name("faure-telemetry-jsonl".to_owned())
+        .spawn(move || -> std::io::Result<()> {
+            let mut out = std::io::BufWriter::new(file);
+            loop {
+                // Read the flag *before* snapshotting: when `finish`
+                // raises it, the snapshot taken here is at least as
+                // fresh as the last published counters, so the final
+                // line reflects the completed run.
+                let stopping = stop_flag.load(Ordering::Acquire);
+                out.write_all(prom::render_jsonl(&registry.snapshot()).as_bytes())?;
+                out.write_all(b"\n")?;
+                out.flush()?;
+                if stopping {
+                    return Ok(());
+                }
+                // Sleep in short steps so `finish` returns promptly
+                // even under a long `--telemetry-interval-ms`.
+                let step = std::time::Duration::from_millis(20);
+                let mut slept = std::time::Duration::ZERO;
+                while slept < interval && !stop_flag.load(Ordering::Acquire) {
+                    let nap = step.min(interval - slept);
+                    std::thread::sleep(nap);
+                    slept += nap;
+                }
+            }
+        })
+        .map_err(|e| err(format!("{path}: failed to spawn telemetry writer: {e}")))?;
+    Ok(TelemetryJsonl {
+        stop,
+        handle,
+        path: path.to_owned(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,8 +1014,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             PrunePolicy::EndOfStratum,
             Some("R"),
             None,
-            false,
-            false,
+            &ObsOptions::none(),
         )
         .unwrap();
         let plain =
@@ -837,8 +1043,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             PrunePolicy::EndOfStratum,
             Some("R"),
             None,
-            false,
-            true,
+            &ObsOptions::artifacts(false, true),
         )
         .unwrap();
         assert!(report.rendered.contains("== a.fdb =="));
@@ -877,8 +1082,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             PrunePolicy::EndOfStratum,
             Some("R"),
             None,
-            false,
-            true,
+            &ObsOptions::artifacts(false, true),
         )
         .unwrap();
         let metrics = report.metrics_json.unwrap();
@@ -890,9 +1094,11 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
                 rest[..end].parse().unwrap()
             })
             .collect();
-        assert_eq!(hits.len(), 2, "{metrics}");
+        // Two per-database entries plus the whole-process totals block.
+        assert_eq!(hits.len(), 3, "{metrics}");
         assert_eq!(hits[0], 0, "cold run saw cross-run hits: {metrics}");
         assert!(hits[1] > 0, "warm run reused no memo entries: {metrics}");
+        assert_eq!(hits[2], hits[0] + hits[1], "{metrics}");
         assert!(
             metrics.contains("\"memo_cross_run_hit_rate\":0.0000"),
             "{metrics}"
@@ -908,8 +1114,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             PrunePolicy::EndOfStratum,
             None,
             None,
-            true,
-            false,
+            &ObsOptions::artifacts(true, false),
         )
         .unwrap();
         let trace = report.trace_json.unwrap();
@@ -928,8 +1133,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             PrunePolicy::EndOfStratum,
             None,
             None,
-            false,
-            true,
+            &ObsOptions::artifacts(false, true),
         )
         .unwrap();
         let m = report.metrics_json.unwrap();
@@ -956,6 +1160,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             "\"phases\":[",
             "\"rules\":[",
             "\"head\":\"R\"",
+            "\"totals\":{\"runs\":1,\"updates_applied\":0,\"idb_tuples\":",
         ] {
             assert!(m.contains(key), "missing {key} in {m}");
         }
@@ -970,8 +1175,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             PrunePolicy::EndOfStratum,
             Some("R"),
             None,
-            false,
-            false,
+            &ObsOptions::none(),
         )
         .unwrap();
         let traced = cmd_eval_batch(
@@ -981,8 +1185,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             PrunePolicy::EndOfStratum,
             Some("R"),
             None,
-            true,
-            true,
+            &ObsOptions::artifacts(true, true),
         )
         .unwrap();
         let strip = |s: &str| {
@@ -1039,8 +1242,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             PrunePolicy::EndOfStratum,
             Some("R"),
             None,
-            false,
-            true,
+            &ObsOptions::artifacts(false, true),
         )
         .unwrap();
         assert!(report.rendered.contains("-- materialized fig1.fdb"));
@@ -1084,8 +1286,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             PrunePolicy::EndOfStratum,
             Some("R"),
             None,
-            false,
-            false,
+            &ObsOptions::none(),
         )
         .unwrap();
         let edited = FIG1.replace("F(1, 4, 5).\n", "F(1, 4, 6).\nF(1, 6, 7).\n");

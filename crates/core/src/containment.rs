@@ -252,14 +252,18 @@ fn rule_covered(
 
     // Evaluate the candidates on the canonical database. `Never` prune:
     // we reason about the disjunction of raw panic conditions below.
-    let out = evaluate_with(
-        candidates,
-        &db,
-        &EvalOptions {
-            prune: crate::eval::PrunePolicy::Never,
-            ..Default::default()
-        },
-    )?;
+    // The oracle run is auxiliary — suppress telemetry publication so
+    // containment checks don't count as pipeline evaluations.
+    let out = crate::engine::without_telemetry(|| {
+        evaluate_with(
+            candidates,
+            &db,
+            &EvalOptions {
+                prune: crate::eval::PrunePolicy::Never,
+                ..Default::default()
+            },
+        )
+    })?;
     let Some(panic_rel) = out.relation(GOAL) else {
         return Ok(false);
     };

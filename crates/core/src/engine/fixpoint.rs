@@ -46,6 +46,7 @@ pub(super) fn eval_stratum_semi_naive(
         merge_derived(rule.head.pred.as_str(), derived, tables, &mut delta)?;
     }
     let delta_rows = record_delta_size(&delta, stats);
+    super::publish::publish_iteration(delta_rows);
     ctx.tracer
         .emit_span("fixpoint", "iteration", t_iter, 0, || {
             vec![
@@ -80,6 +81,7 @@ pub(super) fn eval_stratum_semi_naive(
                 };
             }
             stats.prune_wall += wall.elapsed();
+            super::publish::publish_prune(rows, removed);
             ctx.tracer.emit_span("eval", "prune", t_prune, 0, || {
                 vec![
                     ("pred", "(delta)".into()),
@@ -128,6 +130,7 @@ pub(super) fn eval_stratum_semi_naive(
         }
         delta = next_delta;
         let delta_rows = record_delta_size(&delta, stats);
+        super::publish::publish_iteration(delta_rows);
         let iteration = iterations;
         ctx.tracer
             .emit_span("fixpoint", "iteration", t_iter, 0, || {
@@ -190,6 +193,7 @@ pub(super) fn eval_stratum_naive(
             table.absorb_partitions(derived, |_| changed = true)?;
         }
         let iteration = iterations - 1;
+        super::publish::publish_iteration(0);
         ctx.tracer
             .emit_span("fixpoint", "iteration", t_iter, 0, || {
                 vec![

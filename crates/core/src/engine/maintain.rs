@@ -532,6 +532,7 @@ impl PreparedProgram {
             report.delta_sizes = stats.delta_sizes.clone();
             report.pruned = stats.pruned;
             report.strata_touched = self.strat.strata.len();
+            publish_finished_apply(&report, true);
             return Ok(report);
         }
 
@@ -594,6 +595,7 @@ impl PreparedProgram {
                     &mut pend_del,
                     &mut changed_preds,
                 )?;
+                super::publish::publish_maintain_stratum("recompute", changed_rows);
                 tracer.emit_span("maintain", "stratum", t_stratum, 0, || {
                     vec![
                         ("stratum", si.into()),
@@ -834,6 +836,7 @@ impl PreparedProgram {
             )?;
 
             let changed_rows: usize = changed.values().map(|l| l.dirty.len()).sum();
+            super::publish::publish_maintain_stratum(mode, changed_rows);
             tracer.emit_span("maintain", "stratum", t_stratum, 0, || {
                 vec![
                     ("stratum", si.into()),
@@ -861,6 +864,7 @@ impl PreparedProgram {
             report.rederived,
         );
         let wall_ns = u64::try_from(report.wall.as_nanos()).unwrap_or(u64::MAX);
+        publish_finished_apply(&report, false);
         tracer.emit_span("maintain", "delta", t_delta, 0, || {
             vec![
                 ("inserted", ins.into()),
@@ -966,6 +970,7 @@ fn run_one_stratum(
             };
             stats.prune_wall += wall.elapsed();
             stats.pruned += removed;
+            super::publish::publish_prune(rows, removed);
             tracer.emit_span("eval", "prune", t_prune, 0, || {
                 vec![
                     ("pred", (*p).into()),
@@ -1295,6 +1300,7 @@ fn settle_stratum(
             stats.prune_wall += wall.elapsed();
             stats.pruned += removed;
             report.pruned += removed;
+            super::publish::publish_prune(rows, removed);
             ctx.tracer.emit_span("eval", "prune", t_prune, 0, || {
                 vec![
                     ("pred", p.as_str().into()),
@@ -1377,6 +1383,13 @@ fn finalize_apply(
     report.wall = total;
     report.stats = stats.clone();
     state.stats = stats.clone();
+}
+
+/// The telemetry boundary shared by both apply exits: every finished
+/// apply — fresh materialization or incremental delta — publishes its
+/// statistics into the process-global registry exactly once.
+fn publish_finished_apply(report: &DeltaReport, fresh: bool) {
+    super::publish::publish_apply(&report.stats, report, fresh);
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@
 mod fixpoint;
 mod maintain;
 mod parallel;
+mod publish;
 mod rule;
 
 pub use maintain::{Delta, DeltaReport, MaterializedState};
@@ -417,6 +418,7 @@ impl PreparedProgram {
         tracer: &Tracer,
     ) -> Result<EvalOutput, EvalError> {
         let t_run = tracer.now_ns();
+        publish::publish_run(opts.threads);
         let state = self.materialize_with(db, opts, tracer)?;
         let output = state.into_output(&self.program);
 
@@ -459,6 +461,21 @@ pub fn evaluate_with(
     opts: &EvalOptions,
 ) -> Result<EvalOutput, EvalError> {
     Engine::with_options(*opts).prepare(program)?.run(db)
+}
+
+/// Runs `f` with process-global telemetry publication suppressed on
+/// the current thread, restoring the previous state afterwards.
+///
+/// Auxiliary evaluations drive the full engine without being pipeline
+/// work — loading a database file's conditional facts, or the §5
+/// containment oracle's run over a canonical database. Publishing
+/// their counters would inflate `faure_runs_total` /
+/// `faure_materializations_total` and break the invariant that the
+/// `/metrics` registry agrees with an eval's final `--metrics` totals,
+/// so such callers wrap the evaluation in this guard. Results are
+/// unaffected; only registry publication is skipped.
+pub fn without_telemetry<R>(f: impl FnOnce() -> R) -> R {
+    publish::with_publication_suppressed(f)
 }
 
 /// [`evaluate_with`], recording the prepare and run pipelines on

@@ -74,6 +74,7 @@ pub(super) fn run_partitioned(
     let workers = opts.threads.min(matches.len());
     let size = chunk_size(matches.len(), workers);
     let n_chunks = matches.len().div_ceil(size);
+    super::publish::publish_parallel(workers, n_chunks);
     let cursor = AtomicUsize::new(0);
 
     /// One chunk's output, tagged with its index for in-order reassembly.

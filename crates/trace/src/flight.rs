@@ -1,0 +1,216 @@
+//! Flight recorder: a bounded ring-buffer [`TraceSink`].
+//!
+//! The [`crate::Recorder`] keeps *every* event, which is right for a
+//! bounded batch run but unbounded for a long-lived process. The
+//! [`FlightRecorder`] keeps only the last `capacity` events and counts
+//! what it evicted, so the CLI can install it unconditionally and, on
+//! a panic or error exit, dump the recent span history as a
+//! Perfetto-loadable Chrome trace — the black-box recorder pattern.
+//!
+//! Chunk-order preservation: the engine's parallel driver submits each
+//! rule pass's buffered worker spans as **one batch in chunk index
+//! order** ([`crate::Tracer::submit`] → [`TraceSink::record_batch`]).
+//! The ring appends a whole batch under a single lock acquisition, so
+//! concurrent submitters can interleave *between* batches but never
+//! *within* one — the retained suffix of any batch stays contiguous
+//! and in order, which is what makes the dump readable.
+
+use crate::chrome;
+use crate::{Event, TraceSink};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity when the CLI's `--flight-capacity` is absent.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A fixed-capacity ring of the most recent trace events.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A ring holding at most `capacity` events (capacity 0 is clamped
+    /// to 1 — a recorder that can hold nothing records nothing useful).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted to make room (exact: evictions happen
+    /// under the ring lock).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .expect("flight ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The retained events as Chrome `trace_event` JSON (loadable in
+    /// Perfetto / `chrome://tracing`), for the panic-hook and
+    /// error-exit dumps.
+    pub fn to_chrome_json(&self) -> String {
+        chrome::trace_json(&self.snapshot())
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&self, event: Event) {
+        self.record_batch(vec![event]);
+    }
+
+    fn record_batch(&self, events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        let mut dropped = 0u64;
+        for e in events {
+            if ring.len() == self.capacity {
+                ring.pop_front();
+                dropped += 1;
+            }
+            ring.push_back(e);
+        }
+        if dropped > 0 {
+            // Counted under the lock's critical section, so the total
+            // is exact even under concurrent submitters.
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Fans one event stream out to several sinks — e.g. the per-run
+/// [`crate::Recorder`] that feeds `--trace`/`--metrics` *and* the
+/// always-on flight ring.
+#[derive(Debug)]
+pub struct Tee {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl Tee {
+    /// A tee over `sinks` (events are cloned per extra sink).
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Tee { sinks }
+    }
+}
+
+impl TraceSink for Tee {
+    fn record(&self, event: Event) {
+        let Some((last, rest)) = self.sinks.split_last() else {
+            return;
+        };
+        for s in rest {
+            s.record(event.clone());
+        }
+        last.record(event);
+    }
+
+    fn record_batch(&self, events: Vec<Event>) {
+        let Some((last, rest)) = self.sinks.split_last() else {
+            return;
+        };
+        for s in rest {
+            s.record_batch(events.clone());
+        }
+        last.record_batch(events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn ev(name: &'static str, start: u64) -> Event {
+        Event {
+            cat: "test",
+            name,
+            start_ns: start,
+            dur_ns: 1,
+            track: 0,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let ring = FlightRecorder::new(3);
+        for i in 0..5 {
+            ring.record(ev("e", i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let starts: Vec<u64> = ring.snapshot().iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn batch_larger_than_capacity_keeps_its_tail() {
+        let ring = FlightRecorder::new(2);
+        ring.record_batch((0..5).map(|i| ev("e", i)).collect());
+        let starts: Vec<u64> = ring.snapshot().iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, vec![3, 4]);
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = FlightRecorder::new(0);
+        ring.record(ev("e", 1));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.capacity(), 1);
+    }
+
+    #[test]
+    fn dump_is_chrome_trace_json() {
+        let ring = FlightRecorder::new(8);
+        ring.record(ev("span", 10));
+        let json = ring.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn tee_duplicates_to_all_sinks() {
+        let rec = Arc::new(Recorder::new());
+        let ring = Arc::new(FlightRecorder::new(4));
+        let tee = Tee::new(vec![
+            Arc::clone(&rec) as Arc<dyn TraceSink>,
+            Arc::clone(&ring) as Arc<dyn TraceSink>,
+        ]);
+        tee.record(ev("a", 1));
+        tee.record_batch(vec![ev("b", 2), ev("c", 3)]);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(ring.len(), 3);
+    }
+}

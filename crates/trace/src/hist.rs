@@ -102,6 +102,27 @@ impl Histogram {
         (lo, hi)
     }
 
+    /// All per-bucket counts, low bucket first. Bucket `i` counts
+    /// samples in [`Histogram::bucket_bounds`]`(i)`; the Prometheus
+    /// renderer turns these into cumulative `_bucket` series.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// The samples recorded since `earlier` (an older snapshot of the
+    /// same histogram), bucket-wise. Counters only grow, so a
+    /// saturating subtraction is exact for genuine snapshots and
+    /// clamps at zero if the baseline is from another histogram.
+    pub fn since(&self, earlier: &Histogram) -> Histogram {
+        let mut out = *self;
+        for (a, b) in out.counts.iter_mut().zip(earlier.counts.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum_ns = self.sum_ns.saturating_sub(earlier.sum_ns);
+        out
+    }
+
     /// Non-empty buckets as `(lo_ns, hi_ns, count)`, low to high.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.counts

@@ -34,9 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
 pub mod hist;
 pub mod metrics;
+pub mod prom;
+pub mod telemetry;
 
+pub use flight::{FlightRecorder, Tee};
 pub use hist::Histogram;
 
 use std::borrow::Cow;

@@ -1,0 +1,109 @@
+//! Property tests for the flight-recorder ring buffer.
+//!
+//! The ring is the CLI's always-on post-mortem sink: parallel rule
+//! passes submit whole chunk batches, the ring keeps the newest
+//! `capacity` events and counts what it evicted. Three properties must
+//! survive concurrent submission:
+//!
+//! * **bounded retention** — never more than `capacity` events kept,
+//!   and exactly `min(total, capacity)` once enough were submitted;
+//! * **exact drop accounting** — `dropped()` equals submitted minus
+//!   retained (evictions happen under the ring lock, so the counter
+//!   cannot drift);
+//! * **per-batch order** — each `record_batch` call lands contiguously;
+//!   eviction only ever trims a batch's oldest prefix, so the retained
+//!   part of every batch is an in-order, contiguous suffix of it.
+
+use faure_trace::{Event, FlightRecorder, TraceSink};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One synthetic event: `dur_ns` carries the submitting batch's global
+/// id, `start_ns` the event's global sequence number within the run
+/// (`batch_id * per_batch + k`), so the assertions can reconstruct
+/// which batch every retained event came from and where it sat.
+fn tagged(batch_id: usize, per_batch: usize, k: usize) -> Event {
+    Event {
+        cat: "test",
+        name: "flight",
+        start_ns: (batch_id * per_batch + k) as u64,
+        dur_ns: batch_id as u64,
+        track: 0,
+        args: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concurrent_submission_bounds_counts_and_preserves_batch_order(
+        threads in 1usize..5,
+        batches_per_thread in 1usize..6,
+        per_batch in 1usize..8,
+        capacity in 1usize..48,
+    ) {
+        let ring = Arc::new(FlightRecorder::new(capacity));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for b in 0..batches_per_thread {
+                        let batch_id = t * batches_per_thread + b;
+                        let batch: Vec<Event> =
+                            (0..per_batch).map(|k| tagged(batch_id, per_batch, k)).collect();
+                        ring.record_batch(batch);
+                    }
+                });
+            }
+        });
+
+        let total = threads * batches_per_thread * per_batch;
+        let kept = ring.snapshot();
+        prop_assert!(kept.len() <= capacity, "retained {} > capacity {capacity}", kept.len());
+        prop_assert_eq!(kept.len(), total.min(capacity));
+        prop_assert_eq!(ring.dropped() as usize, total - kept.len());
+        prop_assert_eq!(ring.len(), kept.len());
+
+        // Group retained events by submitting batch, in snapshot order.
+        let mut by_batch: HashMap<u64, Vec<(usize, u64)>> = HashMap::new();
+        for (pos, e) in kept.iter().enumerate() {
+            by_batch.entry(e.dur_ns).or_default().push((pos, e.start_ns));
+        }
+        for (batch_id, items) in by_batch {
+            // Contiguous in the ring, in submission order: batches are
+            // appended under one lock and eviction pops only from the
+            // front, so nothing can interleave into the middle.
+            for w in items.windows(2) {
+                prop_assert_eq!(w[1].0, w[0].0 + 1, "batch {} interleaved", batch_id);
+                prop_assert_eq!(w[1].1, w[0].1 + 1, "batch {} reordered", batch_id);
+            }
+            // A suffix of the batch: if any event survived, the
+            // batch's newest event did.
+            let last_seq = items.last().expect("non-empty group").1;
+            prop_assert_eq!(
+                last_seq,
+                (batch_id as usize * per_batch + per_batch - 1) as u64,
+                "batch {} lost its tail", batch_id
+            );
+        }
+    }
+
+    /// Serial sanity: submitting one event at a time through the
+    /// `TraceSink::record` path behaves like batches of one.
+    #[test]
+    fn serial_records_keep_newest(total in 1usize..80, capacity in 1usize..32) {
+        let ring = FlightRecorder::new(capacity);
+        for i in 0..total {
+            ring.record(tagged(0, 1, i));
+        }
+        let kept = ring.snapshot();
+        prop_assert_eq!(kept.len(), total.min(capacity));
+        prop_assert_eq!(ring.dropped() as usize, total - kept.len());
+        let seqs: Vec<u64> = kept.iter().map(|e| e.start_ns).collect();
+        let expect: Vec<u64> =
+            ((total - kept.len()) as u64..total as u64).collect();
+        prop_assert_eq!(seqs, expect);
+    }
+}

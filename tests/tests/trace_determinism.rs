@@ -19,7 +19,7 @@ use faure_core::{evaluate_traced, evaluate_with, EvalOptions, EvalOutput, Progra
 use faure_ctable::{Condition, Database, Term};
 use faure_tests::corpus::{arb_db, arb_program};
 use faure_trace::metrics::{rollup_by_arg, rollup_spans};
-use faure_trace::{Event, Recorder, TraceSink, Tracer};
+use faure_trace::{Event, FlightRecorder, Recorder, Tee, TraceSink, Tracer};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -60,6 +60,29 @@ fn eval_traced(program: &Program, db: &Database, threads: usize) -> (EvalOutput,
     let tracer = Tracer::new(Arc::clone(&recorder) as Arc<dyn TraceSink>);
     let out = evaluate_traced(program, db, &opts, &tracer).expect("evaluation succeeds");
     (out, recorder.take())
+}
+
+/// Evaluation with the CLI's full telemetry path enabled: the span
+/// stream teed into a bounded flight ring alongside the recorder
+/// (exactly what `faure eval` installs), on top of the engine's
+/// always-on registry publication.
+fn eval_telemetry(
+    program: &Program,
+    db: &Database,
+    threads: usize,
+) -> (EvalOutput, Arc<FlightRecorder>) {
+    let opts = EvalOptions {
+        threads,
+        ..EvalOptions::default()
+    };
+    let recorder = Arc::new(Recorder::new());
+    let flight = Arc::new(FlightRecorder::new(64));
+    let tracer = Tracer::new(Arc::new(Tee::new(vec![
+        Arc::clone(&recorder) as Arc<dyn TraceSink>,
+        Arc::clone(&flight) as Arc<dyn TraceSink>,
+    ])));
+    let out = evaluate_traced(program, db, &opts, &tracer).expect("evaluation succeeds");
+    (out, flight)
 }
 
 /// The deterministic counter subset of the evaluation: `PhaseStats`
@@ -157,6 +180,36 @@ proptest! {
                 threads,
                 &program
             );
+        }
+    }
+
+    /// The full telemetry path — registry publication plus the flight
+    /// ring teed next to the recorder, the exact sink stack `faure
+    /// eval` installs — never perturbs evaluation either: results stay
+    /// bit-identical to an untraced run, and the ring respects its
+    /// bound while actually capturing the span stream.
+    #[test]
+    fn telemetry_and_flight_recording_are_observationally_transparent(
+        db in arb_db(), program in arb_program()
+    ) {
+        for threads in [1usize, 4] {
+            let plain = derived_rows(&eval_plain(&program, &db, threads), &program);
+            let (out, flight) = eval_telemetry(&program, &db, threads);
+            let teed = derived_rows(&out, &program);
+            prop_assert_eq!(
+                &plain,
+                &teed,
+                "threads={}: telemetry changed the results\nprogram:\n{}",
+                threads,
+                &program
+            );
+            let kept = flight.snapshot();
+            prop_assert!(!kept.is_empty(), "flight ring captured nothing");
+            prop_assert!(kept.len() <= 64);
+            if flight.dropped() > 0 {
+                // Evictions only start once the ring is full.
+                prop_assert_eq!(kept.len(), 64, "dropped {} from a non-full ring", flight.dropped());
+            }
         }
     }
 
