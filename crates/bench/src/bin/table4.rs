@@ -3,14 +3,18 @@
 //! ```text
 //! cargo run -p faure-bench --release --bin table4 [-- --sizes 1000,10000] \
 //!     [--seed N] [--json out.json] [--prune eager|stratum|never] \
-//!     [--threads 1,4] [--churn 1000] [--churn-updates 200] [--churn-only] \
+//!     [--threads 1,4] [--shards 1,2,4,8] [--churn 1000] \
+//!     [--churn-updates 200] [--churn-only] [--q45-only] \
 //!     [--telemetry-addr 127.0.0.1:9090]
 //! ```
 //!
 //! `--threads` takes a comma-separated list of worker counts; each size
 //! is evaluated once per count, and rows at > 1 threads record their
 //! q4–q5 speedup over the serial row of the same size (requires `1` in
-//! the list).
+//! the list). `--shards` sweeps the partitioned fixpoint the same way
+//! (each size runs once per (threads, shards) pair; the 1-thread,
+//! 1-shard row is the speedup baseline), and sharded rows carry the
+//! `routed_deltas` / `shard_imbalance` exchange metrics.
 //!
 //! `--churn` adds the incremental-maintenance benchmark for the listed
 //! sizes: the q4–q5 fixpoint is materialized once, then
@@ -19,6 +23,11 @@
 //! per-update wall is compared against one full re-evaluation of the
 //! final database. Churn rows are tagged `"bench":"churn"` in the JSON
 //! dump. `--churn-only` skips the Table 4 sweep.
+//!
+//! `--q45-only` runs just the recursive q4–q5 stage per row, leaving
+//! the q6–q8 cells zeroed — the path for the paper's 922 067-prefix
+//! input, where the downstream q6 stage would double the peak derived
+//! footprint.
 //!
 //! `--telemetry-addr HOST:PORT` serves the process-global telemetry
 //! registry as Prometheus text format on `/metrics` while the bench
@@ -29,8 +38,8 @@
 //! shape, not the wall-clock, is the reproduction target).
 
 use faure_bench::{
-    mixed_rows_to_json, print_table, run_churn_row, run_table4_row, ChurnRow, HarnessOptions,
-    Table4Row,
+    mixed_rows_to_json, print_table, run_churn_row, run_table4_q45_row, run_table4_row, ChurnRow,
+    HarnessOptions, Table4Row,
 };
 use faure_core::PrunePolicy;
 
@@ -39,9 +48,11 @@ fn main() {
     let mut opts = HarnessOptions::default();
     let mut json_path: Option<String> = None;
     let mut thread_counts: Vec<usize> = vec![opts.eval.threads];
+    let mut shard_counts: Vec<usize> = vec![opts.eval.shards.max(1)];
     let mut churn_sizes: Vec<usize> = Vec::new();
     let mut churn_updates: usize = 200;
     let mut churn_only = false;
+    let mut q45_only = false;
     let mut telemetry_addr: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,6 +94,17 @@ fn main() {
                     "--threads counts must be >= 1"
                 );
             }
+            "--shards" => {
+                i += 1;
+                shard_counts = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--shards takes a,b,c"))
+                    .collect();
+                assert!(
+                    shard_counts.iter().all(|&s| s >= 1),
+                    "--shards counts must be >= 1"
+                );
+            }
             "--churn" => {
                 i += 1;
                 churn_sizes = args[i]
@@ -97,6 +119,9 @@ fn main() {
             "--churn-only" => {
                 churn_only = true;
             }
+            "--q45-only" => {
+                q45_only = true;
+            }
             "--telemetry-addr" => {
                 i += 1;
                 telemetry_addr = Some(args[i].clone());
@@ -104,7 +129,7 @@ fn main() {
             other => {
                 panic!(
                     "unknown argument {other} (try --sizes/--seed/--json/--prune/--threads/\
-                     --churn/--churn-updates/--churn-only/--telemetry-addr)"
+                     --shards/--churn/--churn-updates/--churn-only/--q45-only/--telemetry-addr)"
                 )
             }
         }
@@ -128,58 +153,80 @@ fn main() {
         }
     }
     eprintln!(
-        "running Listing 2 (q4-q8) on the synthetic RIB workload, sizes {sizes:?}, seed {}, threads {thread_counts:?}",
+        "running Listing 2 (q4-q8) on the synthetic RIB workload, sizes {sizes:?}, seed {}, threads {thread_counts:?}, shards {shard_counts:?}",
         opts.seed
     );
-    // A 1-vs-N thread comparison only measures parallel speedup when
-    // the machine actually has >= 2 cores; on a single-core runner the
-    // number is scheduler noise, so the rows mark it invalid instead.
-    let multicore = std::thread::available_parallelism()
-        .map(|n| n.get() >= 2)
-        .unwrap_or(false);
-    if !multicore && thread_counts.iter().any(|&t| t > 1) {
-        eprintln!("  note: single-core runner — speedup_q45 omitted (speedup_valid: false)");
-    }
     let mut rows: Vec<Table4Row> = Vec::new();
     for &n in &sizes {
         // Serial q4-q5 baselines for this size (whole-query wall-clock
         // and the prune phase alone), for the speedup columns of the
-        // > 1-thread rows.
+        // > 1-thread / > 1-shard rows.
         let mut serial_q45: Option<f64> = None;
         let mut serial_prune: Option<f64> = None;
         for &t in &thread_counts {
-            eprintln!("  generating + evaluating {n} prefixes ({t} thread(s)) ...");
-            opts.eval.threads = t;
-            let mut row = run_table4_row(n, &opts).expect("evaluation succeeds");
-            if t == 1 {
-                serial_q45 = Some(row.q45_wall());
-                serial_prune = Some(row.prune_wall());
-            } else {
-                row.speedup_valid = multicore;
-                if let Some(base) = serial_q45 {
-                    if multicore && row.q45_wall() > 0.0 {
-                        row.speedup_q45 = Some(base / row.q45_wall());
+            for &sh in &shard_counts {
+                eprintln!(
+                    "  generating + evaluating {n} prefixes ({t} thread(s), {sh} shard(s)) ..."
+                );
+                opts.eval.threads = t;
+                opts.eval.shards = sh;
+                let mut row = if q45_only {
+                    run_table4_q45_row(n, &opts).expect("evaluation succeeds")
+                } else {
+                    run_table4_row(n, &opts).expect("evaluation succeeds")
+                };
+                if t == 1 && sh == 1 {
+                    serial_q45 = Some(row.q45_wall());
+                    serial_prune = Some(row.prune_wall());
+                } else {
+                    // A 1-vs-N comparison only measures parallel
+                    // speedup when the machine that produced this row
+                    // had >= 2 cores — derived from the row's own
+                    // recorded host_cores, not a fresh probe, so the
+                    // gate travels with the dump.
+                    let multicore = row.host_cores >= 2;
+                    row.speedup_valid = multicore;
+                    if !multicore {
+                        eprintln!(
+                            "    note: single-core runner — speedup_q45 omitted (speedup_valid: false)"
+                        );
+                    }
+                    if let Some(base) = serial_q45 {
+                        if multicore && row.q45_wall() > 0.0 {
+                            row.speedup_q45 = Some(base / row.q45_wall());
+                        }
+                    }
+                    if let Some(base) = serial_prune {
+                        if multicore && row.prune_wall() > 0.0 {
+                            row.prune_speedup = Some(base / row.prune_wall());
+                        }
                     }
                 }
-                if let Some(base) = serial_prune {
-                    if multicore && row.prune_wall() > 0.0 {
-                        row.prune_speedup = Some(base / row.prune_wall());
+                eprintln!(
+                    "    done in {:.1}s ({} F-tuples, {} R-tuples{}{}{})",
+                    row.total,
+                    row.f_tuples,
+                    row.q45.tuples,
+                    row.speedup_q45
+                        .map(|s| format!(", q4-q5 speedup {s:.2}x"))
+                        .unwrap_or_default(),
+                    row.prune_speedup
+                        .map(|s| format!(", prune speedup {s:.2}x"))
+                        .unwrap_or_default(),
+                    if row.shards > 1 {
+                        format!(
+                            ", {} routed deltas, imbalance {}",
+                            row.routed_deltas,
+                            row.shard_imbalance
+                                .map(|r| format!("{r:.2}"))
+                                .unwrap_or_else(|| "n/a".into())
+                        )
+                    } else {
+                        String::new()
                     }
-                }
+                );
+                rows.push(row);
             }
-            eprintln!(
-                "    done in {:.1}s ({} F-tuples, {} R-tuples{}{})",
-                row.total,
-                row.f_tuples,
-                row.q45.tuples,
-                row.speedup_q45
-                    .map(|s| format!(", q4-q5 speedup {s:.2}x"))
-                    .unwrap_or_default(),
-                row.prune_speedup
-                    .map(|s| format!(", prune speedup {s:.2}x"))
-                    .unwrap_or_default()
-            );
-            rows.push(row);
         }
     }
 

@@ -139,6 +139,14 @@ pub struct Table4Row {
     pub seed: u64,
     /// Worker threads the row was evaluated with (1 = serial).
     pub threads: usize,
+    /// Worker shards of the partitioned fixpoint (1 = single-space).
+    pub shards: usize,
+    /// q4–q5 delta rows routed to a non-producing shard (0 for
+    /// single-space rows) — the cross-shard communication volume.
+    pub routed_deltas: u64,
+    /// Max/mean per-shard wall ratio of the q4–q5 sharded passes
+    /// (`None` for single-space rows): 1.0 is perfect balance.
+    pub shard_imbalance: Option<f64>,
     /// q4–q5 wall-clock (sql+solver) of the serial row divided by this
     /// row's — filled by the `table4` binary when it ran a serial
     /// baseline for the same size, `None` otherwise.
@@ -146,7 +154,8 @@ pub struct Table4Row {
     /// Whether `speedup_q45` is a meaningful signal on this machine:
     /// `false` on single-core runners, where a 1-vs-N comparison
     /// measures scheduler noise, not parallel speedup. The `table4`
-    /// binary sets it from `std::thread::available_parallelism()`.
+    /// binary derives it from the row's recorded `host_cores` field,
+    /// so re-reading a dump never re-probes the current machine.
     pub speedup_valid: bool,
     /// Logical cores available to this process
     /// (`std::thread::available_parallelism()`), recorded so a
@@ -188,10 +197,13 @@ impl Table4Row {
             None => "null".to_owned(),
         };
         format!(
-            "{{\"bench\":\"table4\",\"prefixes\":{},\"seed\":{},\"threads\":{},\"speedup_q45\":{},\"speedup_valid\":{},\"host_cores\":{},\"prune_wall\":{},\"prune_speedup\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{},\"peak_rss_kb\":{}}}",
+            "{{\"bench\":\"table4\",\"prefixes\":{},\"seed\":{},\"threads\":{},\"shards\":{},\"routed_deltas\":{},\"shard_imbalance\":{},\"speedup_q45\":{},\"speedup_valid\":{},\"host_cores\":{},\"prune_wall\":{},\"prune_speedup\":{},\"f_tuples\":{},\"q45\":{},\"q6\":{},\"q7\":{},\"q8\":{},\"total\":{},\"peak_rss_kb\":{}}}",
             self.prefixes,
             self.seed,
             self.threads,
+            self.shards,
+            self.routed_deltas,
+            opt(self.shard_imbalance),
             opt(self.speedup_q45),
             self.speedup_valid,
             self.host_cores,
@@ -273,6 +285,9 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
     let mut out_r = evaluate_with(&queries::reachability_program(), &w.db, &opts.eval)?;
     drop(w);
     let q45 = QueryStats::from_phase(&out_r.stats);
+    // The sharded-fixpoint counters of the recursive stage — the only
+    // stage sharding targets (q6–q8 are non-recursive filters over R).
+    let shard_stats = out_r.stats.shard.clone();
 
     // The downstream queries read only R: strip F and move R into a
     // slim database.
@@ -312,6 +327,9 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
         prefixes,
         seed: opts.seed,
         threads: opts.eval.threads,
+        shards: opts.eval.shards.max(1),
+        routed_deltas: shard_stats.routed_rows,
+        shard_imbalance: shard_stats.imbalance(),
         speedup_q45: None,
         speedup_valid: false,
         host_cores: host_cores(),
@@ -321,6 +339,42 @@ pub fn run_table4_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Ro
         q6,
         q7,
         q8,
+        total: started.elapsed().as_secs_f64(),
+        peak_rss_kb: peak_rss_kb(),
+    })
+}
+
+/// Like [`run_table4_row`] but evaluates only the recursive q4–q5
+/// stage, leaving the q6–q8 cells zeroed. This is the path for the
+/// paper's largest input (922 067 prefixes): the reachability fixpoint
+/// alone derives ~28 M R-tuples, and the downstream q6 filter would
+/// materialize another R-sized stage on top — q4–q5-only keeps the
+/// peak at one derived database so the row completes (and records
+/// `peak_rss_kb`) on hardware that the full row would exhaust.
+pub fn run_table4_q45_row(prefixes: usize, opts: &HarnessOptions) -> Result<Table4Row, EvalError> {
+    let started = std::time::Instant::now();
+    let w = workload(prefixes, opts.seed);
+    let f_tuples = w.db.relation("F").map(|r| r.len()).unwrap_or(0);
+    let out_r = evaluate_with(&queries::reachability_program(), &w.db, &opts.eval)?;
+    drop(w);
+    let q45 = QueryStats::from_phase(&out_r.stats);
+    let shard_stats = out_r.stats.shard.clone();
+    Ok(Table4Row {
+        prefixes,
+        seed: opts.seed,
+        threads: opts.eval.threads,
+        shards: opts.eval.shards.max(1),
+        routed_deltas: shard_stats.routed_rows,
+        shard_imbalance: shard_stats.imbalance(),
+        speedup_q45: None,
+        speedup_valid: false,
+        host_cores: host_cores(),
+        prune_speedup: None,
+        f_tuples,
+        q45,
+        q6: QueryStats::default(),
+        q7: QueryStats::default(),
+        q8: QueryStats::default(),
         total: started.elapsed().as_secs_f64(),
         peak_rss_kb: peak_rss_kb(),
     })
@@ -611,14 +665,19 @@ mod tests {
 
     #[test]
     fn rows_serialize_to_json() {
-        // Pin threads so the assertion holds under FAURE_THREADS.
+        // Pin threads/shards so the assertions hold under FAURE_THREADS
+        // and FAURE_SHARDS.
         let mut opts = HarnessOptions::default();
         opts.eval.threads = 1;
+        opts.eval.shards = 1;
         let mut row = run_table4_row(10, &opts).unwrap();
         let json = rows_to_json(&[row.clone()]);
         assert!(json.contains("\"bench\":\"table4\""));
         assert!(json.contains("\"prefixes\":10"));
         assert!(json.contains("\"threads\":1"));
+        assert!(json.contains("\"shards\":1"));
+        assert!(json.contains("\"routed_deltas\":0"));
+        assert!(json.contains("\"shard_imbalance\":null"));
         assert!(json.contains("\"speedup_q45\":null"));
         assert!(json.contains("\"speedup_valid\":false"));
         assert!(json.contains("\"host_cores\":"));
@@ -667,6 +726,31 @@ mod tests {
         assert_eq!(serial.q7.tuples, parallel.q7.tuples);
         assert_eq!(serial.q8.tuples, parallel.q8.tuples);
         assert_eq!(serial.q45.delta_sizes, parallel.q45.delta_sizes);
+    }
+
+    #[test]
+    fn sharded_row_matches_serial_tuples() {
+        let mut serial_opts = HarnessOptions::default();
+        serial_opts.eval.threads = 1;
+        serial_opts.eval.shards = 1;
+        let serial = run_table4_row(10, &serial_opts).unwrap();
+        let mut opts = HarnessOptions::default();
+        opts.eval.threads = 1;
+        opts.eval.shards = 4;
+        let sharded = run_table4_row(10, &opts).unwrap();
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(serial.q45.tuples, sharded.q45.tuples);
+        assert_eq!(serial.q6.tuples, sharded.q6.tuples);
+        assert_eq!(serial.q7.tuples, sharded.q7.tuples);
+        assert_eq!(serial.q8.tuples, sharded.q8.tuples);
+        // The recursive stage exchanged rows across shards and its
+        // balance figure is recorded for the JSON dump.
+        assert!(sharded.routed_deltas > 0, "{sharded:?}");
+        assert!(sharded.shard_imbalance.is_some(), "{sharded:?}");
+        let json = sharded.to_json();
+        assert!(json.contains("\"shards\":4"), "{json}");
+        assert!(json.contains("\"routed_deltas\":"), "{json}");
+        assert!(!json.contains("\"shard_imbalance\":null"), "{json}");
     }
 
     #[test]

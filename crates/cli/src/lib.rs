@@ -178,6 +178,61 @@ fn parse_schema_directive(rest: &str, db: &mut Database) -> Result<(), String> {
         .map_err(|e| e.to_string())
 }
 
+/// Engine tuning knobs shared by the eval-family subcommands:
+/// `--threads N` (data-parallel rule passes), `--shards N` (partitioned
+/// fixpoint with delta exchange), and `--shard-key pred=col` overrides
+/// of the planner's chosen partition key. Both axes preserve results:
+/// thread parallelism is bit-identical, sharding is set-identical after
+/// condition canonicalization.
+#[derive(Debug, Default, Clone)]
+pub struct EngineKnobs {
+    /// `--threads N`; `None` keeps the engine default (`FAURE_THREADS`).
+    pub threads: Option<usize>,
+    /// `--shards N`; `None` keeps the engine default (`FAURE_SHARDS`).
+    pub shards: Option<usize>,
+    /// `--shard-key pred=col` overrides, applied to the prepared
+    /// program's shard plan before evaluation.
+    pub shard_keys: Vec<(String, usize)>,
+}
+
+impl EngineKnobs {
+    /// Knobs carrying only a thread count (the pre-sharding call shape).
+    pub fn threads(threads: Option<usize>) -> Self {
+        EngineKnobs {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Applies the option-level knobs to an [`EvalOptions`]. Shard-key
+    /// overrides are per-prepared-program and applied separately.
+    pub(crate) fn configure(&self, opts: &mut EvalOptions) {
+        if let Some(n) = self.threads {
+            opts.threads = n.max(1);
+        }
+        if let Some(n) = self.shards {
+            opts.shards = n.max(1);
+        }
+    }
+}
+
+/// Parses a `--shard-key` value of the form `pred=col` (a derived
+/// predicate name and a zero-based head column index).
+pub fn parse_shard_key(s: &str) -> Result<(String, usize), CliError> {
+    let (pred, col) = s
+        .split_once('=')
+        .ok_or_else(|| err(format!("--shard-key takes `pred=col`, got `{s}`")))?;
+    let pred = pred.trim();
+    let col: usize = col
+        .trim()
+        .parse()
+        .map_err(|_| err(format!("--shard-key column must be an integer, got `{s}`")))?;
+    if pred.is_empty() {
+        return Err(err(format!("--shard-key needs a predicate name in `{s}`")));
+    }
+    Ok((pred.to_owned(), col))
+}
+
 /// Parses `--prune` values.
 pub fn parse_prune(s: &str) -> Result<PrunePolicy, CliError> {
     match s {

@@ -3,7 +3,7 @@
 use faure_cli::{
     cmd_check, cmd_eval_batch, cmd_eval_updates, cmd_explain, cmd_explain_json, cmd_lint,
     cmd_lint_json, cmd_profile, cmd_scenarios, cmd_sql, cmd_subsume, cmd_worlds, load_database,
-    parse_prune, spawn_telemetry_jsonl, CliError, ObsOptions,
+    parse_prune, parse_shard_key, spawn_telemetry_jsonl, CliError, EngineKnobs, ObsOptions,
 };
 use faure_core::PrunePolicy;
 use faure_trace::{flight, prom, telemetry, FlightRecorder};
@@ -14,11 +14,12 @@ faure — partial network analysis (HotNets '21 reproduction)
 
 USAGE:
   faure eval <db.fdb>... <program.fl> [--prune never|stratum|iteration|eager] [--relation R]
-            [--threads N] [--trace out.trace.json] [--metrics out.json]
+            [--threads N] [--shards N] [--shard-key pred=col]
+            [--trace out.trace.json] [--metrics out.json]
             [--updates stream.fdl] [--flight-recorder out.trace.json]
             [--flight-capacity N] [--telemetry-addr 127.0.0.1:9090]
             [--telemetry-jsonl out.jsonl] [--telemetry-interval-ms MS]
-  faure profile <program.fl> <db.fdb> [--threads N]
+  faure profile <program.fl> <db.fdb> [--threads N] [--shards N]
   faure explain <program.fl> [--format text|json]
   faure check <program.fl> [--domains db.fdb] [--format text|json] [--deny warnings]
   faure check --explain F00xx
@@ -36,6 +37,14 @@ Database files (.fdb) hold `@cvar name in {..}` / `@cvar name open` /
 `eval --threads N` partitions the fixpoint inner loop across N worker
 threads; results are bit-identical to a serial run at any thread
 count. The `FAURE_THREADS` environment variable sets the default.
+
+`eval --shards N` runs the partitioned fixpoint: each recursive
+predicate's delta is sharded on a key column (first bound head column
+by default, `--shard-key pred=col` overrides) across N worker shards
+that exchange cross-shard rows at iteration barriers. Derived rows and
+conditions are identical to a single-space run at any shard count; the
+`FAURE_SHARDS` environment variable sets the default. `--shards` and
+`--threads` compose (threads parallelize within each shard's pass).
 
 `eval` accepts several databases: the program is prepared (analysed,
 stratified, plan-compiled) once and run against each, so the compiled
@@ -104,6 +113,8 @@ fn run() -> Result<String, CliError> {
     let mut domains: Option<String> = None;
     let mut format = LintFormat::Text;
     let mut threads: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut shard_keys: Vec<(String, usize)> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut updates_path: Option<String> = None;
@@ -142,6 +153,22 @@ fn run() -> Result<String, CliError> {
                         .filter(|&n| n >= 1)
                         .ok_or_else(|| CliError("--threads takes a positive integer".into()))?,
                 );
+            }
+            "--shards" => {
+                i += 1;
+                shards = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError("--shards takes a positive integer".into()))?,
+                );
+            }
+            "--shard-key" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .ok_or_else(|| CliError("--shard-key takes `pred=col`".into()))?;
+                shard_keys.push(parse_shard_key(spec)?);
             }
             "--prune" => {
                 i += 1;
@@ -275,6 +302,11 @@ fn run() -> Result<String, CliError> {
                 flight: Some(Arc::clone(&flight)),
                 progress: updates_path.is_some(),
             };
+            let knobs = EngineKnobs {
+                threads,
+                shards,
+                shard_keys: shard_keys.clone(),
+            };
             let result = match &updates_path {
                 Some(upath) => {
                     let [(db_label, db_text)] = db_texts.as_slice() else {
@@ -289,7 +321,7 @@ fn run() -> Result<String, CliError> {
                         &read(upath)?,
                         prune,
                         relation.as_deref(),
-                        threads,
+                        &knobs,
                         &obs,
                     )
                 }
@@ -299,7 +331,7 @@ fn run() -> Result<String, CliError> {
                     &read(program)?,
                     prune,
                     relation.as_deref(),
-                    threads,
+                    &knobs,
                     &obs,
                 ),
             };
@@ -355,7 +387,17 @@ fn run() -> Result<String, CliError> {
             }
             Ok(out)
         }
-        ["profile", program, db] => cmd_profile(program, &read(program)?, db, &read(db)?, threads),
+        ["profile", program, db] => cmd_profile(
+            program,
+            &read(program)?,
+            db,
+            &read(db)?,
+            &EngineKnobs {
+                threads,
+                shards,
+                shard_keys,
+            },
+        ),
         ["explain", program] => match format {
             LintFormat::Text => cmd_explain(&read(program)?),
             LintFormat::Json => cmd_explain_json(&read(program)?),

@@ -21,7 +21,7 @@
 //! become statically-pruned empty plans, counted in the metrics
 //! document's `ops.static_cut`.
 
-use crate::{err, load_database, render_relation, CliError};
+use crate::{err, load_database, render_relation, CliError, EngineKnobs};
 use faure_core::plan::Hints;
 use faure_core::{
     parse_program, DeletePattern, Delta, DeltaReport, Engine, EvalOptions, PrunePolicy,
@@ -124,7 +124,7 @@ pub fn cmd_eval_batch(
     program_text: &str,
     prune: PrunePolicy,
     only_relation: Option<&str>,
-    threads: Option<usize>,
+    knobs: &EngineKnobs,
     obs: &ObsOptions,
 ) -> Result<EvalReport, CliError> {
     if dbs.is_empty() {
@@ -135,9 +135,7 @@ pub fn cmd_eval_batch(
         prune,
         ..Default::default()
     };
-    if let Some(n) = threads {
-        opts.threads = n.max(1);
-    }
+    knobs.configure(&mut opts);
 
     let recorder = Arc::new(Recorder::new());
     let tracer = build_tracer(&recorder, obs);
@@ -154,8 +152,11 @@ pub fn cmd_eval_batch(
         .collect::<Result<_, _>>()?;
     let hints = batch_hints(&program, loaded.iter().map(|(_, db)| db));
 
-    let prepared = Engine::with_options(opts)
+    let mut prepared = Engine::with_options(opts)
         .prepare_traced_with_hints(&program, hints, &tracer)
+        .map_err(|e| err(e.to_string()))?;
+    prepared
+        .set_shard_keys(knobs.shard_keys.iter().map(|(p, c)| (p.as_str(), *c)))
         .map_err(|e| err(e.to_string()))?;
     let prepare_events = recorder.take();
 
@@ -292,7 +293,7 @@ pub fn cmd_eval_updates(
     updates_text: &str,
     prune: PrunePolicy,
     only_relation: Option<&str>,
-    threads: Option<usize>,
+    knobs: &EngineKnobs,
     obs: &ObsOptions,
 ) -> Result<EvalReport, CliError> {
     let program = parse_program(program_text).map_err(|e| err(e.to_string()))?;
@@ -300,9 +301,7 @@ pub fn cmd_eval_updates(
         prune,
         ..Default::default()
     };
-    if let Some(n) = threads {
-        opts.threads = n.max(1);
-    }
+    knobs.configure(&mut opts);
     let updates = parse_update_stream(updates_text)?;
 
     let recorder = Arc::new(Recorder::new());
@@ -310,8 +309,11 @@ pub fn cmd_eval_updates(
 
     let db = load_database(db_text).map_err(|e| err(format!("{db_label}: {e}")))?;
     let hints = batch_hints(&program, std::iter::once(&db));
-    let prepared = Engine::with_options(opts)
+    let mut prepared = Engine::with_options(opts)
         .prepare_traced_with_hints(&program, hints, &tracer)
+        .map_err(|e| err(e.to_string()))?;
+    prepared
+        .set_shard_keys(knobs.shard_keys.iter().map(|(p, c)| (p.as_str(), *c)))
         .map_err(|e| err(e.to_string()))?;
     let prepare_events = recorder.take();
 
@@ -668,6 +670,19 @@ fn push_db_metrics(s: &mut String, program: &faure_core::Program, run: &DbRun) {
     let sizes: Vec<String> = st.delta_sizes.iter().map(usize::to_string).collect();
     let _ = write!(s, "\"delta_sizes\":[{}],", sizes.join(","));
 
+    // Sharded-fixpoint counters (additive to schema v1; all-zero with
+    // `count` 0 and `imbalance` null when the run was not sharded).
+    let sh = &st.shard;
+    let imbalance = sh
+        .imbalance()
+        .map_or_else(|| "null".to_owned(), |r| format!("{r:.4}"));
+    let _ = write!(
+        s,
+        "\"shards\":{{\"count\":{},\"routed_rows\":{},\"broadcast_rows\":{},\
+         \"exchanged_batches\":{},\"passes\":{},\"imbalance\":{}}},",
+        sh.shards, sh.routed_rows, sh.broadcast_rows, sh.exchanged_batches, sh.passes, imbalance
+    );
+
     s.push_str("\"phases\":[");
     push_rollups(s, &rollup_spans(&run.events));
     s.push_str("],");
@@ -726,14 +741,14 @@ pub fn cmd_profile(
     program_text: &str,
     db_label: &str,
     db_text: &str,
-    threads: Option<usize>,
+    knobs: &EngineKnobs,
 ) -> Result<String, CliError> {
     cmd_profile_with_clock(
         program_label,
         program_text,
         db_label,
         db_text,
-        threads,
+        knobs,
         Arc::new(MonotonicClock::starting_now()),
     )
 }
@@ -746,20 +761,21 @@ pub fn cmd_profile_with_clock(
     program_text: &str,
     db_label: &str,
     db_text: &str,
-    threads: Option<usize>,
+    knobs: &EngineKnobs,
     clock: Arc<dyn Clock>,
 ) -> Result<String, CliError> {
     let program = parse_program(program_text).map_err(|e| err(e.to_string()))?;
     let db = load_database(db_text)?;
     let mut opts = EvalOptions::default();
-    if let Some(n) = threads {
-        opts.threads = n.max(1);
-    }
+    knobs.configure(&mut opts);
 
     let recorder = Arc::new(Recorder::new());
     let tracer = Tracer::with_clock(Arc::clone(&recorder) as Arc<dyn TraceSink>, clock);
-    let prepared = Engine::with_options(opts)
+    let mut prepared = Engine::with_options(opts)
         .prepare_traced(&program, &tracer)
+        .map_err(|e| err(e.to_string()))?;
+    prepared
+        .set_shard_keys(knobs.shard_keys.iter().map(|(p, c)| (p.as_str(), *c)))
         .map_err(|e| err(e.to_string()))?;
     let out = prepared
         .run_traced(&db, &tracer)
@@ -872,6 +888,29 @@ pub fn cmd_profile_with_clock(
                 e.arg_u64("delta_rows").unwrap_or(0),
                 fmt_ns(e.dur_ns)
             );
+        }
+    }
+
+    // Per-shard breakdown (only when the partitioned fixpoint ran, so
+    // serial profiles — and the golden file — are unchanged).
+    let sh = &st.shard;
+    if sh.passes > 0 {
+        let _ = writeln!(
+            w,
+            "\nshards: {} workers, {} delta passes, {} batches exchanged",
+            sh.shards, sh.passes, sh.exchanged_batches
+        );
+        let _ = writeln!(
+            w,
+            "  rows routed {} (broadcast {})",
+            sh.routed_rows, sh.broadcast_rows
+        );
+        if let Some(r) = sh.imbalance() {
+            let _ = writeln!(w, "  imbalance (max/mean shard wall): {r:.2}");
+        }
+        let _ = writeln!(w, "  {:>5} {:>12}", "shard", "wall");
+        for (i, wall) in sh.shard_wall.iter().enumerate() {
+            let _ = writeln!(w, "  {:>5} {:>12}", i, fmt_ns(wall.as_nanos() as u64));
         }
     }
 
@@ -1013,7 +1052,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             REACH,
             PrunePolicy::EndOfStratum,
             Some("R"),
-            None,
+            &EngineKnobs::default(),
             &ObsOptions::none(),
         )
         .unwrap();
@@ -1042,7 +1081,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             REACH,
             PrunePolicy::EndOfStratum,
             Some("R"),
-            None,
+            &EngineKnobs::default(),
             &ObsOptions::artifacts(false, true),
         )
         .unwrap();
@@ -1081,7 +1120,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             REACH,
             PrunePolicy::EndOfStratum,
             Some("R"),
-            None,
+            &EngineKnobs::default(),
             &ObsOptions::artifacts(false, true),
         )
         .unwrap();
@@ -1113,7 +1152,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             REACH,
             PrunePolicy::EndOfStratum,
             None,
-            None,
+            &EngineKnobs::default(),
             &ObsOptions::artifacts(true, false),
         )
         .unwrap();
@@ -1132,7 +1171,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             REACH,
             PrunePolicy::EndOfStratum,
             None,
-            None,
+            &EngineKnobs::default(),
             &ObsOptions::artifacts(false, true),
         )
         .unwrap();
@@ -1174,7 +1213,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             REACH,
             PrunePolicy::EndOfStratum,
             Some("R"),
-            None,
+            &EngineKnobs::default(),
             &ObsOptions::none(),
         )
         .unwrap();
@@ -1184,7 +1223,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             REACH,
             PrunePolicy::EndOfStratum,
             Some("R"),
-            None,
+            &EngineKnobs::default(),
             &ObsOptions::artifacts(true, true),
         )
         .unwrap();
@@ -1241,7 +1280,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             stream,
             PrunePolicy::EndOfStratum,
             Some("R"),
-            None,
+            &EngineKnobs::default(),
             &ObsOptions::artifacts(false, true),
         )
         .unwrap();
@@ -1285,7 +1324,7 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
             stream,
             PrunePolicy::EndOfStratum,
             Some("R"),
-            None,
+            &EngineKnobs::default(),
             &ObsOptions::none(),
         )
         .unwrap();
@@ -1306,7 +1345,8 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
 
     #[test]
     fn profile_renders_report_sections() {
-        let report = cmd_profile("reach.fl", REACH, "fig1.fdb", FIG1, None).unwrap();
+        let report =
+            cmd_profile("reach.fl", REACH, "fig1.fdb", FIG1, &EngineKnobs::default()).unwrap();
         assert!(report.contains("profile: reach.fl on fig1.fdb"), "{report}");
         assert!(report.contains("memo hit rate"), "{report}");
         assert!(report.contains("phases:"), "{report}");
@@ -1316,6 +1356,121 @@ R(f, a, b) :- F(f, a, c), R(f, c, b).
         assert!(report.contains("iterations:"), "{report}");
         assert!(report.contains("top rules by time:"), "{report}");
         assert!(report.contains("R(f, a, b)"), "{report}");
+    }
+
+    #[test]
+    fn profile_serial_run_omits_shard_section() {
+        let report =
+            cmd_profile("reach.fl", REACH, "fig1.fdb", FIG1, &EngineKnobs::default()).unwrap();
+        assert!(!report.contains("\nshards:"), "{report}");
+    }
+
+    #[test]
+    fn profile_sharded_run_renders_shard_breakdown() {
+        let knobs = EngineKnobs {
+            shards: Some(2),
+            ..EngineKnobs::default()
+        };
+        let report = cmd_profile("reach.fl", REACH, "fig1.fdb", FIG1, &knobs).unwrap();
+        assert!(
+            report.contains("shards: 2 workers,"),
+            "missing shard section: {report}"
+        );
+        assert!(report.contains("rows routed "), "{report}");
+        assert!(
+            report.contains("imbalance (max/mean shard wall):"),
+            "{report}"
+        );
+        assert!(report.contains("shard         wall"), "{report}");
+    }
+
+    #[test]
+    fn sharded_batch_eval_matches_serial_rows() {
+        // Ground database: every derived condition is `true`, so the
+        // rendered rows are directly comparable as sorted sets.
+        let ground = "\
+@schema E(a, b)
+E(1, 2).
+E(2, 3).
+E(3, 4).
+E(4, 5).
+";
+        let tc = "R(a, b) :- E(a, b).\nR(a, b) :- E(a, c), R(c, b).\n";
+        let run = |knobs: &EngineKnobs| {
+            let report = cmd_eval_batch(
+                &[("g.fdb".to_owned(), ground.to_owned())],
+                "tc.fl",
+                tc,
+                PrunePolicy::EndOfStratum,
+                Some("R"),
+                knobs,
+                &ObsOptions::artifacts(false, true),
+            )
+            .unwrap();
+            let mut rows: Vec<String> = report
+                .rendered
+                .lines()
+                .filter(|l| l.starts_with("  "))
+                .map(|l| l.trim().to_owned())
+                .collect();
+            rows.sort_unstable();
+            (rows, report.metrics_json.unwrap())
+        };
+        let (serial_rows, serial_metrics) = run(&EngineKnobs::default());
+        let (sharded_rows, sharded_metrics) = run(&EngineKnobs {
+            shards: Some(4),
+            ..EngineKnobs::default()
+        });
+        assert_eq!(serial_rows, sharded_rows);
+        assert!(
+            serial_metrics.contains("\"shards\":{\"count\":0,"),
+            "{serial_metrics}"
+        );
+        assert!(
+            sharded_metrics.contains("\"shards\":{\"count\":4,"),
+            "{sharded_metrics}"
+        );
+        assert!(
+            sharded_metrics.contains("\"routed_rows\":"),
+            "{sharded_metrics}"
+        );
+    }
+
+    #[test]
+    fn shard_key_overrides_validate_against_program() {
+        let knobs = EngineKnobs {
+            shards: Some(2),
+            shard_keys: vec![("NoSuch".to_owned(), 0)],
+            ..EngineKnobs::default()
+        };
+        let e = cmd_eval_batch(
+            &one_db("fig1.fdb"),
+            "reach.fl",
+            REACH,
+            PrunePolicy::EndOfStratum,
+            Some("R"),
+            &knobs,
+            &ObsOptions::none(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("invalid shard key"), "{e}");
+        // A valid override is accepted and still derives the same rows.
+        let ok = EngineKnobs {
+            shards: Some(2),
+            shard_keys: vec![("R".to_owned(), 2)],
+            ..EngineKnobs::default()
+        };
+        let report = cmd_eval_batch(
+            &one_db("fig1.fdb"),
+            "reach.fl",
+            REACH,
+            PrunePolicy::EndOfStratum,
+            Some("R"),
+            &ok,
+            &ObsOptions::none(),
+        )
+        .unwrap();
+        assert!(report.rendered.contains("R("), "{}", report.rendered);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! GOLDEN_UPDATE=1 cargo test -p faure-cli --test profile_golden
 //! ```
 
-use faure_cli::cmd_profile_with_clock;
+use faure_cli::{cmd_profile_with_clock, EngineKnobs};
 use faure_trace::ManualClock;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -78,7 +78,7 @@ fn profile_report_matches_golden_file() {
         &program,
         "ground.fdb",
         &db,
-        Some(1),
+        &EngineKnobs::threads(Some(1)),
         Arc::new(ManualClock::new()),
     )
     .expect("profile succeeds");

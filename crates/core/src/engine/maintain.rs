@@ -76,8 +76,8 @@
 //! diverge from the update oracle. [`EvalError::InvalidDelta`] rejects
 //! such deltas explicitly.
 
-use super::fixpoint;
 use super::rule::eval_rule;
+use super::{fixpoint, shard};
 use super::{resolve_cvars, Ctx, EvalError, EvalOptions, EvalOutput, PreparedProgram, PrunePolicy};
 use crate::analysis::Finding;
 use crate::ast::{Literal, Program, Rule};
@@ -545,6 +545,7 @@ impl PreparedProgram {
             reg_snapshot: state.reg_snapshot.clone(),
             shared_memo: Arc::clone(&state.shared_memo),
             tracer: tracer.clone(),
+            shard_plan: self.shard_plan.clone(),
         };
         let tables = &mut state.tables;
         let plans = &mut state.plans;
@@ -894,6 +895,7 @@ impl PreparedProgram {
             reg_snapshot: state.reg_snapshot.clone(),
             shared_memo: Arc::clone(&state.shared_memo),
             tracer: tracer.clone(),
+            shard_plan: self.shard_plan.clone(),
         };
         let tables = &mut state.tables;
         let plans = &mut state.plans;
@@ -937,7 +939,18 @@ fn run_one_stratum(
     let t_stratum = tracer.now_ns();
     let stratum_preds: BTreeSet<&str> = rules.iter().map(|(_, r)| r.head.pred.as_str()).collect();
 
-    if opts.semi_naive {
+    if opts.semi_naive && opts.shards > 1 {
+        shard::eval_stratum_sharded(
+            ctx,
+            rules,
+            &stratum_preds,
+            tables,
+            plans,
+            session,
+            opts,
+            stats,
+        )?;
+    } else if opts.semi_naive {
         fixpoint::eval_stratum_semi_naive(
             ctx,
             rules,

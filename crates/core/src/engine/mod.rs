@@ -62,13 +62,14 @@ mod maintain;
 mod parallel;
 mod publish;
 mod rule;
+mod shard;
 
 pub use maintain::{Delta, DeltaReport, MaterializedState};
 pub use rule::canonicalize;
 
 use crate::analysis::{check_safety, stratify, AnalysisError, Stratification};
 use crate::ast::Program;
-use crate::plan::{maintenance_meta, MaintenanceMeta, PlanCache};
+use crate::plan::{maintenance_meta, MaintenanceMeta, PlanCache, ShardPlan};
 use faure_ctable::{CVarId, CVarRegistry, Database, Domain, Relation};
 use faure_solver::{SharedMemo, SolverError};
 use faure_storage::{ArityError, PhaseStats};
@@ -108,6 +109,15 @@ pub struct EvalOptions {
     /// serial run at any thread count. Defaults to the `FAURE_THREADS`
     /// environment variable when set.
     pub threads: usize,
+    /// Evaluation shards for the semi-naive fixpoint. `1` (the
+    /// default) keeps the single-space driver; larger values partition
+    /// each stratum's delta on the [`ShardPlan`] key and run the delta
+    /// passes on per-shard worker threads, exchanging cross-shard rows
+    /// through bounded channels at iteration barriers. Derived rows and
+    /// canonicalized conditions are identical to the single-space run
+    /// at any shard count. Defaults to the `FAURE_SHARDS` environment
+    /// variable when set.
+    pub shards: usize,
 }
 
 impl Default for EvalOptions {
@@ -117,12 +127,13 @@ impl Default for EvalOptions {
             semi_naive: true,
             max_iterations: 100_000,
             threads: parse_threads(std::env::var("FAURE_THREADS").ok().as_deref()),
+            shards: parse_threads(std::env::var("FAURE_SHARDS").ok().as_deref()),
         }
     }
 }
 
-/// Parses a `FAURE_THREADS`-style value; anything absent, unparsable,
-/// or zero means "serial".
+/// Parses a `FAURE_THREADS` / `FAURE_SHARDS`-style value; anything
+/// absent, unparsable, or zero means "serial" / "unsharded".
 fn parse_threads(var: Option<&str>) -> usize {
     var.and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
@@ -157,6 +168,9 @@ pub enum EvalError {
     /// A [`Delta`] was rejected by incremental maintenance: it targets
     /// a derived predicate, or carries an unconstrained deletion.
     InvalidDelta(String),
+    /// A `--shard-key` override names an unknown predicate or a column
+    /// outside its arity.
+    InvalidShardKey(String),
 }
 
 impl fmt::Display for EvalError {
@@ -177,6 +191,7 @@ impl fmt::Display for EvalError {
             }
             EvalError::UnboundVariable(v) => write!(f, "unbound rule variable `{v}`"),
             EvalError::InvalidDelta(msg) => write!(f, "invalid delta: {msg}"),
+            EvalError::InvalidShardKey(msg) => write!(f, "invalid shard key: {msg}"),
         }
     }
 }
@@ -333,6 +348,7 @@ impl Engine {
             vec![("plans", compiled.into())]
         });
         let maint = maintenance_meta(program, &strat.strata);
+        let shard_plan = ShardPlan::build(program, &strat.strata);
         Ok(PreparedProgram {
             program: program.clone(),
             strat,
@@ -341,6 +357,7 @@ impl Engine {
             opts: self.opts,
             memo_pool: Arc::new(Mutex::new(None)),
             maint,
+            shard_plan,
         })
     }
 }
@@ -370,6 +387,10 @@ pub struct PreparedProgram {
     /// per-stratum recursion flags, and the per-predicate deletion
     /// strategy (counting vs. DRed re-derivation).
     maint: MaintenanceMeta,
+    /// Partition keys for sharded evaluation, compiled at prepare time
+    /// (first bound head column per predicate; overridable via
+    /// [`set_shard_keys`](PreparedProgram::set_shard_keys)).
+    shard_plan: ShardPlan,
 }
 
 impl PreparedProgram {
@@ -386,6 +407,36 @@ impl PreparedProgram {
     /// Number of rule plans compiled at prepare time.
     pub fn plan_count(&self) -> usize {
         self.compiled as usize
+    }
+
+    /// The compiled shard plan (partition key per derived predicate).
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.shard_plan
+    }
+
+    /// Overrides shard partition keys (`--shard-key pred=col`). A key
+    /// outside the predicate's arity, or naming a predicate no rule
+    /// derives, is rejected so a typo cannot silently route every row
+    /// to column-0 hashing.
+    pub fn set_shard_keys<'k>(
+        &mut self,
+        overrides: impl IntoIterator<Item = (&'k str, usize)>,
+    ) -> Result<(), EvalError> {
+        for (pred, col) in overrides {
+            let Some(rule) = self.program.rules.iter().find(|r| r.head.pred == pred) else {
+                return Err(EvalError::InvalidShardKey(format!(
+                    "`{pred}` is not a derived predicate"
+                )));
+            };
+            let arity = rule.head.args.len();
+            if col >= arity {
+                return Err(EvalError::InvalidShardKey(format!(
+                    "column {col} out of range for `{pred}` (arity {arity})"
+                )));
+            }
+            self.shard_plan.set_key(pred, col);
+        }
+        Ok(())
     }
 
     /// Executes against `db` with the options the engine was built
@@ -527,6 +578,9 @@ pub(crate) struct Ctx<'a> {
     /// buffer events locally and the driver submits them in chunk
     /// order, so tracing never perturbs results.
     pub(crate) tracer: Tracer,
+    /// Partition keys for the sharded fixpoint driver (unused when
+    /// `opts.shards <= 1`).
+    pub(crate) shard_plan: ShardPlan,
 }
 
 #[cfg(test)]

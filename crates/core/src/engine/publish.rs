@@ -165,6 +165,34 @@ pub(crate) fn publish_prune(rows: usize, removed: usize) {
         .add(removed as u64);
 }
 
+/// Publishes one sharded delta pass: the shard count, the delta
+/// batches exchanged through the bounded channels, the rows they
+/// carried, and how many changed rows were routed to a non-producing
+/// shard (broadcast copies included) or broadcast outright.
+pub(crate) fn publish_shard_pass(
+    shards: usize,
+    batches: u64,
+    rows: usize,
+    routed: u64,
+    broadcast: u64,
+) {
+    if suppressed() {
+        return;
+    }
+    let reg = global();
+    reg.counter("faure_shard_passes_total").inc();
+    reg.counter("faure_shard_batches_total").add(batches);
+    reg.counter("faure_shard_rows_exchanged_total")
+        .add(rows as u64);
+    reg.counter("faure_shard_routed_rows_total").add(routed);
+    reg.counter("faure_shard_broadcast_rows_total")
+        .add(broadcast);
+    reg.gauge("faure_shards").set(shards as i64);
+    // Standing view of the most recent pass's routed volume.
+    reg.gauge("faure_shard_routed_delta_rows")
+        .set(i64::try_from(routed).unwrap_or(i64::MAX));
+}
+
 /// Publishes one data-parallel rule pass: how many chunks the match
 /// list was cut into, and on how many worker threads.
 pub(crate) fn publish_parallel(workers: usize, chunks: usize) {

@@ -452,6 +452,66 @@ pub struct MaintenanceMeta {
     pub negated_by: BTreeMap<String, BTreeSet<usize>>,
 }
 
+/// Partition keys for sharded evaluation: one key column per derived
+/// predicate. The sharded fixpoint driver routes each changed row of a
+/// predicate by hashing the constant in its key column (c-variable
+/// cells broadcast — see `faure_storage::shard`).
+///
+/// The default key is the predicate's first *bound* head column: the
+/// first head argument that is a rule variable occurring in some
+/// positive body literal, i.e. a column a join actually constrains.
+/// Head columns carrying constants or c-variables make poor partition
+/// keys (all rows collide, or every row broadcasts), so they are
+/// skipped; if no column qualifies the key falls back to column 0.
+/// When several rules derive the same predicate the first rule in
+/// program order decides, keeping the choice deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Key column index per derived predicate.
+    pub keys: BTreeMap<String, usize>,
+}
+
+impl ShardPlan {
+    /// Compiles the default plan for `program` under `strata` (rule
+    /// indices per stratum, as produced by `analysis::stratify`).
+    pub fn build(program: &Program, strata: &[Vec<usize>]) -> ShardPlan {
+        let mut keys = BTreeMap::new();
+        for stratum_rules in strata {
+            for &ri in stratum_rules {
+                let rule = &program.rules[ri];
+                let pred = rule.head.pred.as_str();
+                if keys.contains_key(pred) {
+                    continue;
+                }
+                let bound = rule.head.args.iter().position(|arg| match arg {
+                    ArgTerm::Var(v) => rule.body.iter().any(|lit| {
+                        !lit.is_negative()
+                            && lit
+                                .atom()
+                                .args
+                                .iter()
+                                .any(|a| matches!(a, ArgTerm::Var(w) if w == v))
+                    }),
+                    ArgTerm::CVar(_) | ArgTerm::Cst(_) => false,
+                });
+                keys.insert(pred.to_owned(), bound.unwrap_or(0));
+            }
+        }
+        ShardPlan { keys }
+    }
+
+    /// The key column for `pred` (column 0 for predicates the plan
+    /// never saw, e.g. EDB relations).
+    pub fn key_for(&self, pred: &str) -> usize {
+        self.keys.get(pred).copied().unwrap_or(0)
+    }
+
+    /// Overrides the key column for one predicate (`--shard-key`).
+    pub fn set_key(&mut self, pred: &str, col: usize) {
+        self.keys.insert(pred.to_owned(), col);
+    }
+}
+
 /// Compiles the maintenance metadata for `program` under `strata`
 /// (rule indices per stratum, as produced by `analysis::stratify`).
 pub fn maintenance_meta(program: &Program, strata: &[Vec<usize>]) -> MaintenanceMeta {
@@ -713,6 +773,45 @@ mod tests {
         let plan = compile_rule(&program.rules[0], None);
         assert_eq!(plan.steps.len(), 1);
         assert_eq!(plan.negations, vec![1]);
+    }
+
+    #[test]
+    fn shard_plan_picks_first_bound_column() {
+        // R's first head column `a` is bound by E(a, b): key 0.
+        let program = parse_program("R(a, b) :- E(a, b).\nR(a, c) :- E(a, b), R(b, c).\n").unwrap();
+        let strata = stratify(&program).unwrap().strata;
+        let plan = ShardPlan::build(&program, &strata);
+        assert_eq!(plan.key_for("R"), 0);
+        // Unknown (EDB) predicates default to column 0.
+        assert_eq!(plan.key_for("E"), 0);
+    }
+
+    #[test]
+    fn shard_plan_skips_unbound_head_columns() {
+        // Head column 0 is a constant, column 1 a c-variable; column 2
+        // is the first rule variable bound by a body literal.
+        let program = parse_program("Q(7, $x, a) :- E(a, b).").unwrap();
+        let strata = stratify(&program).unwrap().strata;
+        let plan = ShardPlan::build(&program, &strata);
+        assert_eq!(plan.key_for("Q"), 2);
+    }
+
+    #[test]
+    fn shard_plan_falls_back_to_column_zero() {
+        // A fact rule binds nothing: fall back to column 0.
+        let program = parse_program("F(1, 2).").unwrap();
+        let strata = stratify(&program).unwrap().strata;
+        let plan = ShardPlan::build(&program, &strata);
+        assert_eq!(plan.key_for("F"), 0);
+    }
+
+    #[test]
+    fn shard_plan_overrides_stick() {
+        let program = parse_program("R(a, b) :- E(a, b).\nR(a, c) :- E(a, b), R(b, c).\n").unwrap();
+        let strata = stratify(&program).unwrap().strata;
+        let mut plan = ShardPlan::build(&program, &strata);
+        plan.set_key("R", 1);
+        assert_eq!(plan.key_for("R"), 1);
     }
 
     #[test]

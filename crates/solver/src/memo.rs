@@ -60,6 +60,10 @@ const SHARDS: usize = 16;
 /// (`MEMO_CAP = 1 << 16` entries total per kind).
 const SHARD_CAP: usize = super::session::MEMO_CAP / SHARDS;
 
+/// One memo entry: the cached value, the run generation that wrote
+/// it, and the writer's shard tag (0 = untagged / single-space).
+type Entry<V> = (V, u32, u8);
+
 /// A satisfiability/simplification memo shareable across worker
 /// sessions and, when fingerprinted, across evaluation runs (see
 /// module docs).
@@ -69,8 +73,8 @@ const SHARD_CAP: usize = super::session::MEMO_CAP / SHARDS;
 /// boundary.
 #[derive(Debug, Default)]
 pub struct SharedMemo {
-    sat: Vec<Mutex<HashMap<CondId, (bool, u32)>>>,
-    simplify: Vec<Mutex<HashMap<CondId, (CondId, u32)>>>,
+    sat: Vec<Mutex<HashMap<CondId, Entry<bool>>>>,
+    simplify: Vec<Mutex<HashMap<CondId, Entry<CondId>>>>,
     /// Current run generation; entries written during run `g` are
     /// cross-run hits for every run `> g`.
     generation: AtomicU32,
@@ -124,53 +128,97 @@ impl SharedMemo {
     fn shard(cond: CondId) -> usize {
         cond.index() as usize % SHARDS
     }
+}
 
+/// Whether a memo hit crossed evaluation-shard boundaries: both the
+/// reader and the entry's writer are tagged (non-zero) and differ.
+/// Untagged traffic (the serial driver, tag `0`) never counts.
+fn cross_shard(writer: u8, reader: u8) -> bool {
+    writer != 0 && reader != 0 && writer != reader
+}
+
+impl SharedMemo {
     /// Cached satisfiability verdict for `cond`, if any, paired with
     /// whether the entry predates the current run generation
     /// (`(verdict, cross_run)`).
     pub fn sat_get(&self, cond: CondId) -> Option<(bool, bool)> {
+        self.sat_get_from(cond, 0)
+            .map(|(sat, cross_run, _)| (sat, cross_run))
+    }
+
+    /// [`sat_get`](SharedMemo::sat_get) from evaluation-shard `reader`
+    /// (see [`Session::set_shard_tag`](crate::Session::set_shard_tag)):
+    /// additionally reports whether the entry was written by a
+    /// *different* tagged shard (`(verdict, cross_run, cross_shard)`).
+    pub fn sat_get_from(&self, cond: CondId, reader: u8) -> Option<(bool, bool, bool)> {
         let gen = self.current_generation();
         self.sat[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned")
             .get(&cond)
-            .map(|&(sat, entry_gen)| (sat, entry_gen < gen))
+            .map(|&(sat, entry_gen, writer)| (sat, entry_gen < gen, cross_shard(writer, reader)))
     }
 
     /// Caches a satisfiability verdict stamped with the current run
     /// generation (dropped once the shard is at capacity, bounding
     /// memory on adversarial workloads).
     pub fn sat_put(&self, cond: CondId, sat: bool) {
+        self.sat_put_from(cond, sat, 0);
+    }
+
+    /// [`sat_put`](SharedMemo::sat_put) tagged with the writing
+    /// evaluation shard (`0` = untagged driver session).
+    pub fn sat_put_from(&self, cond: CondId, sat: bool, writer: u8) {
         let gen = self.current_generation();
         let mut shard = self.sat[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned");
         if shard.len() < SHARD_CAP || shard.contains_key(&cond) {
-            shard.insert(cond, (sat, gen));
+            shard.insert(cond, (sat, gen, writer));
         }
     }
 
     /// Cached simplification of `cond`, if any, paired with whether the
     /// entry predates the current run generation.
     pub fn simplify_get(&self, cond: CondId) -> Option<(Condition, bool)> {
+        self.simplify_get_from(cond, 0)
+            .map(|(c, cross_run, _)| (c, cross_run))
+    }
+
+    /// [`simplify_get`](SharedMemo::simplify_get) from evaluation-shard
+    /// `reader`, reporting cross-shard reuse like
+    /// [`sat_get_from`](SharedMemo::sat_get_from).
+    pub fn simplify_get_from(&self, cond: CondId, reader: u8) -> Option<(Condition, bool, bool)> {
         let gen = self.current_generation();
         self.simplify[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned")
             .get(&cond)
-            .map(|&(simplified, entry_gen)| (pool::resolve(simplified), entry_gen < gen))
+            .map(|&(simplified, entry_gen, writer)| {
+                (
+                    pool::resolve(simplified),
+                    entry_gen < gen,
+                    cross_shard(writer, reader),
+                )
+            })
     }
 
     /// Caches a simplification result (capacity-bounded like
     /// [`sat_put`](SharedMemo::sat_put)).
     pub fn simplify_put(&self, cond: CondId, simplified: &Condition) {
+        self.simplify_put_from(cond, simplified, 0);
+    }
+
+    /// [`simplify_put`](SharedMemo::simplify_put) tagged with the
+    /// writing evaluation shard.
+    pub fn simplify_put_from(&self, cond: CondId, simplified: &Condition, writer: u8) {
         let gen = self.current_generation();
         let simplified = pool::intern(simplified);
         let mut shard = self.simplify[Self::shard(cond)]
             .lock()
             .expect("memo shard poisoned");
         if shard.len() < SHARD_CAP || shard.contains_key(&cond) {
-            shard.insert(cond, (simplified, gen));
+            shard.insert(cond, (simplified, gen, writer));
         }
     }
 

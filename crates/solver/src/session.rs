@@ -56,6 +56,13 @@ pub struct SolverStats {
     /// *earlier* run of the same shared memo (batch-mode reuse; always
     /// `0` for local memos and single-run shared memos).
     pub cross_run_hits: u64,
+    /// The subset of `memo_hits` where a [tagged](Session::set_shard_tag)
+    /// session was answered by an entry written by a *different* tagged
+    /// session — sharded evaluation's cross-shard fingerprint reuse.
+    /// Always `0` outside sharded evaluation; schedule-dependent (never
+    /// asserted deterministic), like the other hit/miss counters under
+    /// parallelism.
+    pub cross_shard_hits: u64,
     /// Queries that missed the memo and ran the solver.
     pub memo_misses: u64,
     /// Total wall-clock time inside the solver. Under parallel
@@ -105,6 +112,7 @@ impl SolverStats {
         self.simplify_calls += other.simplify_calls;
         self.memo_hits += other.memo_hits;
         self.cross_run_hits += other.cross_run_hits;
+        self.cross_shard_hits += other.cross_shard_hits;
         self.memo_misses += other.memo_misses;
         self.time += other.time;
         self.latency.merge(&other.latency);
@@ -144,6 +152,9 @@ impl Default for MemoBackend {
 pub struct Session {
     stats: SolverStats,
     memo: MemoBackend,
+    /// Evaluation-shard tag stamped on shared-memo writes and compared
+    /// on reads (`0` = untagged). See [`Session::set_shard_tag`].
+    shard_tag: u8,
 }
 
 impl Session {
@@ -158,7 +169,17 @@ impl Session {
         Session {
             stats: SolverStats::default(),
             memo: MemoBackend::Shared(memo),
+            shard_tag: 0,
         }
+    }
+
+    /// Tags this session as evaluation shard `tag` (1-based; `0` means
+    /// untagged). Shared-memo writes carry the tag and hits on entries
+    /// written by a *different* tagged shard count as
+    /// [`SolverStats::cross_shard_hits`]. Tagging never changes
+    /// verdicts — only the statistics.
+    pub fn set_shard_tag(&mut self, tag: u8) {
+        self.shard_tag = tag;
     }
 
     /// Current statistics snapshot.
@@ -193,13 +214,16 @@ impl Session {
         self.stats.sat_calls += 1;
         let key = pool::intern(cond);
         let hit = match &self.memo {
-            MemoBackend::Local { sat, .. } => sat.get(&key).map(|&v| (v, false)),
-            MemoBackend::Shared(memo) => memo.sat_get(key),
+            MemoBackend::Local { sat, .. } => sat.get(&key).map(|&v| (v, false, false)),
+            MemoBackend::Shared(memo) => memo.sat_get_from(key, self.shard_tag),
         };
-        if let Some((hit, cross_run)) = hit {
+        if let Some((hit, cross_run, cross_shard)) = hit {
             self.stats.memo_hits += 1;
             if cross_run {
                 self.stats.cross_run_hits += 1;
+            }
+            if cross_shard {
+                self.stats.cross_shard_hits += 1;
             }
             if hit {
                 self.stats.sat_true += 1;
@@ -220,7 +244,7 @@ impl Session {
                         map.insert(key, sat);
                     }
                 }
-                MemoBackend::Shared(memo) => memo.sat_put(key, sat),
+                MemoBackend::Shared(memo) => memo.sat_put_from(key, sat, self.shard_tag),
             }
         }
         out
@@ -253,15 +277,18 @@ impl Session {
         self.stats.simplify_calls += 1;
         let key = pool::intern(cond);
         let hit = match &self.memo {
-            MemoBackend::Local { simplify, .. } => {
-                simplify.get(&key).map(|&v| (pool::resolve(v), false))
-            }
-            MemoBackend::Shared(memo) => memo.simplify_get(key),
+            MemoBackend::Local { simplify, .. } => simplify
+                .get(&key)
+                .map(|&v| (pool::resolve(v), false, false)),
+            MemoBackend::Shared(memo) => memo.simplify_get_from(key, self.shard_tag),
         };
-        if let Some((hit, cross_run)) = hit {
+        if let Some((hit, cross_run, cross_shard)) = hit {
             self.stats.memo_hits += 1;
             if cross_run {
                 self.stats.cross_run_hits += 1;
+            }
+            if cross_shard {
+                self.stats.cross_shard_hits += 1;
             }
             return Ok(hit);
         }
@@ -276,7 +303,9 @@ impl Session {
                         map.insert(key, pool::intern(simplified));
                     }
                 }
-                MemoBackend::Shared(memo) => memo.simplify_put(key, simplified),
+                MemoBackend::Shared(memo) => {
+                    memo.simplify_put_from(key, simplified, self.shard_tag);
+                }
             }
         }
         out
@@ -342,6 +371,7 @@ mod tests {
             simplify_calls: 2,
             memo_hits: 3,
             cross_run_hits: 1,
+            cross_shard_hits: 2,
             memo_misses: 4,
             time: Duration::from_millis(5),
             latency: lat_a,
@@ -352,6 +382,7 @@ mod tests {
             simplify_calls: 20,
             memo_hits: 30,
             cross_run_hits: 10,
+            cross_shard_hits: 20,
             memo_misses: 40,
             time: Duration::from_millis(50),
             latency: lat_b,
@@ -361,6 +392,7 @@ mod tests {
         assert_eq!(a.simplify_calls, 22);
         assert_eq!(a.memo_hits, 33);
         assert_eq!(a.cross_run_hits, 11);
+        assert_eq!(a.cross_shard_hits, 22);
         assert_eq!(a.memo_misses, 44);
         assert_eq!(a.time, Duration::from_millis(55));
         assert_eq!(a.latency.count(), 2);
@@ -455,6 +487,37 @@ mod tests {
             Condition::False
         );
         assert_eq!(b.stats().memo_hits, 2);
+    }
+
+    #[test]
+    fn cross_shard_hits_require_distinct_tags() {
+        let mut reg = CVarRegistry::new();
+        let x = reg.fresh("x", Domain::Bool01);
+        let memo = Arc::new(SharedMemo::new());
+        let c = Condition::eq(Term::Var(x), Term::int(1));
+
+        // Shard 1 decides the condition.
+        let mut s1 = Session::with_shared(Arc::clone(&memo));
+        s1.set_shard_tag(1);
+        s1.satisfiable(&reg, &c).unwrap();
+        assert_eq!(s1.stats().cross_shard_hits, 0);
+
+        // Shard 1 hitting its own entry: not cross-shard.
+        s1.satisfiable(&reg, &c).unwrap();
+        assert_eq!(s1.stats().cross_shard_hits, 0);
+
+        // Shard 2 hitting shard 1's entry: cross-shard.
+        let mut s2 = Session::with_shared(Arc::clone(&memo));
+        s2.set_shard_tag(2);
+        s2.satisfiable(&reg, &c).unwrap();
+        assert_eq!(s2.stats().memo_hits, 1);
+        assert_eq!(s2.stats().cross_shard_hits, 1);
+
+        // An untagged session never counts cross-shard reuse.
+        let mut s0 = Session::with_shared(Arc::clone(&memo));
+        s0.satisfiable(&reg, &c).unwrap();
+        assert_eq!(s0.stats().memo_hits, 1);
+        assert_eq!(s0.stats().cross_shard_hits, 0);
     }
 
     #[test]

@@ -36,9 +36,11 @@ pub mod dnf;
 pub mod exec;
 pub mod ops;
 pub mod pipeline;
+pub mod shard;
 pub mod sql;
 pub mod table;
 
 pub use exec::{CondAcc, OpStats};
 pub use pipeline::PhaseStats;
+pub use shard::{Route, ShardStats};
 pub use table::{ArityError, DeletionEffect, InsertOutcome, Pattern, PreparedRow, Table};

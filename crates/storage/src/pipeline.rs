@@ -9,6 +9,7 @@
 //! plan-cache hit counters.
 
 use crate::exec::OpStats;
+use crate::shard::ShardStats;
 use faure_solver::session::SolverStats;
 use std::time::Duration;
 
@@ -48,6 +49,9 @@ pub struct PhaseStats {
     pub plan_cache_hits: u64,
     /// Rule plans compiled because no cached plan existed.
     pub plan_cache_misses: u64,
+    /// Sharded-evaluation counters (all zero when the run never
+    /// dispatched to the sharded driver).
+    pub shard: ShardStats,
 }
 
 impl PhaseStats {
@@ -68,6 +72,7 @@ impl PhaseStats {
         self.delta_sizes.extend_from_slice(&other.delta_sizes);
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.shard.absorb(&other.shard);
     }
 
     /// Total wall-clock time (relational + solver).
